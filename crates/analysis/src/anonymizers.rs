@@ -1,0 +1,188 @@
+//! §7.2 / Fig. 10: web proxies and VPNs ("Anonymizer" services).
+//!
+//! Following the paper, this runs on the 4 % sample for the request counts
+//! and identifies anonymizer hosts through the category oracle.
+
+use crate::context::AnalysisContext;
+use crate::datasets::in_sample;
+use crate::report::Table;
+use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_stats::Ecdf;
+use std::collections::HashMap;
+
+/// Per-host counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostCounts {
+    pub allowed: u64,
+    pub censored: u64,
+}
+
+/// Fig. 10 accumulator.
+#[derive(Debug, Default)]
+pub struct AnonymizerStats {
+    pub hosts: HashMap<String, HostCounts>,
+}
+
+impl AnonymizerStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one record.
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
+        if !in_sample(record) {
+            return;
+        }
+        if !ctx.categories.is_anonymizer(&record.url.host) {
+            return;
+        }
+        let c = self.hosts.entry(record.url.host.clone()).or_default();
+        match RequestClass::of(record) {
+            RequestClass::Allowed => c.allowed += 1,
+            RequestClass::Censored => c.censored += 1,
+            _ => {}
+        }
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: AnonymizerStats) {
+        for (k, v) in other.hosts {
+            let c = self.hosts.entry(k).or_default();
+            c.allowed += v.allowed;
+            c.censored += v.censored;
+        }
+    }
+
+    /// Hosts observed.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Hosts never filtered, and their share (the paper: 92.7 %).
+    pub fn never_filtered(&self) -> (usize, f64) {
+        let n = self
+            .hosts
+            .values()
+            .filter(|c| c.censored == 0 && c.allowed > 0)
+            .count();
+        let frac = if self.hosts.is_empty() {
+            0.0
+        } else {
+            n as f64 / self.hosts.len() as f64
+        };
+        (n, frac)
+    }
+
+    /// Fig. 10(a): CDF of requests per never-filtered host.
+    pub fn allowed_request_cdf(&self) -> Ecdf {
+        Ecdf::from_samples(
+            self.hosts
+                .values()
+                .filter(|c| c.censored == 0 && c.allowed > 0)
+                .map(|c| c.allowed as f64),
+        )
+    }
+
+    /// Fig. 10(b): CDF of allowed/censored ratios for partially-censored
+    /// hosts.
+    pub fn ratio_cdf(&self) -> Ecdf {
+        Ecdf::from_samples(
+            self.hosts
+                .values()
+                .filter(|c| c.censored > 0)
+                .map(|c| c.allowed as f64 / c.censored as f64),
+        )
+    }
+
+    /// Render the Fig. 10 summary.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Fig 10 / Anonymizer services (Dsample)",
+            &["Metric", "Value"],
+        );
+        t.row(["Anonymizer hosts".to_string(), self.host_count().to_string()]);
+        let (n, frac) = self.never_filtered();
+        t.row([
+            "Never filtered".to_string(),
+            format!("{n} ({:.1}%)", frac * 100.0),
+        ]);
+        let total_requests: u64 = self.hosts.values().map(|c| c.allowed + c.censored).sum();
+        t.row(["Requests to anonymizers".to_string(), total_requests.to_string()]);
+        let cdf = self.allowed_request_cdf();
+        if !cdf.is_empty() {
+            t.row([
+                "Hosts with >100 requests".to_string(),
+                format!("{:.1}%", (1.0 - cdf.fraction_le(100.0)) * 100.0),
+            ]);
+        }
+        let ratios = self.ratio_cdf();
+        if !ratios.is_empty() {
+            t.row([
+                "Partially-censored hosts with allowed>censored".to_string(),
+                format!("{:.1}%", (1.0 - ratios.fraction_le(1.0)) * 100.0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::RequestUrl;
+
+    fn rec(host: &str, path: &str, censored: bool) -> LogRecord {
+        let b = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http(host, path),
+        );
+        if censored {
+            b.policy_denied().build()
+        } else {
+            b.build()
+        }
+    }
+
+    fn ingest_many(s: &mut AnonymizerStats, ctx: &AnalysisContext, host: &str, n: u32, censored: bool) {
+        // Vary paths so ~4% land in the sample; ingest enough to register.
+        for i in 0..n {
+            s.ingest(ctx, &rec(host, &format!("/p{i}"), censored));
+        }
+    }
+
+    #[test]
+    fn only_anonymizer_hosts_counted() {
+        let ctx = AnalysisContext::standard(None);
+        let mut s = AnonymizerStats::new();
+        ingest_many(&mut s, &ctx, "hidemyass.com", 500, false);
+        ingest_many(&mut s, &ctx, "facebook.com", 500, false);
+        assert!(s.hosts.contains_key("hidemyass.com"));
+        assert!(!s.hosts.contains_key("facebook.com"));
+    }
+
+    #[test]
+    fn never_filtered_fraction() {
+        let ctx = AnalysisContext::standard(None);
+        let mut s = AnonymizerStats::new();
+        ingest_many(&mut s, &ctx, "freegate.org", 800, false);
+        ingest_many(&mut s, &ctx, "hotsptshld.com", 800, true);
+        let (n, frac) = s.never_filtered();
+        assert_eq!(n, 1);
+        assert!((frac - 0.5).abs() < 1e-9);
+        let ratios = s.ratio_cdf();
+        assert_eq!(ratios.len(), 1);
+    }
+
+    #[test]
+    fn renders() {
+        let ctx = AnalysisContext::standard(None);
+        let mut s = AnonymizerStats::new();
+        ingest_many(&mut s, &ctx, "vtunnel.com", 400, false);
+        let out = s.render();
+        assert!(out.contains("Anonymizer hosts"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig. 3: category distribution of censored traffic.
+//!
+//! The proxies had no working category database (`cs-categories` is
+//! `unavailable`/`none` everywhere), so like the paper we join censored
+//! hosts against an external category oracle (the paper used McAfee
+//! TrustedSource; here, [`filterscope_categorizer::CategoryDb`]). Following
+//! the paper, this runs on the 4 % sample.
+
+use crate::context::AnalysisContext;
+use crate::datasets::in_sample;
+use crate::report::{count_pct, Table};
+use filterscope_categorizer::Category;
+use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_stats::CountMap;
+
+/// Censored-category accumulator (Dsample).
+#[derive(Debug, Clone, Default)]
+pub struct CategoryStats {
+    pub censored: CountMap<Category>,
+}
+
+impl CategoryStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one record.
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
+        if RequestClass::of(record) != RequestClass::Censored || !in_sample(record) {
+            return;
+        }
+        self.censored.bump(ctx.categories.categorize(&record.url.host));
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: CategoryStats) {
+        self.censored.merge(other.censored);
+    }
+
+    /// Category shares, descending, with small categories folded into
+    /// `Other` when below `fold_below` requests (the paper folds <1k).
+    pub fn distribution(&self, fold_below: u64) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        let mut other = 0u64;
+        for (cat, n) in self.censored.sorted() {
+            if n < fold_below && cat != Category::Unknown {
+                other += n;
+            } else {
+                out.push((cat.name().to_string(), n));
+            }
+        }
+        if other > 0 {
+            out.push(("Other".to_string(), other));
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Render the Fig. 3 data.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Fig 3: Category distribution of censored traffic (Dsample)",
+            &["Category", "Censored requests"],
+        );
+        let total = self.censored.total();
+        for (name, n) in self.distribution(0) {
+            t.row([name, count_pct(n, total)]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::RequestUrl;
+
+    fn ctx() -> AnalysisContext {
+        AnalysisContext::standard(None)
+    }
+
+    fn censored(host: &str, salt: u32) -> LogRecord {
+        // Vary the path so roughly 4% land in the sample.
+        RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http(host, format!("/p{salt}")),
+        )
+        .policy_denied()
+        .build()
+    }
+
+    #[test]
+    fn only_sampled_censored_records_count() {
+        let ctx = ctx();
+        let mut c = CategoryStats::new();
+        let mut ingested = 0u64;
+        for i in 0..5000 {
+            let r = censored("metacafe.com", i);
+            if in_sample(&r) {
+                ingested += 1;
+            }
+            c.ingest(&ctx, &r);
+        }
+        assert_eq!(c.censored.total(), ingested);
+        assert!(ingested > 100, "sample too small: {ingested}");
+        assert_eq!(c.censored.get(&Category::StreamingMedia), ingested);
+    }
+
+    #[test]
+    fn allowed_records_are_ignored() {
+        let ctx = ctx();
+        let mut c = CategoryStats::new();
+        let r = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http("metacafe.com", "/"),
+        )
+        .build();
+        for _ in 0..100 {
+            c.ingest(&ctx, &r);
+        }
+        assert_eq!(c.censored.total(), 0);
+    }
+
+    #[test]
+    fn folding_into_other() {
+        let ctx = ctx();
+        let mut c = CategoryStats::new();
+        for i in 0..3000 {
+            c.ingest(&ctx, &censored("skype.com", i));
+        }
+        for i in 0..2000 {
+            c.ingest(&ctx, &censored("badoo.com", i));
+        }
+        let dist = c.distribution(1_000_000); // fold everything
+        // Everything but Unknown folds into Other.
+        assert!(dist.iter().any(|(n, _)| n == "Other"));
+        let unfolded = c.distribution(0);
+        assert!(unfolded.iter().any(|(n, _)| n == "Instant Messaging"));
+        assert!(unfolded.iter().any(|(n, _)| n == "Social Networking"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Log-internal consistency checks.
+//!
+//! §3.3 of the paper spends real effort on the leak's internal
+//! inconsistencies — notably `PROXIED` rows for consistently-censored URLs
+//! that carry no exception. This module systematizes that methodology: a
+//! per-record linter for combinations that should not co-occur, and an
+//! accumulator that reports how often each anomaly appears in a corpus.
+//! Run against the simulator's output it quantifies the modelled
+//! inconsistency; run against a real leak it is a data-quality triage tool.
+
+use crate::report::{count_pct, Table};
+use filterscope_logformat::{ExceptionId, FilterResult, LogRecord, SAction};
+use filterscope_stats::CountMap;
+
+/// A record-level anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Anomaly {
+    /// `OBSERVED` together with an exception id.
+    ObservedWithException,
+    /// `DENIED` with no exception at all.
+    DeniedWithoutException,
+    /// `PROXIED` row carrying a policy exception (the cache replaying a
+    /// censored outcome — §3.3's explicit caveat).
+    ProxiedWithPolicyException,
+    /// `policy_redirect` exception without the redirect `s-action`.
+    RedirectWithoutRedirectAction,
+    /// Served response (`2xx`/`3xx`) on a policy-censored record.
+    SuccessStatusOnCensored,
+    /// A denied record reporting body bytes sent to the client.
+    BytesOnDenied,
+    /// `Blocked sites` category on a record that is not censored.
+    BlockedCategoryNotCensored,
+}
+
+impl Anomaly {
+    /// Human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Anomaly::ObservedWithException => "OBSERVED with exception",
+            Anomaly::DeniedWithoutException => "DENIED without exception",
+            Anomaly::ProxiedWithPolicyException => "PROXIED with policy exception",
+            Anomaly::RedirectWithoutRedirectAction => "policy_redirect without redirect action",
+            Anomaly::SuccessStatusOnCensored => "2xx status on censored record",
+            Anomaly::BytesOnDenied => "sc-bytes > 0 on denied record",
+            Anomaly::BlockedCategoryNotCensored => "'Blocked sites' category on non-censored",
+        }
+    }
+}
+
+/// Lint one record; returns every anomaly it exhibits.
+pub fn lint(record: &LogRecord) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    let has_exception = record.exception != ExceptionId::None;
+    match record.filter_result {
+        FilterResult::Observed => {
+            if has_exception {
+                out.push(Anomaly::ObservedWithException);
+            }
+        }
+        FilterResult::Denied => {
+            if !has_exception {
+                out.push(Anomaly::DeniedWithoutException);
+            }
+        }
+        FilterResult::Proxied => {
+            if record.exception.is_policy() {
+                out.push(Anomaly::ProxiedWithPolicyException);
+            }
+        }
+    }
+    if record.exception == ExceptionId::PolicyRedirect
+        && record.filter_result == FilterResult::Denied
+        && record.s_action != SAction::TcpPolicyRedirect
+    {
+        out.push(Anomaly::RedirectWithoutRedirectAction);
+    }
+    if record.filter_result == FilterResult::Denied
+        && record.exception == ExceptionId::PolicyDenied
+        && (200..300).contains(&record.sc_status)
+    {
+        out.push(Anomaly::SuccessStatusOnCensored);
+    }
+    // A 302 redirect legitimately carries a small body; only denials and
+    // errors should be body-less.
+    if record.filter_result == FilterResult::Denied
+        && record.exception != ExceptionId::PolicyRedirect
+        && record.sc_bytes > 0
+    {
+        out.push(Anomaly::BytesOnDenied);
+    }
+    if record.categories.contains("Blocked sites") && !record.exception.is_policy() {
+        out.push(Anomaly::BlockedCategoryNotCensored);
+    }
+    out
+}
+
+/// Corpus-level anomaly accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyStats {
+    pub total: u64,
+    pub anomalies: CountMap<Anomaly>,
+}
+
+impl ConsistencyStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one record.
+    pub fn ingest(&mut self, record: &LogRecord) {
+        self.total += 1;
+        for a in lint(record) {
+            self.anomalies.bump(a);
+        }
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: ConsistencyStats) {
+        self.total += other.total;
+        self.anomalies.merge(other.anomalies);
+    }
+
+    /// Records exhibiting a given anomaly.
+    pub fn count(&self, a: Anomaly) -> u64 {
+        self.anomalies.get(&a)
+    }
+
+    /// Render the anomaly report.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Log-consistency anomalies (§3.3 methodology)",
+            &["Anomaly", "Records"],
+        );
+        for (a, n) in self.anomalies.sorted() {
+            t.row([a.label().to_string(), count_pct(n, self.total)]);
+        }
+        if self.anomalies.is_empty() {
+            t.row(["(none)".to_string(), "0".to_string()]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::RequestUrl;
+
+    fn base() -> RecordBuilder {
+        RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http("x.com", "/"),
+        )
+    }
+
+    #[test]
+    fn clean_records_have_no_anomalies() {
+        assert!(lint(&base().build()).is_empty());
+        assert!(lint(&base().policy_denied().build()).is_empty());
+        assert!(lint(&base().policy_redirect().build()).is_empty());
+        assert!(lint(&base().proxied().build()).is_empty());
+        assert!(lint(
+            &base()
+                .network_error(ExceptionId::TcpError)
+                .build()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn proxied_with_policy_exception_is_flagged() {
+        let r = base()
+            .proxied()
+            .exception(ExceptionId::PolicyDenied)
+            .build();
+        assert_eq!(lint(&r), vec![Anomaly::ProxiedWithPolicyException]);
+    }
+
+    #[test]
+    fn observed_with_exception_is_flagged() {
+        let r = base().exception(ExceptionId::TcpError).build();
+        assert!(lint(&r).contains(&Anomaly::ObservedWithException));
+    }
+
+    #[test]
+    fn redirect_without_action_is_flagged() {
+        let mut r = base().policy_redirect().build();
+        r.s_action = filterscope_logformat::SAction::TcpDenied;
+        assert!(lint(&r).contains(&Anomaly::RedirectWithoutRedirectAction));
+    }
+
+    #[test]
+    fn bytes_on_denied_and_success_on_censored() {
+        let mut r = base().policy_denied().build();
+        r.sc_bytes = 512;
+        r.sc_status = 200;
+        // A redirect with bytes is NOT anomalous.
+        let redirect = base().policy_redirect().build();
+        assert!(!lint(&redirect).contains(&Anomaly::BytesOnDenied));
+        let anomalies = lint(&r);
+        assert!(anomalies.contains(&Anomaly::BytesOnDenied));
+        assert!(anomalies.contains(&Anomaly::SuccessStatusOnCensored));
+    }
+
+    #[test]
+    fn blocked_category_on_allowed_is_flagged() {
+        let r = base().categories("Blocked sites; unavailable").build();
+        assert!(lint(&r).contains(&Anomaly::BlockedCategoryNotCensored));
+    }
+
+    #[test]
+    fn accumulator_counts_and_renders() {
+        let mut s = ConsistencyStats::new();
+        s.ingest(&base().build());
+        s.ingest(
+            &base()
+                .proxied()
+                .exception(ExceptionId::PolicyDenied)
+                .build(),
+        );
+        assert_eq!(s.total, 2);
+        assert_eq!(s.count(Anomaly::ProxiedWithPolicyException), 1);
+        assert!(s.render().contains("PROXIED with policy exception"));
+        let mut other = ConsistencyStats::new();
+        other.ingest(&base().exception(ExceptionId::TcpError).build());
+        s.merge(other);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.count(Anomaly::ObservedWithException), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared lookup context for the analyses.
+
+use filterscope_bittorrent::TitleIndex;
+use filterscope_categorizer::CategoryDb;
+use filterscope_geoip::{data::israeli_blocks, GeoDb};
+use filterscope_match::CidrSet;
+use filterscope_tor::RelayIndex;
+use std::sync::Arc;
+
+/// External lookup services the analyses join against: the category oracle
+/// (McAfee-TrustedSource substitute), the geo database (Maxmind substitute),
+/// the Israeli subnet list, the Tor relay index (Tor Metrics substitute) and
+/// the info-hash title oracle (torrentz.eu-crawl substitute).
+pub struct AnalysisContext {
+    pub categories: CategoryDb,
+    pub geo: GeoDb,
+    pub israeli_subnets: CidrSet,
+    pub relays: Option<Arc<RelayIndex>>,
+    pub titles: TitleIndex,
+}
+
+impl AnalysisContext {
+    /// Standard context, optionally wired to a relay index for the Tor join.
+    pub fn standard(relays: Option<Arc<RelayIndex>>) -> Self {
+        AnalysisContext {
+            categories: CategoryDb::standard(),
+            geo: filterscope_geoip::data::standard_db(),
+            israeli_subnets: CidrSet::from_blocks(israeli_blocks()),
+            relays,
+            titles: TitleIndex::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_context_wires_everything() {
+        let ctx = AnalysisContext::standard(None);
+        assert!(!ctx.categories.is_empty());
+        assert!(ctx
+            .geo
+            .lookup("84.229.1.1".parse().unwrap())
+            .is_some());
+        assert!(ctx.israeli_subnets.contains("46.120.0.1".parse().unwrap()));
+        assert!(ctx.relays.is_none());
+        assert_eq!(ctx.titles.hit_per_mille, 774);
+    }
+}

@@ -1,0 +1,180 @@
+//! Dataset membership and Table 1.
+//!
+//! The paper works with four datasets (§3.3): `Dfull` (everything),
+//! `Dsample` (a 4 % random sample used for summary statistics), `Duser`
+//! (the July 22–23 window where client IPs were hashed) and `Ddenied`
+//! (every request that raised an exception). `DIPv4` (§5.4) is the subset
+//! whose `cs-host` is a literal IPv4 address.
+
+use crate::report::{thousands, Table};
+use filterscope_logformat::{classify, ClientId, LogRecord};
+
+/// Per-mille size of `Dsample` (the paper uses 4 %).
+pub const SAMPLE_PER_MILLE: u64 = 40;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Is this record in the deterministic 4 % sample?
+///
+/// Sampling hashes the record's identity (URL + client + timestamp) so the
+/// sample is stable across passes and shards.
+pub fn in_sample(record: &LogRecord) -> bool {
+    let mut key = Vec::with_capacity(64);
+    key.extend_from_slice(record.url.host.as_bytes());
+    key.extend_from_slice(record.url.path.as_bytes());
+    key.extend_from_slice(record.url.query.as_bytes());
+    key.extend_from_slice(&record.timestamp.epoch_seconds().to_le_bytes());
+    key.extend_from_slice(record.client.to_string().as_bytes());
+    fnv1a(&key) % 1000 < SAMPLE_PER_MILLE
+}
+
+/// Is this record in `Duser` (hashed client identifiers)?
+pub fn in_user_dataset(record: &LogRecord) -> bool {
+    matches!(record.client, ClientId::Hashed(_))
+}
+
+/// Is this record in `Ddenied` (raised an exception)?
+pub fn in_denied_dataset(record: &LogRecord) -> bool {
+    classify::in_denied_dataset(record)
+}
+
+/// Is this record in `DIPv4` (literal-IP `cs-host`)?
+pub fn in_ipv4_dataset(record: &LogRecord) -> bool {
+    record.url.host_is_ip()
+}
+
+/// Table 1 accumulator: request counts per dataset.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetCounts {
+    pub full: u64,
+    pub sample: u64,
+    pub user: u64,
+    pub denied: u64,
+    pub ipv4: u64,
+}
+
+impl DatasetCounts {
+    /// Empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one record.
+    pub fn ingest(&mut self, record: &LogRecord) {
+        self.full += 1;
+        if in_sample(record) {
+            self.sample += 1;
+        }
+        if in_user_dataset(record) {
+            self.user += 1;
+        }
+        if in_denied_dataset(record) {
+            self.denied += 1;
+        }
+        if in_ipv4_dataset(record) {
+            self.ipv4 += 1;
+        }
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: &DatasetCounts) {
+        self.full += other.full;
+        self.sample += other.sample;
+        self.user += other.user;
+        self.denied += other.denied;
+        self.ipv4 += other.ipv4;
+    }
+
+    /// Render Table 1.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Table 1: Datasets description",
+            &["Dataset", "# Requests"],
+        );
+        t.row(["Full", &thousands(self.full)]);
+        t.row(["Sample (4%)", &thousands(self.sample)]);
+        t.row(["User", &thousands(self.user)]);
+        t.row(["Denied", &thousands(self.denied)]);
+        t.row(["DIPv4", &thousands(self.ipv4)]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::{ExceptionId, RequestUrl};
+
+    fn rec(host: &str, hashed: bool, denied: bool) -> LogRecord {
+        let mut b = RecordBuilder::new(
+            Timestamp::parse_fields("2011-07-22", "10:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http(host, "/"),
+        );
+        if hashed {
+            b = b.client(ClientId::Hashed(0xAB));
+        }
+        if denied {
+            b = b.network_error(ExceptionId::TcpError);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn membership_rules() {
+        let r = rec("1.2.3.4", true, true);
+        assert!(in_user_dataset(&r));
+        assert!(in_denied_dataset(&r));
+        assert!(in_ipv4_dataset(&r));
+        let r2 = rec("example.com", false, false);
+        assert!(!in_user_dataset(&r2));
+        assert!(!in_denied_dataset(&r2));
+        assert!(!in_ipv4_dataset(&r2));
+    }
+
+    #[test]
+    fn sample_rate_converges_to_4_percent() {
+        let mut hits = 0u64;
+        let n = 100_000u64;
+        for i in 0..n {
+            let r = rec(&format!("h{i}.example"), false, false);
+            if in_sample(&r) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.04).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let r = rec("stable.example", false, false);
+        assert_eq!(in_sample(&r), in_sample(&r));
+    }
+
+    #[test]
+    fn counts_and_merge() {
+        let mut a = DatasetCounts::new();
+        a.ingest(&rec("x.com", true, false));
+        a.ingest(&rec("9.9.9.9", false, true));
+        let mut b = DatasetCounts::new();
+        b.ingest(&rec("y.com", false, false));
+        a.merge(&b);
+        assert_eq!(a.full, 3);
+        assert_eq!(a.user, 1);
+        assert_eq!(a.denied, 1);
+        assert_eq!(a.ipv4, 1);
+        let rendered = a.render();
+        assert!(rendered.contains("Table 1"));
+        assert!(rendered.contains("DIPv4"));
+    }
+}

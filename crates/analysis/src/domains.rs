@@ -1,0 +1,199 @@
+//! Table 4 (top allowed/censored domains) and Fig. 2 (requests-per-domain
+//! distribution).
+
+use crate::report::{count_pct, Table};
+use filterscope_logformat::url::base_domain_of;
+use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_stats::powerlaw::{fit_domain_alpha, frequency_of_frequencies};
+use filterscope_stats::CountMap;
+
+/// Accumulator over per-class domain counts.
+#[derive(Debug, Clone, Default)]
+pub struct DomainStats {
+    pub allowed: CountMap<String>,
+    pub denied: CountMap<String>,
+    pub censored: CountMap<String>,
+    pub proxied: CountMap<String>,
+}
+
+impl DomainStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one record (aggregating by base domain).
+    pub fn ingest(&mut self, record: &LogRecord) {
+        let domain = base_domain_of(&record.url.host);
+        match RequestClass::of(record) {
+            RequestClass::Allowed => self.allowed.bump(domain),
+            RequestClass::Proxied => self.proxied.bump(domain),
+            RequestClass::Censored => {
+                self.censored.bump(domain.clone());
+                self.denied.bump(domain);
+            }
+            RequestClass::Error => self.denied.bump(domain),
+        }
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: DomainStats) {
+        self.allowed.merge(other.allowed);
+        self.denied.merge(other.denied);
+        self.censored.merge(other.censored);
+        self.proxied.merge(other.proxied);
+    }
+
+    /// Top-`n` allowed domains with counts.
+    pub fn top_allowed(&self, n: usize) -> Vec<(String, u64)> {
+        self.allowed.top_n(n)
+    }
+
+    /// Top-`n` censored domains with counts.
+    pub fn top_censored(&self, n: usize) -> Vec<(String, u64)> {
+        self.censored.top_n(n)
+    }
+
+    /// Fig. 2 series for one class: `(requests, #domains with that count)`.
+    pub fn request_distribution(&self, class: RequestClass) -> Vec<(u64, u64)> {
+        let map = match class {
+            RequestClass::Allowed => &self.allowed,
+            RequestClass::Censored => &self.censored,
+            RequestClass::Proxied => &self.proxied,
+            RequestClass::Error => &self.denied,
+        };
+        frequency_of_frequencies(map)
+    }
+
+    /// Power-law exponent of the allowed requests-per-domain distribution.
+    pub fn allowed_alpha(&self, xmin: u64) -> Option<f64> {
+        fit_domain_alpha(&self.allowed, xmin)
+    }
+
+    /// Render Table 4.
+    pub fn render_table4(&self) -> String {
+        let mut t = Table::new(
+            "Table 4: Top-10 domains (allowed and censored)",
+            &["Allowed domain", "# Requests (%)", "Censored domain", "# Requests (%)"],
+        );
+        let a = self.top_allowed(10);
+        let c = self.top_censored(10);
+        let at = self.allowed.total();
+        let ct = self.censored.total();
+        for i in 0..10 {
+            let (ad, ac) = a
+                .get(i)
+                .map(|(d, n)| (d.clone(), count_pct(*n, at)))
+                .unwrap_or_default();
+            let (cd, cc) = c
+                .get(i)
+                .map(|(d, n)| (d.clone(), count_pct(*n, ct)))
+                .unwrap_or_default();
+            t.row([ad, ac, cd, cc]);
+        }
+        t.render()
+    }
+
+    /// Render the Fig. 2 data as text (log-log plot input).
+    pub fn render_fig2(&self) -> String {
+        let mut t = Table::new(
+            "Fig 2: Requests-per-domain distribution (first 12 points per class)",
+            &["Class", "requests -> #domains"],
+        );
+        for (label, class) in [
+            ("Allowed", RequestClass::Allowed),
+            ("Denied", RequestClass::Error),
+            ("Censored", RequestClass::Censored),
+        ] {
+            let pts = self.request_distribution(class);
+            let shown: Vec<String> = pts
+                .iter()
+                .take(12)
+                .map(|(r, d)| format!("{r}->{d}"))
+                .collect();
+            t.row([label.to_string(), shown.join(" ")]);
+        }
+        if let Some(alpha) = self.allowed_alpha(5) {
+            t.row(["alpha (allowed, xmin=5)".to_string(), format!("{alpha:.2}")]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::RequestUrl;
+
+    fn rec(host: &str, censored: bool) -> LogRecord {
+        let b = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http(host, "/"),
+        );
+        if censored {
+            b.policy_denied().build()
+        } else {
+            b.build()
+        }
+    }
+
+    #[test]
+    fn aggregates_by_base_domain() {
+        let mut d = DomainStats::new();
+        d.ingest(&rec("www.facebook.com", true));
+        d.ingest(&rec("ar-ar.facebook.com", true));
+        d.ingest(&rec("www.google.com", false));
+        assert_eq!(d.censored.get("facebook.com"), 2);
+        assert_eq!(d.allowed.get("google.com"), 1);
+        // Censored counts double into the denied map.
+        assert_eq!(d.denied.get("facebook.com"), 2);
+    }
+
+    #[test]
+    fn top_n_ordering() {
+        let mut d = DomainStats::new();
+        for _ in 0..5 {
+            d.ingest(&rec("metacafe.com", true));
+        }
+        d.ingest(&rec("skype.com", true));
+        let top = d.top_censored(2);
+        assert_eq!(top[0].0, "metacafe.com");
+        assert_eq!(top[0].1, 5);
+    }
+
+    #[test]
+    fn distribution_counts_domains_not_requests() {
+        let mut d = DomainStats::new();
+        for _ in 0..3 {
+            d.ingest(&rec("a.com", false));
+        }
+        d.ingest(&rec("b.com", false));
+        d.ingest(&rec("c.com", false));
+        let dist = d.request_distribution(RequestClass::Allowed);
+        assert_eq!(dist, vec![(1, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn renders_ten_rows() {
+        let mut d = DomainStats::new();
+        d.ingest(&rec("x.com", false));
+        d.ingest(&rec("y.com", true));
+        let s = d.render_table4();
+        assert!(s.contains("x.com"));
+        assert!(s.contains("y.com"));
+        assert_eq!(s.lines().count(), 3 + 10);
+    }
+
+    #[test]
+    fn merge_combines_maps() {
+        let mut a = DomainStats::new();
+        a.ingest(&rec("m.com", true));
+        let mut b = DomainStats::new();
+        b.ingest(&rec("m.com", true));
+        a.merge(b);
+        assert_eq!(a.censored.get("m.com"), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Machine-readable experiment export.
+//!
+//! [`Summary`] captures the headline metric of every table and figure as
+//! plain data; [`AnalysisSuite::summary`](crate::AnalysisSuite::summary)
+//! fills it and `serde_json` serializes it, so downstream tooling (CI
+//! regressions, cross-run diffs, plotting) consumes results without
+//! scraping the text report.
+
+use crate::suite::AnalysisSuite;
+use serde::Serialize;
+
+/// A named count with share-of-total.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Share {
+    pub name: String,
+    pub count: u64,
+    pub share: f64,
+}
+
+fn shares(items: Vec<(String, u64)>, total: u64) -> Vec<Share> {
+    items
+        .into_iter()
+        .map(|(name, count)| Share {
+            name,
+            count,
+            share: if total == 0 {
+                0.0
+            } else {
+                count as f64 / total as f64
+            },
+        })
+        .collect()
+}
+
+/// The headline results of one full analysis pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    // Table 1 / Table 3.
+    pub total_requests: u64,
+    pub allowed_share: f64,
+    pub proxied_share: f64,
+    pub error_share: f64,
+    pub censored_share: f64,
+    // Table 4.
+    pub top_allowed_domains: Vec<Share>,
+    pub top_censored_domains: Vec<Share>,
+    // Fig. 2.
+    pub allowed_domain_alpha: Option<f64>,
+    // Fig. 3.
+    pub censored_categories: Vec<Share>,
+    // Fig. 4.
+    pub users: u64,
+    pub censored_user_share: f64,
+    // Tables 6–7 / Fig. 7.
+    pub sg48_censored_share: f64,
+    pub redirect_hosts: usize,
+    // §5.4 recovery.
+    pub recovered_keywords: Vec<String>,
+    pub recovered_domains: Vec<String>,
+    // Table 11.
+    pub country_censorship_ratios: Vec<Share>,
+    // §4 HTTPS.
+    pub https_share: f64,
+    pub https_censored_share: f64,
+    pub mitm_evidence: u64,
+    // §7.
+    pub tor_requests: u64,
+    pub tor_http_share: f64,
+    pub tor_censored_sg44_share: f64,
+    pub bt_announces: u64,
+    pub bt_peers: usize,
+    pub bt_title_resolution: f64,
+    pub anonymizer_hosts: usize,
+    pub anonymizer_never_filtered_share: f64,
+    // Consistency linting.
+    pub anomalies: Vec<Share>,
+}
+
+impl AnalysisSuite {
+    /// Extract the machine-readable summary of this pass.
+    pub fn summary(&self) -> Summary {
+        let total = self.overview.total.full;
+        let ratio = |n: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                n as f64 / total as f64
+            }
+        };
+        let (_, never_filtered_share) = self.anonymizers.never_filtered();
+        Summary {
+            total_requests: total,
+            allowed_share: ratio(self.overview.allowed.full),
+            proxied_share: ratio(self.overview.proxied.full),
+            error_share: ratio(self.overview.errors_full()),
+            censored_share: ratio(self.overview.censored_full()),
+            top_allowed_domains: shares(self.domains.top_allowed(10), self.domains.allowed.total()),
+            top_censored_domains: shares(
+                self.domains.top_censored(10),
+                self.domains.censored.total(),
+            ),
+            allowed_domain_alpha: self.domains.allowed_alpha(5),
+            censored_categories: {
+                let total = self.categories.censored.total();
+                shares(self.categories.distribution(0), total)
+            },
+            users: self.users.user_count() as u64,
+            censored_user_share: self.users.censored_user_fraction(),
+            sg48_censored_share: self.proxies.censored_share(filterscope_core::ProxyId::Sg48),
+            redirect_hosts: self.redirects.distinct_hosts(),
+            recovered_keywords: self.inference.recover_keywords(self.min_support, 3),
+            recovered_domains: self
+                .inference
+                .recover_domains(self.min_support)
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect(),
+            country_censorship_ratios: self
+                .ip
+                .censorship_ratios()
+                .into_iter()
+                .map(|(country, ratio, censored, _)| Share {
+                    name: country.display_name(),
+                    count: censored,
+                    share: ratio / 100.0,
+                })
+                .collect(),
+            https_share: self.https.https_share(),
+            https_censored_share: self.https.censored_share(),
+            mitm_evidence: self.https.mitm_evidence,
+            tor_requests: self.tor.total,
+            tor_http_share: if self.tor.total == 0 {
+                0.0
+            } else {
+                self.tor.http_signaling as f64 / self.tor.total as f64
+            },
+            tor_censored_sg44_share: self.tor.sg44_share_of_censored(),
+            bt_announces: self.bittorrent.announces,
+            bt_peers: self.bittorrent.peers.len(),
+            bt_title_resolution: self.bittorrent.resolution_rate(),
+            anonymizer_hosts: self.anonymizers.host_count(),
+            anonymizer_never_filtered_share: never_filtered_share,
+            anomalies: {
+                let total = self.consistency.total;
+                shares(
+                    self.consistency
+                        .anomalies
+                        .sorted()
+                        .into_iter()
+                        .map(|(a, n)| (a.label().to_string(), n))
+                        .collect(),
+                    total,
+                )
+            },
+        }
+    }
+}
+
+impl Summary {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("summary serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AnalysisContext;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::RequestUrl;
+
+    #[test]
+    fn summary_captures_headlines_and_serializes() {
+        let ctx = AnalysisContext::standard(None);
+        let mut suite = AnalysisSuite::new(1);
+        for i in 0..100u32 {
+            let b = RecordBuilder::new(
+                Timestamp::parse_fields("2011-08-03", "09:00:00").unwrap(),
+                ProxyId::from_index((i % 7) as usize).unwrap(),
+                RequestUrl::http(format!("h{}.example", i % 9), "/"),
+            );
+            let r = if i % 25 == 0 {
+                b.policy_denied().build()
+            } else {
+                b.build()
+            };
+            suite.ingest(&ctx, &r);
+        }
+        let s = suite.summary();
+        assert_eq!(s.total_requests, 100);
+        assert!((s.censored_share - 0.04).abs() < 1e-9);
+        assert!((s.allowed_share - 0.96).abs() < 1e-9);
+        assert_eq!(s.top_censored_domains.len().min(10), s.top_censored_domains.len());
+        let json = s.to_json();
+        assert!(json.contains("\"censored_share\""));
+        assert!(json.contains("\"recovered_keywords\""));
+        // Round-trip through serde_json's Value to confirm well-formedness.
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["total_requests"], 100);
+    }
+
+    #[test]
+    fn empty_suite_summary_is_safe() {
+        let suite = AnalysisSuite::new(1);
+        let s = suite.summary();
+        assert_eq!(s.total_requests, 0);
+        assert_eq!(s.censored_share, 0.0);
+        assert!(!s.to_json().is_empty());
+    }
+}

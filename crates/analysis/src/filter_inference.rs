@@ -1,0 +1,527 @@
+//! §5.4: recovering the censorship policy from the logs — keywords
+//! (Table 10), URL/domain rules (Table 8) and their categories (Table 9).
+//!
+//! The paper's procedure is iterative and partly manual: identify a string
+//! frequent in the censored set, verify it never occurs in the allowed set,
+//! remove the requests it explains, repeat. This module automates the
+//! candidate-generation step the authors did by hand:
+//!
+//! 1. **Keywords** — candidate tokens are maximal alphabetic runs of the
+//!    censored `host+path+query` strings; a token is accepted when it (a)
+//!    has enough censored support, (b) never appears in allowed traffic
+//!    (PROXIED rows are considered separately, exactly as §5.4 does), and
+//!    (c) spans several distinct base domains (a true *keyword* rule causes
+//!    cross-domain collateral; a token confined to one domain is just that
+//!    domain's censorship). Candidates containing an accepted shorter
+//!    candidate are dropped (the minimal string explains them).
+//! 2. **Domains** — after removing keyword-explained requests, a domain is
+//!    *suspected* of URL-based filtering when it has enough censored
+//!    support, zero allowed requests, and at least one censored request
+//!    that is non-ambiguous ("bare": path `/`, empty query) — the paper's
+//!    conservative-evidence rule. Suspected domains sharing the `.il` ccTLD
+//!    collapse into a single `.il` entry, as in Table 8.
+
+use crate::context::AnalysisContext;
+use crate::report::{count_pct, Table};
+use filterscope_categorizer::Category;
+use filterscope_logformat::url::base_domain_of;
+use filterscope_logformat::{LogRecord, PolicyClass, RequestClass};
+use filterscope_match::aho_corasick::AhoCorasickBuilder;
+use filterscope_match::AhoCorasick;
+use filterscope_stats::CountMap;
+use std::collections::{HashMap, HashSet};
+
+/// Per-domain evidence.
+#[derive(Debug, Clone, Default)]
+pub struct DomainEvidence {
+    pub censored: u64,
+    pub allowed: u64,
+    pub proxied: u64,
+    /// Censored *and* bare (non-ambiguous) requests.
+    pub censored_bare: u64,
+    /// Censored requests NOT explained by a known keyword.
+    pub censored_unkeyworded: u64,
+}
+
+/// Per-token evidence for keyword recovery.
+#[derive(Debug, Clone, Default)]
+struct TokenEvidence {
+    censored: u64,
+    allowed: u64,
+    proxied: u64,
+    domains: HashSet<String>,
+}
+
+/// The §5.4 inference engine.
+pub struct FilterInference {
+    /// Matcher over the candidate keyword list the operator supplies (the
+    /// paper's "manually identified" strings). Used for Table 10 counts and
+    /// for keyword-explained request removal.
+    known: AhoCorasick,
+    known_strings: Vec<String>,
+    tokens: HashMap<String, TokenEvidence>,
+    domains: HashMap<String, DomainEvidence>,
+    /// Per-known-keyword (censored, allowed, proxied) counts.
+    pub keyword_counts: Vec<(u64, u64, u64)>,
+}
+
+/// Minimum and maximum token length considered.
+const TOKEN_LEN: std::ops::RangeInclusive<usize> = 4..=15;
+
+fn tokens_of(view: &str) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let lower = view.to_ascii_lowercase();
+    for run in lower.split(|c: char| !c.is_ascii_alphabetic()) {
+        if TOKEN_LEN.contains(&run.len()) {
+            out.insert(run.to_string());
+        }
+    }
+    out
+}
+
+impl FilterInference {
+    /// Start an inference with the given candidate keyword list (commonly
+    /// [`filterscope_proxy::config::KEYWORDS`]).
+    pub fn new(candidates: &[&str]) -> Self {
+        FilterInference {
+            known: AhoCorasickBuilder::new()
+                .ascii_case_insensitive(true)
+                .build(candidates),
+            known_strings: candidates.iter().map(|s| s.to_string()).collect(),
+            tokens: HashMap::new(),
+            domains: HashMap::new(),
+            keyword_counts: vec![(0, 0, 0); candidates.len()],
+        }
+    }
+
+    /// Ingest one record.
+    pub fn ingest(&mut self, record: &LogRecord) {
+        let view = record.url.filter_view();
+        let class = RequestClass::of(record);
+        // §5.4 treats PROXIED separately from OBSERVED: a PROXIED row is not
+        // evidence of "allowed".
+        let policy = PolicyClass::of(record);
+        let domain = base_domain_of(&record.url.host);
+
+        // Known-keyword counting (Table 10 columns).
+        let hits = self.known.matching_patterns(view.as_bytes());
+        for k in &hits {
+            let c = &mut self.keyword_counts[*k];
+            match class {
+                RequestClass::Proxied => c.2 += 1,
+                _ => match policy {
+                    PolicyClass::Censored => c.0 += 1,
+                    PolicyClass::Allowed => c.1 += 1,
+                    PolicyClass::Error => {}
+                },
+            }
+        }
+
+        // Domain evidence.
+        let d = self.domains.entry(domain.clone()).or_default();
+        match class {
+            RequestClass::Proxied => d.proxied += 1,
+            RequestClass::Censored => {
+                d.censored += 1;
+                if record.url.is_bare() {
+                    d.censored_bare += 1;
+                }
+                if hits.is_empty() {
+                    d.censored_unkeyworded += 1;
+                }
+            }
+            RequestClass::Allowed => d.allowed += 1,
+            RequestClass::Error => {}
+        }
+
+        // Token evidence. Allowed-token tracking stores only tokens already
+        // seen censored (bounded memory on huge allowed traffic) plus a
+        // kill-set of allowed tokens.
+        match class {
+            RequestClass::Censored => {
+                for t in tokens_of(&view) {
+                    let e = self.tokens.entry(t).or_default();
+                    e.censored += 1;
+                    e.domains.insert(domain.clone());
+                }
+            }
+            RequestClass::Allowed => {
+                for t in tokens_of(&view) {
+                    // Track allowed occurrences for every token; memory is
+                    // bounded by distinct alphabetic tokens in the corpus.
+                    self.tokens.entry(t).or_default().allowed += 1;
+                }
+            }
+            RequestClass::Proxied => {
+                for t in tokens_of(&view) {
+                    self.tokens.entry(t).or_default().proxied += 1;
+                }
+            }
+            RequestClass::Error => {}
+        }
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: FilterInference) {
+        for (mine, theirs) in self.keyword_counts.iter_mut().zip(other.keyword_counts) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
+            mine.2 += theirs.2;
+        }
+        for (k, v) in other.domains {
+            let d = self.domains.entry(k).or_default();
+            d.censored += v.censored;
+            d.allowed += v.allowed;
+            d.proxied += v.proxied;
+            d.censored_bare += v.censored_bare;
+            d.censored_unkeyworded += v.censored_unkeyworded;
+        }
+        for (k, v) in other.tokens {
+            let e = self.tokens.entry(k).or_default();
+            e.censored += v.censored;
+            e.allowed += v.allowed;
+            e.proxied += v.proxied;
+            e.domains.extend(v.domains);
+        }
+    }
+
+    /// Recover the keyword blacklist: tokens with `min_support` censored
+    /// occurrences, zero allowed occurrences, spanning ≥ `min_domains` base
+    /// domains; superstrings of accepted candidates are dropped.
+    pub fn recover_keywords(&self, min_support: u64, min_domains: usize) -> Vec<String> {
+        let mut cands: Vec<(&String, u64)> = self
+            .tokens
+            .iter()
+            .filter(|(_, e)| {
+                e.censored >= min_support && e.allowed == 0 && e.domains.len() >= min_domains
+            })
+            .map(|(t, e)| (t, e.censored))
+            .collect();
+        // Shortest first so minimal strings win the substring filter; break
+        // ties by support then lexicographically for determinism.
+        cands.sort_by(|a, b| {
+            a.0.len()
+                .cmp(&b.0.len())
+                .then(b.1.cmp(&a.1))
+                .then(a.0.cmp(b.0))
+        });
+        let mut accepted: Vec<String> = Vec::new();
+        for (t, _) in cands {
+            if !accepted.iter().any(|a| t.contains(a.as_str())) {
+                accepted.push(t.clone());
+            }
+        }
+        // Order by censored support, Table 10 style.
+        accepted.sort_by_key(|t| std::cmp::Reverse(self.tokens[t].censored));
+        accepted
+    }
+
+    /// Recover the suspected URL-filtered domain list (Table 8 input).
+    pub fn recover_domains(&self, min_support: u64) -> Vec<(String, DomainEvidence)> {
+        let mut out: Vec<(String, DomainEvidence)> = self
+            .domains
+            .iter()
+            .filter(|(_, e)| {
+                e.censored >= min_support
+                    && e.allowed == 0
+                    && e.censored_bare > 0
+                    && e.censored_unkeyworded > 0
+            })
+            .map(|(d, e)| (d.clone(), e.clone()))
+            .collect();
+        // Collapse .il domains into a single entry when several exist.
+        let il: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, (d, _))| d.ends_with(".il"))
+            .map(|(i, _)| i)
+            .collect();
+        if il.len() >= 2 {
+            let mut merged = DomainEvidence::default();
+            for i in &il {
+                let e = &out[*i].1;
+                merged.censored += e.censored;
+                merged.allowed += e.allowed;
+                merged.proxied += e.proxied;
+                merged.censored_bare += e.censored_bare;
+                merged.censored_unkeyworded += e.censored_unkeyworded;
+            }
+            for i in il.iter().rev() {
+                out.remove(*i);
+            }
+            out.push((".il".to_string(), merged));
+        }
+        out.sort_by(|a, b| b.1.censored.cmp(&a.1.censored).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Export the recovered policy as [`filterscope_proxy::PolicyData`]:
+    /// the recovered keyword blacklist plus the suspected-domain list
+    /// (subnet and custom-category rules are not recoverable from domain
+    /// evidence alone — see [`crate::ip_censorship`] and
+    /// [`crate::social`] for those signals).
+    pub fn export_policy(
+        &self,
+        min_support: u64,
+        min_domains: usize,
+    ) -> filterscope_proxy::PolicyData {
+        let mut policy = filterscope_proxy::PolicyData::empty();
+        policy.keywords = self.recover_keywords(min_support, min_domains);
+        policy.blocked_domains = self
+            .recover_domains(min_support)
+            .into_iter()
+            .map(|(d, _)| d.trim_start_matches('.').to_string())
+            .collect();
+        policy
+    }
+
+    /// Total censored requests seen (denominator for Table 8/10 percents).
+    pub fn total_censored(&self) -> u64 {
+        self.domains.values().map(|e| e.censored).sum()
+    }
+
+    /// Render Table 8 (top suspected domains).
+    pub fn render_table8(&self, min_support: u64) -> String {
+        let mut t = Table::new(
+            "Table 8: Top domains suspected of URL-based filtering",
+            &["Domain", "Censored", "Allowed", "Proxied"],
+        );
+        let total = self.total_censored();
+        for (d, e) in self.recover_domains(min_support).into_iter().take(10) {
+            t.row([
+                d,
+                count_pct(e.censored, total),
+                e.allowed.to_string(),
+                e.proxied.to_string(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Table 9: categorize the suspected domains.
+    pub fn categorize_suspected(
+        &self,
+        ctx: &AnalysisContext,
+        min_support: u64,
+    ) -> Vec<(Category, usize, u64)> {
+        let mut per_cat: CountMap<Category> = CountMap::new();
+        let mut domains_per_cat: CountMap<Category> = CountMap::new();
+        for (d, e) in self.recover_domains(min_support) {
+            // `.il` is geographic, not topical: categorize a representative
+            // host for it, which lands in Unknown unless registered.
+            let cat = ctx.categories.categorize(d.trim_start_matches('.'));
+            per_cat.add(cat, e.censored);
+            domains_per_cat.bump(cat);
+        }
+        let mut out: Vec<(Category, usize, u64)> = per_cat
+            .iter()
+            .map(|(c, n)| (*c, domains_per_cat.get(c) as usize, n))
+            .collect();
+        out.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Render Table 9.
+    pub fn render_table9(&self, ctx: &AnalysisContext, min_support: u64) -> String {
+        let mut t = Table::new(
+            "Table 9: Top domain categories censored by URL",
+            &["Category (#domains)", "Censored requests"],
+        );
+        let total = self.total_censored();
+        for (cat, nd, n) in self.categorize_suspected(ctx, min_support).into_iter().take(10) {
+            t.row([format!("{} ({nd})", cat.name()), count_pct(n, total)]);
+        }
+        t.render()
+    }
+
+    /// Render Table 10 (the known keyword list with per-class counts).
+    pub fn render_table10(&self) -> String {
+        let mut t = Table::new(
+            "Table 10: Censored keywords",
+            &["Keyword", "Censored", "Allowed", "Proxied"],
+        );
+        let total = self.total_censored();
+        let mut rows: Vec<(usize, &String)> = self.known_strings.iter().enumerate().collect();
+        rows.sort_by_key(|(i, _)| std::cmp::Reverse(self.keyword_counts[*i].0));
+        for (i, kw) in rows {
+            let (c, a, p) = self.keyword_counts[i];
+            t.row([
+                kw.clone(),
+                count_pct(c, total),
+                a.to_string(),
+                p.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::RequestUrl;
+
+    fn rec(host: &str, path: &str, query: &str, censored: bool) -> LogRecord {
+        let b = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http(host, path).with_query(query),
+        );
+        if censored {
+            b.policy_denied().build()
+        } else {
+            b.build()
+        }
+    }
+
+    fn engine() -> FilterInference {
+        FilterInference::new(&filterscope_proxy::config::KEYWORDS)
+    }
+
+    #[test]
+    fn recovers_cross_domain_keyword() {
+        let mut f = engine();
+        // "proxy" appears censored on three distinct domains...
+        for i in 0..30 {
+            f.ingest(&rec("a.com", &format!("/x/proxy/{i}"), "", true));
+            f.ingest(&rec("b.com", "/api/proxy", "", true));
+            f.ingest(&rec("c.net", "/", "go=proxy", true));
+            // ...while "api" also appears in allowed traffic.
+            f.ingest(&rec("d.com", "/api/ok", "", false));
+            // a.com also has allowed traffic, so it's not a domain rule.
+            f.ingest(&rec("a.com", "/fine", "", false));
+        }
+        let kws = f.recover_keywords(10, 3);
+        assert_eq!(kws, vec!["proxy".to_string()]);
+    }
+
+    #[test]
+    fn single_domain_token_is_not_a_keyword() {
+        let mut f = engine();
+        for i in 0..50 {
+            f.ingest(&rec("metacafe.com", &format!("/watch/{i}"), "", true));
+            f.ingest(&rec("metacafe.com", "/", "", true));
+        }
+        assert!(f.recover_keywords(10, 3).is_empty());
+        // But metacafe.com is recovered as a suspected domain.
+        let doms = f.recover_domains(10);
+        assert_eq!(doms.len(), 1);
+        assert_eq!(doms[0].0, "metacafe.com");
+        assert_eq!(doms[0].1.allowed, 0);
+    }
+
+    #[test]
+    fn superstrings_of_keywords_are_dropped() {
+        let mut f = engine();
+        for i in 0..30 {
+            f.ingest(&rec(&format!("h{}.com", i % 5), "/tbproxy/af", "", true));
+            f.ingest(&rec(&format!("g{}.com", i % 5), "/webproxy/x", "", true));
+            f.ingest(&rec(&format!("k{}.com", i % 5), "/", "p=proxy", true));
+        }
+        let kws = f.recover_keywords(10, 3);
+        assert_eq!(kws, vec!["proxy".to_string()]);
+    }
+
+    #[test]
+    fn allowed_occurrence_kills_candidate() {
+        let mut f = engine();
+        for i in 0..30 {
+            f.ingest(&rec(&format!("h{}.com", i % 5), "/special/thing", "", true));
+        }
+        // One allowed occurrence anywhere kills it.
+        f.ingest(&rec("ok.com", "/special/page", "", false));
+        assert!(!f
+            .recover_keywords(10, 3)
+            .contains(&"special".to_string()));
+        assert!(f.recover_keywords(10, 3).contains(&"thing".to_string()));
+    }
+
+    #[test]
+    fn domain_needs_bare_evidence_and_no_allowed() {
+        let mut f = engine();
+        // Censored but never bare: ambiguous, not suspected.
+        for i in 0..20 {
+            f.ingest(&rec("amb.com", &format!("/deep/{i}"), "q=1", true));
+        }
+        // Censored with bare evidence: suspected.
+        for _ in 0..20 {
+            f.ingest(&rec("clear.com", "/", "", true));
+        }
+        // Censored and bare but also allowed: not suspected.
+        for _ in 0..20 {
+            f.ingest(&rec("mixed.com", "/", "", true));
+        }
+        f.ingest(&rec("mixed.com", "/other", "", false));
+        let doms: Vec<String> = f.recover_domains(10).into_iter().map(|(d, _)| d).collect();
+        assert_eq!(doms, vec!["clear.com".to_string()]);
+    }
+
+    #[test]
+    fn keyword_explained_domains_are_excluded() {
+        let mut f = engine();
+        // kproxy.com: every censored request contains the keyword `proxy`
+        // (in the hostname), so domain-rule inference must skip it.
+        for _ in 0..20 {
+            f.ingest(&rec("kproxy.com", "/", "", true));
+        }
+        assert!(f.recover_domains(10).is_empty());
+    }
+
+    #[test]
+    fn il_domains_collapse() {
+        let mut f = engine();
+        for _ in 0..20 {
+            f.ingest(&rec("panet.co.il", "/", "", true));
+            f.ingest(&rec("haaretz.co.il", "/", "", true));
+            f.ingest(&rec("ynet.co.il", "/", "", true));
+        }
+        let doms = f.recover_domains(10);
+        assert_eq!(doms.len(), 1);
+        assert_eq!(doms[0].0, ".il");
+        assert_eq!(doms[0].1.censored, 60);
+    }
+
+    #[test]
+    fn table10_counts_known_keywords_per_class() {
+        let mut f = engine();
+        f.ingest(&rec("x.com", "/get/ultrasurf.exe", "", true));
+        f.ingest(&rec("y.com", "/w", "q=israel", true));
+        // Proxied row with a keyword.
+        let prox = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http("z.com", "/p").with_query("v=proxy"),
+        )
+        .proxied()
+        .build();
+        f.ingest(&prox);
+        let ix = |k: &str| {
+            filterscope_proxy::config::KEYWORDS
+                .iter()
+                .position(|s| *s == k)
+                .unwrap()
+        };
+        assert_eq!(f.keyword_counts[ix("ultrasurf")].0, 1);
+        assert_eq!(f.keyword_counts[ix("israel")].0, 1);
+        assert_eq!(f.keyword_counts[ix("proxy")].2, 1);
+        let s = f.render_table10();
+        assert!(s.contains("ultrasurf"));
+    }
+
+    #[test]
+    fn table9_uses_categories() {
+        let ctx = AnalysisContext::standard(None);
+        let mut f = engine();
+        for _ in 0..20 {
+            f.ingest(&rec("skype.com", "/", "", true));
+            f.ingest(&rec("metacafe.com", "/", "", true));
+        }
+        let cats = f.categorize_suspected(&ctx, 10);
+        assert!(cats
+            .iter()
+            .any(|(c, nd, n)| *c == Category::InstantMessaging && *nd == 1 && *n == 20));
+        assert!(cats.iter().any(|(c, _, _)| *c == Category::StreamingMedia));
+    }
+}

@@ -1,0 +1,203 @@
+//! §4 "HTTPS traffic": volume, censorship breakdown, and the MITM check.
+//!
+//! The paper finds HTTPS is ~0.08 % of traffic with only 0.82 % of it
+//! censored; 82 % of the censored HTTPS has a literal IP destination
+//! (Israeli space / anonymizer hosting) and the rest a hostname (possible
+//! because CONNECT exposes it, e.g. skype.com). It also checks for
+//! interception: had the proxies man-in-the-middled TLS, decrypted request
+//! fields (`cs-uri-path`, `cs-uri-query`, `cs-uri-ext`) would appear in SSL
+//! records — they do not.
+
+use crate::report::Table;
+use filterscope_logformat::{LogRecord, RequestClass};
+
+/// §4 HTTPS accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HttpsStats {
+    /// All records (for the HTTPS share).
+    pub total_requests: u64,
+    pub https_requests: u64,
+    pub https_censored: u64,
+    /// Censored HTTPS with a literal-IP destination.
+    pub censored_ip_host: u64,
+    /// SSL records carrying a decrypted-looking path or query — evidence of
+    /// TLS interception (the paper found none).
+    pub mitm_evidence: u64,
+}
+
+impl HttpsStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one record.
+    pub fn ingest(&mut self, record: &LogRecord) {
+        self.total_requests += 1;
+        if !record.scheme().is_encrypted() {
+            return;
+        }
+        self.https_requests += 1;
+        // A transparent (non-intercepting) proxy can only see the tunnel
+        // endpoint: any inner path/query/extension in an SSL record would
+        // mean the TLS was broken open.
+        let trivial_path = record.url.path.is_empty() || record.url.path == "/" || record.url.path == "-";
+        if !trivial_path || !record.url.query.is_empty() || !record.uri_ext.is_empty() {
+            self.mitm_evidence += 1;
+        }
+        if RequestClass::of(record) == RequestClass::Censored {
+            self.https_censored += 1;
+            if record.url.host_is_ip() {
+                self.censored_ip_host += 1;
+            }
+        }
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: &HttpsStats) {
+        self.total_requests += other.total_requests;
+        self.https_requests += other.https_requests;
+        self.https_censored += other.https_censored;
+        self.censored_ip_host += other.censored_ip_host;
+        self.mitm_evidence += other.mitm_evidence;
+    }
+
+    /// HTTPS share of all traffic (paper: 0.08 %).
+    pub fn https_share(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 0.0;
+        }
+        self.https_requests as f64 / self.total_requests as f64
+    }
+
+    /// Censored share of HTTPS (paper: 0.82 %).
+    pub fn censored_share(&self) -> f64 {
+        if self.https_requests == 0 {
+            return 0.0;
+        }
+        self.https_censored as f64 / self.https_requests as f64
+    }
+
+    /// IP-destination share of censored HTTPS (paper: 82 %).
+    pub fn ip_share_of_censored(&self) -> f64 {
+        if self.https_censored == 0 {
+            return 0.0;
+        }
+        self.censored_ip_host as f64 / self.https_censored as f64
+    }
+
+    /// Render the §4 HTTPS summary.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("§4 HTTPS traffic", &["Metric", "Value"]);
+        t.row(["HTTPS requests".to_string(), self.https_requests.to_string()]);
+        t.row([
+            "HTTPS share of traffic".to_string(),
+            format!("{:.3}%", self.https_share() * 100.0),
+        ]);
+        t.row([
+            "Censored HTTPS".to_string(),
+            format!(
+                "{} ({:.2}% of HTTPS)",
+                self.https_censored,
+                self.censored_share() * 100.0
+            ),
+        ]);
+        t.row([
+            "IP-destination share of censored".to_string(),
+            format!("{:.0}%", self.ip_share_of_censored() * 100.0),
+        ]);
+        t.row([
+            "MITM evidence (decrypted fields in SSL records)".to_string(),
+            self.mitm_evidence.to_string(),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::{Method, RequestUrl};
+
+    fn connect(host: &str, censored: bool) -> LogRecord {
+        let url = RequestUrl {
+            scheme: "ssl".into(),
+            host: host.into(),
+            port: 443,
+            path: "-".into(),
+            query: String::new(),
+        };
+        let b = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            url,
+        )
+        .method(Method::Connect);
+        if censored {
+            b.policy_denied().build()
+        } else {
+            b.build()
+        }
+    }
+
+    fn http(host: &str) -> LogRecord {
+        RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http(host, "/page"),
+        )
+        .build()
+    }
+
+    #[test]
+    fn shares_and_breakdown() {
+        let mut s = HttpsStats::new();
+        for _ in 0..96 {
+            s.ingest(&http("plain.example"));
+        }
+        s.ingest(&connect("mail.example", false));
+        s.ingest(&connect("84.229.1.1", true));
+        s.ingest(&connect("ssl.skype.com", true));
+        s.ingest(&connect("46.120.0.9", true));
+        assert_eq!(s.https_requests, 4);
+        assert!((s.https_share() - 0.04).abs() < 1e-9);
+        assert!((s.censored_share() - 0.75).abs() < 1e-9);
+        assert!((s.ip_share_of_censored() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.mitm_evidence, 0);
+    }
+
+    #[test]
+    fn decrypted_fields_flag_mitm() {
+        let mut s = HttpsStats::new();
+        let mut rec = connect("bank.example", false);
+        rec.url.path = "/account/transfer".into();
+        s.ingest(&rec);
+        assert_eq!(s.mitm_evidence, 1);
+        // Query alone also counts.
+        let mut rec = connect("bank.example", false);
+        rec.url.query = "session=abc".into();
+        s.ingest(&rec);
+        assert_eq!(s.mitm_evidence, 2);
+    }
+
+    #[test]
+    fn plain_http_is_not_https() {
+        let mut s = HttpsStats::new();
+        s.ingest(&http("x.com"));
+        assert_eq!(s.https_requests, 0);
+        assert_eq!(s.total_requests, 1);
+    }
+
+    #[test]
+    fn merge_and_render() {
+        let mut a = HttpsStats::new();
+        a.ingest(&connect("h.example", false));
+        let mut b = HttpsStats::new();
+        b.ingest(&connect("84.229.1.1", true));
+        a.merge(&b);
+        assert_eq!(a.https_requests, 2);
+        assert!(a.render().contains("MITM"));
+    }
+}

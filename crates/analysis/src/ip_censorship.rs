@@ -1,0 +1,275 @@
+//! §5.4 (IP-based censorship): Table 11 (censorship ratio per destination
+//! country over `DIPv4`) and Table 12 (top censored Israeli subnets).
+
+use crate::context::AnalysisContext;
+use crate::report::Table;
+use filterscope_core::Ipv4Cidr;
+use filterscope_geoip::Country;
+use filterscope_logformat::{LogRecord, RequestClass};
+use std::collections::{HashMap, HashSet};
+
+/// Per-country counts over `DIPv4`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountryCounts {
+    pub censored: u64,
+    pub allowed: u64,
+}
+
+/// Per-subnet counts for the Israeli drill-down.
+#[derive(Debug, Clone, Default)]
+pub struct SubnetCounts {
+    pub censored: u64,
+    pub allowed: u64,
+    pub proxied: u64,
+    pub censored_ips: HashSet<u32>,
+    pub allowed_ips: HashSet<u32>,
+}
+
+/// Tables 11–12 accumulator.
+#[derive(Debug, Default)]
+pub struct IpCensorship {
+    pub by_country: HashMap<Country, CountryCounts>,
+    /// Unresolved addresses (not in the geo register).
+    pub unresolved: CountryCounts,
+    /// Israeli subnets under observation (Table 12's five).
+    subnets: Vec<Ipv4Cidr>,
+    pub by_subnet: Vec<SubnetCounts>,
+}
+
+impl IpCensorship {
+    /// Track the standard Table 12 subnet list.
+    pub fn standard() -> Self {
+        let subnets: Vec<Ipv4Cidr> = filterscope_geoip::data::ISRAELI_SUBNETS
+            .iter()
+            .map(|s| Ipv4Cidr::parse(s).expect("static subnet"))
+            .collect();
+        IpCensorship {
+            by_subnet: vec![SubnetCounts::default(); subnets.len()],
+            subnets,
+            ..Default::default()
+        }
+    }
+
+    /// Ingest one record (ignores records whose host is not a literal IP).
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
+        let Some(ip) = record.url.host_ip() else {
+            return;
+        };
+        let class = RequestClass::of(record);
+        let country = ctx.geo.lookup(ip);
+        let counts = match country {
+            Some(c) => self.by_country.entry(c).or_default(),
+            None => &mut self.unresolved,
+        };
+        match class {
+            RequestClass::Censored => counts.censored += 1,
+            RequestClass::Allowed => counts.allowed += 1,
+            _ => {}
+        }
+        for (block, sc) in self.subnets.iter().zip(self.by_subnet.iter_mut()) {
+            if block.contains(ip) {
+                match class {
+                    RequestClass::Censored => {
+                        sc.censored += 1;
+                        sc.censored_ips.insert(u32::from(ip));
+                    }
+                    RequestClass::Allowed => {
+                        sc.allowed += 1;
+                        sc.allowed_ips.insert(u32::from(ip));
+                    }
+                    RequestClass::Proxied => sc.proxied += 1,
+                    RequestClass::Error => {}
+                }
+            }
+        }
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: IpCensorship) {
+        for (c, v) in other.by_country {
+            let e = self.by_country.entry(c).or_default();
+            e.censored += v.censored;
+            e.allowed += v.allowed;
+        }
+        self.unresolved.censored += other.unresolved.censored;
+        self.unresolved.allowed += other.unresolved.allowed;
+        for (mine, theirs) in self.by_subnet.iter_mut().zip(other.by_subnet) {
+            mine.censored += theirs.censored;
+            mine.allowed += theirs.allowed;
+            mine.proxied += theirs.proxied;
+            mine.censored_ips.extend(theirs.censored_ips);
+            mine.allowed_ips.extend(theirs.allowed_ips);
+        }
+    }
+
+    /// Censorship ratios per country, descending (Table 11).
+    pub fn censorship_ratios(&self) -> Vec<(Country, f64, u64, u64)> {
+        let mut out: Vec<(Country, f64, u64, u64)> = self
+            .by_country
+            .iter()
+            .filter(|(_, c)| c.censored + c.allowed > 0)
+            .map(|(country, c)| {
+                let total = c.censored + c.allowed;
+                (
+                    *country,
+                    c.censored as f64 / total as f64 * 100.0,
+                    c.censored,
+                    c.allowed,
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Render Table 11.
+    pub fn render_table11(&self) -> String {
+        let mut t = Table::new(
+            "Table 11: Censorship ratio per destination country (DIPv4)",
+            &["Country", "Ratio (%)", "# Censored", "# Allowed"],
+        );
+        for (country, ratio, c, a) in self.censorship_ratios().into_iter().take(10) {
+            t.row([
+                country.display_name(),
+                format!("{ratio:.2}"),
+                c.to_string(),
+                a.to_string(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Render Table 12.
+    pub fn render_table12(&self) -> String {
+        let mut t = Table::new(
+            "Table 12: Israeli subnets — censored vs allowed",
+            &[
+                "Subnet",
+                "Censored req",
+                "Censored IPs",
+                "Allowed req",
+                "Allowed IPs",
+                "Proxied",
+            ],
+        );
+        let mut rows: Vec<(String, &SubnetCounts)> = self
+            .subnets
+            .iter()
+            .zip(self.by_subnet.iter())
+            .map(|(b, c)| (b.to_string(), c))
+            .collect();
+        rows.sort_by_key(|(_, c)| std::cmp::Reverse(c.censored));
+        for (subnet, c) in rows {
+            t.row([
+                subnet,
+                c.censored.to_string(),
+                c.censored_ips.len().to_string(),
+                c.allowed.to_string(),
+                c.allowed_ips.len().to_string(),
+                c.proxied.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::RequestUrl;
+
+    fn rec(host: &str, censored: bool) -> LogRecord {
+        let b = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http(host, "/"),
+        );
+        if censored {
+            b.policy_denied().build()
+        } else {
+            b.build()
+        }
+    }
+
+    #[test]
+    fn israel_ranks_by_ratio_not_volume() {
+        let ctx = AnalysisContext::standard(None);
+        let mut s = IpCensorship::standard();
+        // Israel: 2 censored, 1 allowed (67%).
+        s.ingest(&ctx, &rec("84.229.0.5", true));
+        s.ingest(&ctx, &rec("84.229.0.6", true));
+        s.ingest(&ctx, &rec("80.179.0.7", false));
+        // NL: huge but barely censored.
+        for i in 0..100 {
+            s.ingest(&ctx, &rec(&format!("94.228.128.{}", i % 250), false));
+        }
+        s.ingest(&ctx, &rec("94.228.129.9", true));
+        let ratios = s.censorship_ratios();
+        assert_eq!(ratios[0].0, Country::of("IL"));
+        assert!(ratios[0].1 > 60.0);
+        let nl = ratios.iter().find(|(c, ..)| *c == Country::of("NL")).unwrap();
+        assert!(nl.1 < 2.0);
+    }
+
+    #[test]
+    fn hostnames_are_ignored() {
+        let ctx = AnalysisContext::standard(None);
+        let mut s = IpCensorship::standard();
+        s.ingest(&ctx, &rec("facebook.com", true));
+        assert!(s.by_country.is_empty());
+    }
+
+    #[test]
+    fn subnet_drilldown_counts_ips_and_requests() {
+        let ctx = AnalysisContext::standard(None);
+        let mut s = IpCensorship::standard();
+        s.ingest(&ctx, &rec("84.229.1.1", true));
+        s.ingest(&ctx, &rec("84.229.1.1", true));
+        s.ingest(&ctx, &rec("84.229.1.2", true));
+        s.ingest(&ctx, &rec("212.150.3.3", false));
+        let ix = filterscope_geoip::data::ISRAELI_SUBNETS
+            .iter()
+            .position(|b| *b == "84.229.0.0/16")
+            .unwrap();
+        assert_eq!(s.by_subnet[ix].censored, 3);
+        assert_eq!(s.by_subnet[ix].censored_ips.len(), 2);
+        let ix2 = filterscope_geoip::data::ISRAELI_SUBNETS
+            .iter()
+            .position(|b| *b == "212.150.0.0/16")
+            .unwrap();
+        assert_eq!(s.by_subnet[ix2].allowed, 1);
+        let rendered = s.render_table12();
+        assert!(rendered.contains("84.229.0.0/16"));
+    }
+
+    #[test]
+    fn unresolved_space_is_tracked_separately() {
+        let ctx = AnalysisContext::standard(None);
+        let mut s = IpCensorship::standard();
+        s.ingest(&ctx, &rec("192.168.1.1", true));
+        assert_eq!(s.unresolved.censored, 1);
+        assert!(s.by_country.is_empty());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let ctx = AnalysisContext::standard(None);
+        let mut a = IpCensorship::standard();
+        a.ingest(&ctx, &rec("84.229.1.1", true));
+        let mut b = IpCensorship::standard();
+        b.ingest(&ctx, &rec("84.229.1.1", false));
+        a.merge(b);
+        let il = a.by_country[&Country::of("IL")];
+        assert_eq!((il.censored, il.allowed), (1, 1));
+    }
+
+    #[test]
+    fn render_table11_contains_israel() {
+        let ctx = AnalysisContext::standard(None);
+        let mut s = IpCensorship::standard();
+        s.ingest(&ctx, &rec("46.120.0.1", true));
+        assert!(s.render_table11().contains("Israel"));
+    }
+}

@@ -1,0 +1,240 @@
+//! §5.2: comparing the seven proxies — Fig. 7 (load shares over time) and
+//! Table 6 (cosine similarity of censored-domain vectors).
+
+use crate::report::Table;
+use filterscope_core::{Date, ProxyId, Timestamp, TimeOfDay};
+use filterscope_logformat::url::base_domain_of;
+use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_stats::similarity::similarity_matrix;
+use filterscope_stats::TimeSeries;
+use std::collections::HashMap;
+
+/// Per-proxy traffic and censored-domain accumulators.
+#[derive(Debug)]
+pub struct ProxyStats {
+    /// Per-proxy all-traffic series over the Fig. 7 window (Aug 3–4, hourly).
+    pub load: Vec<TimeSeries>,
+    /// Per-proxy censored-traffic series over the same window.
+    pub censored_load: Vec<TimeSeries>,
+    /// Per-proxy censored-domain count vectors on the Table 6 day (Aug 3).
+    pub censored_domains: Vec<HashMap<String, u64>>,
+    /// Per-proxy `cs-categories` label counts (the "none"/"unavailable"
+    /// split of §5.2).
+    pub category_labels: Vec<HashMap<String, u64>>,
+    similarity_day: Date,
+}
+
+impl ProxyStats {
+    /// Standard windows: Fig. 7 over Aug 3–4, Table 6 on Aug 3.
+    pub fn standard() -> Self {
+        let start = Timestamp::new(Date::new(2011, 8, 3).expect("static"), TimeOfDay::MIDNIGHT);
+        let end = Timestamp::new(Date::new(2011, 8, 5).expect("static"), TimeOfDay::MIDNIGHT);
+        ProxyStats {
+            load: (0..7).map(|_| TimeSeries::spanning(start, end, 3600)).collect(),
+            censored_load: (0..7)
+                .map(|_| TimeSeries::spanning(start, end, 3600))
+                .collect(),
+            censored_domains: vec![HashMap::new(); 7],
+            category_labels: vec![HashMap::new(); 7],
+            similarity_day: Date::new(2011, 8, 3).expect("static"),
+        }
+    }
+
+    /// Ingest one record.
+    pub fn ingest(&mut self, record: &LogRecord) {
+        let Some(proxy) = record.proxy() else { return };
+        let i = proxy.index();
+        *self.category_labels[i]
+            .entry(record.categories.clone())
+            .or_insert(0) += 1;
+        self.load[i].record(record.timestamp);
+        if RequestClass::of(record) == RequestClass::Censored {
+            self.censored_load[i].record(record.timestamp);
+            if record.timestamp.date() == self.similarity_day {
+                *self.censored_domains[i]
+                    .entry(base_domain_of(&record.url.host))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: ProxyStats) {
+        for i in 0..7 {
+            self.load[i].merge(&other.load[i]);
+            self.censored_load[i].merge(&other.censored_load[i]);
+            for (k, v) in &other.censored_domains[i] {
+                *self.censored_domains[i].entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, v) in &other.category_labels[i] {
+                *self.category_labels[i].entry(k.clone()).or_insert(0) += v;
+            }
+        }
+    }
+
+    /// Table 6: the 7×7 cosine-similarity matrix.
+    pub fn cosine_matrix(&self) -> Vec<Vec<f64>> {
+        similarity_matrix(&self.censored_domains)
+    }
+
+    /// Share of censored traffic handled by `proxy` over the whole window.
+    pub fn censored_share(&self, proxy: ProxyId) -> f64 {
+        let total: u64 = self.censored_load.iter().map(|s| s.total()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.censored_load[proxy.index()].total() as f64 / total as f64
+    }
+
+    /// Share of all traffic handled by `proxy` over the window.
+    pub fn load_share(&self, proxy: ProxyId) -> f64 {
+        let total: u64 = self.load.iter().map(|s| s.total()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.load[proxy.index()].total() as f64 / total as f64
+    }
+
+    /// Render Table 6.
+    pub fn render_table6(&self) -> String {
+        let m = self.cosine_matrix();
+        let headers: Vec<&str> = std::iter::once("")
+            .chain(ProxyId::ALL.iter().map(|p| p.label()))
+            .collect();
+        let mut t = Table::new(
+            "Table 6: Cosine similarity of censored domains across proxies (Aug 3)",
+            &headers,
+        );
+        for (p, m_row) in ProxyId::ALL.iter().zip(&m) {
+            let mut row = vec![p.label().to_string()];
+            for v in m_row {
+                row.push(format!("{v:.4}"));
+            }
+            t.row(row);
+        }
+        t.render()
+    }
+
+    /// Render Fig. 7 as per-proxy load shares (whole window + censored).
+    pub fn render_fig7(&self) -> String {
+        let mut t = Table::new(
+            "Fig 7: Per-proxy share of traffic (Aug 3-4)",
+            &["Proxy", "All traffic", "Censored traffic"],
+        );
+        for p in ProxyId::ALL {
+            t.row([
+                p.label().to_string(),
+                format!("{:.1}%", self.load_share(p) * 100.0),
+                format!("{:.1}%", self.censored_share(p) * 100.0),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Render the category-label split (§5.2's "none" vs "unavailable").
+    pub fn render_category_labels(&self) -> String {
+        let mut labels: Vec<String> = self
+            .category_labels
+            .iter()
+            .flat_map(|m| m.keys().cloned())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        let headers: Vec<&str> = std::iter::once("Proxy")
+            .chain(labels.iter().map(|s| s.as_str()))
+            .collect();
+        let mut t = Table::new("cs-categories label usage per proxy", &headers);
+        for (i, p) in ProxyId::ALL.iter().enumerate() {
+            let mut row = vec![p.label().to_string()];
+            for l in &labels {
+                row.push(
+                    self.category_labels[i]
+                        .get(l)
+                        .copied()
+                        .unwrap_or(0)
+                        .to_string(),
+                );
+            }
+            t.row(row);
+        }
+        t.render()
+    }
+}
+
+impl Default for ProxyStats {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::RequestUrl;
+
+    fn rec(proxy: ProxyId, host: &str, censored: bool, date: &str) -> LogRecord {
+        let b = RecordBuilder::new(
+            Timestamp::parse_fields(date, "10:00:00").unwrap(),
+            proxy,
+            RequestUrl::http(host, "/"),
+        );
+        if censored {
+            b.policy_denied().build()
+        } else {
+            b.build()
+        }
+    }
+
+    #[test]
+    fn similarity_reflects_domain_overlap() {
+        let mut s = ProxyStats::standard();
+        for _ in 0..10 {
+            s.ingest(&rec(ProxyId::Sg42, "skype.com", true, "2011-08-03"));
+            s.ingest(&rec(ProxyId::Sg43, "skype.com", true, "2011-08-03"));
+            s.ingest(&rec(ProxyId::Sg48, "metacafe.com", true, "2011-08-03"));
+        }
+        let m = s.cosine_matrix();
+        assert!(m[0][1] > 0.99, "SG-42/43 should match: {}", m[0][1]);
+        assert!(m[0][6] < 0.01, "SG-42/48 should differ: {}", m[0][6]);
+        assert_eq!(m[0][0], 1.0);
+    }
+
+    #[test]
+    fn similarity_ignores_other_days() {
+        let mut s = ProxyStats::standard();
+        s.ingest(&rec(ProxyId::Sg42, "a.com", true, "2011-08-04"));
+        assert!(s.censored_domains[0].is_empty());
+        // But the load window does include Aug 4.
+        assert_eq!(s.censored_load[0].total(), 1);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut s = ProxyStats::standard();
+        for p in ProxyId::ALL {
+            s.ingest(&rec(p, "x.com", false, "2011-08-03"));
+        }
+        let sum: f64 = ProxyId::ALL.iter().map(|p| s.load_share(*p)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn category_labels_tracked_per_proxy() {
+        let mut s = ProxyStats::standard();
+        s.ingest(&rec(ProxyId::Sg48, "x.com", false, "2011-08-03"));
+        s.ingest(&rec(ProxyId::Sg42, "x.com", false, "2011-08-03"));
+        // RecordBuilder default category is "unavailable".
+        assert_eq!(s.category_labels[6].get("unavailable"), Some(&1));
+        let rendered = s.render_category_labels();
+        assert!(rendered.contains("unavailable"));
+    }
+
+    #[test]
+    fn renders() {
+        let mut s = ProxyStats::standard();
+        s.ingest(&rec(ProxyId::Sg44, "tor-ish.com", true, "2011-08-03"));
+        assert!(s.render_table6().contains("SG-44"));
+        assert!(s.render_fig7().contains("SG-48"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Plain-text table rendering for the reproduction reports.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple monospace table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers (left-aligned first column,
+    /// right-aligned rest, unless overridden by [`Table::aligns`]).
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        let mut aligns = vec![Align::Right; headers.len()];
+        if !aligns.is_empty() {
+            aligns[0] = Align::Left;
+        }
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Override column alignments.
+    pub fn aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Any rows yet?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &self.aligns));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// `12,345,678` style thousands separators.
+pub fn thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// `12.34%` style percent of a total (0 when the total is 0).
+pub fn pct(n: u64, total: u64) -> String {
+    if total == 0 {
+        return "0.00%".into();
+    }
+    format!("{:.2}%", n as f64 / total as f64 * 100.0)
+}
+
+/// Count plus percent-of-total: `1,234 (5.67%)`.
+pub fn count_pct(n: u64, total: u64) -> String {
+    format!("{} ({})", thousands(n), pct(n, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["Domain", "# Requests"]);
+        t.row(["facebook.com", "1,234"]);
+        t.row(["x.com", "9"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        // Right-aligned numbers end at the same column.
+        assert!(lines[3].ends_with("1,234"));
+        assert!(lines[4].ends_with("9"));
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(751_295_830), "751,295,830");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(9325, 10_000), "93.25%");
+        assert_eq!(pct(1, 0), "0.00%");
+        assert_eq!(count_pct(47, 100), "47 (47.00%)");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("Bad", &["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

@@ -1,0 +1,207 @@
+//! The full single-pass analysis suite.
+
+use crate::anonymizers::AnonymizerStats;
+use crate::categories::CategoryStats;
+use crate::consistency::ConsistencyStats;
+use crate::context::AnalysisContext;
+use crate::datasets::DatasetCounts;
+use crate::domains::DomainStats;
+use crate::filter_inference::FilterInference;
+use crate::google_cache::GoogleCacheStats;
+use crate::https::HttpsStats;
+use crate::ip_censorship::IpCensorship;
+use crate::overview::TrafficOverview;
+use crate::p2p::BitTorrentStats;
+use crate::ports::PortStats;
+use crate::proxies::ProxyStats;
+use crate::redirects::RedirectStats;
+use crate::social::SocialStats;
+use crate::temporal::TemporalStats;
+use crate::tor_usage::TorStats;
+use crate::users::UserStats;
+use filterscope_logformat::LogRecord;
+
+/// Every experiment accumulator, fed by one streaming pass.
+pub struct AnalysisSuite {
+    pub datasets: DatasetCounts,
+    pub overview: TrafficOverview,
+    pub domains: DomainStats,
+    pub ports: PortStats,
+    pub categories: CategoryStats,
+    pub temporal: TemporalStats,
+    pub proxies: ProxyStats,
+    pub redirects: RedirectStats,
+    pub inference: FilterInference,
+    pub ip: IpCensorship,
+    pub users: UserStats,
+    pub social: SocialStats,
+    pub tor: TorStats,
+    pub anonymizers: AnonymizerStats,
+    pub bittorrent: BitTorrentStats,
+    pub google_cache: GoogleCacheStats,
+    pub https: HttpsStats,
+    pub consistency: ConsistencyStats,
+    /// Minimum censored support for §5.4 recovery, adapted to corpus scale.
+    pub min_support: u64,
+}
+
+impl AnalysisSuite {
+    /// Fresh suite. `min_support` is the evidence threshold for the §5.4
+    /// recovery (use ~5–20 for small corpora, more at full scale).
+    pub fn new(min_support: u64) -> Self {
+        AnalysisSuite {
+            datasets: DatasetCounts::new(),
+            overview: TrafficOverview::new(),
+            domains: DomainStats::new(),
+            ports: PortStats::new(),
+            categories: CategoryStats::new(),
+            temporal: TemporalStats::standard(),
+            proxies: ProxyStats::standard(),
+            redirects: RedirectStats::new(),
+            inference: FilterInference::new(&filterscope_proxy::config::KEYWORDS),
+            ip: IpCensorship::standard(),
+            users: UserStats::new(),
+            social: SocialStats::new(),
+            tor: TorStats::standard(),
+            anonymizers: AnonymizerStats::new(),
+            bittorrent: BitTorrentStats::new(),
+            google_cache: GoogleCacheStats::new(),
+            https: HttpsStats::new(),
+            consistency: ConsistencyStats::new(),
+            min_support,
+        }
+    }
+
+    /// Ingest one record into every analysis.
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
+        self.datasets.ingest(record);
+        self.overview.ingest(record);
+        self.domains.ingest(record);
+        self.ports.ingest(record);
+        self.categories.ingest(ctx, record);
+        self.temporal.ingest(record);
+        self.proxies.ingest(record);
+        self.redirects.ingest(record);
+        self.inference.ingest(record);
+        self.ip.ingest(ctx, record);
+        self.users.ingest(record);
+        self.social.ingest(record);
+        self.tor.ingest(ctx, record);
+        self.anonymizers.ingest(ctx, record);
+        self.bittorrent.ingest(ctx, record);
+        self.google_cache.ingest(record);
+        self.https.ingest(record);
+        self.consistency.ingest(record);
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: AnalysisSuite) {
+        self.datasets.merge(&other.datasets);
+        self.overview.merge(&other.overview);
+        self.domains.merge(other.domains);
+        self.ports.merge(other.ports);
+        self.categories.merge(other.categories);
+        self.temporal.merge(other.temporal);
+        self.proxies.merge(other.proxies);
+        self.redirects.merge(other.redirects);
+        self.inference.merge(other.inference);
+        self.ip.merge(other.ip);
+        self.users.merge(other.users);
+        self.social.merge(other.social);
+        self.tor.merge(other.tor);
+        self.anonymizers.merge(other.anonymizers);
+        self.bittorrent.merge(other.bittorrent);
+        self.google_cache.merge(other.google_cache);
+        self.https.merge(&other.https);
+        self.consistency.merge(other.consistency);
+    }
+
+    /// Render every table and figure, in paper order.
+    pub fn render_all(&self, ctx: &AnalysisContext) -> String {
+        let mut out = String::new();
+        let mut push = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        push(self.datasets.render());
+        push(self.overview.render());
+        push(self.ports.render());
+        push(self.domains.render_fig2());
+        push(self.domains.render_table4());
+        push(self.categories.render());
+        push(self.users.render());
+        push(self.temporal.render_fig5());
+        push(self.temporal.render_fig6());
+        push(self.temporal.render_table5());
+        push(self.proxies.render_fig7());
+        push(self.proxies.render_table6());
+        push(self.proxies.render_category_labels());
+        push(self.redirects.render());
+        push(self.inference.render_table8(self.min_support));
+        push(self.inference.render_table9(ctx, self.min_support));
+        push(self.inference.render_table10());
+        push(self.ip.render_table11());
+        push(self.ip.render_table12());
+        push(self.social.render_table13());
+        push(self.social.render_table14());
+        push(self.social.render_table15());
+        push(self.tor.render());
+        push(self.anonymizers.render());
+        push(self.bittorrent.render());
+        push(self.https.render());
+        push(self.google_cache.render());
+        push(self.consistency.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::RequestUrl;
+
+    #[test]
+    fn suite_ingests_and_renders_without_panic() {
+        let ctx = AnalysisContext::standard(None);
+        let mut suite = AnalysisSuite::new(1);
+        for i in 0..200u32 {
+            let censored = i % 50 == 0;
+            let b = RecordBuilder::new(
+                Timestamp::parse_fields("2011-08-03", "09:00:00").unwrap(),
+                ProxyId::from_index((i % 7) as usize).unwrap(),
+                RequestUrl::http(format!("host{}.example", i % 20), "/"),
+            );
+            let r = if censored {
+                b.policy_denied().build()
+            } else {
+                b.build()
+            };
+            suite.ingest(&ctx, &r);
+        }
+        let report = suite.render_all(&ctx);
+        for needle in [
+            "Table 1",
+            "Table 3",
+            "Table 4",
+            "Table 6",
+            "Table 11",
+            "Fig 1",
+            "Fig 5",
+            "Fig 10",
+            "BitTorrent",
+            "Google cache",
+        ] {
+            assert!(report.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_suites_is_empty() {
+        let mut a = AnalysisSuite::new(1);
+        let b = AnalysisSuite::new(1);
+        a.merge(b);
+        assert_eq!(a.datasets.full, 0);
+    }
+}

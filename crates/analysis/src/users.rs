@@ -1,0 +1,251 @@
+//! §4 user-based analysis and Fig. 4.
+//!
+//! Runs over `Duser` (records whose client identifier is a hash). A "user"
+//! is a unique (hashed c-ip, user-agent) pair, as in the paper; a *censored
+//! user* had at least one censored request.
+
+use crate::datasets::in_user_dataset;
+use crate::report::Table;
+use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_stats::{Ecdf, Histogram};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct UserCounts {
+    total: u64,
+    censored: u64,
+}
+
+/// Fig. 4 accumulator.
+#[derive(Debug, Default)]
+pub struct UserStats {
+    users: HashMap<u64, UserCounts>,
+}
+
+fn user_key(record: &LogRecord) -> Option<u64> {
+    let h = record.client.hash()?;
+    let mut hasher = DefaultHasher::new();
+    h.hash(&mut hasher);
+    record.user_agent.hash(&mut hasher);
+    Some(hasher.finish())
+}
+
+impl UserStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one record (ignores non-`Duser` records).
+    pub fn ingest(&mut self, record: &LogRecord) {
+        if !in_user_dataset(record) {
+            return;
+        }
+        let Some(key) = user_key(record) else { return };
+        let c = self.users.entry(key).or_default();
+        c.total += 1;
+        if RequestClass::of(record) == RequestClass::Censored {
+            c.censored += 1;
+        }
+    }
+
+    /// Merge a shard.
+    pub fn merge(&mut self, other: UserStats) {
+        for (k, v) in other.users {
+            let c = self.users.entry(k).or_default();
+            c.total += v.total;
+            c.censored += v.censored;
+        }
+    }
+
+    /// Total users identified.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Users with at least one censored request.
+    pub fn censored_user_count(&self) -> usize {
+        self.users.values().filter(|c| c.censored > 0).count()
+    }
+
+    /// Fraction of users censored (the paper: 1.57 %).
+    pub fn censored_user_fraction(&self) -> f64 {
+        if self.users.is_empty() {
+            return 0.0;
+        }
+        self.censored_user_count() as f64 / self.users.len() as f64
+    }
+
+    /// Fig. 4(a): histogram of censored requests per censored user.
+    pub fn censored_requests_histogram(&self) -> Histogram {
+        let mut h = Histogram::new(1, 17);
+        for c in self.users.values() {
+            if c.censored > 0 {
+                h.record(c.censored);
+            }
+        }
+        h
+    }
+
+    /// Fig. 4(b): activity CDFs of censored vs non-censored users.
+    pub fn activity_cdfs(&self) -> (Ecdf, Ecdf) {
+        let censored = Ecdf::from_samples(
+            self.users
+                .values()
+                .filter(|c| c.censored > 0)
+                .map(|c| c.total as f64),
+        );
+        let clean = Ecdf::from_samples(
+            self.users
+                .values()
+                .filter(|c| c.censored == 0)
+                .map(|c| c.total as f64),
+        );
+        (censored, clean)
+    }
+
+    /// Fraction of each group sending more than `threshold` requests
+    /// (the paper: >100 requests ⇒ ~50 % of censored vs ~5 % of the rest).
+    pub fn active_fraction(&self, threshold: u64) -> (f64, f64) {
+        let (censored, clean) = self.activity_cdfs();
+        let f = |cdf: &Ecdf| {
+            if cdf.is_empty() {
+                0.0
+            } else {
+                1.0 - cdf.fraction_le(threshold as f64)
+            }
+        };
+        (f(&censored), f(&clean))
+    }
+
+    /// Render the Fig. 4 summary.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Fig 4 / user analysis (Duser)", &["Metric", "Value"]);
+        t.row([
+            "Total users".to_string(),
+            self.user_count().to_string(),
+        ]);
+        t.row([
+            "Censored users".to_string(),
+            format!(
+                "{} ({:.2}%)",
+                self.censored_user_count(),
+                self.censored_user_fraction() * 100.0
+            ),
+        ]);
+        let (ac, an) = self.active_fraction(100);
+        t.row([
+            ">100 requests (censored users)".to_string(),
+            format!("{:.1}%", ac * 100.0),
+        ]);
+        t.row([
+            ">100 requests (non-censored users)".to_string(),
+            format!("{:.1}%", an * 100.0),
+        ]);
+        let h = self.censored_requests_histogram();
+        let dist: Vec<String> = h
+            .bins()
+            .take(9)
+            .map(|(lo, n)| format!("{lo}:{n}"))
+            .collect();
+        t.row([
+            "Censored-requests-per-user histogram".to_string(),
+            dist.join(" "),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::{ClientId, RequestUrl};
+
+    fn rec(user: u64, ua: &str, censored: bool) -> LogRecord {
+        let b = RecordBuilder::new(
+            Timestamp::parse_fields("2011-07-22", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http("x.com", "/"),
+        )
+        .client(ClientId::Hashed(user))
+        .user_agent(ua);
+        if censored {
+            b.policy_denied().build()
+        } else {
+            b.build()
+        }
+    }
+
+    #[test]
+    fn users_keyed_by_client_and_agent() {
+        let mut s = UserStats::new();
+        s.ingest(&rec(1, "UA-A", false));
+        s.ingest(&rec(1, "UA-A", false));
+        s.ingest(&rec(1, "UA-B", false)); // same hash, different agent
+        s.ingest(&rec(2, "UA-A", false));
+        assert_eq!(s.user_count(), 3);
+    }
+
+    #[test]
+    fn zeroed_clients_are_excluded() {
+        let mut s = UserStats::new();
+        let r = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http("x.com", "/"),
+        )
+        .build();
+        s.ingest(&r);
+        assert_eq!(s.user_count(), 0);
+    }
+
+    #[test]
+    fn censored_user_detection() {
+        let mut s = UserStats::new();
+        for _ in 0..10 {
+            s.ingest(&rec(1, "A", false));
+        }
+        s.ingest(&rec(1, "A", true));
+        for _ in 0..5 {
+            s.ingest(&rec(2, "A", false));
+        }
+        assert_eq!(s.censored_user_count(), 1);
+        assert!((s.censored_user_fraction() - 0.5).abs() < 1e-9);
+        let h = s.censored_requests_histogram();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn activity_split() {
+        let mut s = UserStats::new();
+        // Censored user with 150 requests.
+        for _ in 0..150 {
+            s.ingest(&rec(1, "A", false));
+        }
+        s.ingest(&rec(1, "A", true));
+        // Clean user with 10 requests.
+        for _ in 0..10 {
+            s.ingest(&rec(2, "A", false));
+        }
+        let (ac, an) = s.active_fraction(100);
+        assert_eq!(ac, 1.0);
+        assert_eq!(an, 0.0);
+        let rendered = s.render();
+        assert!(rendered.contains("Censored users"));
+    }
+
+    #[test]
+    fn merge_sums_per_user() {
+        let mut a = UserStats::new();
+        a.ingest(&rec(7, "A", false));
+        let mut b = UserStats::new();
+        b.ingest(&rec(7, "A", true));
+        a.merge(b);
+        assert_eq!(a.user_count(), 1);
+        assert_eq!(a.censored_user_count(), 1);
+    }
+}

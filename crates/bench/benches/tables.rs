@@ -1,0 +1,136 @@
+//! One benchmark per paper table: each measures regenerating that table's
+//! analysis from the shared corpus (ingest where the table needs its own
+//! accumulator, or the final reduction where it reads a shared one).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use filterscope_analysis::datasets::DatasetCounts;
+use filterscope_analysis::domains::DomainStats;
+use filterscope_analysis::filter_inference::FilterInference;
+use filterscope_analysis::ip_censorship::IpCensorship;
+use filterscope_analysis::overview::TrafficOverview;
+use filterscope_analysis::proxies::ProxyStats;
+use filterscope_analysis::redirects::RedirectStats;
+use filterscope_analysis::social::SocialStats;
+use filterscope_analysis::temporal::TemporalStats;
+use filterscope_bench::{analyzed, corpus};
+
+fn bench_tables(c: &mut Criterion) {
+    let (records, ctx) = corpus();
+    let suite = analyzed();
+    let mut g = c.benchmark_group("tables");
+
+    g.bench_function("table1_datasets", |b| {
+        b.iter(|| {
+            let mut s = DatasetCounts::new();
+            for r in records {
+                s.ingest(r);
+            }
+            black_box(s.render())
+        })
+    });
+
+    g.bench_function("table3_overview", |b| {
+        b.iter(|| {
+            let mut s = TrafficOverview::new();
+            for r in records {
+                s.ingest(r);
+            }
+            black_box(s.render())
+        })
+    });
+
+    g.bench_function("table4_top_domains", |b| {
+        b.iter(|| {
+            let mut s = DomainStats::new();
+            for r in records {
+                s.ingest(r);
+            }
+            black_box((s.top_allowed(10), s.top_censored(10)))
+        })
+    });
+
+    g.bench_function("table5_peak_domains", |b| {
+        b.iter(|| {
+            let mut s = TemporalStats::standard();
+            for r in records {
+                s.ingest(r);
+            }
+            black_box(s.render_table5())
+        })
+    });
+
+    g.bench_function("table6_proxy_similarity", |b| {
+        b.iter(|| {
+            let mut s = ProxyStats::standard();
+            for r in records {
+                s.ingest(r);
+            }
+            black_box(s.cosine_matrix())
+        })
+    });
+
+    g.bench_function("table7_redirects", |b| {
+        b.iter(|| {
+            let mut s = RedirectStats::new();
+            for r in records {
+                s.ingest(r);
+            }
+            black_box(s.render())
+        })
+    });
+
+    g.bench_function("table8_suspected_domains", |b| {
+        // The ingest phase dominates; the recovery reduction runs on top.
+        b.iter(|| {
+            let mut s = FilterInference::new(&filterscope_proxy::config::KEYWORDS);
+            for r in records {
+                s.ingest(r);
+            }
+            black_box(s.recover_domains(3))
+        })
+    });
+
+    g.bench_function("table9_categories", |b| {
+        let s = &suite.inference;
+        b.iter(|| black_box(s.categorize_suspected(ctx, 3)))
+    });
+
+    g.bench_function("table10_keywords", |b| {
+        let s = &suite.inference;
+        b.iter(|| black_box(s.render_table10()))
+    });
+
+    g.bench_function("table11_countries", |b| {
+        b.iter(|| {
+            let mut s = IpCensorship::standard();
+            for r in records {
+                s.ingest(ctx, r);
+            }
+            black_box(s.censorship_ratios())
+        })
+    });
+
+    g.bench_function("table12_subnets", |b| {
+        let s = &suite.ip;
+        b.iter(|| black_box(s.render_table12()))
+    });
+
+    g.bench_function("tables13_15_social", |b| {
+        b.iter(|| {
+            let mut s = SocialStats::new();
+            for r in records {
+                s.ingest(r);
+            }
+            black_box((s.render_table13(), s.render_table14(), s.render_table15()))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Throughput benchmarks: the systems case for the Rust implementation.
+//!
+//! * `parse_lines` — CSV → `LogRecord` rate (the 600 GB leak at this rate);
+//! * `write_lines` — `LogRecord` → CSV rate;
+//! * `policy_decisions` — SG-9000 policy evaluations per second;
+//! * `farm_end_to_end` — request → routed, filtered, logged record;
+//! * `generate_and_analyze` — the whole pipeline: synthesize a day slice,
+//!   filter it, ingest it into the full analysis suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use filterscope_analysis::{AnalysisContext, AnalysisSuite};
+use filterscope_bench::{corpus, csv_lines};
+use filterscope_logformat::{parse_line, Schema};
+use filterscope_proxy::cpl;
+use filterscope_proxy::PolicyData;
+use filterscope_proxy::{PolicyEngine, ProxyConfig, ProxyFarm, Request};
+use filterscope_synth::{Corpus, SynthConfig};
+
+fn bench_throughput(c: &mut Criterion) {
+    let lines = csv_lines();
+    let (records, _) = corpus();
+    let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+
+    let mut g = c.benchmark_group("throughput");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("parse_lines", |b| {
+        b.iter(|| {
+            let mut ok = 0u64;
+            for (i, line) in lines.iter().enumerate() {
+                if parse_line(line, i as u64).is_ok() {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("write_lines", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for r in records {
+                total += r.write_csv().len();
+            }
+            black_box(total)
+        })
+    });
+
+    // Schema-flexible parsing pays a mapping indirection; measure it.
+    let schema = Schema::canonical();
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("parse_lines_via_schema", |b| {
+        b.iter(|| {
+            let mut ok = 0u64;
+            for (i, line) in lines.iter().enumerate() {
+                if schema.parse_record(line, i as u64).is_ok() {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+
+    // CPL round trip of the full standard policy.
+    let policy_text = cpl::to_cpl(&PolicyData::standard());
+    g.throughput(Throughput::Bytes(policy_text.len() as u64));
+    g.bench_function("cpl_parse_standard_policy", |b| {
+        b.iter(|| black_box(cpl::parse_cpl(&policy_text).unwrap()))
+    });
+
+    // Reconstruct the requests once for the decision benchmarks.
+    let requests: Vec<Request> = records
+        .iter()
+        .map(|r| {
+            let mut req = Request::get(r.timestamp, r.url.clone());
+            req.client = r.client;
+            req.user_agent = r.user_agent.clone();
+            req.method = r.method.clone();
+            req
+        })
+        .collect();
+
+    let engine = PolicyEngine::standard(None, 7);
+    let cfg = ProxyConfig::standard(filterscope_core::ProxyId::Sg42);
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    g.bench_function("policy_decisions", |b| {
+        b.iter(|| {
+            let mut censored = 0u64;
+            for req in &requests {
+                if engine.decide(&cfg, req).is_censored() {
+                    censored += 1;
+                }
+            }
+            black_box(censored)
+        })
+    });
+
+    let farm = ProxyFarm::standard();
+    g.bench_function("farm_end_to_end", |b| {
+        b.iter(|| {
+            let mut denied = 0u64;
+            for req in &requests {
+                let rec = farm.process(req);
+                if rec.exception.is_policy() {
+                    denied += 1;
+                }
+            }
+            black_box(denied)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("generate_and_analyze_day_slice", |b| {
+        b.iter(|| {
+            // A fresh 1/2^20 corpus: ~720 requests through generation, the
+            // farm, and the full analysis suite.
+            let corpus = Corpus::new(SynthConfig::new(1 << 20).expect("scale"));
+            let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
+            let mut suite = AnalysisSuite::new(2);
+            corpus.for_each_record(|r| suite.ingest(&ctx, r));
+            black_box(suite.datasets.full)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,297 @@
+//! HTTP tracker announce requests.
+//!
+//! Announce requests appear in the proxy logs as plain HTTP GETs:
+//! `GET /announce?info_hash=%XX...&peer_id=...&port=...&event=started`.
+//! The paper counts peers by the 20-byte `peer_id` and contents by
+//! `info_hash`; this module parses and constructs those query strings,
+//! including the tracker percent-encoding convention for raw bytes.
+
+use filterscope_core::{Error, Result};
+use std::fmt;
+
+/// A 20-byte torrent info-hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InfoHash(pub [u8; 20]);
+
+/// A 20-byte peer identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub [u8; 20]);
+
+impl InfoHash {
+    /// Hex representation (40 lowercase hex digits).
+    pub fn to_hex(&self) -> String {
+        hex(&self.0)
+    }
+
+    /// Parse from 40 hex digits.
+    pub fn from_hex(s: &str) -> Result<Self> {
+        Ok(InfoHash(unhex20(s)?))
+    }
+}
+
+impl PeerId {
+    /// Hex representation.
+    pub fn to_hex(&self) -> String {
+        hex(&self.0)
+    }
+}
+
+impl fmt::Display for InfoHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex20(s: &str) -> Result<[u8; 20]> {
+    let bad = || Error::InvalidAddress(format!("bad 20-byte hex: {s:?}"));
+    if s.len() != 40 {
+        return Err(bad());
+    }
+    let mut out = [0u8; 20];
+    for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+        let hi = (chunk[0] as char).to_digit(16).ok_or_else(bad)?;
+        let lo = (chunk[1] as char).to_digit(16).ok_or_else(bad)?;
+        out[i] = ((hi << 4) | lo) as u8;
+    }
+    Ok(out)
+}
+
+/// Tracker announce event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AnnounceEvent {
+    Started,
+    Stopped,
+    Completed,
+    /// Periodic re-announce (no `event` parameter).
+    #[default]
+    Interval,
+}
+
+impl AnnounceEvent {
+    fn as_param(self) -> Option<&'static str> {
+        match self {
+            AnnounceEvent::Started => Some("started"),
+            AnnounceEvent::Stopped => Some("stopped"),
+            AnnounceEvent::Completed => Some("completed"),
+            AnnounceEvent::Interval => None,
+        }
+    }
+}
+
+/// A parsed announce request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnounceRequest {
+    pub info_hash: InfoHash,
+    pub peer_id: PeerId,
+    /// Peer's listening port.
+    pub port: u16,
+    pub uploaded: u64,
+    pub downloaded: u64,
+    pub left: u64,
+    pub event: AnnounceEvent,
+}
+
+/// Percent-encode raw bytes the way BitTorrent clients do: unreserved ASCII
+/// passes through, everything else becomes `%XX`.
+pub fn percent_encode_bytes(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 3);
+    for &b in bytes {
+        let unreserved = b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~');
+        if unreserved {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Percent-decode into raw bytes ('+' is NOT treated as space, per tracker
+/// convention). Rejects malformed escapes.
+pub fn percent_decode_bytes(s: &str) -> Result<Vec<u8>> {
+    let bad = || Error::InvalidAddress(format!("bad percent-encoding: {s:?}"));
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'%' {
+            let hi = b.get(i + 1).and_then(|c| (*c as char).to_digit(16));
+            let lo = b.get(i + 2).and_then(|c| (*c as char).to_digit(16));
+            match (hi, lo) {
+                (Some(h), Some(l)) => {
+                    out.push(((h << 4) | l) as u8);
+                    i += 3;
+                }
+                _ => return Err(bad()),
+            }
+        } else {
+            out.push(b[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+impl AnnounceRequest {
+    /// Serialize to the query-string form (without leading `?`).
+    pub fn to_query(&self) -> String {
+        let mut q = format!(
+            "info_hash={}&peer_id={}&port={}&uploaded={}&downloaded={}&left={}",
+            percent_encode_bytes(&self.info_hash.0),
+            percent_encode_bytes(&self.peer_id.0),
+            self.port,
+            self.uploaded,
+            self.downloaded,
+            self.left,
+        );
+        if let Some(ev) = self.event.as_param() {
+            q.push_str("&event=");
+            q.push_str(ev);
+        }
+        q.push_str("&compact=1");
+        q
+    }
+
+    /// Parse from the query-string form. Unknown parameters are ignored;
+    /// `info_hash`, `peer_id` and `port` are required.
+    pub fn parse_query(query: &str) -> Result<Self> {
+        let missing =
+            |what: &str| Error::InvalidConfig(format!("announce missing {what}: {query:?}"));
+        let mut info_hash = None;
+        let mut peer_id = None;
+        let mut port = None;
+        let mut uploaded = 0;
+        let mut downloaded = 0;
+        let mut left = 0;
+        let mut event = AnnounceEvent::Interval;
+        for pair in query.split('&') {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            match k {
+                "info_hash" => {
+                    let bytes = percent_decode_bytes(v)?;
+                    let arr: [u8; 20] = bytes.try_into().map_err(|_| {
+                        Error::InvalidConfig("info_hash must be 20 bytes".into())
+                    })?;
+                    info_hash = Some(InfoHash(arr));
+                }
+                "peer_id" => {
+                    let bytes = percent_decode_bytes(v)?;
+                    let arr: [u8; 20] = bytes.try_into().map_err(|_| {
+                        Error::InvalidConfig("peer_id must be 20 bytes".into())
+                    })?;
+                    peer_id = Some(PeerId(arr));
+                }
+                "port" => {
+                    port = Some(v.parse::<u16>().map_err(|_| {
+                        Error::InvalidConfig(format!("bad port {v:?}"))
+                    })?);
+                }
+                "uploaded" => uploaded = v.parse().unwrap_or(0),
+                "downloaded" => downloaded = v.parse().unwrap_or(0),
+                "left" => left = v.parse().unwrap_or(0),
+                "event" => {
+                    event = match v {
+                        "started" => AnnounceEvent::Started,
+                        "stopped" => AnnounceEvent::Stopped,
+                        "completed" => AnnounceEvent::Completed,
+                        _ => AnnounceEvent::Interval,
+                    };
+                }
+                _ => {}
+            }
+        }
+        Ok(AnnounceRequest {
+            info_hash: info_hash.ok_or_else(|| missing("info_hash"))?,
+            peer_id: peer_id.ok_or_else(|| missing("peer_id"))?,
+            port: port.ok_or_else(|| missing("port"))?,
+            uploaded,
+            downloaded,
+            left,
+            event,
+        })
+    }
+
+    /// Is `path` a tracker announce path?
+    pub fn is_announce_path(path: &str) -> bool {
+        path == "/announce" || path.ends_with("/announce") || path == "/announce.php"
+            || path.ends_with("/announce.php")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> AnnounceRequest {
+        AnnounceRequest {
+            info_hash: InfoHash([0xAB; 20]),
+            peer_id: PeerId(*b"-TR2330-abcdefgh0123"),
+            port: 51413,
+            uploaded: 0,
+            downloaded: 1024,
+            left: 4096,
+            event: AnnounceEvent::Started,
+        }
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let r = req();
+        let q = r.to_query();
+        assert!(q.contains("info_hash=%AB%AB"));
+        assert!(q.contains("event=started"));
+        let back = AnnounceRequest::parse_query(&q).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn interval_event_has_no_param_and_roundtrips() {
+        let r = AnnounceRequest {
+            event: AnnounceEvent::Interval,
+            ..req()
+        };
+        let q = r.to_query();
+        assert!(!q.contains("event="));
+        assert_eq!(AnnounceRequest::parse_query(&q).unwrap().event, AnnounceEvent::Interval);
+    }
+
+    #[test]
+    fn percent_coding_roundtrips_all_bytes() {
+        let all: Vec<u8> = (0u8..=255).collect();
+        let enc = percent_encode_bytes(&all);
+        assert_eq!(percent_decode_bytes(&enc).unwrap(), all);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(percent_decode_bytes("%G1").is_err());
+        assert!(percent_decode_bytes("%2").is_err());
+        assert!(AnnounceRequest::parse_query("port=1").is_err());
+        assert!(AnnounceRequest::parse_query(
+            "info_hash=abc&peer_id=def&port=1"
+        )
+        .is_err()); // wrong lengths
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = InfoHash([0x01; 20]);
+        assert_eq!(InfoHash::from_hex(&h.to_hex()).unwrap(), h);
+        assert!(InfoHash::from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn announce_paths() {
+        assert!(AnnounceRequest::is_announce_path("/announce"));
+        assert!(AnnounceRequest::is_announce_path("/tracker/announce.php"));
+        assert!(!AnnounceRequest::is_announce_path("/scrape"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Bencode, complete and strict.
+//!
+//! Strictness matters for canonical form: integers reject leading zeros and
+//! `-0`, dictionary keys must be sorted and unique — so encode∘decode is the
+//! identity on the wire and decode∘encode is the identity on values.
+
+use filterscope_core::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A bencode value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Integer (`i...e`).
+    Int(i64),
+    /// Byte string (`<len>:<bytes>`). Not necessarily UTF-8.
+    Bytes(Vec<u8>),
+    /// List (`l...e`).
+    List(Vec<Value>),
+    /// Dictionary (`d...e`) with byte-string keys, sorted.
+    Dict(BTreeMap<Vec<u8>, Value>),
+}
+
+impl Value {
+    /// Convenience: a UTF-8 string value.
+    pub fn str(s: &str) -> Value {
+        Value::Bytes(s.as_bytes().to_vec())
+    }
+
+    /// The byte-string contents, if this is one.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Dictionary lookup by UTF-8 key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Dict(d) => d.get(key.as_bytes()),
+            _ => None,
+        }
+    }
+
+    /// Encode to wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                out.push(b'i');
+                out.extend_from_slice(i.to_string().as_bytes());
+                out.push(b'e');
+            }
+            Value::Bytes(b) => {
+                out.extend_from_slice(b.len().to_string().as_bytes());
+                out.push(b':');
+                out.extend_from_slice(b);
+            }
+            Value::List(l) => {
+                out.push(b'l');
+                for v in l {
+                    v.encode_into(out);
+                }
+                out.push(b'e');
+            }
+            Value::Dict(d) => {
+                out.push(b'd');
+                for (k, v) in d {
+                    out.extend_from_slice(k.len().to_string().as_bytes());
+                    out.push(b':');
+                    out.extend_from_slice(k);
+                    v.encode_into(out);
+                }
+                out.push(b'e');
+            }
+        }
+    }
+
+    /// Decode one value, requiring the input to be fully consumed.
+    pub fn decode(data: &[u8]) -> Result<Value> {
+        let mut p = Parser { data, pos: 0 };
+        let v = p.value()?;
+        if p.pos != data.len() {
+            return Err(Error::Bencode(format!(
+                "trailing bytes at offset {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Result<u8> {
+        self.data
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::Bencode("unexpected end of input".into()))
+    }
+
+    fn bump(&mut self) -> Result<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'i' => self.int(),
+            b'l' => self.list(),
+            b'd' => self.dict(),
+            b'0'..=b'9' => Ok(Value::Bytes(self.bytes()?)),
+            other => Err(Error::Bencode(format!(
+                "unexpected byte {:?} at offset {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn int(&mut self) -> Result<Value> {
+        self.bump()?; // 'i'
+        let start = self.pos;
+        if self.peek()? == b'-' {
+            self.pos += 1;
+        }
+        while self.peek()? != b'e' {
+            if !self.peek()?.is_ascii_digit() {
+                return Err(Error::Bencode(format!("bad integer at {}", self.pos)));
+            }
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.data[start..self.pos])
+            .map_err(|_| Error::Bencode("non-utf8 integer".into()))?;
+        // Canonical form: no empty, no "-", no leading zeros, no "-0".
+        let digits = s.strip_prefix('-').unwrap_or(s);
+        if digits.is_empty()
+            || (digits.len() > 1 && digits.starts_with('0'))
+            || s == "-0"
+        {
+            return Err(Error::Bencode(format!("non-canonical integer {s:?}")));
+        }
+        let v: i64 = s
+            .parse()
+            .map_err(|_| Error::Bencode(format!("integer overflow {s:?}")))?;
+        self.bump()?; // 'e'
+        Ok(Value::Int(v))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let start = self.pos;
+        while self.peek()? != b':' {
+            if !self.peek()?.is_ascii_digit() {
+                return Err(Error::Bencode(format!("bad length at {}", self.pos)));
+            }
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.data[start..self.pos]).unwrap_or("");
+        if s.is_empty() || (s.len() > 1 && s.starts_with('0')) {
+            return Err(Error::Bencode(format!("non-canonical length {s:?}")));
+        }
+        let len: usize = s
+            .parse()
+            .map_err(|_| Error::Bencode(format!("length overflow {s:?}")))?;
+        self.bump()?; // ':'
+        if self.pos + len > self.data.len() {
+            return Err(Error::Bencode("string extends past end".into()));
+        }
+        let out = self.data[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(out)
+    }
+
+    fn list(&mut self) -> Result<Value> {
+        self.bump()?; // 'l'
+        let mut items = Vec::new();
+        while self.peek()? != b'e' {
+            items.push(self.value()?);
+        }
+        self.bump()?; // 'e'
+        Ok(Value::List(items))
+    }
+
+    fn dict(&mut self) -> Result<Value> {
+        self.bump()?; // 'd'
+        let mut map = BTreeMap::new();
+        let mut last_key: Option<Vec<u8>> = None;
+        while self.peek()? != b'e' {
+            let key = self.bytes()?;
+            if let Some(prev) = &last_key {
+                if *prev >= key {
+                    return Err(Error::Bencode("dict keys not strictly sorted".into()));
+                }
+            }
+            let val = self.value()?;
+            last_key = Some(key.clone());
+            map.insert(key, val);
+        }
+        self.bump()?; // 'e'
+        Ok(Value::Dict(map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [Value::Int(0), Value::Int(-42), Value::Int(i64::MAX)] {
+            assert_eq!(Value::decode(&v.encode()).unwrap(), v);
+        }
+        let s = Value::str("announce");
+        assert_eq!(s.encode(), b"8:announce");
+        assert_eq!(Value::decode(b"8:announce").unwrap(), s);
+        assert_eq!(Value::decode(b"0:").unwrap(), Value::Bytes(vec![]));
+    }
+
+    #[test]
+    fn tracker_response_roundtrip() {
+        let mut d = BTreeMap::new();
+        d.insert(b"interval".to_vec(), Value::Int(1800));
+        d.insert(
+            b"peers".to_vec(),
+            Value::Bytes(vec![0x55, 0x10, 0x20, 0x30, 0x1A, 0xE1]),
+        );
+        let v = Value::Dict(d);
+        let wire = v.encode();
+        assert_eq!(Value::decode(&wire).unwrap(), v);
+        assert_eq!(v.get("interval").and_then(Value::as_int), Some(1800));
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = Value::List(vec![
+            Value::Int(1),
+            Value::List(vec![Value::str("a"), Value::str("b")]),
+            Value::Dict(BTreeMap::from([(b"k".to_vec(), Value::Int(9))])),
+        ]);
+        assert_eq!(Value::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_non_canonical() {
+        assert!(Value::decode(b"i-0e").is_err());
+        assert!(Value::decode(b"i01e").is_err());
+        assert!(Value::decode(b"ie").is_err());
+        assert!(Value::decode(b"01:a").is_err());
+        assert!(Value::decode(b"d1:bi1e1:ai2ee").is_err()); // keys unsorted
+        assert!(Value::decode(b"d1:ai1e1:ai2ee").is_err()); // duplicate key
+    }
+
+    #[test]
+    fn rejects_truncated_and_trailing() {
+        assert!(Value::decode(b"i42").is_err());
+        assert!(Value::decode(b"5:ab").is_err());
+        assert!(Value::decode(b"l i1e").is_err());
+        assert!(Value::decode(b"i1ei2e").is_err()); // trailing value
+        assert!(Value::decode(b"").is_err());
+    }
+
+    #[test]
+    fn binary_safe_strings() {
+        let v = Value::Bytes((0u8..=255).collect());
+        assert_eq!(Value::decode(&v.encode()).unwrap(), v);
+    }
+}

@@ -1,0 +1,25 @@
+//! # filterscope-bittorrent
+//!
+//! BitTorrent substrate for the §7.3 analysis.
+//!
+//! The paper finds 338,168 announce requests from 38,575 peers for 35,331
+//! unique contents in the logs, resolves 77.4 % of the info-hashes to titles
+//! by crawling torrentz.eu / torrentproject.com, and shows that users fetch
+//! anti-censorship tools and IM installers over BitTorrent.
+//!
+//! This crate provides the pieces that pipeline needs:
+//!
+//! * [`bencode`] — a complete bencode encoder/decoder (torrent metadata and
+//!   tracker responses);
+//! * [`announce`] — HTTP announce-request parsing and construction
+//!   (`info_hash`/`peer_id` percent-encoding, ports, events);
+//! * [`titles`] — a deterministic synthetic info-hash→title index standing
+//!   in for the paper's crawl, with a configurable resolution rate.
+
+pub mod announce;
+pub mod bencode;
+pub mod titles;
+
+pub use announce::{AnnounceEvent, AnnounceRequest, InfoHash, PeerId};
+pub use bencode::Value;
+pub use titles::TitleIndex;

@@ -1,0 +1,154 @@
+//! The category taxonomy.
+//!
+//! Category names follow McAfee TrustedSource spellings as they appear in
+//! the paper's Fig. 3 and Table 9 (e.g. "Instant Messaging",
+//! "Forum/Bulletin Boards", "Education/Reference").
+
+use std::fmt;
+
+/// A website category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// CDNs and generic content hosts (cloudfront, googleusercontent, …).
+    ContentServer,
+    StreamingMedia,
+    InstantMessaging,
+    PortalSites,
+    GeneralNews,
+    SocialNetworking,
+    OnlineShopping,
+    InternetServices,
+    Entertainment,
+    ForumBulletinBoards,
+    EducationReference,
+    Games,
+    SearchEngines,
+    /// Web proxies, VPNs and other circumvention services (§7.2).
+    Anonymizer,
+    Pornography,
+    WebAds,
+    SoftwareHardware,
+    /// BitTorrent trackers and similar (§7.3).
+    FileSharing,
+    Blogs,
+    Email,
+    Travel,
+    Government,
+    Religion,
+    Sports,
+    Business,
+    /// Not categorized ("NA" in Table 9).
+    Unknown,
+}
+
+impl Category {
+    /// Every category, for iteration in reports.
+    pub const ALL: [Category; 26] = [
+        Category::ContentServer,
+        Category::StreamingMedia,
+        Category::InstantMessaging,
+        Category::PortalSites,
+        Category::GeneralNews,
+        Category::SocialNetworking,
+        Category::OnlineShopping,
+        Category::InternetServices,
+        Category::Entertainment,
+        Category::ForumBulletinBoards,
+        Category::EducationReference,
+        Category::Games,
+        Category::SearchEngines,
+        Category::Anonymizer,
+        Category::Pornography,
+        Category::WebAds,
+        Category::SoftwareHardware,
+        Category::FileSharing,
+        Category::Blogs,
+        Category::Email,
+        Category::Travel,
+        Category::Government,
+        Category::Religion,
+        Category::Sports,
+        Category::Business,
+        Category::Unknown,
+    ];
+
+    /// Display name matching the paper's figures/tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::ContentServer => "Content Server",
+            Category::StreamingMedia => "Streaming Media",
+            Category::InstantMessaging => "Instant Messaging",
+            Category::PortalSites => "Portal Sites",
+            Category::GeneralNews => "General News",
+            Category::SocialNetworking => "Social Networking",
+            Category::OnlineShopping => "Online Shopping",
+            Category::InternetServices => "Internet Services",
+            Category::Entertainment => "Entertainment",
+            Category::ForumBulletinBoards => "Forum/Bulletin Boards",
+            Category::EducationReference => "Education/Reference",
+            Category::Games => "Games",
+            Category::SearchEngines => "Search Engines",
+            Category::Anonymizer => "Anonymizers",
+            Category::Pornography => "Pornography",
+            Category::WebAds => "Web Ads",
+            Category::SoftwareHardware => "Software/Hardware",
+            Category::FileSharing => "P2P/File Sharing",
+            Category::Blogs => "Blogs/Wiki",
+            Category::Email => "Web Mail",
+            Category::Travel => "Travel",
+            Category::Government => "Government/Military",
+            Category::Religion => "Religion/Ideology",
+            Category::Sports => "Sports",
+            Category::Business => "Business",
+            Category::Unknown => "NA",
+        }
+    }
+}
+
+impl Category {
+    /// Inverse of [`Category::name`] (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Category> {
+        Category::ALL
+            .iter()
+            .copied()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_spellings() {
+        assert_eq!(Category::InstantMessaging.name(), "Instant Messaging");
+        assert_eq!(Category::ForumBulletinBoards.name(), "Forum/Bulletin Boards");
+        assert_eq!(Category::EducationReference.name(), "Education/Reference");
+        assert_eq!(Category::Unknown.name(), "NA");
+    }
+
+    #[test]
+    fn from_name_roundtrips() {
+        for c in Category::ALL {
+            assert_eq!(Category::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Category::from_name("instant messaging"), Some(Category::InstantMessaging));
+        assert_eq!(Category::from_name("nope"), None);
+    }
+
+    #[test]
+    fn all_is_complete_and_distinct() {
+        let mut names: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, 26);
+    }
+}

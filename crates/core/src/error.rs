@@ -1,0 +1,99 @@
+//! Workspace-wide error type.
+//!
+//! A single flat error enum keeps the cross-crate API surface small. Parsing
+//! functions return [`Result`] and never panic on untrusted input.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by filterscope crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A date, time, or timestamp string failed to parse.
+    InvalidTimestamp(String),
+    /// An IPv4 address or CIDR block string failed to parse.
+    InvalidAddress(String),
+    /// A log line was structurally malformed (wrong field count, bad quoting).
+    MalformedRecord {
+        /// 1-based line number within the source, when known.
+        line: u64,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// An enum field held a value outside its known domain.
+    UnknownVariant {
+        /// The field being decoded (e.g. `sc-filter-result`).
+        field: &'static str,
+        /// The offending value.
+        value: String,
+    },
+    /// Bencode document failed to decode.
+    Bencode(String),
+    /// Underlying I/O failure, stringified to keep the error `Clone + Eq`.
+    Io(String),
+    /// A configuration value was rejected (e.g. zero scale factor).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidTimestamp(s) => write!(f, "invalid timestamp: {s:?}"),
+            Error::InvalidAddress(s) => write!(f, "invalid address: {s:?}"),
+            Error::MalformedRecord { line, reason } => {
+                write!(f, "malformed record at line {line}: {reason}")
+            }
+            Error::UnknownVariant { field, value } => {
+                write!(f, "unknown value {value:?} for field {field}")
+            }
+            Error::Bencode(s) => write!(f, "bencode error: {s}"),
+            Error::Io(s) => write!(f, "i/o error: {s}"),
+            Error::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::MalformedRecord {
+            line: 7,
+            reason: "expected 26 fields, got 3".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("26 fields"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::InvalidAddress("x".into()),
+            Error::InvalidAddress("x".into())
+        );
+        assert_ne!(
+            Error::InvalidAddress("x".into()),
+            Error::InvalidTimestamp("x".into())
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # filterscope-core
+//!
+//! Shared vocabulary types for the `filterscope` workspace: calendar
+//! timestamps matching the Blue Coat log format, IPv4 CIDR blocks, proxy
+//! identifiers for the seven SG-9000 appliances studied in the paper, and a
+//! common error type.
+//!
+//! Everything in this crate is deliberately dependency-free, `Copy`-friendly
+//! where possible, and total (no panics on untrusted input).
+
+pub mod error;
+pub mod net;
+pub mod proxy_id;
+pub mod time;
+
+pub use error::{Error, Result};
+pub use net::Ipv4Cidr;
+pub use proxy_id::ProxyId;
+pub use time::{Date, TimeOfDay, Timestamp, Weekday};
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::error::{Error, Result};
+    pub use crate::net::Ipv4Cidr;
+    pub use crate::proxy_id::ProxyId;
+    pub use crate::time::{Date, TimeOfDay, Timestamp, Weekday};
+}

@@ -1,0 +1,190 @@
+//! IPv4 CIDR blocks.
+//!
+//! The paper's IP-based censorship analysis (Tables 11 and 12) works at the
+//! granularity of CIDR subnets (e.g. `84.229.0.0/16`). [`Ipv4Cidr`] is a
+//! validated prefix with cheap containment tests; crates above build radix /
+//! sorted-range indexes out of these.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A validated IPv4 CIDR block: the host bits of `network` are forced to
+/// zero at construction time so that two equal blocks always compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Cidr {
+    network: u32,
+    prefix_len: u8,
+}
+
+impl Ipv4Cidr {
+    /// Construct from a network address and a prefix length (0–32). Host bits
+    /// in `addr` are silently masked off.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Result<Self> {
+        if prefix_len > 32 {
+            return Err(Error::InvalidAddress(format!("{addr}/{prefix_len}")));
+        }
+        let mask = Self::mask_for(prefix_len);
+        Ok(Ipv4Cidr {
+            network: u32::from(addr) & mask,
+            prefix_len,
+        })
+    }
+
+    /// The /32 block containing exactly `addr`.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Ipv4Cidr {
+            network: u32::from(addr),
+            prefix_len: 32,
+        }
+    }
+
+    fn mask_for(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    /// Parse `"a.b.c.d/len"`. A bare address parses as a /32.
+    pub fn parse(s: &str) -> Result<Self> {
+        let bad = || Error::InvalidAddress(s.to_string());
+        match s.split_once('/') {
+            Some((addr, len)) => {
+                let addr: Ipv4Addr = addr.parse().map_err(|_| bad())?;
+                let len: u8 = len.parse().map_err(|_| bad())?;
+                Ipv4Cidr::new(addr, len)
+            }
+            None => {
+                let addr: Ipv4Addr = s.parse().map_err(|_| bad())?;
+                Ok(Ipv4Cidr::host(addr))
+            }
+        }
+    }
+
+    /// Network address (host bits zero).
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.network)
+    }
+
+    /// Prefix length in bits.
+    pub fn prefix_len(self) -> u8 {
+        self.prefix_len
+    }
+
+    /// First address of the block, as a `u32`.
+    pub fn first_u32(self) -> u32 {
+        self.network
+    }
+
+    /// Last address of the block, as a `u32`.
+    pub fn last_u32(self) -> u32 {
+        self.network | !Self::mask_for(self.prefix_len)
+    }
+
+    /// Does this block contain `addr`?
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask_for(self.prefix_len) == self.network
+    }
+
+    /// Does this block fully contain `other`?
+    pub fn contains_block(self, other: Ipv4Cidr) -> bool {
+        self.prefix_len <= other.prefix_len && self.contains(other.network())
+    }
+
+    /// Number of addresses in the block (2^(32-len), saturating for /0).
+    pub fn size(self) -> u64 {
+        1u64 << (32 - self.prefix_len as u64)
+    }
+
+    /// The `i`-th address of the block, wrapping modulo the block size.
+    /// Useful for deterministic synthetic address assignment.
+    pub fn nth(self, i: u64) -> Ipv4Addr {
+        let off = (i % self.size()) as u32;
+        Ipv4Addr::from(self.network.wrapping_add(off))
+    }
+}
+
+impl fmt::Display for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.prefix_len)
+    }
+}
+
+impl std::str::FromStr for Ipv4Cidr {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        Ipv4Cidr::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["84.229.0.0/16", "46.120.0.0/15", "212.235.64.0/19", "0.0.0.0/0"] {
+            assert_eq!(Ipv4Cidr::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn host_bits_are_masked() {
+        let a = Ipv4Cidr::parse("84.229.17.5/16").unwrap();
+        let b = Ipv4Cidr::parse("84.229.0.0/16").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.network(), ip("84.229.0.0"));
+    }
+
+    #[test]
+    fn bare_address_is_slash_32() {
+        let c = Ipv4Cidr::parse("212.150.1.2").unwrap();
+        assert_eq!(c.prefix_len(), 32);
+        assert!(c.contains(ip("212.150.1.2")));
+        assert!(!c.contains(ip("212.150.1.3")));
+        assert_eq!(c.size(), 1);
+    }
+
+    #[test]
+    fn containment() {
+        let c = Ipv4Cidr::parse("212.235.64.0/19").unwrap();
+        assert!(c.contains(ip("212.235.64.1")));
+        assert!(c.contains(ip("212.235.95.255")));
+        assert!(!c.contains(ip("212.235.96.0")));
+        let whole = Ipv4Cidr::parse("0.0.0.0/0").unwrap();
+        assert!(whole.contains(ip("8.8.8.8")));
+        assert!(whole.contains_block(c));
+        assert!(!c.contains_block(whole));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Ipv4Cidr::parse("84.229.0.0/33").is_err());
+        assert!(Ipv4Cidr::parse("84.229.0/16").is_err());
+        assert!(Ipv4Cidr::parse("not-an-ip").is_err());
+        assert!(Ipv4Cidr::parse("1.2.3.4/-1").is_err());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let c = Ipv4Cidr::parse("89.138.0.0/15").unwrap();
+        assert_eq!(c.first_u32(), u32::from(ip("89.138.0.0")));
+        assert_eq!(c.last_u32(), u32::from(ip("89.139.255.255")));
+        assert_eq!(c.size(), 1 << 17);
+    }
+
+    #[test]
+    fn nth_wraps_within_block() {
+        let c = Ipv4Cidr::parse("10.0.0.0/30").unwrap();
+        assert_eq!(c.nth(0), ip("10.0.0.0"));
+        assert_eq!(c.nth(3), ip("10.0.0.3"));
+        assert_eq!(c.nth(4), ip("10.0.0.0")); // wraps
+        assert!(c.contains(c.nth(1_000_003)));
+    }
+}

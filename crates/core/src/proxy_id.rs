@@ -1,0 +1,131 @@
+//! Identifiers for the seven leaked Blue Coat SG-9000 appliances.
+//!
+//! The paper names the proxies SG-42 … SG-48 after the last octet of their
+//! management address (`82.137.200.42` – `82.137.200.48`, the `s-ip` log
+//! field). [`ProxyId`] is the canonical handle used across the workspace.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// One of the seven proxies whose logs were leaked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProxyId {
+    Sg42,
+    Sg43,
+    Sg44,
+    Sg45,
+    Sg46,
+    Sg47,
+    Sg48,
+}
+
+impl ProxyId {
+    /// All proxies, in `s-ip` order.
+    pub const ALL: [ProxyId; 7] = [
+        ProxyId::Sg42,
+        ProxyId::Sg43,
+        ProxyId::Sg44,
+        ProxyId::Sg45,
+        ProxyId::Sg46,
+        ProxyId::Sg47,
+        ProxyId::Sg48,
+    ];
+
+    /// Number of proxies in the deployment.
+    pub const COUNT: usize = 7;
+
+    /// Last octet of the proxy's `s-ip` (42–48).
+    pub fn octet(self) -> u8 {
+        match self {
+            ProxyId::Sg42 => 42,
+            ProxyId::Sg43 => 43,
+            ProxyId::Sg44 => 44,
+            ProxyId::Sg45 => 45,
+            ProxyId::Sg46 => 46,
+            ProxyId::Sg47 => 47,
+            ProxyId::Sg48 => 48,
+        }
+    }
+
+    /// Zero-based index (SG-42 → 0 … SG-48 → 6), for dense per-proxy arrays.
+    pub fn index(self) -> usize {
+        (self.octet() - 42) as usize
+    }
+
+    /// Inverse of [`ProxyId::index`].
+    pub fn from_index(i: usize) -> Option<ProxyId> {
+        ProxyId::ALL.get(i).copied()
+    }
+
+    /// The proxy's `s-ip` address in the leaked logs.
+    pub fn s_ip(self) -> Ipv4Addr {
+        Ipv4Addr::new(82, 137, 200, self.octet())
+    }
+
+    /// Recover the proxy from its `s-ip` field.
+    pub fn from_s_ip(ip: Ipv4Addr) -> Result<ProxyId> {
+        let o = ip.octets();
+        if o[0] == 82 && o[1] == 137 && o[2] == 200 {
+            if let Some(p) = ProxyId::ALL.iter().find(|p| p.octet() == o[3]) {
+                return Ok(*p);
+            }
+        }
+        Err(Error::UnknownVariant {
+            field: "s-ip",
+            value: ip.to_string(),
+        })
+    }
+
+    /// Human label used in the paper, e.g. `"SG-44"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProxyId::Sg42 => "SG-42",
+            ProxyId::Sg43 => "SG-43",
+            ProxyId::Sg44 => "SG-44",
+            ProxyId::Sg45 => "SG-45",
+            ProxyId::Sg46 => "SG-46",
+            ProxyId::Sg47 => "SG-47",
+            ProxyId::Sg48 => "SG-48",
+        }
+    }
+}
+
+impl fmt::Display for ProxyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_ip_roundtrip() {
+        for p in ProxyId::ALL {
+            assert_eq!(ProxyId::from_s_ip(p.s_ip()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, p) in ProxyId::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(ProxyId::from_index(i), Some(*p));
+        }
+        assert_eq!(ProxyId::from_index(7), None);
+    }
+
+    #[test]
+    fn rejects_foreign_ips() {
+        assert!(ProxyId::from_s_ip(Ipv4Addr::new(82, 137, 200, 41)).is_err());
+        assert!(ProxyId::from_s_ip(Ipv4Addr::new(10, 0, 0, 42)).is_err());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ProxyId::Sg44.label(), "SG-44");
+        assert_eq!(ProxyId::Sg48.to_string(), "SG-48");
+    }
+}

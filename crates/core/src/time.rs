@@ -1,0 +1,380 @@
+//! Calendar time in the Blue Coat log format.
+//!
+//! The leaked logs carry `date` (`YYYY-MM-DD`) and `time` (`HH:MM:SS`) as two
+//! separate CSV fields, both in UTC. The analysis only ever needs second
+//! resolution within a ~3-week window, so we model time as a proleptic
+//! Gregorian calendar date plus a time of day, with cheap conversion to an
+//! absolute second count for binning and ordering.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Days per month in a non-leap year, 1-indexed by month.
+const DAYS_IN_MONTH: [u8; 13] = [0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// A calendar date (proleptic Gregorian, validated on construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: u16,
+    month: u8,
+    day: u8,
+}
+
+/// Day of the week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// Short English name, e.g. `"Fri"`.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Weekday::Monday => "Mon",
+            Weekday::Tuesday => "Tue",
+            Weekday::Wednesday => "Wed",
+            Weekday::Thursday => "Thu",
+            Weekday::Friday => "Fri",
+            Weekday::Saturday => "Sat",
+            Weekday::Sunday => "Sun",
+        }
+    }
+}
+
+fn is_leap(year: u16) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+fn days_in_month(year: u16, month: u8) -> u8 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[month as usize]
+    }
+}
+
+impl Date {
+    /// Construct a validated date.
+    pub fn new(year: u16, month: u8, day: u8) -> Result<Self> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(Error::InvalidTimestamp(format!(
+                "{year:04}-{month:02}-{day:02}"
+            )));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Year component.
+    pub fn year(self) -> u16 {
+        self.year
+    }
+
+    /// Month component (1–12).
+    pub fn month(self) -> u8 {
+        self.month
+    }
+
+    /// Day-of-month component (1-based).
+    pub fn day(self) -> u8 {
+        self.day
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Self> {
+        let bad = || Error::InvalidTimestamp(s.to_string());
+        let mut it = s.split('-');
+        let y = it.next().ok_or_else(bad)?;
+        let m = it.next().ok_or_else(bad)?;
+        let d = it.next().ok_or_else(bad)?;
+        if it.next().is_some() || y.len() != 4 || m.len() != 2 || d.len() != 2 {
+            return Err(bad());
+        }
+        let year: u16 = y.parse().map_err(|_| bad())?;
+        let month: u8 = m.parse().map_err(|_| bad())?;
+        let day: u8 = d.parse().map_err(|_| bad())?;
+        Date::new(year, month, day)
+    }
+
+    /// Days since 0000-03-01 (civil-from-days algorithm, no panics for any
+    /// valid `Date`).
+    pub fn days_from_civil(self) -> i64 {
+        let y = self.year as i64 - i64::from(self.month <= 2);
+        let era = y.div_euclid(400);
+        let yoe = y - era * 400; // [0, 399]
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let mp = (m + 9) % 12; // March = 0
+        let doy = (153 * mp + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468 // days since 1970-01-01
+    }
+
+    /// Inverse of [`Date::days_from_civil`].
+    pub fn from_days(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = z.div_euclid(146_097);
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+        let year = (y + i64::from(m <= 2)) as u16;
+        Date {
+            year,
+            month: m,
+            day: d,
+        }
+    }
+
+    /// The date `n` days after `self` (negative `n` goes backwards).
+    pub fn plus_days(self, n: i64) -> Self {
+        Date::from_days(self.days_from_civil() + n)
+    }
+
+    /// Day of the week.
+    pub fn weekday(self) -> Weekday {
+        // 1970-01-01 was a Thursday, i.e. (0 + 4) % 7 must map to Thursday.
+        match (self.days_from_civil() + 4).rem_euclid(7) {
+            0 => Weekday::Sunday,
+            1 => Weekday::Monday,
+            2 => Weekday::Tuesday,
+            3 => Weekday::Wednesday,
+            4 => Weekday::Thursday,
+            5 => Weekday::Friday,
+            _ => Weekday::Saturday,
+        }
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A time of day with second resolution (validated on construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeOfDay {
+    hour: u8,
+    minute: u8,
+    second: u8,
+}
+
+impl TimeOfDay {
+    /// Midnight.
+    pub const MIDNIGHT: TimeOfDay = TimeOfDay {
+        hour: 0,
+        minute: 0,
+        second: 0,
+    };
+
+    /// Construct a validated time of day.
+    pub fn new(hour: u8, minute: u8, second: u8) -> Result<Self> {
+        if hour > 23 || minute > 59 || second > 59 {
+            return Err(Error::InvalidTimestamp(format!(
+                "{hour:02}:{minute:02}:{second:02}"
+            )));
+        }
+        Ok(TimeOfDay {
+            hour,
+            minute,
+            second,
+        })
+    }
+
+    /// Build from a second offset within the day; values ≥ 86400 wrap.
+    pub fn from_second_of_day(s: u32) -> Self {
+        let s = s % 86_400;
+        TimeOfDay {
+            hour: (s / 3600) as u8,
+            minute: ((s / 60) % 60) as u8,
+            second: (s % 60) as u8,
+        }
+    }
+
+    /// Hour component (0–23).
+    pub fn hour(self) -> u8 {
+        self.hour
+    }
+
+    /// Minute component (0–59).
+    pub fn minute(self) -> u8 {
+        self.minute
+    }
+
+    /// Second component (0–59).
+    pub fn second(self) -> u8 {
+        self.second
+    }
+
+    /// Seconds since midnight.
+    pub fn second_of_day(self) -> u32 {
+        self.hour as u32 * 3600 + self.minute as u32 * 60 + self.second as u32
+    }
+
+    /// Parse `HH:MM:SS`.
+    pub fn parse(s: &str) -> Result<Self> {
+        let bad = || Error::InvalidTimestamp(s.to_string());
+        let b = s.as_bytes();
+        if b.len() != 8 || b[2] != b':' || b[5] != b':' {
+            return Err(bad());
+        }
+        let h: u8 = s[0..2].parse().map_err(|_| bad())?;
+        let m: u8 = s[3..5].parse().map_err(|_| bad())?;
+        let sec: u8 = s[6..8].parse().map_err(|_| bad())?;
+        TimeOfDay::new(h, m, sec)
+    }
+}
+
+impl fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:{:02}:{:02}", self.hour, self.minute, self.second)
+    }
+}
+
+/// An absolute instant: date plus time of day (UTC, second resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    date: Date,
+    time: TimeOfDay,
+}
+
+impl Timestamp {
+    /// Combine a date and a time of day.
+    pub fn new(date: Date, time: TimeOfDay) -> Self {
+        Timestamp { date, time }
+    }
+
+    /// Date component.
+    pub fn date(self) -> Date {
+        self.date
+    }
+
+    /// Time-of-day component.
+    pub fn time(self) -> TimeOfDay {
+        self.time
+    }
+
+    /// Seconds since the Unix epoch.
+    pub fn epoch_seconds(self) -> i64 {
+        self.date.days_from_civil() * 86_400 + self.time.second_of_day() as i64
+    }
+
+    /// Build from seconds since the Unix epoch.
+    pub fn from_epoch_seconds(s: i64) -> Self {
+        let days = s.div_euclid(86_400);
+        let sod = s.rem_euclid(86_400) as u32;
+        Timestamp {
+            date: Date::from_days(days),
+            time: TimeOfDay::from_second_of_day(sod),
+        }
+    }
+
+    /// The instant `secs` seconds after `self` (negative goes backwards).
+    pub fn plus_seconds(self, secs: i64) -> Self {
+        Timestamp::from_epoch_seconds(self.epoch_seconds() + secs)
+    }
+
+    /// Parse the two log fields `date` and `time`.
+    pub fn parse_fields(date: &str, time: &str) -> Result<Self> {
+        Ok(Timestamp {
+            date: Date::parse(date)?,
+            time: TimeOfDay::parse(time)?,
+        })
+    }
+
+    /// Index of the bin of width `bin_secs` containing this instant,
+    /// counting from `origin`. Instants before `origin` yield negative bins.
+    pub fn bin_index(self, origin: Timestamp, bin_secs: u32) -> i64 {
+        debug_assert!(bin_secs > 0);
+        (self.epoch_seconds() - origin.epoch_seconds()).div_euclid(bin_secs as i64)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.date, self.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let d = Date::parse("2011-08-03").unwrap();
+        assert_eq!(d.to_string(), "2011-08-03");
+        let t = TimeOfDay::parse("08:15:59").unwrap();
+        assert_eq!(t.to_string(), "08:15:59");
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Date::parse("2011-13-01").is_err());
+        assert!(Date::parse("2011-02-29").is_err()); // 2011 not a leap year
+        assert!(Date::parse("2011-2-9").is_err()); // must be zero padded
+        assert!(Date::parse("garbage").is_err());
+        assert!(Date::new(2012, 2, 29).is_ok()); // 2012 is a leap year
+    }
+
+    #[test]
+    fn rejects_invalid_times() {
+        assert!(TimeOfDay::parse("24:00:00").is_err());
+        assert!(TimeOfDay::parse("12:60:00").is_err());
+        assert!(TimeOfDay::parse("12:00:60").is_err());
+        assert!(TimeOfDay::parse("12:00").is_err());
+    }
+
+    #[test]
+    fn civil_days_roundtrip_over_study_period() {
+        // Every day of 2011-2012 survives the round trip.
+        let start = Date::new(2011, 1, 1).unwrap().days_from_civil();
+        for off in 0..730 {
+            let d = Date::from_days(start + off);
+            assert_eq!(d.days_from_civil(), start + off);
+        }
+    }
+
+    #[test]
+    fn known_weekdays() {
+        // August 5, 2011 was a Friday (the paper's weekly-protest slowdown).
+        assert_eq!(Date::new(2011, 8, 5).unwrap().weekday(), Weekday::Friday);
+        assert_eq!(Date::new(2011, 7, 22).unwrap().weekday(), Weekday::Friday);
+        assert_eq!(Date::new(2011, 8, 3).unwrap().weekday(), Weekday::Wednesday);
+    }
+
+    #[test]
+    fn epoch_seconds_roundtrip() {
+        let ts = Timestamp::parse_fields("2011-08-03", "09:30:00").unwrap();
+        assert_eq!(Timestamp::from_epoch_seconds(ts.epoch_seconds()), ts);
+        assert_eq!(ts.plus_seconds(86_400).date(), Date::new(2011, 8, 4).unwrap());
+        assert_eq!(ts.plus_seconds(-1).time().to_string(), "09:29:59");
+    }
+
+    #[test]
+    fn bin_index_five_minute_bins() {
+        let origin = Timestamp::parse_fields("2011-08-01", "00:00:00").unwrap();
+        let ts = Timestamp::parse_fields("2011-08-01", "00:05:00").unwrap();
+        assert_eq!(ts.bin_index(origin, 300), 1);
+        assert_eq!(origin.bin_index(origin, 300), 0);
+        let before = Timestamp::parse_fields("2011-07-31", "23:59:59").unwrap();
+        assert_eq!(before.bin_index(origin, 300), -1);
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        let a = Timestamp::parse_fields("2011-08-03", "09:30:00").unwrap();
+        let b = Timestamp::parse_fields("2011-08-03", "09:30:01").unwrap();
+        let c = Timestamp::parse_fields("2011-08-04", "00:00:00").unwrap();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,118 @@
+//! Country identifiers.
+//!
+//! A [`Country`] is an ISO-3166-ish two-letter code stored inline (no
+//! allocation, `Copy`). Display names are provided for the countries that
+//! appear in the paper's tables; unknown codes print as the raw code.
+
+use filterscope_core::{Error, Result};
+use std::fmt;
+
+/// A two-letter country code (uppercase ASCII, validated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Country([u8; 2]);
+
+impl Country {
+    /// Construct from a 2-letter code (case-insensitive).
+    pub fn new(code: &str) -> Result<Self> {
+        let b = code.as_bytes();
+        if b.len() != 2 || !b.iter().all(|c| c.is_ascii_alphabetic()) {
+            return Err(Error::UnknownVariant {
+                field: "country",
+                value: code.to_string(),
+            });
+        }
+        Ok(Country([
+            b[0].to_ascii_uppercase(),
+            b[1].to_ascii_uppercase(),
+        ]))
+    }
+
+    /// The uppercase code, e.g. `"IL"`.
+    pub fn code(&self) -> &str {
+        // Constructed from validated ASCII, so this cannot fail.
+        std::str::from_utf8(&self.0).unwrap_or("??")
+    }
+
+    /// English display name for catalogued countries, code otherwise.
+    pub fn name(&self) -> &'static str {
+        match &self.0 {
+            b"IL" => "Israel",
+            b"SY" => "Syrian Arab Republic",
+            b"KW" => "Kuwait",
+            b"RU" => "Russian Federation",
+            b"GB" => "United Kingdom",
+            b"NL" => "Netherlands",
+            b"SG" => "Singapore",
+            b"BG" => "Bulgaria",
+            b"US" => "United States",
+            b"DE" => "Germany",
+            b"FR" => "France",
+            b"IE" => "Ireland",
+            b"SA" => "Saudi Arabia",
+            b"AE" => "United Arab Emirates",
+            b"TR" => "Turkey",
+            b"EG" => "Egypt",
+            b"JO" => "Jordan",
+            b"LB" => "Lebanon",
+            b"CN" => "China",
+            b"SE" => "Sweden",
+            _ => "",
+        }
+    }
+
+    /// Display name when catalogued, otherwise the code itself.
+    pub fn display_name(&self) -> String {
+        let n = self.name();
+        if n.is_empty() {
+            self.code().to_string()
+        } else {
+            n.to_string()
+        }
+    }
+}
+
+/// Shorthand constructor for catalogued literals: `country!("IL")` style is
+/// avoided; use `Country::of`, which panics only on programmer error with a
+/// bad literal (intended for constants in data tables).
+impl Country {
+    /// Infallible constructor for compile-time-known codes.
+    ///
+    /// # Panics
+    /// Panics if `code` is not two ASCII letters — acceptable only for
+    /// literals in data tables.
+    pub fn of(code: &str) -> Self {
+        Country::new(code).expect("valid 2-letter country code literal")
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_normalization() {
+        assert_eq!(Country::new("il").unwrap().code(), "IL");
+        assert_eq!(Country::new("IL").unwrap(), Country::of("il"));
+    }
+
+    #[test]
+    fn rejects_bad_codes() {
+        assert!(Country::new("").is_err());
+        assert!(Country::new("ISR").is_err());
+        assert!(Country::new("1L").is_err());
+    }
+
+    #[test]
+    fn names_for_paper_countries() {
+        assert_eq!(Country::of("IL").name(), "Israel");
+        assert_eq!(Country::of("RU").name(), "Russian Federation");
+        assert_eq!(Country::of("NL").name(), "Netherlands");
+        assert_eq!(Country::of("ZZ").display_name(), "ZZ");
+    }
+}

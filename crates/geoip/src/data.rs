@@ -1,0 +1,184 @@
+//! The synthetic country register.
+//!
+//! Substitutes for the Maxmind GeoIP database the paper used. The register
+//! covers every country in Table 11, the exact Israeli subnets of Table 12,
+//! the Syrian STE address space the proxies live in, and enough generic
+//! hosting space (US/EU) for the synthetic workload's CDN and anonymizer
+//! hosts. The specific prefixes are real-world-plausible but chosen for the
+//! simulation; the analysis is calibrated against *this* register.
+
+use crate::country::Country;
+use crate::db::{GeoDb, GeoDbBuilder};
+use filterscope_core::Ipv4Cidr;
+
+/// The Israeli subnets of Table 12, in the paper's order.
+pub const ISRAELI_SUBNETS: [&str; 5] = [
+    "84.229.0.0/16",
+    "46.120.0.0/15",
+    "89.138.0.0/15",
+    "212.235.64.0/19",
+    "212.150.0.0/16",
+];
+
+/// Additional Israeli space (the `.il` ccTLD hosts resolve here).
+pub const ISRAELI_EXTRA: [&str; 3] = ["80.179.0.0/16", "147.237.0.0/16", "199.203.0.0/16"];
+
+/// Syrian STE space, including the proxies' own `82.137.200.0/24`.
+pub const SYRIAN_SUBNETS: [&str; 3] = ["82.137.128.0/17", "77.44.128.0/17", "31.9.0.0/16"];
+
+/// `(country, blocks)` for everything else in the register.
+pub fn other_blocks() -> Vec<(Country, Vec<&'static str>)> {
+    vec![
+        (Country::of("KW"), vec!["168.187.0.0/16", "94.187.0.0/17"]),
+        (
+            Country::of("RU"),
+            vec!["95.163.0.0/17", "178.248.232.0/21", "217.69.128.0/20"],
+        ),
+        (
+            Country::of("GB"),
+            vec!["212.58.224.0/19", "31.170.160.0/21", "80.68.80.0/20"],
+        ),
+        (
+            Country::of("NL"),
+            vec!["94.228.128.0/18", "145.58.0.0/16", "82.94.0.0/16", "213.154.224.0/19"],
+        ),
+        (Country::of("SG"), vec!["203.116.0.0/16", "119.75.16.0/21"]),
+        (Country::of("BG"), vec!["212.39.64.0/18", "87.118.64.0/18"]),
+        (
+            Country::of("US"),
+            vec![
+                "8.0.0.0/9",
+                "63.0.0.0/8",
+                "64.0.0.0/8",
+                "66.0.0.0/8",
+                "69.0.0.0/8",
+                "72.0.0.0/8",
+                "74.0.0.0/8",
+                "96.0.0.0/8",
+                "98.0.0.0/8",
+                "173.192.0.0/12",
+                "184.24.0.0/13",
+                "199.59.148.0/22",
+                "204.0.0.0/8",
+                "208.0.0.0/8",
+            ],
+        ),
+        (
+            Country::of("DE"),
+            vec!["78.46.0.0/15", "88.198.0.0/16", "213.239.192.0/18"],
+        ),
+        (
+            Country::of("FR"),
+            vec!["88.190.0.0/16", "91.121.0.0/16", "195.154.0.0/16"],
+        ),
+        (Country::of("IE"), vec!["87.32.0.0/12"]),
+        (Country::of("SE"), vec!["194.71.0.0/16", "130.242.0.0/16"]),
+        (Country::of("SA"), vec!["188.48.0.0/13"]),
+        (Country::of("AE"), vec!["94.200.0.0/13"]),
+        (Country::of("EG"), vec!["41.32.0.0/11"]),
+        (Country::of("JO"), vec!["212.34.0.0/19"]),
+        (Country::of("LB"), vec!["178.135.0.0/16"]),
+        (Country::of("TR"), vec!["78.160.0.0/11"]),
+        (Country::of("CN"), vec!["114.80.0.0/12", "123.125.0.0/16"]),
+    ]
+}
+
+/// Every Israeli block (Table 12 plus extras) as parsed CIDRs.
+pub fn israeli_blocks() -> Vec<Ipv4Cidr> {
+    ISRAELI_SUBNETS
+        .iter()
+        .chain(ISRAELI_EXTRA.iter())
+        .map(|s| Ipv4Cidr::parse(s).expect("static Israeli subnet literal"))
+        .collect()
+}
+
+/// Build the full standard register.
+pub fn standard_db() -> GeoDb {
+    let mut b = GeoDbBuilder::new();
+    let il = Country::of("IL");
+    for block in israeli_blocks() {
+        b.push(block, il);
+    }
+    let sy = Country::of("SY");
+    for s in SYRIAN_SUBNETS {
+        b.push(Ipv4Cidr::parse(s).expect("static Syrian subnet literal"), sy);
+    }
+    for (country, blocks) in other_blocks() {
+        for s in blocks {
+            b.push(Ipv4Cidr::parse(s).expect("static subnet literal"), country);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn table12_subnets_resolve_to_israel() {
+        let db = standard_db();
+        for s in ISRAELI_SUBNETS {
+            let block = Ipv4Cidr::parse(s).unwrap();
+            assert_eq!(
+                db.lookup(block.nth(7)),
+                Some(Country::of("IL")),
+                "subnet {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn proxies_resolve_to_syria() {
+        let db = standard_db();
+        assert_eq!(
+            db.lookup(Ipv4Addr::new(82, 137, 200, 44)),
+            Some(Country::of("SY"))
+        );
+    }
+
+    #[test]
+    fn table11_countries_all_present() {
+        let db = standard_db();
+        let probes: [(&str, &str); 7] = [
+            ("IL", "84.229.0.1"),
+            ("KW", "168.187.1.1"),
+            ("RU", "95.163.1.1"),
+            ("GB", "212.58.230.1"),
+            ("NL", "145.58.9.9"),
+            ("SG", "203.116.4.4"),
+            ("BG", "212.39.70.1"),
+        ];
+        for (code, addr) in probes {
+            assert_eq!(
+                db.lookup(addr.parse().unwrap()),
+                Some(Country::of(code)),
+                "{code}"
+            );
+        }
+    }
+
+    #[test]
+    fn unregistered_space_is_none() {
+        let db = standard_db();
+        assert_eq!(db.lookup(Ipv4Addr::new(192, 168, 1, 1)), None);
+        assert_eq!(db.lookup(Ipv4Addr::new(10, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn register_blocks_do_not_conflict() {
+        // Every block resolves its own first address to its own country —
+        // catches accidental overlaps between different countries' blocks.
+        let db = standard_db();
+        for block in israeli_blocks() {
+            assert_eq!(db.lookup(block.network()), Some(Country::of("IL")));
+        }
+        for (country, blocks) in other_blocks() {
+            for s in blocks {
+                let b = Ipv4Cidr::parse(s).unwrap();
+                assert_eq!(db.lookup(b.network()), Some(country), "{s}");
+            }
+        }
+    }
+}

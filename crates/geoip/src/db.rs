@@ -1,0 +1,312 @@
+//! The lookup engine.
+//!
+//! CIDR blocks form a laminar family: two blocks are either disjoint or one
+//! contains the other. [`GeoDbBuilder::build`] therefore flattens the block
+//! set into disjoint `[start, end] → country` segments with a stack sweep
+//! (outer blocks are "interrupted" by inner ones and resume after them), and
+//! [`GeoDb::lookup`] is a single binary search — O(log n), no per-query
+//! allocation.
+
+use crate::country::Country;
+use filterscope_core::Ipv4Cidr;
+use std::net::Ipv4Addr;
+
+/// Builder: accumulate `(block, country)` pairs, then [`build`](Self::build).
+#[derive(Debug, Default)]
+pub struct GeoDbBuilder {
+    blocks: Vec<(Ipv4Cidr, Country)>,
+}
+
+impl GeoDbBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a block. Nested blocks are allowed; the most specific wins.
+    /// Duplicate exact blocks: the last registration wins.
+    pub fn push(&mut self, block: Ipv4Cidr, country: Country) -> &mut Self {
+        self.blocks.push((block, country));
+        self
+    }
+
+    /// Register many blocks.
+    pub fn extend(
+        &mut self,
+        blocks: impl IntoIterator<Item = (Ipv4Cidr, Country)>,
+    ) -> &mut Self {
+        self.blocks.extend(blocks);
+        self
+    }
+
+    /// Flatten into a queryable [`GeoDb`].
+    pub fn build(mut self) -> GeoDb {
+        // Sort outer-first: by start ascending, then by prefix length
+        // ascending (shorter prefix = larger block = outer). `sort_by_key`
+        // is stable, so among exact duplicates the later `push` stays later
+        // and wins below.
+        self.blocks
+            .sort_by_key(|(b, _)| (b.first_u32(), b.prefix_len()));
+
+        let mut segments: Vec<Segment> = Vec::with_capacity(self.blocks.len());
+        // Stack of currently-open enclosing blocks.
+        let mut stack: Vec<(Ipv4Cidr, Country)> = Vec::new();
+        let emit = |start: u32, end: u32, country: Country, out: &mut Vec<Segment>| {
+            if start > end {
+                return;
+            }
+            // Merge with the previous segment when contiguous and same country.
+            if let Some(last) = out.last_mut() {
+                if last.country == country && last.end.wrapping_add(1) == start && last.end != u32::MAX {
+                    last.end = end;
+                    return;
+                }
+            }
+            out.push(Segment {
+                start,
+                end,
+                country,
+            });
+        };
+
+        // `cursor` tracks the next address not yet covered by an emitted
+        // segment within the currently open block chain.
+        let mut cursor: u32 = 0;
+        for (block, country) in self.blocks {
+            // Close blocks that end before this one starts.
+            while let Some(&(open, oc)) = stack.last() {
+                if open.last_u32() < block.first_u32() {
+                    emit(cursor.max(open.first_u32()), open.last_u32(), oc, &mut segments);
+                    cursor = open.last_u32().wrapping_add(1);
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            // Exact duplicate of the top of stack: replace (last wins).
+            if let Some(top) = stack.last_mut() {
+                if top.0 == block {
+                    top.1 = country;
+                    continue;
+                }
+            }
+            // Emit the enclosing block's prefix up to this block's start.
+            if let Some(&(_, oc)) = stack.last() {
+                if cursor < block.first_u32() {
+                    emit(cursor, block.first_u32().wrapping_sub(1), oc, &mut segments);
+                }
+            }
+            cursor = cursor.max(block.first_u32());
+            stack.push((block, country));
+        }
+        // Drain remaining open blocks, innermost first.
+        while let Some((open, oc)) = stack.pop() {
+            emit(cursor.max(open.first_u32()), open.last_u32(), oc, &mut segments);
+            cursor = open.last_u32().wrapping_add(1);
+            if open.last_u32() == u32::MAX {
+                break;
+            }
+        }
+
+        GeoDb { segments }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: u32,
+    end: u32,
+    country: Country,
+}
+
+/// An immutable IP→country database.
+#[derive(Debug, Clone)]
+pub struct GeoDb {
+    segments: Vec<Segment>,
+}
+
+impl GeoDb {
+    /// Build from `(block, country)` pairs (see [`GeoDbBuilder`]).
+    pub fn from_blocks(blocks: impl IntoIterator<Item = (Ipv4Cidr, Country)>) -> Self {
+        let mut b = GeoDbBuilder::new();
+        b.extend(blocks);
+        b.build()
+    }
+
+    /// The country of `addr`, if registered.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<Country> {
+        let x = u32::from(addr);
+        match self.segments.partition_point(|s| s.start <= x) {
+            0 => None,
+            i => {
+                let s = self.segments[i - 1];
+                (x <= s.end).then_some(s.country)
+            }
+        }
+    }
+
+    /// Number of disjoint segments (diagnostics).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        Ipv4Cidr::parse(s).unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn disjoint_blocks() {
+        let db = GeoDb::from_blocks([
+            (cidr("84.229.0.0/16"), Country::of("IL")),
+            (cidr("82.137.128.0/17"), Country::of("SY")),
+        ]);
+        assert_eq!(db.lookup(ip("84.229.3.4")), Some(Country::of("IL")));
+        assert_eq!(db.lookup(ip("82.137.200.44")), Some(Country::of("SY")));
+        assert_eq!(db.lookup(ip("8.8.8.8")), None);
+    }
+
+    #[test]
+    fn nested_blocks_most_specific_wins() {
+        let db = GeoDb::from_blocks([
+            (cidr("212.0.0.0/8"), Country::of("RU")),
+            (cidr("212.150.0.0/16"), Country::of("IL")),
+            (cidr("212.150.5.0/24"), Country::of("GB")),
+        ]);
+        assert_eq!(db.lookup(ip("212.1.2.3")), Some(Country::of("RU")));
+        assert_eq!(db.lookup(ip("212.150.1.1")), Some(Country::of("IL")));
+        assert_eq!(db.lookup(ip("212.150.5.9")), Some(Country::of("GB")));
+        // Outer block resumes after the inner ones end.
+        assert_eq!(db.lookup(ip("212.150.6.0")), Some(Country::of("IL")));
+        assert_eq!(db.lookup(ip("212.151.0.0")), Some(Country::of("RU")));
+        assert_eq!(db.lookup(ip("213.0.0.0")), None);
+    }
+
+    #[test]
+    fn duplicate_block_last_registration_wins() {
+        let db = GeoDb::from_blocks([
+            (cidr("10.0.0.0/8"), Country::of("US")),
+            (cidr("10.0.0.0/8"), Country::of("DE")),
+        ]);
+        assert_eq!(db.lookup(ip("10.1.2.3")), Some(Country::of("DE")));
+    }
+
+    #[test]
+    fn adjacent_same_country_blocks_merge() {
+        let db = GeoDb::from_blocks([
+            (cidr("46.120.0.0/16"), Country::of("IL")),
+            (cidr("46.121.0.0/16"), Country::of("IL")),
+        ]);
+        assert_eq!(db.segment_count(), 1);
+        assert_eq!(db.lookup(ip("46.120.200.1")), Some(Country::of("IL")));
+        assert_eq!(db.lookup(ip("46.121.0.0")), Some(Country::of("IL")));
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = GeoDb::from_blocks([]);
+        assert_eq!(db.lookup(ip("1.2.3.4")), None);
+        assert_eq!(db.segment_count(), 0);
+    }
+
+    #[test]
+    fn edges_of_address_space() {
+        let db = GeoDb::from_blocks([
+            (cidr("0.0.0.0/8"), Country::of("US")),
+            (cidr("255.255.255.0/24"), Country::of("SG")),
+        ]);
+        assert_eq!(db.lookup(ip("0.0.0.0")), Some(Country::of("US")));
+        assert_eq!(db.lookup(ip("255.255.255.255")), Some(Country::of("SG")));
+        assert_eq!(db.lookup(ip("254.0.0.1")), None);
+    }
+
+    #[test]
+    fn lookup_agrees_with_linear_most_specific_scan() {
+        let blocks = vec![
+            (cidr("82.0.0.0/8"), Country::of("FR")),
+            (cidr("82.137.0.0/16"), Country::of("SY")),
+            (cidr("82.137.200.0/24"), Country::of("SY")),
+            (cidr("84.228.0.0/14"), Country::of("IL")),
+            (cidr("84.229.128.0/17"), Country::of("IL")),
+            (cidr("212.150.0.0/16"), Country::of("IL")),
+        ];
+        let db = GeoDb::from_blocks(blocks.clone());
+        let linear = |a: Ipv4Addr| {
+            blocks
+                .iter()
+                .filter(|(b, _)| b.contains(a))
+                .max_by_key(|(b, _)| b.prefix_len())
+                .map(|(_, c)| *c)
+        };
+        for probe in [
+            "82.0.0.1",
+            "82.137.1.1",
+            "82.137.200.44",
+            "82.138.0.0",
+            "84.228.0.0",
+            "84.229.200.7",
+            "84.232.0.0",
+            "212.150.77.8",
+            "212.151.0.0",
+            "9.9.9.9",
+        ] {
+            let a = ip(probe);
+            assert_eq!(db.lookup(a), linear(a), "probe {probe}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod zzz_fuzz {
+    use super::*;
+    #[test]
+    fn zzz_random_laminar_matches_linear() {
+        // Simple deterministic PRNG
+        let mut state: u64 = 0x243F6A8885A308D3;
+        let mut rnd = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
+        for case in 0..300 {
+            let n = 1 + (rnd() % 8) as usize;
+            let mut blocks = Vec::new();
+            for _ in 0..n {
+                let plen = (rnd() % 33) as u8;
+                let addr = std::net::Ipv4Addr::from((rnd() as u32) & 0xFFFF_FFFF);
+                let c = Country::of(if rnd() % 2 == 0 { "AA" } else { "BB" });
+                blocks.push((Ipv4Cidr::new(addr, plen).unwrap(), c));
+            }
+            let db = GeoDb::from_blocks(blocks.clone());
+            let linear = |a: std::net::Ipv4Addr| {
+                let mut best: Option<(u8, Country)> = None;
+                for (i, (b, c)) in blocks.iter().enumerate() {
+                    if b.contains(a) {
+                        match best {
+                            Some((pl, _)) if pl > b.prefix_len() => {}
+                            Some((pl, _)) if pl == b.prefix_len() => { best = Some((b.prefix_len(), *c)); let _ = i; }
+                            _ => best = Some((b.prefix_len(), *c)),
+                        }
+                    }
+                }
+                best.map(|(_, c)| c)
+            };
+            // Probe block boundaries and random points
+            let mut probes: Vec<u32> = vec![0, u32::MAX];
+            for (b, _) in &blocks {
+                for d in [b.first_u32().wrapping_sub(1), b.first_u32(), b.last_u32(), b.last_u32().wrapping_add(1)] {
+                    probes.push(d);
+                }
+            }
+            for _ in 0..20 { probes.push(rnd() as u32); }
+            for p in probes {
+                let a = std::net::Ipv4Addr::from(p);
+                assert_eq!(db.lookup(a), linear(a), "case {case} probe {a} blocks {blocks:?}");
+            }
+        }
+    }
+}

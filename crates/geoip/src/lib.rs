@@ -1,0 +1,23 @@
+//! # filterscope-geoip
+//!
+//! IP-to-country resolution, the substrate behind the paper's Table 11
+//! (censorship ratio per destination country) and Table 12 (top censored
+//! Israeli subnets).
+//!
+//! The paper used the Maxmind GeoIP database; that data is proprietary, so
+//! this crate ships a compatible engine plus a synthetic register
+//! ([`data::standard_db`]) that covers every country appearing in the
+//! paper's analysis, with the exact Israeli subnets of Table 12.
+//!
+//! The engine exploits the fact that CIDR blocks form a *laminar family*
+//! (any two blocks are disjoint or nested): [`GeoDbBuilder::build`] flattens nested
+//! blocks into disjoint segments where the innermost (most specific) block
+//! wins, and lookups are a single binary search.
+
+pub mod country;
+pub mod data;
+pub mod db;
+pub mod registry;
+
+pub use country::Country;
+pub use db::{GeoDb, GeoDbBuilder};

@@ -1,0 +1,86 @@
+//! Text registry format: load user-supplied geo data.
+//!
+//! One mapping per line — `CIDR<whitespace>COUNTRY-CODE` — with `#` comments
+//! and blank lines ignored:
+//!
+//! ```text
+//! # Israeli space
+//! 84.229.0.0/16  IL
+//! 212.150.0.0/16 IL
+//! ```
+//!
+//! This lets the analysis pipeline run against real logs with a real
+//! country register (e.g. an export from an RIR delegation file) instead of
+//! the built-in synthetic one.
+
+use crate::country::Country;
+use crate::db::GeoDb;
+use filterscope_core::{Error, Ipv4Cidr, Result};
+
+/// Parse registry text into `(block, country)` pairs.
+pub fn parse_registry(text: &str) -> Result<Vec<(Ipv4Cidr, Country)>> {
+    let mut out = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(block), Some(code), None) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(Error::MalformedRecord {
+                line: (no + 1) as u64,
+                reason: format!("expected 'CIDR CC', got {line:?}"),
+            });
+        };
+        out.push((Ipv4Cidr::parse(block)?, Country::new(code)?));
+    }
+    Ok(out)
+}
+
+/// Serialize `(block, country)` pairs to the registry text format.
+pub fn registry_to_text<'a>(
+    entries: impl IntoIterator<Item = &'a (Ipv4Cidr, Country)>,
+) -> String {
+    let mut out = String::from("# filterscope geo registry\n");
+    for (block, country) in entries {
+        out.push_str(&format!("{block} {country}\n"));
+    }
+    out
+}
+
+/// Convenience: parse registry text straight into a [`GeoDb`].
+pub fn load_db(text: &str) -> Result<GeoDb> {
+    Ok(GeoDb::from_blocks(parse_registry(text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_comments_and_blanks() {
+        let text = "# head\n\n84.229.0.0/16 IL\n212.150.0.0/16\tIL # inline\n8.0.0.0/9 US\n";
+        let entries = parse_registry(text).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].1, Country::of("IL"));
+        let db = load_db(text).unwrap();
+        assert_eq!(db.lookup("8.1.2.3".parse().unwrap()), Some(Country::of("US")));
+    }
+
+    #[test]
+    fn roundtrips() {
+        let entries = parse_registry("84.229.0.0/16 IL\n8.0.0.0/9 US\n").unwrap();
+        let text = registry_to_text(&entries);
+        let back = parse_registry(&text).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_registry("84.229.0.0/16").is_err()); // missing country
+        assert!(parse_registry("84.229.0.0/16 IL extra").is_err());
+        assert!(parse_registry("not-a-cidr IL").is_err());
+        assert!(parse_registry("84.229.0.0/16 ISR").is_err()); // 3-letter code
+    }
+}

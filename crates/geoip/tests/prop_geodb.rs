@@ -1,0 +1,39 @@
+//! Property test: the flattened GeoDb agrees with a linear most-specific
+//! scan over the raw blocks for arbitrary laminar-or-not block sets.
+
+use filterscope_core::Ipv4Cidr;
+use filterscope_geoip::{Country, GeoDb};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const CODES: [&str; 6] = ["IL", "SY", "US", "RU", "NL", "GB"];
+
+proptest! {
+    #[test]
+    fn lookup_matches_most_specific_linear_scan(
+        raw in proptest::collection::vec((any::<u32>(), 4u8..=32, 0usize..6), 0..25),
+        probes in proptest::collection::vec(any::<u32>(), 0..60),
+    ) {
+        let blocks: Vec<(Ipv4Cidr, Country)> = raw
+            .into_iter()
+            .map(|(addr, len, c)| {
+                (
+                    Ipv4Cidr::new(Ipv4Addr::from(addr), len).unwrap(),
+                    Country::of(CODES[c]),
+                )
+            })
+            .collect();
+        let db = GeoDb::from_blocks(blocks.clone());
+        for p in probes {
+            let a = Ipv4Addr::from(p);
+            // Most specific block wins; among equal blocks the last wins.
+            let want = blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, (b, _))| b.contains(a))
+                .max_by_key(|(i, (b, _))| (b.prefix_len(), *i))
+                .map(|(_, (_, c))| *c);
+            prop_assert_eq!(db.lookup(a), want, "probe {}", a);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The Telecomix anonymization step, as a reusable transform.
+//!
+//! Before release, the leak's client addresses were replaced with zeros,
+//! except for July 22–23 where they were replaced with a *hash* of the
+//! address (§3.3) — the accident that makes the `Duser` analysis possible.
+//! This module implements both transforms so unredacted logs can be
+//! prepared for sharing with the same trade-offs: [`zero_client`] destroys
+//! user linkage entirely; [`hash_client`] preserves linkage (same client →
+//! same pseudonym) without revealing addresses.
+
+use crate::enums::ClientId;
+use crate::record::LogRecord;
+use std::net::Ipv4Addr;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Keyed pseudonym for an address: deterministic per (salt, address).
+pub fn pseudonym(addr: Ipv4Addr, salt: u64) -> u64 {
+    splitmix(salt ^ u32::from(addr) as u64)
+}
+
+/// Replace the client identifier with zeros (the August treatment).
+pub fn zero_client(record: &mut LogRecord) {
+    record.client = ClientId::Zeroed;
+}
+
+/// Replace a literal client address with a salted hash (the July 22–23
+/// treatment). Already-anonymized identifiers (zeroed or hashed) are left
+/// untouched — re-hashing a hash would break cross-file linkage.
+pub fn hash_client(record: &mut LogRecord, salt: u64) {
+    if let ClientId::Addr(addr) = record.client {
+        record.client = ClientId::Hashed(pseudonym(addr, salt));
+    }
+}
+
+/// Anonymize a whole record stream in the leak's style: hash clients inside
+/// `hash_window` (a date range, inclusive), zero them elsewhere.
+pub fn telecomix_style(
+    record: &mut LogRecord,
+    hash_window: (filterscope_core::Date, filterscope_core::Date),
+    salt: u64,
+) {
+    let d = record.timestamp.date();
+    if d >= hash_window.0 && d <= hash_window.1 {
+        hash_client(record, salt);
+    } else {
+        zero_client(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordBuilder;
+    use crate::url::RequestUrl;
+    use filterscope_core::{Date, ProxyId, Timestamp};
+
+    fn rec(date: &str, client: ClientId) -> LogRecord {
+        RecordBuilder::new(
+            Timestamp::parse_fields(date, "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http("x.com", "/"),
+        )
+        .client(client)
+        .build()
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_keyed() {
+        let a: Ipv4Addr = "10.1.2.3".parse().unwrap();
+        let b: Ipv4Addr = "10.1.2.4".parse().unwrap();
+        assert_eq!(pseudonym(a, 7), pseudonym(a, 7));
+        assert_ne!(pseudonym(a, 7), pseudonym(b, 7));
+        assert_ne!(pseudonym(a, 7), pseudonym(a, 8), "salt must matter");
+    }
+
+    #[test]
+    fn hash_client_preserves_linkage() {
+        let addr = ClientId::Addr("192.0.2.7".parse().unwrap());
+        let mut r1 = rec("2011-07-22", addr);
+        let mut r2 = rec("2011-07-23", addr);
+        hash_client(&mut r1, 42);
+        hash_client(&mut r2, 42);
+        assert_eq!(r1.client, r2.client);
+        assert!(matches!(r1.client, ClientId::Hashed(_)));
+    }
+
+    #[test]
+    fn already_anonymized_is_untouched() {
+        let mut r = rec("2011-07-22", ClientId::Hashed(0xAB));
+        hash_client(&mut r, 42);
+        assert_eq!(r.client, ClientId::Hashed(0xAB));
+        let mut z = rec("2011-07-22", ClientId::Zeroed);
+        hash_client(&mut z, 42);
+        assert_eq!(z.client, ClientId::Zeroed);
+    }
+
+    #[test]
+    fn telecomix_style_windows() {
+        let window = (
+            Date::new(2011, 7, 22).unwrap(),
+            Date::new(2011, 7, 23).unwrap(),
+        );
+        let addr = ClientId::Addr("192.0.2.7".parse().unwrap());
+        let mut inside = rec("2011-07-22", addr);
+        telecomix_style(&mut inside, window, 1);
+        assert!(matches!(inside.client, ClientId::Hashed(_)));
+        let mut outside = rec("2011-08-01", addr);
+        telecomix_style(&mut outside, window, 1);
+        assert_eq!(outside.client, ClientId::Zeroed);
+    }
+}

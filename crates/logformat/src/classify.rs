@@ -1,0 +1,170 @@
+//! Request classification (§3.3 of the paper).
+//!
+//! Two complementary views exist side by side, matching the paper's usage:
+//!
+//! * [`RequestClass`] — the four-way split of Table 3, keyed primarily on
+//!   `sc-filter-result`: `PROXIED` records form their own class because "the
+//!   outcome depends on a prior computation", and everything else divides by
+//!   `x-exception-id` into Allowed / Censored / Error.
+//! * [`PolicyClass`] — the pure exception-based three-way split the paper
+//!   falls back to when it "treats \[PROXIED requests\] like the rest of the
+//!   traffic and classifies them according to the x-exception-id" (used by
+//!   the per-domain and per-keyword tables where Proxied is a separate
+//!   column).
+
+use crate::enums::{ExceptionId, FilterResult};
+use crate::record::LogRecord;
+
+/// The paper's four-way traffic classification (Table 3 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Served to the client, no exception (`OBSERVED`, `x-exception-id = '-'`).
+    Allowed,
+    /// Outcome resolved by the cache (`sc-filter-result = PROXIED`).
+    Proxied,
+    /// Not served, due to a network/processing error.
+    Error,
+    /// Not served, due to the censorship policy
+    /// (`policy_denied` / `policy_redirect`).
+    Censored,
+}
+
+impl RequestClass {
+    /// Classify a record.
+    pub fn of(record: &LogRecord) -> RequestClass {
+        if record.filter_result == FilterResult::Proxied {
+            return RequestClass::Proxied;
+        }
+        match &record.exception {
+            ExceptionId::None => RequestClass::Allowed,
+            e if e.is_policy() => RequestClass::Censored,
+            _ => RequestClass::Error,
+        }
+    }
+
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestClass::Allowed => "Allowed",
+            RequestClass::Proxied => "Proxied",
+            RequestClass::Error => "Error",
+            RequestClass::Censored => "Censored",
+        }
+    }
+
+    /// Was the request denied (not served), i.e. Error or Censored?
+    /// Matches the paper's `Ddenied` membership: `x-exception-id != '-'`.
+    pub fn is_denied(self) -> bool {
+        matches!(self, RequestClass::Error | RequestClass::Censored)
+    }
+}
+
+/// Exception-only three-way classification (`PROXIED` folded in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyClass {
+    /// No exception raised.
+    Allowed,
+    /// `policy_denied` or `policy_redirect`.
+    Censored,
+    /// Any other exception.
+    Error,
+}
+
+impl PolicyClass {
+    /// Classify a record by exception alone.
+    pub fn of(record: &LogRecord) -> PolicyClass {
+        match &record.exception {
+            ExceptionId::None => PolicyClass::Allowed,
+            e if e.is_policy() => PolicyClass::Censored,
+            _ => PolicyClass::Error,
+        }
+    }
+}
+
+/// Membership test for the `Ddenied` dataset: every request that raised an
+/// exception, regardless of filter result (Table 3 counts PROXIED rows with
+/// exceptions inside `Ddenied` too).
+pub fn in_denied_dataset(record: &LogRecord) -> bool {
+    record.exception != ExceptionId::None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordBuilder;
+    use crate::url::RequestUrl;
+    use filterscope_core::{ProxyId, Timestamp};
+
+    fn ts() -> Timestamp {
+        Timestamp::parse_fields("2011-08-02", "10:00:00").unwrap()
+    }
+
+    fn base() -> RecordBuilder {
+        RecordBuilder::new(ts(), ProxyId::Sg42, RequestUrl::http("example.com", "/"))
+    }
+
+    #[test]
+    fn observed_without_exception_is_allowed() {
+        let r = base().build();
+        assert_eq!(RequestClass::of(&r), RequestClass::Allowed);
+        assert_eq!(PolicyClass::of(&r), PolicyClass::Allowed);
+        assert!(!in_denied_dataset(&r));
+    }
+
+    #[test]
+    fn policy_denied_is_censored() {
+        let r = base().policy_denied().build();
+        assert_eq!(RequestClass::of(&r), RequestClass::Censored);
+        assert!(RequestClass::of(&r).is_denied());
+        assert!(in_denied_dataset(&r));
+    }
+
+    #[test]
+    fn policy_redirect_is_censored() {
+        let r = base().policy_redirect().build();
+        assert_eq!(RequestClass::of(&r), RequestClass::Censored);
+        assert_eq!(PolicyClass::of(&r), PolicyClass::Censored);
+    }
+
+    #[test]
+    fn network_errors_are_errors() {
+        for e in [
+            ExceptionId::TcpError,
+            ExceptionId::InternalError,
+            ExceptionId::InvalidRequest,
+            ExceptionId::DnsServerFailure,
+            ExceptionId::Other("weird_thing".into()),
+        ] {
+            let r = base().network_error(e.clone()).build();
+            assert_eq!(RequestClass::of(&r), RequestClass::Error, "{e}");
+            assert_eq!(PolicyClass::of(&r), PolicyClass::Error);
+            assert!(in_denied_dataset(&r));
+        }
+    }
+
+    #[test]
+    fn proxied_is_its_own_class_but_policy_class_sees_through() {
+        // PROXIED with no exception: Proxied / Allowed.
+        let r = base().proxied().build();
+        assert_eq!(RequestClass::of(&r), RequestClass::Proxied);
+        assert_eq!(PolicyClass::of(&r), PolicyClass::Allowed);
+        assert!(!in_denied_dataset(&r));
+
+        // PROXIED that raised policy_denied: still class Proxied in the
+        // four-way view, but Censored in the exception view, and a member of
+        // Ddenied (Table 3's PROXIED row inside the Denied dataset).
+        let r = base()
+            .proxied()
+            .exception(ExceptionId::PolicyDenied)
+            .build();
+        assert_eq!(RequestClass::of(&r), RequestClass::Proxied);
+        assert_eq!(PolicyClass::of(&r), PolicyClass::Censored);
+        assert!(in_denied_dataset(&r));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RequestClass::Censored.label(), "Censored");
+        assert_eq!(RequestClass::Allowed.label(), "Allowed");
+    }
+}

@@ -1,0 +1,151 @@
+//! Minimal CSV engine for the log format.
+//!
+//! The leaked files are plain comma-separated values; only two fields ever
+//! need quoting in practice (`cs-user-agent`, which contains commas and
+//! spaces, and `cs-categories`, e.g. `"Blocked sites; unavailable"`), but the
+//! engine implements full RFC-4180 quoting so arbitrary field content
+//! round-trips: fields containing `,`, `"`, CR or LF are quoted, and embedded
+//! quotes are doubled.
+
+/// Split one CSV line into fields, honouring RFC-4180 quoting.
+///
+/// Returns `None` if the line is malformed (unterminated quote, or garbage
+/// directly after a closing quote).
+pub fn split_line(line: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::with_capacity(26);
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        // Parse one field.
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            // Quoted field: read until the closing quote.
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            cur.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => cur.push(c),
+                    None => return None, // unterminated quote
+                }
+            }
+            // After a closing quote only a comma or end-of-line is legal.
+            match chars.next() {
+                None => {
+                    fields.push(std::mem::take(&mut cur));
+                    return Some(fields);
+                }
+                Some(',') => fields.push(std::mem::take(&mut cur)),
+                Some(_) => return None,
+            }
+        } else {
+            // Unquoted field: read until comma or end.
+            loop {
+                match chars.next() {
+                    None => {
+                        fields.push(std::mem::take(&mut cur));
+                        return Some(fields);
+                    }
+                    Some(',') => {
+                        fields.push(std::mem::take(&mut cur));
+                        break;
+                    }
+                    Some(c) => cur.push(c),
+                }
+            }
+        }
+    }
+}
+
+/// Does this field value need quoting?
+pub fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+/// Append one field to `out`, quoting if necessary.
+pub fn write_field(out: &mut String, field: &str) {
+    if needs_quoting(field) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Join fields into one CSV line (no trailing newline).
+pub fn join_line<S: AsRef<str>>(fields: &[S]) -> String {
+    let mut out = String::with_capacity(fields.iter().map(|f| f.as_ref().len() + 1).sum());
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, f.as_ref());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_plain_line() {
+        let f = split_line("a,b,,d").unwrap();
+        assert_eq!(f, vec!["a", "b", "", "d"]);
+    }
+
+    #[test]
+    fn splits_quoted_fields() {
+        let f = split_line(r#"x,"Mozilla/5.0 (Windows NT, 6.1)",y"#).unwrap();
+        assert_eq!(f, vec!["x", "Mozilla/5.0 (Windows NT, 6.1)", "y"]);
+        let f = split_line(r#""Blocked sites; unavailable""#).unwrap();
+        assert_eq!(f, vec!["Blocked sites; unavailable"]);
+    }
+
+    #[test]
+    fn embedded_quotes() {
+        let f = split_line(r#""he said ""hi""",b"#).unwrap();
+        assert_eq!(f, vec![r#"he said "hi""#, "b"]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(split_line(r#""unterminated"#).is_none());
+        assert!(split_line(r#""x"y,z"#).is_none());
+    }
+
+    #[test]
+    fn empty_line_is_one_empty_field() {
+        assert_eq!(split_line("").unwrap(), vec![""]);
+    }
+
+    #[test]
+    fn join_quotes_only_when_needed() {
+        let line = join_line(&["a", "b,c", r#"d"e"#, "-"]);
+        assert_eq!(line, r#"a,"b,c","d""e",-"#);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fields = vec![
+            "2011-08-03".to_string(),
+            "Mozilla/4.0 (compatible, MSIE 7.0)".to_string(),
+            "Blocked sites; unavailable".to_string(),
+            "with\"quote".to_string(),
+            String::new(),
+        ];
+        let line = join_line(&fields);
+        assert_eq!(split_line(&line).unwrap(), fields);
+    }
+}

@@ -1,0 +1,125 @@
+//! The fixed 26-field schema of the leaked logs.
+//!
+//! Field order matters: records are positional CSV. The names follow the
+//! paper's Table 2 (e.g. `cs-user-agent`, `cs-uri-ext`) plus the standard
+//! Blue Coat `main`-format companions.
+
+/// Number of fields per record.
+pub const FIELD_COUNT: usize = 26;
+
+/// Field names in on-disk order.
+pub const FIELDS: [&str; FIELD_COUNT] = [
+    "date",             // 0  YYYY-MM-DD (UTC)
+    "time",             // 1  HH:MM:SS (UTC)
+    "time-taken",       // 2  milliseconds the proxy spent on the request
+    "c-ip",             // 3  client address: zeroed or hashed by Telecomix
+    "sc-status",        // 4  protocol status code proxy -> client
+    "s-action",         // 5  what the appliance did (TCP_HIT, TCP_DENIED, ...)
+    "sc-bytes",         // 6  bytes proxy -> client
+    "cs-bytes",         // 7  bytes client -> proxy
+    "cs-method",        // 8  request method (GET, POST, CONNECT, ...)
+    "cs-uri-scheme",    // 9  scheme of requested URL (http, ssl, tcp, ...)
+    "cs-host",          // 10 hostname or IP address
+    "cs-uri-port",      // 11 port of the requested URL
+    "cs-uri-path",      // 12 path component
+    "cs-uri-query",     // 13 query component ('-' when absent)
+    "cs-uri-ext",       // 14 extension of the requested URL (php, flv, ...)
+    "cs-username",      // 15 authenticated user ('-' in this deployment)
+    "s-hierarchy",      // 16 how the request was fetched (DIRECT, NONE, ...)
+    "s-supplier-name",  // 17 upstream host that supplied the content
+    "rs-content-type",  // 18 Content-Type of the response
+    "cs-user-agent",    // 19 client User-Agent header
+    "sc-filter-result", // 20 OBSERVED | PROXIED | DENIED
+    "cs-categories",    // 21 URL categories ("unavailable", "Blocked sites", ...)
+    "x-virus-id",       // 22 ICAP virus id ('-')
+    "s-ip",             // 23 address of the proxy that handled the request
+    "s-sitename",       // 24 service name ("SG-HTTP-Service")
+    "x-exception-id",   // 25 exception raised ('-' when none)
+];
+
+/// Positional indexes, named for readability at call sites.
+pub mod idx {
+    pub const DATE: usize = 0;
+    pub const TIME: usize = 1;
+    pub const TIME_TAKEN: usize = 2;
+    pub const C_IP: usize = 3;
+    pub const SC_STATUS: usize = 4;
+    pub const S_ACTION: usize = 5;
+    pub const SC_BYTES: usize = 6;
+    pub const CS_BYTES: usize = 7;
+    pub const CS_METHOD: usize = 8;
+    pub const CS_URI_SCHEME: usize = 9;
+    pub const CS_HOST: usize = 10;
+    pub const CS_URI_PORT: usize = 11;
+    pub const CS_URI_PATH: usize = 12;
+    pub const CS_URI_QUERY: usize = 13;
+    pub const CS_URI_EXT: usize = 14;
+    pub const CS_USERNAME: usize = 15;
+    pub const S_HIERARCHY: usize = 16;
+    pub const S_SUPPLIER_NAME: usize = 17;
+    pub const RS_CONTENT_TYPE: usize = 18;
+    pub const CS_USER_AGENT: usize = 19;
+    pub const SC_FILTER_RESULT: usize = 20;
+    pub const CS_CATEGORIES: usize = 21;
+    pub const X_VIRUS_ID: usize = 22;
+    pub const S_IP: usize = 23;
+    pub const S_SITENAME: usize = 24;
+    pub const X_EXCEPTION_ID: usize = 25;
+}
+
+/// The ELFF `#Fields:` header line for this schema.
+pub fn header_line() -> String {
+    format!("#Fields: {}", FIELDS.join(","))
+}
+
+/// The placeholder used for absent values throughout the format.
+pub const EMPTY: &str = "-";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_26_fields() {
+        assert_eq!(FIELDS.len(), FIELD_COUNT);
+        assert_eq!(FIELD_COUNT, 26);
+    }
+
+    #[test]
+    fn indexes_match_names() {
+        assert_eq!(FIELDS[idx::CS_HOST], "cs-host");
+        assert_eq!(FIELDS[idx::SC_FILTER_RESULT], "sc-filter-result");
+        assert_eq!(FIELDS[idx::X_EXCEPTION_ID], "x-exception-id");
+        assert_eq!(FIELDS[idx::S_IP], "s-ip");
+        assert_eq!(FIELDS[idx::CS_URI_QUERY], "cs-uri-query");
+    }
+
+    #[test]
+    fn paper_table2_fields_present() {
+        // Every field the paper's Table 2 describes must exist in the schema.
+        for f in [
+            "cs-host",
+            "cs-uri-scheme",
+            "cs-uri-port",
+            "cs-uri-path",
+            "cs-uri-query",
+            "cs-uri-ext",
+            "cs-user-agent",
+            "cs-categories",
+            "c-ip",
+            "s-ip",
+            "sc-status",
+            "sc-filter-result",
+            "x-exception-id",
+        ] {
+            assert!(FIELDS.contains(&f), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn header_line_shape() {
+        let h = header_line();
+        assert!(h.starts_with("#Fields: date,time,"));
+        assert!(h.ends_with("x-exception-id"));
+    }
+}

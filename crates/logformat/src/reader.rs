@@ -1,0 +1,248 @@
+//! Streaming log I/O.
+//!
+//! [`LogReader`] wraps any `BufRead` and yields one `Result<LogRecord>` per
+//! data line. Failure containment is per record: a malformed line yields an
+//! `Err` and reading continues — a 600 GB leak inevitably contains truncated
+//! and corrupt lines, and the paper's statistics must survive them.
+//! Comment/header lines (`#...`) and blank lines are skipped.
+
+use crate::fields::header_line;
+use crate::record::{parse_line, LogRecord};
+use filterscope_core::Result;
+use std::io::{BufRead, Write};
+
+/// Streaming reader over ELFF/CSV log data.
+pub struct LogReader<R> {
+    inner: R,
+    line_no: u64,
+    buf: Vec<u8>,
+    /// Count of malformed lines skipped so far.
+    errors_seen: u64,
+}
+
+impl<R: BufRead> LogReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(inner: R) -> Self {
+        LogReader {
+            inner,
+            line_no: 0,
+            buf: Vec::new(),
+            errors_seen: 0,
+        }
+    }
+
+    /// 1-based number of the last line read.
+    pub fn line_number(&self) -> u64 {
+        self.line_no
+    }
+
+    /// Number of malformed lines encountered so far.
+    pub fn errors_seen(&self) -> u64 {
+        self.errors_seen
+    }
+
+    /// Read the next record, skipping comments and blank lines.
+    /// `Ok(None)` signals end of input; `Err` is a recoverable per-line
+    /// failure (the reader can keep going).
+    ///
+    /// Lines are read as bytes: a line with invalid UTF-8 fails *that
+    /// record only*, not the whole stream — corrupted regions in a multi-GB
+    /// leak must not abort the scan.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_record(&mut self) -> Result<Option<LogRecord>> {
+        loop {
+            self.buf.clear();
+            let n = self.inner.read_until(b'\n', &mut self.buf)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let mut end = self.buf.len();
+            while end > 0 && (self.buf[end - 1] == b'\n' || self.buf[end - 1] == b'\r') {
+                end -= 1;
+            }
+            let bytes = &self.buf[..end];
+            if bytes.is_empty() || bytes[0] == b'#' {
+                continue;
+            }
+            let line = match std::str::from_utf8(bytes) {
+                Ok(s) => s,
+                Err(_) => {
+                    self.errors_seen += 1;
+                    return Err(filterscope_core::Error::MalformedRecord {
+                        line: self.line_no,
+                        reason: "invalid UTF-8".into(),
+                    });
+                }
+            };
+            match parse_line(line, self.line_no) {
+                Ok(r) => return Ok(Some(r)),
+                Err(e) => {
+                    self.errors_seen += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Collect every parseable record, silently counting (not failing on)
+    /// malformed lines. Returns `(records, malformed_count)`.
+    pub fn read_all_lossy(mut self) -> (Vec<LogRecord>, u64) {
+        let mut out = Vec::new();
+        loop {
+            match self.next_record() {
+                Ok(Some(r)) => out.push(r),
+                Ok(None) => break,
+                Err(_) => continue,
+            }
+        }
+        (out, self.errors_seen)
+    }
+}
+
+impl<R: BufRead> Iterator for LogReader<R> {
+    type Item = Result<LogRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Buffered log writer that emits the ELFF header once, then one CSV line
+/// per record.
+pub struct LogWriter<W> {
+    inner: W,
+    records_written: u64,
+    header_written: bool,
+}
+
+impl<W: Write> LogWriter<W> {
+    /// Wrap a writer.
+    pub fn new(inner: W) -> Self {
+        LogWriter {
+            inner,
+            records_written: 0,
+            header_written: false,
+        }
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Write one record (writing the `#Fields:` header first if needed).
+    pub fn write_record(&mut self, record: &LogRecord) -> Result<()> {
+        if !self.header_written {
+            writeln!(self.inner, "#Software: SGOS 4.1.4")?;
+            writeln!(self.inner, "{}", header_line())?;
+            self.header_written = true;
+        }
+        writeln!(self.inner, "{}", record.write_csv())?;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordBuilder;
+    use crate::url::RequestUrl;
+    use filterscope_core::{ProxyId, Timestamp};
+    use std::io::Cursor;
+
+    fn rec(host: &str) -> LogRecord {
+        RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-01", "12:00:00").unwrap(),
+            ProxyId::Sg45,
+            RequestUrl::http(host, "/"),
+        )
+        .build()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = LogWriter::new(Vec::new());
+        let records: Vec<_> = ["a.com", "b.org", "c.net"].iter().map(|h| rec(h)).collect();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        assert_eq!(w.records_written(), 3);
+        let bytes = w.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("#Software"));
+        assert!(text.contains("#Fields: date,time"));
+
+        let reader = LogReader::new(Cursor::new(text));
+        let (back, bad) = reader.read_all_lossy();
+        assert_eq!(bad, 0);
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let mut data = String::from("# a comment\n\n");
+        data.push_str(&rec("x.com").write_csv());
+        data.push('\n');
+        let mut r = LogReader::new(Cursor::new(data));
+        let first = r.next_record().unwrap().unwrap();
+        assert_eq!(first.host(), "x.com");
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_lines_are_contained() {
+        let good = rec("ok.com").write_csv();
+        let data = format!("garbage,line\n{good}\nanother bad one\n{good}\n");
+        let reader = LogReader::new(Cursor::new(data));
+        let (records, bad) = reader.read_all_lossy();
+        assert_eq!(records.len(), 2);
+        assert_eq!(bad, 2);
+        assert!(records.iter().all(|r| r.host() == "ok.com"));
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let good = rec("ok.com").write_csv();
+        let data = format!("{good}\nbad\n{good}\n");
+        let items: Vec<_> = LogReader::new(Cursor::new(data)).collect();
+        assert_eq!(items.len(), 3);
+        assert!(items[0].is_ok());
+        assert!(items[1].is_err());
+        assert!(items[2].is_ok());
+    }
+
+    #[test]
+    fn invalid_utf8_fails_one_record_not_the_stream() {
+        let good = rec("ok.com").write_csv();
+        let mut data = Vec::new();
+        data.extend_from_slice(good.as_bytes());
+        data.push(b'\n');
+        data.extend_from_slice(b"garbage \xFF\xFE bytes in the middle\n");
+        data.extend_from_slice(good.as_bytes());
+        data.push(b'\n');
+        let reader = LogReader::new(Cursor::new(data));
+        let (records, bad) = reader.read_all_lossy();
+        assert_eq!(records.len(), 2);
+        assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn truncated_final_line_is_an_error_not_a_panic() {
+        let good = rec("ok.com").write_csv();
+        let truncated = &good[..good.len() / 2];
+        let data = format!("{good}\n{truncated}");
+        let reader = LogReader::new(Cursor::new(data));
+        let (records, bad) = reader.read_all_lossy();
+        assert_eq!(records.len(), 1);
+        assert_eq!(bad, 1);
+    }
+}
+

@@ -1,0 +1,471 @@
+//! The typed log record and its CSV (de)serialization.
+
+use crate::csv;
+use crate::enums::{ClientId, ExceptionId, FilterResult, Method, SAction, Scheme};
+use crate::fields::{idx, EMPTY, FIELD_COUNT};
+use crate::url::RequestUrl;
+use filterscope_core::{Error, ProxyId, Result, Timestamp};
+use std::net::Ipv4Addr;
+
+/// One access-log record, fully typed.
+///
+/// Free-text fields keep their logged spelling so a parsed record can be
+/// re-serialized without loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// `date` + `time`.
+    pub timestamp: Timestamp,
+    /// `time-taken` in milliseconds.
+    pub time_taken_ms: u32,
+    /// `c-ip` (zeroed / hashed / literal).
+    pub client: ClientId,
+    /// `sc-status` (0 when the log held `-`).
+    pub sc_status: u16,
+    /// `s-action`.
+    pub s_action: SAction,
+    /// `sc-bytes`.
+    pub sc_bytes: u64,
+    /// `cs-bytes`.
+    pub cs_bytes: u64,
+    /// `cs-method`.
+    pub method: Method,
+    /// `cs-uri-scheme`, `cs-host`, `cs-uri-port`, `cs-uri-path`,
+    /// `cs-uri-query` bundled as a [`RequestUrl`].
+    pub url: RequestUrl,
+    /// `cs-uri-ext` (empty when the log held `-`).
+    pub uri_ext: String,
+    /// `cs-username` (empty when `-`; always empty in this deployment).
+    pub username: String,
+    /// `s-hierarchy` (e.g. `DIRECT`).
+    pub hierarchy: String,
+    /// `s-supplier-name` (upstream host, or empty).
+    pub supplier: String,
+    /// `rs-content-type` (empty when `-`).
+    pub content_type: String,
+    /// `cs-user-agent` (empty when `-`).
+    pub user_agent: String,
+    /// `sc-filter-result`.
+    pub filter_result: FilterResult,
+    /// `cs-categories` as logged (`unavailable`, `none`,
+    /// `Blocked sites; unavailable`, `Blocked sites`).
+    pub categories: String,
+    /// `x-virus-id` (empty when `-`).
+    pub virus_id: String,
+    /// `s-ip`: the proxy that handled the request.
+    pub s_ip: Ipv4Addr,
+    /// `s-sitename`.
+    pub sitename: String,
+    /// `x-exception-id`.
+    pub exception: ExceptionId,
+}
+
+fn opt_field(s: &str) -> String {
+    if s == EMPTY {
+        String::new()
+    } else {
+        s.to_string()
+    }
+}
+
+fn write_opt(s: &str) -> &str {
+    if s.is_empty() {
+        EMPTY
+    } else {
+        s
+    }
+}
+
+impl LogRecord {
+    /// The proxy that handled the request, when `s-ip` belongs to the known
+    /// SG-42…48 deployment.
+    pub fn proxy(&self) -> Option<ProxyId> {
+        ProxyId::from_s_ip(self.s_ip).ok()
+    }
+
+    /// Shorthand for `self.url.host`.
+    pub fn host(&self) -> &str {
+        &self.url.host
+    }
+
+    /// Serialize to one CSV line (no trailing newline). Inverse of
+    /// [`parse_line`].
+    pub fn write_csv(&self) -> String {
+        let date = self.timestamp.date().to_string();
+        let time = self.timestamp.time().to_string();
+        let c_ip = self.client.to_string();
+        let sc_status = if self.sc_status == 0 {
+            EMPTY.to_string()
+        } else {
+            self.sc_status.to_string()
+        };
+        let flds: [&str; FIELD_COUNT] = [
+            &date,
+            &time,
+            &self.time_taken_ms.to_string(),
+            &c_ip,
+            &sc_status,
+            self.s_action.as_str(),
+            &self.sc_bytes.to_string(),
+            &self.cs_bytes.to_string(),
+            self.method.as_str(),
+            &self.url.scheme,
+            &self.url.host,
+            &self.url.port.to_string(),
+            &self.url.path,
+            write_opt(&self.url.query),
+            write_opt(&self.uri_ext),
+            write_opt(&self.username),
+            &self.hierarchy,
+            write_opt(&self.supplier),
+            write_opt(&self.content_type),
+            write_opt(&self.user_agent),
+            self.filter_result.as_str(),
+            &self.categories,
+            write_opt(&self.virus_id),
+            &self.s_ip.to_string(),
+            &self.sitename,
+            self.exception.as_str(),
+        ];
+        csv::join_line(&flds)
+    }
+
+    /// The scheme as a typed enum.
+    pub fn scheme(&self) -> Scheme {
+        Scheme::parse(&self.url.scheme)
+    }
+}
+
+/// Parse one CSV line into a [`LogRecord`] (canonical field order).
+///
+/// `line_no` is used only for error reporting. Comment lines (starting with
+/// `#`) are the caller's responsibility — see [`crate::LogReader`]. For
+/// logs whose `#Fields:` header declares a different field order, see
+/// [`crate::schema::Schema`].
+pub fn parse_line(line: &str, line_no: u64) -> Result<LogRecord> {
+    let mal = |reason: String| Error::MalformedRecord {
+        line: line_no,
+        reason,
+    };
+    let f = csv::split_line(line)
+        .ok_or_else(|| mal("bad CSV quoting".into()))?;
+    if f.len() != FIELD_COUNT {
+        return Err(mal(format!(
+            "expected {FIELD_COUNT} fields, got {}",
+            f.len()
+        )));
+    }
+    build_record(&|canonical| Some(f[canonical].as_str()), line_no)
+}
+
+/// Build a [`LogRecord`] from a lookup over *canonical* field indexes (see
+/// [`crate::fields::idx`]). `None` means the source schema lacks that field;
+/// optional fields default, required fields error.
+pub(crate) fn build_record<'a>(
+    f: &dyn Fn(usize) -> Option<&'a str>,
+    line_no: u64,
+) -> Result<LogRecord> {
+    let mal = |reason: String| Error::MalformedRecord {
+        line: line_no,
+        reason,
+    };
+    let required = |i: usize| {
+        f(i).ok_or_else(|| mal(format!("missing required field {}", crate::fields::FIELDS[i])))
+    };
+    let optional = |i: usize| f(i).unwrap_or(EMPTY);
+
+    let timestamp = Timestamp::parse_fields(required(idx::DATE)?, required(idx::TIME)?)
+        .map_err(|e| mal(e.to_string()))?;
+    let time_taken_field = optional(idx::TIME_TAKEN);
+    let time_taken_ms: u32 = if time_taken_field == EMPTY {
+        0
+    } else {
+        time_taken_field
+            .parse()
+            .map_err(|_| mal(format!("bad time-taken {time_taken_field:?}")))?
+    };
+    let client = ClientId::parse(optional(idx::C_IP)).map_err(|e| mal(e.to_string()))?;
+    let status_field = optional(idx::SC_STATUS);
+    let sc_status: u16 = if status_field == EMPTY {
+        0
+    } else {
+        status_field
+            .parse()
+            .map_err(|_| mal(format!("bad sc-status {status_field:?}")))?
+    };
+    let port_field = optional(idx::CS_URI_PORT);
+    let port: u16 = if port_field == EMPTY {
+        0
+    } else {
+        port_field
+            .parse()
+            .map_err(|_| mal(format!("bad cs-uri-port {port_field:?}")))?
+    };
+    let sc_bytes: u64 = optional(idx::SC_BYTES).parse().unwrap_or(0);
+    let cs_bytes: u64 = optional(idx::CS_BYTES).parse().unwrap_or(0);
+    let filter_result = FilterResult::parse(required(idx::SC_FILTER_RESULT)?)
+        .map_err(|e| mal(e.to_string()))?;
+    let s_ip: Ipv4Addr = required(idx::S_IP)?
+        .parse()
+        .map_err(|_| mal(format!("bad s-ip {:?}", optional(idx::S_IP))))?;
+
+    Ok(LogRecord {
+        timestamp,
+        time_taken_ms,
+        client,
+        sc_status,
+        s_action: SAction::parse(optional(idx::S_ACTION)),
+        sc_bytes,
+        cs_bytes,
+        method: Method::parse(optional(idx::CS_METHOD)),
+        url: RequestUrl {
+            scheme: f(idx::CS_URI_SCHEME).unwrap_or("http").to_string(),
+            host: required(idx::CS_HOST)?.to_string(),
+            port,
+            path: f(idx::CS_URI_PATH).unwrap_or("/").to_string(),
+            query: opt_field(optional(idx::CS_URI_QUERY)),
+        },
+        uri_ext: opt_field(optional(idx::CS_URI_EXT)),
+        username: opt_field(optional(idx::CS_USERNAME)),
+        hierarchy: f(idx::S_HIERARCHY).unwrap_or("DIRECT").to_string(),
+        supplier: opt_field(optional(idx::S_SUPPLIER_NAME)),
+        content_type: opt_field(optional(idx::RS_CONTENT_TYPE)),
+        user_agent: opt_field(optional(idx::CS_USER_AGENT)),
+        filter_result,
+        categories: f(idx::CS_CATEGORIES).unwrap_or("unavailable").to_string(),
+        virus_id: opt_field(optional(idx::X_VIRUS_ID)),
+        s_ip,
+        sitename: f(idx::S_SITENAME).unwrap_or("SG-HTTP-Service").to_string(),
+        exception: ExceptionId::parse(optional(idx::X_EXCEPTION_ID)),
+    })
+}
+
+/// A builder with sensible defaults for synthesizing records in tests and in
+/// the proxy simulator.
+#[derive(Debug, Clone)]
+pub struct RecordBuilder {
+    record: LogRecord,
+}
+
+impl RecordBuilder {
+    /// Start from an allowed HTTP GET at `timestamp` through `proxy`.
+    pub fn new(timestamp: Timestamp, proxy: ProxyId, url: RequestUrl) -> Self {
+        RecordBuilder {
+            record: LogRecord {
+                timestamp,
+                time_taken_ms: 120,
+                client: ClientId::Zeroed,
+                sc_status: 200,
+                s_action: SAction::TcpNcMiss,
+                sc_bytes: 4096,
+                cs_bytes: 512,
+                method: Method::Get,
+                url,
+                uri_ext: String::new(),
+                username: String::new(),
+                hierarchy: "DIRECT".into(),
+                supplier: String::new(),
+                content_type: "text/html".into(),
+                user_agent: "Mozilla/5.0".into(),
+                filter_result: FilterResult::Observed,
+                categories: "unavailable".into(),
+                virus_id: String::new(),
+                s_ip: proxy.s_ip(),
+                sitename: "SG-HTTP-Service".into(),
+                exception: ExceptionId::None,
+            },
+        }
+    }
+
+    /// Set the client identifier.
+    pub fn client(mut self, client: ClientId) -> Self {
+        self.record.client = client;
+        self
+    }
+
+    /// Set the user agent.
+    pub fn user_agent(mut self, ua: impl Into<String>) -> Self {
+        self.record.user_agent = ua.into();
+        self
+    }
+
+    /// Set the method.
+    pub fn method(mut self, m: Method) -> Self {
+        self.record.method = m;
+        self
+    }
+
+    /// Mark the record as censored with `policy_denied`.
+    pub fn policy_denied(mut self) -> Self {
+        self.record.filter_result = FilterResult::Denied;
+        self.record.exception = ExceptionId::PolicyDenied;
+        self.record.s_action = SAction::TcpDenied;
+        self.record.sc_status = 403;
+        self.record.sc_bytes = 0;
+        self
+    }
+
+    /// Mark the record as censored with `policy_redirect`.
+    pub fn policy_redirect(mut self) -> Self {
+        self.record.filter_result = FilterResult::Denied;
+        self.record.exception = ExceptionId::PolicyRedirect;
+        self.record.s_action = SAction::TcpPolicyRedirect;
+        self.record.sc_status = 302;
+        self
+    }
+
+    /// Mark the record as denied with a network error.
+    pub fn network_error(mut self, e: ExceptionId) -> Self {
+        debug_assert!(e.is_error());
+        self.record.filter_result = FilterResult::Denied;
+        self.record.exception = e;
+        self.record.s_action = SAction::TcpErrMiss;
+        self.record.sc_status = 503;
+        self.record.sc_bytes = 0;
+        self
+    }
+
+    /// Mark the record as served from cache.
+    pub fn proxied(mut self) -> Self {
+        self.record.filter_result = FilterResult::Proxied;
+        self.record.s_action = SAction::TcpHit;
+        self
+    }
+
+    /// Set the `cs-categories` field.
+    pub fn categories(mut self, c: impl Into<String>) -> Self {
+        self.record.categories = c.into();
+        self
+    }
+
+    /// Set the exception directly (for rare combinations).
+    pub fn exception(mut self, e: ExceptionId) -> Self {
+        self.record.exception = e;
+        self
+    }
+
+    /// Derive `cs-uri-ext` from the path, as the appliance does. A derived
+    /// extension of literally `"-"` is stored as empty: on disk it would be
+    /// indistinguishable from the absent-field marker anyway.
+    pub fn derive_ext(mut self) -> Self {
+        self.record.uri_ext = match self.record.url.extension() {
+            Some(e) if e != "-" => e.to_string(),
+            _ => String::new(),
+        };
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> LogRecord {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::ProxyId;
+
+    fn ts() -> Timestamp {
+        Timestamp::parse_fields("2011-08-03", "08:15:00").unwrap()
+    }
+
+    fn sample() -> LogRecord {
+        RecordBuilder::new(
+            ts(),
+            ProxyId::Sg44,
+            RequestUrl::http("www.facebook.com", "/plugins/like.php")
+                .with_query("href=x&sdk=joey"),
+        )
+        .user_agent("Mozilla/4.0 (compatible; MSIE 7.0; Windows NT 5.1)")
+        .derive_ext()
+        .build()
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let r = sample();
+        let line = r.write_csv();
+        let back = parse_line(&line, 1).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn censored_roundtrip() {
+        let r = RecordBuilder::new(ts(), ProxyId::Sg48, RequestUrl::http("metacafe.com", "/"))
+            .policy_denied()
+            .build();
+        let back = parse_line(&r.write_csv(), 1).unwrap();
+        assert_eq!(back.exception, ExceptionId::PolicyDenied);
+        assert_eq!(back.filter_result, FilterResult::Denied);
+        assert_eq!(back.proxy(), Some(ProxyId::Sg48));
+    }
+
+    #[test]
+    fn field_count_on_disk() {
+        let line = sample().write_csv();
+        let fields = crate::csv::split_line(&line).unwrap();
+        assert_eq!(fields.len(), FIELD_COUNT);
+    }
+
+    #[test]
+    fn quoted_user_agent_roundtrips() {
+        let r = RecordBuilder::new(ts(), ProxyId::Sg42, RequestUrl::http("x.com", "/"))
+            .user_agent("Mozilla/4.0 (compatible, MSIE 7.0, Windows NT 5.1)")
+            .build();
+        let back = parse_line(&r.write_csv(), 1).unwrap();
+        assert_eq!(back.user_agent, r.user_agent);
+    }
+
+    #[test]
+    fn blocked_sites_category_roundtrips() {
+        let r = RecordBuilder::new(
+            ts(),
+            ProxyId::Sg43,
+            RequestUrl::http("www.facebook.com", "/Syrian.Revolution").with_query("ref=ts"),
+        )
+        .categories("Blocked sites; unavailable")
+        .policy_redirect()
+        .build();
+        let back = parse_line(&r.write_csv(), 1).unwrap();
+        assert_eq!(back.categories, "Blocked sites; unavailable");
+        assert_eq!(back.exception, ExceptionId::PolicyRedirect);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let err = parse_line("a,b,c", 42).unwrap_err();
+        match err {
+            Error::MalformedRecord { line, .. } => assert_eq!(line, 42),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_timestamp_and_ips() {
+        let good = sample().write_csv();
+        let bad_date = good.replacen("2011-08-03", "2011-13-03", 1);
+        assert!(parse_line(&bad_date, 1).is_err());
+        let bad_sip = good.replace("82.137.200.44", "not-an-ip");
+        assert!(parse_line(&bad_sip, 1).is_err());
+    }
+
+    #[test]
+    fn empty_markers_parse_to_empty_strings() {
+        let r = RecordBuilder::new(ts(), ProxyId::Sg42, RequestUrl::http("x.com", "/")).build();
+        let line = r.write_csv();
+        // query, ext, username, supplier, virus-id are `-` on disk
+        assert!(line.contains(",-,"));
+        let back = parse_line(&line, 1).unwrap();
+        assert!(back.url.query.is_empty());
+        assert!(back.username.is_empty());
+    }
+
+    #[test]
+    fn hashed_client_roundtrips() {
+        let r = RecordBuilder::new(ts(), ProxyId::Sg42, RequestUrl::http("x.com", "/"))
+            .client(ClientId::Hashed(0xdead_beef_0123_4567))
+            .build();
+        let back = parse_line(&r.write_csv(), 1).unwrap();
+        assert_eq!(back.client.hash(), Some(0xdead_beef_0123_4567));
+    }
+}

@@ -1,0 +1,357 @@
+//! Schema-flexible parsing: honor a log's own `#Fields:` declaration.
+//!
+//! W3C ELFF logs declare their field order in a header line; Blue Coat
+//! deployments are configurable, so real-world files come with reordered,
+//! extended, or reduced field sets. [`Schema`] maps a declared field order
+//! onto the canonical [`crate::LogRecord`]: known fields land in their
+//! typed slots, unknown fields are skipped, and absent optional fields take
+//! their defaults. [`SchemaReader`] streams a whole file, switching schemas
+//! whenever a new `#Fields:` header appears mid-file (log rotation
+//! concatenation does this in practice).
+
+use crate::csv;
+use crate::fields::{FIELDS, FIELD_COUNT};
+use crate::record::{build_record, LogRecord};
+use filterscope_core::{Error, Result};
+use std::io::BufRead;
+
+/// Aliases accepted for canonical field names (ELFF spells some fields with
+/// parenthesized header names, e.g. `cs(User-Agent)`).
+fn canonical_index(name: &str) -> Option<usize> {
+    let lowered = name.to_ascii_lowercase();
+    let normalized = match lowered.as_str() {
+        "cs(user-agent)" => "cs-user-agent",
+        "rs(content-type)" => "rs-content-type",
+        "cs-uri-extension" => "cs-uri-ext",
+        "cs-categories" | "sc-filter-category" => "cs-categories",
+        other => other,
+    };
+    FIELDS.iter().position(|f| *f == normalized)
+}
+
+/// A resolved mapping from canonical field index to source column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// For each canonical field, the column it occupies in this schema.
+    positions: [Option<usize>; FIELD_COUNT],
+    /// Total columns per data line.
+    pub width: usize,
+}
+
+impl Schema {
+    /// The canonical schema (identity mapping over all 26 fields).
+    pub fn canonical() -> Self {
+        let mut positions = [None; FIELD_COUNT];
+        for (i, p) in positions.iter_mut().enumerate() {
+            *p = Some(i);
+        }
+        Schema {
+            positions,
+            width: FIELD_COUNT,
+        }
+    }
+
+    /// Parse a `#Fields: a b c` or `#Fields: a,b,c` header line.
+    ///
+    /// Unknown field names are tolerated (their columns are ignored); the
+    /// mandatory fields — `date`, `time`, `cs-host`, `sc-filter-result`,
+    /// `s-ip` — must be present.
+    pub fn from_header(line: &str) -> Result<Self> {
+        let rest = line
+            .trim()
+            .strip_prefix("#Fields:")
+            .ok_or_else(|| Error::MalformedRecord {
+                line: 0,
+                reason: "not a #Fields: header".into(),
+            })?
+            .trim();
+        let names: Vec<&str> = if rest.contains(',') {
+            rest.split(',').map(str::trim).collect()
+        } else {
+            rest.split_ascii_whitespace().collect()
+        };
+        if names.is_empty() {
+            return Err(Error::MalformedRecord {
+                line: 0,
+                reason: "empty #Fields: header".into(),
+            });
+        }
+        let mut positions = [None; FIELD_COUNT];
+        for (col, name) in names.iter().enumerate() {
+            if let Some(ix) = canonical_index(name) {
+                // First declaration wins on duplicates.
+                if positions[ix].is_none() {
+                    positions[ix] = Some(col);
+                }
+            }
+        }
+        let schema = Schema {
+            positions,
+            width: names.len(),
+        };
+        for required in ["date", "time", "cs-host", "sc-filter-result", "s-ip"] {
+            let ix = canonical_index(required).expect("required name is canonical");
+            if schema.positions[ix].is_none() {
+                return Err(Error::MalformedRecord {
+                    line: 0,
+                    reason: format!("#Fields: header lacks required field {required}"),
+                });
+            }
+        }
+        Ok(schema)
+    }
+
+    /// Which canonical fields this schema carries.
+    pub fn carries(&self, canonical: usize) -> bool {
+        self.positions.get(canonical).copied().flatten().is_some()
+    }
+
+    /// Parse one data line under this schema.
+    pub fn parse_record(&self, line: &str, line_no: u64) -> Result<LogRecord> {
+        let mal = |reason: String| Error::MalformedRecord {
+            line: line_no,
+            reason,
+        };
+        let f = csv::split_line(line).ok_or_else(|| mal("bad CSV quoting".into()))?;
+        if f.len() != self.width {
+            return Err(mal(format!(
+                "expected {} fields, got {}",
+                self.width,
+                f.len()
+            )));
+        }
+        build_record(
+            &|canonical| {
+                self.positions
+                    .get(canonical)
+                    .copied()
+                    .flatten()
+                    .map(|col| f[col].as_str())
+            },
+            line_no,
+        )
+    }
+}
+
+/// Streaming reader that follows the file's own `#Fields:` headers.
+pub struct SchemaReader<R> {
+    inner: R,
+    schema: Schema,
+    line_no: u64,
+    buf: Vec<u8>,
+    errors_seen: u64,
+}
+
+impl<R: BufRead> SchemaReader<R> {
+    /// Start with the canonical schema until a header says otherwise.
+    pub fn new(inner: R) -> Self {
+        SchemaReader {
+            inner,
+            schema: Schema::canonical(),
+            line_no: 0,
+            buf: Vec::new(),
+            errors_seen: 0,
+        }
+    }
+
+    /// The schema currently in effect.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Malformed lines seen so far.
+    pub fn errors_seen(&self) -> u64 {
+        self.errors_seen
+    }
+
+    /// Next record, honoring in-file schema switches. Semantics match
+    /// [`crate::LogReader::next_record`].
+    pub fn next_record(&mut self) -> Result<Option<LogRecord>> {
+        loop {
+            self.buf.clear();
+            let n = self.inner.read_until(b'\n', &mut self.buf)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let mut end = self.buf.len();
+            while end > 0 && (self.buf[end - 1] == b'\n' || self.buf[end - 1] == b'\r') {
+                end -= 1;
+            }
+            let bytes = &self.buf[..end];
+            if bytes.is_empty() {
+                continue;
+            }
+            let Ok(line) = std::str::from_utf8(bytes) else {
+                self.errors_seen += 1;
+                return Err(Error::MalformedRecord {
+                    line: self.line_no,
+                    reason: "invalid UTF-8".into(),
+                });
+            };
+            if let Some(stripped) = line.strip_prefix('#') {
+                if stripped.trim_start().starts_with("Fields:") {
+                    match Schema::from_header(line) {
+                        Ok(s) => self.schema = s,
+                        Err(_) => self.errors_seen += 1,
+                    }
+                }
+                continue;
+            }
+            match self.schema.parse_record(line, self.line_no) {
+                Ok(r) => return Ok(Some(r)),
+                Err(e) => {
+                    self.errors_seen += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Collect every parseable record, counting malformed lines.
+    pub fn read_all_lossy(mut self) -> (Vec<LogRecord>, u64) {
+        let mut out = Vec::new();
+        loop {
+            match self.next_record() {
+                Ok(Some(r)) => out.push(r),
+                Ok(None) => break,
+                Err(_) => continue,
+            }
+        }
+        (out, self.errors_seen)
+    }
+}
+
+impl<R: BufRead> Iterator for SchemaReader<R> {
+    type Item = Result<LogRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordBuilder;
+    use crate::url::RequestUrl;
+    use crate::ExceptionId;
+    use filterscope_core::{ProxyId, Timestamp};
+    use std::io::Cursor;
+
+    fn sample() -> LogRecord {
+        RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-03", "10:30:00").unwrap(),
+            ProxyId::Sg44,
+            RequestUrl::http("metacafe.com", "/watch/9").with_query("hd=1"),
+        )
+        .policy_denied()
+        .build()
+    }
+
+    #[test]
+    fn canonical_schema_matches_parse_line() {
+        let rec = sample();
+        let line = rec.write_csv();
+        let s = Schema::canonical();
+        assert_eq!(s.parse_record(&line, 1).unwrap(), rec);
+    }
+
+    #[test]
+    fn reordered_and_reduced_schema() {
+        let header = "#Fields: date time s-ip cs-host sc-filter-result x-exception-id cs-uri-path";
+        let s = Schema::from_header(header).unwrap();
+        assert_eq!(s.width, 7);
+        let rec = s
+            .parse_record(
+                "2011-08-03,10:30:00,82.137.200.44,metacafe.com,DENIED,policy_denied,/watch/9",
+                1,
+            )
+            .unwrap();
+        assert_eq!(rec.host(), "metacafe.com");
+        assert_eq!(rec.exception, ExceptionId::PolicyDenied);
+        assert_eq!(rec.url.path, "/watch/9");
+        // Absent optional fields take defaults.
+        assert_eq!(rec.url.scheme, "http");
+        assert_eq!(rec.sc_status, 0);
+        assert_eq!(rec.categories, "unavailable");
+        assert_eq!(rec.proxy(), Some(ProxyId::Sg44));
+    }
+
+    #[test]
+    fn elff_alias_names_resolve() {
+        let header =
+            "#Fields: date time s-ip cs-host sc-filter-result cs(User-Agent) rs(Content-Type) cs-uri-extension";
+        let s = Schema::from_header(header).unwrap();
+        let rec = s
+            .parse_record(
+                r#"2011-08-03,10:30:00,82.137.200.42,x.com,OBSERVED,"Mozilla/4.0 (compatible, MSIE)",text/html,php"#,
+                1,
+            )
+            .unwrap();
+        assert_eq!(rec.user_agent, "Mozilla/4.0 (compatible, MSIE)");
+        assert_eq!(rec.content_type, "text/html");
+        assert_eq!(rec.uri_ext, "php");
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        let header = "#Fields: date time s-ip x-bluecoat-special cs-host sc-filter-result";
+        let s = Schema::from_header(header).unwrap();
+        let rec = s
+            .parse_record(
+                "2011-08-03,10:30:00,82.137.200.42,whatever,x.com,OBSERVED",
+                1,
+            )
+            .unwrap();
+        assert_eq!(rec.host(), "x.com");
+    }
+
+    #[test]
+    fn missing_required_fields_rejected() {
+        assert!(Schema::from_header("#Fields: date time cs-host").is_err());
+        assert!(Schema::from_header("#NotFields: x").is_err());
+        assert!(Schema::from_header("#Fields:").is_err());
+    }
+
+    #[test]
+    fn reader_switches_schema_mid_file() {
+        let rec = sample();
+        let canonical_line = rec.write_csv();
+        let data = format!(
+            "#Software: SGOS\n{}\n#Fields: date time s-ip cs-host sc-filter-result\n\
+             2011-08-04,11:00:00,82.137.200.42,late.example,OBSERVED\n",
+            canonical_line
+        );
+        // The first record uses the canonical default; the second follows
+        // the in-file header.
+        let reader = SchemaReader::new(Cursor::new(data));
+        let (records, bad) = reader.read_all_lossy();
+        assert_eq!(bad, 0);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], rec);
+        assert_eq!(records[1].host(), "late.example");
+        assert_eq!(records[1].timestamp.date().to_string(), "2011-08-04");
+    }
+
+    #[test]
+    fn wrong_width_line_is_an_error() {
+        let s = Schema::from_header("#Fields: date time s-ip cs-host sc-filter-result").unwrap();
+        assert!(s.parse_record("2011-08-03,10:30:00,82.137.200.42", 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_field_first_declaration_wins() {
+        let s = Schema::from_header(
+            "#Fields: date time s-ip cs-host cs-host sc-filter-result",
+        )
+        .unwrap();
+        let rec = s
+            .parse_record(
+                "2011-08-03,10:30:00,82.137.200.42,first.example,second.example,OBSERVED",
+                1,
+            )
+            .unwrap();
+        assert_eq!(rec.host(), "first.example");
+    }
+}

@@ -1,0 +1,238 @@
+//! Reversed-label trie for domain-suffix blacklists.
+//!
+//! The paper recovers a list of 105 domains "for which no request is allowed"
+//! (§5.4, Table 8) and shows that the `.il` ccTLD is blocked wholesale. A
+//! domain blacklist therefore needs *registrable-suffix* semantics:
+//! `facebook.com` must match `www.facebook.com` but not `notfacebook.com`,
+//! and the entry `.il` (or equivalently `il`) must match every Israeli host.
+//!
+//! Labels are inserted in reverse order (`com` → `facebook`) so a lookup
+//! walks the host's labels right-to-left and stops at the first node marked
+//! terminal — one pass, no allocation.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct Node {
+    children: HashMap<Box<str>, Node>,
+    /// Index of the blacklist entry terminating here, if any.
+    terminal: Option<u32>,
+}
+
+/// A set of domain suffixes with right-to-left label matching.
+#[derive(Debug, Default)]
+pub struct DomainTrie {
+    root: Node,
+    len: usize,
+}
+
+impl DomainTrie {
+    /// Empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of entries. Leading dots are ignored
+    /// (`".il"` and `"il"` are the same entry); entries are lowercased.
+    pub fn from_entries<'a>(entries: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut t = Self::new();
+        for e in entries {
+            t.insert(e);
+        }
+        t
+    }
+
+    /// Number of entries inserted (duplicates counted once).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the trie empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a suffix entry; returns the entry index it was assigned, or the
+    /// existing index if the exact entry was already present.
+    pub fn insert(&mut self, entry: &str) -> u32 {
+        let entry = entry.trim_start_matches('.');
+        let mut node = &mut self.root;
+        for label in entry.rsplit('.') {
+            let label = label.to_ascii_lowercase();
+            node = node.children.entry(label.into_boxed_str()).or_default();
+        }
+        match node.terminal {
+            Some(ix) => ix,
+            None => {
+                let ix = self.len as u32;
+                node.terminal = Some(ix);
+                self.len += 1;
+                ix
+            }
+        }
+    }
+
+    /// If `host` is covered by an entry, return that entry's index.
+    ///
+    /// The *shortest* covering suffix wins (matching the outermost blacklist
+    /// entry), e.g. with entries `il` and `co.il`, host `panet.co.il` reports
+    /// `il`. ASCII case is ignored; a trailing dot on the host is tolerated.
+    pub fn lookup(&self, host: &str) -> Option<u32> {
+        let host = host.strip_suffix('.').unwrap_or(host);
+        if host.is_empty() {
+            return None;
+        }
+        let mut node = &self.root;
+        for label in host.rsplit('.') {
+            // Allocation-free lowercase probe: fast path for already-lower
+            // labels, fallback buffer otherwise.
+            let child = if label.bytes().any(|b| b.is_ascii_uppercase()) {
+                let lower = label.to_ascii_lowercase();
+                node.children.get(lower.as_str())
+            } else {
+                node.children.get(label)
+            };
+            match child {
+                Some(n) => {
+                    if let Some(ix) = n.terminal {
+                        return Some(ix);
+                    }
+                    node = n;
+                }
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// If `host` is covered by an entry, return the index of the *longest*
+    /// (most specific) covering entry.
+    ///
+    /// Complements [`Self::lookup`]: blacklists want the outermost entry,
+    /// category oracles want the most specific one (`mail.yahoo.com` over
+    /// `yahoo.com`).
+    pub fn lookup_longest(&self, host: &str) -> Option<u32> {
+        let host = host.strip_suffix('.').unwrap_or(host);
+        if host.is_empty() {
+            return None;
+        }
+        let mut node = &self.root;
+        let mut best = None;
+        for label in host.rsplit('.') {
+            let child = if label.bytes().any(|b| b.is_ascii_uppercase()) {
+                let lower = label.to_ascii_lowercase();
+                node.children.get(lower.as_str())
+            } else {
+                node.children.get(label)
+            };
+            match child {
+                Some(n) => {
+                    if let Some(ix) = n.terminal {
+                        best = Some(ix);
+                    }
+                    node = n;
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Does any entry cover `host`?
+    pub fn matches(&self, host: &str) -> bool {
+        self.lookup(host).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_subdomain_match() {
+        let t = DomainTrie::from_entries(["facebook.com", "metacafe.com"]);
+        assert!(t.matches("facebook.com"));
+        assert!(t.matches("www.facebook.com"));
+        assert!(t.matches("ar-ar.facebook.com"));
+        assert!(!t.matches("notfacebook.com"));
+        assert!(!t.matches("facebook.com.evil.net"));
+        assert!(!t.matches("com"));
+    }
+
+    #[test]
+    fn tld_entry_blocks_cctld() {
+        let t = DomainTrie::from_entries([".il"]);
+        assert!(t.matches("panet.co.il"));
+        assert!(t.matches("walla.co.il"));
+        assert!(t.matches("il"));
+        assert!(!t.matches("il.example.com"));
+    }
+
+    #[test]
+    fn shortest_suffix_wins() {
+        let mut t = DomainTrie::new();
+        let il = t.insert("il");
+        let _coil = t.insert("co.il");
+        assert_eq!(t.lookup("panet.co.il"), Some(il));
+    }
+
+    #[test]
+    fn lookup_longest_prefers_most_specific() {
+        let mut t = DomainTrie::new();
+        let il = t.insert("il");
+        let coil = t.insert("co.il");
+        assert_eq!(t.lookup_longest("panet.co.il"), Some(coil));
+        assert_eq!(t.lookup_longest("idf.il"), Some(il));
+        assert_eq!(t.lookup_longest("example.com"), None);
+        assert_eq!(t.lookup_longest(""), None);
+        // Exact entry is its own longest match.
+        assert_eq!(t.lookup_longest("co.il"), Some(coil));
+    }
+
+    #[test]
+    fn case_and_trailing_dot_insensitive() {
+        let t = DomainTrie::from_entries(["Skype.COM"]);
+        assert!(t.matches("download.skype.com"));
+        assert!(t.matches("SKYPE.com."));
+    }
+
+    #[test]
+    fn duplicate_insert_reuses_index() {
+        let mut t = DomainTrie::new();
+        let a = t.insert("badoo.com");
+        let b = t.insert(".badoo.com");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_trie_and_empty_host() {
+        let t = DomainTrie::new();
+        assert!(t.is_empty());
+        assert!(!t.matches("anything.com"));
+        let t = DomainTrie::from_entries(["x.com"]);
+        assert!(!t.matches(""));
+    }
+
+    #[test]
+    fn agrees_with_naive_reference() {
+        let entries = ["facebook.com", ".il", "skype.com", "jumblo.com"];
+        let t = DomainTrie::from_entries(entries);
+        for host in [
+            "facebook.com",
+            "www.facebook.com",
+            "il",
+            "x.co.il",
+            "skype.com.fake.org",
+            "jumblo.com",
+            "example.org",
+            "IL",
+        ] {
+            assert_eq!(
+                t.matches(host),
+                crate::naive::domain_matches(&entries, host),
+                "host {host:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Policy data and per-proxy configuration.
+//!
+//! The rule content encodes what §5.4–§6 of the paper recovered from the
+//! logs: the five keywords, the suspected-domain list (105 domains in the
+//! paper; a curated equivalent here, spanning the same Table 9 category
+//! mix), the Israeli subnet blocks, the 11 redirect hosts of Table 7, and
+//! the narrow Facebook-page patterns of Table 14.
+
+use filterscope_core::ProxyId;
+
+/// The five blacklisted keywords (Table 10). Substring-matched,
+/// case-insensitively, against `host + path + ?query`.
+pub const KEYWORDS: [&str; 5] = [
+    "proxy",
+    "hotspotshield",
+    "ultrareach",
+    "israel",
+    "ultrasurf",
+];
+
+/// Domain suffixes for which no request is allowed (the paper's 105
+/// "suspected" domains, §5.4/Table 8, spanning the Table 9 category mix;
+/// `.il` blocks the whole Israeli ccTLD).
+pub const BLOCKED_DOMAINS: &[&str] = &[
+    // Instant messaging / VoIP (IM dominates censored volume, Table 9)
+    "skype.com",
+    "jumblo.com",
+    "live.com",
+    "ceipmsn.com",
+    // Streaming media
+    "metacafe.com",
+    "dailymotion.com",
+    "justin.tv",
+    "ustream.tv",
+    "vimeo.com",
+    "tvkeys.net",
+    // Education / reference
+    "wikimedia.org",
+    "wikipedia.org",
+    "wiktionary.org",
+    "scribd.com",
+    // Online shopping
+    "amazon.com",
+    "souq.com",
+    // Social networking (the always-censored OSNs of Table 13)
+    "badoo.com",
+    "netlog.com",
+    "salamworld.com",
+    "muslimup.com",
+    "waatny.com",
+    "shabakat-sy.net",
+    // Israeli ccTLD, blocked wholesale
+    "il",
+    // General news / opposition (the largest category by domain count)
+    "aawsat.com",
+    "alquds.co.uk",
+    "all4syria.info",
+    "islammemo.cc",
+    "new-syria.com",
+    "free-syria.com",
+    "syriarevolutionnews.com",
+    "elaph.com",
+    "alhiwar.net",
+    "levantnews.com",
+    "syriapol.com",
+    "damaspost.net",
+    "shaamtimes.net",
+    "zamanalwsl.net",
+    "souriahouria.com",
+    "alkarama-sy.org",
+    "halabnews.net",
+    "homsrevolution.com",
+    "darayanews.org",
+    "ugarit-news.org",
+    "sooryoon.net",
+    "syriantube.net",
+    "barada-tv.net",
+    "orient-news.net",
+    "al-sham-news.com",
+    "freedomdays-sy.org",
+    "tahrirsouri.com",
+    "wattan-news.net",
+    "syrialeaks.org",
+    "deraa-news.com",
+    "idlibnews.net",
+    "kafranbel.org",
+    "douma-coord.org",
+    "lattakianews.net",
+    // Internet services
+    "jumpertel.net",
+    "callserve.net",
+    "voipcheap.net",
+    "net2phone.net",
+    "pc2call.net",
+    "anymedia-sy.net",
+    // Entertainment
+    "6arab.com",
+    "shobiklobik.com",
+    "arabseed.net",
+    "cima4u.net",
+    // Forums / bulletin boards
+    "jeddahbikers.com",
+    "montadayat.org",
+    "damascus-forum.com",
+    "shabablek.com",
+    "alnilin.com",
+    "absba.org",
+    "syria-forum.net",
+    "freesyriatalk.org",
+    // Religion
+    "islamway.com",
+    "islamdoor-sy.net",
+    // Uncategorized long tail ("NA" in Table 9)
+    "mirror-sy1.net",
+    "mirror-sy2.net",
+    "hostbox-dam.net",
+    "cachefarm.info",
+    "relay-station.info",
+    "openpage.cc",
+    "doorway.cc",
+    "pagegate.cc",
+    "linkpost.cc",
+    "webdoor.cc",
+];
+
+/// Blocked destination subnets (Israeli space). Table 12 distinguishes two
+/// groups: subnets that are almost always censored (`84.229.0.0/16`,
+/// `46.120.0.0/15`, `89.138.0.0/15`) and subnets where allowed traffic
+/// dominates (`212.150.0.0/16`, `212.235.64.0/19`) — the policy evidently
+/// blocked only narrower slices of the latter two, which is what this rule
+/// set encodes. The engine also consults these for CONNECT tunnels whose
+/// `cs-host` is a literal address.
+pub const BLOCKED_SUBNETS: [&str; 5] = [
+    "84.229.0.0/16",
+    "46.120.0.0/15",
+    "89.138.0.0/15",
+    "212.235.64.0/20",
+    "212.150.160.0/21",
+];
+
+/// Hosts whose requests are redirected rather than denied (Table 7 minus
+/// the Facebook entries, which are matched by the custom category below).
+pub const REDIRECT_HOSTS: [&str; 9] = [
+    "upload.youtube.com",
+    "competition.mbc.net",
+    "sharek.aljazeera.net",
+    "upload.dailymotion.com",
+    "share.metacafe.com",
+    "submit.all4syria.info",
+    "post.shaamtimes.net",
+    "upload.syriantube.net",
+    "contribute.barada-tv.net",
+];
+
+/// The targeted Facebook pages (Table 14). Matching is **case-sensitive**
+/// and narrow: only the exact path with one of [`CUSTOM_CATEGORY_QUERIES`]
+/// falls into the custom category — the paper shows the same page with an
+/// extended query (`...&ajaxpipe=1&...`) escaping the rule.
+pub const FACEBOOK_BLOCKED_PAGES: [&str; 12] = [
+    "Syrian.Revolution",
+    "Syrian.revolution",
+    "syria.news.F.N.N",
+    "ShaamNews",
+    "fffm14",
+    "barada.channel",
+    "DaysOfRage",
+    "Syrian.R.V",
+    "YouthFreeSyria",
+    "sooryoon",
+    "Freedom.Of.Syria",
+    "SyrianDayOfRage",
+];
+
+/// Query strings covered by the custom-category rules (everything else on a
+/// targeted page path is allowed).
+pub const CUSTOM_CATEGORY_QUERIES: [&str; 4] = ["", "ref=ts", "sk=wall", "ref=search"];
+
+/// Facebook frontends the page rules apply to.
+pub const FACEBOOK_HOSTS: [&str; 3] = ["www.facebook.com", "facebook.com", "ar-ar.facebook.com"];
+
+/// Per-proxy configuration.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Which appliance this is.
+    pub id: ProxyId,
+    /// `cs-categories` value for uncategorized URLs: `unavailable` on five
+    /// proxies, `none` on SG-43 and SG-48 (§4, §5.2).
+    pub default_category: &'static str,
+    /// `cs-categories` value for custom-category hits.
+    pub blocked_category: &'static str,
+    /// Does this proxy run the (intermittent) Tor-relay rule? Only SG-44 in
+    /// the paper, with a trace amount on SG-48 (§7.1).
+    pub tor_rule_per_mille_cap: u32,
+}
+
+impl ProxyConfig {
+    /// The deployment configuration for `id`, as inferred by the paper.
+    pub fn standard(id: ProxyId) -> Self {
+        let none_style = matches!(id, ProxyId::Sg43 | ProxyId::Sg48);
+        ProxyConfig {
+            id,
+            default_category: if none_style { "none" } else { "unavailable" },
+            blocked_category: if none_style {
+                "Blocked sites"
+            } else {
+                "Blocked sites; unavailable"
+            },
+            tor_rule_per_mille_cap: match id {
+                ProxyId::Sg44 => 900,
+                ProxyId::Sg48 => 1,
+                _ => 0,
+            },
+        }
+    }
+}
+
+/// Farm-level configuration.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Per-proxy configs, indexed by [`ProxyId::index`].
+    pub proxies: Vec<ProxyConfig>,
+    /// Seed for all deterministic decisions (errors, cache, Tor windows).
+    pub seed: u64,
+    /// Overall network-error rate, per 100 000 requests (Table 3: ~5 310).
+    pub error_per_cent_mille: u32,
+    /// Cache (PROXIED) rate, per 100 000 requests (Table 3: ~470).
+    pub proxied_per_cent_mille: u32,
+}
+
+impl FarmConfig {
+    /// The December-2012 regime: "Starting December 2012, Tor relays and
+    /// bridges have reportedly been blocked" — every proxy blocks every
+    /// known relay endpoint, unconditionally.
+    pub fn tor_blocked_era() -> Self {
+        let mut cfg = FarmConfig::default();
+        for p in &mut cfg.proxies {
+            p.tor_rule_per_mille_cap = 1000;
+        }
+        cfg
+    }
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        FarmConfig {
+            proxies: ProxyId::ALL.iter().map(|p| ProxyConfig::standard(*p)).collect(),
+            seed: 0x5947_2011, // "SY 2011"
+            error_per_cent_mille: 5_310,
+            proxied_per_cent_mille: 470,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_labels_follow_paper() {
+        let sg42 = ProxyConfig::standard(ProxyId::Sg42);
+        assert_eq!(sg42.default_category, "unavailable");
+        assert_eq!(sg42.blocked_category, "Blocked sites; unavailable");
+        let sg43 = ProxyConfig::standard(ProxyId::Sg43);
+        assert_eq!(sg43.default_category, "none");
+        assert_eq!(sg43.blocked_category, "Blocked sites");
+        let sg48 = ProxyConfig::standard(ProxyId::Sg48);
+        assert_eq!(sg48.default_category, "none");
+    }
+
+    #[test]
+    fn only_sg44_runs_the_tor_rule_materially() {
+        for p in ProxyId::ALL {
+            let cap = ProxyConfig::standard(p).tor_rule_per_mille_cap;
+            match p {
+                ProxyId::Sg44 => assert!(cap > 100),
+                ProxyId::Sg48 => assert!((1..10).contains(&cap)),
+                _ => assert_eq!(cap, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn blocklists_contain_paper_entries() {
+        assert!(BLOCKED_DOMAINS.contains(&"metacafe.com"));
+        assert!(BLOCKED_DOMAINS.contains(&"il"));
+        assert!(BLOCKED_DOMAINS.contains(&"badoo.com"));
+        assert!(KEYWORDS.contains(&"proxy"));
+        assert!(FACEBOOK_BLOCKED_PAGES.contains(&"Syrian.Revolution"));
+        assert!(REDIRECT_HOSTS.contains(&"upload.youtube.com"));
+        // Category breadth: at least 8 distinct Table 9 buckets represented.
+        assert!(BLOCKED_DOMAINS.len() >= 80);
+    }
+
+    #[test]
+    fn tor_blocked_era_blocks_everywhere() {
+        let f = FarmConfig::tor_blocked_era();
+        assert!(f.proxies.iter().all(|p| p.tor_rule_per_mille_cap == 1000));
+    }
+
+    #[test]
+    fn default_farm_has_seven_proxies() {
+        let f = FarmConfig::default();
+        assert_eq!(f.proxies.len(), 7);
+        for (i, p) in f.proxies.iter().enumerate() {
+            assert_eq!(p.id.index(), i);
+        }
+    }
+}

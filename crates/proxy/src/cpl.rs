@@ -1,0 +1,280 @@
+//! A CPL-flavoured policy text format.
+//!
+//! Blue Coat appliances are configured in CPL (Content Policy Language).
+//! This module serializes a [`PolicyData`] to a small, CPL-inspired dialect
+//! and parses it back, so policies can be stored, diffed, hand-edited, and
+//! — the interesting use — *exported from the §5.4 inference* and re-run
+//! against fresh traffic:
+//!
+//! ```text
+//! ; filterscope policy
+//! define condition blacklist_keywords
+//!   url.substring="proxy"
+//! end
+//! define condition blocked_domains
+//!   url.domain="metacafe.com"
+//! end
+//! define subnet blocked_subnets
+//!   84.229.0.0/16
+//! end
+//! define condition redirect_hosts
+//!   url.host="upload.youtube.com"
+//! end
+//! define condition blocked_pages
+//!   url.host="www.facebook.com" url.path="/Syrian.Revolution"
+//! end
+//! define condition blocked_page_queries
+//!   url.query="ref=ts"
+//! end
+//! ```
+
+use crate::policy_data::PolicyData;
+use filterscope_core::{Error, Ipv4Cidr, Result};
+
+/// Escape a value for a quoted CPL literal.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    out
+}
+
+/// Parse a quoted CPL literal starting at `s` (after the opening quote has
+/// been located); returns (value, rest-after-closing-quote).
+fn unquote(s: &str) -> Result<(String, &str)> {
+    let bad = || Error::InvalidConfig(format!("bad CPL string literal near {s:?}"));
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    loop {
+        match chars.next() {
+            Some((_, '\\')) => match chars.next() {
+                Some((_, c)) => out.push(c),
+                None => return Err(bad()),
+            },
+            Some((i, '"')) => return Ok((out, &s[i + 1..])),
+            Some((_, c)) => out.push(c),
+            None => return Err(bad()),
+        }
+    }
+}
+
+/// Serialize a policy to the CPL dialect.
+pub fn to_cpl(policy: &PolicyData) -> String {
+    let mut out = String::new();
+    out.push_str("; filterscope policy (CPL dialect)\n");
+
+    out.push_str("define condition blacklist_keywords\n");
+    for k in &policy.keywords {
+        out.push_str(&format!("  url.substring={}\n", quote(k)));
+    }
+    out.push_str("end\n\n");
+
+    out.push_str("define condition blocked_domains\n");
+    for d in &policy.blocked_domains {
+        out.push_str(&format!("  url.domain={}\n", quote(d)));
+    }
+    out.push_str("end\n\n");
+
+    out.push_str("define subnet blocked_subnets\n");
+    for s in &policy.blocked_subnets {
+        out.push_str(&format!("  {s}\n"));
+    }
+    out.push_str("end\n\n");
+
+    out.push_str("define condition redirect_hosts\n");
+    for h in &policy.redirect_hosts {
+        out.push_str(&format!("  url.host={}\n", quote(h)));
+    }
+    out.push_str("end\n\n");
+
+    out.push_str("define condition blocked_pages\n");
+    for (host, path) in &policy.custom_pages {
+        out.push_str(&format!(
+            "  url.host={} url.path={}\n",
+            quote(host),
+            quote(path)
+        ));
+    }
+    out.push_str("end\n\n");
+
+    out.push_str("define condition blocked_page_queries\n");
+    for q in &policy.custom_queries {
+        out.push_str(&format!("  url.query={}\n", quote(q)));
+    }
+    out.push_str("end\n");
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Keywords,
+    Domains,
+    Subnets,
+    Redirects,
+    Pages,
+    Queries,
+}
+
+/// Extract the value of `key="..."` from `line`, returning (value, rest).
+fn take_attr<'a>(line: &'a str, key: &str) -> Result<(String, &'a str)> {
+    let prefix = format!("{key}=\"");
+    let start = line.find(&prefix).ok_or_else(|| {
+        Error::InvalidConfig(format!("expected {key}=\"...\" in {line:?}"))
+    })?;
+    unquote(&line[start + prefix.len()..])
+}
+
+/// Parse the CPL dialect back into a [`PolicyData`].
+pub fn parse_cpl(text: &str) -> Result<PolicyData> {
+    let mut policy = PolicyData::empty();
+    let mut section = Section::None;
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let err = |reason: &str| {
+            Error::MalformedRecord {
+                line: (no + 1) as u64,
+                reason: reason.to_string(),
+            }
+        };
+        if let Some(rest) = line.strip_prefix("define ") {
+            if section != Section::None {
+                return Err(err("nested define"));
+            }
+            section = match rest.trim() {
+                "condition blacklist_keywords" => Section::Keywords,
+                "condition blocked_domains" => Section::Domains,
+                "subnet blocked_subnets" => Section::Subnets,
+                "condition redirect_hosts" => Section::Redirects,
+                "condition blocked_pages" => Section::Pages,
+                "condition blocked_page_queries" => Section::Queries,
+                other => return Err(err(&format!("unknown define {other:?}"))),
+            };
+            continue;
+        }
+        if line == "end" {
+            if section == Section::None {
+                return Err(err("end outside define"));
+            }
+            section = Section::None;
+            continue;
+        }
+        match section {
+            Section::None => return Err(err("rule outside define block")),
+            Section::Keywords => {
+                let (v, _) = take_attr(line, "url.substring")?;
+                policy.keywords.push(v);
+            }
+            Section::Domains => {
+                let (v, _) = take_attr(line, "url.domain")?;
+                policy.blocked_domains.push(v);
+            }
+            Section::Subnets => {
+                policy.blocked_subnets.push(Ipv4Cidr::parse(line)?);
+            }
+            Section::Redirects => {
+                let (v, _) = take_attr(line, "url.host")?;
+                policy.redirect_hosts.push(v);
+            }
+            Section::Pages => {
+                let (host, rest) = take_attr(line, "url.host")?;
+                let (path, _) = take_attr(rest, "url.path")?;
+                policy.custom_pages.push((host, path));
+            }
+            Section::Queries => {
+                let (v, _) = take_attr(line, "url.query")?;
+                policy.custom_queries.push(v);
+            }
+        }
+    }
+    if section != Section::None {
+        return Err(Error::InvalidConfig("unterminated define block".into()));
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_policy_roundtrips() {
+        let policy = PolicyData::standard();
+        let text = to_cpl(&policy);
+        let back = parse_cpl(&text).expect("roundtrip parse");
+        assert_eq!(back.normalized(), policy.normalized());
+    }
+
+    #[test]
+    fn empty_policy_roundtrips() {
+        let policy = PolicyData::empty();
+        let back = parse_cpl(&to_cpl(&policy)).unwrap();
+        assert_eq!(back, policy);
+    }
+
+    #[test]
+    fn quoting_survives_special_characters() {
+        let mut policy = PolicyData::empty();
+        policy.keywords.push(r#"we"ird\key"#.to_string());
+        policy.custom_pages.push((
+            "www.facebook.com".into(),
+            "/Path \"quoted\"".into(),
+        ));
+        policy.custom_queries.push("ref=ts&x=1".into());
+        let back = parse_cpl(&to_cpl(&policy)).unwrap();
+        assert_eq!(back, policy);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_cpl("define condition nonsense\nend\n").is_err());
+        assert!(parse_cpl("url.substring=\"x\"\n").is_err()); // outside block
+        assert!(parse_cpl("define condition blacklist_keywords\n").is_err()); // unterminated
+        assert!(parse_cpl(
+            "define subnet blocked_subnets\n  not-a-subnet\nend\n"
+        )
+        .is_err());
+        assert!(parse_cpl(
+            "define condition blacklist_keywords\n  url.substring=\"open\nend\n"
+        )
+        .is_err()); // unterminated string
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored()  {
+        let text = "; header\n\ndefine condition blacklist_keywords\n; inner comment\n  url.substring=\"proxy\"\nend\n";
+        let p = parse_cpl(text).unwrap();
+        assert_eq!(p.keywords, vec!["proxy".to_string()]);
+    }
+
+    #[test]
+    fn parsed_policy_drives_the_engine() {
+        use crate::engine::PolicyEngine;
+        use crate::request::Request;
+        use filterscope_core::{ProxyId, Timestamp};
+        use filterscope_logformat::RequestUrl;
+
+        let text = "define condition blacklist_keywords\n  url.substring=\"forbidden\"\nend\n\
+                    define condition blocked_domains\n  url.domain=\"evil.example\"\nend\n";
+        let policy = parse_cpl(text).unwrap();
+        let engine = PolicyEngine::from_data(&policy, None, 1);
+        let cfg = crate::config::ProxyConfig::standard(ProxyId::Sg42);
+        let ts = Timestamp::parse_fields("2011-08-03", "09:00:00").unwrap();
+        let blocked = Request::get(ts, RequestUrl::http("a.com", "/forbidden/x"));
+        assert!(engine.decide(&cfg, &blocked).is_censored());
+        let blocked2 = Request::get(ts, RequestUrl::http("www.evil.example", "/"));
+        assert!(engine.decide(&cfg, &blocked2).is_censored());
+        let fine = Request::get(ts, RequestUrl::http("ok.example", "/"));
+        assert!(!engine.decide(&cfg, &fine).is_censored());
+    }
+}
+

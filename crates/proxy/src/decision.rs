@@ -1,0 +1,88 @@
+//! Policy decisions and their triggers.
+
+use filterscope_logformat::ExceptionId;
+
+/// Why a censorship rule fired — used by tests and by ablation analyses;
+/// the appliances themselves do not log this (which is exactly what makes
+/// §5.4's inference problem interesting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trigger {
+    /// Blacklisted keyword in host+path+query.
+    Keyword,
+    /// Blacklisted domain suffix.
+    Domain,
+    /// Destination IP in a blocked subnet.
+    IpSubnet,
+    /// Custom "Blocked sites" category rule.
+    CustomCategory,
+    /// Redirect-host rule (Table 7).
+    RedirectHost,
+    /// Tor relay endpoint rule (SG-44 only).
+    TorRelay,
+}
+
+/// Outcome of evaluating the policy against one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Serve the request.
+    Allow,
+    /// Do not serve; raise `policy_denied`.
+    Deny(Trigger),
+    /// Redirect the client; raise `policy_redirect`.
+    Redirect(Trigger),
+}
+
+impl Decision {
+    /// Is this a censorship outcome?
+    pub fn is_censored(self) -> bool {
+        !matches!(self, Decision::Allow)
+    }
+
+    /// The exception the appliance logs for this decision (before any
+    /// network-error overlay).
+    pub fn exception(self) -> ExceptionId {
+        match self {
+            Decision::Allow => ExceptionId::None,
+            Decision::Deny(_) => ExceptionId::PolicyDenied,
+            Decision::Redirect(_) => ExceptionId::PolicyRedirect,
+        }
+    }
+
+    /// The trigger, when censored.
+    pub fn trigger(self) -> Option<Trigger> {
+        match self {
+            Decision::Allow => None,
+            Decision::Deny(t) | Decision::Redirect(t) => Some(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceptions_match_decisions() {
+        assert_eq!(Decision::Allow.exception(), ExceptionId::None);
+        assert_eq!(
+            Decision::Deny(Trigger::Keyword).exception(),
+            ExceptionId::PolicyDenied
+        );
+        assert_eq!(
+            Decision::Redirect(Trigger::CustomCategory).exception(),
+            ExceptionId::PolicyRedirect
+        );
+    }
+
+    #[test]
+    fn censorship_predicate() {
+        assert!(!Decision::Allow.is_censored());
+        assert!(Decision::Deny(Trigger::Domain).is_censored());
+        assert!(Decision::Redirect(Trigger::RedirectHost).is_censored());
+        assert_eq!(Decision::Allow.trigger(), None);
+        assert_eq!(
+            Decision::Deny(Trigger::IpSubnet).trigger(),
+            Some(Trigger::IpSubnet)
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! The network-error overlay.
+//!
+//! Denied-by-error traffic is ~5.3 % of all requests, with the exception mix
+//! of Table 3. Errors strike requests the policy *would have allowed* (a
+//! censored request never contacts the origin, so TCP/DNS errors cannot
+//! occur for it). Assignment is a pure hash of request identity and
+//! timestamp, so the same workload always produces the same error records.
+
+use crate::hashing::{decision_hash, per_cent_mille};
+use crate::request::Request;
+use filterscope_logformat::ExceptionId;
+
+/// Relative weights of the error exceptions, from Table 3's `Ddenied`
+/// breakdown (per 10 000 of error traffic).
+const ERROR_MIX: [(ExceptionId, u32); 8] = [
+    (ExceptionId::TcpError, 5355),
+    (ExceptionId::InternalError, 3667),
+    (ExceptionId::InvalidRequest, 664),
+    (ExceptionId::UnsupportedProtocol, 179),
+    (ExceptionId::DnsUnresolvedHostname, 35),
+    (ExceptionId::DnsServerFailure, 15),
+    (ExceptionId::UnsupportedEncoding, 1),
+    (ExceptionId::InvalidResponse, 1),
+];
+
+/// Deterministic error model.
+#[derive(Debug, Clone)]
+pub struct ErrorModel {
+    seed: u64,
+    /// Error probability per 100 000 requests.
+    rate_per_cent_mille: u32,
+}
+
+impl ErrorModel {
+    /// Model with the given overall rate.
+    pub fn new(seed: u64, rate_per_cent_mille: u32) -> Self {
+        ErrorModel {
+            seed,
+            rate_per_cent_mille,
+        }
+    }
+
+    /// Should `req` fail with a network error, and if so which?
+    pub fn sample(&self, req: &Request) -> Option<ExceptionId> {
+        let mut key = req.identity_bytes();
+        key.extend_from_slice(&req.timestamp.epoch_seconds().to_le_bytes());
+        let h = decision_hash(self.seed, "net-error", &key);
+        if per_cent_mille(h) >= self.rate_per_cent_mille as u64 {
+            return None;
+        }
+        // Second, independent draw selects the exception kind.
+        let pick = decision_hash(self.seed, "net-error-kind", &key) % 10_000;
+        let mut acc = 0u64;
+        for (e, w) in ERROR_MIX.iter() {
+            acc += *w as u64;
+            if pick < acc {
+                return Some(e.clone());
+            }
+        }
+        // Weights sum to < 10 000 only by rounding; fall back to TCP error.
+        Some(ExceptionId::TcpError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::Timestamp;
+    use filterscope_logformat::RequestUrl;
+
+    fn reqs(n: u64) -> impl Iterator<Item = Request> {
+        let t0 = Timestamp::parse_fields("2011-08-03", "00:00:00").unwrap();
+        (0..n).map(move |i| {
+            Request::get(
+                t0.plus_seconds(i as i64 % 86_400),
+                RequestUrl::http(format!("host{i}.example"), "/"),
+            )
+        })
+    }
+
+    #[test]
+    fn rate_converges() {
+        let m = ErrorModel::new(7, 5_310);
+        let n = 200_000u64;
+        let errors = reqs(n).filter(|r| m.sample(r).is_some()).count() as f64;
+        let rate = errors / n as f64;
+        assert!((rate - 0.0531).abs() < 0.003, "rate {rate}");
+    }
+
+    #[test]
+    fn mix_matches_table3_shape() {
+        let m = ErrorModel::new(7, 100_000); // every request errors
+        let mut tcp = 0u64;
+        let mut internal = 0u64;
+        let mut total = 0u64;
+        for r in reqs(50_000) {
+            match m.sample(&r) {
+                Some(ExceptionId::TcpError) => {
+                    tcp += 1;
+                    total += 1;
+                }
+                Some(ExceptionId::InternalError) => {
+                    internal += 1;
+                    total += 1;
+                }
+                Some(_) => total += 1,
+                None => unreachable!("rate is 100%"),
+            }
+        }
+        let tcp_frac = tcp as f64 / total as f64;
+        let int_frac = internal as f64 / total as f64;
+        assert!((tcp_frac - 0.5355).abs() < 0.01, "tcp {tcp_frac}");
+        assert!((int_frac - 0.3667).abs() < 0.01, "internal {int_frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = ErrorModel::new(7, 5_310);
+        for r in reqs(100) {
+            assert_eq!(m.sample(&r), m.sample(&r));
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_errors() {
+        let m = ErrorModel::new(7, 0);
+        assert!(reqs(1000).all(|r| m.sample(&r).is_none()));
+    }
+
+    #[test]
+    fn retry_at_different_time_can_differ() {
+        // Errors are transient: the same URL at a different second may get a
+        // different outcome. With a 100% rate the *kind* stays hash-driven;
+        // with a partial rate at least one URL must flip across times.
+        let m = ErrorModel::new(7, 50_000);
+        let t0 = Timestamp::parse_fields("2011-08-03", "00:00:00").unwrap();
+        let flipped = (0..200u32).any(|i| {
+            let url = RequestUrl::http(format!("h{i}.net"), "/");
+            let a = m.sample(&Request::get(t0, url.clone()));
+            let b = m.sample(&Request::get(t0.plus_seconds(17), url));
+            a.is_some() != b.is_some()
+        });
+        assert!(flipped);
+    }
+}

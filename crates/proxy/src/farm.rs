@@ -1,0 +1,427 @@
+//! The seven-proxy farm: routing, filtering, logging.
+//!
+//! Routing reproduces the paper's observations in §5.1–§5.2: overall load is
+//! near-uniform across the proxies, but *domain-based redirection*
+//! concentrates specific censored domains on specific appliances —
+//! `metacafe.com` ≳95 % on SG-48, Instant-Messaging domains biased toward
+//! SG-48/SG-45 — which is what produces the similarity structure of Table 6
+//! and SG-48's censored-traffic spikes in Fig. 7.
+
+use crate::cache::CacheModel;
+use crate::config::FarmConfig;
+use crate::decision::Decision;
+use crate::engine::PolicyEngine;
+use crate::errors::ErrorModel;
+use crate::hashing::{decision_hash, per_mille};
+use crate::request::Request;
+use filterscope_core::ProxyId;
+use filterscope_logformat::url::base_domain_of;
+use filterscope_logformat::{ExceptionId, FilterResult, LogRecord, Method, SAction};
+use filterscope_tor::RelayIndex;
+use std::sync::Arc;
+
+/// The deployment: compiled policy + per-proxy configs + overlays.
+pub struct ProxyFarm {
+    config: FarmConfig,
+    engine: PolicyEngine,
+    errors: ErrorModel,
+    cache: CacheModel,
+    /// Which proxies are accepting traffic (the July window has only SG-42).
+    active: Vec<ProxyId>,
+}
+
+impl ProxyFarm {
+    /// Build the standard farm. `relays` enables Tor-aware rules.
+    pub fn new(config: FarmConfig, relays: Option<Arc<RelayIndex>>) -> Self {
+        let engine = PolicyEngine::standard(relays, config.seed);
+        let errors = ErrorModel::new(config.seed, config.error_per_cent_mille);
+        let cache = CacheModel::new(config.seed, config.proxied_per_cent_mille);
+        ProxyFarm {
+            config,
+            engine,
+            errors,
+            cache,
+            active: ProxyId::ALL.to_vec(),
+        }
+    }
+
+    /// Standard farm with default config and no Tor awareness.
+    pub fn standard() -> Self {
+        Self::new(FarmConfig::default(), None)
+    }
+
+    /// A farm running an arbitrary policy (ablated, recovered, or parsed
+    /// from CPL) instead of the standard rule set.
+    pub fn with_policy(
+        config: FarmConfig,
+        policy: &crate::policy_data::PolicyData,
+        relays: Option<Arc<RelayIndex>>,
+    ) -> Self {
+        let engine = PolicyEngine::from_data(policy, relays, config.seed);
+        let errors = ErrorModel::new(config.seed, config.error_per_cent_mille);
+        let cache = CacheModel::new(config.seed, config.proxied_per_cent_mille);
+        ProxyFarm {
+            config,
+            engine,
+            errors,
+            cache,
+            active: ProxyId::ALL.to_vec(),
+        }
+    }
+
+    /// Restrict which proxies accept traffic (e.g. only SG-42 in July).
+    pub fn set_active(&mut self, proxies: &[ProxyId]) {
+        assert!(!proxies.is_empty(), "at least one active proxy required");
+        self.active = proxies.to_vec();
+    }
+
+    /// The currently active proxies.
+    pub fn active(&self) -> &[ProxyId] {
+        &self.active
+    }
+
+    /// Shared access to the compiled policy (for analyses and tests).
+    pub fn engine(&self) -> &PolicyEngine {
+        &self.engine
+    }
+
+    /// Route a request to a proxy: uniform hash placement with domain-based
+    /// specialization overrides.
+    pub fn route(&self, req: &Request) -> ProxyId {
+        let seed = self.config.seed;
+        let key = req.identity_bytes();
+        let h = decision_hash(seed, "route", &key);
+        let pm = per_mille(decision_hash(seed, "route-special", &key));
+
+        if self.active.len() == ProxyId::COUNT {
+            let base = base_domain_of(&req.url.host);
+            // metacafe.com: ≳95% on SG-48 (§5.2).
+            if base == "metacafe.com" && pm < 955 {
+                return ProxyId::Sg48;
+            }
+            // IM services: biased toward SG-48 and SG-45.
+            if matches!(base.as_str(), "skype.com" | "live.com" | "ceipmsn.com") {
+                if pm < 500 {
+                    return ProxyId::Sg48;
+                }
+                if pm < 750 {
+                    return ProxyId::Sg45;
+                }
+            }
+            // Literal-IP destinations: biased toward SG-47.
+            if req.url.host_is_ip() && pm < 600 {
+                return ProxyId::Sg47;
+            }
+        }
+        self.active[(h % self.active.len() as u64) as usize]
+    }
+
+    /// Process a request end to end: route, decide, apply cache/error
+    /// overlays, and produce the log record the appliance would write.
+    pub fn process(&self, req: &Request) -> LogRecord {
+        let proxy = self.route(req);
+        self.process_on(req, proxy)
+    }
+
+    /// Process on a specific proxy (bypasses routing).
+    pub fn process_on(&self, req: &Request, proxy: ProxyId) -> LogRecord {
+        let cfg = &self.config.proxies[proxy.index()];
+        let decision = self.engine.decide(cfg, req);
+        let categories = self.engine.category_label(cfg, decision).to_string();
+        let cache_hit = self.cache.is_cache_hit(req);
+
+        // Outcome resolution.
+        let (filter_result, s_action, exception, sc_status, sc_bytes) = if decision.is_censored() {
+            let exception = decision.exception();
+            if cache_hit {
+                // PROXIED rows for censored URLs sometimes lose the
+                // exception — the inconsistency §3.3 observes.
+                let exc = if self.cache.drops_exception(req) {
+                    ExceptionId::None
+                } else {
+                    exception
+                };
+                (FilterResult::Proxied, SAction::TcpHit, exc, 403u16, 0u64)
+            } else {
+                let action = match decision {
+                    Decision::Redirect(_) => SAction::TcpPolicyRedirect,
+                    _ => SAction::TcpDenied,
+                };
+                let status = match decision {
+                    Decision::Redirect(_) => 302,
+                    _ => 403,
+                };
+                (FilterResult::Denied, action, exception, status, 0)
+            }
+        } else if cache_hit {
+            (
+                FilterResult::Proxied,
+                SAction::TcpHit,
+                ExceptionId::None,
+                200,
+                req.response_bytes,
+            )
+        } else if let Some(err) = self.errors.sample(req) {
+            let status = match err {
+                ExceptionId::DnsUnresolvedHostname | ExceptionId::DnsServerFailure => 503,
+                ExceptionId::InvalidRequest => 400,
+                _ => 503,
+            };
+            (FilterResult::Denied, SAction::TcpErrMiss, err, status, 0)
+        } else {
+            let action = if req.method == Method::Connect {
+                SAction::TcpTunneled
+            } else {
+                SAction::TcpNcMiss
+            };
+            (
+                FilterResult::Observed,
+                action,
+                ExceptionId::None,
+                200,
+                req.response_bytes,
+            )
+        };
+
+        let served = filter_result != FilterResult::Denied;
+        // A transparent proxy never sees inside a TLS tunnel: CONNECT
+        // records carry only the endpoint — no path, query or extension
+        // (this absence is exactly the paper's no-MITM evidence, §4).
+        let url = if req.method == Method::Connect {
+            filterscope_logformat::RequestUrl {
+                scheme: req.url.scheme.clone(),
+                host: req.url.host.clone(),
+                port: req.url.port,
+                path: "-".into(),
+                query: String::new(),
+            }
+        } else {
+            req.url.clone()
+        };
+        let uri_ext = url
+            .extension()
+            .filter(|e| *e != "-")
+            .unwrap_or("")
+            .to_string();
+        let content_type = if !served || req.method == Method::Connect {
+            String::new()
+        } else {
+            content_type_for(&uri_ext).to_string()
+        };
+
+        LogRecord {
+            timestamp: req.timestamp,
+            time_taken_ms: time_taken(req, filter_result),
+            client: req.client,
+            sc_status,
+            s_action,
+            sc_bytes,
+            cs_bytes: 300 + (url.path.len() + url.query.len()) as u64,
+            method: req.method.clone(),
+            url,
+            uri_ext,
+            username: String::new(),
+            hierarchy: if served { "DIRECT".into() } else { "NONE".into() },
+            // A host of literally "-" would collide with the absent-field
+            // marker on disk; such a degenerate supplier is logged as absent.
+            supplier: if served && req.url.host != "-" {
+                req.url.host.clone()
+            } else {
+                String::new()
+            },
+            content_type,
+            user_agent: req.user_agent.clone(),
+            filter_result,
+            categories,
+            virus_id: String::new(),
+            s_ip: proxy.s_ip(),
+            sitename: "SG-HTTP-Service".into(),
+            exception,
+        }
+    }
+}
+
+/// Plausible `time-taken` values: censored decisions are local and fast;
+/// served requests include origin round trips.
+fn time_taken(req: &Request, fr: FilterResult) -> u32 {
+    let h = decision_hash(0x71AE, "time-taken", &req.identity_bytes());
+    match fr {
+        FilterResult::Denied => 1 + (h % 30) as u32,
+        FilterResult::Proxied => 1 + (h % 15) as u32,
+        FilterResult::Observed => 40 + (h % 900) as u32,
+    }
+}
+
+/// Content type from extension (only for served responses).
+fn content_type_for(ext: &str) -> &'static str {
+    match ext {
+        "js" => "application/x-javascript",
+        "css" => "text/css",
+        "png" => "image/png",
+        "jpg" | "jpeg" => "image/jpeg",
+        "gif" => "image/gif",
+        "flv" => "video/x-flv",
+        "swf" => "application/x-shockwave-flash",
+        "xml" => "text/xml",
+        "json" => "application/json",
+        "ico" => "image/x-icon",
+        "" | "php" | "html" | "htm" | "asp" | "aspx" => "text/html",
+        _ => "application/octet-stream",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::Timestamp;
+    use filterscope_logformat::{RequestClass, RequestUrl};
+
+    fn ts(t: &str) -> Timestamp {
+        Timestamp::parse_fields("2011-08-03", t).unwrap()
+    }
+
+    #[test]
+    fn censored_request_produces_denied_record() {
+        let farm = ProxyFarm::standard();
+        let req = Request::get(ts("09:00:00"), RequestUrl::http("metacafe.com", "/watch/123"));
+        let rec = farm.process_on(&req, ProxyId::Sg48);
+        // Either censored-denied or censored-proxied (cache overlay).
+        assert!(rec.exception.is_policy() || rec.filter_result == FilterResult::Proxied);
+        if rec.filter_result == FilterResult::Denied {
+            assert_eq!(RequestClass::of(&rec), RequestClass::Censored);
+            assert_eq!(rec.sc_status, 403);
+            assert_eq!(rec.sc_bytes, 0);
+            assert_eq!(rec.categories, "none"); // SG-48 names it `none`
+        }
+    }
+
+    #[test]
+    fn allowed_request_produces_observed_record() {
+        let farm = ProxyFarm::standard();
+        // Pick a URL that neither errors nor caches under the default seed.
+        let mut found = false;
+        for i in 0..50 {
+            let req = Request::get(
+                ts("09:00:00"),
+                RequestUrl::http(format!("ok{i}.example"), "/index.html"),
+            );
+            let rec = farm.process_on(&req, ProxyId::Sg42);
+            if rec.filter_result == FilterResult::Observed {
+                assert_eq!(RequestClass::of(&rec), RequestClass::Allowed);
+                assert_eq!(rec.sc_status, 200);
+                assert!(rec.sc_bytes > 0);
+                assert_eq!(rec.supplier, rec.url.host);
+                assert_eq!(rec.categories, "unavailable");
+                assert_eq!(rec.uri_ext, "html");
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no plain-allowed record in 50 URLs");
+    }
+
+    #[test]
+    fn redirect_logs_policy_redirect_action() {
+        let farm = ProxyFarm::standard();
+        let req = Request::get(ts("10:00:00"), RequestUrl::http("upload.youtube.com", "/up"));
+        let rec = farm.process_on(&req, ProxyId::Sg42);
+        if rec.filter_result == FilterResult::Denied {
+            assert_eq!(rec.exception, ExceptionId::PolicyRedirect);
+            assert_eq!(rec.s_action, SAction::TcpPolicyRedirect);
+            assert_eq!(rec.sc_status, 302);
+        }
+    }
+
+    #[test]
+    fn facebook_page_gets_blocked_sites_category() {
+        let farm = ProxyFarm::standard();
+        let req = Request::get(
+            ts("10:00:00"),
+            RequestUrl::http("www.facebook.com", "/Syrian.Revolution").with_query("ref=ts"),
+        );
+        let rec = farm.process_on(&req, ProxyId::Sg42);
+        assert_eq!(rec.categories, "Blocked sites; unavailable");
+        let rec48 = farm.process_on(&req, ProxyId::Sg48);
+        assert_eq!(rec48.categories, "Blocked sites");
+    }
+
+    #[test]
+    fn metacafe_routes_to_sg48() {
+        let farm = ProxyFarm::standard();
+        let mut sg48 = 0;
+        let n = 1000;
+        for i in 0..n {
+            let req = Request::get(
+                ts("09:00:00"),
+                RequestUrl::http("www.metacafe.com", format!("/watch/{i}")),
+            );
+            if farm.route(&req) == ProxyId::Sg48 {
+                sg48 += 1;
+            }
+        }
+        assert!(sg48 > 930, "metacafe on SG-48: {sg48}/{n}");
+    }
+
+    #[test]
+    fn generic_traffic_spreads_across_proxies() {
+        let farm = ProxyFarm::standard();
+        let mut counts = [0u32; 7];
+        let n = 7000;
+        for i in 0..n {
+            let req = Request::get(
+                ts("09:00:00"),
+                RequestUrl::http(format!("site{i}.example"), "/"),
+            );
+            counts[farm.route(&req).index()] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (600..1500).contains(c),
+                "proxy {i} got {c} of {n} requests"
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_active_set_routes_only_there() {
+        let mut farm = ProxyFarm::standard();
+        farm.set_active(&[ProxyId::Sg42]);
+        for i in 0..100 {
+            let req = Request::get(
+                ts("09:00:00"),
+                RequestUrl::http(format!("s{i}.example"), "/"),
+            );
+            assert_eq!(farm.route(&req), ProxyId::Sg42);
+        }
+    }
+
+    #[test]
+    fn processing_is_deterministic() {
+        let farm = ProxyFarm::standard();
+        let req = Request::get(ts("09:00:00"), RequestUrl::http("facebook.com", "/plugins/like.php"));
+        assert_eq!(farm.process(&req), farm.process(&req));
+    }
+
+    #[test]
+    fn connect_tunnel_records_ssl_scheme() {
+        let farm = ProxyFarm::standard();
+        let req = Request::connect(ts("11:00:00"), "mail.example.org");
+        let rec = farm.process_on(&req, ProxyId::Sg42);
+        assert_eq!(rec.url.scheme, "ssl");
+        assert_eq!(rec.method, Method::Connect);
+        if rec.filter_result == FilterResult::Observed {
+            assert_eq!(rec.s_action, SAction::TcpTunneled);
+        }
+    }
+
+    #[test]
+    fn israeli_connect_by_ip_is_censored() {
+        let farm = ProxyFarm::standard();
+        let req = Request::connect(ts("11:00:00"), "84.229.10.10");
+        let rec = farm.process_on(&req, ProxyId::Sg47);
+        assert!(
+            rec.exception.is_policy() || rec.filter_result == FilterResult::Proxied,
+            "{rec:?}"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Deterministic hashing for simulation decisions.
+//!
+//! Every stochastic-looking choice in the simulator (error injection, cache
+//! hits, Tor-blocking windows) is a pure function of request content and a
+//! seed, computed with FNV-1a folded through SplitMix64. This keeps corpus
+//! generation order-independent and exactly reproducible.
+
+/// FNV-1a over bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates structured inputs.
+pub fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combine a seed, a label and arbitrary bytes into one decision hash.
+pub fn decision_hash(seed: u64, label: &str, bytes: &[u8]) -> u64 {
+    splitmix(seed ^ fnv1a(label.as_bytes()) ^ fnv1a(bytes))
+}
+
+/// Map a hash to a per-mille draw (0..1000).
+pub fn per_mille(h: u64) -> u64 {
+    h % 1000
+}
+
+/// Map a hash to a per-hundred-thousand draw (0..100_000) for fine rates.
+pub fn per_cent_mille(h: u64) -> u64 {
+    h % 100_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_stable() {
+        assert_eq!(fnv1a(b"proxy"), fnv1a(b"proxy"));
+        assert_eq!(
+            decision_hash(1, "err", b"facebook.com"),
+            decision_hash(1, "err", b"facebook.com")
+        );
+    }
+
+    #[test]
+    fn label_and_seed_decorrelate() {
+        let a = decision_hash(1, "err", b"x");
+        let b = decision_hash(1, "cache", b"x");
+        let c = decision_hash(2, "err", b"x");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_mille_is_roughly_uniform() {
+        let n = 100_000u64;
+        let mut low = 0u64;
+        for i in 0..n {
+            if per_mille(splitmix(i)) < 500 {
+                low += 1;
+            }
+        }
+        let frac = low as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "{frac}");
+    }
+}

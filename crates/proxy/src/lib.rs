@@ -1,0 +1,44 @@
+//! # filterscope-proxy
+//!
+//! A behavioural simulator of the Blue Coat SG-9000 filtering deployment the
+//! paper studied: seven transparent proxies on the STE backbone, each
+//! running a policy built from the four trigger families the paper recovers
+//! in §5.4 —
+//!
+//! 1. **keyword rules** — a substring blacklist over `host + path + query`
+//!    (`proxy`, `hotspotshield`, `ultrareach`, `israel`, `ultrasurf`);
+//! 2. **URL/domain rules** — a suffix blacklist of ~105 domains, including
+//!    the whole `.il` ccTLD;
+//! 3. **IP rules** — destination-subnet blocks (Israeli space, Table 12);
+//! 4. **custom-category rules** — the narrow "Blocked sites" category
+//!    targeting specific Facebook pages with `policy_redirect` (§6), plus
+//!    the redirect hosts of Table 7.
+//!
+//! plus the per-proxy quirks the paper observes: SG-44 alone censors Tor
+//! circuit traffic, intermittently (§7.1, Fig. 9); SG-48 receives ~95 % of
+//! `metacafe.com` traffic through domain-based routing (§5.2); SG-43/SG-48
+//! name the default category `none` where the others say `unavailable`.
+//!
+//! The farm consumes [`Request`]s and emits [`filterscope_logformat::LogRecord`]s
+//! exactly as the appliances would have logged them, including cache
+//! (`PROXIED`) outcomes and the network-error mix of Table 3. Everything is
+//! deterministic: outcomes are pure functions of (request, config), so a
+//! regenerated corpus is byte-identical.
+
+pub mod cache;
+pub mod config;
+pub mod cpl;
+pub mod decision;
+pub mod engine;
+pub mod errors;
+pub mod farm;
+pub mod hashing;
+pub mod policy_data;
+pub mod request;
+
+pub use config::{FarmConfig, ProxyConfig};
+pub use decision::{Decision, Trigger};
+pub use engine::PolicyEngine;
+pub use policy_data::{PolicyData, RuleFamily};
+pub use farm::ProxyFarm;
+pub use request::Request;

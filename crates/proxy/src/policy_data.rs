@@ -1,0 +1,178 @@
+//! The policy as data: the rule content of a deployment, separated from the
+//! compiled engine so it can be serialized ([`crate::cpl`]), edited,
+//! ablated, or replaced with a recovered policy.
+
+use crate::config;
+use filterscope_core::{Ipv4Cidr, Result};
+
+/// Every rule the engine compiles, as plain data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyData {
+    /// Substring blacklist over `host+path+query` (case-insensitive).
+    pub keywords: Vec<String>,
+    /// Domain-suffix blacklist (`il` covers the ccTLD).
+    pub blocked_domains: Vec<String>,
+    /// Destination-subnet blacklist.
+    pub blocked_subnets: Vec<Ipv4Cidr>,
+    /// Hosts answered with `policy_redirect`.
+    pub redirect_hosts: Vec<String>,
+    /// Custom-category page rules: `(host, path)` pairs.
+    pub custom_pages: Vec<(String, String)>,
+    /// Query strings the custom-category rules cover.
+    pub custom_queries: Vec<String>,
+}
+
+impl PolicyData {
+    /// The deployment the paper recovered (from [`crate::config`]).
+    pub fn standard() -> Self {
+        let mut custom_pages = Vec::new();
+        for host in config::FACEBOOK_HOSTS {
+            for page in config::FACEBOOK_BLOCKED_PAGES {
+                custom_pages.push((host.to_string(), format!("/{page}")));
+            }
+        }
+        PolicyData {
+            keywords: config::KEYWORDS.iter().map(|s| s.to_string()).collect(),
+            blocked_domains: config::BLOCKED_DOMAINS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            blocked_subnets: config::BLOCKED_SUBNETS
+                .iter()
+                .map(|s| Ipv4Cidr::parse(s).expect("static subnet literal"))
+                .collect(),
+            redirect_hosts: config::REDIRECT_HOSTS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            custom_pages,
+            custom_queries: config::CUSTOM_CATEGORY_QUERIES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    /// An empty policy (allows everything).
+    pub fn empty() -> Self {
+        PolicyData {
+            keywords: Vec::new(),
+            blocked_domains: Vec::new(),
+            blocked_subnets: Vec::new(),
+            redirect_hosts: Vec::new(),
+            custom_pages: Vec::new(),
+            custom_queries: Vec::new(),
+        }
+    }
+
+    /// Ablation helper: this policy without one rule family.
+    pub fn without(mut self, family: RuleFamily) -> Self {
+        match family {
+            RuleFamily::Keywords => self.keywords.clear(),
+            RuleFamily::Domains => self.blocked_domains.clear(),
+            RuleFamily::Subnets => self.blocked_subnets.clear(),
+            RuleFamily::Redirects => self.redirect_hosts.clear(),
+            RuleFamily::CustomCategory => {
+                self.custom_pages.clear();
+                self.custom_queries.clear();
+            }
+        }
+        self
+    }
+
+    /// Normalize for comparison: sort every list.
+    pub fn normalized(mut self) -> Self {
+        self.keywords.sort();
+        self.blocked_domains.sort();
+        self.blocked_subnets.sort();
+        self.redirect_hosts.sort();
+        self.custom_pages.sort();
+        self.custom_queries.sort();
+        self
+    }
+
+    /// Total rule count across all families.
+    pub fn rule_count(&self) -> usize {
+        self.keywords.len()
+            + self.blocked_domains.len()
+            + self.blocked_subnets.len()
+            + self.redirect_hosts.len()
+            + self.custom_pages.len()
+    }
+}
+
+/// The five rule families (§5.4/§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleFamily {
+    Keywords,
+    Domains,
+    Subnets,
+    Redirects,
+    CustomCategory,
+}
+
+impl RuleFamily {
+    /// All families.
+    pub const ALL: [RuleFamily; 5] = [
+        RuleFamily::Keywords,
+        RuleFamily::Domains,
+        RuleFamily::Subnets,
+        RuleFamily::Redirects,
+        RuleFamily::CustomCategory,
+    ];
+
+    /// Human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuleFamily::Keywords => "keyword rules",
+            RuleFamily::Domains => "domain rules",
+            RuleFamily::Subnets => "subnet rules",
+            RuleFamily::Redirects => "redirect rules",
+            RuleFamily::CustomCategory => "custom-category rules",
+        }
+    }
+}
+
+/// Parse a list of subnet strings (helper for builders and CPL).
+pub fn parse_subnets<'a>(subnets: impl IntoIterator<Item = &'a str>) -> Result<Vec<Ipv4Cidr>> {
+    subnets.into_iter().map(Ipv4Cidr::parse).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_policy_content() {
+        let p = PolicyData::standard();
+        assert_eq!(p.keywords.len(), 5);
+        assert!(p.blocked_domains.iter().any(|d| d == "metacafe.com"));
+        assert_eq!(p.blocked_subnets.len(), 5);
+        assert_eq!(p.custom_pages.len(), 36); // 3 hosts × 12 pages
+        assert!(p.rule_count() > 100);
+    }
+
+    #[test]
+    fn without_clears_exactly_one_family() {
+        let p = PolicyData::standard().without(RuleFamily::Keywords);
+        assert!(p.keywords.is_empty());
+        assert!(!p.blocked_domains.is_empty());
+        let p = PolicyData::standard().without(RuleFamily::CustomCategory);
+        assert!(p.custom_pages.is_empty());
+        assert!(p.custom_queries.is_empty());
+        assert!(!p.keywords.is_empty());
+    }
+
+    #[test]
+    fn empty_policy_has_no_rules() {
+        assert_eq!(PolicyData::empty().rule_count(), 0);
+    }
+
+    #[test]
+    fn normalization_orders_lists() {
+        let a = PolicyData::standard().normalized();
+        let mut b = PolicyData::standard();
+        b.keywords.reverse();
+        assert_eq!(a, b.normalized());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the policy layer: CPL round-trips arbitrary policies,
+//! and the data-driven engine agrees with itself across serialization.
+
+use filterscope_core::{Ipv4Cidr, ProxyId, Timestamp};
+use filterscope_logformat::RequestUrl;
+use filterscope_proxy::{cpl, PolicyData, PolicyEngine, ProxyConfig, Request};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_policy() -> impl Strategy<Value = PolicyData> {
+    (
+        proptest::collection::vec("[a-z]{3,10}", 0..6),
+        proptest::collection::vec("[a-z]{2,8}\\.(com|net|org|il)", 0..10),
+        proptest::collection::vec((any::<u32>(), 8u8..=32), 0..5),
+        proptest::collection::vec("[a-z]{2,8}\\.example", 0..4),
+        proptest::collection::vec(("[a-z.]{2,12}", "/[A-Za-z.]{1,14}"), 0..5),
+        proptest::collection::vec("[a-z=&]{0,10}", 0..4),
+    )
+        .prop_map(|(keywords, domains, subnets, redirects, pages, queries)| {
+            PolicyData {
+                keywords,
+                blocked_domains: domains,
+                blocked_subnets: subnets
+                    .into_iter()
+                    .map(|(a, l)| Ipv4Cidr::new(Ipv4Addr::from(a), l).expect("valid len"))
+                    .collect(),
+                redirect_hosts: redirects,
+                custom_pages: pages,
+                custom_queries: queries,
+            }
+        })
+}
+
+proptest! {
+    /// to_cpl ∘ parse_cpl is the identity on policies.
+    #[test]
+    fn cpl_roundtrips_arbitrary_policies(policy in arb_policy()) {
+        let text = cpl::to_cpl(&policy);
+        let back = cpl::parse_cpl(&text).expect("generated CPL must parse");
+        prop_assert_eq!(back, policy);
+    }
+
+    /// parse_cpl never panics on arbitrary input.
+    #[test]
+    fn parse_cpl_is_total(text in "[ -~\\n]{0,300}") {
+        let _ = cpl::parse_cpl(&text);
+    }
+
+    /// A policy and its CPL round-trip compile to engines with identical
+    /// verdicts.
+    #[test]
+    fn roundtripped_engine_decides_identically(
+        policy in arb_policy(),
+        host in "[a-z0-9.]{1,20}",
+        path in "/[a-zA-Z0-9./]{0,15}",
+        query in "[a-z=&]{0,12}",
+    ) {
+        let original = PolicyEngine::from_data(&policy, None, 9);
+        let back = cpl::parse_cpl(&cpl::to_cpl(&policy)).expect("roundtrip");
+        let reparsed = PolicyEngine::from_data(&back, None, 9);
+        let cfg = ProxyConfig::standard(ProxyId::Sg42);
+        let ts = Timestamp::parse_fields("2011-08-03", "12:00:00").unwrap();
+        let req = Request::get(ts, RequestUrl::http(host, path).with_query(query));
+        prop_assert_eq!(original.decide(&cfg, &req), reparsed.decide(&cfg, &req));
+    }
+}

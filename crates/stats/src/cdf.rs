@@ -1,0 +1,106 @@
+//! Empirical CDFs (Fig. 4b, Fig. 10).
+
+/// An empirical cumulative distribution function over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs after filter"));
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Is the sample set empty?
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// F(x) = fraction of samples ≤ x. Returns 0 for an empty CDF.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&s| s <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample s with F(s) ≥ q. Returns `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let ix = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[ix - 1])
+    }
+
+    /// `(x, F(x))` points suitable for plotting, one per distinct sample.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => out.push((x, y)),
+            }
+        }
+        out
+    }
+
+    /// Median, if any samples exist.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let c = Ecdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_le(0.5), 0.0);
+        assert_eq!(c.fraction_le(2.0), 0.5);
+        assert_eq!(c.fraction_le(10.0), 1.0);
+        assert_eq!(c.quantile(0.5), Some(2.0));
+        assert_eq!(c.quantile(1.0), Some(4.0));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.median(), Some(2.0));
+    }
+
+    #[test]
+    fn duplicate_samples_collapse_in_points() {
+        let c = Ecdf::from_samples([1.0, 1.0, 2.0]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].1 - 2.0 / 3.0).abs() < 1e-9);
+        assert!((pts[1].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let c = Ecdf::from_samples([f64::NAN]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_le(0.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let c = Ecdf::from_samples([3.0, 1.0, 2.0]);
+        assert_eq!(c.quantile(0.34), Some(2.0));
+        assert_eq!(c.len(), 3);
+    }
+}

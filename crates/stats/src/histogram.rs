@@ -1,0 +1,169 @@
+//! Fixed-width histograms (Fig. 4a: censored requests per user).
+
+/// A histogram over `u64` values with fixed-width bins and an overflow bin.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// `bin_count` bins of `bin_width` each; values ≥ `bin_count*bin_width`
+    /// land in the overflow bin.
+    pub fn new(bin_width: u64, bin_count: usize) -> Self {
+        Histogram {
+            bin_width: bin_width.max(1),
+            bins: vec![0; bin_count.max(1)],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.max_seen = self.max_seen.max(value);
+        let bin = (value / self.bin_width) as usize;
+        if bin < self.bins.len() {
+            self.bins[bin] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// `(bin lower bound, count)` for every regular bin.
+    pub fn bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as u64 * self.bin_width, *c))
+    }
+
+    /// Count in the overflow bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of values in bin `i` (0 when empty).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let c = self.bins.get(i).copied().unwrap_or(0);
+        c as f64 / self.count as f64
+    }
+
+    /// Merge another histogram with the same geometry into this one.
+    ///
+    /// # Panics
+    /// Panics if bin width or bin count differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width, "merge: bin width");
+        assert_eq!(self.bins.len(), other.bins.len(), "merge: bin count");
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) from bin boundaries: the lower
+    /// bound of the bin where the cumulative count crosses `q·N`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0;
+        for (lo, c) in self.bins() {
+            cum += c;
+            if cum >= target {
+                return lo;
+            }
+        }
+        self.bins.len() as u64 * self.bin_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_assignment() {
+        let mut h = Histogram::new(10, 3); // [0,10) [10,20) [20,30) + overflow
+        for v in [0, 9, 10, 25, 300] {
+            h.record(v);
+        }
+        let bins: Vec<_> = h.bins().collect();
+        assert_eq!(bins, vec![(0, 2), (10, 1), (20, 1)]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn mean_and_fraction() {
+        let mut h = Histogram::new(1, 10);
+        for v in [1, 2, 3] {
+            h.record(v);
+        }
+        assert!((h.mean() - 2.0).abs() < 1e-9);
+        assert!((h.fraction(1) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(h.fraction(9), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert!((h.quantile(0.5) as i64 - 50).unsigned_abs() <= 1);
+        assert_eq!(h.quantile(1.0), 99);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(5, 5);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn degenerate_parameters_clamp() {
+        let mut h = Histogram::new(0, 0);
+        h.record(7);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # filterscope-stats
+//!
+//! The statistics toolkit behind the paper's tables and figures: counters
+//! and exact top-N, a Space-Saving sketch for approximate heavy hitters over
+//! unbounded streams, histograms and empirical CDFs (Figs. 4 and 10),
+//! binned time series (Figs. 5–8), cosine similarity between sparse count
+//! vectors (Table 6), confidence intervals for proportions (the Dsample
+//! justification in §3.3), and power-law diagnostics (Fig. 2).
+
+pub mod cdf;
+pub mod counter;
+pub mod histogram;
+pub mod powerlaw;
+pub mod proportion;
+pub mod similarity;
+pub mod summary;
+pub mod timeseries;
+pub mod topk;
+
+pub use cdf::Ecdf;
+pub use counter::CountMap;
+pub use histogram::Histogram;
+pub use proportion::proportion_ci;
+pub use similarity::cosine_similarity;
+pub use summary::OnlineStats;
+pub use timeseries::TimeSeries;
+pub use topk::SpaceSaving;

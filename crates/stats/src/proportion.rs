@@ -1,0 +1,153 @@
+//! Confidence intervals for proportions.
+//!
+//! §3.3 justifies the 4 % sample with the standard normal-approximation
+//! interval for proportions (Jain, *The Art of Computer Systems Performance
+//! Analysis*, ch. 13.9.2): for sample proportion p over n observations, the
+//! 95 % interval is `p ± z·√(p(1−p)/n)`.
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    pub lower: f64,
+    pub upper: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Does the interval contain `x`?
+    pub fn contains(&self, x: f64) -> bool {
+        self.lower <= x && x <= self.upper
+    }
+}
+
+/// z quantiles for common confidence levels.
+fn z_for(confidence: f64) -> f64 {
+    // Two-sided standard normal quantiles.
+    if confidence >= 0.999 {
+        3.2905
+    } else if confidence >= 0.99 {
+        2.5758
+    } else if confidence >= 0.95 {
+        1.9600
+    } else if confidence >= 0.90 {
+        1.6449
+    } else {
+        1.2816 // 80%
+    }
+}
+
+/// Normal-approximation CI for a proportion: `successes` out of `n` at the
+/// given confidence level (clamped to `[0,1]`). `n == 0` yields the vacuous
+/// interval `[0,1]`.
+pub fn proportion_ci(successes: u64, n: u64, confidence: f64) -> ConfidenceInterval {
+    if n == 0 {
+        return ConfidenceInterval {
+            lower: 0.0,
+            upper: 1.0,
+        };
+    }
+    let p = successes as f64 / n as f64;
+    let z = z_for(confidence);
+    let hw = z * (p * (1.0 - p) / n as f64).sqrt();
+    ConfidenceInterval {
+        lower: (p - hw).max(0.0),
+        upper: (p + hw).min(1.0),
+    }
+}
+
+/// Two-proportion z-test: is `a = a_success/a_n` significantly different
+/// from `b = b_success/b_n`? Returns the z statistic (`None` when either
+/// sample is empty or the pooled proportion is degenerate 0/1 in both).
+///
+/// `|z| > 1.96` ⇒ significant at 95 %, `> 2.58` at 99 %.
+pub fn two_proportion_z(a_success: u64, a_n: u64, b_success: u64, b_n: u64) -> Option<f64> {
+    if a_n == 0 || b_n == 0 {
+        return None;
+    }
+    let p1 = a_success as f64 / a_n as f64;
+    let p2 = b_success as f64 / b_n as f64;
+    let pooled = (a_success + b_success) as f64 / (a_n + b_n) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / a_n as f64 + 1.0 / b_n as f64)).sqrt();
+    if se == 0.0 {
+        // Both samples unanimous and identical — no evidence of difference.
+        return if (p1 - p2).abs() < f64::EPSILON {
+            Some(0.0)
+        } else {
+            None
+        };
+    }
+    Some((p1 - p2) / se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sample_size_bound() {
+        // §3.3: "for a sample size of n = 32M, the actual proportion ... lies
+        // in an interval of ±0.0001 around the proportion p ... with 95%
+        // probability". Worst case is p = 0.5.
+        let ci = proportion_ci(16_000_000, 32_000_000, 0.95);
+        assert!(ci.half_width() <= 0.0002, "half width {}", ci.half_width());
+        assert!(ci.half_width() >= 0.00015);
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        let ci = proportion_ci(30, 100, 0.95);
+        assert!(ci.contains(0.3));
+        assert!(!ci.contains(0.5));
+    }
+
+    #[test]
+    fn degenerate_proportions() {
+        let all = proportion_ci(100, 100, 0.95);
+        assert_eq!(all.upper, 1.0);
+        assert_eq!(all.half_width(), 0.0);
+        let none = proportion_ci(0, 100, 0.95);
+        assert_eq!(none.lower, 0.0);
+        assert_eq!(none.half_width(), 0.0);
+    }
+
+    #[test]
+    fn zero_n_is_vacuous() {
+        let ci = proportion_ci(0, 0, 0.95);
+        assert_eq!(ci.lower, 0.0);
+        assert_eq!(ci.upper, 1.0);
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let c90 = proportion_ci(50, 200, 0.90);
+        let c99 = proportion_ci(50, 200, 0.99);
+        assert!(c99.half_width() > c90.half_width());
+    }
+
+    #[test]
+    fn z_test_detects_real_differences() {
+        // 10% vs 20% over large samples: clearly significant.
+        let z = two_proportion_z(1_000, 10_000, 2_000, 10_000).unwrap();
+        assert!(z.abs() > 10.0, "z {z}");
+        assert!(z < 0.0, "first proportion is smaller");
+        // Identical proportions: z ≈ 0.
+        let z = two_proportion_z(500, 5_000, 100, 1_000).unwrap();
+        assert!(z.abs() < 1e-9);
+        // Small samples with same rate: not significant.
+        let z = two_proportion_z(1, 10, 2, 10).unwrap();
+        assert!(z.abs() < 1.96);
+    }
+
+    #[test]
+    fn z_test_degenerate_cases() {
+        assert_eq!(two_proportion_z(0, 0, 1, 10), None);
+        assert_eq!(two_proportion_z(1, 10, 0, 0), None);
+        // Both unanimous at the same value: defined, zero.
+        assert_eq!(two_proportion_z(10, 10, 5, 5), Some(0.0));
+        assert_eq!(two_proportion_z(0, 10, 0, 5), Some(0.0));
+    }
+}

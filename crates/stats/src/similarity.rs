@@ -1,0 +1,106 @@
+//! Cosine similarity between sparse count vectors (Table 6).
+//!
+//! The paper compares proxies by the cosine similarity of their
+//! censored-domain count vectors:
+//! `cos(A,B) = Σ AᵢBᵢ / (√ΣAᵢ² · √ΣBᵢ²)`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Cosine similarity of two sparse non-negative count vectors.
+///
+/// Returns 0 when either vector is all-zero (the paper's convention for
+/// proxies with no censored traffic would make the measure undefined;
+/// 0 = "not at all similar" is the conservative choice).
+pub fn cosine_similarity<K: Eq + Hash>(a: &HashMap<K, u64>, b: &HashMap<K, u64>) -> f64 {
+    let dot: f64 = a
+        .iter()
+        .filter_map(|(k, &av)| b.get(k).map(|&bv| av as f64 * bv as f64))
+        .sum();
+    let na: f64 = a.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// The full pairwise similarity matrix for `n` vectors, as a row-major
+/// `n × n` table with unit diagonal.
+pub fn similarity_matrix<K: Eq + Hash>(vectors: &[HashMap<K, u64>]) -> Vec<Vec<f64>> {
+    let n = vectors.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for (i, row_vec) in vectors.iter().enumerate() {
+        m[i][i] = 1.0;
+        for (j, col_vec) in vectors.iter().enumerate().skip(i + 1) {
+            let s = cosine_similarity(row_vec, col_vec);
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&'static str, u64)]) -> HashMap<&'static str, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn identical_vectors_are_one() {
+        let a = map(&[("facebook.com", 10), ("skype.com", 5)]);
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_vectors_are_zero() {
+        let a = map(&[("metacafe.com", 100)]);
+        let b = map(&[("skype.com", 100)]);
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = map(&[("x", 1), ("y", 2)]);
+        let b = map(&[("x", 10), ("y", 20)]);
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        // cos([1,1],[1,0]) = 1/√2
+        let a = map(&[("x", 1), ("y", 1)]);
+        let b = map(&[("x", 1)]);
+        assert!((cosine_similarity(&a, &b) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vectors() {
+        let a = map(&[]);
+        let b = map(&[("x", 3)]);
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+        assert_eq!(cosine_similarity(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let vs = vec![
+            map(&[("a", 3), ("b", 1)]),
+            map(&[("a", 1)]),
+            map(&[("c", 7)]),
+        ];
+        let m = similarity_matrix(&vs);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+                assert!((-1.0..=1.0 + 1e-12).contains(v));
+            }
+        }
+        assert_eq!(m[0][2], 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Streaming summary statistics and concentration measures.
+
+/// Welford's online mean/variance plus min/max — single pass, O(1) memory,
+/// numerically stable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation (NaN is ignored).
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator (Chan et al. parallel formula).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Gini coefficient of a set of non-negative counts: 0 = perfectly even,
+/// →1 = fully concentrated. Used to quantify how heavy-headed the
+/// requests-per-domain distribution is (Fig. 2's skew, as one number).
+pub fn gini(counts: &mut [u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    counts.sort_unstable();
+    let n = counts.len() as f64;
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // G = (2·Σ i·x_i) / (n·Σ x) − (n+1)/n, with 1-based ranks over sorted x.
+    let weighted: f64 = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+/// Share of the total held by the largest `k` counts ("top-k concentration").
+pub fn top_k_share(counts: &mut [u64], k: usize) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || k == 0 {
+        return 0.0;
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let top: u64 = counts.iter().take(k).sum();
+    top as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for x in xs {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.7 - 3.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let mut s = OnlineStats::new();
+        s.record(f64::NAN);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        let mut other = OnlineStats::new();
+        other.record(1.0);
+        s.merge(&other);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        // Even distribution → 0.
+        let mut even = vec![5u64; 10];
+        assert!(gini(&mut even).abs() < 1e-12);
+        // One holder → (n-1)/n.
+        let mut one = vec![0, 0, 0, 100];
+        assert!((gini(&mut one) - 0.75).abs() < 1e-12);
+        // Empty / all-zero → 0.
+        assert_eq!(gini(&mut []), 0.0);
+        assert_eq!(gini(&mut [0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let mut a = vec![1u64, 2, 3, 4];
+        let mut b = vec![10u64, 20, 30, 40];
+        assert!((gini(&mut a) - gini(&mut b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_share_basics() {
+        let mut counts = vec![50u64, 30, 10, 5, 5];
+        assert!((top_k_share(&mut counts, 1) - 0.5).abs() < 1e-12);
+        assert!((top_k_share(&mut counts, 2) - 0.8).abs() < 1e-12);
+        assert!((top_k_share(&mut counts, 100) - 1.0).abs() < 1e-12);
+        assert_eq!(top_k_share(&mut [], 3), 0.0);
+    }
+}

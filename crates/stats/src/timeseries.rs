@@ -1,0 +1,201 @@
+//! Binned time series (Figs. 5–9 all reduce to these).
+
+use filterscope_core::Timestamp;
+
+/// A count series over fixed-width time bins starting at an origin.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    origin: Timestamp,
+    bin_secs: u32,
+    bins: Vec<u64>,
+    /// Events before the origin or beyond the horizon.
+    out_of_range: u64,
+}
+
+impl TimeSeries {
+    /// A series of `bin_count` bins of `bin_secs` seconds from `origin`.
+    pub fn new(origin: Timestamp, bin_secs: u32, bin_count: usize) -> Self {
+        TimeSeries {
+            origin,
+            bin_secs: bin_secs.max(1),
+            bins: vec![0; bin_count],
+            out_of_range: 0,
+        }
+    }
+
+    /// A series covering `[origin, end)`.
+    pub fn spanning(origin: Timestamp, end: Timestamp, bin_secs: u32) -> Self {
+        let bin_secs = bin_secs.max(1);
+        let span = (end.epoch_seconds() - origin.epoch_seconds()).max(0) as u64;
+        let bins = span.div_ceil(bin_secs as u64) as usize;
+        Self::new(origin, bin_secs, bins)
+    }
+
+    /// Record one event at `ts`.
+    pub fn record(&mut self, ts: Timestamp) {
+        self.record_n(ts, 1);
+    }
+
+    /// Record `n` events at `ts`.
+    pub fn record_n(&mut self, ts: Timestamp, n: u64) {
+        let ix = ts.bin_index(self.origin, self.bin_secs);
+        if ix >= 0 && (ix as usize) < self.bins.len() {
+            self.bins[ix as usize] += n;
+        } else {
+            self.out_of_range += n;
+        }
+    }
+
+    /// The bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total in-range events.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Events outside the covered span.
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Bin width in seconds.
+    pub fn bin_secs(&self) -> u32 {
+        self.bin_secs
+    }
+
+    /// Start instant of bin `i`.
+    pub fn bin_start(&self, i: usize) -> Timestamp {
+        self.origin.plus_seconds(i as i64 * self.bin_secs as i64)
+    }
+
+    /// Each bin normalized by the series total (all zeros when empty) —
+    /// the Fig. 5(b) transformation.
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Element-wise ratio against another series on the same grid: the
+    /// paper's RCV (relative censored volume, Fig. 6) is
+    /// `censored.ratio_against(&all)`. Bins where `denom` is zero yield 0.
+    pub fn ratio_against(&self, denom: &TimeSeries) -> Vec<f64> {
+        debug_assert_eq!(self.bins.len(), denom.bins.len());
+        debug_assert_eq!(self.bin_secs, denom.bin_secs);
+        self.bins
+            .iter()
+            .zip(denom.bins.iter())
+            .map(|(&n, &d)| if d == 0 { 0.0 } else { n as f64 / d as f64 })
+            .collect()
+    }
+
+    /// Merge another series on the same grid into this one.
+    ///
+    /// # Panics
+    /// Panics if the grids differ (origin, bin width, or bin count).
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.origin, other.origin, "merge: different origins");
+        assert_eq!(self.bin_secs, other.bin_secs, "merge: different bin widths");
+        assert_eq!(self.bins.len(), other.bins.len(), "merge: different spans");
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.out_of_range += other.out_of_range;
+    }
+
+    /// The index and value of the peak bin (`None` when all bins are zero).
+    pub fn peak(&self) -> Option<(usize, u64)> {
+        let (i, &v) = self
+            .bins
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)?;
+        (v > 0).then_some((i, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(d: &str, t: &str) -> Timestamp {
+        Timestamp::parse_fields(d, t).unwrap()
+    }
+
+    #[test]
+    fn records_into_five_minute_bins() {
+        let origin = ts("2011-08-01", "00:00:00");
+        let mut s = TimeSeries::new(origin, 300, 12); // one hour
+        s.record(ts("2011-08-01", "00:00:00"));
+        s.record(ts("2011-08-01", "00:04:59"));
+        s.record(ts("2011-08-01", "00:05:00"));
+        s.record(ts("2011-08-01", "00:59:59"));
+        s.record(ts("2011-08-01", "01:00:00")); // out of range
+        s.record(ts("2011-07-31", "23:59:59")); // out of range
+        assert_eq!(s.bins()[0], 2);
+        assert_eq!(s.bins()[1], 1);
+        assert_eq!(s.bins()[11], 1);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.out_of_range(), 2);
+    }
+
+    #[test]
+    fn spanning_rounds_up() {
+        let s = TimeSeries::spanning(
+            ts("2011-08-01", "00:00:00"),
+            ts("2011-08-06", "00:00:00"),
+            300,
+        );
+        assert_eq!(s.bins().len(), 5 * 288);
+        let t = TimeSeries::spanning(
+            ts("2011-08-01", "00:00:00"),
+            ts("2011-08-01", "00:07:00"),
+            300,
+        );
+        assert_eq!(t.bins().len(), 2);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let origin = ts("2011-08-03", "00:00:00");
+        let mut s = TimeSeries::new(origin, 60, 10);
+        for m in [0u32, 1, 1, 2] {
+            s.record(origin.plus_seconds(m as i64 * 60));
+        }
+        let norm = s.normalized();
+        assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((norm[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rcv_ratio() {
+        let origin = ts("2011-08-03", "00:00:00");
+        let mut censored = TimeSeries::new(origin, 300, 2);
+        let mut all = TimeSeries::new(origin, 300, 2);
+        censored.record_n(origin, 2);
+        all.record_n(origin, 100);
+        all.record_n(origin.plus_seconds(300), 50);
+        let rcv = censored.ratio_against(&all);
+        assert!((rcv[0] - 0.02).abs() < 1e-9);
+        assert_eq!(rcv[1], 0.0);
+    }
+
+    #[test]
+    fn peak_detection() {
+        let origin = ts("2011-08-03", "00:00:00");
+        let mut s = TimeSeries::new(origin, 300, 4);
+        assert_eq!(s.peak(), None);
+        s.record_n(origin.plus_seconds(600), 7);
+        s.record_n(origin, 3);
+        assert_eq!(s.peak(), Some((2, 7)));
+        assert_eq!(s.bin_start(2), ts("2011-08-03", "00:10:00"));
+    }
+}

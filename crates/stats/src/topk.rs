@@ -1,0 +1,183 @@
+//! Space-Saving heavy hitters (Metwally, Agrawal, El Abbadi 2005).
+//!
+//! Exact counting of 751 M requests across tens of millions of distinct
+//! domains is memory-hungry; the top-10 tables only need the heavy hitters.
+//! Space-Saving guarantees: with capacity `k`, every key whose true count
+//! exceeds `N/k` is present, and each reported count overestimates the true
+//! count by at most the recorded `error`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[derive(Debug, Clone)]
+struct Slot<K> {
+    key: K,
+    count: u64,
+    /// Upper bound on the overestimation of `count`.
+    error: u64,
+}
+
+/// The Space-Saving sketch.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K: Eq + Hash + Clone> {
+    capacity: usize,
+    slots: Vec<Slot<K>>,
+    index: HashMap<K, usize>,
+    items_seen: u64,
+}
+
+impl<K: Eq + Hash + Clone> SpaceSaving<K> {
+    /// Sketch with room for `capacity` monitored keys (must be ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpaceSaving {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            items_seen: 0,
+        }
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn observe(&mut self, key: K) {
+        self.observe_n(key, 1);
+    }
+
+    /// Observe `n` occurrences of `key`.
+    pub fn observe_n(&mut self, key: K, n: u64) {
+        self.items_seen += n;
+        if let Some(&i) = self.index.get(&key) {
+            self.slots[i].count += n;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.index.insert(key.clone(), self.slots.len());
+            self.slots.push(Slot {
+                key,
+                count: n,
+                error: 0,
+            });
+            return;
+        }
+        // Evict the minimum-count slot.
+        let (mi, _) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.count)
+            .expect("capacity >= 1");
+        let min_count = self.slots[mi].count;
+        let old_key = self.slots[mi].key.clone();
+        self.index.remove(&old_key);
+        self.index.insert(key.clone(), mi);
+        self.slots[mi] = Slot {
+            key,
+            count: min_count + n,
+            error: min_count,
+        };
+    }
+
+    /// Total items observed.
+    pub fn items_seen(&self) -> u64 {
+        self.items_seen
+    }
+
+    /// The monitored keys with estimated counts and error bounds, count
+    /// descending. `(key, estimated_count, max_overestimate)`.
+    pub fn entries(&self) -> Vec<(K, u64, u64)> {
+        let mut v: Vec<_> = self
+            .slots
+            .iter()
+            .map(|s| (s.key.clone(), s.count, s.error))
+            .collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
+        v
+    }
+
+    /// The top `n` keys whose *guaranteed* count (estimate − error) is
+    /// largest.
+    pub fn top_guaranteed(&self, n: usize) -> Vec<(K, u64)> {
+        let mut v: Vec<_> = self
+            .slots
+            .iter()
+            .map(|s| (s.key.clone(), s.count - s.error))
+            .collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CountMap;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut s = SpaceSaving::new(10);
+        for k in ["a", "a", "b", "c", "a"] {
+            s.observe(k);
+        }
+        let e = s.entries();
+        assert_eq!(e[0], ("a", 3, 0));
+        assert_eq!(s.items_seen(), 5);
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction() {
+        // Zipf-ish stream: key i appears ~ 10000/i times.
+        let mut s = SpaceSaving::new(20);
+        let mut exact: CountMap<u32> = CountMap::new();
+        for i in 1u32..=200 {
+            let reps = 10_000 / i;
+            for _ in 0..reps {
+                s.observe(i);
+                exact.bump(i);
+            }
+        }
+        // Space-Saving guarantee: any key with count > N/k is monitored.
+        let threshold = s.items_seen() / 20;
+        let monitored: std::collections::HashSet<u32> =
+            s.entries().into_iter().map(|(k, _, _)| k).collect();
+        for (k, c) in exact.iter() {
+            if c > threshold {
+                assert!(monitored.contains(k), "heavy key {k} (count {c}) evicted");
+            }
+        }
+        // Estimates never underestimate by more than `error` allows.
+        for (k, est, err) in s.entries() {
+            let true_count = exact.get(&k);
+            assert!(est >= true_count, "estimate below truth for {k}");
+            assert!(est - err <= true_count, "error bound violated for {k}");
+        }
+    }
+
+    #[test]
+    fn top_guaranteed_orders_by_lower_bound() {
+        let mut s = SpaceSaving::new(2);
+        for _ in 0..100 {
+            s.observe("big");
+        }
+        for k in ["x", "y", "z"] {
+            s.observe(k);
+        }
+        let top = s.top_guaranteed(1);
+        assert_eq!(top[0].0, "big");
+        assert!(top[0].1 >= 100);
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped() {
+        let mut s = SpaceSaving::new(0);
+        s.observe(1u8);
+        assert_eq!(s.entries().len(), 1);
+    }
+
+    #[test]
+    fn observe_n_bulk() {
+        let mut s = SpaceSaving::new(4);
+        s.observe_n("k", 42);
+        assert_eq!(s.entries()[0], ("k", 42, 0));
+    }
+}

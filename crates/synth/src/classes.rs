@@ -1,0 +1,381 @@
+//! Traffic classes and their calibrated weights.
+//!
+//! Each request belongs to one class; class weights are expressed per
+//! million requests and are calibrated so the corpus, after passing the
+//! proxy farm, reproduces the paper's censored-traffic composition:
+//! censored ≈ 1 % of requests, facebook.com ≈ 22 % of censored (plugins),
+//! metacafe ≈ 17 %, skype ≈ 7 %, the `proxy` keyword ≈ half of all
+//! censorship, and so on (Tables 3, 4, 10, 15).
+//!
+//! July weights scale the censored-producing classes down ×4: `Duser`
+//! (July 22–23) shows a ~0.24 % censorship rate versus ~1 % over the full
+//! dataset.
+
+use crate::config::DayKind;
+use crate::temporal::TemporalKind;
+use crate::users::UserPool;
+
+/// The traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassId {
+    /// Facebook social plugins — `proxy` keyword in the query (Table 15).
+    FbPlugin,
+    /// fbcdn.net assets carrying plugin channel URLs (censored collateral).
+    FbcdnAsset,
+    /// Google toolbar `/tbproxy/af/query` background traffic.
+    GoogleToolbar,
+    /// Zynga canvas apps through Facebook's `canvas_proxy`.
+    ZyngaCanvas,
+    /// Yahoo APIs/ads with `proxy` in the URL.
+    YahooApi,
+    /// Instant messaging (skype.com / live.com / ceipmsn.com) — domain-censored.
+    ImTraffic,
+    /// metacafe.com browsing — domain-censored, routed to SG-48.
+    Metacafe,
+    /// wikimedia.org / wikipedia.org — domain-censored.
+    Wikimedia,
+    /// The rest of the blocked-domain list (Tables 8/9 tail incl. `.il`).
+    BlockedDomains,
+    /// URLs carrying `israel` / extra anti-censorship keywords.
+    AntiCensorKeyword,
+    /// Ad networks with `proxy` in delivery URLs (trafficholder.com &co).
+    AdProxy,
+    /// CDN/API endpoints with `proxy` in the URL (Content-Server collateral).
+    CdnProxyApi,
+    /// The redirect hosts of Table 7.
+    RedirectHosts,
+    /// Targeted Facebook pages (custom category, Table 14).
+    FbPages,
+    /// Google cache fetches (§7.4).
+    GoogleCache,
+    /// Literal-IPv4-host requests (`DIPv4`, Tables 11/12).
+    IpHost,
+    /// HTTPS CONNECT tunnels (§4, HTTPS traffic).
+    HttpsConnect,
+    /// The non-wholesale-censored OSN panel (§6, Table 13).
+    OsnPanel,
+    /// Anonymizer / circumvention services (§7.2, Fig. 10).
+    Anonymizer,
+    /// Tor relay traffic (§7.1, Figs. 8–9). August only.
+    TorTraffic,
+    /// BitTorrent announces (§7.3).
+    BitTorrent,
+    /// Top allowed domains (Table 4, left).
+    GenericTop,
+    /// The Zipf long tail (absorbs the remaining weight).
+    GenericTail,
+}
+
+/// A class's static spec.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassSpec {
+    pub id: ClassId,
+    /// Weight per million requests on August days.
+    pub august_ppm: u32,
+    /// Weight per million requests on July days.
+    pub july_ppm: u32,
+    pub kind: TemporalKind,
+    pub pool: UserPool,
+}
+
+/// Parts per million.
+pub const PPM: u64 = 1_000_000;
+
+/// All classes except [`ClassId::GenericTail`], which absorbs the remainder.
+pub const SPECS: &[ClassSpec] = &[
+    ClassSpec {
+        id: ClassId::FbPlugin,
+        august_ppm: 2350,
+        july_ppm: 587,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::FbcdnAsset,
+        august_ppm: 350,
+        july_ppm: 87,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::GoogleToolbar,
+        august_ppm: 560,
+        july_ppm: 140,
+        kind: TemporalKind::Flat,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::ZyngaCanvas,
+        august_ppm: 500,
+        july_ppm: 125,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::YahooApi,
+        august_ppm: 490,
+        july_ppm: 122,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::ImTraffic,
+        august_ppm: 1440,
+        july_ppm: 360,
+        kind: TemporalKind::Im,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::Metacafe,
+        august_ppm: 1700,
+        july_ppm: 425,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::Wikimedia,
+        august_ppm: 410,
+        july_ppm: 102,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::BlockedDomains,
+        august_ppm: 990,
+        july_ppm: 247,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::AntiCensorKeyword,
+        august_ppm: 100,
+        july_ppm: 25,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::AdProxy,
+        august_ppm: 150,
+        july_ppm: 38,
+        kind: TemporalKind::Flat,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::CdnProxyApi,
+        august_ppm: 350,
+        july_ppm: 88,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::RedirectHosts,
+        august_ppm: 20,
+        july_ppm: 5,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::FbPages,
+        august_ppm: 9,
+        july_ppm: 3,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::GoogleCache,
+        august_ppm: 6,
+        july_ppm: 6,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::IpHost,
+        august_ppm: 11_000,
+        july_ppm: 11_000,
+        kind: TemporalKind::Generic,
+        pool: UserPool::General,
+    },
+    ClassSpec {
+        id: ClassId::HttpsConnect,
+        august_ppm: 800,
+        july_ppm: 800,
+        kind: TemporalKind::Generic,
+        pool: UserPool::General,
+    },
+    ClassSpec {
+        id: ClassId::OsnPanel,
+        august_ppm: 7_000,
+        july_ppm: 7_000,
+        kind: TemporalKind::Generic,
+        pool: UserPool::General,
+    },
+    ClassSpec {
+        id: ClassId::Anonymizer,
+        august_ppm: 4_000,
+        july_ppm: 4_000,
+        kind: TemporalKind::Generic,
+        pool: UserPool::Risky,
+    },
+    ClassSpec {
+        id: ClassId::TorTraffic,
+        august_ppm: 128,
+        july_ppm: 0,
+        kind: TemporalKind::Tor,
+        pool: UserPool::Tor,
+    },
+    ClassSpec {
+        id: ClassId::BitTorrent,
+        august_ppm: 304,
+        july_ppm: 304,
+        kind: TemporalKind::Flat,
+        pool: UserPool::BitTorrent,
+    },
+    ClassSpec {
+        id: ClassId::GenericTop,
+        august_ppm: 330_000,
+        july_ppm: 332_000,
+        kind: TemporalKind::Generic,
+        pool: UserPool::General,
+    },
+];
+
+/// The spec of the remainder class.
+pub const TAIL_SPEC: ClassSpec = ClassSpec {
+    id: ClassId::GenericTail,
+    august_ppm: 0, // computed
+    july_ppm: 0,
+    kind: TemporalKind::Generic,
+    pool: UserPool::General,
+};
+
+/// A compiled class mix for one day kind: cumulative ppm for O(log n) picks.
+#[derive(Debug, Clone)]
+pub struct ClassMix {
+    cumulative: Vec<(u64, ClassSpec)>,
+}
+
+impl ClassMix {
+    /// Compile the mix for `kind`.
+    pub fn for_day(kind: DayKind) -> Self {
+        let mut cumulative = Vec::with_capacity(SPECS.len() + 1);
+        let mut acc: u64 = 0;
+        for spec in SPECS {
+            let w = match kind {
+                DayKind::August => spec.august_ppm,
+                _ => spec.july_ppm,
+            } as u64;
+            if w == 0 {
+                continue;
+            }
+            acc += w;
+            cumulative.push((acc, *spec));
+        }
+        assert!(acc < PPM, "named class weights exceed one million ppm");
+        cumulative.push((PPM, TAIL_SPEC));
+        ClassMix { cumulative }
+    }
+
+    /// Pick the class for draw `h`.
+    pub fn pick(&self, h: u64) -> ClassSpec {
+        let target = h % PPM;
+        let ix = self.cumulative.partition_point(|(c, _)| *c <= target);
+        self.cumulative[ix.min(self.cumulative.len() - 1)].1
+    }
+
+    /// The ppm weight the tail class absorbed.
+    pub fn tail_ppm(&self) -> u64 {
+        let named: u64 = self
+            .cumulative
+            .iter()
+            .take(self.cumulative.len() - 1)
+            .map(|(c, _)| c)
+            .next_back()
+            .copied()
+            .unwrap_or(0);
+        PPM - named
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_weights_leave_room_for_tail() {
+        for kind in [DayKind::August, DayKind::JulyHashedUsers] {
+            let mix = ClassMix::for_day(kind);
+            assert!(mix.tail_ppm() > 500_000, "tail {} ppm", mix.tail_ppm());
+        }
+    }
+
+    #[test]
+    fn pick_matches_weights_statistically() {
+        let mix = ClassMix::for_day(DayKind::August);
+        let mut fb = 0u64;
+        let mut tail = 0u64;
+        let n = 2_000_000u64;
+        // A coarse LCG gives well-spread draws across [0, PPM).
+        let mut x = 12345u64;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match mix.pick(x >> 11).id {
+                ClassId::FbPlugin => fb += 1,
+                ClassId::GenericTail => tail += 1,
+                _ => {}
+            }
+        }
+        let fb_ppm = fb * PPM / n;
+        assert!((fb_ppm as i64 - 2150).abs() < 300, "fb {fb_ppm} ppm");
+        let tail_frac = tail as f64 / n as f64;
+        assert!(tail_frac > 0.55, "tail {tail_frac}");
+    }
+
+    #[test]
+    fn july_suppresses_censored_classes() {
+        let aug = ClassMix::for_day(DayKind::August);
+        let jul = ClassMix::for_day(DayKind::JulyZeroed);
+        // Tor absent in July.
+        let mut x = 999u64;
+        let mut aug_tor = 0;
+        let mut jul_tor = 0;
+        for _ in 0..2_000_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if aug.pick(x >> 11).id == ClassId::TorTraffic {
+                aug_tor += 1;
+            }
+            if jul.pick(x >> 11).id == ClassId::TorTraffic {
+                jul_tor += 1;
+            }
+        }
+        assert!(aug_tor > 0);
+        assert_eq!(jul_tor, 0);
+    }
+
+    #[test]
+    fn censored_budget_is_about_one_percent() {
+        // Sum the always-censored class weights; collateral classes add the
+        // rest. This guards against accidental recalibration.
+        let censored: u64 = SPECS
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.id,
+                    ClassId::FbPlugin
+                        | ClassId::FbcdnAsset
+                        | ClassId::GoogleToolbar
+                        | ClassId::ZyngaCanvas
+                        | ClassId::YahooApi
+                        | ClassId::ImTraffic
+                        | ClassId::Metacafe
+                        | ClassId::Wikimedia
+                        | ClassId::BlockedDomains
+                        | ClassId::AntiCensorKeyword
+                        | ClassId::AdProxy
+                        | ClassId::CdnProxyApi
+                )
+            })
+            .map(|s| s.august_ppm as u64)
+            .sum();
+        assert!((9_000..10_500).contains(&censored), "censored ppm {censored}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Generator configuration and the study period.
+
+use filterscope_core::{Date, Error, ProxyId, Result};
+
+/// Total requests in the real leak (Table 1).
+pub const FULL_DATASET_REQUESTS: u64 = 751_295_830;
+
+/// Requests per July day (SG-42 only). Chosen so the two `Duser` days sum to
+/// the paper's 6,374,333 ± 1.
+pub const JULY_DAY_REQUESTS: u64 = 3_187_167;
+
+/// Requests per August day (all seven proxies):
+/// `(751,295,830 − 3·3,187,167) / 6`.
+pub const AUGUST_DAY_REQUESTS: u64 = 123_622_388;
+
+/// How a study day was logged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DayKind {
+    /// July window: only SG-42, client IPs replaced by hashes
+    /// (July 22–23) — the `Duser` days.
+    JulyHashedUsers,
+    /// July 31: only SG-42, client IPs zeroed.
+    JulyZeroed,
+    /// August 1–6: all seven proxies, client IPs zeroed.
+    August,
+}
+
+impl DayKind {
+    /// Proxies carrying traffic on this kind of day.
+    pub fn active_proxies(self) -> &'static [ProxyId] {
+        match self {
+            DayKind::JulyHashedUsers | DayKind::JulyZeroed => &[ProxyId::Sg42],
+            DayKind::August => &ProxyId::ALL,
+        }
+    }
+
+    /// Are client identifiers hashed (vs zeroed) on this day?
+    pub fn hashed_clients(self) -> bool {
+        matches!(self, DayKind::JulyHashedUsers)
+    }
+
+    /// Unscaled request volume for this day.
+    pub fn full_volume(self) -> u64 {
+        match self {
+            DayKind::JulyHashedUsers | DayKind::JulyZeroed => JULY_DAY_REQUESTS,
+            DayKind::August => AUGUST_DAY_REQUESTS,
+        }
+    }
+}
+
+/// One day of the study period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyDay {
+    pub date: Date,
+    pub kind: DayKind,
+}
+
+/// The logged period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudyPeriod {
+    days: Vec<StudyDay>,
+}
+
+impl StudyPeriod {
+    /// The nine days of the leak: July 22, 23, 31 and August 1–6, 2011.
+    pub fn standard() -> Self {
+        let d = |m: u8, day: u8| Date::new(2011, m, day).expect("static date");
+        StudyPeriod {
+            days: vec![
+                StudyDay {
+                    date: d(7, 22),
+                    kind: DayKind::JulyHashedUsers,
+                },
+                StudyDay {
+                    date: d(7, 23),
+                    kind: DayKind::JulyHashedUsers,
+                },
+                StudyDay {
+                    date: d(7, 31),
+                    kind: DayKind::JulyZeroed,
+                },
+                StudyDay {
+                    date: d(8, 1),
+                    kind: DayKind::August,
+                },
+                StudyDay {
+                    date: d(8, 2),
+                    kind: DayKind::August,
+                },
+                StudyDay {
+                    date: d(8, 3),
+                    kind: DayKind::August,
+                },
+                StudyDay {
+                    date: d(8, 4),
+                    kind: DayKind::August,
+                },
+                StudyDay {
+                    date: d(8, 5),
+                    kind: DayKind::August,
+                },
+                StudyDay {
+                    date: d(8, 6),
+                    kind: DayKind::August,
+                },
+            ],
+        }
+    }
+
+    /// Only the August days (used by the Tor analyses).
+    pub fn august() -> Self {
+        let all = Self::standard();
+        StudyPeriod {
+            days: all
+                .days
+                .into_iter()
+                .filter(|d| d.kind == DayKind::August)
+                .collect(),
+        }
+    }
+
+    /// The days, in order.
+    pub fn days(&self) -> &[StudyDay] {
+        &self.days
+    }
+
+    /// Total unscaled request volume over the period.
+    pub fn full_volume(&self) -> u64 {
+        self.days.iter().map(|d| d.kind.full_volume()).sum()
+    }
+}
+
+/// Workload generator configuration.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Down-scaling divisor: the generated corpus has `full / scale`
+    /// requests, with every proportion preserved. 1 = the full 751 M.
+    pub scale: u64,
+    /// Master seed for all deterministic draws.
+    pub seed: u64,
+    /// The days to generate.
+    pub period: StudyPeriod,
+}
+
+impl SynthConfig {
+    /// Default reproduction configuration: scale 1/4096 (~183 k requests) —
+    /// small enough for tests and examples, large enough for every table's
+    /// shape. The full-reproduction binary lowers `scale`.
+    pub fn new(scale: u64) -> Result<Self> {
+        if scale == 0 {
+            return Err(Error::InvalidConfig("scale must be >= 1".into()));
+        }
+        Ok(SynthConfig {
+            scale,
+            seed: 0xF117_0502, // arbitrary fixed default
+            period: StudyPeriod::standard(),
+        })
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scaled volume for one day.
+    pub fn day_volume(&self, kind: DayKind) -> u64 {
+        (kind.full_volume() / self.scale).max(100)
+    }
+
+    /// Scaled size of the user population behind all seven proxies.
+    ///
+    /// Calibration: the paper identifies 147,802 users in `Duser` (two days,
+    /// one proxy of seven) — a country-scale population of roughly one
+    /// million clients.
+    pub fn population(&self) -> u64 {
+        (147_802u64 * 7 / self.scale).max(70)
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig::new(4096).expect("4096 is a valid scale")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_period_is_nine_days() {
+        let p = StudyPeriod::standard();
+        assert_eq!(p.days().len(), 9);
+        assert_eq!(p.days()[0].date.to_string(), "2011-07-22");
+        assert_eq!(p.days()[8].date.to_string(), "2011-08-06");
+        assert_eq!(
+            p.days()
+                .iter()
+                .filter(|d| d.kind == DayKind::August)
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn full_volume_matches_table1() {
+        let p = StudyPeriod::standard();
+        // 3·J + 6·A must land within rounding of the real total.
+        let total = p.full_volume();
+        assert!(
+            (total as i64 - FULL_DATASET_REQUESTS as i64).abs() < 10,
+            "total {total}"
+        );
+        // The two Duser days sum to the paper's count ± 1.
+        assert!((2 * JULY_DAY_REQUESTS as i64 - 6_374_333i64).abs() <= 1);
+    }
+
+    #[test]
+    fn july_days_run_only_sg42() {
+        assert_eq!(DayKind::JulyZeroed.active_proxies(), &[ProxyId::Sg42]);
+        assert_eq!(DayKind::August.active_proxies().len(), 7);
+        assert!(DayKind::JulyHashedUsers.hashed_clients());
+        assert!(!DayKind::JulyZeroed.hashed_clients());
+    }
+
+    #[test]
+    fn scale_divides_volumes() {
+        let c = SynthConfig::new(1000).unwrap();
+        assert_eq!(c.day_volume(DayKind::August), AUGUST_DAY_REQUESTS / 1000);
+        assert!(SynthConfig::new(0).is_err());
+        let tiny = SynthConfig::new(u64::MAX).unwrap();
+        assert_eq!(tiny.day_volume(DayKind::August), 100); // floor
+        assert_eq!(tiny.population(), 70);
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end corpus production: workload → proxy farm → log records.
+
+use crate::config::{StudyDay, SynthConfig};
+use crate::generator::DayGenerator;
+use crate::users::Population;
+use filterscope_logformat::LogRecord;
+use filterscope_proxy::{FarmConfig, ProxyFarm};
+use filterscope_tor::{synthesize_consensus, RelayIndex, SynthConsensusConfig};
+use std::sync::Arc;
+
+/// A reproducible corpus: configuration plus the wired-up farm.
+pub struct Corpus {
+    config: SynthConfig,
+    population: Arc<Population>,
+    relays: Arc<RelayIndex>,
+    consensus_cfg: SynthConsensusConfig,
+    farm_config: FarmConfig,
+}
+
+impl Corpus {
+    /// Build a corpus for `config` with the standard farm and a synthetic
+    /// Tor consensus covering the period.
+    pub fn new(config: SynthConfig) -> Self {
+        let consensus_cfg = SynthConsensusConfig::default();
+        let docs: Vec<_> = config
+            .period
+            .days()
+            .iter()
+            .map(|d| synthesize_consensus(&consensus_cfg, d.date))
+            .collect();
+        let relays = Arc::new(RelayIndex::from_consensuses(docs.iter()));
+        let population = Arc::new(Population::new(config.population(), config.seed));
+        Corpus {
+            config,
+            population,
+            relays,
+            consensus_cfg,
+            farm_config: FarmConfig::default(),
+        }
+    }
+
+    /// Run the same workload through a differently-configured farm (e.g.
+    /// [`FarmConfig::tor_blocked_era`] for the December-2012 what-if).
+    pub fn with_farm_config(mut self, farm_config: FarmConfig) -> Self {
+        self.farm_config = farm_config;
+        self
+    }
+
+    /// The configuration this corpus was built from.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// The shared Tor relay index (wired into the farm's SG-44 rule and
+    /// usable by analyses for the §7.1 join).
+    pub fn relay_index(&self) -> Arc<RelayIndex> {
+        self.relays.clone()
+    }
+
+    /// A farm configured for this corpus (fresh instance; farms are cheap).
+    pub fn farm_for(&self, day: StudyDay) -> ProxyFarm {
+        let mut farm = ProxyFarm::new(self.farm_config.clone(), Some(self.relays.clone()));
+        farm.set_active(day.kind.active_proxies());
+        farm
+    }
+
+    /// The request generator for one day.
+    pub fn day_generator(&self, day: StudyDay) -> DayGenerator {
+        let relays = synthesize_consensus(&self.consensus_cfg, day.date).relays;
+        DayGenerator::new(&self.config, day, self.population.clone(), relays)
+    }
+
+    /// Produce every record of one day, in generation order.
+    pub fn day_records(&self, day: StudyDay) -> Vec<LogRecord> {
+        let farm = self.farm_for(day);
+        let generator = self.day_generator(day);
+        generator.iter().map(|req| farm.process(&req)).collect()
+    }
+
+    /// Visit every record of the whole period, day by day (streaming; the
+    /// corpus is never materialized in memory).
+    pub fn for_each_record(&self, mut visit: impl FnMut(&LogRecord)) {
+        for day in self.config.period.days().iter().copied() {
+            let farm = self.farm_for(day);
+            let generator = self.day_generator(day);
+            for req in generator.iter() {
+                let rec = farm.process(&req);
+                visit(&rec);
+            }
+        }
+    }
+
+    /// Materialize the whole corpus (use only at large `scale`).
+    pub fn generate(&self) -> Vec<LogRecord> {
+        let mut out = Vec::new();
+        self.for_each_record(|r| out.push(r.clone()));
+        out
+    }
+
+    /// Map each day on its own thread and collect the results in day order.
+    /// `f` receives the day and a fresh record iterator for it.
+    pub fn par_map_days<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(StudyDay, &mut dyn Iterator<Item = LogRecord>) -> T + Sync,
+    {
+        let days: Vec<StudyDay> = self.config.period.days().to_vec();
+        let mut results: Vec<Option<T>> = Vec::with_capacity(days.len());
+        results.resize_with(days.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (slot, day) in results.iter_mut().zip(days.iter().copied()) {
+                let f = &f;
+                scope.spawn(move |_| {
+                    let farm = self.farm_for(day);
+                    let generator = self.day_generator(day);
+                    let mut it = generator.iter().map(|req| farm.process(&req));
+                    *slot = Some(f(day, &mut it));
+                });
+            }
+        })
+        .expect("corpus worker panicked");
+        results
+            .into_iter()
+            .map(|r| r.expect("every day produced a result"))
+            .collect()
+    }
+
+    /// Total number of requests the configured period will generate.
+    pub fn total_volume(&self) -> u64 {
+        self.config
+            .period
+            .days()
+            .iter()
+            .map(|d| self.config.day_volume(d.kind))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::ProxyId;
+    use filterscope_logformat::RequestClass;
+
+    fn tiny() -> Corpus {
+        // Very small scale for fast tests: ~2.9k requests across 9 days.
+        Corpus::new(SynthConfig::new(262_144).unwrap())
+    }
+
+    #[test]
+    fn corpus_volume_matches_config() {
+        let c = tiny();
+        let mut n = 0u64;
+        c.for_each_record(|_| n += 1);
+        assert_eq!(n, c.total_volume());
+        assert!(n > 1000, "volume {n}");
+    }
+
+    #[test]
+    fn july_records_come_from_sg42_only() {
+        let c = tiny();
+        let mut bad = 0;
+        c.for_each_record(|r| {
+            if r.timestamp.date().month() == 7 && r.proxy() != Some(ProxyId::Sg42) {
+                bad += 1;
+            }
+        });
+        assert_eq!(bad, 0);
+    }
+
+    #[test]
+    fn august_records_spread_over_proxies() {
+        let c = tiny();
+        let mut seen = std::collections::HashSet::new();
+        c.for_each_record(|r| {
+            if r.timestamp.date().month() == 8 {
+                seen.insert(r.proxy().unwrap());
+            }
+        });
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn class_mix_is_roughly_calibrated() {
+        // At a moderate scale, allowed ≈ 93%, censored ≈ 1%.
+        let c = Corpus::new(SynthConfig::new(32_768).unwrap());
+        let mut total = 0u64;
+        let mut censored = 0u64;
+        let mut allowed = 0u64;
+        c.for_each_record(|r| {
+            total += 1;
+            match RequestClass::of(r) {
+                RequestClass::Censored => censored += 1,
+                RequestClass::Allowed => allowed += 1,
+                _ => {}
+            }
+        });
+        let censored_pct = censored as f64 / total as f64 * 100.0;
+        let allowed_pct = allowed as f64 / total as f64 * 100.0;
+        assert!(
+            (0.5..2.0).contains(&censored_pct),
+            "censored {censored_pct:.2}%"
+        );
+        assert!(
+            (90.0..96.0).contains(&allowed_pct),
+            "allowed {allowed_pct:.2}%"
+        );
+    }
+
+    #[test]
+    fn par_map_days_agrees_with_sequential() {
+        let c = tiny();
+        let seq: Vec<u64> = c
+            .config()
+            .period
+            .days()
+            .iter()
+            .map(|d| c.day_records(*d).len() as u64)
+            .collect();
+        let par: Vec<u64> = c.par_map_days(|_, it| it.count() as u64);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn regeneration_is_byte_identical() {
+        let c1 = tiny();
+        let c2 = tiny();
+        let day = c1.config().period.days()[4];
+        let a = c1.day_records(day);
+        let b = c2.day_records(day);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].write_csv(), b[0].write_csv());
+        assert_eq!(a[a.len() - 1], b[b.len() - 1]);
+    }
+}

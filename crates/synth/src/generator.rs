@@ -1,0 +1,897 @@
+//! The per-day request generator.
+//!
+//! [`DayGenerator`] maps an index `i ∈ [0, volume)` to one
+//! [`Request`] as a pure function of `(config.seed, date, i)` — generation
+//! order carries no state, so days (or slices of a day) can be produced on
+//! any thread and always yield identical requests.
+
+use crate::catalog;
+use crate::classes::{ClassId, ClassMix, ClassSpec};
+use crate::config::{StudyDay, SynthConfig};
+use crate::temporal::{DayCurve, TemporalKind};
+use crate::users::Population;
+use filterscope_bittorrent::{AnnounceEvent, AnnounceRequest, InfoHash, PeerId};
+use filterscope_core::{Ipv4Cidr, Timestamp};
+use filterscope_logformat::{ClientId, Method, RequestUrl};
+use filterscope_proxy::hashing::splitmix;
+use filterscope_proxy::Request;
+use filterscope_tor::signaling::DIR_PATHS;
+use filterscope_tor::RelayDescriptor;
+use std::sync::Arc;
+
+/// Full-scale count of distinct BitTorrent contents (§7.3).
+const BT_INFOHASH_UNIVERSE: u64 = 35_331;
+/// Zipf tail domain universe.
+const TAIL_DOMAINS: u64 = 1_000_000;
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Weighted pick over `(item, weight)` slices.
+fn weighted<T>(items: &[(T, u32)], h: u64) -> &T {
+    let total: u64 = items.iter().map(|(_, w)| *w as u64).sum();
+    let mut target = h % total.max(1);
+    for (item, w) in items {
+        if target < *w as u64 {
+            return item;
+        }
+        target -= *w as u64;
+    }
+    &items[items.len() - 1].0
+}
+
+/// One day's worth of deterministic request generation.
+pub struct DayGenerator {
+    day: StudyDay,
+    volume: u64,
+    seed: u64,
+    mix: ClassMix,
+    curves: [DayCurve; 4],
+    population: Arc<Population>,
+    /// Relays valid on this date (empty when Tor is not generated).
+    relays: Vec<RelayDescriptor>,
+}
+
+impl DayGenerator {
+    /// Build the generator for `day`.
+    pub fn new(
+        config: &SynthConfig,
+        day: StudyDay,
+        population: Arc<Population>,
+        relays: Vec<RelayDescriptor>,
+    ) -> Self {
+        DayGenerator {
+            day,
+            volume: config.day_volume(day.kind),
+            seed: config.seed,
+            mix: ClassMix::for_day(day.kind),
+            curves: [
+                DayCurve::new(day.date, TemporalKind::Generic),
+                DayCurve::new(day.date, TemporalKind::Im),
+                DayCurve::new(day.date, TemporalKind::Tor),
+                DayCurve::new(day.date, TemporalKind::Flat),
+            ],
+            population,
+            relays,
+        }
+    }
+
+    /// Number of requests this day generates.
+    pub fn volume(&self) -> u64 {
+        self.volume
+    }
+
+    /// The day being generated.
+    pub fn day(&self) -> StudyDay {
+        self.day
+    }
+
+    fn curve(&self, kind: TemporalKind) -> &DayCurve {
+        match kind {
+            TemporalKind::Generic => &self.curves[0],
+            TemporalKind::Im => &self.curves[1],
+            TemporalKind::Tor => &self.curves[2],
+            TemporalKind::Flat => &self.curves[3],
+        }
+    }
+
+    /// Derive the `n`-th sub-hash for request `i`.
+    fn sub(&self, i: u64, n: u64) -> u64 {
+        let day = self.day.date.days_from_civil() as u64;
+        splitmix(self.seed ^ day.wrapping_mul(0xA24B_AED4_963E_E407) ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ n.wrapping_mul(0xD134_2543_DE82_EF95))
+    }
+
+    /// Generate request `i` of this day.
+    pub fn request(&self, i: u64) -> Request {
+        let spec = self.mix.pick(self.sub(i, 0));
+        let july = self.day.kind.active_proxies().len() == 1;
+        let user = self.population.draw(spec.pool, self.sub(i, 1), july);
+        let timestamp = self
+            .curve(spec.kind)
+            .sample(unit(self.sub(i, 2)), unit(self.sub(i, 3)));
+        let client = if self.day.kind.hashed_clients() {
+            self.population.client_hash(user)
+        } else {
+            ClientId::Zeroed
+        };
+        let (url, method, ua, bytes) = self.build(spec, i, user, timestamp);
+        Request {
+            timestamp,
+            client,
+            user_agent: ua,
+            method,
+            url,
+            response_bytes: bytes,
+        }
+    }
+
+    /// Iterate every request of the day.
+    pub fn iter(&self) -> impl Iterator<Item = Request> + '_ {
+        (0..self.volume).map(|i| self.request(i))
+    }
+
+    // ------------------------------------------------------------------
+    // Per-class builders. Each returns (url, method, user-agent, bytes).
+    // ------------------------------------------------------------------
+
+    fn build(
+        &self,
+        spec: ClassSpec,
+        i: u64,
+        user: u64,
+        ts: Timestamp,
+    ) -> (RequestUrl, Method, String, u64) {
+        let h = self.sub(i, 4);
+        let ua = || self.population.user_agent(user).to_string();
+        let get =
+            |url: RequestUrl, ua: String, bytes: u64| (url, Method::Get, ua, bytes);
+        match spec.id {
+            ClassId::FbPlugin => {
+                let path = *weighted(catalog::FB_PLUGINS, h);
+                let q = format!(
+                    "api_key={:x}&channel_url=http%3A%2F%2Fstatic.ak.facebook.com%2Fconnect%2Fxd_proxy.php%23cb%3D{:x}&href=http%3A%2F%2Fexample{}.com%2F&locale=ar_AR",
+                    h & 0xffff_ffff,
+                    splitmix(h) & 0xffff,
+                    h % 5000,
+                );
+                get(
+                    RequestUrl::http("www.facebook.com", path).with_query(q),
+                    ua(),
+                    1200,
+                )
+            }
+            ClassId::FbcdnAsset => {
+                let host = if h.is_multiple_of(2) {
+                    "static.ak.fbcdn.net"
+                } else {
+                    "profile.ak.fbcdn.net"
+                };
+                get(
+                    RequestUrl::http(host, "/connect/xd_proxy.php")
+                        .with_query(format!("version={}", h % 20)),
+                    ua(),
+                    800,
+                )
+            }
+            ClassId::GoogleToolbar => get(
+                RequestUrl::http("www.google.com", "/tbproxy/af/query")
+                    .with_query(format!("q={:x}&client=navclient-auto", h & 0xffffff)),
+                "GoogleToolbar 7.1.2011 (Windows NT 5.1)".to_string(),
+                400,
+            ),
+            ClassId::ZyngaCanvas => {
+                let app = ["farmville", "cityville", "mafiawars", "poker"]
+                    [(h % 4) as usize];
+                get(
+                    RequestUrl::http(
+                        format!("{app}.zynga.com"),
+                        "/connect/canvas_proxy.php".to_string(),
+                    )
+                    .with_query(format!("app={app}&session={:x}", splitmix(h) & 0xffffffff)),
+                    ua(),
+                    2000,
+                )
+            }
+            ClassId::YahooApi => {
+                let (host, path) = if h.is_multiple_of(3) {
+                    ("ads.yahoo.com", "/serve/xd_proxy")
+                } else {
+                    ("api.yahoo.com", "/v1/social/proxy")
+                };
+                get(
+                    RequestUrl::http(host, path)
+                        .with_query(format!("cb={:x}", h & 0xffffff)),
+                    ua(),
+                    600,
+                )
+            }
+            ClassId::ImTraffic => {
+                let entries: Vec<((&str, &str), u32)> = catalog::IM_ENDPOINTS
+                    .iter()
+                    .map(|(h2, p, w)| ((*h2, *p), *w))
+                    .collect();
+                let (host, path_t) = *weighted(&entries, h);
+                let path = fill(path_t, h);
+                let ua_s = if host.contains("skype") {
+                    "Skype/5.3.0.120 (Windows NT 5.1)".to_string()
+                } else if host.contains("ceipmsn") {
+                    "MSNMSGR 15.4.3502".to_string()
+                } else {
+                    "Windows Live Messenger 2011".to_string()
+                };
+                get(RequestUrl::http(host, path), ua_s, 500)
+            }
+            ClassId::Metacafe => {
+                // Occasional bare front-page hits give the §5.4 recovery its
+                // non-ambiguous evidence.
+                if h % 11 == 10 {
+                    return get(RequestUrl::http("metacafe.com", "/"), ua(), 9000);
+                }
+                let path = if h.is_multiple_of(5) {
+                    format!("/api/item/{}", h % 900_000)
+                } else {
+                    format!("/watch/{}/clip_{}", h % 900_000, splitmix(h) % 1000)
+                };
+                get(RequestUrl::http("www.metacafe.com", path), ua(), 9000)
+            }
+            ClassId::Wikimedia => {
+                let (host, path) = match h % 10 {
+                    0..=4 => (
+                        "upload.wikimedia.org",
+                        format!("/wikipedia/commons/{}/{:x}.jpg", h % 10, h & 0xfffff),
+                    ),
+                    5..=6 => ("en.wikipedia.org", format!("/wiki/Article_{}", h % 80_000)),
+                    7..=8 => ("ar.wikipedia.org", format!("/wiki/Page_{}", h % 50_000)),
+                    // Bare hits: §5.4 evidence.
+                    _ => ("wikimedia.org", "/".to_string()),
+                };
+                get(RequestUrl::http(host, path), ua(), 5000)
+            }
+            ClassId::BlockedDomains => {
+                let mix_total: u32 = catalog::OTHER_BLOCKED_MIX.iter().map(|(_, w)| w).sum();
+                let pick = h % 1000;
+                let host = if pick < mix_total as u64 {
+                    weighted(catalog::OTHER_BLOCKED_MIX, h).to_string()
+                } else {
+                    catalog::NEWS_TAIL[(splitmix(h) % catalog::NEWS_TAIL.len() as u64) as usize]
+                        .to_string()
+                };
+                let path = fill(
+                    ["/", "/news/{}", "/article/{}.html", "/forum/t{}"][(h % 4) as usize],
+                    splitmix(h),
+                );
+                get(RequestUrl::http(host, path), ua(), 4000)
+            }
+            ClassId::AntiCensorKeyword => {
+                let (host, path, q) = match h % 100 {
+                    0..=34 => (
+                        "www.google.com",
+                        "/search".to_string(),
+                        format!("q=israel+news+{}", h % 50),
+                    ),
+                    35..=49 => (
+                        "www.bing.com",
+                        "/search".to_string(),
+                        format!("q=israel+border+{}", h % 40),
+                    ),
+                    50..=64 => (
+                        "travel-mideast.com",
+                        format!("/israel/guide{}.html", h % 30),
+                        String::new(),
+                    ),
+                    65..=69 => (
+                        "downloadportal.net",
+                        format!("/get/ultrasurf-{}.exe", h % 12),
+                        String::new(),
+                    ),
+                    70..=74 => (
+                        "downloadportal.net",
+                        format!("/get/ultrareach-bundle-{}.exe", h % 6),
+                        String::new(),
+                    ),
+                    75..=84 => (
+                        "downloadportal.net",
+                        format!("/get/hotspotshield-launch-{}.exe", h % 7),
+                        String::new(),
+                    ),
+                    85..=92 => (
+                        "soft-archive.net",
+                        format!("/files/ultrareach-setup-{}.zip", h % 9),
+                        String::new(),
+                    ),
+                    _ => (
+                        "soft-archive.net",
+                        format!("/files/ultrasurf-portable-{}.zip", h % 9),
+                        String::new(),
+                    ),
+                };
+                get(RequestUrl::http(host, path).with_query(q), ua(), 1500)
+            }
+            ClassId::AdProxy => {
+                let (host, path) = if h % 10 < 7 {
+                    (
+                        "ads.trafficholder.com",
+                        format!("/adproxy/serve/{}", h % 100_000),
+                    )
+                } else {
+                    (
+                        "apps.conduitapps.com",
+                        format!("/toolbar/proxy/{}.json", h % 5_000),
+                    )
+                };
+                get(RequestUrl::http(host, path), ua(), 300)
+            }
+            ClassId::CdnProxyApi => {
+                let host = match h % 10 {
+                    0..=4 => format!("d{:06x}.cloudfront.net", h & 0xffffff),
+                    5..=7 => format!("lh{}.googleusercontent.com", 3 + h % 4),
+                    _ => format!("cdn{}.akamaihd.net", h % 9),
+                };
+                get(
+                    RequestUrl::http(host, format!("/api/proxy/{}", splitmix(h) % 1_000_000)),
+                    ua(),
+                    700,
+                )
+            }
+            ClassId::RedirectHosts => {
+                let host = *weighted(catalog::REDIRECT_HOST_MIX, h);
+                let path = match host {
+                    "upload.youtube.com" => format!("/upload/{:x}", h & 0xffffff),
+                    _ => "/submit".to_string(),
+                };
+                get(RequestUrl::http(host, path), ua(), 0)
+            }
+            ClassId::FbPages => self.build_fb_page(h, user),
+            ClassId::GoogleCache => {
+                let target = [
+                    "www.panet.co.il/online/",
+                    "aawsat.com/leader.asp",
+                    "www.facebook.com/Syrian.Revolution",
+                    "www.free-syria.com/loadarticle.php",
+                    "all4syria.info/web/",
+                    "ar-ar.facebook.com/SYRIANREVOLUTION.K.N.N",
+                ][(h % 6) as usize];
+                // A sliver of cache queries carries a blacklisted keyword.
+                let q = if h.is_multiple_of(400) {
+                    format!("q=cache:{target}+israel")
+                } else {
+                    format!("q=cache:{target}")
+                };
+                get(
+                    RequestUrl::http("webcache.googleusercontent.com", "/search")
+                        .with_query(q),
+                    ua(),
+                    6000,
+                )
+            }
+            ClassId::IpHost => {
+                let pools: Vec<(&str, u32)> = catalog::IP_POOLS
+                    .iter()
+                    .map(|(_, b, w)| (*b, *w))
+                    .collect();
+                let cidr = *weighted(&pools, h);
+                let block = Ipv4Cidr::parse(cidr).expect("catalog cidr");
+                let ip = block.nth(splitmix(h));
+                let path = if splitmix(h ^ 1) % 1000 < catalog::IP_KEYWORD_PER_MILLE as u64 {
+                    format!("/proxy/{}", h % 1000)
+                } else {
+                    ["/", "/stream", "/live/ch1", "/data"][(h % 4) as usize].to_string()
+                };
+                get(RequestUrl::http(ip.to_string(), path), ua(), 12_000)
+            }
+            ClassId::HttpsConnect => self.build_https(h, user),
+            ClassId::OsnPanel => {
+                let entries: Vec<((&str, u32), u32)> = catalog::OSN_PANEL
+                    .iter()
+                    .map(|(d, w, k)| ((*d, *k), *w))
+                    .collect();
+                let (domain, kw) = *weighted(&entries, h);
+                let host = if h.is_multiple_of(3) {
+                    format!("www.{domain}")
+                } else {
+                    domain.to_string()
+                };
+                let collateral = splitmix(h ^ 2) % 1000 < kw as u64;
+                let (path, q) = if collateral {
+                    (
+                        "/widgets/share".to_string(),
+                        format!(
+                            "url=http%3A%2F%2Fx{}.com&channel=%2Fconnect%2Fxd_proxy%23{}",
+                            h % 999,
+                            h % 77
+                        ),
+                    )
+                } else {
+                    let path = fill(
+                        ["/", "/profile/{}", "/status/{}", "/photos/{}"][(h % 4) as usize],
+                        splitmix(h),
+                    );
+                    // Benign share links: keeps tokens like `http`/`share`
+                    // present in allowed traffic too.
+                    let q = if h.is_multiple_of(7) {
+                        // The %2F-glued tokens (fsite/fconnect/...) must
+                        // exist in allowed traffic too, or §5.4 token
+                        // recovery reports them as keywords.
+                        format!(
+                            "share=http%3A%2F%2Fsite{}.com%2Fconnect%2Fstory",
+                            h % 900
+                        )
+                    } else {
+                        String::new()
+                    };
+                    (path, q)
+                };
+                get(RequestUrl::http(host, path).with_query(q), ua(), 3000)
+            }
+            ClassId::Anonymizer => self.build_anonymizer(h, user),
+            ClassId::TorTraffic => self.build_tor(h),
+            ClassId::BitTorrent => self.build_bittorrent(h, user, ts),
+            ClassId::GenericTop => {
+                let domain = *weighted(catalog::TOP_ALLOWED, h);
+                self.build_top_domain(domain, h, user)
+            }
+            ClassId::GenericTail => {
+                let u = unit(splitmix(h ^ 3));
+                let rank = (TAIL_DOMAINS as f64).powf(u).floor().max(1.0) as u64;
+                let tld = catalog::TAIL_TLDS
+                    [(splitmix(rank.wrapping_mul(0x2545_F491_4F6C_DD1D)) % 6) as usize];
+                let host = format!("w{rank}.{tld}");
+                let path = fill(
+                    catalog::GENERIC_PATHS[(h % catalog::GENERIC_PATHS.len() as u64) as usize],
+                    splitmix(h),
+                );
+                get(RequestUrl::http(host, path), ua(), 2000)
+            }
+        }
+    }
+
+    fn build_top_domain(
+        &self,
+        domain: &str,
+        h: u64,
+        user: u64,
+    ) -> (RequestUrl, Method, String, u64) {
+        let ua = self.population.user_agent(user).to_string();
+        let (host, path, q) = match domain {
+            "google.com" => (
+                "www.google.com".to_string(),
+                "/search".to_string(),
+                format!("q=term{}&hl=ar", h % 100_000),
+            ),
+            "gstatic.com" => (
+                "t0.gstatic.com".to_string(),
+                format!("/images/i{:x}.png", h & 0xfffff),
+                String::new(),
+            ),
+            "facebook.com" => (
+                "www.facebook.com".to_string(),
+                fill(
+                    ["/home.php", "/profile.php", "/photo.php", "/groups/{}"][(h % 4) as usize],
+                    splitmix(h),
+                ),
+                if h.is_multiple_of(2) {
+                    format!("id={}", h % 1_000_000)
+                } else {
+                    String::new()
+                },
+            ),
+            "fbcdn.net" => (
+                format!("photos-{}.ak.fbcdn.net", (h % 8) as u8),
+                format!("/hphotos/{:x}.jpg", h & 0xffffff),
+                String::new(),
+            ),
+            "google-analytics.com" => (
+                "www.google-analytics.com".to_string(),
+                "/__utm.gif".to_string(),
+                format!("utmn={}", h % 1_000_000_000),
+            ),
+            "doubleclick.net" => (
+                "ad.doubleclick.net".to_string(),
+                format!("/adj/site{}/;ord={}", h % 900, splitmix(h) % 100_000),
+                String::new(),
+            ),
+            "windowsupdate.com" => (
+                "download.windowsupdate.com".to_string(),
+                format!("/msdownload/update/v{}/cab{:x}.cab", 3 + h % 4, h & 0xfffff),
+                String::new(),
+            ),
+            _ => (
+                if h.is_multiple_of(2) {
+                    format!("www.{domain}")
+                } else {
+                    domain.to_string()
+                },
+                fill(
+                    catalog::GENERIC_PATHS[(h % catalog::GENERIC_PATHS.len() as u64) as usize],
+                    splitmix(h),
+                ),
+                String::new(),
+            ),
+        };
+        (
+            RequestUrl::http(host, path).with_query(q),
+            Method::Get,
+            ua,
+            3000 + h % 30_000,
+        )
+    }
+
+    fn build_fb_page(&self, h: u64, user: u64) -> (RequestUrl, Method, String, u64) {
+        let ua = self.population.user_agent(user).to_string();
+        // 5% of targeted-page traffic goes to similar but untargeted pages.
+        if h % 100 < 5 {
+            let page = catalog::FB_UNBLOCKED_PAGES
+                [(splitmix(h) % catalog::FB_UNBLOCKED_PAGES.len() as u64) as usize];
+            return (
+                RequestUrl::http("www.facebook.com", format!("/{page}")),
+                Method::Get,
+                ua,
+                15_000,
+            );
+        }
+        // Pick (page, narrow?) by the combined Table 14 weights.
+        let entries: Vec<((&str, bool), u32)> = catalog::FB_PAGES
+            .iter()
+            .flat_map(|(page, narrow, extended)| {
+                [((*page, true), *narrow), ((*page, false), *extended)]
+            })
+            .filter(|(_, w)| *w > 0)
+            .collect();
+        let (page, narrow) = *weighted(&entries, splitmix(h ^ 5));
+        let host = if h.is_multiple_of(10) {
+            "ar-ar.facebook.com"
+        } else {
+            "www.facebook.com"
+        };
+        let query = if narrow {
+            filterscope_proxy::config::CUSTOM_CATEGORY_QUERIES
+                [(splitmix(h ^ 7) % 4) as usize]
+                .to_string()
+        } else {
+            format!(
+                "ref=ts&__a=11&ajaxpipe=1&quickling[version]={}%3B0",
+                400_000 + h % 20_000
+            )
+        };
+        (
+            RequestUrl::http(host, format!("/{page}")).with_query(query),
+            Method::Get,
+            ua,
+            15_000,
+        )
+    }
+
+    fn build_https(&self, h: u64, user: u64) -> (RequestUrl, Method, String, u64) {
+        let ua = self.population.user_agent(user).to_string();
+        let host = match h % 1000 {
+            // Popular HTTPS endpoints (allowed).
+            0..=966 => [
+                "mail.google.com",
+                "accounts.google.com",
+                "login.yahoo.com",
+                "secure.twitter.com",
+                "www.paypal.com",
+                "ebank-syria.com",
+                "mail.aloola.sy",
+            ][(splitmix(h) % 7) as usize]
+                .to_string(),
+            // Skype uses CONNECT; the proxy sees skype.com and censors it
+            // (the hostname-carrying 18% of censored HTTPS).
+            967..=968 => "ssl.skype.com".to_string(),
+            // Blocked Israeli IP tunnels (the IP-based 82% of censored
+            // HTTPS).
+            969..=973 => {
+                let blocks = ["84.229.0.0/16", "46.120.0.0/15", "89.138.0.0/15"];
+                let block = Ipv4Cidr::parse(blocks[(splitmix(h ^ 9) % 3) as usize])
+                    .expect("static block");
+                block.nth(splitmix(h ^ 11)).to_string()
+            }
+            // Allowed Israeli IP tunnels.
+            974..=984 => {
+                let block = Ipv4Cidr::parse("80.179.0.0/16").expect("static block");
+                block.nth(splitmix(h ^ 11)).to_string()
+            }
+            // Other IP-literal tunnels.
+            _ => {
+                let block = Ipv4Cidr::parse("94.228.128.0/18").expect("static block");
+                block.nth(splitmix(h ^ 13)).to_string()
+            }
+        };
+        let url = RequestUrl {
+            scheme: "ssl".into(),
+            host,
+            port: 443,
+            path: "/".into(),
+            query: String::new(),
+        };
+        (url, Method::Connect, ua, 5000)
+    }
+
+    fn build_anonymizer(&self, h: u64, user: u64) -> (RequestUrl, Method, String, u64) {
+        let ua = self.population.user_agent(user).to_string();
+        let seeds_total: u32 = catalog::ANONYMIZER_SEEDS.iter().map(|(_, w, _)| w).sum();
+        let pick = h % 1000;
+        let (host, kw_rate) = if pick < seeds_total as u64 {
+            let entries: Vec<((&str, u32), u32)> = catalog::ANONYMIZER_SEEDS
+                .iter()
+                .map(|(host, w, kw)| ((*host, *kw), *w))
+                .collect();
+            let (host, kw) = *weighted(&entries, h);
+            (host.to_string(), kw)
+        } else {
+            // Long-tail host: popularity is Zipf-ish so a few services draw
+            // most of the requests (Fig. 10a).
+            let u = unit(splitmix(h ^ 15));
+            let rank = ((catalog::ANONYMIZER_TAIL_HOSTS as f64).powf(u).floor() as u64)
+                .min(catalog::ANONYMIZER_TAIL_HOSTS - 1);
+            (
+                format!("unblock{rank}.net"),
+                catalog::ANONYMIZER_TAIL_KEYWORD,
+            )
+        };
+        let keyworded = splitmix(h ^ 17) % 1000 < kw_rate as u64;
+        let (path, q) = if keyworded {
+            let kw_path = match host.as_str() {
+                "hotsptshld.com" | "anchorfree.com" => {
+                    format!("/download/hotspotshield-{}.exe", h % 8)
+                }
+                "ultrareach.com" => format!("/files/ultrareach-{}.zip", h % 5),
+                "ultrasurf.us" => format!("/download/ultrasurf-u{}.zip", h % 12),
+                _ => format!("/browse/{}", h % 1000),
+            };
+            let q = if kw_path.contains("hotspotshield")
+                || kw_path.contains("ultrareach")
+                || kw_path.contains("ultrasurf")
+            {
+                String::new()
+            } else {
+                format!("u=http%3A%2F%2Fsite{}.com%2F&via=webproxy", h % 500)
+            };
+            (kw_path, q)
+        } else {
+            (
+                fill(
+                    ["/", "/surf/{}", "/go/{}", "/browse/{}"][(h % 4) as usize],
+                    splitmix(h),
+                ),
+                String::new(),
+            )
+        };
+        (
+            RequestUrl::http(host, path).with_query(q),
+            Method::Get,
+            ua,
+            2500,
+        )
+    }
+
+    fn build_tor(&self, h: u64) -> (RequestUrl, Method, String, u64) {
+        if self.relays.is_empty() {
+            // No consensus wired in: emit a plain allowed request instead of
+            // panicking (keeps small test configs robust).
+            return (
+                RequestUrl::http("check.torproject.org", "/"),
+                Method::Get,
+                String::new(),
+                800,
+            );
+        }
+        let relay = &self.relays[(splitmix(h) % self.relays.len() as u64) as usize];
+        // 73% directory signaling (Tor_http), the rest circuit traffic.
+        let dir = h % 100 < 73;
+        if dir {
+            // Directory requests go to a dir-port mirror when the relay has
+            // one, else over the OR port (tunnelled dir conn).
+            let port = if relay.dir_port != 0 {
+                relay.dir_port
+            } else {
+                relay.or_port
+            };
+            let path = DIR_PATHS[(splitmix(h ^ 19) % DIR_PATHS.len() as u64) as usize];
+            (
+                RequestUrl::http(relay.addr.to_string(), path).with_port(port),
+                Method::Get,
+                "Tor 0.2.2.29".to_string(),
+                3000,
+            )
+        } else {
+            let url = RequestUrl {
+                scheme: "tcp".into(),
+                host: relay.addr.to_string(),
+                port: relay.or_port,
+                path: "/".into(),
+                query: String::new(),
+            };
+            (url, Method::Other("unknown".into()), String::new(), 512)
+        }
+    }
+
+    fn build_bittorrent(
+        &self,
+        h: u64,
+        user: u64,
+        _ts: Timestamp,
+    ) -> (RequestUrl, Method, String, u64) {
+        let trackers: Vec<((&str, &str), u32)> = catalog::TRACKERS
+            .iter()
+            .map(|(t, p, w)| ((*t, *p), *w))
+            .collect();
+        let (host, path) = *weighted(&trackers, h);
+        // Zipf-ish content popularity over the (scaled-down) universe.
+        let u = unit(splitmix(h ^ 21));
+        let rank = ((BT_INFOHASH_UNIVERSE as f64).powf(u).floor() as u64)
+            .min(BT_INFOHASH_UNIVERSE - 1);
+        let mut ih = [0u8; 20];
+        ih[..8].copy_from_slice(&splitmix(rank ^ 0xB17).to_le_bytes());
+        ih[8..16].copy_from_slice(&rank.to_le_bytes());
+        let mut pid = [0u8; 20];
+        pid[..8].copy_from_slice(b"-UT2210-");
+        pid[8..16].copy_from_slice(&splitmix(user ^ 0xBEEF).to_le_bytes());
+        let announce = AnnounceRequest {
+            info_hash: InfoHash(ih),
+            peer_id: PeerId(pid),
+            port: 6881 + (splitmix(user) % 40_000) as u16,
+            uploaded: h % 100_000,
+            downloaded: splitmix(h) % 1_000_000,
+            left: splitmix(h ^ 23) % 700_000_000,
+            event: match h % 100 {
+                0..=9 => AnnounceEvent::Started,
+                10..=14 => AnnounceEvent::Stopped,
+                15..=17 => AnnounceEvent::Completed,
+                _ => AnnounceEvent::Interval,
+            },
+        };
+        let url = RequestUrl::http(host, path)
+            .with_port(if h.is_multiple_of(3) { 6969 } else { 80 })
+            .with_query(announce.to_query());
+        (url, Method::Get, "uTorrent/2210(25110)".to_string(), 200)
+    }
+}
+
+/// Fill the `{}` placeholder in a path template with a hash-derived number.
+fn fill(template: &str, h: u64) -> String {
+    if template.contains("{}") {
+        template.replace("{}", &format!("{}", h % 1_000_000))
+    } else {
+        template.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DayKind, StudyPeriod};
+    use filterscope_tor::{synthesize_consensus, SynthConsensusConfig};
+
+    fn generator_at(day_ix: usize, scale: u64) -> DayGenerator {
+        let config = SynthConfig::new(scale).unwrap();
+        let period = StudyPeriod::standard();
+        let day = period.days()[day_ix];
+        let pop = Arc::new(Population::new(config.population(), config.seed));
+        let relays = if day.kind == DayKind::August {
+            synthesize_consensus(&SynthConsensusConfig::default(), day.date).relays
+        } else {
+            Vec::new()
+        };
+        DayGenerator::new(&config, day, pop, relays)
+    }
+
+    fn generator(day_ix: usize) -> DayGenerator {
+        generator_at(day_ix, 4096)
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_order_free() {
+        let g = generator(5);
+        let a = g.request(1234);
+        let b = g.request(1234);
+        assert_eq!(a, b);
+        // Building another generator gives identical requests.
+        let g2 = generator(5);
+        assert_eq!(g2.request(1234), a);
+    }
+
+    #[test]
+    fn requests_carry_the_generators_date() {
+        let g = generator(3); // Aug 1
+        for i in (0..g.volume()).step_by(997) {
+            let r = g.request(i);
+            assert_eq!(r.timestamp.date().to_string(), "2011-08-01");
+        }
+    }
+
+    #[test]
+    fn july_days_have_hashed_clients_august_zeroed() {
+        let jul = generator(0);
+        assert!(matches!(jul.request(5).client, ClientId::Hashed(_)));
+        let aug = generator(4);
+        assert!(matches!(aug.request(5).client, ClientId::Zeroed));
+    }
+
+    #[test]
+    fn class_mix_shows_up_in_urls() {
+        let g = generator(5); // Aug 3
+        let mut metacafe = 0u64;
+        let mut plugins = 0u64;
+        let mut tail = 0u64;
+        let n = 40_000u64.min(g.volume());
+        for i in 0..n {
+            let r = g.request(i);
+            if r.url.host.contains("metacafe") {
+                metacafe += 1;
+            }
+            if r.url.path.contains("/plugins/") || r.url.path.contains("login_status") {
+                plugins += 1;
+            }
+            if r.url.host.starts_with('w') && r.url.host[1..2].chars().all(|c| c.is_ascii_digit())
+            {
+                tail += 1;
+            }
+        }
+        // ~0.17% metacafe, ~0.19% plugin paths, majority tail.
+        assert!(metacafe > n / 2000, "metacafe {metacafe}");
+        assert!(plugins > n / 2000, "plugins {plugins}");
+        assert!(tail > n / 3, "tail {tail}");
+    }
+
+    #[test]
+    fn tor_requests_target_consensus_relays() {
+        // Tor_onion is ~35 ppm of traffic; use a bigger corpus so the test
+        // is statistically safe (expect ~8 onion requests, P(none) ~ 3e-4).
+        let g = generator_at(5, 512);
+        let mut seen_dir = false;
+        let mut seen_onion = false;
+        for i in 0..g.volume() {
+            let r = g.request(i);
+            if r.url.path.starts_with("/tor/") {
+                seen_dir = true;
+            }
+            if r.url.scheme == "tcp" && r.url.host_is_ip() {
+                seen_onion = true;
+            }
+            if seen_dir && seen_onion {
+                break;
+            }
+        }
+        assert!(seen_dir, "no Tor_http generated");
+        assert!(seen_onion, "no Tor_onion generated");
+    }
+
+    #[test]
+    fn bittorrent_announces_parse() {
+        let g = generator(6);
+        let mut checked = 0;
+        for i in 0..80_000u64.min(g.volume()) {
+            let r = g.request(i);
+            if AnnounceRequest::is_announce_path(&r.url.path) {
+                let parsed = AnnounceRequest::parse_query(&r.url.query)
+                    .expect("generated announce must parse");
+                assert!(parsed.port >= 6881);
+                checked += 1;
+                if checked > 20 {
+                    break;
+                }
+            }
+        }
+        assert!(checked > 0, "no announces generated");
+    }
+
+    #[test]
+    fn timestamps_follow_diurnal_shape() {
+        let g = generator(4); // Aug 2
+        let mut night = 0u64; // 02:00-04:00
+        let mut morning = 0u64; // 09:00-11:00
+        let n = 30_000u64.min(g.volume());
+        for i in 0..n {
+            let hr = g.request(i).timestamp.time().hour();
+            if (2..4).contains(&hr) {
+                night += 1;
+            }
+            if (9..11).contains(&hr) {
+                morning += 1;
+            }
+        }
+        assert!(morning > 3 * night, "morning {morning} night {night}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # filterscope-synth
+//!
+//! The calibrated workload generator: a synthetic stand-in for the traffic
+//! of Syrian Internet users in July/August 2011, shaped so that running it
+//! through the [`filterscope_proxy`] farm reproduces the published
+//! statistics of the paper (class mix of Table 3, domain mixes of Tables
+//! 4–5, user behaviour of Fig. 4, temporal structure of Figs. 5–6, Tor and
+//! BitTorrent usage of §7, …).
+//!
+//! Everything is a pure function of [`SynthConfig`] — no hidden RNG state —
+//! so corpora are exactly reproducible and generation can be sharded by day
+//! without changing a single record.
+//!
+//! The headline entry points:
+//!
+//! * [`StudyPeriod::standard`] — the nine logged days (July 22, 23, 31 with
+//!   only SG-42; August 1–6 with all seven proxies);
+//! * [`DayGenerator`] — an iterator of [`filterscope_proxy::Request`]s for
+//!   one day;
+//! * [`Corpus::generate`] / [`Corpus::for_each_record`] — end-to-end:
+//!   workload → farm → [`filterscope_logformat::LogRecord`]s.
+
+pub mod catalog;
+pub mod classes;
+pub mod config;
+pub mod corpus;
+pub mod generator;
+pub mod temporal;
+pub mod users;
+
+pub use config::{DayKind, StudyDay, StudyPeriod, SynthConfig};
+pub use corpus::Corpus;
+pub use generator::DayGenerator;

@@ -1,0 +1,205 @@
+//! The temporal model: diurnal load curves and event modifiers.
+//!
+//! Fig. 5 shows the shape to reproduce: traffic builds through the morning,
+//! lulls through afternoon and night, drops on Friday afternoons ("Internet
+//! connections slowed almost every Friday when the big weekly protests are
+//! staged"), and shows two sudden dips on August 3. Fig. 6's RCV peaks come
+//! from Instant-Messaging demand surges (August 3, 8:00–9:30), so IM-class
+//! traffic carries its own curve.
+
+use filterscope_core::{Date, Timestamp, TimeOfDay, Weekday};
+
+/// 5-minute slots per day.
+pub const SLOTS: usize = 288;
+
+/// Which diurnal curve a traffic class follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemporalKind {
+    /// Ordinary browsing.
+    Generic,
+    /// Instant-messaging demand (drives the RCV peaks).
+    Im,
+    /// Tor usage (elevated on protest days).
+    Tor,
+    /// Near-uniform background (automated clients, BitTorrent).
+    Flat,
+}
+
+/// Relative hourly weight, before modifiers.
+fn hourly_weight(kind: TemporalKind, hour: usize) -> f64 {
+    const GENERIC: [f64; 24] = [
+        3.0, 2.0, 1.5, 1.0, 1.0, 2.0, 4.0, 6.5, 8.5, 9.5, 10.0, 10.0, 9.0, 8.0, 7.5, 7.0, 7.0,
+        7.5, 8.0, 8.5, 8.0, 7.0, 5.5, 4.0,
+    ];
+    match kind {
+        TemporalKind::Generic | TemporalKind::Im | TemporalKind::Tor => GENERIC[hour],
+        TemporalKind::Flat => 1.0,
+    }
+}
+
+/// Per-slot modifier for special events.
+fn modifier(kind: TemporalKind, date: Date, slot: usize) -> f64 {
+    let mut m = 1.0;
+    let aug = |d: u8| (date.year(), date.month(), date.day()) == (2011, 8, d);
+
+    // Friday-afternoon slowdown (July 22, August 5): from noon on.
+    if date.weekday() == Weekday::Friday && slot >= 144 {
+        m *= 0.55;
+    }
+    // August 4 afternoon onwards: visible reduction running into Friday.
+    if aug(4) && slot >= 168 {
+        m *= 0.75;
+    }
+    if aug(3) {
+        // Two sudden dips (~13:20 and ~17:00), in all traffic.
+        if (160..=166).contains(&slot) || (204..=208).contains(&slot) {
+            m *= 0.2;
+        }
+        // IM demand surge 08:00–09:30 (RCV peak), plus smaller 05:00 and
+        // 22:00 bumps (Fig. 6).
+        if kind == TemporalKind::Im {
+            if (96..114).contains(&slot) {
+                m *= 4.0;
+            }
+            if (60..66).contains(&slot) || (264..270).contains(&slot) {
+                m *= 2.0;
+            }
+        }
+        // Elevated Tor activity on the protest day (Fig. 8a).
+        if kind == TemporalKind::Tor {
+            m *= 2.5;
+        }
+    }
+    m
+}
+
+/// A sampled diurnal distribution for one (day, kind): cumulative weights
+/// over the 288 slots, for O(log n) inverse-transform sampling.
+#[derive(Debug, Clone)]
+pub struct DayCurve {
+    date: Date,
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl DayCurve {
+    /// Build the curve for `date` and `kind`.
+    pub fn new(date: Date, kind: TemporalKind) -> Self {
+        let mut cumulative = Vec::with_capacity(SLOTS);
+        let mut acc = 0.0;
+        for slot in 0..SLOTS {
+            let hour = slot / 12;
+            let w = hourly_weight(kind, hour) * modifier(kind, date, slot);
+            acc += w.max(0.0);
+            cumulative.push(acc);
+        }
+        DayCurve {
+            date,
+            cumulative,
+            total: acc,
+        }
+    }
+
+    /// Map a uniform draw `u ∈ [0,1)` to an instant within the day.
+    /// `fine` is a second uniform draw placing the event within its slot.
+    pub fn sample(&self, u: f64, fine: f64) -> Timestamp {
+        let target = u.clamp(0.0, 0.999_999_9) * self.total;
+        let slot = self.cumulative.partition_point(|&c| c <= target);
+        let slot = slot.min(SLOTS - 1);
+        let sec_in_slot = (fine.clamp(0.0, 0.999_999_9) * 300.0) as u32;
+        let sod = slot as u32 * 300 + sec_in_slot;
+        Timestamp::new(self.date, TimeOfDay::from_second_of_day(sod))
+    }
+
+    /// Relative weight of slot `i` (for assertions and diagnostics).
+    pub fn slot_weight(&self, i: usize) -> f64 {
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        self.cumulative[i] - prev
+    }
+
+    /// Total weight across the day.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(m: u8, day: u8) -> Date {
+        Date::new(2011, m, day).unwrap()
+    }
+
+    #[test]
+    fn samples_stay_inside_day_and_follow_u() {
+        let c = DayCurve::new(d(8, 2), TemporalKind::Generic);
+        let early = c.sample(0.0, 0.0);
+        let late = c.sample(0.9999, 0.9999);
+        assert_eq!(early.date(), d(8, 2));
+        assert_eq!(late.date(), d(8, 2));
+        assert!(early < late);
+        assert_eq!(late.time().hour(), 23);
+    }
+
+    #[test]
+    fn morning_busier_than_dead_of_night() {
+        let c = DayCurve::new(d(8, 2), TemporalKind::Generic);
+        // slot 120 = 10:00, slot 36 = 03:00
+        assert!(c.slot_weight(120) > 5.0 * c.slot_weight(36));
+    }
+
+    #[test]
+    fn friday_afternoon_drops() {
+        let fri = DayCurve::new(d(8, 5), TemporalKind::Generic);
+        let thu = DayCurve::new(d(8, 2), TemporalKind::Generic); // Tuesday actually; any non-Friday
+        let slot = 180; // 15:00
+        assert!(fri.slot_weight(slot) < 0.7 * thu.slot_weight(slot));
+        // Morning unaffected.
+        let morning = 100;
+        assert!((fri.slot_weight(morning) - thu.slot_weight(morning)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aug3_im_surge() {
+        let im = DayCurve::new(d(8, 3), TemporalKind::Im);
+        let gen = DayCurve::new(d(8, 3), TemporalKind::Generic);
+        let surge_slot = 100; // 08:20
+        assert!(im.slot_weight(surge_slot) > 3.0 * gen.slot_weight(surge_slot));
+        // After 09:30 the surge is over.
+        let after = 120; // 10:00
+        assert!((im.slot_weight(after) - gen.slot_weight(after)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aug3_global_dips() {
+        let c = DayCurve::new(d(8, 3), TemporalKind::Generic);
+        let dip = 162; // ~13:30
+        let normal = 150;
+        assert!(c.slot_weight(dip) < 0.3 * c.slot_weight(normal));
+    }
+
+    #[test]
+    fn flat_kind_is_uniform_off_events() {
+        let c = DayCurve::new(d(8, 2), TemporalKind::Flat);
+        assert!((c.slot_weight(10) - c.slot_weight(200)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_respects_weights_statistically() {
+        let c = DayCurve::new(d(8, 3), TemporalKind::Im);
+        let mut in_surge = 0u32;
+        let n = 20_000;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            let t = c.sample(u, 0.5);
+            let slot = (t.time().second_of_day() / 300) as usize;
+            if (96..114).contains(&slot) {
+                in_surge += 1;
+            }
+        }
+        // The 1.5-hour surge window should hold a disproportionate share.
+        let frac = in_surge as f64 / n as f64;
+        assert!(frac > 0.15, "surge fraction {frac}");
+    }
+}

@@ -1,0 +1,249 @@
+//! The user population model.
+//!
+//! Calibration targets from §4 (user-based analysis, Fig. 4):
+//!
+//! * 147,802 users on one proxy over the two `Duser` days, ~43 requests per
+//!   user on average, with a heavy-tailed activity distribution;
+//! * only 1.57 % of users ever censored — censorship concentrates in a small
+//!   "risky" slice of the population (IM clients, toolbar installs,
+//!   plugin-heavy browsing), not uniformly;
+//! * censored users are markedly more active than non-censored ones
+//!   (≈50 % of censored users send >100 requests vs ≈5 % of the rest).
+//!
+//! The model: users are indexes `0..N`. The first ~2.2 % are *risky* — they
+//! source all censored-class traffic AND get a 4× activity boost in generic
+//! browsing. Activity weights are Pareto-ish in the user index. July traffic
+//! draws only users with `index % 7 == 0` (SG-42's client base).
+
+use filterscope_logformat::ClientId;
+
+/// Which user slice a traffic class draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UserPool {
+    /// Everyone (risky users included, with boosted weight).
+    General,
+    /// The risky slice (sources the censored classes).
+    Risky,
+    /// Tor users (a sliver of the general population).
+    Tor,
+    /// BitTorrent users (§7.3: ~38.6 k peers of ~1 M users ⇒ ~3.7 %).
+    BitTorrent,
+}
+
+/// Fraction of the population that is risky, in per mille.
+pub const RISKY_PER_MILLE: u64 = 22;
+/// Tor users, per mille.
+pub const TOR_PER_MILLE: u64 = 3;
+/// BitTorrent users, per mille.
+pub const BT_PER_MILLE: u64 = 37;
+/// Generic-activity boost for risky users.
+const RISKY_BOOST: f64 = 4.0;
+/// Pareto shape for activity weights (smaller = heavier tail).
+const PARETO_ALPHA: f64 = 1.25;
+
+/// The population: index ranges plus cumulative activity weights per pool.
+#[derive(Debug)]
+pub struct Population {
+    n: u64,
+    seed: u64,
+    /// Cumulative generic-pool weights (risky boost applied), one per user.
+    general_cum: Vec<f64>,
+    /// Cumulative weights over the risky slice only.
+    risky_cum: Vec<f64>,
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl Population {
+    /// Build a population of `n` users.
+    pub fn new(n: u64, seed: u64) -> Self {
+        let n = n.max(70);
+        let risky_n = Self::risky_count(n);
+        let mut general_cum = Vec::with_capacity(n as usize);
+        let mut risky_cum = Vec::with_capacity(risky_n as usize);
+        let mut gacc = 0.0;
+        let mut racc = 0.0;
+        for u in 0..n {
+            // Pareto-ish activity weight, deterministic per user.
+            let draw = unit(splitmix(seed ^ u.wrapping_mul(0x9E37_79B9)));
+            let w = (1.0 - draw).powf(-1.0 / PARETO_ALPHA); // >= 1
+            let w = w.min(500.0); // cap the most extreme outliers
+            let boosted = if u < risky_n { w * RISKY_BOOST } else { w };
+            gacc += boosted;
+            general_cum.push(gacc);
+            if u < risky_n {
+                racc += w;
+                risky_cum.push(racc);
+            }
+        }
+        Population {
+            n,
+            seed,
+            general_cum,
+            risky_cum,
+        }
+    }
+
+    fn risky_count(n: u64) -> u64 {
+        (n * RISKY_PER_MILLE / 1000).max(3)
+    }
+
+    /// Population size.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Never empty (clamped at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of risky users.
+    pub fn risky_len(&self) -> u64 {
+        self.risky_cum.len() as u64
+    }
+
+    /// Draw a user from `pool` with hash `h`. `july` restricts to SG-42's
+    /// client base (`index % 7 == 0`).
+    pub fn draw(&self, pool: UserPool, h: u64, july: bool) -> u64 {
+        let idx = match pool {
+            UserPool::General => weighted_pick(&self.general_cum, h),
+            UserPool::Risky => weighted_pick(&self.risky_cum, h),
+            UserPool::Tor => {
+                let count = (self.n * TOR_PER_MILLE / 1000).max(2);
+                // Tor slice sits just after the risky slice.
+                self.risky_len() + splitmix(h) % count
+            }
+            UserPool::BitTorrent => {
+                let count = (self.n * BT_PER_MILLE / 1000).max(5);
+                let start = self.risky_len() + (self.n * TOR_PER_MILLE / 1000).max(2);
+                start + splitmix(h) % count
+            }
+        };
+        let idx = idx.min(self.n - 1);
+        if july {
+            // Snap to SG-42's client base, preserving the draw's position.
+            idx - (idx % 7)
+        } else {
+            idx
+        }
+    }
+
+    /// The logged client identity for a user on a hashed-client day.
+    pub fn client_hash(&self, user: u64) -> ClientId {
+        ClientId::Hashed(splitmix(self.seed ^ 0x00C1_1E17 ^ user))
+    }
+
+    /// A stable user agent for a user.
+    pub fn user_agent(&self, user: u64) -> &'static str {
+        const AGENTS: [&str; 8] = [
+            "Mozilla/4.0 (compatible; MSIE 7.0; Windows NT 5.1)",
+            "Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 6.1)",
+            "Mozilla/5.0 (Windows NT 5.1; rv:5.0) Gecko/20100101 Firefox/5.0",
+            "Mozilla/5.0 (Windows NT 6.1) AppleWebKit/534.30 Chrome/12.0.742.122",
+            "Mozilla/5.0 (Windows NT 6.1; rv:2.0.1) Gecko/20100101 Firefox/4.0.1",
+            "Opera/9.80 (Windows NT 5.1; U; en) Presto/2.8.131 Version/11.11",
+            "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_6_8) AppleWebKit/534.30",
+            "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1; SV1)",
+        ];
+        AGENTS[(splitmix(self.seed ^ 0xA6E17 ^ user) % AGENTS.len() as u64) as usize]
+    }
+}
+
+/// Binary-search a cumulative-weight array with a hashed uniform draw.
+fn weighted_pick(cum: &[f64], h: u64) -> u64 {
+    debug_assert!(!cum.is_empty());
+    let total = *cum.last().expect("non-empty");
+    let target = unit(splitmix(h)) * total;
+    cum.partition_point(|&c| c <= target) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_land_in_their_slices() {
+        let p = Population::new(10_000, 1);
+        let risky_n = p.risky_len();
+        for i in 0..500u64 {
+            let r = p.draw(UserPool::Risky, i, false);
+            assert!(r < risky_n, "risky draw {r} outside slice");
+            let t = p.draw(UserPool::Tor, i, false);
+            assert!(t >= risky_n && t < risky_n + 30 + 2, "tor draw {t}");
+        }
+    }
+
+    #[test]
+    fn general_pool_favours_risky_users_per_capita() {
+        let p = Population::new(10_000, 2);
+        let risky_n = p.risky_len() as f64;
+        let mut risky_hits = 0u64;
+        let n = 200_000u64;
+        for i in 0..n {
+            if p.draw(UserPool::General, i, false) < p.risky_len() {
+                risky_hits += 1;
+            }
+        }
+        let per_capita_risky = risky_hits as f64 / risky_n;
+        let per_capita_rest = (n - risky_hits) as f64 / (10_000.0 - risky_n);
+        assert!(
+            per_capita_risky > 2.0 * per_capita_rest,
+            "risky {per_capita_risky:.1} vs rest {per_capita_rest:.1}"
+        );
+    }
+
+    #[test]
+    fn activity_distribution_is_heavy_tailed() {
+        let p = Population::new(5_000, 3);
+        let mut counts = vec![0u32; 5_000];
+        for i in 0..200_000u64 {
+            counts[p.draw(UserPool::General, i, false) as usize] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // Top 1% of users take far more than 1% of requests.
+        let top1pct: u64 = sorted[..50].iter().map(|&c| c as u64).sum();
+        assert!(
+            top1pct > 200_000 / 20,
+            "top 1% got {top1pct} of 200000 (expected >5%)"
+        );
+    }
+
+    #[test]
+    fn july_draws_snap_to_sg42_base() {
+        let p = Population::new(7_000, 4);
+        for i in 0..300u64 {
+            let u = p.draw(UserPool::General, i, true);
+            assert_eq!(u % 7, 0);
+        }
+    }
+
+    #[test]
+    fn client_hash_and_agent_are_stable() {
+        let p = Population::new(1_000, 5);
+        assert_eq!(p.client_hash(42), p.client_hash(42));
+        assert_ne!(p.client_hash(42), p.client_hash(43));
+        assert_eq!(p.user_agent(42), p.user_agent(42));
+    }
+
+    #[test]
+    fn tiny_population_is_clamped() {
+        let p = Population::new(1, 6);
+        assert_eq!(p.len(), 70);
+        assert!(p.risky_len() >= 3);
+        // Draws stay in range.
+        for i in 0..100 {
+            assert!(p.draw(UserPool::BitTorrent, i, false) < p.len());
+        }
+    }
+}

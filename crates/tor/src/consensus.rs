@@ -1,0 +1,241 @@
+//! Relay descriptors and the network-status document format.
+//!
+//! The document format is a simplified network status: one `r` line per
+//! relay (`r <nickname> <ip> <or-port> <dir-port>`), an optional `s` line of
+//! flags, bracketed by `valid <date>` and terminated by `end`. It carries
+//! exactly the information the triplet join needs, round-trips through text,
+//! and tolerates unknown lines (forward compatibility, as the real dir spec
+//! does).
+
+use filterscope_core::{Date, Error, Result};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Relay flags (subset relevant to reachability analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelayFlags {
+    /// Listed as usable by the authorities.
+    pub running: bool,
+    /// Directory mirror.
+    pub v2dir: bool,
+    /// Guard-eligible.
+    pub guard: bool,
+    /// Exit-eligible.
+    pub exit: bool,
+}
+
+impl RelayFlags {
+    fn to_line(self) -> String {
+        let mut parts = Vec::new();
+        if self.running {
+            parts.push("Running");
+        }
+        if self.v2dir {
+            parts.push("V2Dir");
+        }
+        if self.guard {
+            parts.push("Guard");
+        }
+        if self.exit {
+            parts.push("Exit");
+        }
+        parts.join(" ")
+    }
+
+    fn parse_line(s: &str) -> Self {
+        let mut f = RelayFlags::default();
+        for tok in s.split_ascii_whitespace() {
+            match tok {
+                "Running" => f.running = true,
+                "V2Dir" => f.v2dir = true,
+                "Guard" => f.guard = true,
+                "Exit" => f.exit = true,
+                _ => {} // unknown flags tolerated
+            }
+        }
+        f
+    }
+}
+
+/// One relay in a consensus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayDescriptor {
+    /// Human-readable nickname.
+    pub nickname: String,
+    /// OR address.
+    pub addr: Ipv4Addr,
+    /// Onion-routing port (typically 9001 or 443).
+    pub or_port: u16,
+    /// Directory port (typically 9030 or 80; 0 when absent).
+    pub dir_port: u16,
+    /// Flags.
+    pub flags: RelayFlags,
+}
+
+impl RelayDescriptor {
+    /// Ports on which this relay accepts connections (OR plus dir if any).
+    pub fn ports(&self) -> impl Iterator<Item = u16> + '_ {
+        std::iter::once(self.or_port)
+            .chain((self.dir_port != 0).then_some(self.dir_port))
+    }
+}
+
+/// A consensus: the relays valid on a given date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusDoc {
+    /// The date this consensus covers.
+    pub valid_date: Date,
+    /// The relays.
+    pub relays: Vec<RelayDescriptor>,
+}
+
+impl ConsensusDoc {
+    /// Serialize to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("valid {}\n", self.valid_date));
+        for r in &self.relays {
+            out.push_str(&format!(
+                "r {} {} {} {}\n",
+                r.nickname, r.addr, r.or_port, r.dir_port
+            ));
+            let flags = r.flags.to_line();
+            if !flags.is_empty() {
+                out.push_str(&format!("s {flags}\n"));
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the text format. Unknown line types are skipped; a missing
+    /// `valid` header or a malformed `r` line is an error.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut valid_date: Option<Date> = None;
+        let mut relays: Vec<RelayDescriptor> = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line == "end" {
+                continue;
+            }
+            let mal = |reason: &str| Error::MalformedRecord {
+                line: (no + 1) as u64,
+                reason: reason.to_string(),
+            };
+            if let Some(rest) = line.strip_prefix("valid ") {
+                valid_date = Some(Date::parse(rest.trim())?);
+            } else if let Some(rest) = line.strip_prefix("r ") {
+                let parts: Vec<&str> = rest.split_ascii_whitespace().collect();
+                if parts.len() != 4 {
+                    return Err(mal("r line needs: nickname ip or-port dir-port"));
+                }
+                let addr: Ipv4Addr =
+                    parts[1].parse().map_err(|_| mal("bad relay address"))?;
+                let or_port: u16 = parts[2].parse().map_err(|_| mal("bad or-port"))?;
+                let dir_port: u16 = parts[3].parse().map_err(|_| mal("bad dir-port"))?;
+                relays.push(RelayDescriptor {
+                    nickname: parts[0].to_string(),
+                    addr,
+                    or_port,
+                    dir_port,
+                    flags: RelayFlags::default(),
+                });
+            } else if let Some(rest) = line.strip_prefix("s ") {
+                if let Some(last) = relays.last_mut() {
+                    last.flags = RelayFlags::parse_line(rest);
+                }
+                // an `s` line before any `r` line is tolerated and ignored
+            }
+            // other line types tolerated for forward compatibility
+        }
+        Ok(ConsensusDoc {
+            valid_date: valid_date.ok_or(Error::MalformedRecord {
+                line: 0,
+                reason: "missing `valid <date>` header".into(),
+            })?,
+            relays,
+        })
+    }
+}
+
+impl fmt::Display for ConsensusDoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConsensusDoc {
+        ConsensusDoc {
+            valid_date: Date::new(2011, 8, 3).unwrap(),
+            relays: vec![
+                RelayDescriptor {
+                    nickname: "moria1".into(),
+                    addr: Ipv4Addr::new(128, 31, 0, 34),
+                    or_port: 9001,
+                    dir_port: 9030,
+                    flags: RelayFlags {
+                        running: true,
+                        v2dir: true,
+                        guard: true,
+                        exit: false,
+                    },
+                },
+                RelayDescriptor {
+                    nickname: "exitnode7".into(),
+                    addr: Ipv4Addr::new(94, 228, 129, 7),
+                    or_port: 443,
+                    dir_port: 0,
+                    flags: RelayFlags {
+                        running: true,
+                        exit: true,
+                        ..Default::default()
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let doc = sample();
+        let text = doc.to_text();
+        let back = ConsensusDoc::parse(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn ports_iterator() {
+        let doc = sample();
+        let p0: Vec<u16> = doc.relays[0].ports().collect();
+        assert_eq!(p0, vec![9001, 9030]);
+        let p1: Vec<u16> = doc.relays[1].ports().collect();
+        assert_eq!(p1, vec![443]);
+    }
+
+    #[test]
+    fn parse_tolerates_unknown_lines() {
+        let text = "valid 2011-08-01\nx something unknown\nr n1 1.2.3.4 9001 0\nw Bandwidth=200\nend\n";
+        let doc = ConsensusDoc::parse(text).unwrap();
+        assert_eq!(doc.relays.len(), 1);
+        assert_eq!(doc.relays[0].or_port, 9001);
+    }
+
+    #[test]
+    fn parse_rejects_missing_header_and_bad_r_lines() {
+        assert!(ConsensusDoc::parse("r n1 1.2.3.4 9001 0\nend\n").is_err());
+        assert!(ConsensusDoc::parse("valid 2011-08-01\nr n1 1.2.3.4 9001\n").is_err());
+        assert!(ConsensusDoc::parse("valid 2011-08-01\nr n1 bad-ip 9001 0\n").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_skipped() {
+        let text = "valid 2011-08-01\nr n1 1.2.3.4 9001 0\ns Running Stable HSDir\nend\n";
+        let doc = ConsensusDoc::parse(text).unwrap();
+        assert!(doc.relays[0].flags.running);
+        assert!(!doc.relays[0].flags.guard);
+    }
+}

@@ -1,0 +1,166 @@
+//! The `<relay IP, port, date>` triplet index.
+//!
+//! The §7.1 join: a log row is Tor traffic iff its destination `(ip, port)`
+//! matches a relay listed in a consensus valid on the row's date.
+
+use crate::consensus::ConsensusDoc;
+use filterscope_core::Date;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Immutable triplet index over one or more consensus documents.
+#[derive(Debug, Default)]
+pub struct RelayIndex {
+    /// date → set of (addr, port).
+    by_date: HashMap<Date, HashSet<(Ipv4Addr, u16)>>,
+    /// All relay addresses ever listed, for date-insensitive queries.
+    all_addrs: HashSet<Ipv4Addr>,
+}
+
+impl RelayIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from consensus documents (one per valid date; multiple docs for
+    /// the same date merge).
+    pub fn from_consensuses<'a>(docs: impl IntoIterator<Item = &'a ConsensusDoc>) -> Self {
+        let mut ix = Self::new();
+        for doc in docs {
+            ix.add(doc);
+        }
+        ix
+    }
+
+    /// Merge one consensus into the index.
+    pub fn add(&mut self, doc: &ConsensusDoc) {
+        let entry = self.by_date.entry(doc.valid_date).or_default();
+        for r in &doc.relays {
+            for port in r.ports() {
+                entry.insert((r.addr, port));
+            }
+            self.all_addrs.insert(r.addr);
+        }
+    }
+
+    /// Is `(addr, port)` a listed relay endpoint on `date`?
+    pub fn contains(&self, addr: Ipv4Addr, port: u16, date: Date) -> bool {
+        self.by_date
+            .get(&date)
+            .is_some_and(|s| s.contains(&(addr, port)))
+    }
+
+    /// Was `addr` ever listed as a relay (any date, any port)?
+    pub fn is_relay_addr(&self, addr: Ipv4Addr) -> bool {
+        self.all_addrs.contains(&addr)
+    }
+
+    /// Number of distinct relay addresses across all dates.
+    pub fn relay_addr_count(&self) -> usize {
+        self.all_addrs.len()
+    }
+
+    /// Number of dates covered.
+    pub fn date_count(&self) -> usize {
+        self.by_date.len()
+    }
+
+    /// Distinct endpoints listed on `date`.
+    pub fn endpoints_on(&self, date: Date) -> usize {
+        self.by_date.get(&date).map_or(0, |s| s.len())
+    }
+
+    /// Churn between two dates: `(appeared, disappeared)` endpoint counts
+    /// from `from` to `to`. Relay churn bounds how much of Fig. 9's
+    /// blocked/allowed alternation could be consensus turnover rather than
+    /// policy behaviour.
+    pub fn churn(&self, from: Date, to: Date) -> (usize, usize) {
+        let empty = HashSet::new();
+        let a = self.by_date.get(&from).unwrap_or(&empty);
+        let b = self.by_date.get(&to).unwrap_or(&empty);
+        let appeared = b.difference(a).count();
+        let disappeared = a.difference(b).count();
+        (appeared, disappeared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::{RelayDescriptor, RelayFlags};
+
+    fn doc(date: Date, relays: &[(&str, [u8; 4], u16, u16)]) -> ConsensusDoc {
+        ConsensusDoc {
+            valid_date: date,
+            relays: relays
+                .iter()
+                .map(|(n, ip, orp, dirp)| RelayDescriptor {
+                    nickname: n.to_string(),
+                    addr: Ipv4Addr::from(*ip),
+                    or_port: *orp,
+                    dir_port: *dirp,
+                    flags: RelayFlags::default(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn triplet_join_respects_dates() {
+        let d1 = Date::new(2011, 8, 1).unwrap();
+        let d2 = Date::new(2011, 8, 2).unwrap();
+        let ix = RelayIndex::from_consensuses([
+            &doc(d1, &[("a", [1, 2, 3, 4], 9001, 9030)]),
+            &doc(d2, &[("b", [5, 6, 7, 8], 443, 0)]),
+        ]);
+        let a = Ipv4Addr::new(1, 2, 3, 4);
+        let b = Ipv4Addr::new(5, 6, 7, 8);
+        assert!(ix.contains(a, 9001, d1));
+        assert!(ix.contains(a, 9030, d1)); // dir port too
+        assert!(!ix.contains(a, 9001, d2)); // not listed that day
+        assert!(ix.contains(b, 443, d2));
+        assert!(!ix.contains(b, 9001, d2)); // wrong port
+        assert!(ix.is_relay_addr(a));
+        assert!(ix.is_relay_addr(b));
+        assert!(!ix.is_relay_addr(Ipv4Addr::new(9, 9, 9, 9)));
+    }
+
+    #[test]
+    fn same_date_docs_merge() {
+        let d = Date::new(2011, 8, 3).unwrap();
+        let mut ix = RelayIndex::new();
+        ix.add(&doc(d, &[("a", [1, 1, 1, 1], 9001, 0)]));
+        ix.add(&doc(d, &[("b", [2, 2, 2, 2], 9001, 0)]));
+        assert_eq!(ix.date_count(), 1);
+        assert_eq!(ix.endpoints_on(d), 2);
+        assert_eq!(ix.relay_addr_count(), 2);
+    }
+
+    #[test]
+    fn churn_between_days() {
+        let d1 = Date::new(2011, 8, 1).unwrap();
+        let d2 = Date::new(2011, 8, 2).unwrap();
+        let ix = RelayIndex::from_consensuses([
+            &doc(d1, &[("a", [1, 1, 1, 1], 9001, 0), ("b", [2, 2, 2, 2], 9001, 0)]),
+            &doc(d2, &[("b", [2, 2, 2, 2], 9001, 0), ("c", [3, 3, 3, 3], 9001, 0)]),
+        ]);
+        let (appeared, disappeared) = ix.churn(d1, d2);
+        assert_eq!((appeared, disappeared), (1, 1));
+        // Against a missing date everything counts as change.
+        let d9 = Date::new(2011, 8, 9).unwrap();
+        assert_eq!(ix.churn(d1, d9), (0, 2));
+        assert_eq!(ix.churn(d9, d2), (2, 0));
+    }
+
+    #[test]
+    fn empty_index() {
+        let ix = RelayIndex::new();
+        assert!(!ix.contains(
+            Ipv4Addr::new(1, 2, 3, 4),
+            9001,
+            Date::new(2011, 8, 1).unwrap()
+        ));
+        assert_eq!(ix.relay_addr_count(), 0);
+    }
+}

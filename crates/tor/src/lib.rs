@@ -1,0 +1,27 @@
+//! # filterscope-tor
+//!
+//! A Tor network-consensus substrate for the §7.1 analysis.
+//!
+//! The paper identifies Tor traffic by extracting `<relay IP, port, date>`
+//! triplets from the Tor Metrics server descriptors / network-status files
+//! and joining them against the logs, splitting traffic into `Tor_http`
+//! (directory signaling: HTTP requests for `/tor/...` resources) and
+//! `Tor_onion` (circuit building / relaying). Those archives are an external
+//! dependency, so this crate provides:
+//!
+//! * [`RelayDescriptor`] and a simplified network-status *document* format
+//!   with a parser and serializer ([`consensus`]) modelled on the v2 dir
+//!   spec's `r`/`s` lines;
+//! * [`RelayIndex`] — the `<IP, port, date>` triplet index used for the join;
+//! * [`signaling::is_dir_path`] — the `Tor_http` classifier;
+//! * [`synthesize_consensus`] — a deterministic synthetic consensus for the
+//!   simulation (the real 2011 archives are not shipped with this repo).
+
+pub mod consensus;
+pub mod index;
+pub mod signaling;
+pub mod synth;
+
+pub use consensus::{ConsensusDoc, RelayDescriptor, RelayFlags};
+pub use index::RelayIndex;
+pub use synth::{synthesize_consensus, SynthConsensusConfig};

@@ -1,0 +1,59 @@
+//! The `Tor_http` / `Tor_onion` split (§7.1).
+//!
+//! `Tor_http` is HTTP directory signaling: requests for `/tor/...` resources
+//! (server descriptors, network status, keys) against a relay's dir port.
+//! Everything else to a relay endpoint is `Tor_onion` (circuit traffic).
+
+/// Kind of Tor-related traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TorTrafficKind {
+    /// Directory signaling over HTTP (`Tor_http`).
+    Http,
+    /// Circuit building / relaying (`Tor_onion`).
+    Onion,
+}
+
+/// Directory-protocol URL prefixes (dir-spec v2): `/tor/server/...`,
+/// `/tor/status/...`, `/tor/keys/...`, `/tor/running-routers`, …
+pub fn is_dir_path(path: &str) -> bool {
+    path.starts_with("/tor/")
+}
+
+/// Classify a request already known to target a relay endpoint.
+pub fn classify(path: &str) -> TorTrafficKind {
+    if is_dir_path(path) {
+        TorTrafficKind::Http
+    } else {
+        TorTrafficKind::Onion
+    }
+}
+
+/// Well-known directory resource paths, used by the synthetic workload.
+pub const DIR_PATHS: [&str; 5] = [
+    "/tor/server/authority.z",
+    "/tor/server/all.z",
+    "/tor/status/all.z",
+    "/tor/keys/all.z",
+    "/tor/running-routers",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_paths_are_http() {
+        for p in DIR_PATHS {
+            assert_eq!(classify(p), TorTrafficKind::Http, "{p}");
+        }
+        assert_eq!(classify("/tor/keys"), TorTrafficKind::Http);
+    }
+
+    #[test]
+    fn non_dir_paths_are_onion() {
+        assert_eq!(classify("/"), TorTrafficKind::Onion);
+        assert_eq!(classify(""), TorTrafficKind::Onion);
+        assert_eq!(classify("/torrent/x"), TorTrafficKind::Onion);
+        assert_eq!(classify("/torx"), TorTrafficKind::Onion);
+    }
+}

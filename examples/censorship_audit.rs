@@ -1,0 +1,77 @@
+//! Audit an arbitrary Blue Coat log file: parse it, classify every request,
+//! and run the §5.4 policy-inference pipeline on it — recover the keyword
+//! blacklist and the URL-filtered domain list without knowing the policy.
+//!
+//! ```text
+//! cargo run --release --example censorship_audit <logfile.csv>
+//! ```
+//!
+//! Without an argument, the example first writes a demonstration log (one
+//! synthetic day through the simulated farm) to a temp path and audits that,
+//! so it is runnable out of the box.
+
+use filterscope::analysis::filter_inference::FilterInference;
+use filterscope::analysis::{AnalysisContext, AnalysisSuite};
+use filterscope::logformat::{LogReader, LogWriter};
+use filterscope::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn write_demo_log(path: &std::path::Path) {
+    let corpus = Corpus::new(SynthConfig::new(16_384).expect("valid scale"));
+    let day = corpus.config().period.days()[5]; // August 3
+    let mut writer = LogWriter::new(BufWriter::new(
+        File::create(path).expect("create demo log"),
+    ));
+    for record in corpus.day_records(day) {
+        writer.write_record(&record).expect("write record");
+    }
+    let n = writer.records_written();
+    writer.into_inner().expect("flush");
+    eprintln!("wrote demo log: {} records to {}", n, path.display());
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let p = std::env::temp_dir().join("filterscope_demo_access.log");
+            write_demo_log(&p);
+            p
+        }
+    };
+
+    let file = File::open(&path).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let reader = LogReader::new(BufReader::new(file));
+
+    let ctx = AnalysisContext::standard(None);
+    let mut suite = AnalysisSuite::new(3);
+    let mut inference = FilterInference::new(&filterscope::proxy::config::KEYWORDS);
+    let mut parsed = 0u64;
+    let mut malformed = 0u64;
+    for item in reader {
+        match item {
+            Ok(record) => {
+                parsed += 1;
+                suite.ingest(&ctx, &record);
+                inference.ingest(&record);
+            }
+            Err(_) => malformed += 1,
+        }
+    }
+    eprintln!("parsed {parsed} records ({malformed} malformed lines skipped)");
+
+    println!("{}", suite.overview.render());
+    println!("{}", suite.domains.render_table4());
+    println!("{}", inference.render_table8(3));
+    println!("{}", inference.render_table10());
+    println!("== recovered keyword blacklist ==");
+    println!("{:?}", inference.recover_keywords(5, 3));
+    println!("== recovered domain blacklist (first 20) ==");
+    for (domain, ev) in inference.recover_domains(3).into_iter().take(20) {
+        println!("  {domain}  ({} censored requests)", ev.censored);
+    }
+}

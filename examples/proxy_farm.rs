@@ -1,0 +1,71 @@
+//! Drive the live proxy farm interactively: feed individual requests through
+//! the policy engine and print the appliance's decision and log line —
+//! a miniature SG-9000 console.
+//!
+//! ```text
+//! cargo run --example proxy_farm [URL ...]
+//! ```
+//!
+//! URLs are `host/path?query` strings; without arguments a demonstration
+//! set covering every rule family is used.
+
+use filterscope::core::Timestamp;
+use filterscope::logformat::{RequestClass, RequestUrl};
+use filterscope::prelude::*;
+use filterscope::tor::{synthesize_consensus, RelayIndex, SynthConsensusConfig};
+use std::sync::Arc;
+
+fn parse_url(s: &str) -> RequestUrl {
+    let (host, rest) = s.split_once('/').unwrap_or((s, ""));
+    let (path, query) = rest.split_once('?').unwrap_or((rest, ""));
+    RequestUrl::http(host, format!("/{path}")).with_query(query)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let demo = [
+        // One example per rule family.
+        "www.google.com/search?q=weather",              // allowed
+        "www.google.com/tbproxy/af/query?q=1",          // keyword collateral
+        "www.metacafe.com/watch/42",                    // domain rule
+        "download.skype.com/windows/SkypeSetup.exe",    // domain rule (IM)
+        "panet.co.il/news",                             // .il ccTLD rule
+        "84.229.10.10/",                                // Israeli subnet rule
+        "upload.youtube.com/my-video",                  // redirect host
+        "www.facebook.com/Syrian.Revolution?ref=ts",    // custom category
+        "www.facebook.com/Syrian.Revolution?ref=ts&ajaxpipe=1", // ...escaped
+        "www.facebook.com/plugins/like.php?channel_url=xd_proxy.php", // plugin
+        "hotsptshld.com/download/hotspotshield-7.exe",  // anti-censorship kw
+    ];
+    let urls: Vec<String> = if args.is_empty() {
+        demo.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    // Wire a Tor-aware farm exactly as the corpus generator does.
+    let consensus_cfg = SynthConsensusConfig::default();
+    let date = filterscope::core::Date::new(2011, 8, 3).expect("static date");
+    let doc = synthesize_consensus(&consensus_cfg, date);
+    let relays = Arc::new(RelayIndex::from_consensuses([&doc]));
+    let farm = ProxyFarm::new(filterscope::proxy::FarmConfig::default(), Some(relays));
+
+    let ts = Timestamp::parse_fields("2011-08-03", "09:15:00").expect("static timestamp");
+    println!("{:<58} {:<8} {:<9} exception", "URL", "proxy", "class");
+    println!("{}", "-".repeat(96));
+    for u in urls {
+        let req = Request::get(ts, parse_url(&u));
+        let rec = farm.process(&req);
+        println!(
+            "{:<58} {:<8} {:<9} {}",
+            u,
+            rec.proxy().map(|p| p.label()).unwrap_or("?"),
+            RequestClass::of(&rec).label(),
+            rec.exception
+        );
+    }
+
+    println!("\nexample log line:");
+    let rec = farm.process(&Request::get(ts, parse_url("www.metacafe.com/watch/42")));
+    println!("{}", rec.write_csv());
+}

@@ -1,0 +1,321 @@
+//! The `filterscope` command-line tool.
+//!
+//! ```text
+//! filterscope generate --scale 65536 --out ./logs     write per-day log files
+//! filterscope analyze LOG...                          full report from log files
+//! filterscope audit LOG... [--cpl OUT]                recover the policy (§5.4)
+//! filterscope policy [--out FILE]                     dump the standard policy as CPL
+//! filterscope report [--scale N]                      synthesize + analyze in one go
+//! ```
+
+use filterscope::analysis::comparison::compare;
+use filterscope::analysis::filter_inference::FilterInference;
+use filterscope::analysis::weather::WeatherReport;
+use filterscope::logformat::{LogWriter, SchemaReader};
+use filterscope::prelude::*;
+use filterscope::proxy::{cpl, PolicyData};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  filterscope generate [--scale N] [--out DIR]\n  \
+         filterscope analyze LOG... [--min-support N] [--geo FILE] [--categories FILE] [--json OUT]\n  \
+         filterscope audit LOG... [--min-support N] [--cpl OUT]\n  \
+         filterscope policy [--out FILE]\n  \
+         filterscope report [--scale N] [--json OUT]\n  \
+         filterscope weather LOG... [--min-support N]\n  \
+         filterscope compare --a LOG --b LOG [--min-support N]"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal flag parsing: returns (positional args, flag lookup).
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Option<Args> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = it.next()?;
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Some(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag_u64(&self, name: &str, default: u64) -> Option<u64> {
+        match self.flag(name) {
+            None => Some(default),
+            Some(v) => v.parse().ok(),
+        }
+    }
+}
+
+fn cmd_generate(args: &Args) -> ExitCode {
+    let Some(scale) = args.flag_u64("scale", 65_536) else {
+        return usage();
+    };
+    let out_dir = PathBuf::from(args.flag("out").unwrap_or("./logs"));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let Ok(config) = SynthConfig::new(scale) else {
+        return usage();
+    };
+    let corpus = Corpus::new(config);
+    eprintln!(
+        "writing {} requests across {} day files to {}",
+        corpus.total_volume(),
+        corpus.config().period.days().len(),
+        out_dir.display()
+    );
+    let results = corpus.par_map_days(|day, records| {
+        let path = out_dir.join(format!("sg_access_{}.log", day.date));
+        let file = File::create(&path).expect("create day file");
+        let mut writer = LogWriter::new(BufWriter::new(file));
+        for rec in records {
+            writer.write_record(&rec).expect("write record");
+        }
+        let n = writer.records_written();
+        writer.into_inner().expect("flush");
+        (path, n)
+    });
+    for (path, n) in results {
+        println!("{}  {n} records", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn ingest_files<F: FnMut(&LogRecord)>(paths: &[String], mut visit: F) -> Result<u64, ExitCode> {
+    if paths.is_empty() {
+        return Err(usage());
+    }
+    let mut malformed = 0u64;
+    for p in paths {
+        let file = File::open(Path::new(p)).map_err(|e| {
+            eprintln!("cannot open {p}: {e}");
+            ExitCode::FAILURE
+        })?;
+        let mut reader = SchemaReader::new(BufReader::new(file));
+        loop {
+            match reader.next_record() {
+                Ok(Some(rec)) => visit(&rec),
+                Ok(None) => break,
+                Err(_) => malformed += 1,
+            }
+        }
+    }
+    Ok(malformed)
+}
+
+/// Build the analysis context, honoring `--geo` / `--categories` registry
+/// files when given.
+fn context_from_flags(args: &Args) -> Result<AnalysisContext, ExitCode> {
+    let mut ctx = AnalysisContext::standard(None);
+    if let Some(path) = args.flag("geo") {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+        ctx.geo = filterscope::geoip::registry::load_db(&text).map_err(|e| {
+            eprintln!("bad geo registry {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+    }
+    if let Some(path) = args.flag("categories") {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+        ctx.categories = filterscope::categorizer::registry::load_db(&text).map_err(|e| {
+            eprintln!("bad category registry {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+    }
+    Ok(ctx)
+}
+
+fn cmd_analyze(args: &Args) -> ExitCode {
+    let Some(min_support) = args.flag_u64("min-support", 3) else {
+        return usage();
+    };
+    let ctx = match context_from_flags(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let mut suite = AnalysisSuite::new(min_support);
+    let malformed = match ingest_files(&args.positional, |r| suite.ingest(&ctx, r)) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    eprintln!(
+        "analyzed {} records ({malformed} malformed lines skipped)",
+        suite.datasets.full
+    );
+    if let Some(path) = args.flag("json") {
+        if let Err(e) = std::fs::write(path, suite.summary().to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("summary written to {path}");
+    }
+    println!("{}", suite.render_all(&ctx));
+    ExitCode::SUCCESS
+}
+
+fn cmd_audit(args: &Args) -> ExitCode {
+    let Some(min_support) = args.flag_u64("min-support", 3) else {
+        return usage();
+    };
+    let mut inference = FilterInference::new(&[]);
+    let malformed = match ingest_files(&args.positional, |r| inference.ingest(r)) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    eprintln!("audited logs ({malformed} malformed lines skipped)");
+    let keywords = inference.recover_keywords(min_support, 3);
+    println!("recovered keywords: {keywords:?}");
+    println!("recovered domains:");
+    for (domain, ev) in inference.recover_domains(min_support) {
+        println!("  {domain}  ({} censored requests)", ev.censored);
+    }
+    if let Some(out) = args.flag("cpl") {
+        let policy = inference.export_policy(min_support, 3);
+        if let Err(e) = std::fs::write(out, cpl::to_cpl(&policy)) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("recovered policy written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_policy(args: &Args) -> ExitCode {
+    let text = cpl::to_cpl(&PolicyData::standard());
+    match args.flag("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("standard policy written to {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(text.as_bytes());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_report(args: &Args) -> ExitCode {
+    let Some(scale) = args.flag_u64("scale", 8192) else {
+        return usage();
+    };
+    let Ok(config) = SynthConfig::new(scale) else {
+        return usage();
+    };
+    let corpus = Corpus::new(config);
+    let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
+    let min_support = (corpus.total_volume() / 100_000).clamp(3, 500);
+    let shards = corpus.par_map_days(|_, records| {
+        let mut suite = AnalysisSuite::new(min_support);
+        for r in records {
+            suite.ingest(&ctx, &r);
+        }
+        suite
+    });
+    let mut suite = AnalysisSuite::new(min_support);
+    for shard in shards {
+        suite.merge(shard);
+    }
+    if let Some(path) = args.flag("json") {
+        if let Err(e) = std::fs::write(path, suite.summary().to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("summary written to {path}");
+    }
+    println!("{}", suite.render_all(&ctx));
+    ExitCode::SUCCESS
+}
+
+fn cmd_weather(args: &Args) -> ExitCode {
+    let Some(min_support) = args.flag_u64("min-support", 3) else {
+        return usage();
+    };
+    let mut weather = WeatherReport::new(min_support, 3);
+    let malformed = match ingest_files(&args.positional, |r| weather.ingest(r)) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    eprintln!("({malformed} malformed lines skipped)");
+    println!("{}", weather.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &Args) -> ExitCode {
+    let Some(min_support) = args.flag_u64("min-support", 3) else {
+        return usage();
+    };
+    let (Some(path_a), Some(path_b)) = (args.flag("a"), args.flag("b")) else {
+        return usage();
+    };
+    let ctx = AnalysisContext::standard(None);
+    let load = |path: &str| -> Result<AnalysisSuite, ExitCode> {
+        let mut suite = AnalysisSuite::new(min_support);
+        ingest_files(&[path.to_string()], |r| suite.ingest(&ctx, r))?;
+        Ok(suite)
+    };
+    let a = match load(path_a) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let b = match load(path_b) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    println!("A = {path_a} ({} records)", a.datasets.full);
+    println!("B = {path_b} ({} records)\n", b.datasets.full);
+    println!("{}", compare(&a, &b).render());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1);
+    let Some(command) = raw.next() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(raw) else {
+        return usage();
+    };
+    match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "analyze" => cmd_analyze(&args),
+        "audit" => cmd_audit(&args),
+        "policy" => cmd_policy(&args),
+        "report" => cmd_report(&args),
+        "weather" => cmd_weather(&args),
+        "compare" => cmd_compare(&args),
+        _ => usage(),
+    }
+}

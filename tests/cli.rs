@@ -1,0 +1,107 @@
+//! End-to-end tests of the `filterscope` CLI binary: generate log files,
+//! then analyze, audit and compare them through the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_filterscope"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("filterscope_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn generated_logs(dir: &PathBuf) -> Vec<String> {
+    let out = bin()
+        .args(["generate", "--scale", "131072", "--out"])
+        .arg(dir)
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let mut logs: Vec<String> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.unwrap().path().to_string_lossy().into_owned())
+        .filter(|p| p.ends_with(".log"))
+        .collect();
+    logs.sort();
+    logs
+}
+
+#[test]
+fn generate_then_analyze_roundtrip() {
+    let dir = temp_dir("analyze");
+    let logs = generated_logs(&dir);
+    assert_eq!(logs.len(), 9, "nine study days");
+
+    let json_path = dir.join("summary.json");
+    let mut cmd = bin();
+    cmd.arg("analyze").args(&logs).arg("--json").arg(&json_path);
+    let out = cmd.output().expect("run analyze");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 3"));
+    assert!(stdout.contains("Table 10"));
+    // The JSON summary is well-formed and consistent with the report.
+    let json = std::fs::read_to_string(&json_path).expect("summary written");
+    assert!(json.contains("\"total_requests\": 5958"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn audit_recovers_policy_and_exports_cpl() {
+    let dir = temp_dir("audit");
+    let logs = generated_logs(&dir);
+    let cpl_path = dir.join("recovered.cpl");
+    let mut cmd = bin();
+    cmd.arg("audit").args(&logs).args(["--min-support", "3", "--cpl"]).arg(&cpl_path);
+    let out = cmd.output().expect("run audit");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("proxy"), "keyword recovered: {stdout}");
+    let cpl = std::fs::read_to_string(&cpl_path).expect("cpl written");
+    // The exported CPL parses back.
+    assert!(filterscope::proxy::cpl::parse_cpl(&cpl).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn weather_and_compare_run() {
+    let dir = temp_dir("weather");
+    let logs = generated_logs(&dir);
+    let out = bin().arg("weather").args(&logs).output().expect("run weather");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2011-08-03"));
+
+    let out = bin()
+        .args(["compare", "--a", &logs[3], "--b", &logs[7]])
+        .output()
+        .expect("run compare");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("censored share"));
+    assert!(stdout.contains("z-tests"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn policy_dump_is_valid_cpl() {
+    let out = bin().arg("policy").output().expect("run policy");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed = filterscope::proxy::cpl::parse_cpl(&text).expect("valid CPL");
+    assert_eq!(parsed.normalized(), filterscope::proxy::PolicyData::standard().normalized());
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = bin().output().expect("run without args");
+    assert!(!out.status.success());
+    let out = bin().arg("nonsense").output().expect("unknown command");
+    assert!(!out.status.success());
+    let out = bin().args(["analyze"]).output().expect("no files");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,113 @@
+//! Property tests over the whole pipeline: the farm is a deterministic total
+//! function, its records always round-trip, and the policy engine's verdict
+//! is consistent with the §3.3 classification of its own output.
+
+use filterscope::core::Timestamp;
+use filterscope::logformat::{parse_line, ExceptionId, RequestClass, RequestUrl};
+use filterscope::prelude::*;
+use proptest::prelude::*;
+
+fn farm() -> ProxyFarm {
+    ProxyFarm::standard()
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        "[a-z0-9.-]{1,30}",
+        "(/[a-zA-Z0-9._-]{0,10}){0,3}",
+        "[a-zA-Z0-9=&_.-]{0,25}",
+        0u8..24,
+        0u32..60,
+        1u8..=6,
+    )
+        .prop_map(|(host, path, query, hour, minute, day)| {
+            let ts = Timestamp::parse_fields(
+                &format!("2011-08-0{day}"),
+                &format!("{hour:02}:{minute:02}:00"),
+            )
+            .expect("valid");
+            let path = if path.is_empty() { "/".to_string() } else { path };
+            // A literal "-" query is indistinguishable from "absent" in the
+            // on-disk format (same ambiguity as the real leak); normalize.
+            let query = if query == "-" { String::new() } else { query };
+            Request::get(ts, RequestUrl::http(host, path).with_query(query))
+        })
+}
+
+proptest! {
+    /// Processing is a pure function of the request.
+    #[test]
+    fn farm_is_deterministic(req in arb_request()) {
+        let f = farm();
+        prop_assert_eq!(f.process(&req), f.process(&req));
+    }
+
+    /// Every produced record serializes and parses back losslessly.
+    #[test]
+    fn farm_records_roundtrip(req in arb_request()) {
+        let rec = farm().process(&req);
+        let line = rec.write_csv();
+        let back = parse_line(&line, 1).expect("farm output must parse");
+        prop_assert_eq!(back, rec);
+    }
+
+    /// The logged exception agrees with the §3.3 class taxonomy.
+    #[test]
+    fn record_class_is_coherent(req in arb_request()) {
+        let rec = farm().process(&req);
+        match RequestClass::of(&rec) {
+            RequestClass::Allowed => prop_assert_eq!(&rec.exception, &ExceptionId::None),
+            RequestClass::Censored => prop_assert!(rec.exception.is_policy()),
+            RequestClass::Error => prop_assert!(rec.exception.is_error()),
+            RequestClass::Proxied => {
+                prop_assert_eq!(rec.filter_result, filterscope::logformat::FilterResult::Proxied)
+            }
+        }
+    }
+
+    /// Routing always lands on an active proxy, and `s-ip` reflects it.
+    #[test]
+    fn routing_targets_active_proxies(req in arb_request()) {
+        let f = farm();
+        let rec = f.process(&req);
+        let p = rec.proxy().expect("record from known proxy");
+        prop_assert!(f.active().contains(&p));
+    }
+
+    /// Requests containing a blacklisted keyword anywhere in host, path or
+    /// query are never served (the §5.4 invariant the inference relies on).
+    #[test]
+    fn keyword_requests_are_never_allowed(
+        req in arb_request(),
+        kw_ix in 0usize..5,
+        place in 0u8..3,
+    ) {
+        let kw = filterscope::proxy::config::KEYWORDS[kw_ix];
+        let mut req = req;
+        match place {
+            0 => req.url.host = format!("x{}{}.com", kw, req.url.host),
+            1 => req.url.path = format!("/{}{}", kw, req.url.path),
+            _ => req.url.query = format!("v={kw}&{}", req.url.query),
+        }
+        let rec = farm().process(&req);
+        prop_assert_ne!(RequestClass::of(&rec), RequestClass::Allowed);
+    }
+
+    /// Requests to blocked domains are never served.
+    #[test]
+    fn blocked_domain_requests_are_never_allowed(
+        req in arb_request(),
+        sub in "[a-z0-9]{0,8}",
+        dom_ix in 0usize..20,
+    ) {
+        let domain = filterscope::proxy::config::BLOCKED_DOMAINS[dom_ix];
+        let mut req = req;
+        req.url.host = if sub.is_empty() {
+            domain.to_string()
+        } else {
+            format!("{sub}.{domain}")
+        };
+        let rec = farm().process(&req);
+        prop_assert_ne!(RequestClass::of(&rec), RequestClass::Allowed);
+    }
+}
