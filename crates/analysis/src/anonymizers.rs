@@ -101,14 +101,20 @@ impl AnonymizerStats {
             "Fig 10 / Anonymizer services (Dsample)",
             &["Metric", "Value"],
         );
-        t.row(["Anonymizer hosts".to_string(), self.host_count().to_string()]);
+        t.row([
+            "Anonymizer hosts".to_string(),
+            self.host_count().to_string(),
+        ]);
         let (n, frac) = self.never_filtered();
         t.row([
             "Never filtered".to_string(),
             format!("{n} ({:.1}%)", frac * 100.0),
         ]);
         let total_requests: u64 = self.hosts.values().map(|c| c.allowed + c.censored).sum();
-        t.row(["Requests to anonymizers".to_string(), total_requests.to_string()]);
+        t.row([
+            "Requests to anonymizers".to_string(),
+            total_requests.to_string(),
+        ]);
         let cdf = self.allowed_request_cdf();
         if !cdf.is_empty() {
             t.row([
@@ -147,7 +153,13 @@ mod tests {
         }
     }
 
-    fn ingest_many(s: &mut AnonymizerStats, ctx: &AnalysisContext, host: &str, n: u32, censored: bool) {
+    fn ingest_many(
+        s: &mut AnonymizerStats,
+        ctx: &AnalysisContext,
+        host: &str,
+        n: u32,
+        censored: bool,
+    ) {
         // Vary paths so ~4% land in the sample; ingest enough to register.
         for i in 0..n {
             s.ingest(ctx, &rec(host, &format!("/p{i}"), censored));

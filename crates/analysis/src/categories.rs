@@ -30,7 +30,8 @@ impl CategoryStats {
         if RequestClass::of(record) != RequestClass::Censored || !in_sample(record) {
             return;
         }
-        self.censored.bump(ctx.categories.categorize(&record.url.host));
+        self.censored
+            .bump(ctx.categories.categorize(&record.url.host));
     }
 
     /// Merge a shard.
@@ -136,8 +137,8 @@ mod tests {
         for i in 0..2000 {
             c.ingest(&ctx, &censored("badoo.com", i));
         }
-        let dist = c.distribution(1_000_000); // fold everything
-        // Everything but Unknown folds into Other.
+        // Folding everything: all but Unknown collapses into Other.
+        let dist = c.distribution(1_000_000);
         assert!(dist.iter().any(|(n, _)| n == "Other"));
         let unfolded = c.distribution(0);
         assert!(unfolded.iter().any(|(n, _)| n == "Instant Messaging"));

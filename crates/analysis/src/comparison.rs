@@ -72,10 +72,26 @@ pub fn compare(a: &AnalysisSuite, b: &AnalysisSuite) -> Comparison {
 
     let ta = a.overview.total.full;
     let tb = b.overview.total.full;
-    push("censored share", (a.overview.censored_full(), ta), (b.overview.censored_full(), tb));
-    push("allowed share", (a.overview.allowed.full, ta), (b.overview.allowed.full, tb));
-    push("error share", (a.overview.errors_full(), ta), (b.overview.errors_full(), tb));
-    push("proxied share", (a.overview.proxied.full, ta), (b.overview.proxied.full, tb));
+    push(
+        "censored share",
+        (a.overview.censored_full(), ta),
+        (b.overview.censored_full(), tb),
+    );
+    push(
+        "allowed share",
+        (a.overview.allowed.full, ta),
+        (b.overview.allowed.full, tb),
+    );
+    push(
+        "error share",
+        (a.overview.errors_full(), ta),
+        (b.overview.errors_full(), tb),
+    );
+    push(
+        "proxied share",
+        (a.overview.proxied.full, ta),
+        (b.overview.proxied.full, tb),
+    );
     push(
         "HTTPS share",
         (a.https.https_requests, a.https.total_requests),
@@ -141,7 +157,8 @@ impl Comparison {
                 m.metric.clone(),
                 format!("{:.4}%", m.share_a() * 100.0),
                 format!("{:.4}%", m.share_b() * 100.0),
-                m.z.map(|z| format!("{z:+.2}")).unwrap_or_else(|| "-".into()),
+                m.z.map(|z| format!("{z:+.2}"))
+                    .unwrap_or_else(|| "-".into()),
                 if m.significant() { "YES" } else { "no" }.to_string(),
             ]);
         }

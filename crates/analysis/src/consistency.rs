@@ -163,12 +163,7 @@ mod tests {
         assert!(lint(&base().policy_denied().build()).is_empty());
         assert!(lint(&base().policy_redirect().build()).is_empty());
         assert!(lint(&base().proxied().build()).is_empty());
-        assert!(lint(
-            &base()
-                .network_error(ExceptionId::TcpError)
-                .build()
-        )
-        .is_empty());
+        assert!(lint(&base().network_error(ExceptionId::TcpError).build()).is_empty());
     }
 
     #[test]

@@ -40,10 +40,7 @@ mod tests {
     fn standard_context_wires_everything() {
         let ctx = AnalysisContext::standard(None);
         assert!(!ctx.categories.is_empty());
-        assert!(ctx
-            .geo
-            .lookup("84.229.1.1".parse().unwrap())
-            .is_some());
+        assert!(ctx.geo.lookup("84.229.1.1".parse().unwrap()).is_some());
         assert!(ctx.israeli_subnets.contains("46.120.0.1".parse().unwrap()));
         assert!(ctx.relays.is_none());
         assert_eq!(ctx.titles.hit_per_mille, 774);

@@ -94,10 +94,7 @@ impl DatasetCounts {
 
     /// Render Table 1.
     pub fn render(&self) -> String {
-        let mut t = Table::new(
-            "Table 1: Datasets description",
-            &["Dataset", "# Requests"],
-        );
+        let mut t = Table::new("Table 1: Datasets description", &["Dataset", "# Requests"]);
         t.row(["Full", &thousands(self.full)]);
         t.row(["Sample (4%)", &thousands(self.sample)]);
         t.row(["User", &thousands(self.user)]);

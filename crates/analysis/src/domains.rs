@@ -74,7 +74,12 @@ impl DomainStats {
     pub fn render_table4(&self) -> String {
         let mut t = Table::new(
             "Table 4: Top-10 domains (allowed and censored)",
-            &["Allowed domain", "# Requests (%)", "Censored domain", "# Requests (%)"],
+            &[
+                "Allowed domain",
+                "# Requests (%)",
+                "Censored domain",
+                "# Requests (%)",
+            ],
         );
         let a = self.top_allowed(10);
         let c = self.top_censored(10);

@@ -2,19 +2,30 @@
 //!
 //! [`Summary`] captures the headline metric of every table and figure as
 //! plain data; [`AnalysisSuite::summary`](crate::AnalysisSuite::summary)
-//! fills it and `serde_json` serializes it, so downstream tooling (CI
-//! regressions, cross-run diffs, plotting) consumes results without
-//! scraping the text report.
+//! fills it and [`filterscope_core::Json`] serializes it, so downstream
+//! tooling (CI regressions, cross-run diffs, plotting) consumes results
+//! without scraping the text report. The JSON layout matches what the
+//! serde_json-based exporter produced, byte for byte.
 
 use crate::suite::AnalysisSuite;
-use serde::Serialize;
+use filterscope_core::Json;
 
 /// A named count with share-of-total.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Share {
     pub name: String,
     pub count: u64,
     pub share: f64,
+}
+
+impl Share {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.push("name", Json::Str(self.name.clone()));
+        obj.push("count", Json::UInt(self.count));
+        obj.push("share", Json::Float(self.share));
+        obj
+    }
 }
 
 fn shares(items: Vec<(String, u64)>, total: u64) -> Vec<Share> {
@@ -33,7 +44,7 @@ fn shares(items: Vec<(String, u64)>, total: u64) -> Vec<Share> {
 }
 
 /// The headline results of one full analysis pass.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     // Table 1 / Table 3.
     pub total_requests: u64,
@@ -157,9 +168,59 @@ impl AnalysisSuite {
 }
 
 impl Summary {
-    /// Serialize to pretty JSON.
+    /// Serialize to pretty JSON (members in field declaration order).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary serializes")
+        let shares = |items: &[Share]| Json::Arr(items.iter().map(Share::to_json).collect());
+        let strings =
+            |items: &[String]| Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect());
+        let mut obj = Json::object();
+        obj.push("total_requests", Json::UInt(self.total_requests));
+        obj.push("allowed_share", Json::Float(self.allowed_share));
+        obj.push("proxied_share", Json::Float(self.proxied_share));
+        obj.push("error_share", Json::Float(self.error_share));
+        obj.push("censored_share", Json::Float(self.censored_share));
+        obj.push("top_allowed_domains", shares(&self.top_allowed_domains));
+        obj.push("top_censored_domains", shares(&self.top_censored_domains));
+        obj.push(
+            "allowed_domain_alpha",
+            match self.allowed_domain_alpha {
+                Some(alpha) => Json::Float(alpha),
+                None => Json::Null,
+            },
+        );
+        obj.push("censored_categories", shares(&self.censored_categories));
+        obj.push("users", Json::UInt(self.users));
+        obj.push("censored_user_share", Json::Float(self.censored_user_share));
+        obj.push("sg48_censored_share", Json::Float(self.sg48_censored_share));
+        obj.push("redirect_hosts", Json::UInt(self.redirect_hosts as u64));
+        obj.push("recovered_keywords", strings(&self.recovered_keywords));
+        obj.push("recovered_domains", strings(&self.recovered_domains));
+        obj.push(
+            "country_censorship_ratios",
+            shares(&self.country_censorship_ratios),
+        );
+        obj.push("https_share", Json::Float(self.https_share));
+        obj.push(
+            "https_censored_share",
+            Json::Float(self.https_censored_share),
+        );
+        obj.push("mitm_evidence", Json::UInt(self.mitm_evidence));
+        obj.push("tor_requests", Json::UInt(self.tor_requests));
+        obj.push("tor_http_share", Json::Float(self.tor_http_share));
+        obj.push(
+            "tor_censored_sg44_share",
+            Json::Float(self.tor_censored_sg44_share),
+        );
+        obj.push("bt_announces", Json::UInt(self.bt_announces));
+        obj.push("bt_peers", Json::UInt(self.bt_peers as u64));
+        obj.push("bt_title_resolution", Json::Float(self.bt_title_resolution));
+        obj.push("anonymizer_hosts", Json::UInt(self.anonymizer_hosts as u64));
+        obj.push(
+            "anonymizer_never_filtered_share",
+            Json::Float(self.anonymizer_never_filtered_share),
+        );
+        obj.push("anomalies", shares(&self.anomalies));
+        obj.pretty()
     }
 }
 
@@ -192,13 +253,20 @@ mod tests {
         assert_eq!(s.total_requests, 100);
         assert!((s.censored_share - 0.04).abs() < 1e-9);
         assert!((s.allowed_share - 0.96).abs() < 1e-9);
-        assert_eq!(s.top_censored_domains.len().min(10), s.top_censored_domains.len());
+        assert_eq!(
+            s.top_censored_domains.len().min(10),
+            s.top_censored_domains.len()
+        );
         let json = s.to_json();
         assert!(json.contains("\"censored_share\""));
         assert!(json.contains("\"recovered_keywords\""));
-        // Round-trip through serde_json's Value to confirm well-formedness.
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["total_requests"], 100);
+        // Round-trip through the JSON parser to confirm well-formedness.
+        let v = filterscope_core::Json::parse(&json).unwrap();
+        assert_eq!(v.get("total_requests").and_then(|n| n.as_u64()), Some(100));
+        assert_eq!(
+            v.get("censored_share").and_then(|n| n.as_f64()),
+            Some(s.censored_share)
+        );
     }
 
     #[test]

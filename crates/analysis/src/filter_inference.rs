@@ -328,7 +328,11 @@ impl FilterInference {
             &["Category (#domains)", "Censored requests"],
         );
         let total = self.total_censored();
-        for (cat, nd, n) in self.categorize_suspected(ctx, min_support).into_iter().take(10) {
+        for (cat, nd, n) in self
+            .categorize_suspected(ctx, min_support)
+            .into_iter()
+            .take(10)
+        {
             t.row([format!("{} ({nd})", cat.name()), count_pct(n, total)]);
         }
         t.render()
@@ -432,9 +436,7 @@ mod tests {
         }
         // One allowed occurrence anywhere kills it.
         f.ingest(&rec("ok.com", "/special/page", "", false));
-        assert!(!f
-            .recover_keywords(10, 3)
-            .contains(&"special".to_string()));
+        assert!(!f.recover_keywords(10, 3).contains(&"special".to_string()));
         assert!(f.recover_keywords(10, 3).contains(&"thing".to_string()));
     }
 

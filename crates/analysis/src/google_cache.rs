@@ -77,7 +77,10 @@ impl GoogleCacheStats {
     pub fn render(&self) -> String {
         let mut t = Table::new("§7.4 Google cache usage", &["Metric", "Value"]);
         t.row(["Cache requests".to_string(), self.total.to_string()]);
-        t.row(["Censored (keyword in URL)".to_string(), self.censored.to_string()]);
+        t.row([
+            "Censored (keyword in URL)".to_string(),
+            self.censored.to_string(),
+        ]);
         t.row([
             "Allowed fetches of censored content".to_string(),
             self.censored_content_fetches.to_string(),

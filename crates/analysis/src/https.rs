@@ -41,7 +41,8 @@ impl HttpsStats {
         // A transparent (non-intercepting) proxy can only see the tunnel
         // endpoint: any inner path/query/extension in an SSL record would
         // mean the TLS was broken open.
-        let trivial_path = record.url.path.is_empty() || record.url.path == "/" || record.url.path == "-";
+        let trivial_path =
+            record.url.path.is_empty() || record.url.path == "/" || record.url.path == "-";
         if !trivial_path || !record.url.query.is_empty() || !record.uri_ext.is_empty() {
             self.mitm_evidence += 1;
         }
@@ -89,7 +90,10 @@ impl HttpsStats {
     /// Render the §4 HTTPS summary.
     pub fn render(&self) -> String {
         let mut t = Table::new("§4 HTTPS traffic", &["Metric", "Value"]);
-        t.row(["HTTPS requests".to_string(), self.https_requests.to_string()]);
+        t.row([
+            "HTTPS requests".to_string(),
+            self.https_requests.to_string(),
+        ]);
         t.row([
             "HTTPS share of traffic".to_string(),
             format!("{:.3}%", self.https_share() * 100.0),

@@ -118,7 +118,15 @@ impl IpCensorship {
                 )
             })
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Full tie-break chain (count, then name) so row order never depends
+        // on map iteration order — i.e. on how shards were merged.
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.2.cmp(&a.2))
+                .then_with(|| b.3.cmp(&a.3))
+                .then_with(|| a.0.display_name().cmp(&b.0.display_name()))
+        });
         out
     }
 
@@ -209,7 +217,10 @@ mod tests {
         let ratios = s.censorship_ratios();
         assert_eq!(ratios[0].0, Country::of("IL"));
         assert!(ratios[0].1 > 60.0);
-        let nl = ratios.iter().find(|(c, ..)| *c == Country::of("NL")).unwrap();
+        let nl = ratios
+            .iter()
+            .find(|(c, ..)| *c == Country::of("NL"))
+            .unwrap();
         assert!(nl.1 < 2.0);
     }
 

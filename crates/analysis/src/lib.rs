@@ -44,6 +44,7 @@ pub mod https;
 pub mod ip_censorship;
 pub mod overview;
 pub mod p2p;
+pub mod pipeline;
 pub mod ports;
 pub mod proxies;
 pub mod redirects;
@@ -57,4 +58,5 @@ pub mod users;
 pub mod weather;
 
 pub use context::AnalysisContext;
+pub use pipeline::{IngestStats, ParallelIngest, ShardSink};
 pub use suite::AnalysisSuite;

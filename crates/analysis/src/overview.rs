@@ -141,14 +141,7 @@ impl TrafficOverview {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 3: Decisions and exceptions across datasets",
-            &[
-                "Row",
-                "Class",
-                "Full",
-                "Sample",
-                "User",
-                "Denied",
-            ],
+            &["Row", "Class", "Full", "Sample", "User", "Denied"],
         );
         let tot = &self.total;
         let cell = |c: &RowCounts| {

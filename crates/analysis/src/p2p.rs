@@ -94,7 +94,10 @@ impl BitTorrentStats {
         let mut t = Table::new("§7.3 BitTorrent usage", &["Metric", "Value"]);
         t.row(["Announce requests".to_string(), self.announces.to_string()]);
         t.row(["Unique peers".to_string(), self.peers.len().to_string()]);
-        t.row(["Unique contents".to_string(), self.contents.len().to_string()]);
+        t.row([
+            "Unique contents".to_string(),
+            self.contents.len().to_string(),
+        ]);
         t.row([
             "Allowed".to_string(),
             format!("{:.2}%", self.allowed_fraction() * 100.0),

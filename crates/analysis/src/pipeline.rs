@@ -1,0 +1,609 @@
+//! Parallel log ingest: byte-range sharding + the existing merge tree.
+//!
+//! The paper's dataset is 600 GB of proxy logs; a single-threaded ingest
+//! loop leaves every core but one idle. [`ParallelIngest`] fans a set of
+//! log files out to N workers: each file is split into byte-range shards
+//! aligned to newline boundaries, every shard feeds a private sink (an
+//! [`AnalysisSuite`], [`FilterInference`], or [`WeatherReport`] shard), and
+//! the shards are folded through the existing `merge()` plumbing in a
+//! deterministic order.
+//!
+//! # Determinism
+//!
+//! The shard plan depends only on file sizes, `#Fields:` header positions,
+//! and the configured shard size — never on the thread count — and shards
+//! are merged in plan order. `--threads 1` and `--threads 64` therefore
+//! produce byte-identical reports and identical malformed-line counts.
+//!
+//! # Shard ownership rule
+//!
+//! A line belongs to the shard containing its **first byte**. A shard whose
+//! range starts mid-line (previous byte is not `\n`) discards through the
+//! first newline — that prefix belongs to the previous shard, which reads
+//! its final line to completion even past its range end. Every line,
+//! including a corrupt one straddling a shard boundary, is thus processed
+//! (and counted) exactly once.
+//!
+//! # Schema sections
+//!
+//! Blue Coat logs may switch schemas mid-file via `#Fields:` headers (log
+//! rotation concatenation). The planner locates every header up front and
+//! splits the file into sections, each carrying its schema; byte-range
+//! shards never cross a section boundary, so workers parse with the right
+//! schema without replaying the file prefix.
+
+use crate::context::AnalysisContext;
+use crate::filter_inference::FilterInference;
+use crate::suite::AnalysisSuite;
+use crate::weather::WeatherReport;
+use filterscope_core::{pool, Error, Result};
+use filterscope_logformat::{LogRecord, Schema};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default shard size: large enough to amortize per-shard open/seek,
+/// small enough that a handful of files still saturates every core.
+pub const DEFAULT_SHARD_BYTES: u64 = 8 * 1024 * 1024;
+
+/// An accumulator that can ingest records on one shard and absorb sibling
+/// shards, preserving the result it would have reached single-threaded.
+pub trait ShardSink: Send {
+    /// Feed one parsed record.
+    fn ingest(&mut self, record: &LogRecord);
+    /// Fold a sibling shard in (shards are absorbed in plan order).
+    fn absorb(&mut self, other: Self);
+}
+
+impl ShardSink for FilterInference {
+    fn ingest(&mut self, record: &LogRecord) {
+        FilterInference::ingest(self, record);
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.merge(other);
+    }
+}
+
+impl ShardSink for WeatherReport {
+    fn ingest(&mut self, record: &LogRecord) {
+        WeatherReport::ingest(self, record);
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.merge(other);
+    }
+}
+
+/// [`AnalysisSuite`] plus the shared read-only context it ingests under.
+pub struct SuiteSink<'a> {
+    ctx: &'a AnalysisContext,
+    suite: AnalysisSuite,
+}
+
+impl<'a> SuiteSink<'a> {
+    /// A fresh suite shard over `ctx`.
+    pub fn new(ctx: &'a AnalysisContext, min_support: u64) -> Self {
+        SuiteSink {
+            ctx,
+            suite: AnalysisSuite::new(min_support),
+        }
+    }
+
+    /// Unwrap the merged suite.
+    pub fn into_suite(self) -> AnalysisSuite {
+        self.suite
+    }
+}
+
+impl ShardSink for SuiteSink<'_> {
+    fn ingest(&mut self, record: &LogRecord) {
+        self.suite.ingest(self.ctx, record);
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.suite.merge(other.suite);
+    }
+}
+
+/// Counters from one parallel ingest run.
+#[derive(Debug, Clone)]
+pub struct IngestStats {
+    /// Records parsed and ingested.
+    pub records: u64,
+    /// Malformed lines skipped (identical to the single-threaded count).
+    pub malformed: u64,
+    /// Total bytes across the input files.
+    pub bytes: u64,
+    /// Input files.
+    pub files: usize,
+    /// Work units the files were split into.
+    pub shards: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time for plan + ingest + merge.
+    pub elapsed: Duration,
+}
+
+impl IngestStats {
+    /// Records ingested per wall-clock second.
+    pub fn records_per_sec(&self) -> f64 {
+        self.records as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Input bytes consumed per wall-clock second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// One status line for stderr.
+    pub fn render(&self) -> String {
+        format!(
+            "ingested {} records from {} file{} ({} malformed lines skipped) \
+             in {:.2}s on {} thread{} — {:.0} records/s, {:.1} MB/s",
+            self.records,
+            self.files,
+            if self.files == 1 { "" } else { "s" },
+            self.malformed,
+            self.elapsed.as_secs_f64(),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.records_per_sec(),
+            self.bytes_per_sec() / 1e6,
+        )
+    }
+}
+
+/// One byte-range work unit: `[start, end)` of one file, parsed under one
+/// schema. `aligned` marks the first shard of a schema section (its start
+/// is known to be a line start).
+#[derive(Debug, Clone)]
+struct IngestUnit {
+    path: Arc<PathBuf>,
+    start: u64,
+    end: u64,
+    aligned: bool,
+    schema: Arc<Schema>,
+}
+
+/// Driver for sharded parallel log ingest.
+#[derive(Debug, Clone)]
+pub struct ParallelIngest {
+    threads: usize,
+    shard_bytes: u64,
+}
+
+impl ParallelIngest {
+    /// Ingest with `threads` workers (0 selects the available parallelism)
+    /// and the default shard size.
+    pub fn new(threads: usize) -> Self {
+        ParallelIngest {
+            threads: if threads == 0 {
+                pool::available_threads()
+            } else {
+                threads
+            },
+            shard_bytes: DEFAULT_SHARD_BYTES,
+        }
+    }
+
+    /// Override the shard size (tests use tiny shards to exercise the
+    /// boundary-straddling paths; the plan, and therefore the output, stays
+    /// thread-count independent for any fixed value).
+    pub fn with_shard_bytes(mut self, shard_bytes: u64) -> Self {
+        self.shard_bytes = shard_bytes.max(1);
+        self
+    }
+
+    /// The worker-thread count this driver will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Ingest `paths` into sinks created by `make`, one per shard, and fold
+    /// them in plan order. Returns the merged sink and run statistics.
+    pub fn run<S, F>(&self, paths: &[PathBuf], make: F) -> Result<(S, IngestStats)>
+    where
+        S: ShardSink,
+        F: Fn() -> S + Sync,
+    {
+        let started = Instant::now();
+        let mut units = Vec::new();
+        let mut malformed_headers = 0u64;
+        let mut bytes = 0u64;
+        for path in paths {
+            let planned = self.plan_file(path)?;
+            units.extend(planned.units);
+            malformed_headers += planned.malformed_headers;
+            bytes += planned.bytes;
+        }
+        let shard_results: Vec<Result<(S, u64, u64)>> =
+            pool::run_indexed(self.threads, units.len(), |i| {
+                let unit = &units[i];
+                let mut sink = make();
+                let (records, malformed) = run_unit(unit, &mut sink)?;
+                Ok((sink, records, malformed))
+            });
+        let mut merged = make();
+        let mut records = 0u64;
+        let mut malformed = malformed_headers;
+        for result in shard_results {
+            let (sink, shard_records, shard_malformed) = result?;
+            merged.absorb(sink);
+            records += shard_records;
+            malformed += shard_malformed;
+        }
+        let stats = IngestStats {
+            records,
+            malformed,
+            bytes,
+            files: paths.len(),
+            shards: units.len(),
+            threads: self.threads,
+            elapsed: started.elapsed(),
+        };
+        Ok((merged, stats))
+    }
+
+    /// Build a merged [`AnalysisSuite`] from `paths`.
+    pub fn ingest_suite(
+        &self,
+        paths: &[PathBuf],
+        ctx: &AnalysisContext,
+        min_support: u64,
+    ) -> Result<(AnalysisSuite, IngestStats)> {
+        let (sink, stats) = self.run(paths, || SuiteSink::new(ctx, min_support))?;
+        Ok((sink.into_suite(), stats))
+    }
+
+    /// Build a merged [`FilterInference`] from `paths`.
+    pub fn ingest_inference(&self, paths: &[PathBuf]) -> Result<(FilterInference, IngestStats)> {
+        self.run(paths, || FilterInference::new(&[]))
+    }
+
+    /// Build a merged [`WeatherReport`] from `paths`.
+    pub fn ingest_weather(
+        &self,
+        paths: &[PathBuf],
+        min_support: u64,
+        min_domains: usize,
+    ) -> Result<(WeatherReport, IngestStats)> {
+        self.run(paths, || WeatherReport::new(min_support, min_domains))
+    }
+
+    /// Scan one file for `#Fields:` schema sections and cut each section
+    /// into byte-range shards.
+    fn plan_file(&self, path: &Path) -> Result<PlannedFile> {
+        let file = File::open(path).map_err(|e| io_error(path, &e))?;
+        let mut reader = BufReader::new(file);
+        let mut buf = Vec::new();
+        let mut offset = 0u64;
+        let mut malformed_headers = 0u64;
+        // (section start, schema); the file opens under the canonical schema.
+        let mut sections: Vec<(u64, Arc<Schema>)> = vec![(0, Arc::new(Schema::canonical()))];
+        let mut cuts: Vec<u64> = Vec::new();
+        loop {
+            buf.clear();
+            let n = reader
+                .read_until(b'\n', &mut buf)
+                .map_err(|e| io_error(path, &e))?;
+            if n == 0 {
+                break;
+            }
+            let line_start = offset;
+            offset += n as u64;
+            let line = trim_line(&buf);
+            if line.first() != Some(&b'#') {
+                continue;
+            }
+            // Mirrors `SchemaReader`: header handling only applies to valid
+            // UTF-8 lines (invalid UTF-8 is counted by the shard reader).
+            let Ok(text) = std::str::from_utf8(line) else {
+                continue;
+            };
+            if !text[1..].trim_start().starts_with("Fields:") {
+                continue;
+            }
+            match Schema::from_header(text) {
+                Ok(schema) => {
+                    cuts.push(line_start);
+                    sections.push((offset, Arc::new(schema)));
+                }
+                Err(_) => malformed_headers += 1,
+            }
+        }
+        let file_len = offset;
+        let path = Arc::new(path.to_path_buf());
+        let mut units = Vec::new();
+        for (i, (start, schema)) in sections.iter().enumerate() {
+            // A section ends where the next `#Fields:` line begins.
+            let end = cuts.get(i).copied().unwrap_or(file_len);
+            if *start >= end {
+                continue;
+            }
+            let len = end - start;
+            let shards = len.div_ceil(self.shard_bytes).max(1);
+            let base = len / shards;
+            let rem = len % shards;
+            let mut at = *start;
+            for s in 0..shards {
+                let take = base + u64::from(s < rem);
+                units.push(IngestUnit {
+                    path: Arc::clone(&path),
+                    start: at,
+                    end: at + take,
+                    aligned: s == 0,
+                    schema: Arc::clone(schema),
+                });
+                at += take;
+            }
+        }
+        Ok(PlannedFile {
+            units,
+            malformed_headers,
+            bytes: file_len,
+        })
+    }
+}
+
+struct PlannedFile {
+    units: Vec<IngestUnit>,
+    malformed_headers: u64,
+    bytes: u64,
+}
+
+fn io_error(path: &Path, e: &std::io::Error) -> Error {
+    Error::Io(format!("{}: {e}", path.display()))
+}
+
+fn trim_line(buf: &[u8]) -> &[u8] {
+    let mut end = buf.len();
+    while end > 0 && (buf[end - 1] == b'\n' || buf[end - 1] == b'\r') {
+        end -= 1;
+    }
+    &buf[..end]
+}
+
+/// Process one byte-range shard, feeding `sink`. Returns (records, malformed).
+fn run_unit<S: ShardSink>(unit: &IngestUnit, sink: &mut S) -> Result<(u64, u64)> {
+    let path: &Path = &unit.path;
+    let file = File::open(path).map_err(|e| io_error(path, &e))?;
+    let mut reader = BufReader::new(file);
+    let mut pos = unit.start;
+    let mut buf = Vec::new();
+    if unit.aligned || unit.start == 0 {
+        reader
+            .seek(SeekFrom::Start(unit.start))
+            .map_err(|e| io_error(path, &e))?;
+    } else {
+        // Ownership rule: if the byte before our range is not a newline, the
+        // range starts mid-line and that line belongs to the previous shard.
+        reader
+            .seek(SeekFrom::Start(unit.start - 1))
+            .map_err(|e| io_error(path, &e))?;
+        let mut prev = [0u8; 1];
+        reader
+            .read_exact(&mut prev)
+            .map_err(|e| io_error(path, &e))?;
+        if prev[0] != b'\n' {
+            let skipped = reader
+                .read_until(b'\n', &mut buf)
+                .map_err(|e| io_error(path, &e))?;
+            pos += skipped as u64;
+        }
+    }
+    let mut records = 0u64;
+    let mut malformed = 0u64;
+    let mut line_no = 0u64;
+    while pos < unit.end {
+        buf.clear();
+        let n = reader
+            .read_until(b'\n', &mut buf)
+            .map_err(|e| io_error(path, &e))?;
+        if n == 0 {
+            break;
+        }
+        pos += n as u64;
+        line_no += 1;
+        let line = trim_line(&buf);
+        if line.is_empty() {
+            continue;
+        }
+        // Same order as `SchemaReader`: UTF-8 validity is checked before the
+        // comment prefix, so a corrupt comment line counts as malformed.
+        let Ok(text) = std::str::from_utf8(line) else {
+            malformed += 1;
+            continue;
+        };
+        if text.starts_with('#') {
+            // Comments are skipped; `#Fields:` headers were consumed (or
+            // counted, when malformed) by the planner.
+            continue;
+        }
+        match unit.schema.parse_record(text, line_no) {
+            Ok(record) => {
+                sink.ingest(&record);
+                records += 1;
+            }
+            Err(_) => malformed += 1,
+        }
+    }
+    Ok((records, malformed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_core::{ProxyId, Timestamp};
+    use filterscope_logformat::record::RecordBuilder;
+    use filterscope_logformat::{LogWriter, RequestUrl};
+    use std::io::Write as _;
+
+    fn rec(host: &str, censored: bool) -> LogRecord {
+        let b = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-03", "10:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http(host, "/"),
+        );
+        if censored {
+            b.policy_denied().build()
+        } else {
+            b.build()
+        }
+    }
+
+    fn write_log(dir: &Path, name: &str, records: &[LogRecord]) -> PathBuf {
+        let path = dir.join(name);
+        let mut w = LogWriter::new(Vec::new());
+        for r in records {
+            w.write_record(r).unwrap();
+        }
+        std::fs::write(&path, w.into_inner().unwrap()).unwrap();
+        path
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("filterscope-pipeline-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A counting sink for plumbing-only tests.
+    #[derive(Debug, Default)]
+    struct Counter {
+        hosts: Vec<String>,
+    }
+
+    impl ShardSink for Counter {
+        fn ingest(&mut self, record: &LogRecord) {
+            self.hosts.push(record.host().to_string());
+        }
+
+        fn absorb(&mut self, other: Self) {
+            self.hosts.extend(other.hosts);
+        }
+    }
+
+    #[test]
+    fn tiny_shards_reassemble_the_exact_record_stream() {
+        let dir = temp_dir("reassemble");
+        let records: Vec<LogRecord> = (0..500)
+            .map(|i| rec(&format!("host{i}.example"), i % 7 == 0))
+            .collect();
+        let path = write_log(&dir, "a.log", &records);
+        let want: Vec<String> = records.iter().map(|r| r.host().to_string()).collect();
+        for (threads, shard_bytes) in [(1usize, 96u64), (4, 96), (4, 1 << 20)] {
+            let ingest = ParallelIngest::new(threads).with_shard_bytes(shard_bytes);
+            let (counter, stats) = ingest
+                .run(std::slice::from_ref(&path), Counter::default)
+                .unwrap();
+            assert_eq!(counter.hosts, want, "threads={threads} bytes={shard_bytes}");
+            assert_eq!(stats.records, 500);
+            assert_eq!(stats.malformed, 0);
+            if shard_bytes == 96 {
+                assert!(stats.shards > 10, "tiny shards must actually split");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lines_straddling_shard_boundaries_count_once() {
+        let dir = temp_dir("corrupt");
+        let mut body = Vec::new();
+        {
+            let mut w = LogWriter::new(&mut body);
+            for i in 0..50 {
+                w.write_record(&rec(&format!("ok{i}.example"), false))
+                    .unwrap();
+            }
+        }
+        // Interleave long corrupt lines so that, at a tiny shard size, some
+        // straddle shard boundaries.
+        let corrupt = format!("corrupt,{}\n", "x".repeat(300));
+        let mut data = Vec::new();
+        for (i, chunk) in body.split_inclusive(|b| *b == b'\n').enumerate() {
+            data.extend_from_slice(chunk);
+            if i % 5 == 0 {
+                data.extend_from_slice(corrupt.as_bytes());
+            }
+        }
+        let path = dir.join("corrupt.log");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(&data).unwrap();
+        drop(f);
+        let mut counts = Vec::new();
+        for threads in [1usize, 8] {
+            let ingest = ParallelIngest::new(threads).with_shard_bytes(128);
+            let (counter, stats) = ingest
+                .run(std::slice::from_ref(&path), Counter::default)
+                .unwrap();
+            assert_eq!(counter.hosts.len(), 50, "threads={threads}");
+            counts.push((stats.records, stats.malformed));
+        }
+        assert_eq!(counts[0], counts[1]);
+        // Every injected corrupt line counted exactly once.
+        assert_eq!(counts[0].1, 11);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_schema_switches_are_honored() {
+        let dir = temp_dir("schema");
+        // Section 1: canonical order. Section 2: reversed field order under
+        // its own #Fields: header (log rotation concatenation).
+        let first = rec("first.example", false);
+        let second = rec("second.example", true);
+        let cells = filterscope_logformat::csv::split_line(&second.write_csv()).unwrap();
+        let fields = filterscope_logformat::fields::FIELDS;
+        let reversed_header = format!(
+            "#Fields: {}",
+            fields.iter().rev().copied().collect::<Vec<_>>().join(",")
+        );
+        let reversed_line =
+            filterscope_logformat::csv::join_line(&cells.iter().rev().cloned().collect::<Vec<_>>());
+        let mut data = String::new();
+        data.push_str(&first.write_csv());
+        data.push('\n');
+        data.push_str(&reversed_header);
+        data.push('\n');
+        data.push_str(&reversed_line);
+        data.push('\n');
+        let path = dir.join("rotated.log");
+        std::fs::write(&path, &data).unwrap();
+        for threads in [1usize, 4] {
+            let ingest = ParallelIngest::new(threads).with_shard_bytes(64);
+            let (counter, stats) = ingest
+                .run(std::slice::from_ref(&path), Counter::default)
+                .unwrap();
+            assert_eq!(
+                counter.hosts,
+                vec!["first.example".to_string(), "second.example".to_string()],
+                "threads={threads}"
+            );
+            assert_eq!(stats.malformed, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let ingest = ParallelIngest::new(2);
+        let err = ingest
+            .run(
+                &[PathBuf::from("/nonexistent/filterscope.log")],
+                Counter::default,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Io(_)));
+    }
+
+    #[test]
+    fn zero_threads_selects_available_parallelism() {
+        assert!(ParallelIngest::new(0).threads() >= 1);
+    }
+}

@@ -120,8 +120,14 @@ mod tests {
         let s = p.render();
         let pos443 = s.find("443").unwrap();
         // Port 80 appears after 443 in censored ordering; find the row start.
-        let pos80 = s.lines().position(|l| l.trim_start().starts_with("80")).unwrap();
-        let pos443row = s.lines().position(|l| l.trim_start().starts_with("443")).unwrap();
+        let pos80 = s
+            .lines()
+            .position(|l| l.trim_start().starts_with("80"))
+            .unwrap();
+        let pos443row = s
+            .lines()
+            .position(|l| l.trim_start().starts_with("443"))
+            .unwrap();
         assert!(pos443row < pos80, "443 row should precede 80: {pos443}");
     }
 }

@@ -2,7 +2,7 @@
 //! Table 6 (cosine similarity of censored-domain vectors).
 
 use crate::report::Table;
-use filterscope_core::{Date, ProxyId, Timestamp, TimeOfDay};
+use filterscope_core::{Date, ProxyId, TimeOfDay, Timestamp};
 use filterscope_logformat::url::base_domain_of;
 use filterscope_logformat::{LogRecord, RequestClass};
 use filterscope_stats::similarity::similarity_matrix;
@@ -30,7 +30,9 @@ impl ProxyStats {
         let start = Timestamp::new(Date::new(2011, 8, 3).expect("static"), TimeOfDay::MIDNIGHT);
         let end = Timestamp::new(Date::new(2011, 8, 5).expect("static"), TimeOfDay::MIDNIGHT);
         ProxyStats {
-            load: (0..7).map(|_| TimeSeries::spanning(start, end, 3600)).collect(),
+            load: (0..7)
+                .map(|_| TimeSeries::spanning(start, end, 3600))
+                .collect(),
             censored_load: (0..7)
                 .map(|_| TimeSeries::spanning(start, end, 3600))
                 .collect(),

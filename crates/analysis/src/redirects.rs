@@ -49,7 +49,10 @@ impl RedirectStats {
             self.hosts.bump(record.url.host.clone());
             if let Some(h) = client {
                 self.identified_redirects += 1;
-                self.pending.entry(h).or_default().push(record.timestamp.epoch_seconds());
+                self.pending
+                    .entry(h)
+                    .or_default()
+                    .push(record.timestamp.epoch_seconds());
             }
             return;
         }

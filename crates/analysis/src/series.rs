@@ -45,7 +45,10 @@ impl AnalysisSuite {
                 self.ports.censored.get(&p)
             ));
         }
-        out.push(FigureSeries { stem: "fig1_ports", csv });
+        out.push(FigureSeries {
+            stem: "fig1_ports",
+            csv,
+        });
 
         // Fig 2: requests-per-domain frequency of frequencies, per class.
         let mut csv = String::from("class,requests,domains\n");
@@ -58,14 +61,20 @@ impl AnalysisSuite {
                 csv.push_str(&format!("{label},{r},{d}\n"));
             }
         }
-        out.push(FigureSeries { stem: "fig2_domain_distribution", csv });
+        out.push(FigureSeries {
+            stem: "fig2_domain_distribution",
+            csv,
+        });
 
         // Fig 3: censored categories.
         let mut csv = String::from("category,censored\n");
         for (name, n) in self.categories.distribution(0) {
             csv.push_str(&format!("{},{n}\n", csv_escape(&name)));
         }
-        out.push(FigureSeries { stem: "fig3_categories", csv });
+        out.push(FigureSeries {
+            stem: "fig3_categories",
+            csv,
+        });
 
         // Fig 4a: censored requests per user histogram.
         let mut csv = String::from("censored_requests,users\n");
@@ -74,7 +83,10 @@ impl AnalysisSuite {
             csv.push_str(&format!("{lo},{n}\n"));
         }
         csv.push_str(&format!("overflow,{}\n", h.overflow()));
-        out.push(FigureSeries { stem: "fig4a_censored_per_user", csv });
+        out.push(FigureSeries {
+            stem: "fig4a_censored_per_user",
+            csv,
+        });
 
         // Fig 4b: activity CDFs.
         let (censored_cdf, clean_cdf) = self.users.activity_cdfs();
@@ -85,7 +97,10 @@ impl AnalysisSuite {
         for (x, y) in clean_cdf.points() {
             csv.push_str(&format!("non-censored,{x},{y:.6}\n"));
         }
-        out.push(FigureSeries { stem: "fig4b_user_activity_cdf", csv });
+        out.push(FigureSeries {
+            stem: "fig4b_user_activity_cdf",
+            csv,
+        });
 
         // Fig 5: censored/allowed per 5-minute bin (absolute + normalized).
         let (cn, an) = self.temporal.normalized();
@@ -100,17 +115,20 @@ impl AnalysisSuite {
                 an[i],
             ));
         }
-        out.push(FigureSeries { stem: "fig5_timeseries", csv });
+        out.push(FigureSeries {
+            stem: "fig5_timeseries",
+            csv,
+        });
 
         // Fig 6: RCV per bin.
         let mut csv = String::from("bin_start,rcv\n");
         for (i, v) in self.temporal.rcv().into_iter().enumerate() {
-            csv.push_str(&format!(
-                "{},{v:.8}\n",
-                self.temporal.all.bin_start(i)
-            ));
+            csv.push_str(&format!("{},{v:.8}\n", self.temporal.all.bin_start(i)));
         }
-        out.push(FigureSeries { stem: "fig6_rcv", csv });
+        out.push(FigureSeries {
+            stem: "fig6_rcv",
+            csv,
+        });
 
         // Fig 7: per-proxy load and censored series (hourly, Aug 3-4).
         let mut csv = String::from("bin_start,proxy,all,censored\n");
@@ -127,7 +145,10 @@ impl AnalysisSuite {
                 ));
             }
         }
-        out.push(FigureSeries { stem: "fig7_proxy_load", csv });
+        out.push(FigureSeries {
+            stem: "fig7_proxy_load",
+            csv,
+        });
 
         // Fig 8: Tor hourly series.
         let mut csv = String::from("bin_start,tor_requests,tor_censored,sg44_all,sg44_censored\n");
@@ -141,7 +162,10 @@ impl AnalysisSuite {
                 self.tor.sg44_censored.bins()[i],
             ));
         }
-        out.push(FigureSeries { stem: "fig8_tor_hourly", csv });
+        out.push(FigureSeries {
+            stem: "fig8_tor_hourly",
+            csv,
+        });
 
         // Fig 9: Rfilter per hour.
         let mut csv = String::from("hour_bin,rfilter\n");
@@ -151,7 +175,10 @@ impl AnalysisSuite {
                 None => csv.push_str(&format!("{k},\n")),
             }
         }
-        out.push(FigureSeries { stem: "fig9_rfilter", csv });
+        out.push(FigureSeries {
+            stem: "fig9_rfilter",
+            csv,
+        });
 
         // Fig 10a/b: anonymizer CDFs.
         let mut csv = String::from("series,x,cdf\n");
@@ -161,13 +188,19 @@ impl AnalysisSuite {
         for (x, y) in self.anonymizers.ratio_cdf().points() {
             csv.push_str(&format!("allowed_to_censored_ratio,{x:.4},{y:.6}\n"));
         }
-        out.push(FigureSeries { stem: "fig10_anonymizers", csv });
+        out.push(FigureSeries {
+            stem: "fig10_anonymizers",
+            csv,
+        });
 
         out
     }
 
     /// Write every figure series into `dir` as `<stem>.csv`.
-    pub fn write_figure_series(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    pub fn write_figure_series(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<Vec<std::path::PathBuf>> {
         std::fs::create_dir_all(dir)?;
         let mut paths = Vec::new();
         for fig in self.figure_series() {
@@ -228,7 +261,11 @@ mod tests {
         }
         for fig in &series {
             assert!(fig.csv.lines().count() >= 1, "{} empty", fig.stem);
-            assert!(fig.csv.lines().next().unwrap().contains(','), "{} no header", fig.stem);
+            assert!(
+                fig.csv.lines().next().unwrap().contains(','),
+                "{} no header",
+                fig.stem
+            );
         }
     }
 

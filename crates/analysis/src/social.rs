@@ -126,7 +126,10 @@ impl SocialStats {
             self.fb_total.add(class);
             let path = record.url.path.as_str();
             if is_plugin_path(path) {
-                self.fb_plugins.entry(path.to_string()).or_default().add(class);
+                self.fb_plugins
+                    .entry(path.to_string())
+                    .or_default()
+                    .add(class);
             } else if FB_HOSTS.contains(&record.url.host.as_str()) {
                 if let Some(page) = page_name(path) {
                     let e = self.fb_pages.entry(page.to_string()).or_default();
@@ -204,12 +207,7 @@ impl SocialStats {
             .iter()
             .filter(|(_, (c, blocked))| *blocked || c.censored > 0)
             .collect();
-        rows.sort_by(|a, b| {
-            b.1 .0
-                .censored
-                .cmp(&a.1 .0.censored)
-                .then(a.0.cmp(b.0))
-        });
+        rows.sort_by(|a, b| b.1 .0.censored.cmp(&a.1 .0.censored).then(a.0.cmp(b.0)));
         for (page, (c, _)) in rows.into_iter().take(12) {
             t.row([
                 page.clone(),

@@ -1,7 +1,7 @@
 //! Figs. 5–6 and Table 5: temporal structure of the censorship.
 
 use crate::report::{count_pct, Table};
-use filterscope_core::{Date, Timestamp, TimeOfDay};
+use filterscope_core::{Date, TimeOfDay, Timestamp};
 use filterscope_logformat::url::base_domain_of;
 use filterscope_logformat::{LogRecord, RequestClass};
 use filterscope_stats::{CountMap, TimeSeries};
@@ -308,12 +308,7 @@ mod tests {
             let in_dip = (50..60).contains(&minute);
             let n = if in_dip { 1 } else { 12 };
             for k in 0..n {
-                t.ingest(&rec(
-                    "2011-08-02",
-                    &ts_str,
-                    &format!("h{k}.example"),
-                    false,
-                ));
+                t.ingest(&rec("2011-08-02", &ts_str, &format!("h{k}.example"), false));
             }
         }
         let dips = t.detect_dips(0.4);

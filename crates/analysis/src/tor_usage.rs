@@ -6,7 +6,7 @@
 
 use crate::context::AnalysisContext;
 use crate::report::Table;
-use filterscope_core::{Date, ProxyId, Timestamp, TimeOfDay};
+use filterscope_core::{Date, ProxyId, TimeOfDay, Timestamp};
 use filterscope_logformat::{LogRecord, RequestClass};
 use filterscope_stats::TimeSeries;
 use filterscope_tor::signaling::{self, TorTrafficKind};
@@ -70,7 +70,9 @@ impl TorStats {
             }
         }
         let Some(relays) = &ctx.relays else { return };
-        let Some(ip) = record.url.host_ip() else { return };
+        let Some(ip) = record.url.host_ip() else {
+            return;
+        };
         if !relays.contains(ip, record.url.port, record.timestamp.date()) {
             return;
         }
@@ -252,10 +254,26 @@ mod tests {
     fn identifies_and_splits_tor_traffic() {
         let (ctx, addr) = ctx_with_relay();
         let mut s = TorStats::standard();
-        s.ingest(&ctx, &tor_rec(addr, 9030, "/tor/server/all.z", ProxyId::Sg42, "10:00:00", false));
-        s.ingest(&ctx, &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:05:00", true));
+        s.ingest(
+            &ctx,
+            &tor_rec(
+                addr,
+                9030,
+                "/tor/server/all.z",
+                ProxyId::Sg42,
+                "10:00:00",
+                false,
+            ),
+        );
+        s.ingest(
+            &ctx,
+            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:05:00", true),
+        );
         // Wrong port: not Tor.
-        s.ingest(&ctx, &tor_rec(addr, 8080, "/", ProxyId::Sg42, "10:06:00", false));
+        s.ingest(
+            &ctx,
+            &tor_rec(addr, 8080, "/", ProxyId::Sg42, "10:06:00", false),
+        );
         assert_eq!(s.total, 2);
         assert_eq!(s.http_signaling, 1);
         assert_eq!(s.censored, 1);
@@ -268,13 +286,23 @@ mod tests {
         let (ctx, addr) = ctx_with_relay();
         let mut s = TorStats::standard();
         // Hour A (Aug 3, 10:00): relay censored.
-        s.ingest(&ctx, &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:00:00", true));
+        s.ingest(
+            &ctx,
+            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:00:00", true),
+        );
         // Hour B (Aug 3, 12:00): same relay allowed.
-        s.ingest(&ctx, &tor_rec(addr, 9001, "/", ProxyId::Sg44, "12:00:00", false));
+        s.ingest(
+            &ctx,
+            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "12:00:00", false),
+        );
         let rf = s.rfilter();
         // Hour bin of Aug 3 12:00 relative to Aug 1 00:00 = 2*24 + 12 = 60.
         let bin60 = rf.iter().find(|(k, _)| *k == 60).unwrap().1;
-        assert_eq!(bin60, Some(0.0), "relay re-allowed -> overlap 1 -> Rfilter 0");
+        assert_eq!(
+            bin60,
+            Some(0.0),
+            "relay re-allowed -> overlap 1 -> Rfilter 0"
+        );
         // An hour with no allowed Tor traffic yields None.
         let bin0 = rf.iter().find(|(k, _)| *k == 0).unwrap().1;
         assert_eq!(bin0, None);
@@ -303,7 +331,14 @@ mod tests {
         let mut s = TorStats::standard();
         s.ingest(
             &ctx,
-            &tor_rec(Ipv4Addr::new(1, 2, 3, 4), 9001, "/", ProxyId::Sg42, "10:00:00", false),
+            &tor_rec(
+                Ipv4Addr::new(1, 2, 3, 4),
+                9001,
+                "/",
+                ProxyId::Sg42,
+                "10:00:00",
+                false,
+            ),
         );
         assert_eq!(s.total, 0);
     }
@@ -312,7 +347,10 @@ mod tests {
     fn renders() {
         let (ctx, addr) = ctx_with_relay();
         let mut s = TorStats::standard();
-        s.ingest(&ctx, &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:00:00", true));
+        s.ingest(
+            &ctx,
+            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:00:00", true),
+        );
         let out = s.render();
         assert!(out.contains("Tor requests"));
         assert!(out.contains("SG-44"));

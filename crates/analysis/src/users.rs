@@ -123,10 +123,7 @@ impl UserStats {
     /// Render the Fig. 4 summary.
     pub fn render(&self) -> String {
         let mut t = Table::new("Fig 4 / user analysis (Duser)", &["Metric", "Value"]);
-        t.row([
-            "Total users".to_string(),
-            self.user_count().to_string(),
-        ]);
+        t.row(["Total users".to_string(), self.user_count().to_string()]);
         t.row([
             "Censored users".to_string(),
             format!(

@@ -199,7 +199,12 @@ mod tests {
         // Day 2: metacafe still blocked AND a keyword appears across domains.
         for i in 0..10 {
             w.ingest(&rec("2011-08-02", "metacafe.com", "/", true));
-            w.ingest(&rec("2011-08-02", &format!("a{}.com", i % 4), "/x/proxy", true));
+            w.ingest(&rec(
+                "2011-08-02",
+                &format!("a{}.com", i % 4),
+                "/x/proxy",
+                true,
+            ));
             w.ingest(&rec("2011-08-02", &format!("ok{i}.com"), "/", false));
         }
         let policies = w.daily_policies();

@@ -2,8 +2,8 @@
 //! compares the engine the library uses against the naive baseline it
 //! replaced, on workloads drawn from the shared corpus.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use filterscope_bench::corpus;
+use filterscope_bench::harness::{black_box, Harness};
 use filterscope_core::Ipv4Cidr;
 use filterscope_match::aho_corasick::AhoCorasickBuilder;
 use filterscope_match::{naive, CidrSet, DomainTrie};
@@ -11,7 +11,7 @@ use filterscope_proxy::config::{BLOCKED_DOMAINS, BLOCKED_SUBNETS, KEYWORDS};
 use filterscope_stats::{CountMap, SpaceSaving};
 use std::net::Ipv4Addr;
 
-fn bench_ablation(c: &mut Criterion) {
+fn bench_ablation(c: &mut Harness) {
     let (records, _) = corpus();
     let views: Vec<String> = records.iter().map(|r| r.url.filter_view()).collect();
     let hosts: Vec<&str> = records.iter().map(|r| r.url.host.as_str()).collect();
@@ -161,9 +161,7 @@ fn bench_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_ablation
+fn main() {
+    let mut harness = Harness::default().sample_size(20);
+    bench_ablation(&mut harness);
 }
-criterion_main!(benches);

@@ -1,6 +1,5 @@
 //! One benchmark per paper figure (plus the §7.3/§7.4 text statistics).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use filterscope_analysis::anonymizers::AnonymizerStats;
 use filterscope_analysis::categories::CategoryStats;
 use filterscope_analysis::domains::DomainStats;
@@ -11,10 +10,11 @@ use filterscope_analysis::proxies::ProxyStats;
 use filterscope_analysis::temporal::TemporalStats;
 use filterscope_analysis::tor_usage::TorStats;
 use filterscope_analysis::users::UserStats;
+use filterscope_bench::harness::{black_box, Harness};
 use filterscope_bench::{analyzed, corpus};
 use filterscope_logformat::RequestClass;
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures(c: &mut Harness) {
     let (records, ctx) = corpus();
     let suite = analyzed();
     let mut g = c.benchmark_group("figures");
@@ -135,9 +135,7 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_figures
+fn main() {
+    let mut harness = Harness::default().sample_size(10);
+    bench_figures(&mut harness);
 }
-criterion_main!(benches);

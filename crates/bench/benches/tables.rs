@@ -2,7 +2,6 @@
 //! analysis from the shared corpus (ingest where the table needs its own
 //! accumulator, or the final reduction where it reads a shared one).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use filterscope_analysis::datasets::DatasetCounts;
 use filterscope_analysis::domains::DomainStats;
 use filterscope_analysis::filter_inference::FilterInference;
@@ -12,9 +11,10 @@ use filterscope_analysis::proxies::ProxyStats;
 use filterscope_analysis::redirects::RedirectStats;
 use filterscope_analysis::social::SocialStats;
 use filterscope_analysis::temporal::TemporalStats;
+use filterscope_bench::harness::{black_box, Harness};
 use filterscope_bench::{analyzed, corpus};
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables(c: &mut Harness) {
     let (records, ctx) = corpus();
     let suite = analyzed();
     let mut g = c.benchmark_group("tables");
@@ -128,9 +128,7 @@ fn bench_tables(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_tables
+fn main() {
+    let mut harness = Harness::default().sample_size(10);
+    bench_tables(&mut harness);
 }
-criterion_main!(benches);

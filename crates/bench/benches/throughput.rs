@@ -5,18 +5,22 @@
 //! * `policy_decisions` — SG-9000 policy evaluations per second;
 //! * `farm_end_to_end` — request → routed, filtered, logged record;
 //! * `generate_and_analyze` — the whole pipeline: synthesize a day slice,
-//!   filter it, ingest it into the full analysis suite.
+//!   filter it, ingest it into the full analysis suite;
+//! * `parallel_ingest` — the sharded file-ingest path at 1 thread vs all
+//!   cores (the tentpole speedup this crate exists to defend).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use filterscope_analysis::{AnalysisContext, AnalysisSuite};
+use filterscope_analysis::{AnalysisContext, AnalysisSuite, ParallelIngest};
+use filterscope_bench::harness::{black_box, Harness, Throughput};
 use filterscope_bench::{corpus, csv_lines};
-use filterscope_logformat::{parse_line, Schema};
+use filterscope_core::pool;
+use filterscope_logformat::{parse_line, LogWriter, Schema};
 use filterscope_proxy::cpl;
 use filterscope_proxy::PolicyData;
 use filterscope_proxy::{PolicyEngine, ProxyConfig, ProxyFarm, Request};
 use filterscope_synth::{Corpus, SynthConfig};
+use std::path::PathBuf;
 
-fn bench_throughput(c: &mut Criterion) {
+fn bench_throughput(c: &mut Harness) {
     let lines = csv_lines();
     let (records, _) = corpus();
     let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
@@ -124,11 +128,67 @@ fn bench_throughput(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    bench_parallel_ingest(c);
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_throughput
+/// Write the shared corpus to day files once, then compare the sharded
+/// ingest at 1 thread against all available cores.
+fn bench_parallel_ingest(c: &mut Harness) {
+    let (records, ctx) = corpus();
+    let dir = std::env::temp_dir().join(format!("filterscope-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    // Split the corpus into one file per study day (record order is already
+    // day-major), mirroring what `filterscope generate` writes on disk.
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut writer: Option<LogWriter<std::fs::File>> = None;
+    let mut current_day = String::new();
+    let mut bytes = 0u64;
+    for r in records {
+        let day = r.timestamp.date().to_string();
+        if day != current_day {
+            if let Some(w) = writer.take() {
+                w.into_inner().expect("flush day file");
+            }
+            let path = dir.join(format!("sg_access_{day}.log"));
+            writer = Some(LogWriter::new(
+                std::fs::File::create(&path).expect("create day file"),
+            ));
+            paths.push(path);
+            current_day = day;
+        }
+        bytes += r.write_csv().len() as u64 + 1;
+        writer
+            .as_mut()
+            .expect("writer open")
+            .write_record(r)
+            .expect("write record");
+    }
+    if let Some(w) = writer.take() {
+        w.into_inner().expect("flush day file");
+    }
+
+    let mut g = c.benchmark_group("parallel_ingest");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    for threads in [1, pool::available_threads()] {
+        let ingest = ParallelIngest::new(threads);
+        g.bench_function(&format!("analyze_suite_threads_{threads:02}"), |b| {
+            b.iter(|| {
+                let (suite, stats) = ingest
+                    .ingest_suite(&paths, ctx, 2)
+                    .expect("ingest corpus files");
+                assert_eq!(stats.records, records.len() as u64);
+                black_box(suite.datasets.full)
+            })
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
-criterion_main!(benches);
+
+fn main() {
+    let mut harness = Harness::default().sample_size(20);
+    bench_throughput(&mut harness);
+}

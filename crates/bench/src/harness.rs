@@ -1,0 +1,203 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! The container this repo builds in has no network access to crates.io,
+//! so the Criterion dependency is replaced by this shim exposing the small
+//! slice of its API the bench targets use: groups, per-benchmark
+//! throughput annotations, and `Bencher::iter`. Timing is wall-clock via
+//! [`std::time::Instant`]; each benchmark runs one warm-up iteration and
+//! then `sample_size` timed iterations, reporting the median and minimum.
+//!
+//! Environment knobs:
+//!
+//! * `FILTERSCOPE_BENCH_SAMPLES` — override the per-benchmark sample count
+//!   (e.g. `1` for a smoke run in CI).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// What one iteration consumes, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements (records, decisions, …) processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness (drop-in for `criterion::Criterion` as used here).
+#[derive(Debug, Clone)]
+pub struct Harness {
+    sample_size: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness { sample_size: 10 }
+    }
+}
+
+impl Harness {
+    /// Set the default per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        Group {
+            name: name.to_string(),
+            sample_size: env_samples().unwrap_or(self.sample_size),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Group {
+    /// Annotate subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Override the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) {
+        if env_samples().is_none() {
+            self.sample_size = n.max(1);
+        }
+    }
+
+    /// Run one benchmark: a warm-up iteration, then timed samples.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut sorted = bencher.durations.clone();
+        sorted.sort_unstable();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let min = sorted.first().copied().unwrap_or_default();
+        let mut line = format!(
+            "{}/{:<32} median {:>12}  min {:>12}",
+            self.name,
+            name,
+            fmt_duration(median),
+            fmt_duration(min)
+        );
+        if let Some(tp) = self.throughput {
+            line.push_str(&format!("  {}", fmt_rate(tp, median)));
+        }
+        println!("{line}");
+    }
+
+    /// End the group (parity with Criterion's API; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of samples (plus one warm-up).
+    pub fn iter<T, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> T,
+    {
+        black_box(f());
+        self.durations = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("FILTERSCOPE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n >= 1)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_rate(tp: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match tp {
+        Throughput::Bytes(n) => {
+            let rate = n as f64 / secs;
+            if rate >= 1e9 {
+                format!("{:8.2} GB/s", rate / 1e9)
+            } else {
+                format!("{:8.2} MB/s", rate / 1e6)
+            }
+        }
+        Throughput::Elements(n) => {
+            let rate = n as f64 / secs;
+            if rate >= 1e6 {
+                format!("{:8.2} Melem/s", rate / 1e6)
+            } else {
+                format!("{:8.2} Kelem/s", rate / 1e3)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut h = Harness::default().sample_size(2);
+        let mut g = h.benchmark_group("harness-test");
+        g.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        g.finish();
+        // One warm-up + two samples.
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn formatting_is_stable() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert!(
+            fmt_rate(Throughput::Bytes(2_000_000_000), Duration::from_secs(1)).contains("GB/s")
+        );
+        assert!(fmt_rate(Throughput::Elements(500), Duration::from_secs(1)).contains("Kelem/s"));
+    }
+}

@@ -1,17 +1,21 @@
 //! # filterscope-bench
 //!
-//! Shared fixtures for the Criterion benchmark harness. Each bench target
+//! Shared fixtures plus a dependency-free [`harness`] (a Criterion-shaped
+//! shim — the build container has no crates.io access). Each bench target
 //! regenerates one family of the paper's artifacts:
 //!
 //! * `tables` — one benchmark per paper table (T1–T15);
 //! * `figures` — one benchmark per paper figure (F1–F10) plus §7.3/§7.4;
 //! * `throughput` — log-line parse rate, policy decisions/s, end-to-end
-//!   generation+analysis rate (the case for a Rust implementation);
+//!   generation+analysis rate, and the sharded parallel-ingest path at 1
+//!   thread vs all cores (the case for a Rust implementation);
 //! * `ablation` — the design choices DESIGN.md calls out: Aho–Corasick vs
 //!   naive scanning, domain trie vs suffix checks, CidrSet vs linear scan,
 //!   Space-Saving vs exact counting.
 //!
 //! Corpora are generated once per process and shared across benchmarks.
+
+pub mod harness;
 
 use filterscope_analysis::{AnalysisContext, AnalysisSuite};
 use filterscope_logformat::LogRecord;

@@ -177,22 +177,23 @@ impl AnnounceRequest {
             match k {
                 "info_hash" => {
                     let bytes = percent_decode_bytes(v)?;
-                    let arr: [u8; 20] = bytes.try_into().map_err(|_| {
-                        Error::InvalidConfig("info_hash must be 20 bytes".into())
-                    })?;
+                    let arr: [u8; 20] = bytes
+                        .try_into()
+                        .map_err(|_| Error::InvalidConfig("info_hash must be 20 bytes".into()))?;
                     info_hash = Some(InfoHash(arr));
                 }
                 "peer_id" => {
                     let bytes = percent_decode_bytes(v)?;
-                    let arr: [u8; 20] = bytes.try_into().map_err(|_| {
-                        Error::InvalidConfig("peer_id must be 20 bytes".into())
-                    })?;
+                    let arr: [u8; 20] = bytes
+                        .try_into()
+                        .map_err(|_| Error::InvalidConfig("peer_id must be 20 bytes".into()))?;
                     peer_id = Some(PeerId(arr));
                 }
                 "port" => {
-                    port = Some(v.parse::<u16>().map_err(|_| {
-                        Error::InvalidConfig(format!("bad port {v:?}"))
-                    })?);
+                    port = Some(
+                        v.parse::<u16>()
+                            .map_err(|_| Error::InvalidConfig(format!("bad port {v:?}")))?,
+                    );
                 }
                 "uploaded" => uploaded = v.parse().unwrap_or(0),
                 "downloaded" => downloaded = v.parse().unwrap_or(0),
@@ -221,7 +222,9 @@ impl AnnounceRequest {
 
     /// Is `path` a tracker announce path?
     pub fn is_announce_path(path: &str) -> bool {
-        path == "/announce" || path.ends_with("/announce") || path == "/announce.php"
+        path == "/announce"
+            || path.ends_with("/announce")
+            || path == "/announce.php"
             || path.ends_with("/announce.php")
     }
 }
@@ -260,7 +263,10 @@ mod tests {
         };
         let q = r.to_query();
         assert!(!q.contains("event="));
-        assert_eq!(AnnounceRequest::parse_query(&q).unwrap().event, AnnounceEvent::Interval);
+        assert_eq!(
+            AnnounceRequest::parse_query(&q).unwrap().event,
+            AnnounceEvent::Interval
+        );
     }
 
     #[test]
@@ -275,10 +281,8 @@ mod tests {
         assert!(percent_decode_bytes("%G1").is_err());
         assert!(percent_decode_bytes("%2").is_err());
         assert!(AnnounceRequest::parse_query("port=1").is_err());
-        assert!(AnnounceRequest::parse_query(
-            "info_hash=abc&peer_id=def&port=1"
-        )
-        .is_err()); // wrong lengths
+        assert!(AnnounceRequest::parse_query("info_hash=abc&peer_id=def&port=1").is_err());
+        // wrong lengths
     }
 
     #[test]

@@ -151,10 +151,7 @@ impl<'a> Parser<'a> {
             .map_err(|_| Error::Bencode("non-utf8 integer".into()))?;
         // Canonical form: no empty, no "-", no leading zeros, no "-0".
         let digits = s.strip_prefix('-').unwrap_or(s);
-        if digits.is_empty()
-            || (digits.len() > 1 && digits.starts_with('0'))
-            || s == "-0"
-        {
+        if digits.is_empty() || (digits.len() > 1 && digits.starts_with('0')) || s == "-0" {
             return Err(Error::Bencode(format!("non-canonical integer {s:?}")));
         }
         let v: i64 = s

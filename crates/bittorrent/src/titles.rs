@@ -27,7 +27,11 @@ pub enum TitleClass {
 /// ("UltraSurf (2,703 requests for all versions), HideMyAss (176), Auto Hide
 /// IP (532), anonymous browsers (393)").
 pub const CATALOGUE: &[(&str, TitleClass, u32)] = &[
-    ("UltraSurf 10.17 censorship bypass", TitleClass::AntiCensorship, 60),
+    (
+        "UltraSurf 10.17 censorship bypass",
+        TitleClass::AntiCensorship,
+        60,
+    ),
     ("UltraSurf 9.98 portable", TitleClass::AntiCensorship, 25),
     ("HideMyAss VPN client", TitleClass::AntiCensorship, 6),
     ("Auto Hide IP 5.1.8.2", TitleClass::AntiCensorship, 17),

@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn names_match_paper_spellings() {
         assert_eq!(Category::InstantMessaging.name(), "Instant Messaging");
-        assert_eq!(Category::ForumBulletinBoards.name(), "Forum/Bulletin Boards");
+        assert_eq!(
+            Category::ForumBulletinBoards.name(),
+            "Forum/Bulletin Boards"
+        );
         assert_eq!(Category::EducationReference.name(), "Education/Reference");
         assert_eq!(Category::Unknown.name(), "NA");
     }
@@ -138,7 +141,10 @@ mod tests {
         for c in Category::ALL {
             assert_eq!(Category::from_name(c.name()), Some(c));
         }
-        assert_eq!(Category::from_name("instant messaging"), Some(Category::InstantMessaging));
+        assert_eq!(
+            Category::from_name("instant messaging"),
+            Some(Category::InstantMessaging)
+        );
         assert_eq!(Category::from_name("nope"), None);
     }
 

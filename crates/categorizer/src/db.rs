@@ -77,8 +77,14 @@ mod tests {
         assert_eq!(db.categorize("metacafe.com"), Category::StreamingMedia);
         assert_eq!(db.categorize("www.skype.com"), Category::InstantMessaging);
         assert_eq!(db.categorize("facebook.com"), Category::SocialNetworking);
-        assert_eq!(db.categorize("upload.youtube.com"), Category::StreamingMedia);
-        assert_eq!(db.categorize("cdn7.cloudfront.net"), Category::ContentServer);
+        assert_eq!(
+            db.categorize("upload.youtube.com"),
+            Category::StreamingMedia
+        );
+        assert_eq!(
+            db.categorize("cdn7.cloudfront.net"),
+            Category::ContentServer
+        );
         assert_eq!(db.categorize("hotsptshld.com"), Category::Anonymizer);
         assert_eq!(db.categorize("unknown-host.example"), Category::Unknown);
     }

@@ -42,9 +42,7 @@ pub fn parse_registry(text: &str) -> Result<Vec<(String, Category)>> {
 }
 
 /// Serialize `(suffix, category)` pairs to the registry text format.
-pub fn registry_to_text<'a>(
-    entries: impl IntoIterator<Item = &'a (String, Category)>,
-) -> String {
+pub fn registry_to_text<'a>(entries: impl IntoIterator<Item = &'a (String, Category)>) -> String {
     let mut out = String::from("# filterscope category registry\n");
     for (domain, category) in entries {
         out.push_str(&format!("{domain}\t{}\n", category.name()));

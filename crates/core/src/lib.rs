@@ -9,11 +9,14 @@
 //! where possible, and total (no panics on untrusted input).
 
 pub mod error;
+pub mod json;
 pub mod net;
+pub mod pool;
 pub mod proxy_id;
 pub mod time;
 
 pub use error::{Error, Result};
+pub use json::Json;
 pub use net::Ipv4Cidr;
 pub use proxy_id::ProxyId;
 pub use time::{Date, TimeOfDay, Timestamp, Weekday};

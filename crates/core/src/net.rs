@@ -129,7 +129,12 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["84.229.0.0/16", "46.120.0.0/15", "212.235.64.0/19", "0.0.0.0/0"] {
+        for s in [
+            "84.229.0.0/16",
+            "46.120.0.0/15",
+            "212.235.64.0/19",
+            "0.0.0.0/0",
+        ] {
             assert_eq!(Ipv4Cidr::parse(s).unwrap().to_string(), s);
         }
     }

@@ -1,0 +1,137 @@
+//! A dependency-free work-stealing thread pool for indexed work units.
+//!
+//! Every parallel stage in the workspace — intra-day generation shards,
+//! byte-range ingest shards — reduces to "run `f(0..units)` on N threads
+//! and collect the results in index order". [`run_indexed`] does exactly
+//! that over [`std::thread::scope`]: workers pull the next unit off a
+//! shared atomic counter (work stealing, so uneven units — a 39×-larger
+//! August day next to a July day — cannot idle a core), and results come
+//! back ordered by unit index so downstream merges are deterministic
+//! regardless of thread count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads to use by default.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f(i)` for every `i in 0..units` on up to `threads` workers and
+/// return the results in index order.
+///
+/// The unit → result mapping is independent of `threads`: callers that
+/// fold the results in order get bit-identical outcomes at any thread
+/// count. A panicking unit propagates the panic to the caller.
+pub fn run_indexed<T, F>(threads: usize, units: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, units.max(1));
+    if units == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return (0..units).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= units {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    collected.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(collected.len(), units);
+    collected.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_indexed(8, 100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let work = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let one = run_indexed(1, 37, work);
+        let many = run_indexed(16, 37, work);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn zero_units_is_fine() {
+        let out: Vec<u8> = run_indexed(4, 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_units_all_complete() {
+        // Some units do far more work than others (the August/July skew).
+        let out = run_indexed(4, 20, |i| {
+            let mut acc = 0u64;
+            let iters = if i % 7 == 0 { 200_000 } else { 100 };
+            for k in 0..iters {
+                acc = acc.wrapping_add(k ^ i as u64);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 20);
+        assert_eq!(
+            out,
+            run_indexed(1, 20, |i| {
+                let mut acc = 0u64;
+                let iters = if i % 7 == 0 { 200_000 } else { 100 };
+                for k in 0..iters {
+                    acc = acc.wrapping_add(k ^ i as u64);
+                }
+                acc
+            })
+        );
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(4, 8, |i| {
+                if i == 5 {
+                    panic!("unit failure");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

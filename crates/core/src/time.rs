@@ -356,7 +356,10 @@ mod tests {
     fn epoch_seconds_roundtrip() {
         let ts = Timestamp::parse_fields("2011-08-03", "09:30:00").unwrap();
         assert_eq!(Timestamp::from_epoch_seconds(ts.epoch_seconds()), ts);
-        assert_eq!(ts.plus_seconds(86_400).date(), Date::new(2011, 8, 4).unwrap());
+        assert_eq!(
+            ts.plus_seconds(86_400).date(),
+            Date::new(2011, 8, 4).unwrap()
+        );
         assert_eq!(ts.plus_seconds(-1).time().to_string(), "09:29:59");
     }
 

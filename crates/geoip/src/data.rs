@@ -40,7 +40,12 @@ pub fn other_blocks() -> Vec<(Country, Vec<&'static str>)> {
         ),
         (
             Country::of("NL"),
-            vec!["94.228.128.0/18", "145.58.0.0/16", "82.94.0.0/16", "213.154.224.0/19"],
+            vec![
+                "94.228.128.0/18",
+                "145.58.0.0/16",
+                "82.94.0.0/16",
+                "213.154.224.0/19",
+            ],
         ),
         (Country::of("SG"), vec!["203.116.0.0/16", "119.75.16.0/21"]),
         (Country::of("BG"), vec!["212.39.64.0/18", "87.118.64.0/18"]),
@@ -101,7 +106,10 @@ pub fn standard_db() -> GeoDb {
     }
     let sy = Country::of("SY");
     for s in SYRIAN_SUBNETS {
-        b.push(Ipv4Cidr::parse(s).expect("static Syrian subnet literal"), sy);
+        b.push(
+            Ipv4Cidr::parse(s).expect("static Syrian subnet literal"),
+            sy,
+        );
     }
     for (country, blocks) in other_blocks() {
         for s in blocks {

@@ -31,10 +31,7 @@ impl GeoDbBuilder {
     }
 
     /// Register many blocks.
-    pub fn extend(
-        &mut self,
-        blocks: impl IntoIterator<Item = (Ipv4Cidr, Country)>,
-    ) -> &mut Self {
+    pub fn extend(&mut self, blocks: impl IntoIterator<Item = (Ipv4Cidr, Country)>) -> &mut Self {
         self.blocks.extend(blocks);
         self
     }
@@ -57,7 +54,10 @@ impl GeoDbBuilder {
             }
             // Merge with the previous segment when contiguous and same country.
             if let Some(last) = out.last_mut() {
-                if last.country == country && last.end.wrapping_add(1) == start && last.end != u32::MAX {
+                if last.country == country
+                    && last.end.wrapping_add(1) == start
+                    && last.end != u32::MAX
+                {
                     last.end = end;
                     return;
                 }
@@ -76,7 +76,12 @@ impl GeoDbBuilder {
             // Close blocks that end before this one starts.
             while let Some(&(open, oc)) = stack.last() {
                 if open.last_u32() < block.first_u32() {
-                    emit(cursor.max(open.first_u32()), open.last_u32(), oc, &mut segments);
+                    emit(
+                        cursor.max(open.first_u32()),
+                        open.last_u32(),
+                        oc,
+                        &mut segments,
+                    );
                     cursor = open.last_u32().wrapping_add(1);
                     stack.pop();
                 } else {
@@ -101,7 +106,12 @@ impl GeoDbBuilder {
         }
         // Drain remaining open blocks, innermost first.
         while let Some((open, oc)) = stack.pop() {
-            emit(cursor.max(open.first_u32()), open.last_u32(), oc, &mut segments);
+            emit(
+                cursor.max(open.first_u32()),
+                open.last_u32(),
+                oc,
+                &mut segments,
+            );
             cursor = open.last_u32().wrapping_add(1);
             if open.last_u32() == u32::MAX {
                 break;
@@ -271,13 +281,18 @@ mod zzz_fuzz {
     fn zzz_random_laminar_matches_linear() {
         // Simple deterministic PRNG
         let mut state: u64 = 0x243F6A8885A308D3;
-        let mut rnd = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
         for case in 0..300 {
             let n = 1 + (rnd() % 8) as usize;
             let mut blocks = Vec::new();
             for _ in 0..n {
                 let plen = (rnd() % 33) as u8;
-                let addr = std::net::Ipv4Addr::from((rnd() as u32) & 0xFFFF_FFFF);
+                let addr = std::net::Ipv4Addr::from(rnd() as u32);
                 let c = Country::of(if rnd() % 2 == 0 { "AA" } else { "BB" });
                 blocks.push((Ipv4Cidr::new(addr, plen).unwrap(), c));
             }
@@ -288,7 +303,10 @@ mod zzz_fuzz {
                     if b.contains(a) {
                         match best {
                             Some((pl, _)) if pl > b.prefix_len() => {}
-                            Some((pl, _)) if pl == b.prefix_len() => { best = Some((b.prefix_len(), *c)); let _ = i; }
+                            Some((pl, _)) if pl == b.prefix_len() => {
+                                best = Some((b.prefix_len(), *c));
+                                let _ = i;
+                            }
                             _ => best = Some((b.prefix_len(), *c)),
                         }
                     }
@@ -298,14 +316,25 @@ mod zzz_fuzz {
             // Probe block boundaries and random points
             let mut probes: Vec<u32> = vec![0, u32::MAX];
             for (b, _) in &blocks {
-                for d in [b.first_u32().wrapping_sub(1), b.first_u32(), b.last_u32(), b.last_u32().wrapping_add(1)] {
+                for d in [
+                    b.first_u32().wrapping_sub(1),
+                    b.first_u32(),
+                    b.last_u32(),
+                    b.last_u32().wrapping_add(1),
+                ] {
                     probes.push(d);
                 }
             }
-            for _ in 0..20 { probes.push(rnd() as u32); }
+            for _ in 0..20 {
+                probes.push(rnd() as u32);
+            }
             for p in probes {
                 let a = std::net::Ipv4Addr::from(p);
-                assert_eq!(db.lookup(a), linear(a), "case {case} probe {a} blocks {blocks:?}");
+                assert_eq!(
+                    db.lookup(a),
+                    linear(a),
+                    "case {case} probe {a} blocks {blocks:?}"
+                );
             }
         }
     }

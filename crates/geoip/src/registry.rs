@@ -26,8 +26,7 @@ pub fn parse_registry(text: &str) -> Result<Vec<(Ipv4Cidr, Country)>> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let (Some(block), Some(code), None) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(block), Some(code), None) = (parts.next(), parts.next(), parts.next()) else {
             return Err(Error::MalformedRecord {
                 line: (no + 1) as u64,
                 reason: format!("expected 'CIDR CC', got {line:?}"),
@@ -39,9 +38,7 @@ pub fn parse_registry(text: &str) -> Result<Vec<(Ipv4Cidr, Country)>> {
 }
 
 /// Serialize `(block, country)` pairs to the registry text format.
-pub fn registry_to_text<'a>(
-    entries: impl IntoIterator<Item = &'a (Ipv4Cidr, Country)>,
-) -> String {
+pub fn registry_to_text<'a>(entries: impl IntoIterator<Item = &'a (Ipv4Cidr, Country)>) -> String {
     let mut out = String::from("# filterscope geo registry\n");
     for (block, country) in entries {
         out.push_str(&format!("{block} {country}\n"));
@@ -65,7 +62,10 @@ mod tests {
         assert_eq!(entries.len(), 3);
         assert_eq!(entries[0].1, Country::of("IL"));
         let db = load_db(text).unwrap();
-        assert_eq!(db.lookup("8.1.2.3".parse().unwrap()), Some(Country::of("US")));
+        assert_eq!(
+            db.lookup("8.1.2.3".parse().unwrap()),
+            Some(Country::of("US"))
+        );
     }
 
     #[test]

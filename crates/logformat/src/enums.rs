@@ -325,8 +325,7 @@ impl ClientId {
             return Ok(ClientId::Zeroed);
         }
         if s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit()) {
-            let v = u64::from_str_radix(s, 16)
-                .map_err(|_| Error::InvalidAddress(s.to_string()))?;
+            let v = u64::from_str_radix(s, 16).map_err(|_| Error::InvalidAddress(s.to_string()))?;
             return Ok(ClientId::Hashed(v));
         }
         s.parse::<Ipv4Addr>()
@@ -413,6 +412,9 @@ mod tests {
     fn s_action_preserves_unknowns() {
         let a = SAction::parse("TCP_CLIENT_REFRESH");
         assert_eq!(a.as_str(), "TCP_CLIENT_REFRESH");
-        assert_eq!(SAction::parse("TCP_POLICY_REDIRECT"), SAction::TcpPolicyRedirect);
+        assert_eq!(
+            SAction::parse("TCP_POLICY_REDIRECT"),
+            SAction::TcpPolicyRedirect
+        );
     }
 }

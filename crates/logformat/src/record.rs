@@ -146,8 +146,7 @@ pub fn parse_line(line: &str, line_no: u64) -> Result<LogRecord> {
         line: line_no,
         reason,
     };
-    let f = csv::split_line(line)
-        .ok_or_else(|| mal("bad CSV quoting".into()))?;
+    let f = csv::split_line(line).ok_or_else(|| mal("bad CSV quoting".into()))?;
     if f.len() != FIELD_COUNT {
         return Err(mal(format!(
             "expected {FIELD_COUNT} fields, got {}",
@@ -169,7 +168,12 @@ pub(crate) fn build_record<'a>(
         reason,
     };
     let required = |i: usize| {
-        f(i).ok_or_else(|| mal(format!("missing required field {}", crate::fields::FIELDS[i])))
+        f(i).ok_or_else(|| {
+            mal(format!(
+                "missing required field {}",
+                crate::fields::FIELDS[i]
+            ))
+        })
     };
     let optional = |i: usize| f(i).unwrap_or(EMPTY);
 
@@ -202,8 +206,8 @@ pub(crate) fn build_record<'a>(
     };
     let sc_bytes: u64 = optional(idx::SC_BYTES).parse().unwrap_or(0);
     let cs_bytes: u64 = optional(idx::CS_BYTES).parse().unwrap_or(0);
-    let filter_result = FilterResult::parse(required(idx::SC_FILTER_RESULT)?)
-        .map_err(|e| mal(e.to_string()))?;
+    let filter_result =
+        FilterResult::parse(required(idx::SC_FILTER_RESULT)?).map_err(|e| mal(e.to_string()))?;
     let s_ip: Ipv4Addr = required(idx::S_IP)?
         .parse()
         .map_err(|_| mal(format!("bad s-ip {:?}", optional(idx::S_IP))))?;
@@ -373,8 +377,7 @@ mod tests {
         RecordBuilder::new(
             ts(),
             ProxyId::Sg44,
-            RequestUrl::http("www.facebook.com", "/plugins/like.php")
-                .with_query("href=x&sdk=joey"),
+            RequestUrl::http("www.facebook.com", "/plugins/like.php").with_query("href=x&sdk=joey"),
         )
         .user_agent("Mozilla/4.0 (compatible; MSIE 7.0; Windows NT 5.1)")
         .derive_ext()

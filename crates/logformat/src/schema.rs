@@ -337,15 +337,15 @@ mod tests {
     #[test]
     fn wrong_width_line_is_an_error() {
         let s = Schema::from_header("#Fields: date time s-ip cs-host sc-filter-result").unwrap();
-        assert!(s.parse_record("2011-08-03,10:30:00,82.137.200.42", 1).is_err());
+        assert!(s
+            .parse_record("2011-08-03,10:30:00,82.137.200.42", 1)
+            .is_err());
     }
 
     #[test]
     fn duplicate_field_first_declaration_wins() {
-        let s = Schema::from_header(
-            "#Fields: date time s-ip cs-host cs-host sc-filter-result",
-        )
-        .unwrap();
+        let s = Schema::from_header("#Fields: date time s-ip cs-host cs-host sc-filter-result")
+            .unwrap();
         let rec = s
             .parse_record(
                 "2011-08-03,10:30:00,82.137.200.42,first.example,second.example,OBSERVED",

@@ -67,9 +67,7 @@ impl RequestUrl {
     /// The string the SG-9000 keyword filter scans: `host + path + ?query`,
     /// lowercased on the fly by the (case-insensitive) automaton.
     pub fn filter_view(&self) -> String {
-        let mut s = String::with_capacity(
-            self.host.len() + self.path.len() + self.query.len() + 1,
-        );
+        let mut s = String::with_capacity(self.host.len() + self.path.len() + self.query.len() + 1);
         s.push_str(&self.host);
         s.push_str(&self.path);
         if !self.query.is_empty() {
@@ -157,8 +155,8 @@ mod tests {
 
     #[test]
     fn filter_view_concatenates() {
-        let u = RequestUrl::http("www.facebook.com", "/plugins/like.php")
-            .with_query("href=x&app_id=1");
+        let u =
+            RequestUrl::http("www.facebook.com", "/plugins/like.php").with_query("href=x&app_id=1");
         assert_eq!(
             u.filter_view(),
             "www.facebook.com/plugins/like.php?href=x&app_id=1"

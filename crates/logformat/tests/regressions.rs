@@ -1,0 +1,44 @@
+//! Pinned regression cases from `prop_roundtrip.proptest-regressions`.
+//!
+//! The property runner replays its committed failure seeds, but these two
+//! shrunk inputs were tricky enough (a bare `-` host is the on-disk marker
+//! for an absent field; `/0.-` ends in the same marker character) that they
+//! deserve standing deterministic tests independent of any seed file.
+
+use filterscope_core::{ProxyId, Timestamp};
+use filterscope_logformat::record::RecordBuilder;
+use filterscope_logformat::{parse_line, ClientId, ExceptionId, RequestUrl};
+
+fn roundtrip(host: &str, path: &str, query: &str) {
+    let ts = Timestamp::parse_fields("2011-08-01", "00:00:00").unwrap();
+    let url = RequestUrl::http(host, path).with_query(query.to_string());
+    let rec = RecordBuilder::new(ts, ProxyId::from_index(0).unwrap(), url)
+        .user_agent(String::new())
+        .client(ClientId::Zeroed)
+        .exception(ExceptionId::None)
+        .derive_ext()
+        .build();
+    let line = rec.write_csv();
+    let back = parse_line(&line, 1).unwrap();
+    assert_eq!(back, rec, "line: {line}");
+}
+
+/// `cc 1fb9544a…`: host is the literal absent-field marker, empty path.
+#[test]
+fn dash_host_with_root_path_roundtrips() {
+    roundtrip("-", "/", "");
+}
+
+/// `cc f658527e…`: dash host and a path ending in the marker character.
+#[test]
+fn dash_host_with_dash_suffixed_path_roundtrips() {
+    roundtrip("-", "/0.-", "");
+}
+
+/// Neighbouring shapes of the same ambiguity: markers in every optional slot.
+#[test]
+fn marker_heavy_records_roundtrip() {
+    roundtrip("-", "/-", "");
+    roundtrip("--", "/0.-", "");
+    roundtrip("a-b.example", "/-.-", "");
+}

@@ -1,0 +1,52 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A vector whose length is uniform over `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn length_stays_in_range() {
+        let s = vec(any::<u32>(), 1..10);
+        let mut rng = TestRng::new(5);
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((1..10).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_tuples_work() {
+        let s = vec((any::<u32>(), 4u8..=32, 0usize..6), 0..25);
+        let mut rng = TestRng::new(6);
+        let v = s.generate(&mut rng);
+        assert!(v.len() < 25);
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline drop-in subset of the [proptest](https://crates.io/crates/proptest)
+//! API, implementing exactly the surface this workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_perturb`, and `boxed`;
+//! * regex-subset string strategies (`"[a-z]{1,4}"`, groups, alternation,
+//!   `{m,n}` repetition, escapes);
+//! * integer range strategies (`0u8..24`, `4u8..=32`, …), [`any`], [`Just`],
+//!   tuple strategies, [`collection::vec`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! proptest cannot be fetched; this crate keeps the workspace's property
+//! tests running unmodified. Cases are generated deterministically from a
+//! hash of the test name (no time/OS entropy), so failures reproduce across
+//! runs. There is no shrinking: on failure the runner reports the case
+//! index and re-raises the panic. `PROPTEST_CASES` overrides the per-test
+//! case count (default 64).
+
+pub mod collection;
+pub mod pattern;
+pub mod rng;
+pub mod runner;
+pub mod strategy;
+
+pub use rng::TestRng;
+pub use strategy::{any, Just, Strategy};
+
+/// What the proptest prelude exports, to the extent the workspace uses it.
+pub mod prelude {
+    pub use crate::rng::TestRng;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over deterministically generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::runner::run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Choose uniformly among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property-test assertion (alias of `assert!`; the shim runner reports the
+/// failing case before re-raising the panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion (alias of `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test inequality assertion (alias of `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,297 @@
+//! Generator for the regex subset proptest string strategies use.
+//!
+//! Supported syntax: literal characters, `\`-escapes (`\.`, `\n`, `\\`),
+//! character classes `[a-z0-9.-]` (ranges, literal `-` at either end,
+//! escapes), groups `( ... )` with `|` alternation, and `{m}` / `{m,n}`
+//! repetition of the preceding element. That covers every pattern in the
+//! workspace's property tests; anything outside the subset panics loudly at
+//! generation time rather than silently producing wrong strings.
+
+use crate::rng::TestRng;
+
+/// One parsed regex element.
+#[derive(Debug, Clone)]
+enum Node {
+    /// A literal character.
+    Lit(char),
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// A group: alternation over sequences.
+    Alt(Vec<Vec<Node>>),
+    /// `{m,n}` repetition of an element.
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// A compiled pattern, ready to sample.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    seq: Vec<Node>,
+}
+
+impl Pattern {
+    /// Compile `pattern`, panicking on syntax outside the supported subset.
+    pub fn compile(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let alts = parse_alternation(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex {pattern:?}: trailing input at {pos}"
+        );
+        let seq = if alts.len() == 1 {
+            alts.into_iter().next().unwrap()
+        } else {
+            vec![Node::Alt(alts)]
+        };
+        Pattern { seq }
+    }
+
+    /// Sample one string matching the pattern.
+    pub fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for node in &self.seq {
+            emit(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = *hi as u64 - *lo as u64 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("class range"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick within total");
+        }
+        Node::Alt(alts) => {
+            let seq = &alts[rng.below(alts.len() as u64) as usize];
+            for n in seq {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let count = rng.in_range(*lo as u64, *hi as u64);
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Parse alternation (`a|b|c`) until end of input or a closing `)`.
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Vec<Vec<Node>> {
+    let mut alts = Vec::new();
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' => break,
+            '|' => {
+                *pos += 1;
+                alts.push(std::mem::take(&mut seq));
+            }
+            _ => {
+                let node = parse_element(chars, pos);
+                let node = parse_repeat(chars, pos, node);
+                seq.push(node);
+            }
+        }
+    }
+    alts.push(seq);
+    alts
+}
+
+/// Parse one atom: literal, escape, class, or group.
+fn parse_element(chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '(' => {
+            *pos += 1;
+            let alts = parse_alternation(chars, pos);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unsupported regex: unterminated group"
+            );
+            *pos += 1;
+            Node::Alt(alts)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = escaped(chars, pos);
+            Node::Lit(c)
+        }
+        c => {
+            assert!(
+                !matches!(c, '*' | '+' | '?' | '{' | '}' | ']' | '.'),
+                "unsupported regex metacharacter {c:?}"
+            );
+            *pos += 1;
+            Node::Lit(c)
+        }
+    }
+}
+
+/// Decode the character after a `\`.
+fn escaped(chars: &[char], pos: &mut usize) -> char {
+    assert!(*pos < chars.len(), "unsupported regex: trailing backslash");
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parse the body of a `[...]` class (after the opening bracket).
+fn parse_class(chars: &[char], pos: &mut usize) -> Node {
+    let mut ranges = Vec::new();
+    assert!(
+        *pos < chars.len() && chars[*pos] != '^',
+        "unsupported regex: negated class"
+    );
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = if chars[*pos] == '\\' {
+            *pos += 1;
+            escaped(chars, pos)
+        } else {
+            let c = chars[*pos];
+            *pos += 1;
+            c
+        };
+        // `a-z` range, unless the `-` is the final character of the class.
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            *pos += 1;
+            let hi = if chars[*pos] == '\\' {
+                *pos += 1;
+                escaped(chars, pos)
+            } else {
+                let c = chars[*pos];
+                *pos += 1;
+                c
+            };
+            assert!(lo <= hi, "unsupported regex: inverted class range");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(*pos < chars.len(), "unsupported regex: unterminated class");
+    *pos += 1; // consume ']'
+    assert!(!ranges.is_empty(), "unsupported regex: empty class");
+    Node::Class(ranges)
+}
+
+/// Parse an optional `{m}` / `{m,n}` suffix.
+fn parse_repeat(chars: &[char], pos: &mut usize, node: Node) -> Node {
+    if *pos >= chars.len() || chars[*pos] != '{' {
+        return node;
+    }
+    *pos += 1;
+    let lo = parse_number(chars, pos);
+    let hi = if chars.get(*pos) == Some(&',') {
+        *pos += 1;
+        parse_number(chars, pos)
+    } else {
+        lo
+    };
+    assert!(
+        chars.get(*pos) == Some(&'}'),
+        "unsupported regex: unterminated repetition"
+    );
+    *pos += 1;
+    assert!(lo <= hi, "unsupported regex: inverted repetition bounds");
+    Node::Repeat(Box::new(node), lo, hi)
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    let mut n = 0u32;
+    while let Some(d) = chars.get(*pos).and_then(|c| c.to_digit(10)) {
+        n = n * 10 + d;
+        *pos += 1;
+    }
+    assert!(*pos > start, "unsupported regex: missing repetition bound");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let p = Pattern::compile(pattern);
+        let mut rng = TestRng::new(0xBEEF);
+        (0..n).map(|_| p.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        for s in samples("[a-z0-9.-]{1,40}", 200) {
+            assert!((1..=40).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn grouped_repetition() {
+        for s in samples("(/[a-zA-Z0-9._%-]{0,12}){0,4}", 200) {
+            if !s.is_empty() {
+                assert!(s.starts_with('/'), "{s:?}");
+            }
+            assert!(s.split('/').count() <= 5, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation() {
+        for s in samples("[a-z]{2,8}\\.(com|net|org|il)", 100) {
+            let (host, tld) = s.rsplit_once('.').unwrap();
+            assert!((2..=8).contains(&host.len()), "{s:?}");
+            assert!(["com", "net", "org", "il"].contains(&tld), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        for s in samples("[ -~]{0,60}", 100) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_newline_in_class() {
+        let all: String = samples("[ -~\\n]{0,300}", 50).concat();
+        assert!(all.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn literal_prefix() {
+        for s in samples("#Fields:[ -~]{0,120}", 50) {
+            assert!(s.starts_with("#Fields:"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exhausts_small_space() {
+        let seen: std::collections::HashSet<String> = samples("[ab]{1}", 100).into_iter().collect();
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! The deterministic case runner behind the [`crate::proptest!`] macro.
+
+use crate::rng::{splitmix, TestRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// How many cases to run (`PROPTEST_CASES` env override).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// FNV-1a over the test name: a stable per-test seed base.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `body` over deterministically seeded cases. On a failing case, the
+/// case index and seed are reported before the panic is re-raised (there is
+/// no shrinking in this shim).
+pub fn run<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng),
+{
+    let base = name_seed(name);
+    for case in 0..case_count() {
+        let seed = splitmix(base ^ splitmix(case));
+        let mut rng = TestRng::new(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| body(&mut rng))) {
+            eprintln!("proptest shim: property {name:?} failed at case {case} (seed {seed:#x})");
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_case_deterministically() {
+        let mut first = Vec::new();
+        run("runs_every_case", |rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        run("runs_every_case", |rng| second.push(rng.next_u64()));
+        assert_eq!(first.len() as u64, case_count());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_names_get_different_streams() {
+        let mut a = Vec::new();
+        run("stream_a", |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        run("stream_b", |rng| b.push(rng.next_u64()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failures_propagate() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run("always_fails", |_| panic!("expected"));
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! End-to-end exercise of the macro surface the workspace tests rely on.
+
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Label {
+    Fixed,
+    Named(String),
+    Numbered(u64),
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        Just(Label::Fixed),
+        "[a-z_]{1,20}".prop_map(Label::Named),
+        any::<u64>().prop_map(Label::Numbered),
+    ]
+}
+
+proptest! {
+    /// Doc comments and attributes pass through the macro.
+    #[test]
+    fn strings_match_their_pattern(s in "[a-z0-9.-]{1,40}", n in 0u8..24) {
+        prop_assert!((1..=40).contains(&s.len()), "len {} out of range", s.len());
+        prop_assert!(s.chars().all(|c| {
+            c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-'
+        }));
+        prop_assert_ne!(u64::from(n), 24);
+    }
+
+    #[test]
+    fn oneof_and_collections_compose(
+        labels in proptest::collection::vec(arb_label(), 1..10),
+        pair in ("[a-z.]{2,12}", "/[A-Za-z.]{1,14}"),
+    ) {
+        prop_assert!(!labels.is_empty());
+        prop_assert!(pair.1.starts_with('/'));
+    }
+
+    #[test]
+    fn perturb_hands_out_a_usable_rng(shuffled in Just(()).prop_perturb(|_, mut rng| {
+        let mut order: Vec<usize> = (0..8).collect();
+        for i in (1..order.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        order
+    })) {
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..8).collect::<Vec<usize>>());
+    }
+}

@@ -243,7 +243,10 @@ impl FarmConfig {
 impl Default for FarmConfig {
     fn default() -> Self {
         FarmConfig {
-            proxies: ProxyId::ALL.iter().map(|p| ProxyConfig::standard(*p)).collect(),
+            proxies: ProxyId::ALL
+                .iter()
+                .map(|p| ProxyConfig::standard(*p))
+                .collect(),
             seed: 0x5947_2011, // "SY 2011"
             error_per_cent_mille: 5_310,
             proxied_per_cent_mille: 470,

@@ -125,9 +125,9 @@ enum Section {
 /// Extract the value of `key="..."` from `line`, returning (value, rest).
 fn take_attr<'a>(line: &'a str, key: &str) -> Result<(String, &'a str)> {
     let prefix = format!("{key}=\"");
-    let start = line.find(&prefix).ok_or_else(|| {
-        Error::InvalidConfig(format!("expected {key}=\"...\" in {line:?}"))
-    })?;
+    let start = line
+        .find(&prefix)
+        .ok_or_else(|| Error::InvalidConfig(format!("expected {key}=\"...\" in {line:?}")))?;
     unquote(&line[start + prefix.len()..])
 }
 
@@ -140,11 +140,9 @@ pub fn parse_cpl(text: &str) -> Result<PolicyData> {
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
-        let err = |reason: &str| {
-            Error::MalformedRecord {
-                line: (no + 1) as u64,
-                reason: reason.to_string(),
-            }
+        let err = |reason: &str| Error::MalformedRecord {
+            line: (no + 1) as u64,
+            reason: reason.to_string(),
         };
         if let Some(rest) = line.strip_prefix("define ") {
             if section != Section::None {
@@ -225,10 +223,9 @@ mod tests {
     fn quoting_survives_special_characters() {
         let mut policy = PolicyData::empty();
         policy.keywords.push(r#"we"ird\key"#.to_string());
-        policy.custom_pages.push((
-            "www.facebook.com".into(),
-            "/Path \"quoted\"".into(),
-        ));
+        policy
+            .custom_pages
+            .push(("www.facebook.com".into(), "/Path \"quoted\"".into()));
         policy.custom_queries.push("ref=ts&x=1".into());
         let back = parse_cpl(&to_cpl(&policy)).unwrap();
         assert_eq!(back, policy);
@@ -239,18 +236,15 @@ mod tests {
         assert!(parse_cpl("define condition nonsense\nend\n").is_err());
         assert!(parse_cpl("url.substring=\"x\"\n").is_err()); // outside block
         assert!(parse_cpl("define condition blacklist_keywords\n").is_err()); // unterminated
-        assert!(parse_cpl(
-            "define subnet blocked_subnets\n  not-a-subnet\nend\n"
-        )
-        .is_err());
-        assert!(parse_cpl(
-            "define condition blacklist_keywords\n  url.substring=\"open\nend\n"
-        )
-        .is_err()); // unterminated string
+        assert!(parse_cpl("define subnet blocked_subnets\n  not-a-subnet\nend\n").is_err());
+        assert!(
+            parse_cpl("define condition blacklist_keywords\n  url.substring=\"open\nend\n")
+                .is_err()
+        ); // unterminated string
     }
 
     #[test]
-    fn comments_and_blanks_ignored()  {
+    fn comments_and_blanks_ignored() {
         let text = "; header\n\ndefine condition blacklist_keywords\n; inner comment\n  url.substring=\"proxy\"\nend\n";
         let p = parse_cpl(text).unwrap();
         assert_eq!(p.keywords, vec!["proxy".to_string()]);
@@ -277,4 +271,3 @@ mod tests {
         assert!(!engine.decide(&cfg, &fine).is_censored());
     }
 }
-

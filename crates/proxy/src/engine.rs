@@ -1,13 +1,13 @@
 //! The policy engine: one compiled rule set, evaluated per request.
 
 use crate::config::ProxyConfig;
-use crate::policy_data::PolicyData;
 use crate::decision::{Decision, Trigger};
 use crate::hashing::{decision_hash, per_mille};
+use crate::policy_data::PolicyData;
 use crate::request::Request;
 use filterscope_core::Timestamp;
-use filterscope_match::{AhoCorasick, CidrSet, DomainTrie};
 use filterscope_match::aho_corasick::AhoCorasickBuilder;
+use filterscope_match::{AhoCorasick, CidrSet, DomainTrie};
 use filterscope_tor::signaling;
 use filterscope_tor::RelayIndex;
 use std::collections::HashSet;
@@ -43,9 +43,7 @@ impl PolicyEngine {
             keywords: AhoCorasickBuilder::new()
                 .ascii_case_insensitive(true)
                 .build(&data.keywords),
-            domains: DomainTrie::from_entries(
-                data.blocked_domains.iter().map(|s| s.as_str()),
-            ),
+            domains: DomainTrie::from_entries(data.blocked_domains.iter().map(|s| s.as_str())),
             subnets: CidrSet::from_blocks(data.blocked_subnets.iter().copied()),
             redirect_hosts: data.redirect_hosts.iter().cloned().collect(),
             custom_pages: data.custom_pages.iter().cloned().collect(),
@@ -214,7 +212,12 @@ mod tests {
     fn domain_blacklist_denies_all_of_suffix() {
         let e = engine();
         let c = cfg(ProxyId::Sg42);
-        for host in ["metacafe.com", "www.metacafe.com", "download.skype.com", "panet.co.il"] {
+        for host in [
+            "metacafe.com",
+            "www.metacafe.com",
+            "download.skype.com",
+            "panet.co.il",
+        ] {
             let r = get(RequestUrl::http(host, "/"));
             assert_eq!(e.decide(&c, &r), Decision::Deny(Trigger::Domain), "{host}");
         }
@@ -236,9 +239,8 @@ mod tests {
     fn facebook_pages_redirect_only_on_narrow_queries() {
         let e = engine();
         let c = cfg(ProxyId::Sg43);
-        let page = |q: &str| {
-            get(RequestUrl::http("www.facebook.com", "/Syrian.Revolution").with_query(q))
-        };
+        let page =
+            |q: &str| get(RequestUrl::http("www.facebook.com", "/Syrian.Revolution").with_query(q));
         assert_eq!(
             e.decide(&c, &page("ref=ts")),
             Decision::Redirect(Trigger::CustomCategory)
@@ -274,7 +276,10 @@ mod tests {
             e.category_label(&cfg(ProxyId::Sg42), redirect),
             "Blocked sites; unavailable"
         );
-        assert_eq!(e.category_label(&cfg(ProxyId::Sg48), redirect), "Blocked sites");
+        assert_eq!(
+            e.category_label(&cfg(ProxyId::Sg48), redirect),
+            "Blocked sites"
+        );
         assert_eq!(
             e.category_label(&cfg(ProxyId::Sg42), Decision::Allow),
             "unavailable"
@@ -297,7 +302,12 @@ mod tests {
     fn tor_rule_fires_only_on_sg44_onion_traffic_after_aug1() {
         let consensus_cfg = SynthConsensusConfig::default();
         let docs: Vec<_> = (1..=6)
-            .map(|d| synthesize_consensus(&consensus_cfg, filterscope_core::Date::new(2011, 8, d).unwrap()))
+            .map(|d| {
+                synthesize_consensus(
+                    &consensus_cfg,
+                    filterscope_core::Date::new(2011, 8, d).unwrap(),
+                )
+            })
             .collect();
         let relays = Arc::new(RelayIndex::from_consensuses(docs.iter()));
         let e = PolicyEngine::standard(Some(relays.clone()), 42);

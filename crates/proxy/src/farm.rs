@@ -30,6 +30,14 @@ pub struct ProxyFarm {
     active: Vec<ProxyId>,
 }
 
+// The parallel pipelines share one farm per day kind across shards behind
+// an `Arc`; `process` takes `&self`, and this pins down that no interior
+// mutability may creep in and silently break that sharing.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProxyFarm>()
+};
+
 impl ProxyFarm {
     /// Build the standard farm. `relays` enables Tor-aware rules.
     pub fn new(config: FarmConfig, relays: Option<Arc<RelayIndex>>) -> Self {
@@ -73,6 +81,13 @@ impl ProxyFarm {
     pub fn set_active(&mut self, proxies: &[ProxyId]) {
         assert!(!proxies.is_empty(), "at least one active proxy required");
         self.active = proxies.to_vec();
+    }
+
+    /// Builder-style [`Self::set_active`], for wrapping a configured farm
+    /// straight into an `Arc` shared across pipeline shards.
+    pub fn with_active(mut self, proxies: &[ProxyId]) -> Self {
+        self.set_active(proxies);
+        self
     }
 
     /// The currently active proxies.
@@ -221,7 +236,11 @@ impl ProxyFarm {
             url,
             uri_ext,
             username: String::new(),
-            hierarchy: if served { "DIRECT".into() } else { "NONE".into() },
+            hierarchy: if served {
+                "DIRECT".into()
+            } else {
+                "NONE".into()
+            },
             // A host of literally "-" would collide with the absent-field
             // marker on disk; such a degenerate supplier is logged as absent.
             supplier: if served && req.url.host != "-" {
@@ -283,7 +302,10 @@ mod tests {
     #[test]
     fn censored_request_produces_denied_record() {
         let farm = ProxyFarm::standard();
-        let req = Request::get(ts("09:00:00"), RequestUrl::http("metacafe.com", "/watch/123"));
+        let req = Request::get(
+            ts("09:00:00"),
+            RequestUrl::http("metacafe.com", "/watch/123"),
+        );
         let rec = farm.process_on(&req, ProxyId::Sg48);
         // Either censored-denied or censored-proxied (cache overlay).
         assert!(rec.exception.is_policy() || rec.filter_result == FilterResult::Proxied);
@@ -323,7 +345,10 @@ mod tests {
     #[test]
     fn redirect_logs_policy_redirect_action() {
         let farm = ProxyFarm::standard();
-        let req = Request::get(ts("10:00:00"), RequestUrl::http("upload.youtube.com", "/up"));
+        let req = Request::get(
+            ts("10:00:00"),
+            RequestUrl::http("upload.youtube.com", "/up"),
+        );
         let rec = farm.process_on(&req, ProxyId::Sg42);
         if rec.filter_result == FilterResult::Denied {
             assert_eq!(rec.exception, ExceptionId::PolicyRedirect);
@@ -375,10 +400,7 @@ mod tests {
             counts[farm.route(&req).index()] += 1;
         }
         for (i, c) in counts.iter().enumerate() {
-            assert!(
-                (600..1500).contains(c),
-                "proxy {i} got {c} of {n} requests"
-            );
+            assert!((600..1500).contains(c), "proxy {i} got {c} of {n} requests");
         }
     }
 
@@ -398,7 +420,10 @@ mod tests {
     #[test]
     fn processing_is_deterministic() {
         let farm = ProxyFarm::standard();
-        let req = Request::get(ts("09:00:00"), RequestUrl::http("facebook.com", "/plugins/like.php"));
+        let req = Request::get(
+            ts("09:00:00"),
+            RequestUrl::http("facebook.com", "/plugins/like.php"),
+        );
         assert_eq!(farm.process(&req), farm.process(&req));
     }
 

@@ -39,6 +39,6 @@ pub mod request;
 pub use config::{FarmConfig, ProxyConfig};
 pub use decision::{Decision, Trigger};
 pub use engine::PolicyEngine;
-pub use policy_data::{PolicyData, RuleFamily};
 pub use farm::ProxyFarm;
+pub use policy_data::{PolicyData, RuleFamily};
 pub use request::Request;

@@ -1,7 +1,7 @@
 //! The farm's input: a client request before filtering.
 
-use filterscope_logformat::{ClientId, Method, RequestUrl};
 use filterscope_core::Timestamp;
+use filterscope_logformat::{ClientId, Method, RequestUrl};
 
 /// One client request as seen by the transparent proxy, before any policy
 /// decision.

@@ -16,8 +16,8 @@ fn arb_policy() -> impl Strategy<Value = PolicyData> {
         proptest::collection::vec(("[a-z.]{2,12}", "/[A-Za-z.]{1,14}"), 0..5),
         proptest::collection::vec("[a-z=&]{0,10}", 0..4),
     )
-        .prop_map(|(keywords, domains, subnets, redirects, pages, queries)| {
-            PolicyData {
+        .prop_map(
+            |(keywords, domains, subnets, redirects, pages, queries)| PolicyData {
                 keywords,
                 blocked_domains: domains,
                 blocked_subnets: subnets
@@ -27,8 +27,8 @@ fn arb_policy() -> impl Strategy<Value = PolicyData> {
                 redirect_hosts: redirects,
                 custom_pages: pages,
                 custom_queries: queries,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

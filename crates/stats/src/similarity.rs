@@ -17,8 +17,16 @@ pub fn cosine_similarity<K: Eq + Hash>(a: &HashMap<K, u64>, b: &HashMap<K, u64>)
         .iter()
         .filter_map(|(k, &av)| b.get(k).map(|&bv| av as f64 * bv as f64))
         .sum();
-    let na: f64 = a.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
-    let nb: f64 = b.values().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+    let na: f64 = a
+        .values()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = b
+        .values()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt();
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {

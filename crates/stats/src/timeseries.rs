@@ -78,10 +78,7 @@ impl TimeSeries {
         if total == 0 {
             return vec![0.0; self.bins.len()];
         }
-        self.bins
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect()
+        self.bins.iter().map(|&c| c as f64 / total as f64).collect()
     }
 
     /// Element-wise ratio against another series on the same grid: the
@@ -113,11 +110,7 @@ impl TimeSeries {
 
     /// The index and value of the peak bin (`None` when all bins are zero).
     pub fn peak(&self) -> Option<(usize, u64)> {
-        let (i, &v) = self
-            .bins
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, v)| **v)?;
+        let (i, &v) = self.bins.iter().enumerate().max_by_key(|(_, v)| **v)?;
         (v > 0).then_some((i, v))
     }
 }

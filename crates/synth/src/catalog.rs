@@ -301,7 +301,11 @@ pub const IM_ENDPOINTS: &[(&str, &str, u32)] = &[
     ("messenger.live.com", "/login.srf", 90),
     ("live.com", "/", 30),
     ("login.live.com", "/ppsecure/post.srf", 90),
-    ("config.messenger.msn.live.com", "/Config/MsgrConfig.asmx", 70),
+    (
+        "config.messenger.msn.live.com",
+        "/Config/MsgrConfig.asmx",
+        70,
+    ),
     ("chat.live.com", "/chat/session/{}", 90),
     ("skypeassets.live.com", "/static/client/{}", 40),
     ("sqm.ceipmsn.com", "/sqm/msn/sqmserver.dll", 125),

@@ -317,7 +317,9 @@ mod tests {
         // A coarse LCG gives well-spread draws across [0, PPM).
         let mut x = 12345u64;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             match mix.pick(x >> 11).id {
                 ClassId::FbPlugin => fb += 1,
                 ClassId::GenericTail => tail += 1,
@@ -339,7 +341,9 @@ mod tests {
         let mut aug_tor = 0;
         let mut jul_tor = 0;
         for _ in 0..2_000_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if aug.pick(x >> 11).id == ClassId::TorTraffic {
                 aug_tor += 1;
             }
@@ -376,6 +380,9 @@ mod tests {
             })
             .map(|s| s.august_ppm as u64)
             .sum();
-        assert!((9_000..10_500).contains(&censored), "censored ppm {censored}");
+        assert!(
+            (9_000..10_500).contains(&censored),
+            "censored ppm {censored}"
+        );
     }
 }

@@ -3,10 +3,49 @@
 use crate::config::{StudyDay, SynthConfig};
 use crate::generator::DayGenerator;
 use crate::users::Population;
+use filterscope_core::pool;
 use filterscope_logformat::LogRecord;
 use filterscope_proxy::{FarmConfig, ProxyFarm};
 use filterscope_tor::{synthesize_consensus, RelayIndex, SynthConsensusConfig};
 use std::sync::Arc;
+
+/// Default ceiling on requests per generation shard: large enough that farm
+/// processing dominates scheduling overhead, small enough that even a
+/// single August day (≈124 M requests at full scale) splits into hundreds
+/// of stealable units.
+pub const DEFAULT_SHARD_TARGET: u64 = 250_000;
+
+/// One deterministic unit of intra-day generation work: requests
+/// `start..end` of one study day.
+///
+/// The shard plan depends only on the configured volumes and the shard
+/// target — never on thread count — so folding shard results in plan order
+/// is bit-identical across any parallelism level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DayShard {
+    /// The day this shard belongs to.
+    pub day: StudyDay,
+    /// Shard ordinal within the day (0-based).
+    pub shard: usize,
+    /// Total shards the day was split into.
+    pub shards: usize,
+    /// First request index (inclusive).
+    pub start: u64,
+    /// Past-the-end request index.
+    pub end: u64,
+}
+
+impl DayShard {
+    /// Number of requests in this shard.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the shard holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
 
 /// A reproducible corpus: configuration plus the wired-up farm.
 pub struct Corpus {
@@ -97,32 +136,112 @@ impl Corpus {
         out
     }
 
-    /// Map each day on its own thread and collect the results in day order.
-    /// `f` receives the day and a fresh record iterator for it.
+    /// Map each day as one work unit on a work-stealing pool and collect
+    /// the results in day order. `f` receives the day and a fresh record
+    /// iterator for it.
+    ///
+    /// The per-day granularity is kept for callers whose `f` needs a whole
+    /// day at once; [`Self::par_map_day_shards`] scales past the
+    /// one-unit-per-day ceiling.
     pub fn par_map_days<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(StudyDay, &mut dyn Iterator<Item = LogRecord>) -> T + Sync,
     {
+        self.par_map_days_threads(pool::available_threads(), f)
+    }
+
+    /// [`Self::par_map_days`] with an explicit worker-thread count.
+    pub fn par_map_days_threads<T, F>(&self, threads: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(StudyDay, &mut dyn Iterator<Item = LogRecord>) -> T + Sync,
+    {
         let days: Vec<StudyDay> = self.config.period.days().to_vec();
-        let mut results: Vec<Option<T>> = Vec::with_capacity(days.len());
-        results.resize_with(days.len(), || None);
-        crossbeam::thread::scope(|scope| {
-            for (slot, day) in results.iter_mut().zip(days.iter().copied()) {
-                let f = &f;
-                scope.spawn(move |_| {
-                    let farm = self.farm_for(day);
-                    let generator = self.day_generator(day);
-                    let mut it = generator.iter().map(|req| farm.process(&req));
-                    *slot = Some(f(day, &mut it));
-                });
-            }
+        pool::run_indexed(threads, days.len(), |i| {
+            let day = days[i];
+            let farm = self.farm_for(day);
+            let generator = self.day_generator(day);
+            let mut it = generator.iter().map(|req| farm.process(&req));
+            f(day, &mut it)
         })
-        .expect("corpus worker panicked");
-        results
-            .into_iter()
-            .map(|r| r.expect("every day produced a result"))
-            .collect()
+    }
+
+    /// The deterministic (day × shard) plan for `shard_target` requests per
+    /// shard (0 selects [`DEFAULT_SHARD_TARGET`]). Shards of one day are
+    /// contiguous index ranges; concatenating them in plan order replays
+    /// the exact sequential request stream.
+    pub fn shard_plan(&self, shard_target: u64) -> Vec<DayShard> {
+        let target = if shard_target == 0 {
+            DEFAULT_SHARD_TARGET
+        } else {
+            shard_target
+        };
+        let mut plan = Vec::new();
+        for day in self.config.period.days().iter().copied() {
+            let volume = self.config.day_volume(day.kind);
+            let shards = (volume.div_ceil(target)).max(1) as usize;
+            let base = volume / shards as u64;
+            let rem = volume % shards as u64;
+            let mut start = 0u64;
+            for shard in 0..shards {
+                let len = base + u64::from((shard as u64) < rem);
+                plan.push(DayShard {
+                    day,
+                    shard,
+                    shards,
+                    start,
+                    end: start + len,
+                });
+                start += len;
+            }
+            debug_assert_eq!(start, volume);
+        }
+        plan
+    }
+
+    /// Map every (day × shard) unit on a work-stealing pool of `threads`
+    /// workers and collect the results in plan order.
+    ///
+    /// Shards of one day share a single farm and generator via [`Arc`]
+    /// (farms are also deduplicated across days with the same active-proxy
+    /// set), so worker startup cost is per day, not per shard. The result
+    /// order — and therefore anything folded from it in order — is
+    /// independent of `threads`.
+    pub fn par_map_day_shards<T, F>(&self, threads: usize, shard_target: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(DayShard, &mut dyn Iterator<Item = LogRecord>) -> T + Sync,
+    {
+        let days = self.config.period.days();
+        let mut farms: Vec<Arc<ProxyFarm>> = Vec::with_capacity(days.len());
+        for day in days {
+            let shared = farms
+                .iter()
+                .find(|f| f.active() == day.kind.active_proxies())
+                .cloned();
+            farms.push(shared.unwrap_or_else(|| Arc::new(self.farm_for(*day))));
+        }
+        let generators: Vec<Arc<DayGenerator>> = days
+            .iter()
+            .map(|day| Arc::new(self.day_generator(*day)))
+            .collect();
+        let day_index = |date| {
+            days.iter()
+                .position(|d| d.date == date)
+                .expect("shard day is in the period")
+        };
+        let plan = self.shard_plan(shard_target);
+        pool::run_indexed(threads, plan.len(), |i| {
+            let unit = plan[i];
+            let ix = day_index(unit.day.date);
+            let farm = Arc::clone(&farms[ix]);
+            let generator = Arc::clone(&generators[ix]);
+            let mut it = generator
+                .iter_range(unit.start..unit.end)
+                .map(|req| farm.process(&req));
+            f(unit, &mut it)
+        })
     }
 
     /// Total number of requests the configured period will generate.
@@ -219,6 +338,19 @@ mod tests {
             .collect();
         let par: Vec<u64> = c.par_map_days(|_, it| it.count() as u64);
         assert_eq!(seq, par);
+        // The (day × shard) pool covers the same stream: per-day shard
+        // counts must sum back to the sequential day counts, at any thread
+        // count.
+        for threads in [1, 8] {
+            let shard_counts: Vec<(crate::config::StudyDay, u64)> =
+                c.par_map_day_shards(threads, 64, |unit, it| (unit.day, it.count() as u64));
+            let mut by_day = std::collections::BTreeMap::new();
+            for (day, n) in shard_counts {
+                *by_day.entry(day.date).or_insert(0u64) += n;
+            }
+            let merged: Vec<u64> = by_day.values().copied().collect();
+            assert_eq!(seq, merged, "threads={threads}");
+        }
     }
 
     #[test]
@@ -231,5 +363,51 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a[0].write_csv(), b[0].write_csv());
         assert_eq!(a[a.len() - 1], b[b.len() - 1]);
+        // Intra-day sharding must not change a single byte: concatenating
+        // the shard outputs in plan order replays the sequential stream,
+        // regardless of shard size or thread count.
+        let seq_lines: Vec<String> = c1
+            .config()
+            .period
+            .days()
+            .iter()
+            .flat_map(|d| c1.day_records(*d))
+            .map(|r| r.write_csv())
+            .collect();
+        for (threads, target) in [(1usize, 37u64), (8, 37), (8, 251)] {
+            let sharded: Vec<String> = c2
+                .par_map_day_shards(threads, target, |_, it| {
+                    it.map(|r| r.write_csv()).collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(seq_lines, sharded, "threads={threads} target={target}");
+        }
+    }
+
+    #[test]
+    fn shard_plan_partitions_every_day() {
+        let c = tiny();
+        let plan = c.shard_plan(64);
+        assert!(
+            plan.len() > c.config().period.days().len(),
+            "tiny corpus must still split into multiple shards per day"
+        );
+        for day in c.config().period.days() {
+            let shards: Vec<_> = plan.iter().filter(|u| u.day.date == day.date).collect();
+            assert_eq!(shards[0].start, 0);
+            assert_eq!(shards.last().unwrap().end, c.config().day_volume(day.kind));
+            for pair in shards.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "shards must be contiguous");
+            }
+            for u in &shards {
+                assert_eq!(u.shards, shards.len());
+                assert!(!u.is_empty());
+                assert!(u.len() <= 65, "target 64 with ±1 balancing");
+            }
+        }
+        // The default plan at tiny scale is one shard per day.
+        assert_eq!(c.shard_plan(0).len(), c.config().period.days().len());
     }
 }

@@ -99,7 +99,12 @@ impl DayGenerator {
     /// Derive the `n`-th sub-hash for request `i`.
     fn sub(&self, i: u64, n: u64) -> u64 {
         let day = self.day.date.days_from_civil() as u64;
-        splitmix(self.seed ^ day.wrapping_mul(0xA24B_AED4_963E_E407) ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ n.wrapping_mul(0xD134_2543_DE82_EF95))
+        splitmix(
+            self.seed
+                ^ day.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ n.wrapping_mul(0xD134_2543_DE82_EF95),
+        )
     }
 
     /// Generate request `i` of this day.
@@ -131,6 +136,17 @@ impl DayGenerator {
         (0..self.volume).map(|i| self.request(i))
     }
 
+    /// Iterate one sub-stream of the day: requests `range.start..range.end`
+    /// (clamped to the day's volume).
+    ///
+    /// [`Self::request`] is a pure function of `(seed, date, i)`, so the
+    /// concatenation of adjacent sub-streams is bit-identical to [`Self::iter`]
+    /// — the property intra-day generation sharding rests on.
+    pub fn iter_range(&self, range: std::ops::Range<u64>) -> impl Iterator<Item = Request> + '_ {
+        let end = range.end.min(self.volume);
+        (range.start.min(end)..end).map(|i| self.request(i))
+    }
+
     // ------------------------------------------------------------------
     // Per-class builders. Each returns (url, method, user-agent, bytes).
     // ------------------------------------------------------------------
@@ -144,8 +160,7 @@ impl DayGenerator {
     ) -> (RequestUrl, Method, String, u64) {
         let h = self.sub(i, 4);
         let ua = || self.population.user_agent(user).to_string();
-        let get =
-            |url: RequestUrl, ua: String, bytes: u64| (url, Method::Get, ua, bytes);
+        let get = |url: RequestUrl, ua: String, bytes: u64| (url, Method::Get, ua, bytes);
         match spec.id {
             ClassId::FbPlugin => {
                 let path = *weighted(catalog::FB_PLUGINS, h);
@@ -181,8 +196,7 @@ impl DayGenerator {
                 400,
             ),
             ClassId::ZyngaCanvas => {
-                let app = ["farmville", "cityville", "mafiawars", "poker"]
-                    [(h % 4) as usize];
+                let app = ["farmville", "cityville", "mafiawars", "poker"][(h % 4) as usize];
                 get(
                     RequestUrl::http(
                         format!("{app}.zynga.com"),
@@ -200,8 +214,7 @@ impl DayGenerator {
                     ("api.yahoo.com", "/v1/social/proxy")
                 };
                 get(
-                    RequestUrl::http(host, path)
-                        .with_query(format!("cb={:x}", h & 0xffffff)),
+                    RequestUrl::http(host, path).with_query(format!("cb={:x}", h & 0xffffff)),
                     ua(),
                     600,
                 )
@@ -359,17 +372,14 @@ impl DayGenerator {
                     format!("q=cache:{target}")
                 };
                 get(
-                    RequestUrl::http("webcache.googleusercontent.com", "/search")
-                        .with_query(q),
+                    RequestUrl::http("webcache.googleusercontent.com", "/search").with_query(q),
                     ua(),
                     6000,
                 )
             }
             ClassId::IpHost => {
-                let pools: Vec<(&str, u32)> = catalog::IP_POOLS
-                    .iter()
-                    .map(|(_, b, w)| (*b, *w))
-                    .collect();
+                let pools: Vec<(&str, u32)> =
+                    catalog::IP_POOLS.iter().map(|(_, b, w)| (*b, *w)).collect();
                 let cidr = *weighted(&pools, h);
                 let block = Ipv4Cidr::parse(cidr).expect("catalog cidr");
                 let ip = block.nth(splitmix(h));
@@ -413,10 +423,7 @@ impl DayGenerator {
                         // The %2F-glued tokens (fsite/fconnect/...) must
                         // exist in allowed traffic too, or §5.4 token
                         // recovery reports them as keywords.
-                        format!(
-                            "share=http%3A%2F%2Fsite{}.com%2Fconnect%2Fstory",
-                            h % 900
-                        )
+                        format!("share=http%3A%2F%2Fsite{}.com%2Fconnect%2Fstory", h % 900)
                     } else {
                         String::new()
                     };
@@ -545,8 +552,7 @@ impl DayGenerator {
             "www.facebook.com"
         };
         let query = if narrow {
-            filterscope_proxy::config::CUSTOM_CATEGORY_QUERIES
-                [(splitmix(h ^ 7) % 4) as usize]
+            filterscope_proxy::config::CUSTOM_CATEGORY_QUERIES[(splitmix(h ^ 7) % 4) as usize]
                 .to_string()
         } else {
             format!(
@@ -583,8 +589,8 @@ impl DayGenerator {
             // HTTPS).
             969..=973 => {
                 let blocks = ["84.229.0.0/16", "46.120.0.0/15", "89.138.0.0/15"];
-                let block = Ipv4Cidr::parse(blocks[(splitmix(h ^ 9) % 3) as usize])
-                    .expect("static block");
+                let block =
+                    Ipv4Cidr::parse(blocks[(splitmix(h ^ 9) % 3) as usize]).expect("static block");
                 block.nth(splitmix(h ^ 11)).to_string()
             }
             // Allowed Israeli IP tunnels.
@@ -720,8 +726,8 @@ impl DayGenerator {
         let (host, path) = *weighted(&trackers, h);
         // Zipf-ish content popularity over the (scaled-down) universe.
         let u = unit(splitmix(h ^ 21));
-        let rank = ((BT_INFOHASH_UNIVERSE as f64).powf(u).floor() as u64)
-            .min(BT_INFOHASH_UNIVERSE - 1);
+        let rank =
+            ((BT_INFOHASH_UNIVERSE as f64).powf(u).floor() as u64).min(BT_INFOHASH_UNIVERSE - 1);
         let mut ih = [0u8; 20];
         ih[..8].copy_from_slice(&splitmix(rank ^ 0xB17).to_le_bytes());
         ih[8..16].copy_from_slice(&rank.to_le_bytes());
@@ -824,8 +830,7 @@ mod tests {
             if r.url.path.contains("/plugins/") || r.url.path.contains("login_status") {
                 plugins += 1;
             }
-            if r.url.host.starts_with('w') && r.url.host[1..2].chars().all(|c| c.is_ascii_digit())
-            {
+            if r.url.host.starts_with('w') && r.url.host[1..2].chars().all(|c| c.is_ascii_digit()) {
                 tail += 1;
             }
         }

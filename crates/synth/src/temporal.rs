@@ -7,7 +7,7 @@
 //! from Instant-Messaging demand surges (August 3, 8:00–9:30), so IM-class
 //! traffic carries its own curve.
 
-use filterscope_core::{Date, Timestamp, TimeOfDay, Weekday};
+use filterscope_core::{Date, TimeOfDay, Timestamp, Weekday};
 
 /// 5-minute slots per day.
 pub const SLOTS: usize = 288;
@@ -28,8 +28,8 @@ pub enum TemporalKind {
 /// Relative hourly weight, before modifiers.
 fn hourly_weight(kind: TemporalKind, hour: usize) -> f64 {
     const GENERIC: [f64; 24] = [
-        3.0, 2.0, 1.5, 1.0, 1.0, 2.0, 4.0, 6.5, 8.5, 9.5, 10.0, 10.0, 9.0, 8.0, 7.5, 7.0, 7.0,
-        7.5, 8.0, 8.5, 8.0, 7.0, 5.5, 4.0,
+        3.0, 2.0, 1.5, 1.0, 1.0, 2.0, 4.0, 6.5, 8.5, 9.5, 10.0, 10.0, 9.0, 8.0, 7.5, 7.0, 7.0, 7.5,
+        8.0, 8.5, 8.0, 7.0, 5.5, 4.0,
     ];
     match kind {
         TemporalKind::Generic | TemporalKind::Im | TemporalKind::Tor => GENERIC[hour],

@@ -75,8 +75,7 @@ pub struct RelayDescriptor {
 impl RelayDescriptor {
     /// Ports on which this relay accepts connections (OR plus dir if any).
     pub fn ports(&self) -> impl Iterator<Item = u16> + '_ {
-        std::iter::once(self.or_port)
-            .chain((self.dir_port != 0).then_some(self.dir_port))
+        std::iter::once(self.or_port).chain((self.dir_port != 0).then_some(self.dir_port))
     }
 }
 
@@ -129,8 +128,7 @@ impl ConsensusDoc {
                 if parts.len() != 4 {
                     return Err(mal("r line needs: nickname ip or-port dir-port"));
                 }
-                let addr: Ipv4Addr =
-                    parts[1].parse().map_err(|_| mal("bad relay address"))?;
+                let addr: Ipv4Addr = parts[1].parse().map_err(|_| mal("bad relay address"))?;
                 let or_port: u16 = parts[2].parse().map_err(|_| mal("bad or-port"))?;
                 let dir_port: u16 = parts[3].parse().map_err(|_| mal("bad dir-port"))?;
                 relays.push(RelayDescriptor {
@@ -218,7 +216,8 @@ mod tests {
 
     #[test]
     fn parse_tolerates_unknown_lines() {
-        let text = "valid 2011-08-01\nx something unknown\nr n1 1.2.3.4 9001 0\nw Bandwidth=200\nend\n";
+        let text =
+            "valid 2011-08-01\nx something unknown\nr n1 1.2.3.4 9001 0\nw Bandwidth=200\nend\n";
         let doc = ConsensusDoc::parse(text).unwrap();
         assert_eq!(doc.relays.len(), 1);
         assert_eq!(doc.relays[0].or_port, 9001);

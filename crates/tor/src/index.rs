@@ -142,8 +142,14 @@ mod tests {
         let d1 = Date::new(2011, 8, 1).unwrap();
         let d2 = Date::new(2011, 8, 2).unwrap();
         let ix = RelayIndex::from_consensuses([
-            &doc(d1, &[("a", [1, 1, 1, 1], 9001, 0), ("b", [2, 2, 2, 2], 9001, 0)]),
-            &doc(d2, &[("b", [2, 2, 2, 2], 9001, 0), ("c", [3, 3, 3, 3], 9001, 0)]),
+            &doc(
+                d1,
+                &[("a", [1, 1, 1, 1], 9001, 0), ("b", [2, 2, 2, 2], 9001, 0)],
+            ),
+            &doc(
+                d2,
+                &[("b", [2, 2, 2, 2], 9001, 0), ("c", [3, 3, 3, 3], 9001, 0)],
+            ),
         ]);
         let (appeared, disappeared) = ix.churn(d1, d2);
         assert_eq!((appeared, disappeared), (1, 1));

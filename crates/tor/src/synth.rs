@@ -91,7 +91,8 @@ pub fn synthesize_consensus(cfg: &SynthConsensusConfig, date: Date) -> Consensus
     let day = date.days_from_civil() as u64;
     let mut relays = Vec::with_capacity(cfg.relay_count);
     for i in 0..cfg.relay_count {
-        let churn = splitmix(cfg.seed ^ 0xC0FF_EE00 ^ (i as u64) ^ day.wrapping_mul(0x1234_5678_9ABC));
+        let churn =
+            splitmix(cfg.seed ^ 0xC0FF_EE00 ^ (i as u64) ^ day.wrapping_mul(0x1234_5678_9ABC));
         if churn % 1000 < cfg.daily_churn_per_mille as u64 {
             continue;
         }
@@ -125,7 +126,11 @@ mod tests {
         let cfg = SynthConsensusConfig::default();
         let doc = synthesize_consensus(&cfg, d(1));
         // ~2% churn of 1111 relays.
-        assert!(doc.relays.len() > 1000 && doc.relays.len() < 1111, "{}", doc.relays.len());
+        assert!(
+            doc.relays.len() > 1000 && doc.relays.len() < 1111,
+            "{}",
+            doc.relays.len()
+        );
         let doc2 = synthesize_consensus(&cfg, d(2));
         assert_ne!(doc, doc2, "different days must differ (churn)");
     }
@@ -157,7 +162,9 @@ mod tests {
     #[test]
     fn index_over_period_answers_joins() {
         let cfg = SynthConsensusConfig::default();
-        let docs: Vec<_> = (1..=6).map(|day| synthesize_consensus(&cfg, d(day))).collect();
+        let docs: Vec<_> = (1..=6)
+            .map(|day| synthesize_consensus(&cfg, d(day)))
+            .collect();
         let ix = RelayIndex::from_consensuses(docs.iter());
         assert_eq!(ix.date_count(), 6);
         // A relay present on day 3 joins on day 3.

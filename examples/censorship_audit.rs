@@ -20,9 +20,7 @@ use std::io::{BufReader, BufWriter};
 fn write_demo_log(path: &std::path::Path) {
     let corpus = Corpus::new(SynthConfig::new(16_384).expect("valid scale"));
     let day = corpus.config().period.days()[5]; // August 3
-    let mut writer = LogWriter::new(BufWriter::new(
-        File::create(path).expect("create demo log"),
-    ));
+    let mut writer = LogWriter::new(BufWriter::new(File::create(path).expect("create demo log")));
     for record in corpus.day_records(day) {
         writer.write_record(&record).expect("write record");
     }

@@ -25,17 +25,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let demo = [
         // One example per rule family.
-        "www.google.com/search?q=weather",              // allowed
-        "www.google.com/tbproxy/af/query?q=1",          // keyword collateral
-        "www.metacafe.com/watch/42",                    // domain rule
-        "download.skype.com/windows/SkypeSetup.exe",    // domain rule (IM)
-        "panet.co.il/news",                             // .il ccTLD rule
-        "84.229.10.10/",                                // Israeli subnet rule
-        "upload.youtube.com/my-video",                  // redirect host
-        "www.facebook.com/Syrian.Revolution?ref=ts",    // custom category
+        "www.google.com/search?q=weather",           // allowed
+        "www.google.com/tbproxy/af/query?q=1",       // keyword collateral
+        "www.metacafe.com/watch/42",                 // domain rule
+        "download.skype.com/windows/SkypeSetup.exe", // domain rule (IM)
+        "panet.co.il/news",                          // .il ccTLD rule
+        "84.229.10.10/",                             // Israeli subnet rule
+        "upload.youtube.com/my-video",               // redirect host
+        "www.facebook.com/Syrian.Revolution?ref=ts", // custom category
         "www.facebook.com/Syrian.Revolution?ref=ts&ajaxpipe=1", // ...escaped
         "www.facebook.com/plugins/like.php?channel_url=xd_proxy.php", // plugin
-        "hotsptshld.com/download/hotspotshield-7.exe",  // anti-censorship kw
+        "hotsptshld.com/download/hotspotshield-7.exe", // anti-censorship kw
     ];
     let urls: Vec<String> = if args.is_empty() {
         demo.iter().map(|s| s.to_string()).collect()

@@ -12,7 +12,7 @@
 
 use filterscope::analysis::tor_usage::TorStats;
 use filterscope::analysis::AnalysisContext;
-use filterscope::core::{Date, ProxyId, Timestamp, TimeOfDay};
+use filterscope::core::{Date, ProxyId, TimeOfDay, Timestamp};
 use filterscope::logformat::RequestUrl;
 use filterscope::prelude::*;
 use filterscope::tor::signaling::DIR_PATHS;
@@ -21,13 +21,18 @@ use std::sync::Arc;
 
 fn main() {
     let consensus_cfg = SynthConsensusConfig::default();
-    let dates: Vec<Date> = (1..=6).map(|d| Date::new(2011, 8, d).expect("date")).collect();
+    let dates: Vec<Date> = (1..=6)
+        .map(|d| Date::new(2011, 8, d).expect("date"))
+        .collect();
     let docs: Vec<_> = dates
         .iter()
         .map(|d| synthesize_consensus(&consensus_cfg, *d))
         .collect();
     let relays = Arc::new(RelayIndex::from_consensuses(docs.iter()));
-    let farm = ProxyFarm::new(filterscope::proxy::FarmConfig::default(), Some(relays.clone()));
+    let farm = ProxyFarm::new(
+        filterscope::proxy::FarmConfig::default(),
+        Some(relays.clone()),
+    );
     let ctx = AnalysisContext::standard(Some(relays));
 
     let mut stats = TorStats::standard();
@@ -35,21 +40,15 @@ fn main() {
     let mut total = 0u64;
     for (date, doc) in dates.iter().zip(&docs) {
         for hour in 0..24u8 {
-            let ts = Timestamp::new(
-                *date,
-                TimeOfDay::new(hour, 13, 0).expect("static time"),
-            );
+            let ts = Timestamp::new(*date, TimeOfDay::new(hour, 13, 0).expect("static time"));
             // Probe a rotating subset of relays each hour: one dir fetch and
             // three circuit attempts per sampled relay.
             for (i, relay) in doc.relays.iter().enumerate().step_by(7) {
                 if relay.dir_port != 0 {
                     let dir = Request::get(
                         ts,
-                        RequestUrl::http(
-                            relay.addr.to_string(),
-                            DIR_PATHS[i % DIR_PATHS.len()],
-                        )
-                        .with_port(relay.dir_port),
+                        RequestUrl::http(relay.addr.to_string(), DIR_PATHS[i % DIR_PATHS.len()])
+                            .with_port(relay.dir_port),
                     );
                     let rec = farm.process(&dir);
                     stats.ingest(&ctx, &rec);

@@ -9,25 +9,30 @@
 //! ```
 
 use filterscope::analysis::comparison::compare;
-use filterscope::analysis::filter_inference::FilterInference;
-use filterscope::analysis::weather::WeatherReport;
-use filterscope::logformat::{LogWriter, SchemaReader};
+use filterscope::analysis::pipeline::ParallelIngest;
+use filterscope::core::pool;
+use filterscope::logformat::fields::header_line;
+use filterscope::logformat::SchemaReader;
 use filterscope::prelude::*;
 use filterscope::proxy::{cpl, PolicyData};
+use filterscope::synth::corpus::DayShard;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  filterscope generate [--scale N] [--out DIR]\n  \
-         filterscope analyze LOG... [--min-support N] [--geo FILE] [--categories FILE] [--json OUT]\n  \
-         filterscope audit LOG... [--min-support N] [--cpl OUT]\n  \
+        "usage:\n  filterscope generate [--scale N] [--out DIR] [--threads N]\n  \
+         filterscope analyze LOG... [--min-support N] [--geo FILE] [--categories FILE] [--json OUT] [--threads N]\n  \
+         filterscope audit LOG... [--min-support N] [--cpl OUT] [--threads N]\n  \
          filterscope policy [--out FILE]\n  \
-         filterscope report [--scale N] [--json OUT]\n  \
-         filterscope weather LOG... [--min-support N]\n  \
-         filterscope compare --a LOG --b LOG [--min-support N]"
+         filterscope report [--scale N] [--json OUT] [--threads N]\n  \
+         filterscope weather LOG... [--min-support N] [--threads N]\n  \
+         filterscope compare --a LOG --b LOG [--min-support N]\n\n\
+         --threads defaults to the available parallelism; results are\n\
+         byte-identical for every thread count."
     );
     ExitCode::from(2)
 }
@@ -45,7 +50,10 @@ impl Args {
         let mut it = raw.peekable();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = it.next()?;
+                // A value is required and must not itself look like a flag:
+                // `analyze --json --threads 4` is a mistake, not a request to
+                // write the summary to a file named "--threads".
+                let value = it.next().filter(|v| !v.starts_with("--"))?;
                 flags.push((name.to_string(), value));
             } else {
                 positional.push(arg);
@@ -67,10 +75,61 @@ impl Args {
             Some(v) => v.parse().ok(),
         }
     }
+
+    /// `--threads N` (>= 1); defaults to the available parallelism.
+    fn threads(&self) -> Option<usize> {
+        match self.flag("threads") {
+            None => Some(pool::available_threads()),
+            Some(v) => v.parse::<usize>().ok().filter(|n| *n >= 1),
+        }
+    }
+}
+
+/// Part-file path for one `(day × shard)` generation unit.
+fn part_path(out_dir: &Path, unit: &DayShard) -> PathBuf {
+    out_dir.join(format!(
+        "sg_access_{}.log.part{:04}",
+        unit.day.date, unit.shard
+    ))
+}
+
+/// Write one shard's records to its part file, returning the record count.
+fn write_part(path: &Path, records: &mut dyn Iterator<Item = LogRecord>) -> std::io::Result<u64> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    let mut written = 0u64;
+    for rec in records {
+        writeln!(writer, "{}", rec.write_csv())?;
+        written += 1;
+    }
+    writer.flush()?;
+    Ok(written)
+}
+
+/// Concatenate a day's part files (in shard order) behind the ELFF header,
+/// removing the parts. A day with zero records stays an empty file, exactly
+/// as the sequential `LogWriter` path produced.
+fn assemble_day(day_path: &Path, out_dir: &Path, units: &[DayShard]) -> std::io::Result<()> {
+    let mut out = BufWriter::new(File::create(day_path)?);
+    if units.iter().any(|u| !u.is_empty()) {
+        writeln!(out, "#Software: SGOS 4.1.4")?;
+        writeln!(out, "{}", header_line())?;
+    }
+    for unit in units {
+        let part = part_path(out_dir, unit);
+        let mut reader = File::open(&part)?;
+        std::io::copy(&mut reader, &mut out)?;
+        drop(reader);
+        std::fs::remove_file(&part)?;
+    }
+    out.flush()?;
+    Ok(())
 }
 
 fn cmd_generate(args: &Args) -> ExitCode {
     let Some(scale) = args.flag_u64("scale", 65_536) else {
+        return usage();
+    };
+    let Some(threads) = args.threads() else {
         return usage();
     };
     let out_dir = PathBuf::from(args.flag("out").unwrap_or("./logs"));
@@ -83,25 +142,60 @@ fn cmd_generate(args: &Args) -> ExitCode {
     };
     let corpus = Corpus::new(config);
     eprintln!(
-        "writing {} requests across {} day files to {}",
+        "writing {} requests across {} day files to {} on {threads} thread{}",
         corpus.total_volume(),
         corpus.config().period.days().len(),
-        out_dir.display()
+        out_dir.display(),
+        if threads == 1 { "" } else { "s" }
     );
-    let results = corpus.par_map_days(|day, records| {
-        let path = out_dir.join(format!("sg_access_{}.log", day.date));
-        let file = File::create(&path).expect("create day file");
-        let mut writer = LogWriter::new(BufWriter::new(file));
-        for rec in records {
-            writer.write_record(&rec).expect("write record");
-        }
-        let n = writer.records_written();
-        writer.into_inner().expect("flush");
-        (path, n)
+    let started = Instant::now();
+    // Every (day × shard) unit synthesizes its slice into a part file; I/O
+    // failures surface as per-unit errors instead of a worker panic.
+    let plan = corpus.shard_plan(0);
+    let part_results = corpus.par_map_day_shards(threads, 0, |unit, records| {
+        let path = part_path(&out_dir, &unit);
+        write_part(&path, records).map_err(|e| format!("{}: {e}", path.display()))
     });
-    for (path, n) in results {
-        println!("{}  {n} records", path.display());
+    let mut failures = Vec::new();
+    let mut counts = Vec::with_capacity(plan.len());
+    for (unit, result) in plan.iter().zip(part_results) {
+        match result {
+            Ok(n) => counts.push(n),
+            Err(e) => {
+                counts.push(0);
+                failures.push(format!("day {}: {e}", unit.day.date));
+            }
+        }
     }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("generate failed: {f}");
+        }
+        for unit in &plan {
+            let _ = std::fs::remove_file(part_path(&out_dir, unit));
+        }
+        return ExitCode::FAILURE;
+    }
+    let mut total = 0u64;
+    let mut i = 0;
+    while i < plan.len() {
+        let day = plan[i].day;
+        let day_units = &plan[i..i + plan[i].shards];
+        let day_records: u64 = counts[i..i + plan[i].shards].iter().sum();
+        let day_path = out_dir.join(format!("sg_access_{}.log", day.date));
+        if let Err(e) = assemble_day(&day_path, &out_dir, day_units) {
+            eprintln!("generate failed: day {}: {e}", day.date);
+            return ExitCode::FAILURE;
+        }
+        println!("{}  {day_records} records", day_path.display());
+        total += day_records;
+        i += plan[i].shards;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "generated {total} records in {elapsed:.2}s — {:.0} records/s",
+        total as f64 / elapsed.max(1e-9)
+    );
     ExitCode::SUCCESS
 }
 
@@ -154,23 +248,52 @@ fn context_from_flags(args: &Args) -> Result<AnalysisContext, ExitCode> {
     Ok(ctx)
 }
 
+/// The sharded ingest driver: `--threads` workers, with the shard size
+/// overridable through `FILTERSCOPE_SHARD_BYTES` (tests force tiny shards
+/// to exercise boundary handling; output is identical for any value).
+fn ingest_driver(threads: usize) -> ParallelIngest {
+    let mut ingest = ParallelIngest::new(threads);
+    if let Some(bytes) = std::env::var("FILTERSCOPE_SHARD_BYTES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        ingest = ingest.with_shard_bytes(bytes);
+    }
+    ingest
+}
+
+/// The positional log paths, or usage() if none were given.
+fn log_paths(args: &Args) -> Result<Vec<PathBuf>, ExitCode> {
+    if args.positional.is_empty() {
+        return Err(usage());
+    }
+    Ok(args.positional.iter().map(PathBuf::from).collect())
+}
+
 fn cmd_analyze(args: &Args) -> ExitCode {
     let Some(min_support) = args.flag_u64("min-support", 3) else {
         return usage();
+    };
+    let Some(threads) = args.threads() else {
+        return usage();
+    };
+    let paths = match log_paths(args) {
+        Ok(p) => p,
+        Err(code) => return code,
     };
     let ctx = match context_from_flags(args) {
         Ok(c) => c,
         Err(code) => return code,
     };
-    let mut suite = AnalysisSuite::new(min_support);
-    let malformed = match ingest_files(&args.positional, |r| suite.ingest(&ctx, r)) {
-        Ok(m) => m,
-        Err(code) => return code,
+    let ingest = ingest_driver(threads);
+    let (suite, stats) = match ingest.ingest_suite(&paths, &ctx, min_support) {
+        Ok(done) => done,
+        Err(e) => {
+            eprintln!("analyze failed: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    eprintln!(
-        "analyzed {} records ({malformed} malformed lines skipped)",
-        suite.datasets.full
-    );
+    eprintln!("{}", stats.render());
     if let Some(path) = args.flag("json") {
         if let Err(e) = std::fs::write(path, suite.summary().to_json()) {
             eprintln!("cannot write {path}: {e}");
@@ -186,12 +309,22 @@ fn cmd_audit(args: &Args) -> ExitCode {
     let Some(min_support) = args.flag_u64("min-support", 3) else {
         return usage();
     };
-    let mut inference = FilterInference::new(&[]);
-    let malformed = match ingest_files(&args.positional, |r| inference.ingest(r)) {
-        Ok(m) => m,
+    let Some(threads) = args.threads() else {
+        return usage();
+    };
+    let paths = match log_paths(args) {
+        Ok(p) => p,
         Err(code) => return code,
     };
-    eprintln!("audited logs ({malformed} malformed lines skipped)");
+    let ingest = ingest_driver(threads);
+    let (inference, stats) = match ingest.ingest_inference(&paths) {
+        Ok(done) => done,
+        Err(e) => {
+            eprintln!("audit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{}", stats.render());
     let keywords = inference.recover_keywords(min_support, 3);
     println!("recovered keywords: {keywords:?}");
     println!("recovered domains:");
@@ -231,13 +364,19 @@ fn cmd_report(args: &Args) -> ExitCode {
     let Some(scale) = args.flag_u64("scale", 8192) else {
         return usage();
     };
+    let Some(threads) = args.threads() else {
+        return usage();
+    };
     let Ok(config) = SynthConfig::new(scale) else {
         return usage();
     };
     let corpus = Corpus::new(config);
     let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
     let min_support = (corpus.total_volume() / 100_000).clamp(3, 500);
-    let shards = corpus.par_map_days(|_, records| {
+    let started = Instant::now();
+    // (day × shard) units, so a 39×-volume August day no longer pins the
+    // run to one thread; shards merge in plan order for determinism.
+    let shards = corpus.par_map_day_shards(threads, 0, |_, records| {
         let mut suite = AnalysisSuite::new(min_support);
         for r in records {
             suite.ingest(&ctx, &r);
@@ -248,6 +387,13 @@ fn cmd_report(args: &Args) -> ExitCode {
     for shard in shards {
         suite.merge(shard);
     }
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "synthesized and analyzed {} records in {elapsed:.2}s on {threads} thread{} — {:.0} records/s",
+        corpus.total_volume(),
+        if threads == 1 { "" } else { "s" },
+        corpus.total_volume() as f64 / elapsed.max(1e-9)
+    );
     if let Some(path) = args.flag("json") {
         if let Err(e) = std::fs::write(path, suite.summary().to_json()) {
             eprintln!("cannot write {path}: {e}");
@@ -263,12 +409,22 @@ fn cmd_weather(args: &Args) -> ExitCode {
     let Some(min_support) = args.flag_u64("min-support", 3) else {
         return usage();
     };
-    let mut weather = WeatherReport::new(min_support, 3);
-    let malformed = match ingest_files(&args.positional, |r| weather.ingest(r)) {
-        Ok(m) => m,
+    let Some(threads) = args.threads() else {
+        return usage();
+    };
+    let paths = match log_paths(args) {
+        Ok(p) => p,
         Err(code) => return code,
     };
-    eprintln!("({malformed} malformed lines skipped)");
+    let ingest = ingest_driver(threads);
+    let (weather, stats) = match ingest.ingest_weather(&paths, min_support, 3) {
+        Ok(done) => done,
+        Err(e) => {
+            eprintln!("weather failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{}", stats.render());
     println!("{}", weather.render());
     ExitCode::SUCCESS
 }

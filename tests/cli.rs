@@ -20,7 +20,11 @@ fn generated_logs(dir: &PathBuf) -> Vec<String> {
         .arg(dir)
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let mut logs: Vec<String> = std::fs::read_dir(dir)
         .expect("read dir")
         .map(|e| e.unwrap().path().to_string_lossy().into_owned())
@@ -56,7 +60,10 @@ fn audit_recovers_policy_and_exports_cpl() {
     let logs = generated_logs(&dir);
     let cpl_path = dir.join("recovered.cpl");
     let mut cmd = bin();
-    cmd.arg("audit").args(&logs).args(["--min-support", "3", "--cpl"]).arg(&cpl_path);
+    cmd.arg("audit")
+        .args(&logs)
+        .args(["--min-support", "3", "--cpl"])
+        .arg(&cpl_path);
     let out = cmd.output().expect("run audit");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -71,7 +78,11 @@ fn audit_recovers_policy_and_exports_cpl() {
 fn weather_and_compare_run() {
     let dir = temp_dir("weather");
     let logs = generated_logs(&dir);
-    let out = bin().arg("weather").args(&logs).output().expect("run weather");
+    let out = bin()
+        .arg("weather")
+        .args(&logs)
+        .output()
+        .expect("run weather");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("2011-08-03"));
@@ -93,7 +104,10 @@ fn policy_dump_is_valid_cpl() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     let parsed = filterscope::proxy::cpl::parse_cpl(&text).expect("valid CPL");
-    assert_eq!(parsed.normalized(), filterscope::proxy::PolicyData::standard().normalized());
+    assert_eq!(
+        parsed.normalized(),
+        filterscope::proxy::PolicyData::standard().normalized()
+    );
 }
 
 #[test]
@@ -104,4 +118,152 @@ fn bad_usage_exits_nonzero() {
     assert!(!out.status.success());
     let out = bin().args(["analyze"]).output().expect("no files");
     assert!(!out.status.success());
+}
+
+#[test]
+fn flag_expecting_a_value_rejects_a_following_flag() {
+    // `--json` is missing its value; it must NOT swallow `--threads` as one.
+    let out = bin()
+        .args(["analyze", "x.log", "--json", "--threads", "4"])
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+
+    // A flag at the end of the line with no value at all.
+    let out = bin()
+        .args(["generate", "--scale"])
+        .output()
+        .expect("run generate");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+/// Pull the "(N malformed lines skipped)" count out of an ingest stderr line.
+fn malformed_count(stderr: &str) -> u64 {
+    let tail = stderr
+        .split(" malformed lines skipped")
+        .next()
+        .expect("stats line present");
+    let num: String = tail
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    num.parse().expect("malformed count parses")
+}
+
+#[test]
+fn analyze_reports_are_byte_identical_across_thread_counts() {
+    let dir = temp_dir("threads");
+    let logs = generated_logs(&dir);
+    assert!(logs.len() >= 4, "multi-file corpus");
+    // Inject corrupt lines — long garbage (guaranteed to straddle the tiny
+    // forced shard boundaries) plus a short truncated record per file.
+    for (i, log) in logs.iter().enumerate() {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(log)
+            .expect("open log for append");
+        writeln!(f, "garbage,{}", "x".repeat(600 + i)).expect("append garbage");
+        writeln!(f, "2011-08-03 not,a,record").expect("append truncated");
+    }
+    let run = |threads: &str| {
+        let out = bin()
+            .arg("analyze")
+            .args(&logs)
+            .args(["--threads", threads])
+            .env("FILTERSCOPE_SHARD_BYTES", "4096")
+            .output()
+            .expect("run analyze");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            out.stdout,
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (report1, stderr1) = run("1");
+    let (report8, stderr8) = run("8");
+    assert_eq!(report1, report8, "reports must be byte-identical");
+    let (m1, m8) = (malformed_count(&stderr1), malformed_count(&stderr8));
+    assert_eq!(m1, m8, "malformed counts must agree across thread counts");
+    assert_eq!(
+        m1,
+        2 * logs.len() as u64,
+        "every injected line counted once"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_is_byte_identical_across_thread_counts() {
+    let run = |name: &str, threads: &str| {
+        let dir = temp_dir(name);
+        let out = bin()
+            .args([
+                "generate",
+                "--scale",
+                "131072",
+                "--threads",
+                threads,
+                "--out",
+            ])
+            .arg(&dir)
+            .output()
+            .expect("run generate");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        dir
+    };
+    let d1 = run("gen_t1", "1");
+    let d8 = run("gen_t8", "8");
+    let mut names: Vec<String> = std::fs::read_dir(&d1)
+        .expect("read dir")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 9, "nine day files, no leftover parts");
+    for name in &names {
+        assert!(name.ends_with(".log"), "unexpected file {name}");
+        let a = std::fs::read(d1.join(name)).expect("read");
+        let b = std::fs::read(d8.join(name)).expect("read");
+        assert_eq!(a, b, "{name} differs between thread counts");
+    }
+    std::fs::remove_dir_all(&d1).ok();
+    std::fs::remove_dir_all(&d8).ok();
+}
+
+#[test]
+fn generate_write_failure_is_a_clean_per_day_error() {
+    let dir = temp_dir("gen_fail");
+    // A directory squatting on one day's part-file path makes that unit's
+    // File::create fail — the worker must surface an error, not panic.
+    std::fs::create_dir_all(dir.join("sg_access_2011-07-22.log.part0000"))
+        .expect("plant blocking dir");
+    let out = bin()
+        .args(["generate", "--scale", "131072", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run generate");
+    assert!(!out.status.success(), "must exit nonzero on write failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("generate failed: day 2011-07-22"),
+        "per-day error expected, got: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no worker panic: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -101,7 +101,11 @@ fn israel_tops_the_country_censorship_ratios() {
         "ratios: {ratios:?}"
     );
     // Israel is targeted but not wholesale-blocked.
-    assert!(ratios[0].1 > 2.0 && ratios[0].1 < 40.0, "IL {}", ratios[0].1);
+    assert!(
+        ratios[0].1 > 2.0 && ratios[0].1 < 40.0,
+        "IL {}",
+        ratios[0].1
+    );
 }
 
 #[test]
@@ -110,7 +114,12 @@ fn facebook_censorship_is_plugin_driven() {
     let share = suite.social.plugin_share_of_censored_fb();
     assert!(share > 0.9, "plugin share {share}");
     // Twitter is never censored wholesale.
-    let twitter = suite.social.osn.get(&"twitter.com").copied().unwrap_or_default();
+    let twitter = suite
+        .social
+        .osn
+        .get(&"twitter.com")
+        .copied()
+        .unwrap_or_default();
     assert!(twitter.allowed > 20 * twitter.censored.max(1));
 }
 
@@ -131,7 +140,11 @@ fn bittorrent_is_essentially_uncensored() {
 #[test]
 fn user_analysis_shows_concentrated_censorship() {
     let (suite, _) = analyzed(1_024, 3);
-    assert!(suite.users.user_count() > 100, "users {}", suite.users.user_count());
+    assert!(
+        suite.users.user_count() > 100,
+        "users {}",
+        suite.users.user_count()
+    );
     let frac = suite.users.censored_user_fraction();
     // A small minority of users is censored (paper: 1.57%).
     assert!(frac > 0.0 && frac < 0.10, "censored users {frac}");
@@ -148,10 +161,31 @@ fn full_report_renders_every_artifact() {
     let (suite, ctx) = analyzed(65_536, 2);
     let report = suite.render_all(&ctx);
     for needle in [
-        "Table 1", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Table 8",
-        "Table 9", "Table 10", "Table 11", "Table 12", "Table 13", "Table 14",
-        "Table 15", "Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 7",
-        "Fig 8", "Fig 10", "BitTorrent", "Google cache",
+        "Table 1",
+        "Table 3",
+        "Table 4",
+        "Table 5",
+        "Table 6",
+        "Table 7",
+        "Table 8",
+        "Table 9",
+        "Table 10",
+        "Table 11",
+        "Table 12",
+        "Table 13",
+        "Table 14",
+        "Table 15",
+        "Fig 1",
+        "Fig 2",
+        "Fig 3",
+        "Fig 4",
+        "Fig 5",
+        "Fig 6",
+        "Fig 7",
+        "Fig 8",
+        "Fig 10",
+        "BitTorrent",
+        "Google cache",
     ] {
         assert!(report.contains(needle), "report missing {needle}");
     }

@@ -97,6 +97,12 @@ fn analysis_of_reread_log_matches_direct_analysis() {
     }
 
     assert_eq!(direct.datasets.full, reread.datasets.full);
-    assert_eq!(direct.overview.censored_full(), reread.overview.censored_full());
-    assert_eq!(direct.domains.top_censored(10), reread.domains.top_censored(10));
+    assert_eq!(
+        direct.overview.censored_full(),
+        reread.overview.censored_full()
+    );
+    assert_eq!(
+        direct.domains.top_censored(10),
+        reread.domains.top_censored(10)
+    );
 }

@@ -26,7 +26,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 &format!("{hour:02}:{minute:02}:00"),
             )
             .expect("valid");
-            let path = if path.is_empty() { "/".to_string() } else { path };
+            let path = if path.is_empty() {
+                "/".to_string()
+            } else {
+                path
+            };
             // A literal "-" query is indistinguishable from "absent" in the
             // on-disk format (same ambiguity as the real leak); normalize.
             let query = if query == "-" { String::new() } else { query };

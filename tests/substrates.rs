@@ -13,7 +13,11 @@ fn every_blocked_subnet_is_israeli_space() {
     let db = geo_data::standard_db();
     for s in policy::BLOCKED_SUBNETS {
         let block = Ipv4Cidr::parse(s).expect("policy subnet parses");
-        for probe in [block.network(), block.nth(block.size() / 2), block.nth(block.size() - 1)] {
+        for probe in [
+            block.network(),
+            block.nth(block.size() / 2),
+            block.nth(block.size() - 1),
+        ] {
             assert_eq!(
                 db.lookup(probe),
                 Some(Country::of("IL")),
@@ -34,7 +38,10 @@ fn table12_subnets_overlap_the_policy_correctly() {
     let covered = |probe: std::net::Ipv4Addr| blocked.iter().any(|b| b.contains(probe));
     for fully in ["84.229.0.0/16", "46.120.0.0/15", "89.138.0.0/15"] {
         let b = Ipv4Cidr::parse(fully).unwrap();
-        assert!(covered(b.network()) && covered(b.nth(b.size() - 1)), "{fully}");
+        assert!(
+            covered(b.network()) && covered(b.nth(b.size() - 1)),
+            "{fully}"
+        );
     }
     for mixed in ["212.150.0.0/16", "212.235.64.0/19"] {
         let b = Ipv4Cidr::parse(mixed).unwrap();
