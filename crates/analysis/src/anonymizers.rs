@@ -6,7 +6,8 @@
 use crate::context::AnalysisContext;
 use crate::datasets::in_sample;
 use crate::report::Table;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_core::{Interner, Sym};
+use filterscope_logformat::{RecordView, RequestClass};
 use filterscope_stats::Ecdf;
 use std::collections::HashMap;
 
@@ -17,10 +18,12 @@ pub struct HostCounts {
     pub censored: u64,
 }
 
-/// Fig. 10 accumulator.
+/// Fig. 10 accumulator. Host keys are interned ([`Sym`]);
+/// [`AnonymizerStats::merge`] remaps the absorbed shard's symbols.
 #[derive(Debug, Default)]
 pub struct AnonymizerStats {
-    pub hosts: HashMap<String, HostCounts>,
+    interner: Interner,
+    hosts: HashMap<Sym, HostCounts>,
 }
 
 impl AnonymizerStats {
@@ -30,25 +33,27 @@ impl AnonymizerStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
         if !in_sample(record) {
             return;
         }
-        if !ctx.categories.is_anonymizer(&record.url.host) {
+        if !ctx.categories.is_anonymizer(record.url.host) {
             return;
         }
-        let c = self.hosts.entry(record.url.host.clone()).or_default();
-        match RequestClass::of(record) {
+        let sym = self.interner.intern(record.url.host);
+        let c = self.hosts.entry(sym).or_default();
+        match RequestClass::of_view(record) {
             RequestClass::Allowed => c.allowed += 1,
             RequestClass::Censored => c.censored += 1,
             _ => {}
         }
     }
 
-    /// Merge a shard.
+    /// Merge a shard, remapping its symbols into this table.
     pub fn merge(&mut self, other: AnonymizerStats) {
+        let remap = self.interner.absorb_remap(&other.interner);
         for (k, v) in other.hosts {
-            let c = self.hosts.entry(k).or_default();
+            let c = self.hosts.entry(remap[k.index()]).or_default();
             c.allowed += v.allowed;
             c.censored += v.censored;
         }
@@ -57,6 +62,14 @@ impl AnonymizerStats {
     /// Hosts observed.
     pub fn host_count(&self) -> usize {
         self.hosts.len()
+    }
+
+    /// Counts for one host, if it was seen.
+    pub fn host_counts(&self, host: &str) -> Option<HostCounts> {
+        self.interner
+            .get(host)
+            .and_then(|sym| self.hosts.get(&sym))
+            .copied()
     }
 
     /// Hosts never filtered, and their share (the paper: 92.7 %).
@@ -138,7 +151,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn rec(host: &str, path: &str, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -162,7 +175,7 @@ mod tests {
     ) {
         // Vary paths so ~4% land in the sample; ingest enough to register.
         for i in 0..n {
-            s.ingest(ctx, &rec(host, &format!("/p{i}"), censored));
+            s.ingest(ctx, &rec(host, &format!("/p{i}"), censored).as_view());
         }
     }
 
@@ -172,8 +185,8 @@ mod tests {
         let mut s = AnonymizerStats::new();
         ingest_many(&mut s, &ctx, "hidemyass.com", 500, false);
         ingest_many(&mut s, &ctx, "facebook.com", 500, false);
-        assert!(s.hosts.contains_key("hidemyass.com"));
-        assert!(!s.hosts.contains_key("facebook.com"));
+        assert!(s.host_counts("hidemyass.com").is_some());
+        assert!(s.host_counts("facebook.com").is_none());
     }
 
     #[test]

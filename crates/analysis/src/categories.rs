@@ -10,7 +10,7 @@ use crate::context::AnalysisContext;
 use crate::datasets::in_sample;
 use crate::report::{count_pct, Table};
 use filterscope_categorizer::Category;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use filterscope_stats::CountMap;
 
 /// Censored-category accumulator (Dsample).
@@ -26,12 +26,12 @@ impl CategoryStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
-        if RequestClass::of(record) != RequestClass::Censored || !in_sample(record) {
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
+        if RequestClass::of_view(record) != RequestClass::Censored || !in_sample(record) {
             return;
         }
         self.censored
-            .bump(ctx.categories.categorize(&record.url.host));
+            .bump(ctx.categories.categorize(record.url.host));
     }
 
     /// Merge a shard.
@@ -77,7 +77,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn ctx() -> AnalysisContext {
         AnalysisContext::standard(None)
@@ -101,10 +101,10 @@ mod tests {
         let mut ingested = 0u64;
         for i in 0..5000 {
             let r = censored("metacafe.com", i);
-            if in_sample(&r) {
+            if in_sample(&r.as_view()) {
                 ingested += 1;
             }
-            c.ingest(&ctx, &r);
+            c.ingest(&ctx, &r.as_view());
         }
         assert_eq!(c.censored.total(), ingested);
         assert!(ingested > 100, "sample too small: {ingested}");
@@ -122,7 +122,7 @@ mod tests {
         )
         .build();
         for _ in 0..100 {
-            c.ingest(&ctx, &r);
+            c.ingest(&ctx, &r.as_view());
         }
         assert_eq!(c.censored.total(), 0);
     }
@@ -132,10 +132,10 @@ mod tests {
         let ctx = ctx();
         let mut c = CategoryStats::new();
         for i in 0..3000 {
-            c.ingest(&ctx, &censored("skype.com", i));
+            c.ingest(&ctx, &censored("skype.com", i).as_view());
         }
         for i in 0..2000 {
-            c.ingest(&ctx, &censored("badoo.com", i));
+            c.ingest(&ctx, &censored("badoo.com", i).as_view());
         }
         // Folding everything: all but Unknown collapses into Other.
         let dist = c.distribution(1_000_000);

@@ -206,7 +206,7 @@ mod tests {
             } else {
                 b.build()
             };
-            suite.ingest(&ctx, &r);
+            suite.ingest(&ctx, &r.as_view());
         }
         suite
     }
@@ -253,7 +253,8 @@ mod tests {
                     RequestUrl::http("badoo.com", "/"),
                 )
                 .policy_denied()
-                .build(),
+                .build()
+                .as_view(),
             );
             b.ingest(
                 &ctx,
@@ -263,7 +264,8 @@ mod tests {
                     RequestUrl::http("netlog.com", "/"),
                 )
                 .policy_denied()
-                .build(),
+                .build()
+                .as_view(),
             );
         }
         let cmp = compare(&a, &b);

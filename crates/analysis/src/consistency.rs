@@ -9,7 +9,7 @@
 //! inconsistency; run against a real leak it is a data-quality triage tool.
 
 use crate::report::{count_pct, Table};
-use filterscope_logformat::{ExceptionId, FilterResult, LogRecord, SAction};
+use filterscope_logformat::{ExceptionId, FilterResult, RecordView, SAction};
 use filterscope_stats::CountMap;
 
 /// A record-level anomaly.
@@ -48,9 +48,9 @@ impl Anomaly {
 }
 
 /// Lint one record; returns every anomaly it exhibits.
-pub fn lint(record: &LogRecord) -> Vec<Anomaly> {
+pub fn lint(record: &RecordView<'_>) -> Vec<Anomaly> {
     let mut out = Vec::new();
-    let has_exception = record.exception != ExceptionId::None;
+    let has_exception = !record.exception_is_none();
     match record.filter_result {
         FilterResult::Observed => {
             if has_exception {
@@ -63,19 +63,19 @@ pub fn lint(record: &LogRecord) -> Vec<Anomaly> {
             }
         }
         FilterResult::Proxied => {
-            if record.exception.is_policy() {
+            if record.exception_is_policy() {
                 out.push(Anomaly::ProxiedWithPolicyException);
             }
         }
     }
-    if record.exception == ExceptionId::PolicyRedirect
+    if record.exception == ExceptionId::PolicyRedirect.as_str()
         && record.filter_result == FilterResult::Denied
-        && record.s_action != SAction::TcpPolicyRedirect
+        && record.s_action != SAction::TcpPolicyRedirect.as_str()
     {
         out.push(Anomaly::RedirectWithoutRedirectAction);
     }
     if record.filter_result == FilterResult::Denied
-        && record.exception == ExceptionId::PolicyDenied
+        && record.exception == ExceptionId::PolicyDenied.as_str()
         && (200..300).contains(&record.sc_status)
     {
         out.push(Anomaly::SuccessStatusOnCensored);
@@ -83,12 +83,12 @@ pub fn lint(record: &LogRecord) -> Vec<Anomaly> {
     // A 302 redirect legitimately carries a small body; only denials and
     // errors should be body-less.
     if record.filter_result == FilterResult::Denied
-        && record.exception != ExceptionId::PolicyRedirect
+        && record.exception != ExceptionId::PolicyRedirect.as_str()
         && record.sc_bytes > 0
     {
         out.push(Anomaly::BytesOnDenied);
     }
-    if record.categories.contains("Blocked sites") && !record.exception.is_policy() {
+    if record.categories.contains("Blocked sites") && !record.exception_is_policy() {
         out.push(Anomaly::BlockedCategoryNotCensored);
     }
     out
@@ -108,7 +108,7 @@ impl ConsistencyStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         self.total += 1;
         for a in lint(record) {
             self.anomalies.bump(a);
@@ -159,11 +159,17 @@ mod tests {
 
     #[test]
     fn clean_records_have_no_anomalies() {
-        assert!(lint(&base().build()).is_empty());
-        assert!(lint(&base().policy_denied().build()).is_empty());
-        assert!(lint(&base().policy_redirect().build()).is_empty());
-        assert!(lint(&base().proxied().build()).is_empty());
-        assert!(lint(&base().network_error(ExceptionId::TcpError).build()).is_empty());
+        assert!(lint(&base().build().as_view()).is_empty());
+        assert!(lint(&base().policy_denied().build().as_view()).is_empty());
+        assert!(lint(&base().policy_redirect().build().as_view()).is_empty());
+        assert!(lint(&base().proxied().build().as_view()).is_empty());
+        assert!(lint(
+            &base()
+                .network_error(ExceptionId::TcpError)
+                .build()
+                .as_view()
+        )
+        .is_empty());
     }
 
     #[test]
@@ -172,20 +178,23 @@ mod tests {
             .proxied()
             .exception(ExceptionId::PolicyDenied)
             .build();
-        assert_eq!(lint(&r), vec![Anomaly::ProxiedWithPolicyException]);
+        assert_eq!(
+            lint(&r.as_view()),
+            vec![Anomaly::ProxiedWithPolicyException]
+        );
     }
 
     #[test]
     fn observed_with_exception_is_flagged() {
         let r = base().exception(ExceptionId::TcpError).build();
-        assert!(lint(&r).contains(&Anomaly::ObservedWithException));
+        assert!(lint(&r.as_view()).contains(&Anomaly::ObservedWithException));
     }
 
     #[test]
     fn redirect_without_action_is_flagged() {
         let mut r = base().policy_redirect().build();
         r.s_action = filterscope_logformat::SAction::TcpDenied;
-        assert!(lint(&r).contains(&Anomaly::RedirectWithoutRedirectAction));
+        assert!(lint(&r.as_view()).contains(&Anomaly::RedirectWithoutRedirectAction));
     }
 
     #[test]
@@ -195,8 +204,8 @@ mod tests {
         r.sc_status = 200;
         // A redirect with bytes is NOT anomalous.
         let redirect = base().policy_redirect().build();
-        assert!(!lint(&redirect).contains(&Anomaly::BytesOnDenied));
-        let anomalies = lint(&r);
+        assert!(!lint(&redirect.as_view()).contains(&Anomaly::BytesOnDenied));
+        let anomalies = lint(&r.as_view());
         assert!(anomalies.contains(&Anomaly::BytesOnDenied));
         assert!(anomalies.contains(&Anomaly::SuccessStatusOnCensored));
     }
@@ -204,24 +213,25 @@ mod tests {
     #[test]
     fn blocked_category_on_allowed_is_flagged() {
         let r = base().categories("Blocked sites; unavailable").build();
-        assert!(lint(&r).contains(&Anomaly::BlockedCategoryNotCensored));
+        assert!(lint(&r.as_view()).contains(&Anomaly::BlockedCategoryNotCensored));
     }
 
     #[test]
     fn accumulator_counts_and_renders() {
         let mut s = ConsistencyStats::new();
-        s.ingest(&base().build());
+        s.ingest(&base().build().as_view());
         s.ingest(
             &base()
                 .proxied()
                 .exception(ExceptionId::PolicyDenied)
-                .build(),
+                .build()
+                .as_view(),
         );
         assert_eq!(s.total, 2);
         assert_eq!(s.count(Anomaly::ProxiedWithPolicyException), 1);
         assert!(s.render().contains("PROXIED with policy exception"));
         let mut other = ConsistencyStats::new();
-        other.ingest(&base().exception(ExceptionId::TcpError).build());
+        other.ingest(&base().exception(ExceptionId::TcpError).build().as_view());
         s.merge(other);
         assert_eq!(s.total, 3);
         assert_eq!(s.count(Anomaly::ObservedWithException), 1);

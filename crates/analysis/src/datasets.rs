@@ -7,46 +7,63 @@
 //! whose `cs-host` is a literal IPv4 address.
 
 use crate::report::{thousands, Table};
-use filterscope_logformat::{classify, ClientId, LogRecord};
+use filterscope_logformat::{classify, ClientId, RecordView};
+use std::fmt::{self, Write as _};
 
 /// Per-mille size of `Dsample` (the paper uses 4 %).
 pub const SAMPLE_PER_MILLE: u64 = 40;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
+/// Streaming FNV-1a, so sampling hashes field slices in place instead of
+/// assembling a key buffer per record. `fmt::Write` lets `Display` types
+/// (the client id) feed their rendered bytes straight into the hash.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
     }
-    h
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+impl fmt::Write for Fnv1a {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
+    }
 }
 
 /// Is this record in the deterministic 4 % sample?
 ///
 /// Sampling hashes the record's identity (URL + client + timestamp) so the
 /// sample is stable across passes and shards.
-pub fn in_sample(record: &LogRecord) -> bool {
-    let mut key = Vec::with_capacity(64);
-    key.extend_from_slice(record.url.host.as_bytes());
-    key.extend_from_slice(record.url.path.as_bytes());
-    key.extend_from_slice(record.url.query.as_bytes());
-    key.extend_from_slice(&record.timestamp.epoch_seconds().to_le_bytes());
-    key.extend_from_slice(record.client.to_string().as_bytes());
-    fnv1a(&key) % 1000 < SAMPLE_PER_MILLE
+pub fn in_sample(record: &RecordView<'_>) -> bool {
+    let mut h = Fnv1a::new();
+    h.update(record.url.host.as_bytes());
+    h.update(record.url.path.as_bytes());
+    h.update(record.url.query.as_bytes());
+    h.update(&record.timestamp.epoch_seconds().to_le_bytes());
+    let _ = write!(h, "{}", record.client);
+    h.0 % 1000 < SAMPLE_PER_MILLE
 }
 
 /// Is this record in `Duser` (hashed client identifiers)?
-pub fn in_user_dataset(record: &LogRecord) -> bool {
+pub fn in_user_dataset(record: &RecordView<'_>) -> bool {
     matches!(record.client, ClientId::Hashed(_))
 }
 
 /// Is this record in `Ddenied` (raised an exception)?
-pub fn in_denied_dataset(record: &LogRecord) -> bool {
-    classify::in_denied_dataset(record)
+pub fn in_denied_dataset(record: &RecordView<'_>) -> bool {
+    classify::in_denied_dataset_view(record)
 }
 
 /// Is this record in `DIPv4` (literal-IP `cs-host`)?
-pub fn in_ipv4_dataset(record: &LogRecord) -> bool {
+pub fn in_ipv4_dataset(record: &RecordView<'_>) -> bool {
     record.url.host_is_ip()
 }
 
@@ -67,7 +84,7 @@ impl DatasetCounts {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         self.full += 1;
         if in_sample(record) {
             self.sample += 1;
@@ -109,7 +126,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::{ExceptionId, RequestUrl};
+    use filterscope_logformat::{ExceptionId, LogRecord, RequestUrl};
 
     fn rec(host: &str, hashed: bool, denied: bool) -> LogRecord {
         let mut b = RecordBuilder::new(
@@ -129,13 +146,13 @@ mod tests {
     #[test]
     fn membership_rules() {
         let r = rec("1.2.3.4", true, true);
-        assert!(in_user_dataset(&r));
-        assert!(in_denied_dataset(&r));
-        assert!(in_ipv4_dataset(&r));
+        assert!(in_user_dataset(&r.as_view()));
+        assert!(in_denied_dataset(&r.as_view()));
+        assert!(in_ipv4_dataset(&r.as_view()));
         let r2 = rec("example.com", false, false);
-        assert!(!in_user_dataset(&r2));
-        assert!(!in_denied_dataset(&r2));
-        assert!(!in_ipv4_dataset(&r2));
+        assert!(!in_user_dataset(&r2.as_view()));
+        assert!(!in_denied_dataset(&r2.as_view()));
+        assert!(!in_ipv4_dataset(&r2.as_view()));
     }
 
     #[test]
@@ -144,7 +161,7 @@ mod tests {
         let n = 100_000u64;
         for i in 0..n {
             let r = rec(&format!("h{i}.example"), false, false);
-            if in_sample(&r) {
+            if in_sample(&r.as_view()) {
                 hits += 1;
             }
         }
@@ -155,16 +172,22 @@ mod tests {
     #[test]
     fn sampling_is_deterministic() {
         let r = rec("stable.example", false, false);
-        assert_eq!(in_sample(&r), in_sample(&r));
+        assert_eq!(in_sample(&r.as_view()), in_sample(&r.as_view()));
+        // And identical whether the view came from `as_view` or a re-parse
+        // of the serialized line (slices over a line buffer).
+        let line = r.write_csv();
+        let mut splitter = filterscope_logformat::LineSplitter::new();
+        let parsed = filterscope_logformat::parse_view(&mut splitter, &line, 1).unwrap();
+        assert_eq!(in_sample(&parsed), in_sample(&r.as_view()));
     }
 
     #[test]
     fn counts_and_merge() {
         let mut a = DatasetCounts::new();
-        a.ingest(&rec("x.com", true, false));
-        a.ingest(&rec("9.9.9.9", false, true));
+        a.ingest(&rec("x.com", true, false).as_view());
+        a.ingest(&rec("9.9.9.9", false, true).as_view());
         let mut b = DatasetCounts::new();
-        b.ingest(&rec("y.com", false, false));
+        b.ingest(&rec("y.com", false, false).as_view());
         a.merge(&b);
         assert_eq!(a.full, 3);
         assert_eq!(a.user, 1);

@@ -2,18 +2,27 @@
 //! distribution).
 
 use crate::report::{count_pct, Table};
+use filterscope_core::{Interner, Sym};
 use filterscope_logformat::url::base_domain_of;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use filterscope_stats::powerlaw::{fit_domain_alpha, frequency_of_frequencies};
 use filterscope_stats::CountMap;
 
 /// Accumulator over per-class domain counts.
+///
+/// Domains are interned: each per-class map counts `Sym` keys into one
+/// shared string table, so the millionth request for `facebook.com` costs a
+/// hash lookup, not a fresh `String`. Symbols are shard-local —
+/// [`DomainStats::merge`] remaps the absorbed shard's symbols through
+/// [`Interner::absorb_remap`] — and every read-out resolves symbols back to
+/// `&str` before any sorting, keeping output independent of intern order.
 #[derive(Debug, Clone, Default)]
 pub struct DomainStats {
-    pub allowed: CountMap<String>,
-    pub denied: CountMap<String>,
-    pub censored: CountMap<String>,
-    pub proxied: CountMap<String>,
+    interner: Interner,
+    allowed: CountMap<Sym>,
+    denied: CountMap<Sym>,
+    censored: CountMap<Sym>,
+    proxied: CountMap<Sym>,
 }
 
 impl DomainStats {
@@ -23,46 +32,83 @@ impl DomainStats {
     }
 
     /// Ingest one record (aggregating by base domain).
-    pub fn ingest(&mut self, record: &LogRecord) {
-        let domain = base_domain_of(&record.url.host);
-        match RequestClass::of(record) {
-            RequestClass::Allowed => self.allowed.bump(domain),
-            RequestClass::Proxied => self.proxied.bump(domain),
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
+        let sym = self.interner.intern(&base_domain_of(record.url.host));
+        match RequestClass::of_view(record) {
+            RequestClass::Allowed => self.allowed.bump(sym),
+            RequestClass::Proxied => self.proxied.bump(sym),
             RequestClass::Censored => {
-                self.censored.bump(domain.clone());
-                self.denied.bump(domain);
+                self.censored.bump(sym);
+                self.denied.bump(sym);
             }
-            RequestClass::Error => self.denied.bump(domain),
+            RequestClass::Error => self.denied.bump(sym),
         }
     }
 
-    /// Merge a shard.
+    /// Merge a shard, remapping its symbols into this table.
     pub fn merge(&mut self, other: DomainStats) {
-        self.allowed.merge(other.allowed);
-        self.denied.merge(other.denied);
-        self.censored.merge(other.censored);
-        self.proxied.merge(other.proxied);
+        let remap = self.interner.absorb_remap(&other.interner);
+        for (map, other_map) in [
+            (&mut self.allowed, other.allowed),
+            (&mut self.denied, other.denied),
+            (&mut self.censored, other.censored),
+            (&mut self.proxied, other.proxied),
+        ] {
+            for (sym, count) in other_map.iter() {
+                map.add(remap[sym.index()], count);
+            }
+        }
     }
 
-    /// Top-`n` allowed domains with counts.
-    pub fn top_allowed(&self, n: usize) -> Vec<(String, u64)> {
-        self.allowed.top_n(n)
-    }
-
-    /// Top-`n` censored domains with counts.
-    pub fn top_censored(&self, n: usize) -> Vec<(String, u64)> {
-        self.censored.top_n(n)
-    }
-
-    /// Fig. 2 series for one class: `(requests, #domains with that count)`.
-    pub fn request_distribution(&self, class: RequestClass) -> Vec<(u64, u64)> {
-        let map = match class {
+    fn map_of(&self, class: RequestClass) -> &CountMap<Sym> {
+        match class {
             RequestClass::Allowed => &self.allowed,
             RequestClass::Censored => &self.censored,
             RequestClass::Proxied => &self.proxied,
             RequestClass::Error => &self.denied,
-        };
-        frequency_of_frequencies(map)
+        }
+    }
+
+    /// Count for one domain in one class (0 when absent).
+    pub fn count(&self, class: RequestClass, domain: &str) -> u64 {
+        self.interner
+            .get(domain)
+            .map_or(0, |sym| self.map_of(class).get(&sym))
+    }
+
+    /// Total requests counted for one class.
+    pub fn total(&self, class: RequestClass) -> u64 {
+        self.map_of(class).total()
+    }
+
+    /// Resolve symbols and sort by count descending, ties by domain name —
+    /// never by symbol id, which depends on intern order.
+    fn top_resolved(&self, map: &CountMap<Sym>, n: usize) -> Vec<(String, u64)> {
+        let mut items: Vec<(&str, u64)> = map
+            .iter()
+            .map(|(sym, count)| (self.interner.resolve(*sym), count))
+            .collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        items.truncate(n);
+        items
+            .into_iter()
+            .map(|(domain, count)| (domain.to_string(), count))
+            .collect()
+    }
+
+    /// Top-`n` allowed domains with counts.
+    pub fn top_allowed(&self, n: usize) -> Vec<(String, u64)> {
+        self.top_resolved(&self.allowed, n)
+    }
+
+    /// Top-`n` censored domains with counts.
+    pub fn top_censored(&self, n: usize) -> Vec<(String, u64)> {
+        self.top_resolved(&self.censored, n)
+    }
+
+    /// Fig. 2 series for one class: `(requests, #domains with that count)`.
+    pub fn request_distribution(&self, class: RequestClass) -> Vec<(u64, u64)> {
+        frequency_of_frequencies(self.map_of(class))
     }
 
     /// Power-law exponent of the allowed requests-per-domain distribution.
@@ -130,7 +176,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn rec(host: &str, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -148,22 +194,22 @@ mod tests {
     #[test]
     fn aggregates_by_base_domain() {
         let mut d = DomainStats::new();
-        d.ingest(&rec("www.facebook.com", true));
-        d.ingest(&rec("ar-ar.facebook.com", true));
-        d.ingest(&rec("www.google.com", false));
-        assert_eq!(d.censored.get("facebook.com"), 2);
-        assert_eq!(d.allowed.get("google.com"), 1);
+        d.ingest(&rec("www.facebook.com", true).as_view());
+        d.ingest(&rec("ar-ar.facebook.com", true).as_view());
+        d.ingest(&rec("www.google.com", false).as_view());
+        assert_eq!(d.count(RequestClass::Censored, "facebook.com"), 2);
+        assert_eq!(d.count(RequestClass::Allowed, "google.com"), 1);
         // Censored counts double into the denied map.
-        assert_eq!(d.denied.get("facebook.com"), 2);
+        assert_eq!(d.count(RequestClass::Error, "facebook.com"), 2);
     }
 
     #[test]
     fn top_n_ordering() {
         let mut d = DomainStats::new();
         for _ in 0..5 {
-            d.ingest(&rec("metacafe.com", true));
+            d.ingest(&rec("metacafe.com", true).as_view());
         }
-        d.ingest(&rec("skype.com", true));
+        d.ingest(&rec("skype.com", true).as_view());
         let top = d.top_censored(2);
         assert_eq!(top[0].0, "metacafe.com");
         assert_eq!(top[0].1, 5);
@@ -173,10 +219,10 @@ mod tests {
     fn distribution_counts_domains_not_requests() {
         let mut d = DomainStats::new();
         for _ in 0..3 {
-            d.ingest(&rec("a.com", false));
+            d.ingest(&rec("a.com", false).as_view());
         }
-        d.ingest(&rec("b.com", false));
-        d.ingest(&rec("c.com", false));
+        d.ingest(&rec("b.com", false).as_view());
+        d.ingest(&rec("c.com", false).as_view());
         let dist = d.request_distribution(RequestClass::Allowed);
         assert_eq!(dist, vec![(1, 2), (3, 1)]);
     }
@@ -184,8 +230,8 @@ mod tests {
     #[test]
     fn renders_ten_rows() {
         let mut d = DomainStats::new();
-        d.ingest(&rec("x.com", false));
-        d.ingest(&rec("y.com", true));
+        d.ingest(&rec("x.com", false).as_view());
+        d.ingest(&rec("y.com", true).as_view());
         let s = d.render_table4();
         assert!(s.contains("x.com"));
         assert!(s.contains("y.com"));
@@ -195,10 +241,10 @@ mod tests {
     #[test]
     fn merge_combines_maps() {
         let mut a = DomainStats::new();
-        a.ingest(&rec("m.com", true));
+        a.ingest(&rec("m.com", true).as_view());
         let mut b = DomainStats::new();
-        b.ingest(&rec("m.com", true));
+        b.ingest(&rec("m.com", true).as_view());
         a.merge(b);
-        assert_eq!(a.censored.get("m.com"), 2);
+        assert_eq!(a.count(RequestClass::Censored, "m.com"), 2);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::suite::AnalysisSuite;
 use filterscope_core::Json;
+use filterscope_logformat::RequestClass;
 
 /// A named count with share-of-total.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,10 +106,13 @@ impl AnalysisSuite {
             proxied_share: ratio(self.overview.proxied.full),
             error_share: ratio(self.overview.errors_full()),
             censored_share: ratio(self.overview.censored_full()),
-            top_allowed_domains: shares(self.domains.top_allowed(10), self.domains.allowed.total()),
+            top_allowed_domains: shares(
+                self.domains.top_allowed(10),
+                self.domains.total(RequestClass::Allowed),
+            ),
             top_censored_domains: shares(
                 self.domains.top_censored(10),
-                self.domains.censored.total(),
+                self.domains.total(RequestClass::Censored),
             ),
             allowed_domain_alpha: self.domains.allowed_alpha(5),
             censored_categories: {
@@ -247,7 +251,7 @@ mod tests {
             } else {
                 b.build()
             };
-            suite.ingest(&ctx, &r);
+            suite.ingest(&ctx, &r.as_view());
         }
         let s = suite.summary();
         assert_eq!(s.total_requests, 100);

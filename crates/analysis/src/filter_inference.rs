@@ -24,8 +24,9 @@
 use crate::context::AnalysisContext;
 use crate::report::{count_pct, Table};
 use filterscope_categorizer::Category;
+use filterscope_core::{Interner, Sym};
 use filterscope_logformat::url::base_domain_of;
-use filterscope_logformat::{LogRecord, PolicyClass, RequestClass};
+use filterscope_logformat::{PolicyClass, RecordView, RequestClass};
 use filterscope_match::aho_corasick::AhoCorasickBuilder;
 use filterscope_match::AhoCorasick;
 use filterscope_stats::CountMap;
@@ -49,35 +50,36 @@ struct TokenEvidence {
     censored: u64,
     allowed: u64,
     proxied: u64,
-    domains: HashSet<String>,
+    domains: HashSet<Sym>,
 }
 
-/// The §5.4 inference engine.
+/// The §5.4 inference engine. Token and domain keys are interned ([`Sym`])
+/// into one shared string table; [`FilterInference::merge`] remaps the
+/// absorbed shard's symbols, and the recover/render paths resolve back to
+/// strings before any ordering decision.
 pub struct FilterInference {
     /// Matcher over the candidate keyword list the operator supplies (the
     /// paper's "manually identified" strings). Used for Table 10 counts and
     /// for keyword-explained request removal.
     known: AhoCorasick,
     known_strings: Vec<String>,
-    tokens: HashMap<String, TokenEvidence>,
-    domains: HashMap<String, DomainEvidence>,
+    interner: Interner,
+    tokens: HashMap<Sym, TokenEvidence>,
+    domains: HashMap<Sym, DomainEvidence>,
+    /// Scratch buffer for the per-record filter view (host+path+query),
+    /// reused across [`FilterInference::ingest`] calls.
+    view_buf: String,
+    /// Scratch buffer holding the lowercased view for tokenization.
+    lower_buf: String,
+    /// Per-record token dedup scratch (token sets per URL are tiny, so a
+    /// linear-scanned Vec beats a hash set).
+    token_scratch: Vec<Sym>,
     /// Per-known-keyword (censored, allowed, proxied) counts.
     pub keyword_counts: Vec<(u64, u64, u64)>,
 }
 
 /// Minimum and maximum token length considered.
 const TOKEN_LEN: std::ops::RangeInclusive<usize> = 4..=15;
-
-fn tokens_of(view: &str) -> HashSet<String> {
-    let mut out = HashSet::new();
-    let lower = view.to_ascii_lowercase();
-    for run in lower.split(|c: char| !c.is_ascii_alphabetic()) {
-        if TOKEN_LEN.contains(&run.len()) {
-            out.insert(run.to_string());
-        }
-    }
-    out
-}
 
 impl FilterInference {
     /// Start an inference with the given candidate keyword list (commonly
@@ -88,20 +90,26 @@ impl FilterInference {
                 .ascii_case_insensitive(true)
                 .build(candidates),
             known_strings: candidates.iter().map(|s| s.to_string()).collect(),
+            interner: Interner::new(),
             tokens: HashMap::new(),
             domains: HashMap::new(),
+            view_buf: String::new(),
+            lower_buf: String::new(),
+            token_scratch: Vec::new(),
             keyword_counts: vec![(0, 0, 0); candidates.len()],
         }
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
-        let view = record.url.filter_view();
-        let class = RequestClass::of(record);
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
+        self.view_buf.clear();
+        record.url.filter_view_into(&mut self.view_buf);
+        let view = &self.view_buf;
+        let class = RequestClass::of_view(record);
         // §5.4 treats PROXIED separately from OBSERVED: a PROXIED row is not
         // evidence of "allowed".
-        let policy = PolicyClass::of(record);
-        let domain = base_domain_of(&record.url.host);
+        let policy = PolicyClass::of_view(record);
+        let domain = self.interner.intern(&base_domain_of(record.url.host));
 
         // Known-keyword counting (Table 10 columns).
         let hits = self.known.matching_patterns(view.as_bytes());
@@ -118,7 +126,7 @@ impl FilterInference {
         }
 
         // Domain evidence.
-        let d = self.domains.entry(domain.clone()).or_default();
+        let d = self.domains.entry(domain).or_default();
         match class {
             RequestClass::Proxied => d.proxied += 1,
             RequestClass::Censored => {
@@ -134,42 +142,49 @@ impl FilterInference {
             RequestClass::Error => {}
         }
 
-        // Token evidence. Allowed-token tracking stores only tokens already
-        // seen censored (bounded memory on huge allowed traffic) plus a
-        // kill-set of allowed tokens.
-        match class {
-            RequestClass::Censored => {
-                for t in tokens_of(&view) {
-                    let e = self.tokens.entry(t).or_default();
+        // Token evidence: maximal alphabetic runs of the lowercased view,
+        // each counted once per record. Tokenization runs entirely in the
+        // reusable scratch buffers — no per-record allocation once warm.
+        // Memory stays bounded by distinct alphabetic tokens in the corpus.
+        if matches!(class, RequestClass::Error) {
+            return;
+        }
+        self.lower_buf.clear();
+        self.lower_buf.push_str(view);
+        self.lower_buf.make_ascii_lowercase();
+        self.token_scratch.clear();
+        for run in self.lower_buf.split(|c: char| !c.is_ascii_alphabetic()) {
+            if !TOKEN_LEN.contains(&run.len()) {
+                continue;
+            }
+            let sym = self.interner.intern(run);
+            if self.token_scratch.contains(&sym) {
+                continue;
+            }
+            self.token_scratch.push(sym);
+            let e = self.tokens.entry(sym).or_default();
+            match class {
+                RequestClass::Censored => {
                     e.censored += 1;
-                    e.domains.insert(domain.clone());
+                    e.domains.insert(domain);
                 }
+                RequestClass::Allowed => e.allowed += 1,
+                RequestClass::Proxied => e.proxied += 1,
+                RequestClass::Error => unreachable!("handled above"),
             }
-            RequestClass::Allowed => {
-                for t in tokens_of(&view) {
-                    // Track allowed occurrences for every token; memory is
-                    // bounded by distinct alphabetic tokens in the corpus.
-                    self.tokens.entry(t).or_default().allowed += 1;
-                }
-            }
-            RequestClass::Proxied => {
-                for t in tokens_of(&view) {
-                    self.tokens.entry(t).or_default().proxied += 1;
-                }
-            }
-            RequestClass::Error => {}
         }
     }
 
-    /// Merge a shard.
+    /// Merge a shard, remapping its symbols into this table.
     pub fn merge(&mut self, other: FilterInference) {
         for (mine, theirs) in self.keyword_counts.iter_mut().zip(other.keyword_counts) {
             mine.0 += theirs.0;
             mine.1 += theirs.1;
             mine.2 += theirs.2;
         }
+        let remap = self.interner.absorb_remap(&other.interner);
         for (k, v) in other.domains {
-            let d = self.domains.entry(k).or_default();
+            let d = self.domains.entry(remap[k.index()]).or_default();
             d.censored += v.censored;
             d.allowed += v.allowed;
             d.proxied += v.proxied;
@@ -177,11 +192,11 @@ impl FilterInference {
             d.censored_unkeyworded += v.censored_unkeyworded;
         }
         for (k, v) in other.tokens {
-            let e = self.tokens.entry(k).or_default();
+            let e = self.tokens.entry(remap[k.index()]).or_default();
             e.censored += v.censored;
             e.allowed += v.allowed;
             e.proxied += v.proxied;
-            e.domains.extend(v.domains);
+            e.domains.extend(v.domains.iter().map(|d| remap[d.index()]));
         }
     }
 
@@ -189,13 +204,15 @@ impl FilterInference {
     /// occurrences, zero allowed occurrences, spanning ≥ `min_domains` base
     /// domains; superstrings of accepted candidates are dropped.
     pub fn recover_keywords(&self, min_support: u64, min_domains: usize) -> Vec<String> {
-        let mut cands: Vec<(&String, u64)> = self
+        // Resolve symbols up front: every ordering below must depend on the
+        // token text, never on intern order.
+        let mut cands: Vec<(&str, u64)> = self
             .tokens
             .iter()
             .filter(|(_, e)| {
                 e.censored >= min_support && e.allowed == 0 && e.domains.len() >= min_domains
             })
-            .map(|(t, e)| (t, e.censored))
+            .map(|(t, e)| (self.interner.resolve(*t), e.censored))
             .collect();
         // Shortest first so minimal strings win the substring filter; break
         // ties by support then lexicographically for determinism.
@@ -208,11 +225,17 @@ impl FilterInference {
         let mut accepted: Vec<String> = Vec::new();
         for (t, _) in cands {
             if !accepted.iter().any(|a| t.contains(a.as_str())) {
-                accepted.push(t.clone());
+                accepted.push(t.to_string());
             }
         }
         // Order by censored support, Table 10 style.
-        accepted.sort_by_key(|t| std::cmp::Reverse(self.tokens[t].censored));
+        accepted.sort_by_key(|t| {
+            std::cmp::Reverse(
+                self.interner
+                    .get(t)
+                    .map_or(0, |sym| self.tokens[&sym].censored),
+            )
+        });
         accepted
     }
 
@@ -227,7 +250,7 @@ impl FilterInference {
                     && e.censored_bare > 0
                     && e.censored_unkeyworded > 0
             })
-            .map(|(d, e)| (d.clone(), e.clone()))
+            .map(|(d, e)| (self.interner.resolve(*d).to_string(), e.clone()))
             .collect();
         // Collapse .il domains into a single entry when several exist.
         let il: Vec<usize> = out
@@ -365,7 +388,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn rec(host: &str, path: &str, query: &str, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -389,13 +412,13 @@ mod tests {
         let mut f = engine();
         // "proxy" appears censored on three distinct domains...
         for i in 0..30 {
-            f.ingest(&rec("a.com", &format!("/x/proxy/{i}"), "", true));
-            f.ingest(&rec("b.com", "/api/proxy", "", true));
-            f.ingest(&rec("c.net", "/", "go=proxy", true));
+            f.ingest(&rec("a.com", &format!("/x/proxy/{i}"), "", true).as_view());
+            f.ingest(&rec("b.com", "/api/proxy", "", true).as_view());
+            f.ingest(&rec("c.net", "/", "go=proxy", true).as_view());
             // ...while "api" also appears in allowed traffic.
-            f.ingest(&rec("d.com", "/api/ok", "", false));
+            f.ingest(&rec("d.com", "/api/ok", "", false).as_view());
             // a.com also has allowed traffic, so it's not a domain rule.
-            f.ingest(&rec("a.com", "/fine", "", false));
+            f.ingest(&rec("a.com", "/fine", "", false).as_view());
         }
         let kws = f.recover_keywords(10, 3);
         assert_eq!(kws, vec!["proxy".to_string()]);
@@ -405,8 +428,8 @@ mod tests {
     fn single_domain_token_is_not_a_keyword() {
         let mut f = engine();
         for i in 0..50 {
-            f.ingest(&rec("metacafe.com", &format!("/watch/{i}"), "", true));
-            f.ingest(&rec("metacafe.com", "/", "", true));
+            f.ingest(&rec("metacafe.com", &format!("/watch/{i}"), "", true).as_view());
+            f.ingest(&rec("metacafe.com", "/", "", true).as_view());
         }
         assert!(f.recover_keywords(10, 3).is_empty());
         // But metacafe.com is recovered as a suspected domain.
@@ -420,9 +443,9 @@ mod tests {
     fn superstrings_of_keywords_are_dropped() {
         let mut f = engine();
         for i in 0..30 {
-            f.ingest(&rec(&format!("h{}.com", i % 5), "/tbproxy/af", "", true));
-            f.ingest(&rec(&format!("g{}.com", i % 5), "/webproxy/x", "", true));
-            f.ingest(&rec(&format!("k{}.com", i % 5), "/", "p=proxy", true));
+            f.ingest(&rec(&format!("h{}.com", i % 5), "/tbproxy/af", "", true).as_view());
+            f.ingest(&rec(&format!("g{}.com", i % 5), "/webproxy/x", "", true).as_view());
+            f.ingest(&rec(&format!("k{}.com", i % 5), "/", "p=proxy", true).as_view());
         }
         let kws = f.recover_keywords(10, 3);
         assert_eq!(kws, vec!["proxy".to_string()]);
@@ -432,10 +455,10 @@ mod tests {
     fn allowed_occurrence_kills_candidate() {
         let mut f = engine();
         for i in 0..30 {
-            f.ingest(&rec(&format!("h{}.com", i % 5), "/special/thing", "", true));
+            f.ingest(&rec(&format!("h{}.com", i % 5), "/special/thing", "", true).as_view());
         }
         // One allowed occurrence anywhere kills it.
-        f.ingest(&rec("ok.com", "/special/page", "", false));
+        f.ingest(&rec("ok.com", "/special/page", "", false).as_view());
         assert!(!f.recover_keywords(10, 3).contains(&"special".to_string()));
         assert!(f.recover_keywords(10, 3).contains(&"thing".to_string()));
     }
@@ -445,17 +468,17 @@ mod tests {
         let mut f = engine();
         // Censored but never bare: ambiguous, not suspected.
         for i in 0..20 {
-            f.ingest(&rec("amb.com", &format!("/deep/{i}"), "q=1", true));
+            f.ingest(&rec("amb.com", &format!("/deep/{i}"), "q=1", true).as_view());
         }
         // Censored with bare evidence: suspected.
         for _ in 0..20 {
-            f.ingest(&rec("clear.com", "/", "", true));
+            f.ingest(&rec("clear.com", "/", "", true).as_view());
         }
         // Censored and bare but also allowed: not suspected.
         for _ in 0..20 {
-            f.ingest(&rec("mixed.com", "/", "", true));
+            f.ingest(&rec("mixed.com", "/", "", true).as_view());
         }
-        f.ingest(&rec("mixed.com", "/other", "", false));
+        f.ingest(&rec("mixed.com", "/other", "", false).as_view());
         let doms: Vec<String> = f.recover_domains(10).into_iter().map(|(d, _)| d).collect();
         assert_eq!(doms, vec!["clear.com".to_string()]);
     }
@@ -466,7 +489,7 @@ mod tests {
         // kproxy.com: every censored request contains the keyword `proxy`
         // (in the hostname), so domain-rule inference must skip it.
         for _ in 0..20 {
-            f.ingest(&rec("kproxy.com", "/", "", true));
+            f.ingest(&rec("kproxy.com", "/", "", true).as_view());
         }
         assert!(f.recover_domains(10).is_empty());
     }
@@ -475,9 +498,9 @@ mod tests {
     fn il_domains_collapse() {
         let mut f = engine();
         for _ in 0..20 {
-            f.ingest(&rec("panet.co.il", "/", "", true));
-            f.ingest(&rec("haaretz.co.il", "/", "", true));
-            f.ingest(&rec("ynet.co.il", "/", "", true));
+            f.ingest(&rec("panet.co.il", "/", "", true).as_view());
+            f.ingest(&rec("haaretz.co.il", "/", "", true).as_view());
+            f.ingest(&rec("ynet.co.il", "/", "", true).as_view());
         }
         let doms = f.recover_domains(10);
         assert_eq!(doms.len(), 1);
@@ -488,8 +511,8 @@ mod tests {
     #[test]
     fn table10_counts_known_keywords_per_class() {
         let mut f = engine();
-        f.ingest(&rec("x.com", "/get/ultrasurf.exe", "", true));
-        f.ingest(&rec("y.com", "/w", "q=israel", true));
+        f.ingest(&rec("x.com", "/get/ultrasurf.exe", "", true).as_view());
+        f.ingest(&rec("y.com", "/w", "q=israel", true).as_view());
         // Proxied row with a keyword.
         let prox = RecordBuilder::new(
             Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
@@ -498,7 +521,7 @@ mod tests {
         )
         .proxied()
         .build();
-        f.ingest(&prox);
+        f.ingest(&prox.as_view());
         let ix = |k: &str| {
             filterscope_proxy::config::KEYWORDS
                 .iter()
@@ -517,8 +540,8 @@ mod tests {
         let ctx = AnalysisContext::standard(None);
         let mut f = engine();
         for _ in 0..20 {
-            f.ingest(&rec("skype.com", "/", "", true));
-            f.ingest(&rec("metacafe.com", "/", "", true));
+            f.ingest(&rec("skype.com", "/", "", true).as_view());
+            f.ingest(&rec("metacafe.com", "/", "", true).as_view());
         }
         let cats = f.categorize_suspected(&ctx, 10);
         assert!(cats

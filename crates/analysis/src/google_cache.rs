@@ -1,7 +1,7 @@
 //! §7.4: Google cache as an (accidental) circumvention channel.
 
 use crate::report::Table;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use filterscope_stats::CountMap;
 
 /// The cache frontend host.
@@ -46,15 +46,15 @@ impl GoogleCacheStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         if record.url.host != CACHE_HOST {
             return;
         }
         self.total += 1;
-        match RequestClass::of(record) {
+        match RequestClass::of_view(record) {
             RequestClass::Censored => self.censored += 1,
             RequestClass::Allowed => {
-                if let Some(target) = cache_target(&record.url.query) {
+                if let Some(target) = cache_target(record.url.query) {
                     if CENSORED_TARGETS.iter().any(|t| target.contains(t)) {
                         self.censored_content_fetches += 1;
                         self.targets.bump(target.to_string());
@@ -97,7 +97,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn cache_rec(query: &str, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -115,9 +115,9 @@ mod tests {
     #[test]
     fn counts_cache_traffic_and_censored_content() {
         let mut s = GoogleCacheStats::new();
-        s.ingest(&cache_rec("q=cache:www.panet.co.il/online/", false));
-        s.ingest(&cache_rec("q=cache:benign.example/page", false));
-        s.ingest(&cache_rec("q=cache:x+israel", true));
+        s.ingest(&cache_rec("q=cache:www.panet.co.il/online/", false).as_view());
+        s.ingest(&cache_rec("q=cache:benign.example/page", false).as_view());
+        s.ingest(&cache_rec("q=cache:x+israel", true).as_view());
         assert_eq!(s.total, 3);
         assert_eq!(s.censored, 1);
         assert_eq!(s.censored_content_fetches, 1);
@@ -134,7 +134,7 @@ mod tests {
             RequestUrl::http("google.com", "/search").with_query("q=cache:panet.co.il"),
         )
         .build();
-        s.ingest(&r);
+        s.ingest(&r.as_view());
         assert_eq!(s.total, 0);
     }
 

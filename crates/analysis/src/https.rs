@@ -9,7 +9,7 @@
 //! records — they do not.
 
 use crate::report::Table;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 
 /// §4 HTTPS accumulator.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,7 +32,7 @@ impl HttpsStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         self.total_requests += 1;
         if !record.scheme().is_encrypted() {
             return;
@@ -46,7 +46,7 @@ impl HttpsStats {
         if !trivial_path || !record.url.query.is_empty() || !record.uri_ext.is_empty() {
             self.mitm_evidence += 1;
         }
-        if RequestClass::of(record) == RequestClass::Censored {
+        if RequestClass::of_view(record) == RequestClass::Censored {
             self.https_censored += 1;
             if record.url.host_is_ip() {
                 self.censored_ip_host += 1;
@@ -123,7 +123,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::{Method, RequestUrl};
+    use filterscope_logformat::{LogRecord, Method, RequestUrl};
 
     fn connect(host: &str, censored: bool) -> LogRecord {
         let url = RequestUrl {
@@ -159,12 +159,12 @@ mod tests {
     fn shares_and_breakdown() {
         let mut s = HttpsStats::new();
         for _ in 0..96 {
-            s.ingest(&http("plain.example"));
+            s.ingest(&http("plain.example").as_view());
         }
-        s.ingest(&connect("mail.example", false));
-        s.ingest(&connect("84.229.1.1", true));
-        s.ingest(&connect("ssl.skype.com", true));
-        s.ingest(&connect("46.120.0.9", true));
+        s.ingest(&connect("mail.example", false).as_view());
+        s.ingest(&connect("84.229.1.1", true).as_view());
+        s.ingest(&connect("ssl.skype.com", true).as_view());
+        s.ingest(&connect("46.120.0.9", true).as_view());
         assert_eq!(s.https_requests, 4);
         assert!((s.https_share() - 0.04).abs() < 1e-9);
         assert!((s.censored_share() - 0.75).abs() < 1e-9);
@@ -177,19 +177,19 @@ mod tests {
         let mut s = HttpsStats::new();
         let mut rec = connect("bank.example", false);
         rec.url.path = "/account/transfer".into();
-        s.ingest(&rec);
+        s.ingest(&rec.as_view());
         assert_eq!(s.mitm_evidence, 1);
         // Query alone also counts.
         let mut rec = connect("bank.example", false);
         rec.url.query = "session=abc".into();
-        s.ingest(&rec);
+        s.ingest(&rec.as_view());
         assert_eq!(s.mitm_evidence, 2);
     }
 
     #[test]
     fn plain_http_is_not_https() {
         let mut s = HttpsStats::new();
-        s.ingest(&http("x.com"));
+        s.ingest(&http("x.com").as_view());
         assert_eq!(s.https_requests, 0);
         assert_eq!(s.total_requests, 1);
     }
@@ -197,9 +197,9 @@ mod tests {
     #[test]
     fn merge_and_render() {
         let mut a = HttpsStats::new();
-        a.ingest(&connect("h.example", false));
+        a.ingest(&connect("h.example", false).as_view());
         let mut b = HttpsStats::new();
-        b.ingest(&connect("84.229.1.1", true));
+        b.ingest(&connect("84.229.1.1", true).as_view());
         a.merge(&b);
         assert_eq!(a.https_requests, 2);
         assert!(a.render().contains("MITM"));

@@ -5,7 +5,7 @@ use crate::context::AnalysisContext;
 use crate::report::Table;
 use filterscope_core::Ipv4Cidr;
 use filterscope_geoip::Country;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use std::collections::{HashMap, HashSet};
 
 /// Per-country counts over `DIPv4`.
@@ -51,11 +51,11 @@ impl IpCensorship {
     }
 
     /// Ingest one record (ignores records whose host is not a literal IP).
-    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
         let Some(ip) = record.url.host_ip() else {
             return;
         };
-        let class = RequestClass::of(record);
+        let class = RequestClass::of_view(record);
         let country = ctx.geo.lookup(ip);
         let counts = match country {
             Some(c) => self.by_country.entry(c).or_default(),
@@ -186,7 +186,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn rec(host: &str, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -206,14 +206,17 @@ mod tests {
         let ctx = AnalysisContext::standard(None);
         let mut s = IpCensorship::standard();
         // Israel: 2 censored, 1 allowed (67%).
-        s.ingest(&ctx, &rec("84.229.0.5", true));
-        s.ingest(&ctx, &rec("84.229.0.6", true));
-        s.ingest(&ctx, &rec("80.179.0.7", false));
+        s.ingest(&ctx, &rec("84.229.0.5", true).as_view());
+        s.ingest(&ctx, &rec("84.229.0.6", true).as_view());
+        s.ingest(&ctx, &rec("80.179.0.7", false).as_view());
         // NL: huge but barely censored.
         for i in 0..100 {
-            s.ingest(&ctx, &rec(&format!("94.228.128.{}", i % 250), false));
+            s.ingest(
+                &ctx,
+                &rec(&format!("94.228.128.{}", i % 250), false).as_view(),
+            );
         }
-        s.ingest(&ctx, &rec("94.228.129.9", true));
+        s.ingest(&ctx, &rec("94.228.129.9", true).as_view());
         let ratios = s.censorship_ratios();
         assert_eq!(ratios[0].0, Country::of("IL"));
         assert!(ratios[0].1 > 60.0);
@@ -228,7 +231,7 @@ mod tests {
     fn hostnames_are_ignored() {
         let ctx = AnalysisContext::standard(None);
         let mut s = IpCensorship::standard();
-        s.ingest(&ctx, &rec("facebook.com", true));
+        s.ingest(&ctx, &rec("facebook.com", true).as_view());
         assert!(s.by_country.is_empty());
     }
 
@@ -236,10 +239,10 @@ mod tests {
     fn subnet_drilldown_counts_ips_and_requests() {
         let ctx = AnalysisContext::standard(None);
         let mut s = IpCensorship::standard();
-        s.ingest(&ctx, &rec("84.229.1.1", true));
-        s.ingest(&ctx, &rec("84.229.1.1", true));
-        s.ingest(&ctx, &rec("84.229.1.2", true));
-        s.ingest(&ctx, &rec("212.150.3.3", false));
+        s.ingest(&ctx, &rec("84.229.1.1", true).as_view());
+        s.ingest(&ctx, &rec("84.229.1.1", true).as_view());
+        s.ingest(&ctx, &rec("84.229.1.2", true).as_view());
+        s.ingest(&ctx, &rec("212.150.3.3", false).as_view());
         let ix = filterscope_geoip::data::ISRAELI_SUBNETS
             .iter()
             .position(|b| *b == "84.229.0.0/16")
@@ -259,7 +262,7 @@ mod tests {
     fn unresolved_space_is_tracked_separately() {
         let ctx = AnalysisContext::standard(None);
         let mut s = IpCensorship::standard();
-        s.ingest(&ctx, &rec("192.168.1.1", true));
+        s.ingest(&ctx, &rec("192.168.1.1", true).as_view());
         assert_eq!(s.unresolved.censored, 1);
         assert!(s.by_country.is_empty());
     }
@@ -268,9 +271,9 @@ mod tests {
     fn merge_combines() {
         let ctx = AnalysisContext::standard(None);
         let mut a = IpCensorship::standard();
-        a.ingest(&ctx, &rec("84.229.1.1", true));
+        a.ingest(&ctx, &rec("84.229.1.1", true).as_view());
         let mut b = IpCensorship::standard();
-        b.ingest(&ctx, &rec("84.229.1.1", false));
+        b.ingest(&ctx, &rec("84.229.1.1", false).as_view());
         a.merge(b);
         let il = a.by_country[&Country::of("IL")];
         assert_eq!((il.censored, il.allowed), (1, 1));
@@ -280,7 +283,7 @@ mod tests {
     fn render_table11_contains_israel() {
         let ctx = AnalysisContext::standard(None);
         let mut s = IpCensorship::standard();
-        s.ingest(&ctx, &rec("46.120.0.1", true));
+        s.ingest(&ctx, &rec("46.120.0.1", true).as_view());
         assert!(s.render_table11().contains("Israel"));
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::datasets::{in_denied_dataset, in_sample, in_user_dataset};
 use crate::report::{count_pct, Table};
-use filterscope_logformat::{ExceptionId, FilterResult, LogRecord};
+use filterscope_logformat::{ExceptionId, FilterResult, RecordView};
 
 /// Index of the four Table 1 datasets tracked per cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +23,7 @@ pub struct RowCounts {
 }
 
 impl RowCounts {
-    fn add(&mut self, record: &LogRecord) {
+    fn add(&mut self, record: &RecordView<'_>) {
         self.full += 1;
         if in_sample(record) {
             self.sample += 1;
@@ -72,12 +72,12 @@ impl TrafficOverview {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         self.total.add(record);
         match record.filter_result {
             FilterResult::Proxied => self.proxied.add(record),
             FilterResult::Observed => {
-                if record.exception == ExceptionId::None {
+                if record.exception_is_none() {
                     self.allowed.add(record);
                 } else {
                     // Degenerate combination; count it under its exception.
@@ -91,12 +91,17 @@ impl TrafficOverview {
         }
     }
 
-    fn count_exception(&mut self, record: &LogRecord) {
-        let e = &record.exception;
-        if let Some((_, counts)) = self.by_exception.iter_mut().find(|(k, _)| k == e) {
+    fn count_exception(&mut self, record: &RecordView<'_>) {
+        // Match on the raw spelling; allocate an `ExceptionId` only for the
+        // first sighting of a long-tail exception.
+        if let Some((_, counts)) = self
+            .by_exception
+            .iter_mut()
+            .find(|(k, _)| k.as_str() == record.exception)
+        {
             counts.add(record);
         } else {
-            self.by_exception.push((e.clone(), {
+            self.by_exception.push((record.exception_id(), {
                 let mut c = RowCounts::default();
                 c.add(record);
                 c
@@ -185,10 +190,15 @@ mod tests {
     #[test]
     fn rows_partition_the_traffic() {
         let mut o = TrafficOverview::new();
-        o.ingest(&base("a.com").build());
-        o.ingest(&base("b.com").policy_denied().build());
-        o.ingest(&base("c.com").network_error(ExceptionId::TcpError).build());
-        o.ingest(&base("d.com").proxied().build());
+        o.ingest(&base("a.com").build().as_view());
+        o.ingest(&base("b.com").policy_denied().build().as_view());
+        o.ingest(
+            &base("c.com")
+                .network_error(ExceptionId::TcpError)
+                .build()
+                .as_view(),
+        );
+        o.ingest(&base("d.com").proxied().build().as_view());
         assert_eq!(o.total.full, 4);
         assert_eq!(o.allowed.full, 1);
         assert_eq!(o.proxied.full, 1);
@@ -209,7 +219,8 @@ mod tests {
             &base("x.com")
                 .proxied()
                 .exception(ExceptionId::PolicyDenied)
-                .build(),
+                .build()
+                .as_view(),
         );
         assert_eq!(o.proxied.full, 1);
         assert_eq!(o.proxied.denied, 1);
@@ -225,7 +236,8 @@ mod tests {
         o.ingest(
             &base("y.com")
                 .network_error(ExceptionId::Other("icap_error".into()))
-                .build(),
+                .build()
+                .as_view(),
         );
         assert!(o
             .by_exception
@@ -236,9 +248,9 @@ mod tests {
     #[test]
     fn merge_combines_rows() {
         let mut a = TrafficOverview::new();
-        a.ingest(&base("a.com").build());
+        a.ingest(&base("a.com").build().as_view());
         let mut b = TrafficOverview::new();
-        b.ingest(&base("b.com").policy_denied().build());
+        b.ingest(&base("b.com").policy_denied().build().as_view());
         a.merge(&b);
         assert_eq!(a.total.full, 2);
         assert_eq!(a.censored_full(), 1);
@@ -247,7 +259,7 @@ mod tests {
     #[test]
     fn render_contains_expected_rows() {
         let mut o = TrafficOverview::new();
-        o.ingest(&base("a.com").build());
+        o.ingest(&base("a.com").build().as_view());
         let s = o.render();
         assert!(s.contains("OBSERVED / -"));
         assert!(s.contains("policy_denied"));

@@ -9,7 +9,7 @@ use crate::context::AnalysisContext;
 use crate::report::Table;
 use filterscope_bittorrent::titles::TitleClass;
 use filterscope_bittorrent::{AnnounceRequest, InfoHash, PeerId};
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use std::collections::{HashMap, HashSet};
 
 /// §7.3 accumulator.
@@ -31,16 +31,16 @@ impl BitTorrentStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
-        if !AnnounceRequest::is_announce_path(&record.url.path) {
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
+        if !AnnounceRequest::is_announce_path(record.url.path) {
             return;
         }
-        let Ok(announce) = AnnounceRequest::parse_query(&record.url.query) else {
+        let Ok(announce) = AnnounceRequest::parse_query(record.url.query) else {
             self.malformed += 1;
             return;
         };
         self.announces += 1;
-        if RequestClass::of(record) == RequestClass::Censored {
+        if RequestClass::of_view(record) == RequestClass::Censored {
             self.censored_announces += 1;
         }
         self.peers.insert(announce.peer_id);
@@ -124,7 +124,7 @@ mod tests {
     use filterscope_bittorrent::AnnounceEvent;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn announce_rec(infohash: u8, peer: u8, host: &str, censored: bool) -> LogRecord {
         let a = AnnounceRequest {
@@ -152,10 +152,22 @@ mod tests {
     fn counts_peers_and_contents() {
         let ctx = AnalysisContext::standard(None);
         let mut s = BitTorrentStats::new();
-        s.ingest(&ctx, &announce_rec(1, 1, "tracker.example", false));
-        s.ingest(&ctx, &announce_rec(1, 2, "tracker.example", false));
-        s.ingest(&ctx, &announce_rec(2, 1, "tracker.example", false));
-        s.ingest(&ctx, &announce_rec(3, 3, "tracker-proxy.furk.net", true));
+        s.ingest(
+            &ctx,
+            &announce_rec(1, 1, "tracker.example", false).as_view(),
+        );
+        s.ingest(
+            &ctx,
+            &announce_rec(1, 2, "tracker.example", false).as_view(),
+        );
+        s.ingest(
+            &ctx,
+            &announce_rec(2, 1, "tracker.example", false).as_view(),
+        );
+        s.ingest(
+            &ctx,
+            &announce_rec(3, 3, "tracker-proxy.furk.net", true).as_view(),
+        );
         assert_eq!(s.announces, 4);
         assert_eq!(s.peers.len(), 3);
         assert_eq!(s.contents.len(), 3);
@@ -173,7 +185,7 @@ mod tests {
             RequestUrl::http("x.com", "/scrape").with_query("info_hash=zz"),
         )
         .build();
-        s.ingest(&ctx, &not_announce);
+        s.ingest(&ctx, &not_announce.as_view());
         assert_eq!(s.announces, 0);
         let malformed = RecordBuilder::new(
             Timestamp::parse_fields("2011-08-02", "09:00:00").unwrap(),
@@ -181,7 +193,7 @@ mod tests {
             RequestUrl::http("x.com", "/announce").with_query("garbage"),
         )
         .build();
-        s.ingest(&ctx, &malformed);
+        s.ingest(&ctx, &malformed.as_view());
         assert_eq!(s.malformed, 1);
     }
 
@@ -190,7 +202,7 @@ mod tests {
         let ctx = AnalysisContext::standard(None);
         let mut s = BitTorrentStats::new();
         for i in 0..200u8 {
-            s.ingest(&ctx, &announce_rec(i, i, "t.example", false));
+            s.ingest(&ctx, &announce_rec(i, i, "t.example", false).as_view());
         }
         let rate = s.resolution_rate();
         assert!((0.5..0.95).contains(&rate), "rate {rate}");
@@ -211,8 +223,8 @@ mod tests {
         let mut a = BitTorrentStats::new();
         let mut b = BitTorrentStats::new();
         for i in 0..50u8 {
-            a.ingest(&ctx, &announce_rec(i, 1, "t.example", false));
-            b.ingest(&ctx, &announce_rec(i, 2, "t.example", false));
+            a.ingest(&ctx, &announce_rec(i, 1, "t.example", false).as_view());
+            b.ingest(&ctx, &announce_rec(i, 2, "t.example", false).as_view());
         }
         let solo_resolved = a.resolved();
         let solo_contents = a.contents.len();

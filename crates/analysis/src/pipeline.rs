@@ -37,7 +37,7 @@ use crate::filter_inference::FilterInference;
 use crate::suite::AnalysisSuite;
 use crate::weather::WeatherReport;
 use filterscope_core::{pool, Error, Result};
-use filterscope_logformat::{LogRecord, Schema};
+use filterscope_logformat::{LineSplitter, RecordView, Schema};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
@@ -50,15 +50,19 @@ pub const DEFAULT_SHARD_BYTES: u64 = 8 * 1024 * 1024;
 
 /// An accumulator that can ingest records on one shard and absorb sibling
 /// shards, preserving the result it would have reached single-threaded.
+///
+/// Ingest takes a borrowed [`RecordView`] — the shard worker parses each
+/// line zero-copy and the sink reads field slices straight out of the I/O
+/// buffer. Sinks that need to retain a field allocate for that field only.
 pub trait ShardSink: Send {
-    /// Feed one parsed record.
-    fn ingest(&mut self, record: &LogRecord);
+    /// Feed one parsed record view.
+    fn ingest(&mut self, record: &RecordView<'_>);
     /// Fold a sibling shard in (shards are absorbed in plan order).
     fn absorb(&mut self, other: Self);
 }
 
 impl ShardSink for FilterInference {
-    fn ingest(&mut self, record: &LogRecord) {
+    fn ingest(&mut self, record: &RecordView<'_>) {
         FilterInference::ingest(self, record);
     }
 
@@ -68,7 +72,7 @@ impl ShardSink for FilterInference {
 }
 
 impl ShardSink for WeatherReport {
-    fn ingest(&mut self, record: &LogRecord) {
+    fn ingest(&mut self, record: &RecordView<'_>) {
         WeatherReport::ingest(self, record);
     }
 
@@ -99,7 +103,7 @@ impl<'a> SuiteSink<'a> {
 }
 
 impl ShardSink for SuiteSink<'_> {
-    fn ingest(&mut self, record: &LogRecord) {
+    fn ingest(&mut self, record: &RecordView<'_>) {
         self.suite.ingest(self.ctx, record);
     }
 
@@ -397,6 +401,10 @@ fn run_unit<S: ShardSink>(unit: &IngestUnit, sink: &mut S) -> Result<(u64, u64)>
     let mut records = 0u64;
     let mut malformed = 0u64;
     let mut line_no = 0u64;
+    // One splitter per shard: the parsed view borrows the line buffer and
+    // the splitter's span table, so the whole parse loop runs allocation-free
+    // once both have warmed up.
+    let mut splitter = LineSplitter::new();
     while pos < unit.end {
         buf.clear();
         let n = reader
@@ -422,9 +430,9 @@ fn run_unit<S: ShardSink>(unit: &IngestUnit, sink: &mut S) -> Result<(u64, u64)>
             // counted, when malformed) by the planner.
             continue;
         }
-        match unit.schema.parse_record(text, line_no) {
-            Ok(record) => {
-                sink.ingest(&record);
+        match unit.schema.parse_view(&mut splitter, text, line_no) {
+            Ok(view) => {
+                sink.ingest(&view);
                 records += 1;
             }
             Err(_) => malformed += 1,
@@ -438,7 +446,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::{LogWriter, RequestUrl};
+    use filterscope_logformat::{LogRecord, LogWriter, RequestUrl};
     use std::io::Write as _;
 
     fn rec(host: &str, censored: bool) -> LogRecord {
@@ -479,7 +487,7 @@ mod tests {
     }
 
     impl ShardSink for Counter {
-        fn ingest(&mut self, record: &LogRecord) {
+        fn ingest(&mut self, record: &RecordView<'_>) {
             self.hosts.push(record.host().to_string());
         }
 

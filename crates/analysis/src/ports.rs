@@ -1,7 +1,7 @@
 //! Fig. 1: destination-port distribution of allowed and censored traffic.
 
 use crate::report::{count_pct, Table};
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use filterscope_stats::CountMap;
 
 /// Port distribution accumulator.
@@ -18,8 +18,8 @@ impl PortStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
-        match RequestClass::of(record) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
+        match RequestClass::of_view(record) {
             RequestClass::Allowed => self.allowed.bump(record.url.port),
             RequestClass::Censored => self.censored.bump(record.url.port),
             _ => {}
@@ -69,7 +69,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn rec(port: u16, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -87,9 +87,9 @@ mod tests {
     #[test]
     fn counts_by_class() {
         let mut p = PortStats::new();
-        p.ingest(&rec(80, false));
-        p.ingest(&rec(80, true));
-        p.ingest(&rec(9001, true));
+        p.ingest(&rec(80, false).as_view());
+        p.ingest(&rec(80, true).as_view());
+        p.ingest(&rec(9001, true).as_view());
         assert_eq!(p.allowed.get(&80), 1);
         assert_eq!(p.censored.get(&80), 1);
         assert_eq!(p.censored.get(&9001), 1);
@@ -106,7 +106,7 @@ mod tests {
         )
         .network_error(filterscope_logformat::ExceptionId::TcpError)
         .build();
-        p.ingest(&r);
+        p.ingest(&r.as_view());
         assert_eq!(p.allowed.total() + p.censored.total(), 0);
     }
 
@@ -114,9 +114,9 @@ mod tests {
     fn render_orders_by_censored() {
         let mut p = PortStats::new();
         for _ in 0..5 {
-            p.ingest(&rec(443, true));
+            p.ingest(&rec(443, true).as_view());
         }
-        p.ingest(&rec(80, true));
+        p.ingest(&rec(80, true).as_view());
         let s = p.render();
         let pos443 = s.find("443").unwrap();
         // Port 80 appears after 443 in censored ordering; find the row start.

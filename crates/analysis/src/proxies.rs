@@ -2,14 +2,18 @@
 //! Table 6 (cosine similarity of censored-domain vectors).
 
 use crate::report::Table;
-use filterscope_core::{Date, ProxyId, TimeOfDay, Timestamp};
+use filterscope_core::{Date, Interner, ProxyId, Sym, TimeOfDay, Timestamp};
 use filterscope_logformat::url::base_domain_of;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use filterscope_stats::similarity::similarity_matrix;
 use filterscope_stats::TimeSeries;
 use std::collections::HashMap;
 
 /// Per-proxy traffic and censored-domain accumulators.
+///
+/// Domain and category-label keys are interned into one shared string
+/// table ([`Sym`] keys); [`ProxyStats::merge`] remaps the absorbed shard's
+/// symbols, and renders resolve back to strings before sorting.
 #[derive(Debug)]
 pub struct ProxyStats {
     /// Per-proxy all-traffic series over the Fig. 7 window (Aug 3–4, hourly).
@@ -17,10 +21,11 @@ pub struct ProxyStats {
     /// Per-proxy censored-traffic series over the same window.
     pub censored_load: Vec<TimeSeries>,
     /// Per-proxy censored-domain count vectors on the Table 6 day (Aug 3).
-    pub censored_domains: Vec<HashMap<String, u64>>,
+    censored_domains: Vec<HashMap<Sym, u64>>,
     /// Per-proxy `cs-categories` label counts (the "none"/"unavailable"
     /// split of §5.2).
-    pub category_labels: Vec<HashMap<String, u64>>,
+    category_labels: Vec<HashMap<Sym, u64>>,
+    interner: Interner,
     similarity_day: Date,
 }
 
@@ -38,40 +43,67 @@ impl ProxyStats {
                 .collect(),
             censored_domains: vec![HashMap::new(); 7],
             category_labels: vec![HashMap::new(); 7],
+            interner: Interner::new(),
             similarity_day: Date::new(2011, 8, 3).expect("static"),
         }
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         let Some(proxy) = record.proxy() else { return };
         let i = proxy.index();
-        *self.category_labels[i]
-            .entry(record.categories.clone())
-            .or_insert(0) += 1;
+        let label = self.interner.intern(record.categories);
+        *self.category_labels[i].entry(label).or_insert(0) += 1;
         self.load[i].record(record.timestamp);
-        if RequestClass::of(record) == RequestClass::Censored {
+        if RequestClass::of_view(record) == RequestClass::Censored {
             self.censored_load[i].record(record.timestamp);
             if record.timestamp.date() == self.similarity_day {
-                *self.censored_domains[i]
-                    .entry(base_domain_of(&record.url.host))
-                    .or_insert(0) += 1;
+                let sym = self.interner.intern(&base_domain_of(record.url.host));
+                *self.censored_domains[i].entry(sym).or_insert(0) += 1;
             }
         }
     }
 
-    /// Merge a shard.
+    /// Merge a shard, remapping its symbols into this table.
     pub fn merge(&mut self, other: ProxyStats) {
+        let remap = self.interner.absorb_remap(&other.interner);
         for i in 0..7 {
             self.load[i].merge(&other.load[i]);
             self.censored_load[i].merge(&other.censored_load[i]);
             for (k, v) in &other.censored_domains[i] {
-                *self.censored_domains[i].entry(k.clone()).or_insert(0) += v;
+                *self.censored_domains[i]
+                    .entry(remap[k.index()])
+                    .or_insert(0) += v;
             }
             for (k, v) in &other.category_labels[i] {
-                *self.category_labels[i].entry(k.clone()).or_insert(0) += v;
+                *self.category_labels[i].entry(remap[k.index()]).or_insert(0) += v;
             }
         }
+    }
+
+    /// Censored-domain count for one proxy on the similarity day.
+    pub fn censored_domain_count(&self, proxy: ProxyId, domain: &str) -> u64 {
+        self.interner.get(domain).map_or(0, |sym| {
+            self.censored_domains[proxy.index()]
+                .get(&sym)
+                .copied()
+                .unwrap_or(0)
+        })
+    }
+
+    /// Distinct censored domains seen for one proxy on the similarity day.
+    pub fn censored_domain_vector_len(&self, proxy: ProxyId) -> usize {
+        self.censored_domains[proxy.index()].len()
+    }
+
+    /// Count of one `cs-categories` label for one proxy.
+    pub fn category_label_count(&self, proxy: ProxyId, label: &str) -> u64 {
+        self.interner.get(label).map_or(0, |sym| {
+            self.category_labels[proxy.index()]
+                .get(&sym)
+                .copied()
+                .unwrap_or(0)
+        })
     }
 
     /// Table 6: the 7×7 cosine-similarity matrix.
@@ -135,27 +167,29 @@ impl ProxyStats {
 
     /// Render the category-label split (§5.2's "none" vs "unavailable").
     pub fn render_category_labels(&self) -> String {
-        let mut labels: Vec<String> = self
+        // Resolve before sorting: label order must not depend on intern
+        // order.
+        let mut labels: Vec<&str> = self
             .category_labels
             .iter()
-            .flat_map(|m| m.keys().cloned())
+            .flat_map(|m| m.keys().map(|s| self.interner.resolve(*s)))
             .collect();
-        labels.sort();
+        labels.sort_unstable();
         labels.dedup();
         let headers: Vec<&str> = std::iter::once("Proxy")
-            .chain(labels.iter().map(|s| s.as_str()))
+            .chain(labels.iter().copied())
             .collect();
         let mut t = Table::new("cs-categories label usage per proxy", &headers);
         for (i, p) in ProxyId::ALL.iter().enumerate() {
             let mut row = vec![p.label().to_string()];
             for l in &labels {
-                row.push(
-                    self.category_labels[i]
-                        .get(l)
-                        .copied()
-                        .unwrap_or(0)
-                        .to_string(),
-                );
+                let n = self
+                    .interner
+                    .get(l)
+                    .and_then(|sym| self.category_labels[i].get(&sym))
+                    .copied()
+                    .unwrap_or(0);
+                row.push(n.to_string());
             }
             t.row(row);
         }
@@ -173,7 +207,7 @@ impl Default for ProxyStats {
 mod tests {
     use super::*;
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn rec(proxy: ProxyId, host: &str, censored: bool, date: &str) -> LogRecord {
         let b = RecordBuilder::new(
@@ -192,9 +226,9 @@ mod tests {
     fn similarity_reflects_domain_overlap() {
         let mut s = ProxyStats::standard();
         for _ in 0..10 {
-            s.ingest(&rec(ProxyId::Sg42, "skype.com", true, "2011-08-03"));
-            s.ingest(&rec(ProxyId::Sg43, "skype.com", true, "2011-08-03"));
-            s.ingest(&rec(ProxyId::Sg48, "metacafe.com", true, "2011-08-03"));
+            s.ingest(&rec(ProxyId::Sg42, "skype.com", true, "2011-08-03").as_view());
+            s.ingest(&rec(ProxyId::Sg43, "skype.com", true, "2011-08-03").as_view());
+            s.ingest(&rec(ProxyId::Sg48, "metacafe.com", true, "2011-08-03").as_view());
         }
         let m = s.cosine_matrix();
         assert!(m[0][1] > 0.99, "SG-42/43 should match: {}", m[0][1]);
@@ -205,8 +239,8 @@ mod tests {
     #[test]
     fn similarity_ignores_other_days() {
         let mut s = ProxyStats::standard();
-        s.ingest(&rec(ProxyId::Sg42, "a.com", true, "2011-08-04"));
-        assert!(s.censored_domains[0].is_empty());
+        s.ingest(&rec(ProxyId::Sg42, "a.com", true, "2011-08-04").as_view());
+        assert_eq!(s.censored_domain_vector_len(ProxyId::Sg42), 0);
         // But the load window does include Aug 4.
         assert_eq!(s.censored_load[0].total(), 1);
     }
@@ -215,7 +249,7 @@ mod tests {
     fn shares_sum_to_one() {
         let mut s = ProxyStats::standard();
         for p in ProxyId::ALL {
-            s.ingest(&rec(p, "x.com", false, "2011-08-03"));
+            s.ingest(&rec(p, "x.com", false, "2011-08-03").as_view());
         }
         let sum: f64 = ProxyId::ALL.iter().map(|p| s.load_share(*p)).sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -224,10 +258,10 @@ mod tests {
     #[test]
     fn category_labels_tracked_per_proxy() {
         let mut s = ProxyStats::standard();
-        s.ingest(&rec(ProxyId::Sg48, "x.com", false, "2011-08-03"));
-        s.ingest(&rec(ProxyId::Sg42, "x.com", false, "2011-08-03"));
+        s.ingest(&rec(ProxyId::Sg48, "x.com", false, "2011-08-03").as_view());
+        s.ingest(&rec(ProxyId::Sg42, "x.com", false, "2011-08-03").as_view());
         // RecordBuilder default category is "unavailable".
-        assert_eq!(s.category_labels[6].get("unavailable"), Some(&1));
+        assert_eq!(s.category_label_count(ProxyId::Sg48, "unavailable"), 1);
         let rendered = s.render_category_labels();
         assert!(rendered.contains("unavailable"));
     }
@@ -235,7 +269,7 @@ mod tests {
     #[test]
     fn renders() {
         let mut s = ProxyStats::standard();
-        s.ingest(&rec(ProxyId::Sg44, "tor-ish.com", true, "2011-08-03"));
+        s.ingest(&rec(ProxyId::Sg44, "tor-ish.com", true, "2011-08-03").as_view());
         assert!(s.render_table6().contains("SG-44"));
         assert!(s.render_fig7().contains("SG-48"));
     }

@@ -8,7 +8,7 @@
 //! client identity, so it runs over `Duser` records only.
 
 use crate::report::{count_pct, Table};
-use filterscope_logformat::{ClientId, ExceptionId, LogRecord};
+use filterscope_logformat::{ClientId, ExceptionId, RecordView};
 use filterscope_stats::CountMap;
 use std::collections::HashMap;
 
@@ -40,13 +40,13 @@ impl RedirectStats {
     ///
     /// Follow-up matching assumes records arrive in roughly time order per
     /// client (true of proxy logs); a later pass is not required.
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         let client = match record.client {
             ClientId::Hashed(h) => Some(h),
             _ => None,
         };
-        if record.exception == ExceptionId::PolicyRedirect {
-            self.hosts.bump(record.url.host.clone());
+        if record.exception == ExceptionId::PolicyRedirect.as_str() {
+            self.hosts.bump(record.url.host.to_string());
             if let Some(h) = client {
                 self.identified_redirects += 1;
                 self.pending
@@ -122,7 +122,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn redirect_at(time: &str, client: Option<u64>) -> LogRecord {
         let mut b = RecordBuilder::new(
@@ -150,8 +150,8 @@ mod tests {
     #[test]
     fn counts_only_redirects_by_exact_host() {
         let mut r = RedirectStats::new();
-        r.ingest(&redirect_at("09:00:00", None));
-        r.ingest(&redirect_at("09:00:01", None));
+        r.ingest(&redirect_at("09:00:00", None).as_view());
+        r.ingest(&redirect_at("09:00:01", None).as_view());
         let denied = RecordBuilder::new(
             Timestamp::parse_fields("2011-07-22", "09:00:02").unwrap(),
             ProxyId::Sg42,
@@ -159,7 +159,7 @@ mod tests {
         )
         .policy_denied()
         .build();
-        r.ingest(&denied);
+        r.ingest(&denied.as_view());
         assert_eq!(r.hosts.get("upload.youtube.com"), 2);
         assert_eq!(r.distinct_hosts(), 1);
         assert!(r.render().contains("upload.youtube.com"));
@@ -168,8 +168,8 @@ mod tests {
     #[test]
     fn follow_up_within_window_is_detected() {
         let mut r = RedirectStats::new();
-        r.ingest(&redirect_at("09:00:00", Some(7)));
-        r.ingest(&plain_at("09:00:01", 7));
+        r.ingest(&redirect_at("09:00:00", Some(7)).as_view());
+        r.ingest(&plain_at("09:00:01", 7).as_view());
         assert_eq!(r.identified_redirects, 1);
         assert_eq!(r.followed_up, 1);
     }
@@ -177,11 +177,11 @@ mod tests {
     #[test]
     fn follow_up_outside_window_or_other_client_is_not() {
         let mut r = RedirectStats::new();
-        r.ingest(&redirect_at("09:00:00", Some(7)));
+        r.ingest(&redirect_at("09:00:00", Some(7)).as_view());
         // Different client: no match.
-        r.ingest(&plain_at("09:00:01", 8));
+        r.ingest(&plain_at("09:00:01", 8).as_view());
         // Same client, too late.
-        r.ingest(&plain_at("09:00:09", 7));
+        r.ingest(&plain_at("09:00:09", 7).as_view());
         assert_eq!(r.identified_redirects, 1);
         assert_eq!(r.followed_up, 0);
     }
@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn zeroed_clients_cannot_be_tracked() {
         let mut r = RedirectStats::new();
-        r.ingest(&redirect_at("09:00:00", None)); // zeroed client
+        r.ingest(&redirect_at("09:00:00", None).as_view()); // zeroed client
         assert_eq!(r.identified_redirects, 0);
         // Table 7 still counts the host.
         assert_eq!(r.hosts.total(), 1);
@@ -198,10 +198,10 @@ mod tests {
     #[test]
     fn merge_combines_counts() {
         let mut a = RedirectStats::new();
-        a.ingest(&redirect_at("09:00:00", Some(1)));
-        a.ingest(&plain_at("09:00:01", 1));
+        a.ingest(&redirect_at("09:00:00", Some(1)).as_view());
+        a.ingest(&plain_at("09:00:01", 1).as_view());
         let mut b = RedirectStats::new();
-        b.ingest(&redirect_at("10:00:00", Some(2)));
+        b.ingest(&redirect_at("10:00:00", Some(2)).as_view());
         a.merge(b);
         assert_eq!(a.identified_redirects, 2);
         assert_eq!(a.followed_up, 1);

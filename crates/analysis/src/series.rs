@@ -234,7 +234,7 @@ mod tests {
             } else {
                 b.build()
             };
-            suite.ingest(&ctx, &r);
+            suite.ingest(&ctx, &r.as_view());
         }
         suite
     }

@@ -2,8 +2,9 @@
 //! (targeted Facebook pages) and Table 15 (social-plugin elements).
 
 use crate::report::{count_pct, Table};
+use filterscope_core::{Interner, Sym};
 use filterscope_logformat::url::base_domain_of;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use std::collections::HashMap;
 
 /// The 28-site panel of §6: Alexa's top social networks (as of the paper's
@@ -67,16 +68,19 @@ impl ClassCounts {
     }
 }
 
-/// Tables 13–15 accumulator.
+/// Tables 13–15 accumulator. Page and plugin paths are interned ([`Sym`]);
+/// [`SocialStats::merge`] remaps the absorbed shard's symbols, and renders
+/// resolve back to strings before sorting.
 #[derive(Debug, Default)]
 pub struct SocialStats {
     /// Per OSN domain.
     pub osn: HashMap<&'static str, ClassCounts>,
+    interner: Interner,
     /// Per Facebook page path (`/Name`), with the "Blocked sites" category
     /// flag observed.
-    pub fb_pages: HashMap<String, (ClassCounts, bool)>,
+    fb_pages: HashMap<Sym, (ClassCounts, bool)>,
     /// Per plugin element path.
-    pub fb_plugins: HashMap<String, ClassCounts>,
+    fb_plugins: HashMap<Sym, ClassCounts>,
     /// All facebook.com traffic (Table 15 denominators).
     pub fb_total: ClassCounts,
 }
@@ -116,23 +120,23 @@ impl SocialStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
-        let class = RequestClass::of(record);
-        let base = base_domain_of(&record.url.host);
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
+        let class = RequestClass::of_view(record);
+        let base = base_domain_of(record.url.host);
+        let base = base.as_ref();
         if let Some(panel) = OSN_PANEL.iter().find(|d| **d == base) {
             self.osn.entry(panel).or_default().add(class);
         }
         if base == "facebook.com" {
             self.fb_total.add(class);
-            let path = record.url.path.as_str();
+            let path = record.url.path;
             if is_plugin_path(path) {
-                self.fb_plugins
-                    .entry(path.to_string())
-                    .or_default()
-                    .add(class);
-            } else if FB_HOSTS.contains(&record.url.host.as_str()) {
+                let sym = self.interner.intern(path);
+                self.fb_plugins.entry(sym).or_default().add(class);
+            } else if FB_HOSTS.contains(&record.url.host) {
                 if let Some(page) = page_name(path) {
-                    let e = self.fb_pages.entry(page.to_string()).or_default();
+                    let sym = self.interner.intern(page);
+                    let e = self.fb_pages.entry(sym).or_default();
                     e.0.add(class);
                     if record.categories.contains("Blocked sites") {
                         e.1 = true;
@@ -142,20 +146,40 @@ impl SocialStats {
         }
     }
 
-    /// Merge a shard.
+    /// Merge a shard, remapping its symbols into this table.
     pub fn merge(&mut self, other: SocialStats) {
         for (k, v) in other.osn {
             self.osn.entry(k).or_default().merge(&v);
         }
+        let remap = self.interner.absorb_remap(&other.interner);
         for (k, (v, flag)) in other.fb_pages {
-            let e = self.fb_pages.entry(k).or_default();
+            let e = self.fb_pages.entry(remap[k.index()]).or_default();
             e.0.merge(&v);
             e.1 |= flag;
         }
         for (k, v) in other.fb_plugins {
-            self.fb_plugins.entry(k).or_default().merge(&v);
+            self.fb_plugins
+                .entry(remap[k.index()])
+                .or_default()
+                .merge(&v);
         }
         self.fb_total.merge(&other.fb_total);
+    }
+
+    /// Counts for one plugin element path, if seen.
+    pub fn fb_plugin_counts(&self, path: &str) -> Option<ClassCounts> {
+        self.interner
+            .get(path)
+            .and_then(|sym| self.fb_plugins.get(&sym))
+            .copied()
+    }
+
+    /// Counts and "Blocked sites" flag for one Facebook page, if seen.
+    pub fn fb_page_counts(&self, page: &str) -> Option<(ClassCounts, bool)> {
+        self.interner
+            .get(page)
+            .and_then(|sym| self.fb_pages.get(&sym))
+            .copied()
     }
 
     /// Table 13 rows: OSNs by censored volume.
@@ -202,15 +226,18 @@ impl SocialStats {
             "Table 14: Facebook pages in the custom category",
             &["Page", "Censored", "Allowed", "Proxied"],
         );
-        let mut rows: Vec<(&String, &(ClassCounts, bool))> = self
+        // Resolve symbols before sorting: row order must not depend on
+        // intern order.
+        let mut rows: Vec<(&str, &(ClassCounts, bool))> = self
             .fb_pages
             .iter()
             .filter(|(_, (c, blocked))| *blocked || c.censored > 0)
+            .map(|(sym, v)| (self.interner.resolve(*sym), v))
             .collect();
         rows.sort_by(|a, b| b.1 .0.censored.cmp(&a.1 .0.censored).then(a.0.cmp(b.0)));
         for (page, (c, _)) in rows.into_iter().take(12) {
             t.row([
-                page.clone(),
+                page.to_string(),
                 c.censored.to_string(),
                 c.allowed.to_string(),
                 c.proxied.to_string(),
@@ -225,12 +252,16 @@ impl SocialStats {
             "Table 15: Facebook social-plugin elements",
             &["Element", "Censored", "Allowed", "Proxied"],
         );
-        let mut rows: Vec<(&String, &ClassCounts)> = self.fb_plugins.iter().collect();
+        let mut rows: Vec<(&str, &ClassCounts)> = self
+            .fb_plugins
+            .iter()
+            .map(|(sym, v)| (self.interner.resolve(*sym), v))
+            .collect();
         rows.sort_by(|a, b| b.1.censored.cmp(&a.1.censored).then(a.0.cmp(b.0)));
         let ctotal = self.fb_total.censored;
         for (path, c) in rows.into_iter().take(10) {
             t.row([
-                path.clone(),
+                path.to_string(),
                 count_pct(c.censored, ctotal),
                 c.allowed.to_string(),
                 c.proxied.to_string(),
@@ -255,7 +286,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn rec(host: &str, path: &str, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -273,9 +304,9 @@ mod tests {
     #[test]
     fn osn_panel_counting() {
         let mut s = SocialStats::new();
-        s.ingest(&rec("www.badoo.com", "/", true));
-        s.ingest(&rec("twitter.com", "/home", false));
-        s.ingest(&rec("unrelated.com", "/", true));
+        s.ingest(&rec("www.badoo.com", "/", true).as_view());
+        s.ingest(&rec("twitter.com", "/home", false).as_view());
+        s.ingest(&rec("unrelated.com", "/", true).as_view());
         assert_eq!(s.osn[&"badoo.com"].censored, 1);
         assert_eq!(s.osn[&"twitter.com"].allowed, 1);
         assert!(!s.osn.contains_key(&"unrelated.com"));
@@ -286,12 +317,12 @@ mod tests {
     #[test]
     fn plugin_paths_counted_with_denominator() {
         let mut s = SocialStats::new();
-        s.ingest(&rec("www.facebook.com", "/plugins/like.php", true));
-        s.ingest(&rec("www.facebook.com", "/extern/login_status.php", true));
-        s.ingest(&rec("www.facebook.com", "/home.php", false));
+        s.ingest(&rec("www.facebook.com", "/plugins/like.php", true).as_view());
+        s.ingest(&rec("www.facebook.com", "/extern/login_status.php", true).as_view());
+        s.ingest(&rec("www.facebook.com", "/home.php", false).as_view());
         assert_eq!(s.fb_total.censored, 2);
         assert_eq!(s.fb_total.allowed, 1);
-        assert_eq!(s.fb_plugins["/plugins/like.php"].censored, 1);
+        assert_eq!(s.fb_plugin_counts("/plugins/like.php").unwrap().censored, 1);
         assert!((s.plugin_share_of_censored_fb() - 1.0).abs() < 1e-9);
         assert!(s.render_table15().contains("/plugins/like.php"));
     }
@@ -318,15 +349,15 @@ mod tests {
         .categories("Blocked sites; unavailable")
         .policy_redirect()
         .build();
-        s.ingest(&blocked);
+        s.ingest(&blocked.as_view());
         // Allowed request to the same page with extended query.
-        s.ingest(&rec("www.facebook.com", "/Syrian.Revolution", false));
+        s.ingest(&rec("www.facebook.com", "/Syrian.Revolution", false).as_view());
         // An untargeted page never censored: excluded from Table 14.
-        s.ingest(&rec("www.facebook.com", "/ShaamNewsNetwork", false));
+        s.ingest(&rec("www.facebook.com", "/ShaamNewsNetwork", false).as_view());
         let rendered = s.render_table14();
         assert!(rendered.contains("Syrian.Revolution"));
         assert!(!rendered.contains("ShaamNewsNetwork"));
-        let e = &s.fb_pages["Syrian.Revolution"];
+        let e = s.fb_page_counts("Syrian.Revolution").unwrap();
         assert_eq!(e.0.censored, 1);
         assert_eq!(e.0.allowed, 1);
         assert!(e.1);
@@ -335,10 +366,10 @@ mod tests {
     #[test]
     fn merge_combines_everything() {
         let mut a = SocialStats::new();
-        a.ingest(&rec("badoo.com", "/", true));
+        a.ingest(&rec("badoo.com", "/", true).as_view());
         let mut b = SocialStats::new();
-        b.ingest(&rec("badoo.com", "/", true));
-        b.ingest(&rec("www.facebook.com", "/plugins/like.php", true));
+        b.ingest(&rec("badoo.com", "/", true).as_view());
+        b.ingest(&rec("www.facebook.com", "/plugins/like.php", true).as_view());
         a.merge(b);
         assert_eq!(a.osn[&"badoo.com"].censored, 2);
         assert_eq!(a.fb_total.censored, 1);

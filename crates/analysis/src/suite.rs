@@ -19,7 +19,7 @@ use crate::social::SocialStats;
 use crate::temporal::TemporalStats;
 use crate::tor_usage::TorStats;
 use crate::users::UserStats;
-use filterscope_logformat::LogRecord;
+use filterscope_logformat::RecordView;
 
 /// Every experiment accumulator, fed by one streaming pass.
 pub struct AnalysisSuite {
@@ -72,8 +72,9 @@ impl AnalysisSuite {
         }
     }
 
-    /// Ingest one record into every analysis.
-    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
+    /// Ingest one record view into every analysis. Owned records bridge in
+    /// via [`filterscope_logformat::LogRecord::as_view`].
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
         self.datasets.ingest(record);
         self.overview.ingest(record);
         self.domains.ingest(record);
@@ -178,7 +179,7 @@ mod tests {
             } else {
                 b.build()
             };
-            suite.ingest(&ctx, &r);
+            suite.ingest(&ctx, &r.as_view());
         }
         let report = suite.render_all(&ctx);
         for needle in [

@@ -3,7 +3,7 @@
 use crate::report::{count_pct, Table};
 use filterscope_core::{Date, TimeOfDay, Timestamp};
 use filterscope_logformat::url::base_domain_of;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use filterscope_stats::{CountMap, TimeSeries};
 
 /// Five-minute bins, as in the paper.
@@ -49,16 +49,16 @@ impl TemporalStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         let ts = record.timestamp;
         self.all.record(ts);
-        match RequestClass::of(record) {
+        match RequestClass::of_view(record) {
             RequestClass::Allowed => self.allowed.record(ts),
             RequestClass::Censored => {
                 self.censored.record(ts);
                 if ts.date() == self.peak_day {
                     let w = (ts.time().hour() / 2) as usize;
-                    self.peak_windows[w].bump(base_domain_of(&record.url.host));
+                    self.peak_windows[w].bump(base_domain_of(record.url.host).into_owned());
                 }
             }
             _ => {}
@@ -238,7 +238,7 @@ mod tests {
     use super::*;
     use filterscope_core::ProxyId;
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn rec(date: &str, time: &str, host: &str, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -256,8 +256,8 @@ mod tests {
     #[test]
     fn series_bin_assignment() {
         let mut t = TemporalStats::standard();
-        t.ingest(&rec("2011-08-01", "00:02:00", "a.com", false));
-        t.ingest(&rec("2011-08-01", "00:02:30", "b.com", true));
+        t.ingest(&rec("2011-08-01", "00:02:00", "a.com", false).as_view());
+        t.ingest(&rec("2011-08-01", "00:02:30", "b.com", true).as_view());
         assert_eq!(t.allowed.bins()[0], 1);
         assert_eq!(t.censored.bins()[0], 1);
         assert_eq!(t.all.bins()[0], 2);
@@ -268,10 +268,10 @@ mod tests {
     #[test]
     fn peak_windows_capture_peak_day_only() {
         let mut t = TemporalStats::standard();
-        t.ingest(&rec("2011-08-03", "08:30:00", "skype.com", true));
-        t.ingest(&rec("2011-08-03", "09:59:59", "skype.com", true));
-        t.ingest(&rec("2011-08-02", "08:30:00", "skype.com", true)); // not peak day
-        t.ingest(&rec("2011-08-03", "08:30:00", "ok.com", false)); // not censored
+        t.ingest(&rec("2011-08-03", "08:30:00", "skype.com", true).as_view());
+        t.ingest(&rec("2011-08-03", "09:59:59", "skype.com", true).as_view());
+        t.ingest(&rec("2011-08-02", "08:30:00", "skype.com", true).as_view()); // not peak day
+        t.ingest(&rec("2011-08-03", "08:30:00", "ok.com", false).as_view()); // not censored
         assert_eq!(t.peak_top_domains(8, 5), vec![("skype.com".to_string(), 2)]);
         assert!(t.peak_top_domains(6, 5).is_empty());
     }
@@ -280,9 +280,9 @@ mod tests {
     fn censored_peak_location() {
         let mut t = TemporalStats::standard();
         for _ in 0..5 {
-            t.ingest(&rec("2011-08-03", "08:10:00", "x.com", true));
+            t.ingest(&rec("2011-08-03", "08:10:00", "x.com", true).as_view());
         }
-        t.ingest(&rec("2011-08-02", "10:00:00", "x.com", true));
+        t.ingest(&rec("2011-08-02", "10:00:00", "x.com", true).as_view());
         let (when, count) = t.censored_peak().unwrap();
         assert_eq!(count, 5);
         assert_eq!(when.date().to_string(), "2011-08-03");
@@ -292,8 +292,8 @@ mod tests {
     #[test]
     fn renders() {
         let mut t = TemporalStats::standard();
-        t.ingest(&rec("2011-08-03", "08:30:00", "skype.com", true));
-        t.ingest(&rec("2011-08-03", "08:31:00", "ok.com", false));
+        t.ingest(&rec("2011-08-03", "08:30:00", "skype.com", true).as_view());
+        t.ingest(&rec("2011-08-03", "08:31:00", "ok.com", false).as_view());
         assert!(t.render_fig5().contains("Fig 5"));
         assert!(t.render_fig6().contains("08:00"));
         assert!(t.render_table5().contains("skype.com"));
@@ -308,7 +308,7 @@ mod tests {
             let in_dip = (50..60).contains(&minute);
             let n = if in_dip { 1 } else { 12 };
             for k in 0..n {
-                t.ingest(&rec("2011-08-02", &ts_str, &format!("h{k}.example"), false));
+                t.ingest(&rec("2011-08-02", &ts_str, &format!("h{k}.example"), false).as_view());
             }
         }
         let dips = t.detect_dips(0.4);
@@ -325,10 +325,10 @@ mod tests {
     fn peak_im_share_attributes_peaks() {
         let mut t = TemporalStats::standard();
         for _ in 0..8 {
-            t.ingest(&rec("2011-08-03", "08:30:00", "skype.com", true));
+            t.ingest(&rec("2011-08-03", "08:30:00", "skype.com", true).as_view());
         }
-        t.ingest(&rec("2011-08-03", "08:40:00", "live.com", true));
-        t.ingest(&rec("2011-08-03", "08:45:00", "metacafe.com", true));
+        t.ingest(&rec("2011-08-03", "08:40:00", "live.com", true).as_view());
+        t.ingest(&rec("2011-08-03", "08:45:00", "metacafe.com", true).as_view());
         let share = t.peak_im_share();
         assert!((share - 0.9).abs() < 1e-9, "share {share}");
     }
@@ -336,9 +336,9 @@ mod tests {
     #[test]
     fn merge_adds_series_and_windows() {
         let mut a = TemporalStats::standard();
-        a.ingest(&rec("2011-08-03", "08:30:00", "skype.com", true));
+        a.ingest(&rec("2011-08-03", "08:30:00", "skype.com", true).as_view());
         let mut b = TemporalStats::standard();
-        b.ingest(&rec("2011-08-03", "08:40:00", "skype.com", true));
+        b.ingest(&rec("2011-08-03", "08:40:00", "skype.com", true).as_view());
         a.merge(b);
         assert_eq!(a.censored.total(), 2);
         assert_eq!(a.peak_top_domains(8, 1)[0].1, 2);

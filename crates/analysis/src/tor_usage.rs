@@ -7,7 +7,7 @@
 use crate::context::AnalysisContext;
 use crate::report::Table;
 use filterscope_core::{Date, ProxyId, TimeOfDay, Timestamp};
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use filterscope_stats::TimeSeries;
 use filterscope_tor::signaling::{self, TorTrafficKind};
 use std::collections::{HashMap, HashSet};
@@ -60,8 +60,8 @@ impl TorStats {
     }
 
     /// Ingest one record.
-    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &LogRecord) {
-        let class = RequestClass::of(record);
+    pub fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
+        let class = RequestClass::of_view(record);
         // Fig. 8b needs SG-44's overall profile regardless of Tor-ness.
         if record.proxy() == Some(ProxyId::Sg44) {
             self.sg44_all.record(record.timestamp);
@@ -80,7 +80,7 @@ impl TorStats {
         self.total += 1;
         self.relays_seen.insert(u32::from(ip));
         self.hourly.record(record.timestamp);
-        if signaling::classify(&record.url.path) == TorTrafficKind::Http {
+        if signaling::classify(record.url.path) == TorTrafficKind::Http {
             self.http_signaling += 1;
         }
         let hour_bin = record.timestamp.bin_index(self.origin, 3600);
@@ -206,7 +206,7 @@ mod tests {
     use super::*;
     use filterscope_core::ProxyId;
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
     use filterscope_tor::consensus::{ConsensusDoc, RelayDescriptor, RelayFlags};
     use filterscope_tor::RelayIndex;
     use std::net::Ipv4Addr;
@@ -263,16 +263,17 @@ mod tests {
                 ProxyId::Sg42,
                 "10:00:00",
                 false,
-            ),
+            )
+            .as_view(),
         );
         s.ingest(
             &ctx,
-            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:05:00", true),
+            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:05:00", true).as_view(),
         );
         // Wrong port: not Tor.
         s.ingest(
             &ctx,
-            &tor_rec(addr, 8080, "/", ProxyId::Sg42, "10:06:00", false),
+            &tor_rec(addr, 8080, "/", ProxyId::Sg42, "10:06:00", false).as_view(),
         );
         assert_eq!(s.total, 2);
         assert_eq!(s.http_signaling, 1);
@@ -288,12 +289,12 @@ mod tests {
         // Hour A (Aug 3, 10:00): relay censored.
         s.ingest(
             &ctx,
-            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:00:00", true),
+            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:00:00", true).as_view(),
         );
         // Hour B (Aug 3, 12:00): same relay allowed.
         s.ingest(
             &ctx,
-            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "12:00:00", false),
+            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "12:00:00", false).as_view(),
         );
         let rf = s.rfilter();
         // Hour bin of Aug 3 12:00 relative to Aug 1 00:00 = 2*24 + 12 = 60.
@@ -319,7 +320,7 @@ mod tests {
         )
         .policy_denied()
         .build();
-        s.ingest(&ctx, &plain);
+        s.ingest(&ctx, &plain.as_view());
         assert_eq!(s.sg44_all.total(), 1);
         assert_eq!(s.sg44_censored.total(), 1);
         assert_eq!(s.total, 0, "not Tor traffic");
@@ -338,7 +339,8 @@ mod tests {
                 ProxyId::Sg42,
                 "10:00:00",
                 false,
-            ),
+            )
+            .as_view(),
         );
         assert_eq!(s.total, 0);
     }
@@ -349,7 +351,7 @@ mod tests {
         let mut s = TorStats::standard();
         s.ingest(
             &ctx,
-            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:00:00", true),
+            &tor_rec(addr, 9001, "/", ProxyId::Sg44, "10:00:00", true).as_view(),
         );
         let out = s.render();
         assert!(out.contains("Tor requests"));

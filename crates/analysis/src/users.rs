@@ -6,7 +6,7 @@
 
 use crate::datasets::in_user_dataset;
 use crate::report::Table;
-use filterscope_logformat::{LogRecord, RequestClass};
+use filterscope_logformat::{RecordView, RequestClass};
 use filterscope_stats::{Ecdf, Histogram};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -24,7 +24,7 @@ pub struct UserStats {
     users: HashMap<u64, UserCounts>,
 }
 
-fn user_key(record: &LogRecord) -> Option<u64> {
+fn user_key(record: &RecordView<'_>) -> Option<u64> {
     let h = record.client.hash()?;
     let mut hasher = DefaultHasher::new();
     h.hash(&mut hasher);
@@ -39,14 +39,14 @@ impl UserStats {
     }
 
     /// Ingest one record (ignores non-`Duser` records).
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         if !in_user_dataset(record) {
             return;
         }
         let Some(key) = user_key(record) else { return };
         let c = self.users.entry(key).or_default();
         c.total += 1;
-        if RequestClass::of(record) == RequestClass::Censored {
+        if RequestClass::of_view(record) == RequestClass::Censored {
             c.censored += 1;
         }
     }
@@ -160,7 +160,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::{ClientId, RequestUrl};
+    use filterscope_logformat::{ClientId, LogRecord, RequestUrl};
 
     fn rec(user: u64, ua: &str, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -180,10 +180,10 @@ mod tests {
     #[test]
     fn users_keyed_by_client_and_agent() {
         let mut s = UserStats::new();
-        s.ingest(&rec(1, "UA-A", false));
-        s.ingest(&rec(1, "UA-A", false));
-        s.ingest(&rec(1, "UA-B", false)); // same hash, different agent
-        s.ingest(&rec(2, "UA-A", false));
+        s.ingest(&rec(1, "UA-A", false).as_view());
+        s.ingest(&rec(1, "UA-A", false).as_view());
+        s.ingest(&rec(1, "UA-B", false).as_view()); // same hash, different agent
+        s.ingest(&rec(2, "UA-A", false).as_view());
         assert_eq!(s.user_count(), 3);
     }
 
@@ -196,7 +196,7 @@ mod tests {
             RequestUrl::http("x.com", "/"),
         )
         .build();
-        s.ingest(&r);
+        s.ingest(&r.as_view());
         assert_eq!(s.user_count(), 0);
     }
 
@@ -204,11 +204,11 @@ mod tests {
     fn censored_user_detection() {
         let mut s = UserStats::new();
         for _ in 0..10 {
-            s.ingest(&rec(1, "A", false));
+            s.ingest(&rec(1, "A", false).as_view());
         }
-        s.ingest(&rec(1, "A", true));
+        s.ingest(&rec(1, "A", true).as_view());
         for _ in 0..5 {
-            s.ingest(&rec(2, "A", false));
+            s.ingest(&rec(2, "A", false).as_view());
         }
         assert_eq!(s.censored_user_count(), 1);
         assert!((s.censored_user_fraction() - 0.5).abs() < 1e-9);
@@ -221,12 +221,12 @@ mod tests {
         let mut s = UserStats::new();
         // Censored user with 150 requests.
         for _ in 0..150 {
-            s.ingest(&rec(1, "A", false));
+            s.ingest(&rec(1, "A", false).as_view());
         }
-        s.ingest(&rec(1, "A", true));
+        s.ingest(&rec(1, "A", true).as_view());
         // Clean user with 10 requests.
         for _ in 0..10 {
-            s.ingest(&rec(2, "A", false));
+            s.ingest(&rec(2, "A", false).as_view());
         }
         let (ac, an) = s.active_fraction(100);
         assert_eq!(ac, 1.0);
@@ -238,9 +238,9 @@ mod tests {
     #[test]
     fn merge_sums_per_user() {
         let mut a = UserStats::new();
-        a.ingest(&rec(7, "A", false));
+        a.ingest(&rec(7, "A", false).as_view());
         let mut b = UserStats::new();
-        b.ingest(&rec(7, "A", true));
+        b.ingest(&rec(7, "A", true).as_view());
         a.merge(b);
         assert_eq!(a.user_count(), 1);
         assert_eq!(a.censored_user_count(), 1);

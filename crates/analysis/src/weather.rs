@@ -10,7 +10,7 @@
 use crate::filter_inference::FilterInference;
 use crate::report::Table;
 use filterscope_core::Date;
-use filterscope_logformat::LogRecord;
+use filterscope_logformat::RecordView;
 use std::collections::BTreeMap;
 
 /// Per-day recovered policy and the diffs between consecutive days.
@@ -60,7 +60,7 @@ impl WeatherReport {
     }
 
     /// Ingest one record into its day's inference.
-    pub fn ingest(&mut self, record: &LogRecord) {
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
         self.days
             .entry(record.timestamp.date())
             .or_insert_with(|| FilterInference::new(&[]))
@@ -173,7 +173,7 @@ mod tests {
     use super::*;
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
-    use filterscope_logformat::RequestUrl;
+    use filterscope_logformat::{LogRecord, RequestUrl};
 
     fn rec(date: &str, host: &str, path: &str, censored: bool) -> LogRecord {
         let b = RecordBuilder::new(
@@ -193,19 +193,14 @@ mod tests {
         let mut w = WeatherReport::new(5, 3);
         // Day 1: only metacafe blocked.
         for i in 0..10 {
-            w.ingest(&rec("2011-08-01", "metacafe.com", "/", true));
-            w.ingest(&rec("2011-08-01", &format!("ok{i}.com"), "/", false));
+            w.ingest(&rec("2011-08-01", "metacafe.com", "/", true).as_view());
+            w.ingest(&rec("2011-08-01", &format!("ok{i}.com"), "/", false).as_view());
         }
         // Day 2: metacafe still blocked AND a keyword appears across domains.
         for i in 0..10 {
-            w.ingest(&rec("2011-08-02", "metacafe.com", "/", true));
-            w.ingest(&rec(
-                "2011-08-02",
-                &format!("a{}.com", i % 4),
-                "/x/proxy",
-                true,
-            ));
-            w.ingest(&rec("2011-08-02", &format!("ok{i}.com"), "/", false));
+            w.ingest(&rec("2011-08-02", "metacafe.com", "/", true).as_view());
+            w.ingest(&rec("2011-08-02", &format!("a{}.com", i % 4), "/x/proxy", true).as_view());
+            w.ingest(&rec("2011-08-02", &format!("ok{i}.com"), "/", false).as_view());
         }
         let policies = w.daily_policies();
         assert_eq!(policies.len(), 2);
@@ -227,7 +222,7 @@ mod tests {
         let mut w = WeatherReport::new(3, 3);
         for day in ["2011-08-01", "2011-08-02"] {
             for _ in 0..5 {
-                w.ingest(&rec(day, "badoo.com", "/", true));
+                w.ingest(&rec(day, "badoo.com", "/", true).as_view());
             }
         }
         let deltas = w.deltas();
@@ -241,9 +236,9 @@ mod tests {
         let mut a = WeatherReport::new(3, 3);
         let mut b = WeatherReport::new(3, 3);
         for _ in 0..3 {
-            a.ingest(&rec("2011-08-01", "badoo.com", "/", true));
-            b.ingest(&rec("2011-08-01", "badoo.com", "/", true));
-            b.ingest(&rec("2011-08-02", "netlog.com", "/", true));
+            a.ingest(&rec("2011-08-01", "badoo.com", "/", true).as_view());
+            b.ingest(&rec("2011-08-01", "badoo.com", "/", true).as_view());
+            b.ingest(&rec("2011-08-02", "netlog.com", "/", true).as_view());
         }
         a.merge(b);
         let policies = a.daily_policies();

@@ -23,7 +23,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = PortStats::new();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.render())
         })
@@ -33,7 +33,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = DomainStats::new();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box((
                 s.request_distribution(RequestClass::Allowed),
@@ -46,7 +46,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = CategoryStats::new();
             for r in records {
-                s.ingest(ctx, r);
+                s.ingest(ctx, &r.as_view());
             }
             black_box(s.distribution(0))
         })
@@ -56,7 +56,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = UserStats::new();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box((s.censored_requests_histogram(), s.activity_cdfs()))
         })
@@ -66,7 +66,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = TemporalStats::standard();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.normalized())
         })
@@ -81,7 +81,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = ProxyStats::standard();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.render_fig7())
         })
@@ -91,7 +91,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = TorStats::standard();
             for r in records {
-                s.ingest(ctx, r);
+                s.ingest(ctx, &r.as_view());
             }
             black_box(s.render())
         })
@@ -106,7 +106,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = AnonymizerStats::new();
             for r in records {
-                s.ingest(ctx, r);
+                s.ingest(ctx, &r.as_view());
             }
             black_box((s.allowed_request_cdf(), s.ratio_cdf()))
         })
@@ -116,7 +116,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = BitTorrentStats::new();
             for r in records {
-                s.ingest(ctx, r);
+                s.ingest(ctx, &r.as_view());
             }
             black_box(s.render())
         })
@@ -126,7 +126,7 @@ fn bench_figures(c: &mut Harness) {
         b.iter(|| {
             let mut s = GoogleCacheStats::new();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.render())
         })

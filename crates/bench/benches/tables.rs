@@ -23,7 +23,7 @@ fn bench_tables(c: &mut Harness) {
         b.iter(|| {
             let mut s = DatasetCounts::new();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.render())
         })
@@ -33,7 +33,7 @@ fn bench_tables(c: &mut Harness) {
         b.iter(|| {
             let mut s = TrafficOverview::new();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.render())
         })
@@ -43,7 +43,7 @@ fn bench_tables(c: &mut Harness) {
         b.iter(|| {
             let mut s = DomainStats::new();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box((s.top_allowed(10), s.top_censored(10)))
         })
@@ -53,7 +53,7 @@ fn bench_tables(c: &mut Harness) {
         b.iter(|| {
             let mut s = TemporalStats::standard();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.render_table5())
         })
@@ -63,7 +63,7 @@ fn bench_tables(c: &mut Harness) {
         b.iter(|| {
             let mut s = ProxyStats::standard();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.cosine_matrix())
         })
@@ -73,7 +73,7 @@ fn bench_tables(c: &mut Harness) {
         b.iter(|| {
             let mut s = RedirectStats::new();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.render())
         })
@@ -84,7 +84,7 @@ fn bench_tables(c: &mut Harness) {
         b.iter(|| {
             let mut s = FilterInference::new(&filterscope_proxy::config::KEYWORDS);
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box(s.recover_domains(3))
         })
@@ -104,7 +104,7 @@ fn bench_tables(c: &mut Harness) {
         b.iter(|| {
             let mut s = IpCensorship::standard();
             for r in records {
-                s.ingest(ctx, r);
+                s.ingest(ctx, &r.as_view());
             }
             black_box(s.censorship_ratios())
         })
@@ -119,7 +119,7 @@ fn bench_tables(c: &mut Harness) {
         b.iter(|| {
             let mut s = SocialStats::new();
             for r in records {
-                s.ingest(r);
+                s.ingest(&r.as_view());
             }
             black_box((s.render_table13(), s.render_table14(), s.render_table15()))
         })

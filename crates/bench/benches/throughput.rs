@@ -1,6 +1,8 @@
 //! Throughput benchmarks: the systems case for the Rust implementation.
 //!
 //! * `parse_lines` — CSV → `LogRecord` rate (the 600 GB leak at this rate);
+//! * `parse_throughput` — owned `LogRecord` vs borrowed `RecordView`
+//!   parsing, lines/s (the zero-copy case for the view type);
 //! * `write_lines` — `LogRecord` → CSV rate;
 //! * `policy_decisions` — SG-9000 policy evaluations per second;
 //! * `farm_end_to_end` — request → routed, filtered, logged record;
@@ -13,7 +15,7 @@ use filterscope_analysis::{AnalysisContext, AnalysisSuite, ParallelIngest};
 use filterscope_bench::harness::{black_box, Harness, Throughput};
 use filterscope_bench::{corpus, csv_lines};
 use filterscope_core::pool;
-use filterscope_logformat::{parse_line, LogWriter, Schema};
+use filterscope_logformat::{parse_line, parse_view, LineSplitter, LogWriter, Schema};
 use filterscope_proxy::cpl;
 use filterscope_proxy::PolicyData;
 use filterscope_proxy::{PolicyEngine, ProxyConfig, ProxyFarm, Request};
@@ -123,13 +125,50 @@ fn bench_throughput(c: &mut Harness) {
             let corpus = Corpus::new(SynthConfig::new(1 << 20).expect("scale"));
             let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
             let mut suite = AnalysisSuite::new(2);
-            corpus.for_each_record(|r| suite.ingest(&ctx, r));
+            corpus.for_each_record(|r| suite.ingest(&ctx, &r.as_view()));
             black_box(suite.datasets.full)
         })
     });
     g.finish();
 
+    bench_parse_throughput(c);
     bench_parallel_ingest(c);
+}
+
+/// Owned vs borrowed parsing over the same lines: the allocation cost of
+/// materializing a `LogRecord` against `RecordView`'s slices, in lines/s.
+fn bench_parse_throughput(c: &mut Harness) {
+    let lines = csv_lines();
+    let mut g = c.benchmark_group("parse_throughput");
+    g.throughput(Throughput::Elements(lines.len() as u64));
+    g.bench_function("owned_records", |b| {
+        b.iter(|| {
+            let mut censored = 0u64;
+            for (i, line) in lines.iter().enumerate() {
+                if let Ok(r) = parse_line(line, i as u64) {
+                    if r.exception.is_policy() {
+                        censored += 1;
+                    }
+                }
+            }
+            black_box(censored)
+        })
+    });
+    g.bench_function("record_views", |b| {
+        let mut splitter = LineSplitter::new();
+        b.iter(|| {
+            let mut censored = 0u64;
+            for (i, line) in lines.iter().enumerate() {
+                if let Ok(v) = parse_view(&mut splitter, line, i as u64) {
+                    if v.exception_is_policy() {
+                        censored += 1;
+                    }
+                }
+            }
+            black_box(censored)
+        })
+    });
+    g.finish();
 }
 
 /// Write the shared corpus to day files once, then compare the sharded

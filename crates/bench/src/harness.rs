@@ -11,7 +11,13 @@
 //!
 //! * `FILTERSCOPE_BENCH_SAMPLES` — override the per-benchmark sample count
 //!   (e.g. `1` for a smoke run in CI).
+//! * `FILTERSCOPE_BENCH_JSON` — path of a JSON file to write results into.
+//!   The file is rewritten after every completed benchmark (so an aborted
+//!   run still leaves valid JSON) with an array of
+//!   `{group, name, median_ns, min_ns[, rate, rate_unit]}` objects.
 
+use filterscope_core::Json;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -99,6 +105,13 @@ impl Group {
             line.push_str(&format!("  {}", fmt_rate(tp, median)));
         }
         println!("{line}");
+        record_result(BenchResult {
+            group: self.name.clone(),
+            name: name.to_string(),
+            median,
+            min,
+            throughput: self.throughput,
+        });
     }
 
     /// End the group (parity with Criterion's API; reporting is immediate).
@@ -133,6 +146,57 @@ fn env_samples() -> Option<usize> {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|n| *n >= 1)
+}
+
+/// One completed benchmark, as written to the `FILTERSCOPE_BENCH_JSON` file.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    group: String,
+    name: String,
+    median: Duration,
+    min: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.push("group", Json::Str(self.group.clone()));
+        obj.push("name", Json::Str(self.name.clone()));
+        obj.push("median_ns", Json::UInt(self.median.as_nanos() as u64));
+        obj.push("min_ns", Json::UInt(self.min.as_nanos() as u64));
+        if let Some(tp) = self.throughput {
+            let secs = self.median.as_secs_f64().max(1e-12);
+            let (count, unit) = match tp {
+                Throughput::Bytes(n) => (n, "bytes_per_s"),
+                Throughput::Elements(n) => (n, "elements_per_s"),
+            };
+            obj.push("rate", Json::Float(count as f64 / secs));
+            obj.push("rate_unit", Json::Str(unit.to_string()));
+        }
+        obj
+    }
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Append one result and rewrite the JSON file, when requested through the
+/// environment. Errors are deliberately swallowed: the printed report is
+/// the primary output, the JSON file a best-effort artifact.
+fn record_result(result: BenchResult) {
+    let Ok(path) = std::env::var("FILTERSCOPE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut all = results().lock().expect("bench results lock");
+    all.push(result);
+    let json = Json::Arr(all.iter().map(BenchResult::to_json).collect());
+    let _ = std::fs::write(&path, json.pretty());
 }
 
 fn fmt_duration(d: Duration) -> String {

@@ -45,7 +45,7 @@ pub fn analyzed() -> &'static AnalysisSuite {
         let (records, ctx) = corpus();
         let mut suite = AnalysisSuite::new(2);
         for r in records {
-            suite.ingest(ctx, r);
+            suite.ingest(ctx, &r.as_view());
         }
         suite
     })

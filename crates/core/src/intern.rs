@@ -1,0 +1,176 @@
+//! A deterministic string interner for hot aggregation keys.
+//!
+//! The analysis accumulators key their hottest maps (domains, proxies,
+//! anonymizer hosts, category labels) by strings that repeat millions of
+//! times across a corpus. Interning replaces those `String` keys with a
+//! `Copy` [`Sym`] handle: one allocation per *distinct* string per shard
+//! instead of one per record.
+//!
+//! Determinism contract: symbol ids are assigned in first-intern order,
+//! which depends on record order within a shard — and shard contents depend
+//! only on the ingest plan, never the thread count. When shards are folded
+//! together ([`Interner::absorb_remap`]), the other table's strings are
+//! re-interned in *its* insertion order, so the merged table's id
+//! assignment depends only on the (deterministic) merge order. Even so,
+//! renders must never sort or tie-break by raw `Sym` id: always resolve to
+//! the string first. The id order is deterministic but not meaningful.
+
+use std::collections::HashMap;
+
+/// A handle to an interned string. Only valid for the [`Interner`] (or the
+/// merged descendant) that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw index (stable within one interner's lifetime).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// FNV-1a over a byte string (the workspace's standard cheap hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An append-only string table with hash-consed lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    /// FNV hash → candidate ids (collision chain; compared by content).
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Intern `s`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        let h = fnv1a(s.as_bytes());
+        let ids = self.buckets.entry(h).or_default();
+        for &id in ids.iter() {
+            if &*self.strings[id as usize] == s {
+                return Sym(id);
+            }
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.strings.push(s.into());
+        ids.push(id);
+        Sym(id)
+    }
+
+    /// Look up a symbol without interning. `None` if `s` was never interned.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        let ids = self.buckets.get(&fnv1a(s.as_bytes()))?;
+        ids.iter()
+            .find(|&&id| &*self.strings[id as usize] == s)
+            .map(|&id| Sym(id))
+    }
+
+    /// The string behind a symbol.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Fold another interner into this one, returning the remap table:
+    /// `remap[other_sym.index()]` is the equivalent symbol here. Iterates
+    /// `other` in insertion order, so the result is deterministic.
+    pub fn absorb_remap(&mut self, other: &Interner) -> Vec<Sym> {
+        other.strings.iter().map(|s| self.intern(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("facebook.com");
+        let b = i.intern("metacafe.com");
+        let a2 = i.intern("facebook.com");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "facebook.com");
+        assert_eq!(i.resolve(b), "metacafe.com");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("x").is_none());
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn absorb_remaps_in_insertion_order() {
+        let mut a = Interner::new();
+        a.intern("one");
+        a.intern("two");
+        let mut b = Interner::new();
+        let b_two = b.intern("two");
+        let b_three = b.intern("three");
+        let remap = a.absorb_remap(&b);
+        assert_eq!(a.resolve(remap[b_two.index()]), "two");
+        assert_eq!(a.resolve(remap[b_three.index()]), "three");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn merge_order_determinism() {
+        // The same sequence of absorbs yields the same symbol table.
+        let build = || {
+            let mut shard1 = Interner::new();
+            shard1.intern("b");
+            shard1.intern("a");
+            let mut shard2 = Interner::new();
+            shard2.intern("c");
+            shard2.intern("a");
+            let mut merged = Interner::new();
+            merged.absorb_remap(&shard1);
+            merged.absorb_remap(&shard2);
+            (0..merged.len())
+                .map(|i| merged.resolve(Sym(i as u32)).to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+        assert_eq!(build(), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn colliding_hashes_still_distinct() {
+        // Force the chain path by interning many strings; content equality
+        // guards against any collision.
+        let mut i = Interner::new();
+        let syms: Vec<Sym> = (0..1000)
+            .map(|n| i.intern(&format!("host{n}.example")))
+            .collect();
+        for (n, s) in syms.iter().enumerate() {
+            assert_eq!(i.resolve(*s), format!("host{n}.example"));
+        }
+        assert_eq!(i.len(), 1000);
+    }
+}

@@ -9,15 +9,19 @@
 //! where possible, and total (no panics on untrusted input).
 
 pub mod error;
+pub mod intern;
 pub mod json;
 pub mod net;
 pub mod pool;
+pub mod progress;
 pub mod proxy_id;
 pub mod time;
 
 pub use error::{Error, Result};
+pub use intern::{Interner, Sym};
 pub use json::Json;
 pub use net::Ipv4Cidr;
+pub use progress::Progress;
 pub use proxy_id::ProxyId;
 pub use time::{Date, TimeOfDay, Timestamp, Weekday};
 

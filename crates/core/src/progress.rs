@@ -1,0 +1,79 @@
+//! Wall-clock progress reporting for the CLI pipelines.
+//!
+//! Every `filterscope` subcommand used to hand-roll the same
+//! `Instant::now()` / `eprintln!("… {n} records in {s:.2}s — {r:.0}
+//! records/s")` pair; [`Progress`] is that block, once.
+
+use std::time::Instant;
+
+/// A started stopwatch that renders throughput summaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    started: Instant,
+}
+
+impl Progress {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Progress {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Progress::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// `count / elapsed`, guarded against a zero-duration clock read.
+    pub fn per_second(&self, count: u64) -> f64 {
+        rate(count, self.elapsed_secs())
+    }
+
+    /// `"{verb} {records} records in {s:.2}s — {r:.0} records/s"`.
+    pub fn summary(&self, verb: &str, records: u64) -> String {
+        let elapsed = self.elapsed_secs();
+        format!(
+            "{verb} {records} records in {elapsed:.2}s — {:.0} records/s",
+            rate(records, elapsed)
+        )
+    }
+
+    /// [`Progress::summary`] with a `on N thread(s)` clause.
+    pub fn summary_threads(&self, verb: &str, records: u64, threads: usize) -> String {
+        let elapsed = self.elapsed_secs();
+        format!(
+            "{verb} {records} records in {elapsed:.2}s on {threads} thread{} — {:.0} records/s",
+            if threads == 1 { "" } else { "s" },
+            rate(records, elapsed)
+        )
+    }
+}
+
+/// `count / secs` with a guard against division by zero.
+pub fn rate(count: u64, secs: f64) -> f64 {
+    count as f64 / secs.max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_have_the_standard_shape() {
+        let p = Progress::start();
+        let s = p.summary("generated", 1000);
+        assert!(s.starts_with("generated 1000 records in "));
+        assert!(s.ends_with(" records/s"));
+        let st = p.summary_threads("analyzed", 1000, 1);
+        assert!(st.contains("on 1 thread —"), "{st}");
+        let st8 = p.summary_threads("analyzed", 1000, 8);
+        assert!(st8.contains("on 8 threads —"), "{st8}");
+    }
+
+    #[test]
+    fn rate_guards_zero_elapsed() {
+        assert!(rate(100, 0.0).is_finite());
+        assert_eq!(rate(100, 2.0), 50.0);
+    }
+}

@@ -13,7 +13,15 @@
 //!   column).
 
 use crate::enums::{ExceptionId, FilterResult};
+use crate::fields::EMPTY;
 use crate::record::LogRecord;
+use crate::view::RecordView;
+
+/// Is this raw `x-exception-id` spelling one of the two censorship
+/// exceptions? The `&str` twin of [`ExceptionId::is_policy`].
+fn exception_is_policy(exception: &str) -> bool {
+    matches!(exception, "policy_denied" | "policy_redirect")
+}
 
 /// The paper's four-way traffic classification (Table 3 rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,16 +38,31 @@ pub enum RequestClass {
 }
 
 impl RequestClass {
-    /// Classify a record.
-    pub fn of(record: &LogRecord) -> RequestClass {
-        if record.filter_result == FilterResult::Proxied {
+    /// Classify from the raw field pair — the shared core both the owned
+    /// and borrowed entry points reduce to, so they cannot disagree.
+    /// `exception` is the raw `x-exception-id` spelling (`-` when none).
+    pub fn of_parts(filter_result: FilterResult, exception: &str) -> RequestClass {
+        if filter_result == FilterResult::Proxied {
             return RequestClass::Proxied;
         }
-        match &record.exception {
-            ExceptionId::None => RequestClass::Allowed,
-            e if e.is_policy() => RequestClass::Censored,
-            _ => RequestClass::Error,
+        if exception == EMPTY {
+            RequestClass::Allowed
+        } else if exception_is_policy(exception) {
+            RequestClass::Censored
+        } else {
+            RequestClass::Error
         }
+    }
+
+    /// Classify a borrowed record view (the hot ingest path — no
+    /// allocation, no enum parse).
+    pub fn of_view(view: &RecordView<'_>) -> RequestClass {
+        RequestClass::of_parts(view.filter_result, view.exception)
+    }
+
+    /// Classify an owned record.
+    pub fn of(record: &LogRecord) -> RequestClass {
+        RequestClass::of_parts(record.filter_result, record.exception.as_str())
     }
 
     /// Display label used in reports.
@@ -71,13 +94,25 @@ pub enum PolicyClass {
 }
 
 impl PolicyClass {
+    /// Classify from the raw `x-exception-id` spelling (`-` when none).
+    pub fn of_exception(exception: &str) -> PolicyClass {
+        if exception == EMPTY {
+            PolicyClass::Allowed
+        } else if exception_is_policy(exception) {
+            PolicyClass::Censored
+        } else {
+            PolicyClass::Error
+        }
+    }
+
+    /// Classify a borrowed record view by exception alone.
+    pub fn of_view(view: &RecordView<'_>) -> PolicyClass {
+        PolicyClass::of_exception(view.exception)
+    }
+
     /// Classify a record by exception alone.
     pub fn of(record: &LogRecord) -> PolicyClass {
-        match &record.exception {
-            ExceptionId::None => PolicyClass::Allowed,
-            e if e.is_policy() => PolicyClass::Censored,
-            _ => PolicyClass::Error,
-        }
+        PolicyClass::of_exception(record.exception.as_str())
     }
 }
 
@@ -86,6 +121,11 @@ impl PolicyClass {
 /// exceptions inside `Ddenied` too).
 pub fn in_denied_dataset(record: &LogRecord) -> bool {
     record.exception != ExceptionId::None
+}
+
+/// [`in_denied_dataset`] for a borrowed record view.
+pub fn in_denied_dataset_view(view: &RecordView<'_>) -> bool {
+    !view.exception_is_none()
 }
 
 #[cfg(test)]
@@ -166,5 +206,29 @@ mod tests {
     fn labels() {
         assert_eq!(RequestClass::Censored.label(), "Censored");
         assert_eq!(RequestClass::Allowed.label(), "Allowed");
+    }
+
+    #[test]
+    fn view_classification_agrees_with_owned() {
+        let records = [
+            base().build(),
+            base().policy_denied().build(),
+            base().policy_redirect().build(),
+            base().network_error(ExceptionId::TcpError).build(),
+            base().proxied().build(),
+            base()
+                .proxied()
+                .exception(ExceptionId::PolicyDenied)
+                .build(),
+            base()
+                .network_error(ExceptionId::Other("weird_thing".into()))
+                .build(),
+        ];
+        for r in &records {
+            let v = r.as_view();
+            assert_eq!(RequestClass::of_view(&v), RequestClass::of(r));
+            assert_eq!(PolicyClass::of_view(&v), PolicyClass::of(r));
+            assert_eq!(in_denied_dataset_view(&v), in_denied_dataset(r));
+        }
     }
 }

@@ -27,10 +27,13 @@ pub mod reader;
 pub mod record;
 pub mod schema;
 pub mod url;
+pub mod view;
 
 pub use classify::{PolicyClass, RequestClass};
+pub use csv::LineSplitter;
 pub use enums::{ClientId, ExceptionId, FilterResult, Method, SAction, Scheme};
 pub use reader::{LogReader, LogWriter};
 pub use record::{parse_line, LogRecord};
 pub use schema::{Schema, SchemaReader};
 pub use url::RequestUrl;
+pub use view::{parse_view, RecordView, UrlView};

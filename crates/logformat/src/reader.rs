@@ -114,6 +114,9 @@ pub struct LogWriter<W> {
     inner: W,
     records_written: u64,
     header_written: bool,
+    /// Recycled per-line serialization buffer — one allocation for the whole
+    /// file instead of one per record.
+    line_buf: String,
 }
 
 impl<W: Write> LogWriter<W> {
@@ -123,6 +126,7 @@ impl<W: Write> LogWriter<W> {
             inner,
             records_written: 0,
             header_written: false,
+            line_buf: String::new(),
         }
     }
 
@@ -138,7 +142,9 @@ impl<W: Write> LogWriter<W> {
             writeln!(self.inner, "{}", header_line())?;
             self.header_written = true;
         }
-        writeln!(self.inner, "{}", record.write_csv())?;
+        record.write_csv_into(&mut self.line_buf);
+        self.line_buf.push('\n');
+        self.inner.write_all(self.line_buf.as_bytes())?;
         self.records_written += 1;
         Ok(())
     }

@@ -1,10 +1,12 @@
 //! The typed log record and its CSV (de)serialization.
 
-use crate::csv;
+use crate::csv::{self, LineSplitter};
 use crate::enums::{ClientId, ExceptionId, FilterResult, Method, SAction, Scheme};
-use crate::fields::{idx, EMPTY, FIELD_COUNT};
+use crate::fields::EMPTY;
 use crate::url::RequestUrl;
-use filterscope_core::{Error, ProxyId, Result, Timestamp};
+use crate::view::{self, RecordView, UrlView};
+use filterscope_core::{ProxyId, Result, Timestamp};
+use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
 /// One access-log record, fully typed.
@@ -59,14 +61,6 @@ pub struct LogRecord {
     pub exception: ExceptionId,
 }
 
-fn opt_field(s: &str) -> String {
-    if s == EMPTY {
-        String::new()
-    } else {
-        s.to_string()
-    }
-}
-
 fn write_opt(s: &str) -> &str {
     if s.is_empty() {
         EMPTY
@@ -90,48 +84,108 @@ impl LogRecord {
     /// Serialize to one CSV line (no trailing newline). Inverse of
     /// [`parse_line`].
     pub fn write_csv(&self) -> String {
-        let date = self.timestamp.date().to_string();
-        let time = self.timestamp.time().to_string();
-        let c_ip = self.client.to_string();
-        let sc_status = if self.sc_status == 0 {
-            EMPTY.to_string()
+        let mut out = String::new();
+        self.write_csv_into(&mut out);
+        out
+    }
+
+    /// [`LogRecord::write_csv`] into a caller-owned buffer, so a write loop
+    /// reuses one allocation per line instead of rebuilding every field as a
+    /// `String`. Clears `out` first. Output is byte-identical to
+    /// [`LogRecord::write_csv`].
+    pub fn write_csv_into(&self, out: &mut String) {
+        out.clear();
+        // Fields whose rendered form can never require RFC-4180 quoting
+        // (dates, numbers, addresses, catalogued enum spellings without
+        // commas) are written straight through `write!`; free-text fields go
+        // through `csv::write_field` exactly as `join_line` would.
+        let _ = write!(
+            out,
+            "{},{},{},{},",
+            self.timestamp.date(),
+            self.timestamp.time(),
+            self.time_taken_ms,
+            self.client,
+        );
+        if self.sc_status == 0 {
+            out.push_str(EMPTY);
         } else {
-            self.sc_status.to_string()
-        };
-        let flds: [&str; FIELD_COUNT] = [
-            &date,
-            &time,
-            &self.time_taken_ms.to_string(),
-            &c_ip,
-            &sc_status,
-            self.s_action.as_str(),
-            &self.sc_bytes.to_string(),
-            &self.cs_bytes.to_string(),
-            self.method.as_str(),
-            &self.url.scheme,
-            &self.url.host,
-            &self.url.port.to_string(),
-            &self.url.path,
-            write_opt(&self.url.query),
-            write_opt(&self.uri_ext),
-            write_opt(&self.username),
-            &self.hierarchy,
-            write_opt(&self.supplier),
-            write_opt(&self.content_type),
-            write_opt(&self.user_agent),
-            self.filter_result.as_str(),
-            &self.categories,
-            write_opt(&self.virus_id),
-            &self.s_ip.to_string(),
-            &self.sitename,
-            self.exception.as_str(),
-        ];
-        csv::join_line(&flds)
+            let _ = write!(out, "{}", self.sc_status);
+        }
+        out.push(',');
+        csv::write_field(out, self.s_action.as_str());
+        let _ = write!(out, ",{},{},", self.sc_bytes, self.cs_bytes);
+        csv::write_field(out, self.method.as_str());
+        out.push(',');
+        csv::write_field(out, &self.url.scheme);
+        out.push(',');
+        csv::write_field(out, &self.url.host);
+        let _ = write!(out, ",{},", self.url.port);
+        csv::write_field(out, &self.url.path);
+        out.push(',');
+        csv::write_field(out, write_opt(&self.url.query));
+        out.push(',');
+        csv::write_field(out, write_opt(&self.uri_ext));
+        out.push(',');
+        csv::write_field(out, write_opt(&self.username));
+        out.push(',');
+        csv::write_field(out, &self.hierarchy);
+        out.push(',');
+        csv::write_field(out, write_opt(&self.supplier));
+        out.push(',');
+        csv::write_field(out, write_opt(&self.content_type));
+        out.push(',');
+        csv::write_field(out, write_opt(&self.user_agent));
+        out.push(',');
+        out.push_str(self.filter_result.as_str());
+        out.push(',');
+        csv::write_field(out, &self.categories);
+        out.push(',');
+        csv::write_field(out, write_opt(&self.virus_id));
+        let _ = write!(out, ",{},", self.s_ip);
+        csv::write_field(out, &self.sitename);
+        out.push(',');
+        csv::write_field(out, self.exception.as_str());
     }
 
     /// The scheme as a typed enum.
     pub fn scheme(&self) -> Scheme {
         Scheme::parse(&self.url.scheme)
+    }
+
+    /// Borrow this record as a [`RecordView`], bridging owned records into
+    /// the view-consuming analysis path for free (no allocation; enum
+    /// spellings come from their static `as_str` forms).
+    pub fn as_view(&self) -> RecordView<'_> {
+        RecordView {
+            timestamp: self.timestamp,
+            time_taken_ms: self.time_taken_ms,
+            client: self.client,
+            sc_status: self.sc_status,
+            s_action: self.s_action.as_str(),
+            sc_bytes: self.sc_bytes,
+            cs_bytes: self.cs_bytes,
+            method: self.method.as_str(),
+            url: UrlView {
+                scheme: &self.url.scheme,
+                host: &self.url.host,
+                port: self.url.port,
+                path: &self.url.path,
+                query: &self.url.query,
+            },
+            uri_ext: &self.uri_ext,
+            username: &self.username,
+            hierarchy: &self.hierarchy,
+            supplier: &self.supplier,
+            content_type: &self.content_type,
+            user_agent: &self.user_agent,
+            filter_result: self.filter_result,
+            categories: &self.categories,
+            virus_id: &self.virus_id,
+            s_ip: self.s_ip,
+            sitename: &self.sitename,
+            exception: self.exception.as_str(),
+        }
     }
 }
 
@@ -142,105 +196,8 @@ impl LogRecord {
 /// logs whose `#Fields:` header declares a different field order, see
 /// [`crate::schema::Schema`].
 pub fn parse_line(line: &str, line_no: u64) -> Result<LogRecord> {
-    let mal = |reason: String| Error::MalformedRecord {
-        line: line_no,
-        reason,
-    };
-    let f = csv::split_line(line).ok_or_else(|| mal("bad CSV quoting".into()))?;
-    if f.len() != FIELD_COUNT {
-        return Err(mal(format!(
-            "expected {FIELD_COUNT} fields, got {}",
-            f.len()
-        )));
-    }
-    build_record(&|canonical| Some(f[canonical].as_str()), line_no)
-}
-
-/// Build a [`LogRecord`] from a lookup over *canonical* field indexes (see
-/// [`crate::fields::idx`]). `None` means the source schema lacks that field;
-/// optional fields default, required fields error.
-pub(crate) fn build_record<'a>(
-    f: &dyn Fn(usize) -> Option<&'a str>,
-    line_no: u64,
-) -> Result<LogRecord> {
-    let mal = |reason: String| Error::MalformedRecord {
-        line: line_no,
-        reason,
-    };
-    let required = |i: usize| {
-        f(i).ok_or_else(|| {
-            mal(format!(
-                "missing required field {}",
-                crate::fields::FIELDS[i]
-            ))
-        })
-    };
-    let optional = |i: usize| f(i).unwrap_or(EMPTY);
-
-    let timestamp = Timestamp::parse_fields(required(idx::DATE)?, required(idx::TIME)?)
-        .map_err(|e| mal(e.to_string()))?;
-    let time_taken_field = optional(idx::TIME_TAKEN);
-    let time_taken_ms: u32 = if time_taken_field == EMPTY {
-        0
-    } else {
-        time_taken_field
-            .parse()
-            .map_err(|_| mal(format!("bad time-taken {time_taken_field:?}")))?
-    };
-    let client = ClientId::parse(optional(idx::C_IP)).map_err(|e| mal(e.to_string()))?;
-    let status_field = optional(idx::SC_STATUS);
-    let sc_status: u16 = if status_field == EMPTY {
-        0
-    } else {
-        status_field
-            .parse()
-            .map_err(|_| mal(format!("bad sc-status {status_field:?}")))?
-    };
-    let port_field = optional(idx::CS_URI_PORT);
-    let port: u16 = if port_field == EMPTY {
-        0
-    } else {
-        port_field
-            .parse()
-            .map_err(|_| mal(format!("bad cs-uri-port {port_field:?}")))?
-    };
-    let sc_bytes: u64 = optional(idx::SC_BYTES).parse().unwrap_or(0);
-    let cs_bytes: u64 = optional(idx::CS_BYTES).parse().unwrap_or(0);
-    let filter_result =
-        FilterResult::parse(required(idx::SC_FILTER_RESULT)?).map_err(|e| mal(e.to_string()))?;
-    let s_ip: Ipv4Addr = required(idx::S_IP)?
-        .parse()
-        .map_err(|_| mal(format!("bad s-ip {:?}", optional(idx::S_IP))))?;
-
-    Ok(LogRecord {
-        timestamp,
-        time_taken_ms,
-        client,
-        sc_status,
-        s_action: SAction::parse(optional(idx::S_ACTION)),
-        sc_bytes,
-        cs_bytes,
-        method: Method::parse(optional(idx::CS_METHOD)),
-        url: RequestUrl {
-            scheme: f(idx::CS_URI_SCHEME).unwrap_or("http").to_string(),
-            host: required(idx::CS_HOST)?.to_string(),
-            port,
-            path: f(idx::CS_URI_PATH).unwrap_or("/").to_string(),
-            query: opt_field(optional(idx::CS_URI_QUERY)),
-        },
-        uri_ext: opt_field(optional(idx::CS_URI_EXT)),
-        username: opt_field(optional(idx::CS_USERNAME)),
-        hierarchy: f(idx::S_HIERARCHY).unwrap_or("DIRECT").to_string(),
-        supplier: opt_field(optional(idx::S_SUPPLIER_NAME)),
-        content_type: opt_field(optional(idx::RS_CONTENT_TYPE)),
-        user_agent: opt_field(optional(idx::CS_USER_AGENT)),
-        filter_result,
-        categories: f(idx::CS_CATEGORIES).unwrap_or("unavailable").to_string(),
-        virus_id: opt_field(optional(idx::X_VIRUS_ID)),
-        s_ip,
-        sitename: f(idx::S_SITENAME).unwrap_or("SG-HTTP-Service").to_string(),
-        exception: ExceptionId::parse(optional(idx::X_EXCEPTION_ID)),
-    })
+    let mut splitter = LineSplitter::new();
+    Ok(view::parse_view(&mut splitter, line, line_no)?.to_record())
 }
 
 /// A builder with sensible defaults for synthesizing records in tests and in
@@ -367,7 +324,7 @@ impl RecordBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use filterscope_core::ProxyId;
+    use filterscope_core::{Error, ProxyId};
 
     fn ts() -> Timestamp {
         Timestamp::parse_fields("2011-08-03", "08:15:00").unwrap()
@@ -407,7 +364,25 @@ mod tests {
     fn field_count_on_disk() {
         let line = sample().write_csv();
         let fields = crate::csv::split_line(&line).unwrap();
-        assert_eq!(fields.len(), FIELD_COUNT);
+        assert_eq!(fields.len(), crate::fields::FIELD_COUNT);
+    }
+
+    #[test]
+    fn write_csv_into_matches_write_csv_and_reuses_buffer() {
+        let mut buf = String::from("stale contents");
+        for r in [
+            sample(),
+            RecordBuilder::new(ts(), ProxyId::Sg42, RequestUrl::http("x.com", "/"))
+                .policy_denied()
+                .build(),
+            RecordBuilder::new(ts(), ProxyId::Sg43, RequestUrl::http("y.com", "/a"))
+                .user_agent("Mozilla/4.0 (compatible, MSIE 7.0, Windows NT 5.1)")
+                .categories("Blocked sites; unavailable")
+                .build(),
+        ] {
+            r.write_csv_into(&mut buf);
+            assert_eq!(buf, r.write_csv());
+        }
     }
 
     #[test]

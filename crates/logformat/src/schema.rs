@@ -9,9 +9,10 @@
 //! whenever a new `#Fields:` header appears mid-file (log rotation
 //! concatenation does this in practice).
 
-use crate::csv;
+use crate::csv::LineSplitter;
 use crate::fields::{FIELDS, FIELD_COUNT};
-use crate::record::{build_record, LogRecord};
+use crate::record::LogRecord;
+use crate::view::{self, RecordView};
 use filterscope_core::{Error, Result};
 use std::io::BufRead;
 
@@ -108,25 +109,41 @@ impl Schema {
 
     /// Parse one data line under this schema.
     pub fn parse_record(&self, line: &str, line_no: u64) -> Result<LogRecord> {
+        let mut splitter = LineSplitter::new();
+        Ok(self.parse_view(&mut splitter, line, line_no)?.to_record())
+    }
+
+    /// Parse one data line under this schema into a zero-copy
+    /// [`RecordView`] borrowing from `line` (and the splitter's scratch
+    /// space). The hot ingest path; [`Schema::parse_record`] materializes
+    /// from it.
+    pub fn parse_view<'a>(
+        &self,
+        splitter: &'a mut LineSplitter,
+        line: &'a str,
+        line_no: u64,
+    ) -> Result<RecordView<'a>> {
         let mal = |reason: String| Error::MalformedRecord {
             line: line_no,
             reason,
         };
-        let f = csv::split_line(line).ok_or_else(|| mal("bad CSV quoting".into()))?;
-        if f.len() != self.width {
+        let fields = splitter
+            .split(line)
+            .ok_or_else(|| mal("bad CSV quoting".into()))?;
+        if fields.len() != self.width {
             return Err(mal(format!(
                 "expected {} fields, got {}",
                 self.width,
-                f.len()
+                fields.len()
             )));
         }
-        build_record(
+        view::build_view(
             &|canonical| {
                 self.positions
                     .get(canonical)
                     .copied()
                     .flatten()
-                    .map(|col| f[col].as_str())
+                    .and_then(|col| fields.get(col))
             },
             line_no,
         )

@@ -5,6 +5,7 @@
 //! joined form the keyword scanner runs over, and classifies the host as
 //! domain vs. literal IPv4 (the pivot of the Table 11/12 analysis).
 
+use std::borrow::Cow;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -68,13 +69,15 @@ impl RequestUrl {
     /// lowercased on the fly by the (case-insensitive) automaton.
     pub fn filter_view(&self) -> String {
         let mut s = String::with_capacity(self.host.len() + self.path.len() + self.query.len() + 1);
-        s.push_str(&self.host);
-        s.push_str(&self.path);
-        if !self.query.is_empty() {
-            s.push('?');
-            s.push_str(&self.query);
-        }
+        self.filter_view_into(&mut s);
         s
+    }
+
+    /// [`RequestUrl::filter_view`] into a caller-owned buffer, so a scan
+    /// loop reuses one allocation instead of building a `String` per record.
+    /// Clears `out` first.
+    pub fn filter_view_into(&self, out: &mut String) {
+        filter_view_into(&self.host, &self.path, &self.query, out);
     }
 
     /// File extension of the path (the `cs-uri-ext` field), if any.
@@ -93,8 +96,9 @@ impl RequestUrl {
 
     /// The registrable second-level label heuristic used when aggregating by
     /// "domain" in the paper's tables (e.g. `www.facebook.com` →
-    /// `facebook.com`, `sub.panet.co.il` → `panet.co.il`).
-    pub fn base_domain(&self) -> String {
+    /// `facebook.com`, `sub.panet.co.il` → `panet.co.il`). Borrows from the
+    /// host whenever it is already bare and lowercase.
+    pub fn base_domain(&self) -> Cow<'_, str> {
         base_domain_of(&self.host)
     }
 
@@ -112,21 +116,58 @@ impl RequestUrl {
 /// second-level registry label (`co`, `com`, `net`, `org`, `ac`, `gov`)
 /// under a two-letter ccTLD — enough for every domain in the paper
 /// (`panet.co.il`, `aljazeera.net`, `bbc.co.uk`, `mtn.com.sy`, …).
-pub fn base_domain_of(host: &str) -> String {
+///
+/// The overwhelmingly common case — an already-bare, already-lowercase host
+/// like `facebook.com` — is returned as a borrow; only hosts that need
+/// truncation *and* case-folding allocate.
+pub fn base_domain_of(host: &str) -> Cow<'_, str> {
     let host = host.trim_end_matches('.');
     if host.parse::<Ipv4Addr>().is_ok() {
-        return host.to_string();
+        return Cow::Borrowed(host);
     }
-    let labels: Vec<&str> = host.split('.').collect();
-    if labels.len() <= 2 {
-        return host.to_ascii_lowercase();
+    let labels = host.split('.').count();
+    let suffix = if labels <= 2 {
+        host
+    } else {
+        let mut it = host.rsplit('.');
+        let tld = it.next().unwrap_or("");
+        let second = it.next().unwrap_or("");
+        let registry_second =
+            tld.len() == 2 && matches!(second, "co" | "com" | "net" | "org" | "ac" | "gov");
+        let keep = if registry_second { 3 } else { 2 };
+        // Byte index just past the dot separating the kept suffix from the
+        // rest: the `keep`-th dot counted from the end.
+        let mut start = 0usize;
+        let mut dots = 0usize;
+        for (i, b) in host.bytes().enumerate().rev() {
+            if b == b'.' {
+                dots += 1;
+                if dots == keep {
+                    start = i + 1;
+                    break;
+                }
+            }
+        }
+        &host[start..]
+    };
+    if suffix.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(suffix.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(suffix)
     }
-    let tld = labels[labels.len() - 1];
-    let second = labels[labels.len() - 2];
-    let registry_second =
-        tld.len() == 2 && matches!(second, "co" | "com" | "net" | "org" | "ac" | "gov");
-    let keep = if registry_second { 3 } else { 2 };
-    labels[labels.len() - keep..].join(".").to_ascii_lowercase()
+}
+
+/// Shared body of [`RequestUrl::filter_view_into`] and its borrowed-view
+/// counterpart: `host + path + ?query` into a recycled buffer.
+pub(crate) fn filter_view_into(host: &str, path: &str, query: &str, out: &mut String) {
+    out.clear();
+    out.reserve(host.len() + path.len() + query.len() + 1);
+    out.push_str(host);
+    out.push_str(path);
+    if !query.is_empty() {
+        out.push('?');
+        out.push_str(query);
+    }
 }
 
 impl fmt::Display for RequestUrl {
@@ -203,6 +244,37 @@ mod tests {
         assert_eq!(base_domain_of("google.com"), "google.com");
         assert_eq!(base_domain_of("10.1.2.3"), "10.1.2.3");
         assert_eq!(base_domain_of("localhost"), "localhost");
+        assert_eq!(base_domain_of("WWW.Facebook.COM"), "facebook.com");
+        assert_eq!(base_domain_of("trailing.dots.example."), "dots.example");
+    }
+
+    #[test]
+    fn base_domain_borrows_when_already_bare() {
+        assert!(matches!(
+            base_domain_of("facebook.com"),
+            Cow::Borrowed("facebook.com")
+        ));
+        assert!(matches!(
+            base_domain_of("www.youtube.com"),
+            Cow::Borrowed("youtube.com")
+        ));
+        assert!(matches!(
+            base_domain_of("10.1.2.3"),
+            Cow::Borrowed("10.1.2.3")
+        ));
+        // Only case-folding forces an allocation.
+        assert!(matches!(base_domain_of("Facebook.COM"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn filter_view_into_reuses_buffer() {
+        let mut buf = String::from("leftover");
+        RequestUrl::http("a.com", "/p")
+            .with_query("q=1")
+            .filter_view_into(&mut buf);
+        assert_eq!(buf, "a.com/p?q=1");
+        RequestUrl::http("b.com", "/").filter_view_into(&mut buf);
+        assert_eq!(buf, "b.com/");
     }
 
     #[test]

@@ -115,7 +115,7 @@ impl ProxyFarm {
                 return ProxyId::Sg48;
             }
             // IM services: biased toward SG-48 and SG-45.
-            if matches!(base.as_str(), "skype.com" | "live.com" | "ceipmsn.com") {
+            if matches!(base.as_ref(), "skype.com" | "live.com" | "ceipmsn.com") {
                 if pm < 500 {
                     return ProxyId::Sg48;
                 }

@@ -54,8 +54,8 @@ fn main() {
         match item {
             Ok(record) => {
                 parsed += 1;
-                suite.ingest(&ctx, &record);
-                inference.ingest(&record);
+                suite.ingest(&ctx, &record.as_view());
+                inference.ingest(&record.as_view());
             }
             Err(_) => malformed += 1,
         }

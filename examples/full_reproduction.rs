@@ -33,7 +33,7 @@ fn main() {
     let shards = corpus.par_map_days(|_day, records| {
         let mut suite = AnalysisSuite::new(min_support);
         for r in records {
-            suite.ingest(&ctx, &r);
+            suite.ingest(&ctx, &r.as_view());
         }
         suite
     });

@@ -54,7 +54,7 @@ fn main() {
     // parse back, and replay.
     let mut inference = FilterInference::new(&[]);
     for req in &requests {
-        inference.ingest(&full_farm.process_on(req, ProxyId::Sg42));
+        inference.ingest(&full_farm.process_on(req, ProxyId::Sg42).as_view());
     }
     let recovered = inference.export_policy(3, 3);
     let text = cpl::to_cpl(&recovered);

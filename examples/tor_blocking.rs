@@ -51,7 +51,7 @@ fn main() {
                             .with_port(relay.dir_port),
                     );
                     let rec = farm.process(&dir);
-                    stats.ingest(&ctx, &rec);
+                    stats.ingest(&ctx, &rec.as_view());
                     total += 1;
                 }
                 for k in 0..3u8 {
@@ -65,7 +65,7 @@ fn main() {
                             per_proxy_censored[p.index()] += 1;
                         }
                     }
-                    stats.ingest(&ctx, &rec);
+                    stats.ingest(&ctx, &rec.as_view());
                     total += 1;
                 }
             }

@@ -19,7 +19,7 @@ fn analyze(corpus: &Corpus) -> AnalysisSuite {
     let shards = corpus.par_map_days(|_, records| {
         let mut suite = AnalysisSuite::new(3);
         for r in records {
-            suite.ingest(&ctx, &r);
+            suite.ingest(&ctx, &r.as_view());
         }
         suite
     });

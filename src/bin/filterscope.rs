@@ -10,7 +10,7 @@
 
 use filterscope::analysis::comparison::compare;
 use filterscope::analysis::pipeline::ParallelIngest;
-use filterscope::core::pool;
+use filterscope::core::{pool, Progress};
 use filterscope::logformat::fields::header_line;
 use filterscope::logformat::SchemaReader;
 use filterscope::prelude::*;
@@ -20,7 +20,6 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -94,11 +93,16 @@ fn part_path(out_dir: &Path, unit: &DayShard) -> PathBuf {
 }
 
 /// Write one shard's records to its part file, returning the record count.
+/// One line buffer serves the whole shard ([`LogRecord::write_csv_into`]).
 fn write_part(path: &Path, records: &mut dyn Iterator<Item = LogRecord>) -> std::io::Result<u64> {
     let mut writer = BufWriter::new(File::create(path)?);
     let mut written = 0u64;
+    let mut line = String::new();
     for rec in records {
-        writeln!(writer, "{}", rec.write_csv())?;
+        line.clear();
+        rec.write_csv_into(&mut line);
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
         written += 1;
     }
     writer.flush()?;
@@ -148,7 +152,7 @@ fn cmd_generate(args: &Args) -> ExitCode {
         out_dir.display(),
         if threads == 1 { "" } else { "s" }
     );
-    let started = Instant::now();
+    let progress = Progress::start();
     // Every (day × shard) unit synthesizes its slice into a part file; I/O
     // failures surface as per-unit errors instead of a worker panic.
     let plan = corpus.shard_plan(0);
@@ -191,11 +195,7 @@ fn cmd_generate(args: &Args) -> ExitCode {
         total += day_records;
         i += plan[i].shards;
     }
-    let elapsed = started.elapsed().as_secs_f64();
-    eprintln!(
-        "generated {total} records in {elapsed:.2}s — {:.0} records/s",
-        total as f64 / elapsed.max(1e-9)
-    );
+    eprintln!("{}", progress.summary("generated", total));
     ExitCode::SUCCESS
 }
 
@@ -373,13 +373,13 @@ fn cmd_report(args: &Args) -> ExitCode {
     let corpus = Corpus::new(config);
     let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
     let min_support = (corpus.total_volume() / 100_000).clamp(3, 500);
-    let started = Instant::now();
+    let progress = Progress::start();
     // (day × shard) units, so a 39×-volume August day no longer pins the
     // run to one thread; shards merge in plan order for determinism.
     let shards = corpus.par_map_day_shards(threads, 0, |_, records| {
         let mut suite = AnalysisSuite::new(min_support);
         for r in records {
-            suite.ingest(&ctx, &r);
+            suite.ingest(&ctx, &r.as_view());
         }
         suite
     });
@@ -387,12 +387,9 @@ fn cmd_report(args: &Args) -> ExitCode {
     for shard in shards {
         suite.merge(shard);
     }
-    let elapsed = started.elapsed().as_secs_f64();
     eprintln!(
-        "synthesized and analyzed {} records in {elapsed:.2}s on {threads} thread{} — {:.0} records/s",
-        corpus.total_volume(),
-        if threads == 1 { "" } else { "s" },
-        corpus.total_volume() as f64 / elapsed.max(1e-9)
+        "{}",
+        progress.summary_threads("synthesized and analyzed", corpus.total_volume(), threads)
     );
     if let Some(path) = args.flag("json") {
         if let Err(e) = std::fs::write(path, suite.summary().to_json()) {
@@ -439,7 +436,7 @@ fn cmd_compare(args: &Args) -> ExitCode {
     let ctx = AnalysisContext::standard(None);
     let load = |path: &str| -> Result<AnalysisSuite, ExitCode> {
         let mut suite = AnalysisSuite::new(min_support);
-        ingest_files(&[path.to_string()], |r| suite.ingest(&ctx, r))?;
+        ingest_files(&[path.to_string()], |r| suite.ingest(&ctx, &r.as_view()))?;
         Ok(suite)
     };
     let a = match load(path_a) {

@@ -205,6 +205,40 @@ fn analyze_reports_are_byte_identical_across_thread_counts() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Run `report --scale <scale>` at the given thread count, returning stdout.
+fn report_stdout(scale: &str, threads: &str) -> Vec<u8> {
+    let out = bin()
+        .args(["report", "--scale", scale, "--threads", threads])
+        .output()
+        .expect("run report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    // Small scale so the check stays cheap in the per-commit debug suite;
+    // the reference-scale run is `report_scale_256_reference_is_byte_identical`.
+    let r1 = report_stdout("16384", "1");
+    let r8 = report_stdout("16384", "8");
+    assert!(!r1.is_empty());
+    assert_eq!(r1, r8, "reports must be byte-identical");
+}
+
+#[test]
+#[ignore = "scale 256 synthesizes ~2.9M records (minutes in debug); run with \
+            --ignored, ideally under --release"]
+fn report_scale_256_reference_is_byte_identical_across_thread_counts() {
+    let r1 = report_stdout("256", "1");
+    let r8 = report_stdout("256", "8");
+    assert!(!r1.is_empty());
+    assert_eq!(r1, r8, "reference reports must be byte-identical");
+}
+
 #[test]
 fn generate_is_byte_identical_across_thread_counts() {
     let run = |name: &str, threads: &str| {

@@ -9,7 +9,7 @@ fn analyzed(scale: u64, min_support: u64) -> (AnalysisSuite, AnalysisContext) {
     let corpus = Corpus::new(SynthConfig::new(scale).expect("valid scale"));
     let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
     let mut suite = AnalysisSuite::new(min_support);
-    corpus.for_each_record(|r| suite.ingest(&ctx, r));
+    corpus.for_each_record(|r| suite.ingest(&ctx, &r.as_view()));
     (suite, ctx)
 }
 
@@ -196,11 +196,11 @@ fn parallel_and_sequential_analysis_agree() {
     let corpus = Corpus::new(SynthConfig::new(131_072).expect("valid scale"));
     let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
     let mut seq = AnalysisSuite::new(2);
-    corpus.for_each_record(|r| seq.ingest(&ctx, r));
+    corpus.for_each_record(|r| seq.ingest(&ctx, &r.as_view()));
     let shards = corpus.par_map_days(|_, records| {
         let mut s = AnalysisSuite::new(2);
         for r in records {
-            s.ingest(&ctx, &r);
+            s.ingest(&ctx, &r.as_view());
         }
         s
     });

@@ -83,7 +83,7 @@ fn analysis_of_reread_log_matches_direct_analysis() {
 
     let mut direct = AnalysisSuite::new(2);
     for r in &records {
-        direct.ingest(&ctx, r);
+        direct.ingest(&ctx, &r.as_view());
     }
 
     let mut writer = LogWriter::new(Vec::new());
@@ -93,7 +93,7 @@ fn analysis_of_reread_log_matches_direct_analysis() {
     let text = String::from_utf8(writer.into_inner().expect("flush")).unwrap();
     let mut reread = AnalysisSuite::new(2);
     for item in LogReader::new(Cursor::new(text)) {
-        reread.ingest(&ctx, &item.expect("clean log"));
+        reread.ingest(&ctx, &item.expect("clean log").as_view());
     }
 
     assert_eq!(direct.datasets.full, reread.datasets.full);
