@@ -146,6 +146,40 @@ impl AnonymizerStats {
     }
 }
 
+impl crate::registry::Analysis for AnonymizerStats {
+    fn key(&self) -> &'static str {
+        "anonymizers"
+    }
+
+    fn title(&self) -> &'static str {
+        "Anonymizer services"
+    }
+
+    fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
+        AnonymizerStats::ingest(self, ctx, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        AnonymizerStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &AnalysisContext) -> String {
+        AnonymizerStats::render(self)
+    }
+
+    fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {
+        use filterscope_core::Json;
+        let (_, never_filtered_share) = self.never_filtered();
+        let mut obj = Json::object();
+        obj.push("anonymizer_hosts", Json::UInt(self.host_count() as u64));
+        obj.push(
+            "anonymizer_never_filtered_share",
+            Json::Float(never_filtered_share),
+        );
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

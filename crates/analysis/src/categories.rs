@@ -72,6 +72,40 @@ impl CategoryStats {
     }
 }
 
+impl crate::registry::Analysis for CategoryStats {
+    fn key(&self) -> &'static str {
+        "categories"
+    }
+
+    fn title(&self) -> &'static str {
+        "Censored categories"
+    }
+
+    fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
+        CategoryStats::ingest(self, ctx, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        CategoryStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &AnalysisContext) -> String {
+        CategoryStats::render(self)
+    }
+
+    fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {
+        use crate::export::{share_array, shares};
+        use filterscope_core::Json;
+        let total = self.censored.total();
+        let mut obj = Json::object();
+        obj.push(
+            "censored_categories",
+            share_array(&shares(self.distribution(0), total)),
+        );
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,65 +70,65 @@ pub fn compare(a: &AnalysisSuite, b: &AnalysisSuite) -> Comparison {
         });
     };
 
-    let ta = a.overview.total.full;
-    let tb = b.overview.total.full;
+    let ta = a.overview().total.full;
+    let tb = b.overview().total.full;
     push(
         "censored share",
-        (a.overview.censored_full(), ta),
-        (b.overview.censored_full(), tb),
+        (a.overview().censored_full(), ta),
+        (b.overview().censored_full(), tb),
     );
     push(
         "allowed share",
-        (a.overview.allowed.full, ta),
-        (b.overview.allowed.full, tb),
+        (a.overview().allowed.full, ta),
+        (b.overview().allowed.full, tb),
     );
     push(
         "error share",
-        (a.overview.errors_full(), ta),
-        (b.overview.errors_full(), tb),
+        (a.overview().errors_full(), ta),
+        (b.overview().errors_full(), tb),
     );
     push(
         "proxied share",
-        (a.overview.proxied.full, ta),
-        (b.overview.proxied.full, tb),
+        (a.overview().proxied.full, ta),
+        (b.overview().proxied.full, tb),
     );
     push(
         "HTTPS share",
-        (a.https.https_requests, a.https.total_requests),
-        (b.https.https_requests, b.https.total_requests),
+        (a.https().https_requests, a.https().total_requests),
+        (b.https().https_requests, b.https().total_requests),
     );
     push(
         "Tor censored share",
-        (a.tor.censored, a.tor.total),
-        (b.tor.censored, b.tor.total),
+        (a.tor().censored, a.tor().total),
+        (b.tor().censored, b.tor().total),
     );
     push(
         "BT censored share",
-        (a.bittorrent.censored_announces, a.bittorrent.announces),
-        (b.bittorrent.censored_announces, b.bittorrent.announces),
+        (a.bittorrent().censored_announces, a.bittorrent().announces),
+        (b.bittorrent().censored_announces, b.bittorrent().announces),
     );
     push(
         "censored-user share",
         (
-            a.users.censored_user_count() as u64,
-            a.users.user_count() as u64,
+            a.users().censored_user_count() as u64,
+            a.users().user_count() as u64,
         ),
         (
-            b.users.censored_user_count() as u64,
-            b.users.user_count() as u64,
+            b.users().censored_user_count() as u64,
+            b.users().user_count() as u64,
         ),
     );
 
-    let ka = a.inference.recover_keywords(a.min_support, 3);
-    let kb = b.inference.recover_keywords(b.min_support, 3);
+    let ka = a.inference().recover_keywords(a.min_support, 3);
+    let kb = b.inference().recover_keywords(b.min_support, 3);
     let da: Vec<String> = a
-        .inference
+        .inference()
         .recover_domains(a.min_support)
         .into_iter()
         .map(|(d, _)| d)
         .collect();
     let db: Vec<String> = b
-        .inference
+        .inference()
         .recover_domains(b.min_support)
         .into_iter()
         .map(|(d, _)| d)

@@ -142,6 +142,44 @@ impl ConsistencyStats {
     }
 }
 
+impl crate::registry::Analysis for ConsistencyStats {
+    fn key(&self) -> &'static str {
+        "consistency"
+    }
+
+    fn title(&self) -> &'static str {
+        "Log-consistency linter"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        ConsistencyStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        ConsistencyStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        ConsistencyStats::render(self)
+    }
+
+    fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
+        use crate::export::{share_array, shares};
+        use filterscope_core::Json;
+        let anomalies = shares(
+            self.anomalies
+                .sorted()
+                .into_iter()
+                .map(|(a, n)| (a.label().to_string(), n))
+                .collect(),
+            self.total,
+        );
+        let mut obj = Json::object();
+        obj.push("anomalies", share_array(&anomalies));
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -101,7 +101,7 @@ impl DatasetCounts {
     }
 
     /// Merge a shard.
-    pub fn merge(&mut self, other: &DatasetCounts) {
+    pub fn merge(&mut self, other: DatasetCounts) {
         self.full += other.full;
         self.sample += other.sample;
         self.user += other.user;
@@ -118,6 +118,28 @@ impl DatasetCounts {
         t.row(["Denied", &thousands(self.denied)]);
         t.row(["DIPv4", &thousands(self.ipv4)]);
         t.render()
+    }
+}
+
+impl crate::registry::Analysis for DatasetCounts {
+    fn key(&self) -> &'static str {
+        "datasets"
+    }
+
+    fn title(&self) -> &'static str {
+        "Dataset membership"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        DatasetCounts::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        DatasetCounts::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        DatasetCounts::render(self)
     }
 }
 
@@ -188,7 +210,7 @@ mod tests {
         a.ingest(&rec("9.9.9.9", false, true).as_view());
         let mut b = DatasetCounts::new();
         b.ingest(&rec("y.com", false, false).as_view());
-        a.merge(&b);
+        a.merge(b);
         assert_eq!(a.full, 3);
         assert_eq!(a.user, 1);
         assert_eq!(a.denied, 1);

@@ -171,6 +171,59 @@ impl DomainStats {
     }
 }
 
+impl crate::registry::Analysis for DomainStats {
+    fn key(&self) -> &'static str {
+        "domains"
+    }
+
+    fn title(&self) -> &'static str {
+        "Domain popularity"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        DomainStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        DomainStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        let mut out = self.render_fig2();
+        out.push('\n');
+        out.push_str(&self.render_table4());
+        out
+    }
+
+    fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
+        use crate::export::{share_array, shares};
+        use filterscope_core::Json;
+        let mut obj = Json::object();
+        obj.push(
+            "top_allowed_domains",
+            share_array(&shares(
+                self.top_allowed(10),
+                self.total(RequestClass::Allowed),
+            )),
+        );
+        obj.push(
+            "top_censored_domains",
+            share_array(&shares(
+                self.top_censored(10),
+                self.total(RequestClass::Censored),
+            )),
+        );
+        obj.push(
+            "allowed_domain_alpha",
+            match self.allowed_alpha(5) {
+                Some(alpha) => Json::Float(alpha),
+                None => Json::Null,
+            },
+        );
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,15 +1,18 @@
 //! Machine-readable experiment export.
 //!
-//! [`Summary`] captures the headline metric of every table and figure as
-//! plain data; [`AnalysisSuite::summary`](crate::AnalysisSuite::summary)
-//! fills it and [`filterscope_core::Json`] serializes it, so downstream
-//! tooling (CI regressions, cross-run diffs, plotting) consumes results
-//! without scraping the text report. The JSON layout matches what the
-//! serde_json-based exporter produced, byte for byte.
+//! Each analysis owns its fragment of the summary via
+//! [`Analysis::export_json`](crate::registry::Analysis::export_json);
+//! [`AnalysisSuite::summary_json`] splices the selected analyses' fragments
+//! together in [`AnalysisEntry::export_rank`](crate::registry::AnalysisEntry::export_rank)
+//! order. For a default (full) run the resulting layout matches what the
+//! hand-maintained `Summary` struct (and the serde_json exporter before it)
+//! produced, byte for byte; selective runs simply omit the deselected
+//! analyses' members without reordering the survivors.
 
+use crate::context::AnalysisContext;
+use crate::registry;
 use crate::suite::AnalysisSuite;
 use filterscope_core::Json;
-use filterscope_logformat::RequestClass;
 
 /// A named count with share-of-total.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,7 +32,8 @@ impl Share {
     }
 }
 
-fn shares(items: Vec<(String, u64)>, total: u64) -> Vec<Share> {
+/// Attach share-of-total to a count list (total 0 ⇒ share 0).
+pub(crate) fn shares(items: Vec<(String, u64)>, total: u64) -> Vec<Share> {
     items
         .into_iter()
         .map(|(name, count)| Share {
@@ -44,186 +48,37 @@ fn shares(items: Vec<(String, u64)>, total: u64) -> Vec<Share> {
         .collect()
 }
 
-/// The headline results of one full analysis pass.
-#[derive(Debug, Clone)]
-pub struct Summary {
-    // Table 1 / Table 3.
-    pub total_requests: u64,
-    pub allowed_share: f64,
-    pub proxied_share: f64,
-    pub error_share: f64,
-    pub censored_share: f64,
-    // Table 4.
-    pub top_allowed_domains: Vec<Share>,
-    pub top_censored_domains: Vec<Share>,
-    // Fig. 2.
-    pub allowed_domain_alpha: Option<f64>,
-    // Fig. 3.
-    pub censored_categories: Vec<Share>,
-    // Fig. 4.
-    pub users: u64,
-    pub censored_user_share: f64,
-    // Tables 6–7 / Fig. 7.
-    pub sg48_censored_share: f64,
-    pub redirect_hosts: usize,
-    // §5.4 recovery.
-    pub recovered_keywords: Vec<String>,
-    pub recovered_domains: Vec<String>,
-    // Table 11.
-    pub country_censorship_ratios: Vec<Share>,
-    // §4 HTTPS.
-    pub https_share: f64,
-    pub https_censored_share: f64,
-    pub mitm_evidence: u64,
-    // §7.
-    pub tor_requests: u64,
-    pub tor_http_share: f64,
-    pub tor_censored_sg44_share: f64,
-    pub bt_announces: u64,
-    pub bt_peers: usize,
-    pub bt_title_resolution: f64,
-    pub anonymizer_hosts: usize,
-    pub anonymizer_never_filtered_share: f64,
-    // Consistency linting.
-    pub anomalies: Vec<Share>,
+/// JSON array of [`Share`] objects.
+pub(crate) fn share_array(items: &[Share]) -> Json {
+    Json::Arr(items.iter().map(Share::to_json).collect())
+}
+
+/// JSON array of strings.
+pub(crate) fn string_array(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
 }
 
 impl AnalysisSuite {
-    /// Extract the machine-readable summary of this pass.
-    pub fn summary(&self) -> Summary {
-        let total = self.overview.total.full;
-        let ratio = |n: u64| {
-            if total == 0 {
-                0.0
-            } else {
-                n as f64 / total as f64
-            }
-        };
-        let (_, never_filtered_share) = self.anonymizers.never_filtered();
-        Summary {
-            total_requests: total,
-            allowed_share: ratio(self.overview.allowed.full),
-            proxied_share: ratio(self.overview.proxied.full),
-            error_share: ratio(self.overview.errors_full()),
-            censored_share: ratio(self.overview.censored_full()),
-            top_allowed_domains: shares(
-                self.domains.top_allowed(10),
-                self.domains.total(RequestClass::Allowed),
-            ),
-            top_censored_domains: shares(
-                self.domains.top_censored(10),
-                self.domains.total(RequestClass::Censored),
-            ),
-            allowed_domain_alpha: self.domains.allowed_alpha(5),
-            censored_categories: {
-                let total = self.categories.censored.total();
-                shares(self.categories.distribution(0), total)
-            },
-            users: self.users.user_count() as u64,
-            censored_user_share: self.users.censored_user_fraction(),
-            sg48_censored_share: self.proxies.censored_share(filterscope_core::ProxyId::Sg48),
-            redirect_hosts: self.redirects.distinct_hosts(),
-            recovered_keywords: self.inference.recover_keywords(self.min_support, 3),
-            recovered_domains: self
-                .inference
-                .recover_domains(self.min_support)
-                .into_iter()
-                .map(|(d, _)| d)
-                .collect(),
-            country_censorship_ratios: self
-                .ip
-                .censorship_ratios()
-                .into_iter()
-                .map(|(country, ratio, censored, _)| Share {
-                    name: country.display_name(),
-                    count: censored,
-                    share: ratio / 100.0,
-                })
-                .collect(),
-            https_share: self.https.https_share(),
-            https_censored_share: self.https.censored_share(),
-            mitm_evidence: self.https.mitm_evidence,
-            tor_requests: self.tor.total,
-            tor_http_share: if self.tor.total == 0 {
-                0.0
-            } else {
-                self.tor.http_signaling as f64 / self.tor.total as f64
-            },
-            tor_censored_sg44_share: self.tor.sg44_share_of_censored(),
-            bt_announces: self.bittorrent.announces,
-            bt_peers: self.bittorrent.peers.len(),
-            bt_title_resolution: self.bittorrent.resolution_rate(),
-            anonymizer_hosts: self.anonymizers.host_count(),
-            anonymizer_never_filtered_share: never_filtered_share,
-            anomalies: {
-                let total = self.consistency.total;
-                shares(
-                    self.consistency
-                        .anomalies
-                        .sorted()
-                        .into_iter()
-                        .map(|(a, n)| (a.label().to_string(), n))
-                        .collect(),
-                    total,
-                )
-            },
-        }
-    }
-}
-
-impl Summary {
-    /// Serialize to pretty JSON (members in field declaration order).
-    pub fn to_json(&self) -> String {
-        let shares = |items: &[Share]| Json::Arr(items.iter().map(Share::to_json).collect());
-        let strings =
-            |items: &[String]| Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect());
+    /// Serialize the selected analyses' headline results as pretty JSON,
+    /// fragment members spliced in registry export order.
+    pub fn summary_json(&self, ctx: &AnalysisContext) -> String {
+        let mut fragments: Vec<(u32, Json)> = self
+            .analyses()
+            .iter()
+            .filter_map(|analysis| {
+                let rank = registry::entry(analysis.key())?.export_rank?;
+                Some((rank, analysis.export_json(ctx)?))
+            })
+            .collect();
+        fragments.sort_by_key(|(rank, _)| *rank);
         let mut obj = Json::object();
-        obj.push("total_requests", Json::UInt(self.total_requests));
-        obj.push("allowed_share", Json::Float(self.allowed_share));
-        obj.push("proxied_share", Json::Float(self.proxied_share));
-        obj.push("error_share", Json::Float(self.error_share));
-        obj.push("censored_share", Json::Float(self.censored_share));
-        obj.push("top_allowed_domains", shares(&self.top_allowed_domains));
-        obj.push("top_censored_domains", shares(&self.top_censored_domains));
-        obj.push(
-            "allowed_domain_alpha",
-            match self.allowed_domain_alpha {
-                Some(alpha) => Json::Float(alpha),
-                None => Json::Null,
-            },
-        );
-        obj.push("censored_categories", shares(&self.censored_categories));
-        obj.push("users", Json::UInt(self.users));
-        obj.push("censored_user_share", Json::Float(self.censored_user_share));
-        obj.push("sg48_censored_share", Json::Float(self.sg48_censored_share));
-        obj.push("redirect_hosts", Json::UInt(self.redirect_hosts as u64));
-        obj.push("recovered_keywords", strings(&self.recovered_keywords));
-        obj.push("recovered_domains", strings(&self.recovered_domains));
-        obj.push(
-            "country_censorship_ratios",
-            shares(&self.country_censorship_ratios),
-        );
-        obj.push("https_share", Json::Float(self.https_share));
-        obj.push(
-            "https_censored_share",
-            Json::Float(self.https_censored_share),
-        );
-        obj.push("mitm_evidence", Json::UInt(self.mitm_evidence));
-        obj.push("tor_requests", Json::UInt(self.tor_requests));
-        obj.push("tor_http_share", Json::Float(self.tor_http_share));
-        obj.push(
-            "tor_censored_sg44_share",
-            Json::Float(self.tor_censored_sg44_share),
-        );
-        obj.push("bt_announces", Json::UInt(self.bt_announces));
-        obj.push("bt_peers", Json::UInt(self.bt_peers as u64));
-        obj.push("bt_title_resolution", Json::Float(self.bt_title_resolution));
-        obj.push("anonymizer_hosts", Json::UInt(self.anonymizer_hosts as u64));
-        obj.push(
-            "anonymizer_never_filtered_share",
-            Json::Float(self.anonymizer_never_filtered_share),
-        );
-        obj.push("anomalies", shares(&self.anomalies));
+        for (_, fragment) in fragments {
+            if let Json::Obj(members) = fragment {
+                for (key, value) in members {
+                    obj.push(&key, value);
+                }
+            }
+        }
         obj.pretty()
     }
 }
@@ -231,15 +86,12 @@ impl Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::AnalysisContext;
+    use crate::registry::{Selection, SuiteParams};
     use filterscope_core::{ProxyId, Timestamp};
     use filterscope_logformat::record::RecordBuilder;
     use filterscope_logformat::RequestUrl;
 
-    #[test]
-    fn summary_captures_headlines_and_serializes() {
-        let ctx = AnalysisContext::standard(None);
-        let mut suite = AnalysisSuite::new(1);
+    fn populated_suite(suite: &mut AnalysisSuite, ctx: &AnalysisContext) {
         for i in 0..100u32 {
             let b = RecordBuilder::new(
                 Timestamp::parse_fields("2011-08-03", "09:00:00").unwrap(),
@@ -251,34 +103,72 @@ mod tests {
             } else {
                 b.build()
             };
-            suite.ingest(&ctx, &r.as_view());
+            suite.ingest(ctx, &r.as_view());
         }
-        let s = suite.summary();
-        assert_eq!(s.total_requests, 100);
-        assert!((s.censored_share - 0.04).abs() < 1e-9);
-        assert!((s.allowed_share - 0.96).abs() < 1e-9);
-        assert_eq!(
-            s.top_censored_domains.len().min(10),
-            s.top_censored_domains.len()
-        );
-        let json = s.to_json();
+    }
+
+    #[test]
+    fn summary_captures_headlines_and_serializes() {
+        let ctx = AnalysisContext::standard(None);
+        let mut suite = AnalysisSuite::new(1);
+        populated_suite(&mut suite, &ctx);
+        let json = suite.summary_json(&ctx);
         assert!(json.contains("\"censored_share\""));
         assert!(json.contains("\"recovered_keywords\""));
         // Round-trip through the JSON parser to confirm well-formedness.
-        let v = filterscope_core::Json::parse(&json).unwrap();
+        let v = Json::parse(&json).unwrap();
         assert_eq!(v.get("total_requests").and_then(|n| n.as_u64()), Some(100));
-        assert_eq!(
-            v.get("censored_share").and_then(|n| n.as_f64()),
-            Some(s.censored_share)
-        );
+        assert_eq!(v.get("censored_share").and_then(|n| n.as_f64()), Some(0.04));
+    }
+
+    #[test]
+    fn summary_member_order_follows_export_rank() {
+        let ctx = AnalysisContext::standard(None);
+        let suite = AnalysisSuite::new(1);
+        let json = suite.summary_json(&ctx);
+        // Spot-check the historical layout: overview members lead, and the
+        // §4 HTTPS fragment precedes Tor despite rendering after it.
+        let order = [
+            "\"total_requests\"",
+            "\"censored_share\"",
+            "\"top_allowed_domains\"",
+            "\"users\"",
+            "\"recovered_keywords\"",
+            "\"https_share\"",
+            "\"tor_requests\"",
+            "\"bt_announces\"",
+            "\"anonymizer_hosts\"",
+            "\"anomalies\"",
+        ];
+        let mut last = 0usize;
+        for needle in order {
+            let pos = json[last..]
+                .find(needle)
+                .unwrap_or_else(|| panic!("{needle} missing or out of order"));
+            last += pos;
+        }
+    }
+
+    #[test]
+    fn selective_summary_omits_deselected_fragments() {
+        let ctx = AnalysisContext::standard(None);
+        let selection = Selection::only(&["https", "domains"]).unwrap();
+        let mut suite = AnalysisSuite::with_selection(&SuiteParams::new(1), &selection);
+        populated_suite(&mut suite, &ctx);
+        let json = suite.summary_json(&ctx);
+        assert!(json.contains("\"top_allowed_domains\""));
+        assert!(json.contains("\"https_share\""));
+        assert!(!json.contains("\"total_requests\""));
+        assert!(!json.contains("\"tor_requests\""));
+        assert!(Json::parse(&json).is_ok());
     }
 
     #[test]
     fn empty_suite_summary_is_safe() {
+        let ctx = AnalysisContext::standard(None);
         let suite = AnalysisSuite::new(1);
-        let s = suite.summary();
-        assert_eq!(s.total_requests, 0);
-        assert_eq!(s.censored_share, 0.0);
-        assert!(!s.to_json().is_empty());
+        let json = suite.summary_json(&ctx);
+        let v = Json::parse(&json).unwrap();
+        assert_eq!(v.get("total_requests").and_then(|n| n.as_u64()), Some(0));
     }
 }

@@ -383,6 +383,70 @@ impl FilterInference {
     }
 }
 
+/// [`FilterInference`] lifted into the registry: the trait's `render` and
+/// `export_json` take no thresholds, so the suite-level `min_support` rides
+/// along with the accumulator.
+pub struct InferenceAnalysis {
+    pub inner: FilterInference,
+    pub min_support: u64,
+}
+
+impl InferenceAnalysis {
+    /// Inference over `candidates` with the suite's evidence threshold.
+    pub fn new(candidates: &[&str], min_support: u64) -> Self {
+        InferenceAnalysis {
+            inner: FilterInference::new(candidates),
+            min_support,
+        }
+    }
+}
+
+impl crate::registry::Analysis for InferenceAnalysis {
+    fn key(&self) -> &'static str {
+        "inference"
+    }
+
+    fn title(&self) -> &'static str {
+        "Filter inference (5.4 recovery)"
+    }
+
+    fn ingest(&mut self, _ctx: &AnalysisContext, record: &RecordView<'_>) {
+        self.inner.ingest(record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        let other: InferenceAnalysis = crate::registry::downcast(other);
+        self.inner.merge(other.inner);
+    }
+
+    fn render(&self, ctx: &AnalysisContext) -> String {
+        let mut out = self.inner.render_table8(self.min_support);
+        out.push('\n');
+        out.push_str(&self.inner.render_table9(ctx, self.min_support));
+        out.push('\n');
+        out.push_str(&self.inner.render_table10());
+        out
+    }
+
+    fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {
+        use crate::export::string_array;
+        use filterscope_core::Json;
+        let domains: Vec<String> = self
+            .inner
+            .recover_domains(self.min_support)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect();
+        let mut obj = Json::object();
+        obj.push(
+            "recovered_keywords",
+            string_array(&self.inner.recover_keywords(self.min_support, 3)),
+        );
+        obj.push("recovered_domains", string_array(&domains));
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -92,6 +92,28 @@ impl GoogleCacheStats {
     }
 }
 
+impl crate::registry::Analysis for GoogleCacheStats {
+    fn key(&self) -> &'static str {
+        "google_cache"
+    }
+
+    fn title(&self) -> &'static str {
+        "Google-cache accesses"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        GoogleCacheStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        GoogleCacheStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        GoogleCacheStats::render(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,7 +55,7 @@ impl HttpsStats {
     }
 
     /// Merge a shard.
-    pub fn merge(&mut self, other: &HttpsStats) {
+    pub fn merge(&mut self, other: HttpsStats) {
         self.total_requests += other.total_requests;
         self.https_requests += other.https_requests;
         self.https_censored += other.https_censored;
@@ -115,6 +115,37 @@ impl HttpsStats {
             self.mitm_evidence.to_string(),
         ]);
         t.render()
+    }
+}
+
+impl crate::registry::Analysis for HttpsStats {
+    fn key(&self) -> &'static str {
+        "https"
+    }
+
+    fn title(&self) -> &'static str {
+        "HTTPS traffic and MITM check"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        HttpsStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        HttpsStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        HttpsStats::render(self)
+    }
+
+    fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
+        use filterscope_core::Json;
+        let mut obj = Json::object();
+        obj.push("https_share", Json::Float(self.https_share()));
+        obj.push("https_censored_share", Json::Float(self.censored_share()));
+        obj.push("mitm_evidence", Json::UInt(self.mitm_evidence));
+        Some(obj)
     }
 }
 
@@ -200,7 +231,7 @@ mod tests {
         a.ingest(&connect("h.example", false).as_view());
         let mut b = HttpsStats::new();
         b.ingest(&connect("84.229.1.1", true).as_view());
-        a.merge(&b);
+        a.merge(b);
         assert_eq!(a.https_requests, 2);
         assert!(a.render().contains("MITM"));
     }

@@ -181,6 +181,48 @@ impl IpCensorship {
     }
 }
 
+impl crate::registry::Analysis for IpCensorship {
+    fn key(&self) -> &'static str {
+        "ip"
+    }
+
+    fn title(&self) -> &'static str {
+        "IP-based censorship"
+    }
+
+    fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
+        IpCensorship::ingest(self, ctx, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        IpCensorship::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &AnalysisContext) -> String {
+        let mut out = self.render_table11();
+        out.push('\n');
+        out.push_str(&self.render_table12());
+        out
+    }
+
+    fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {
+        use crate::export::{share_array, Share};
+        use filterscope_core::Json;
+        let ratios: Vec<Share> = self
+            .censorship_ratios()
+            .into_iter()
+            .map(|(country, ratio, censored, _)| Share {
+                name: country.display_name(),
+                count: censored,
+                share: ratio / 100.0,
+            })
+            .collect();
+        let mut obj = Json::object();
+        obj.push("country_censorship_ratios", share_array(&ratios));
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,7 @@ pub mod pipeline;
 pub mod ports;
 pub mod proxies;
 pub mod redirects;
+pub mod registry;
 pub mod report;
 pub mod series;
 pub mod social;
@@ -59,4 +60,5 @@ pub mod weather;
 
 pub use context::AnalysisContext;
 pub use pipeline::{IngestStats, ParallelIngest, ShardSink};
+pub use registry::{Analysis, AnalysisEntry, CostClass, Selection, SuiteParams, REGISTRY};
 pub use suite::AnalysisSuite;

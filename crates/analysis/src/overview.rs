@@ -110,16 +110,16 @@ impl TrafficOverview {
     }
 
     /// Merge a shard.
-    pub fn merge(&mut self, other: &TrafficOverview) {
+    pub fn merge(&mut self, other: TrafficOverview) {
         self.allowed.merge(&other.allowed);
         self.proxied.merge(&other.proxied);
         self.denied_total.merge(&other.denied_total);
         self.total.merge(&other.total);
-        for (e, counts) in &other.by_exception {
-            if let Some((_, mine)) = self.by_exception.iter_mut().find(|(k, _)| k == e) {
-                mine.merge(counts);
+        for (e, counts) in other.by_exception {
+            if let Some((_, mine)) = self.by_exception.iter_mut().find(|(k, _)| *k == e) {
+                mine.merge(&counts);
             } else {
-                self.by_exception.push((e.clone(), *counts));
+                self.by_exception.push((e, counts));
             }
         }
     }
@@ -169,6 +169,47 @@ impl TrafficOverview {
             t.row([&format!("  {e}"), class, &f, &s, &u, &d]);
         }
         t.render()
+    }
+}
+
+impl crate::registry::Analysis for TrafficOverview {
+    fn key(&self) -> &'static str {
+        "overview"
+    }
+
+    fn title(&self) -> &'static str {
+        "Traffic overview"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        TrafficOverview::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        TrafficOverview::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        TrafficOverview::render(self)
+    }
+
+    fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
+        use filterscope_core::Json;
+        let total = self.total.full;
+        let ratio = |n: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                n as f64 / total as f64
+            }
+        };
+        let mut obj = Json::object();
+        obj.push("total_requests", Json::UInt(total));
+        obj.push("allowed_share", Json::Float(ratio(self.allowed.full)));
+        obj.push("proxied_share", Json::Float(ratio(self.proxied.full)));
+        obj.push("error_share", Json::Float(ratio(self.errors_full())));
+        obj.push("censored_share", Json::Float(ratio(self.censored_full())));
+        Some(obj)
     }
 }
 
@@ -251,7 +292,7 @@ mod tests {
         a.ingest(&base("a.com").build().as_view());
         let mut b = TrafficOverview::new();
         b.ingest(&base("b.com").policy_denied().build().as_view());
-        a.merge(&b);
+        a.merge(b);
         assert_eq!(a.total.full, 2);
         assert_eq!(a.censored_full(), 1);
     }

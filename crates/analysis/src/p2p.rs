@@ -118,6 +118,37 @@ impl BitTorrentStats {
     }
 }
 
+impl crate::registry::Analysis for BitTorrentStats {
+    fn key(&self) -> &'static str {
+        "bittorrent"
+    }
+
+    fn title(&self) -> &'static str {
+        "BitTorrent activity"
+    }
+
+    fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
+        BitTorrentStats::ingest(self, ctx, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        BitTorrentStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &AnalysisContext) -> String {
+        BitTorrentStats::render(self)
+    }
+
+    fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {
+        use filterscope_core::Json;
+        let mut obj = Json::object();
+        obj.push("bt_announces", Json::UInt(self.announces));
+        obj.push("bt_peers", Json::UInt(self.peers.len() as u64));
+        obj.push("bt_title_resolution", Json::Float(self.resolution_rate()));
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

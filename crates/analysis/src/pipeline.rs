@@ -34,6 +34,7 @@
 
 use crate::context::AnalysisContext;
 use crate::filter_inference::FilterInference;
+use crate::registry::{Selection, SuiteParams};
 use crate::suite::AnalysisSuite;
 use crate::weather::WeatherReport;
 use filterscope_core::{pool, Error, Result};
@@ -88,11 +89,23 @@ pub struct SuiteSink<'a> {
 }
 
 impl<'a> SuiteSink<'a> {
-    /// A fresh suite shard over `ctx`.
+    /// A fresh default-suite shard over `ctx`.
     pub fn new(ctx: &'a AnalysisContext, min_support: u64) -> Self {
         SuiteSink {
             ctx,
             suite: AnalysisSuite::new(min_support),
+        }
+    }
+
+    /// A fresh shard running only the selected analyses.
+    pub fn with_selection(
+        ctx: &'a AnalysisContext,
+        params: &SuiteParams,
+        selection: &Selection,
+    ) -> Self {
+        SuiteSink {
+            ctx,
+            suite: AnalysisSuite::with_selection(params, selection),
         }
     }
 
@@ -259,6 +272,21 @@ impl ParallelIngest {
         min_support: u64,
     ) -> Result<(AnalysisSuite, IngestStats)> {
         let (sink, stats) = self.run(paths, || SuiteSink::new(ctx, min_support))?;
+        Ok((sink.into_suite(), stats))
+    }
+
+    /// Build a merged selective [`AnalysisSuite`] from `paths`: per-shard
+    /// suites carry only the selected analyses, so a `--analyses domains`
+    /// run pays the ingest cost of one accumulator, not eighteen.
+    pub fn ingest_selected(
+        &self,
+        paths: &[PathBuf],
+        ctx: &AnalysisContext,
+        params: &SuiteParams,
+        selection: &Selection,
+    ) -> Result<(AnalysisSuite, IngestStats)> {
+        let (sink, stats) =
+            self.run(paths, || SuiteSink::with_selection(ctx, params, selection))?;
         Ok((sink.into_suite(), stats))
     }
 

@@ -64,6 +64,28 @@ impl PortStats {
     }
 }
 
+impl crate::registry::Analysis for PortStats {
+    fn key(&self) -> &'static str {
+        "ports"
+    }
+
+    fn title(&self) -> &'static str {
+        "Destination ports"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        PortStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        PortStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        PortStats::render(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -203,6 +203,43 @@ impl Default for ProxyStats {
     }
 }
 
+impl crate::registry::Analysis for ProxyStats {
+    fn key(&self) -> &'static str {
+        "proxies"
+    }
+
+    fn title(&self) -> &'static str {
+        "Per-proxy load and similarity"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        ProxyStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        ProxyStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        let mut out = self.render_fig7();
+        out.push('\n');
+        out.push_str(&self.render_table6());
+        out.push('\n');
+        out.push_str(&self.render_category_labels());
+        out
+    }
+
+    fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
+        use filterscope_core::Json;
+        let mut obj = Json::object();
+        obj.push(
+            "sg48_censored_share",
+            Json::Float(self.censored_share(ProxyId::Sg48)),
+        );
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

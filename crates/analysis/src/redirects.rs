@@ -117,6 +117,35 @@ impl RedirectStats {
     }
 }
 
+impl crate::registry::Analysis for RedirectStats {
+    fn key(&self) -> &'static str {
+        "redirects"
+    }
+
+    fn title(&self) -> &'static str {
+        "Policy redirects"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        RedirectStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        RedirectStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        RedirectStats::render(self)
+    }
+
+    fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
+        use filterscope_core::Json;
+        let mut obj = Json::object();
+        obj.push("redirect_hosts", Json::UInt(self.distinct_hosts() as u64));
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,538 @@
+//! The [`Analysis`] trait and the paper-ordered analysis registry.
+//!
+//! Every table and figure of the paper is an independent accumulator; this
+//! module is the single place that knows the full roster. Each accumulator
+//! implements [`Analysis`] (ingest / merge-by-downcast / render / export)
+//! and registers one [`AnalysisEntry`] in [`REGISTRY`], carrying its key,
+//! paper artifacts, cost class and constructor. Everything downstream —
+//! [`crate::AnalysisSuite`], the parallel shard merge, the JSON export, the
+//! CLI's `--analyses`/`--skip` flags and its `analyses` listing — is driven
+//! off this one list, so adding an experiment is: implement the trait,
+//! append one entry.
+//!
+//! # Ordering rules
+//!
+//! [`REGISTRY`] is in **paper order** (Table 1 → §3.3 anomalies, then the
+//! beyond-paper analyses); `render_all` concatenates sections in exactly
+//! this order, which keeps default reports byte-identical to the
+//! pre-registry suite. The JSON summary preserves its own historical field
+//! order via [`AnalysisEntry::export_rank`] (the §4 HTTPS fragment exports
+//! before Tor), so selective runs simply omit fragments without reordering
+//! the survivors.
+
+use crate::context::AnalysisContext;
+use filterscope_core::Json;
+use filterscope_logformat::RecordView;
+use std::any::Any;
+
+/// Object-safe downcast support, blanket-implemented for every `'static`
+/// type so trait-object analyses can be merged back into concrete ones.
+pub trait AsAny: Any {
+    /// Borrow as [`Any`] (for [`crate::AnalysisSuite`]'s typed accessors).
+    fn as_any(&self) -> &dyn Any;
+    /// Unbox as [`Any`] (for the downcasting shard merge).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// One independently schedulable analysis over the record stream.
+///
+/// The contract mirrors what the hand-maintained suite enforced implicitly:
+/// `ingest` must be associative under `merge` (shard A then B merged equals
+/// one pass over A ++ B), and `render`/`export_json` must be deterministic
+/// functions of the accumulated state — never of intern order, map order or
+/// shard plan (see DESIGN.md §2c, resolve-before-sort).
+pub trait Analysis: AsAny + Send + Sync {
+    /// Stable selection key (`--analyses` vocabulary), unique per registry.
+    fn key(&self) -> &'static str;
+
+    /// Human-readable name for listings.
+    fn title(&self) -> &'static str;
+
+    /// Feed one parsed record view.
+    fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>);
+
+    /// Fold a sibling shard in. The shard must be the same concrete type;
+    /// implementations downcast via [`downcast`] and delegate to their
+    /// by-value inherent `merge`.
+    fn merge(&mut self, other: Box<dyn Analysis>);
+
+    /// Render this analysis's report section(s), `'\n'`-separated in paper
+    /// order (multi-artifact analyses render every table/figure they own).
+    fn render(&self, ctx: &AnalysisContext) -> String;
+
+    /// This analysis's fragment of the machine-readable summary: an object
+    /// whose members are spliced into the summary JSON in
+    /// [`AnalysisEntry::export_rank`] order. `None` exports nothing.
+    fn export_json(&self, _ctx: &AnalysisContext) -> Option<Json> {
+        None
+    }
+}
+
+/// Unbox a merged-in shard as the concrete accumulator type, panicking on a
+/// type mismatch (shards of one suite are built from one selection, so a
+/// mismatch is a programming error, not a data error).
+pub fn downcast<T: Analysis>(other: Box<dyn Analysis>) -> T {
+    let key = other.key();
+    *other.into_any().downcast::<T>().unwrap_or_else(|_| {
+        panic!("cannot merge analysis shard `{key}` into a different analysis type")
+    })
+}
+
+/// Rough per-record ingest cost, for `filterscope analyses` and for picking
+/// what to skip on a constrained pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Fixed arithmetic per record (counters, shares).
+    Cheap,
+    /// Hash-map aggregation or an oracle lookup on a traffic subset.
+    Moderate,
+    /// Per-record tokenization or per-day sub-accumulators.
+    Heavy,
+}
+
+impl CostClass {
+    /// Lowercase label for listings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostClass::Cheap => "cheap",
+            CostClass::Moderate => "moderate",
+            CostClass::Heavy => "heavy",
+        }
+    }
+}
+
+/// Construction parameters shared by the registry constructors.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteParams {
+    /// Minimum censored support for the §5.4 recovery.
+    pub min_support: u64,
+    /// Candidate keyword list for [`crate::filter_inference::FilterInference`]
+    /// (the suite uses the operator-known list; `audit` starts blind).
+    pub inference_candidates: &'static [&'static str],
+    /// Minimum distinct base domains for a recovered keyword in the per-day
+    /// weather report.
+    pub weather_min_domains: usize,
+}
+
+impl SuiteParams {
+    /// Standard parameters: the paper's known keyword list and a 3-domain
+    /// keyword floor.
+    pub fn new(min_support: u64) -> Self {
+        SuiteParams {
+            min_support,
+            inference_candidates: &filterscope_proxy::config::KEYWORDS,
+            weather_min_domains: 3,
+        }
+    }
+
+    /// Same thresholds, but the inference starts with no known keywords
+    /// (the `audit` stance: recover the policy blind).
+    pub fn blind(min_support: u64) -> Self {
+        SuiteParams {
+            inference_candidates: &[],
+            ..Self::new(min_support)
+        }
+    }
+}
+
+/// One registry row: metadata plus the constructor.
+pub struct AnalysisEntry {
+    /// Selection key (the `--analyses` vocabulary).
+    pub key: &'static str,
+    /// Human-readable name.
+    pub title: &'static str,
+    /// The paper artifacts this analysis reproduces.
+    pub artifacts: &'static str,
+    /// Rough per-record ingest cost.
+    pub cost: CostClass,
+    /// Runs when no `--analyses` flag is given. Beyond-paper extras (the
+    /// weather report) register as non-default so default reports stay
+    /// byte-identical to the pre-registry suite.
+    pub in_default_suite: bool,
+    /// Position of this analysis's fragment in the JSON summary (`None`
+    /// exports nothing). Not paper order: the historical summary layout
+    /// puts §4 HTTPS before Tor.
+    pub export_rank: Option<u32>,
+    make: fn(&SuiteParams) -> Box<dyn Analysis>,
+}
+
+impl AnalysisEntry {
+    /// Construct a fresh accumulator for this entry.
+    pub fn build(&self, params: &SuiteParams) -> Box<dyn Analysis> {
+        (self.make)(params)
+    }
+}
+
+/// The full roster, in paper order (see DESIGN.md §3; the golden test pins
+/// this order against the CLI listing and `render_all`).
+pub const REGISTRY: &[AnalysisEntry] = &[
+    AnalysisEntry {
+        key: "datasets",
+        title: "Dataset membership",
+        artifacts: "Table 1",
+        cost: CostClass::Cheap,
+        in_default_suite: true,
+        export_rank: None,
+        make: |_| Box::new(crate::datasets::DatasetCounts::new()),
+    },
+    AnalysisEntry {
+        key: "overview",
+        title: "Traffic overview",
+        artifacts: "Table 3",
+        cost: CostClass::Cheap,
+        in_default_suite: true,
+        export_rank: Some(0),
+        make: |_| Box::new(crate::overview::TrafficOverview::new()),
+    },
+    AnalysisEntry {
+        key: "ports",
+        title: "Destination ports",
+        artifacts: "Fig 1",
+        cost: CostClass::Cheap,
+        in_default_suite: true,
+        export_rank: None,
+        make: |_| Box::new(crate::ports::PortStats::new()),
+    },
+    AnalysisEntry {
+        key: "domains",
+        title: "Domain popularity",
+        artifacts: "Fig 2, Table 4",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: Some(1),
+        make: |_| Box::new(crate::domains::DomainStats::new()),
+    },
+    AnalysisEntry {
+        key: "categories",
+        title: "Censored categories",
+        artifacts: "Fig 3",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: Some(2),
+        make: |_| Box::new(crate::categories::CategoryStats::new()),
+    },
+    AnalysisEntry {
+        key: "users",
+        title: "User behaviour",
+        artifacts: "Fig 4",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: Some(3),
+        make: |_| Box::new(crate::users::UserStats::new()),
+    },
+    AnalysisEntry {
+        key: "temporal",
+        title: "Censorship time series",
+        artifacts: "Figs 5-6, Table 5",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: None,
+        make: |_| Box::new(crate::temporal::TemporalStats::standard()),
+    },
+    AnalysisEntry {
+        key: "proxies",
+        title: "Per-proxy load and similarity",
+        artifacts: "Fig 7, Table 6",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: Some(4),
+        make: |_| Box::new(crate::proxies::ProxyStats::standard()),
+    },
+    AnalysisEntry {
+        key: "redirects",
+        title: "Policy redirects",
+        artifacts: "Table 7",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: Some(5),
+        make: |_| Box::new(crate::redirects::RedirectStats::new()),
+    },
+    AnalysisEntry {
+        key: "inference",
+        title: "Filter inference (5.4 recovery)",
+        artifacts: "Tables 8-10",
+        cost: CostClass::Heavy,
+        in_default_suite: true,
+        export_rank: Some(6),
+        make: |p| {
+            Box::new(crate::filter_inference::InferenceAnalysis::new(
+                p.inference_candidates,
+                p.min_support,
+            ))
+        },
+    },
+    AnalysisEntry {
+        key: "ip",
+        title: "IP-based censorship",
+        artifacts: "Tables 11-12",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: Some(7),
+        make: |_| Box::new(crate::ip_censorship::IpCensorship::standard()),
+    },
+    AnalysisEntry {
+        key: "social",
+        title: "Social-media censorship",
+        artifacts: "Tables 13-15",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: None,
+        make: |_| Box::new(crate::social::SocialStats::new()),
+    },
+    AnalysisEntry {
+        key: "tor",
+        title: "Tor usage and blocking",
+        artifacts: "Figs 8-9",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: Some(9),
+        make: |_| Box::new(crate::tor_usage::TorStats::standard()),
+    },
+    AnalysisEntry {
+        key: "anonymizers",
+        title: "Anonymizer services",
+        artifacts: "Fig 10",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: Some(11),
+        make: |_| Box::new(crate::anonymizers::AnonymizerStats::new()),
+    },
+    AnalysisEntry {
+        key: "bittorrent",
+        title: "BitTorrent activity",
+        artifacts: "Sec 7.3",
+        cost: CostClass::Moderate,
+        in_default_suite: true,
+        export_rank: Some(10),
+        make: |_| Box::new(crate::p2p::BitTorrentStats::new()),
+    },
+    AnalysisEntry {
+        key: "https",
+        title: "HTTPS traffic and MITM check",
+        artifacts: "Sec 4",
+        cost: CostClass::Cheap,
+        in_default_suite: true,
+        export_rank: Some(8),
+        make: |_| Box::new(crate::https::HttpsStats::new()),
+    },
+    AnalysisEntry {
+        key: "google_cache",
+        title: "Google-cache accesses",
+        artifacts: "Sec 7.4",
+        cost: CostClass::Cheap,
+        in_default_suite: true,
+        export_rank: None,
+        make: |_| Box::new(crate::google_cache::GoogleCacheStats::new()),
+    },
+    AnalysisEntry {
+        key: "consistency",
+        title: "Log-consistency linter",
+        artifacts: "Sec 3.3 anomalies",
+        cost: CostClass::Cheap,
+        in_default_suite: true,
+        export_rank: Some(12),
+        make: |_| Box::new(crate::consistency::ConsistencyStats::new()),
+    },
+    AnalysisEntry {
+        key: "weather",
+        title: "Censorship weather report",
+        artifacts: "Sec 5.4 per-day churn (beyond paper)",
+        cost: CostClass::Heavy,
+        in_default_suite: false,
+        export_rank: None,
+        make: |p| {
+            Box::new(crate::weather::WeatherReport::new(
+                p.min_support,
+                p.weather_min_domains,
+            ))
+        },
+    },
+];
+
+/// Look a registry entry up by key.
+pub fn entry(key: &str) -> Option<&'static AnalysisEntry> {
+    REGISTRY.iter().find(|e| e.key == key)
+}
+
+/// All selection keys, in paper order.
+pub fn keys() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.key).collect()
+}
+
+/// A validated, registry-ordered set of analyses to run.
+///
+/// However the user spells the flags, the selection is normalized to paper
+/// order and deduplicated, so shard construction, merge pairing and render
+/// order are always consistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    keys: Vec<&'static str>,
+}
+
+impl Selection {
+    /// The default suite: every entry with
+    /// [`AnalysisEntry::in_default_suite`].
+    pub fn default_suite() -> Self {
+        Selection {
+            keys: REGISTRY
+                .iter()
+                .filter(|e| e.in_default_suite)
+                .map(|e| e.key)
+                .collect(),
+        }
+    }
+
+    /// Every registered analysis, including non-default extras.
+    pub fn everything() -> Self {
+        Selection { keys: keys() }
+    }
+
+    /// Exactly the named analyses (any order, deduplicated), or an error
+    /// naming the first unknown key.
+    pub fn only(wanted: &[&str]) -> Result<Self, String> {
+        let mut picked = Vec::new();
+        for key in wanted {
+            match entry(key) {
+                Some(e) => {
+                    if !picked.contains(&e.key) {
+                        picked.push(e.key);
+                    }
+                }
+                None => return Err(unknown_key(key)),
+            }
+        }
+        Ok(Selection {
+            keys: REGISTRY
+                .iter()
+                .map(|e| e.key)
+                .filter(|k| picked.contains(k))
+                .collect(),
+        })
+    }
+
+    /// Build a selection from the CLI flags: `--analyses a,b,c` replaces the
+    /// default set, `--skip x,y` subtracts from it; both validate their keys
+    /// against the registry.
+    pub fn from_flags(analyses: Option<&str>, skip: Option<&str>) -> Result<Self, String> {
+        let mut selection = match analyses {
+            Some(csv) => Selection::only(&split_csv(csv))?,
+            None => Selection::default_suite(),
+        };
+        if let Some(csv) = skip {
+            for key in split_csv(csv) {
+                let e = entry(key).ok_or_else(|| unknown_key(key))?;
+                selection.keys.retain(|k| *k != e.key);
+            }
+        }
+        if selection.keys.is_empty() {
+            return Err("selection is empty: every analysis was skipped".to_string());
+        }
+        Ok(selection)
+    }
+
+    /// Force one analysis into the selection (commands with a fixed core
+    /// product — `audit` needs `inference`, `weather` needs `weather`).
+    pub fn ensure(&mut self, key: &'static str) {
+        debug_assert!(entry(key).is_some(), "unknown analysis key {key}");
+        if !self.contains(key) {
+            self.keys = REGISTRY
+                .iter()
+                .map(|e| e.key)
+                .filter(|k| *k == key || self.keys.contains(k))
+                .collect();
+        }
+    }
+
+    /// Is this analysis selected?
+    pub fn contains(&self, key: &str) -> bool {
+        self.keys.contains(&key)
+    }
+
+    /// The selected keys, in paper order.
+    pub fn keys(&self) -> &[&'static str] {
+        &self.keys
+    }
+}
+
+fn split_csv(csv: &str) -> Vec<&str> {
+    csv.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn unknown_key(key: &str) -> String {
+    format!("unknown analysis `{key}` (known: {})", keys().join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_keys_are_unique_and_consistent() {
+        let params = SuiteParams::new(3);
+        let mut seen = Vec::new();
+        for e in REGISTRY {
+            assert!(!seen.contains(&e.key), "duplicate key {}", e.key);
+            seen.push(e.key);
+            let built = e.build(&params);
+            assert_eq!(built.key(), e.key, "entry/impl key drift for {}", e.key);
+            assert_eq!(
+                built.title(),
+                e.title,
+                "entry/impl title drift for {}",
+                e.key
+            );
+        }
+    }
+
+    #[test]
+    fn export_ranks_are_unique() {
+        let mut ranks: Vec<u32> = REGISTRY.iter().filter_map(|e| e.export_rank).collect();
+        let n = ranks.len();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), n, "duplicate export rank");
+    }
+
+    #[test]
+    fn default_selection_excludes_extras() {
+        let d = Selection::default_suite();
+        assert!(d.contains("datasets"));
+        assert!(!d.contains("weather"));
+        assert!(Selection::everything().contains("weather"));
+    }
+
+    #[test]
+    fn selection_flags_normalize_and_validate() {
+        let s = Selection::from_flags(Some("inference, domains,domains"), None).unwrap();
+        assert_eq!(s.keys(), ["domains", "inference"], "paper order, deduped");
+        let s = Selection::from_flags(None, Some("tor,weather")).unwrap();
+        assert!(!s.contains("tor"));
+        assert!(s.contains("datasets"));
+        assert!(Selection::from_flags(Some("nonsense"), None).is_err());
+        assert!(Selection::from_flags(None, Some("nonsense")).is_err());
+        let everything: Vec<&str> = keys();
+        assert!(Selection::from_flags(None, Some(&everything.join(","))).is_err());
+    }
+
+    #[test]
+    fn ensure_inserts_in_paper_order() {
+        let mut s = Selection::only(&["tor"]).unwrap();
+        s.ensure("datasets");
+        assert_eq!(s.keys(), ["datasets", "tor"]);
+        s.ensure("tor");
+        assert_eq!(s.keys(), ["datasets", "tor"]);
+    }
+}

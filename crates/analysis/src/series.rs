@@ -30,19 +30,19 @@ impl AnalysisSuite {
         // Fig 1: port distribution.
         let mut csv = String::from("port,allowed,censored\n");
         let mut ports: Vec<u16> = self
-            .ports
+            .ports()
             .allowed
             .iter()
             .map(|(p, _)| *p)
-            .chain(self.ports.censored.iter().map(|(p, _)| *p))
+            .chain(self.ports().censored.iter().map(|(p, _)| *p))
             .collect();
         ports.sort_unstable();
         ports.dedup();
         for p in ports {
             csv.push_str(&format!(
                 "{p},{},{}\n",
-                self.ports.allowed.get(&p),
-                self.ports.censored.get(&p)
+                self.ports().allowed.get(&p),
+                self.ports().censored.get(&p)
             ));
         }
         out.push(FigureSeries {
@@ -57,7 +57,7 @@ impl AnalysisSuite {
             ("denied", RequestClass::Error),
             ("censored", RequestClass::Censored),
         ] {
-            for (r, d) in self.domains.request_distribution(class) {
+            for (r, d) in self.domains().request_distribution(class) {
                 csv.push_str(&format!("{label},{r},{d}\n"));
             }
         }
@@ -68,7 +68,7 @@ impl AnalysisSuite {
 
         // Fig 3: censored categories.
         let mut csv = String::from("category,censored\n");
-        for (name, n) in self.categories.distribution(0) {
+        for (name, n) in self.categories().distribution(0) {
             csv.push_str(&format!("{},{n}\n", csv_escape(&name)));
         }
         out.push(FigureSeries {
@@ -78,7 +78,7 @@ impl AnalysisSuite {
 
         // Fig 4a: censored requests per user histogram.
         let mut csv = String::from("censored_requests,users\n");
-        let h = self.users.censored_requests_histogram();
+        let h = self.users().censored_requests_histogram();
         for (lo, n) in h.bins() {
             csv.push_str(&format!("{lo},{n}\n"));
         }
@@ -89,7 +89,7 @@ impl AnalysisSuite {
         });
 
         // Fig 4b: activity CDFs.
-        let (censored_cdf, clean_cdf) = self.users.activity_cdfs();
+        let (censored_cdf, clean_cdf) = self.users().activity_cdfs();
         let mut csv = String::from("group,requests,cdf\n");
         for (x, y) in censored_cdf.points() {
             csv.push_str(&format!("censored,{x},{y:.6}\n"));
@@ -103,14 +103,14 @@ impl AnalysisSuite {
         });
 
         // Fig 5: censored/allowed per 5-minute bin (absolute + normalized).
-        let (cn, an) = self.temporal.normalized();
+        let (cn, an) = self.temporal().normalized();
         let mut csv = String::from("bin_start,censored,allowed,censored_norm,allowed_norm\n");
-        for i in 0..self.temporal.censored.bins().len() {
+        for i in 0..self.temporal().censored.bins().len() {
             csv.push_str(&format!(
                 "{},{},{},{:.8},{:.8}\n",
-                self.temporal.censored.bin_start(i),
-                self.temporal.censored.bins()[i],
-                self.temporal.allowed.bins()[i],
+                self.temporal().censored.bin_start(i),
+                self.temporal().censored.bins()[i],
+                self.temporal().allowed.bins()[i],
                 cn[i],
                 an[i],
             ));
@@ -122,8 +122,8 @@ impl AnalysisSuite {
 
         // Fig 6: RCV per bin.
         let mut csv = String::from("bin_start,rcv\n");
-        for (i, v) in self.temporal.rcv().into_iter().enumerate() {
-            csv.push_str(&format!("{},{v:.8}\n", self.temporal.all.bin_start(i)));
+        for (i, v) in self.temporal().rcv().into_iter().enumerate() {
+            csv.push_str(&format!("{},{v:.8}\n", self.temporal().all.bin_start(i)));
         }
         out.push(FigureSeries {
             stem: "fig6_rcv",
@@ -133,8 +133,8 @@ impl AnalysisSuite {
         // Fig 7: per-proxy load and censored series (hourly, Aug 3-4).
         let mut csv = String::from("bin_start,proxy,all,censored\n");
         for (pi, p) in filterscope_core::ProxyId::ALL.iter().enumerate() {
-            let load = &self.proxies.load[pi];
-            let censored = &self.proxies.censored_load[pi];
+            let load = &self.proxies().load[pi];
+            let censored = &self.proxies().censored_load[pi];
             for i in 0..load.bins().len() {
                 csv.push_str(&format!(
                     "{},{},{},{}\n",
@@ -152,14 +152,14 @@ impl AnalysisSuite {
 
         // Fig 8: Tor hourly series.
         let mut csv = String::from("bin_start,tor_requests,tor_censored,sg44_all,sg44_censored\n");
-        for i in 0..self.tor.hourly.bins().len() {
+        for i in 0..self.tor().hourly.bins().len() {
             csv.push_str(&format!(
                 "{},{},{},{},{}\n",
-                self.tor.hourly.bin_start(i),
-                self.tor.hourly.bins()[i],
-                self.tor.hourly_censored.bins()[i],
-                self.tor.sg44_all.bins()[i],
-                self.tor.sg44_censored.bins()[i],
+                self.tor().hourly.bin_start(i),
+                self.tor().hourly.bins()[i],
+                self.tor().hourly_censored.bins()[i],
+                self.tor().sg44_all.bins()[i],
+                self.tor().sg44_censored.bins()[i],
             ));
         }
         out.push(FigureSeries {
@@ -169,7 +169,7 @@ impl AnalysisSuite {
 
         // Fig 9: Rfilter per hour.
         let mut csv = String::from("hour_bin,rfilter\n");
-        for (k, r) in self.tor.rfilter() {
+        for (k, r) in self.tor().rfilter() {
             match r {
                 Some(v) => csv.push_str(&format!("{k},{v:.6}\n")),
                 None => csv.push_str(&format!("{k},\n")),
@@ -182,10 +182,10 @@ impl AnalysisSuite {
 
         // Fig 10a/b: anonymizer CDFs.
         let mut csv = String::from("series,x,cdf\n");
-        for (x, y) in self.anonymizers.allowed_request_cdf().points() {
+        for (x, y) in self.anonymizers().allowed_request_cdf().points() {
             csv.push_str(&format!("requests_per_host,{x},{y:.6}\n"));
         }
-        for (x, y) in self.anonymizers.ratio_cdf().points() {
+        for (x, y) in self.anonymizers().ratio_cdf().points() {
             csv.push_str(&format!("allowed_to_censored_ratio,{x:.4},{y:.6}\n"));
         }
         out.push(FigureSeries {

@@ -281,6 +281,33 @@ impl SocialStats {
     }
 }
 
+impl crate::registry::Analysis for SocialStats {
+    fn key(&self) -> &'static str {
+        "social"
+    }
+
+    fn title(&self) -> &'static str {
+        "Social-media censorship"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        SocialStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        SocialStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        let mut out = self.render_table13();
+        out.push('\n');
+        out.push_str(&self.render_table14());
+        out.push('\n');
+        out.push_str(&self.render_table15());
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,12 @@
-//! The full single-pass analysis suite.
+//! The registry-driven analysis suite.
+//!
+//! A suite is just the selected analyses (paper order, one
+//! [`Analysis`] trait object each) plus the thresholds they were built
+//! with. The default selection reproduces every paper artifact; selective
+//! suites (`--analyses`/`--skip`) run the same code over fewer
+//! accumulators. Typed accessors ([`AnalysisSuite::datasets`] etc.) panic
+//! when the analysis was deselected — callers that must work on partial
+//! suites use [`AnalysisSuite::try_get`].
 
 use crate::anonymizers::AnonymizerStats;
 use crate::categories::CategoryStats;
@@ -6,7 +14,7 @@ use crate::consistency::ConsistencyStats;
 use crate::context::AnalysisContext;
 use crate::datasets::DatasetCounts;
 use crate::domains::DomainStats;
-use crate::filter_inference::FilterInference;
+use crate::filter_inference::{FilterInference, InferenceAnalysis};
 use crate::google_cache::GoogleCacheStats;
 use crate::https::HttpsStats;
 use crate::ip_censorship::IpCensorship;
@@ -15,144 +23,190 @@ use crate::p2p::BitTorrentStats;
 use crate::ports::PortStats;
 use crate::proxies::ProxyStats;
 use crate::redirects::RedirectStats;
+use crate::registry::{self, Analysis, Selection, SuiteParams};
 use crate::social::SocialStats;
 use crate::temporal::TemporalStats;
 use crate::tor_usage::TorStats;
 use crate::users::UserStats;
+use crate::weather::WeatherReport;
 use filterscope_logformat::RecordView;
 
-/// Every experiment accumulator, fed by one streaming pass.
+/// The selected experiment accumulators, fed by one streaming pass.
 pub struct AnalysisSuite {
-    pub datasets: DatasetCounts,
-    pub overview: TrafficOverview,
-    pub domains: DomainStats,
-    pub ports: PortStats,
-    pub categories: CategoryStats,
-    pub temporal: TemporalStats,
-    pub proxies: ProxyStats,
-    pub redirects: RedirectStats,
-    pub inference: FilterInference,
-    pub ip: IpCensorship,
-    pub users: UserStats,
-    pub social: SocialStats,
-    pub tor: TorStats,
-    pub anonymizers: AnonymizerStats,
-    pub bittorrent: BitTorrentStats,
-    pub google_cache: GoogleCacheStats,
-    pub https: HttpsStats,
-    pub consistency: ConsistencyStats,
+    analyses: Vec<Box<dyn Analysis>>,
     /// Minimum censored support for §5.4 recovery, adapted to corpus scale.
     pub min_support: u64,
 }
 
 impl AnalysisSuite {
-    /// Fresh suite. `min_support` is the evidence threshold for the §5.4
-    /// recovery (use ~5–20 for small corpora, more at full scale).
+    /// Fresh default suite (every paper analysis). `min_support` is the
+    /// evidence threshold for the §5.4 recovery (use ~5–20 for small
+    /// corpora, more at full scale).
     pub fn new(min_support: u64) -> Self {
+        Self::with_selection(&SuiteParams::new(min_support), &Selection::default_suite())
+    }
+
+    /// Build exactly the selected analyses from the registry.
+    pub fn with_selection(params: &SuiteParams, selection: &Selection) -> Self {
         AnalysisSuite {
-            datasets: DatasetCounts::new(),
-            overview: TrafficOverview::new(),
-            domains: DomainStats::new(),
-            ports: PortStats::new(),
-            categories: CategoryStats::new(),
-            temporal: TemporalStats::standard(),
-            proxies: ProxyStats::standard(),
-            redirects: RedirectStats::new(),
-            inference: FilterInference::new(&filterscope_proxy::config::KEYWORDS),
-            ip: IpCensorship::standard(),
-            users: UserStats::new(),
-            social: SocialStats::new(),
-            tor: TorStats::standard(),
-            anonymizers: AnonymizerStats::new(),
-            bittorrent: BitTorrentStats::new(),
-            google_cache: GoogleCacheStats::new(),
-            https: HttpsStats::new(),
-            consistency: ConsistencyStats::new(),
-            min_support,
+            analyses: selection
+                .keys()
+                .iter()
+                .map(|key| {
+                    registry::entry(key)
+                        .expect("selection keys are registry-validated")
+                        .build(params)
+                })
+                .collect(),
+            min_support: params.min_support,
         }
     }
 
-    /// Ingest one record view into every analysis. Owned records bridge in
-    /// via [`filterscope_logformat::LogRecord::as_view`].
+    /// The built analyses, in paper order.
+    pub fn analyses(&self) -> &[Box<dyn Analysis>] {
+        &self.analyses
+    }
+
+    /// The selected keys, in paper order.
+    pub fn keys(&self) -> Vec<&'static str> {
+        self.analyses.iter().map(|a| a.key()).collect()
+    }
+
+    /// Ingest one record view into every selected analysis. Owned records
+    /// bridge in via [`filterscope_logformat::LogRecord::as_view`].
     pub fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
-        self.datasets.ingest(record);
-        self.overview.ingest(record);
-        self.domains.ingest(record);
-        self.ports.ingest(record);
-        self.categories.ingest(ctx, record);
-        self.temporal.ingest(record);
-        self.proxies.ingest(record);
-        self.redirects.ingest(record);
-        self.inference.ingest(record);
-        self.ip.ingest(ctx, record);
-        self.users.ingest(record);
-        self.social.ingest(record);
-        self.tor.ingest(ctx, record);
-        self.anonymizers.ingest(ctx, record);
-        self.bittorrent.ingest(ctx, record);
-        self.google_cache.ingest(record);
-        self.https.ingest(record);
-        self.consistency.ingest(record);
+        for analysis in &mut self.analyses {
+            analysis.ingest(ctx, record);
+        }
     }
 
-    /// Merge a shard.
+    /// Merge a shard built from the same selection.
     pub fn merge(&mut self, other: AnalysisSuite) {
-        self.datasets.merge(&other.datasets);
-        self.overview.merge(&other.overview);
-        self.domains.merge(other.domains);
-        self.ports.merge(other.ports);
-        self.categories.merge(other.categories);
-        self.temporal.merge(other.temporal);
-        self.proxies.merge(other.proxies);
-        self.redirects.merge(other.redirects);
-        self.inference.merge(other.inference);
-        self.ip.merge(other.ip);
-        self.users.merge(other.users);
-        self.social.merge(other.social);
-        self.tor.merge(other.tor);
-        self.anonymizers.merge(other.anonymizers);
-        self.bittorrent.merge(other.bittorrent);
-        self.google_cache.merge(other.google_cache);
-        self.https.merge(&other.https);
-        self.consistency.merge(other.consistency);
+        assert_eq!(
+            self.keys(),
+            other.keys(),
+            "cannot merge suites with different selections"
+        );
+        for (mine, theirs) in self.analyses.iter_mut().zip(other.analyses) {
+            mine.merge(theirs);
+        }
     }
 
-    /// Render every table and figure, in paper order.
+    /// Render every selected table and figure, in paper order.
     pub fn render_all(&self, ctx: &AnalysisContext) -> String {
         let mut out = String::new();
-        let mut push = |s: String| {
-            out.push_str(&s);
+        for analysis in &self.analyses {
+            out.push_str(&analysis.render(ctx));
             out.push('\n');
-        };
-        push(self.datasets.render());
-        push(self.overview.render());
-        push(self.ports.render());
-        push(self.domains.render_fig2());
-        push(self.domains.render_table4());
-        push(self.categories.render());
-        push(self.users.render());
-        push(self.temporal.render_fig5());
-        push(self.temporal.render_fig6());
-        push(self.temporal.render_table5());
-        push(self.proxies.render_fig7());
-        push(self.proxies.render_table6());
-        push(self.proxies.render_category_labels());
-        push(self.redirects.render());
-        push(self.inference.render_table8(self.min_support));
-        push(self.inference.render_table9(ctx, self.min_support));
-        push(self.inference.render_table10());
-        push(self.ip.render_table11());
-        push(self.ip.render_table12());
-        push(self.social.render_table13());
-        push(self.social.render_table14());
-        push(self.social.render_table15());
-        push(self.tor.render());
-        push(self.anonymizers.render());
-        push(self.bittorrent.render());
-        push(self.https.render());
-        push(self.google_cache.render());
-        push(self.consistency.render());
+        }
         out
+    }
+
+    /// Borrow one analysis by concrete type, when selected.
+    pub fn try_get<T: Analysis>(&self) -> Option<&T> {
+        self.analyses
+            .iter()
+            .find_map(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    fn get<T: Analysis>(&self, key: &str) -> &T {
+        self.try_get::<T>()
+            .unwrap_or_else(|| panic!("analysis `{key}` is not in this suite's selection"))
+    }
+
+    /// Table 1 accumulator (panics when deselected; see [`Self::try_get`]).
+    pub fn datasets(&self) -> &DatasetCounts {
+        self.get("datasets")
+    }
+
+    /// Table 3 accumulator.
+    pub fn overview(&self) -> &TrafficOverview {
+        self.get("overview")
+    }
+
+    /// Fig. 1 accumulator.
+    pub fn ports(&self) -> &PortStats {
+        self.get("ports")
+    }
+
+    /// Fig. 2 / Table 4 accumulator.
+    pub fn domains(&self) -> &DomainStats {
+        self.get("domains")
+    }
+
+    /// Fig. 3 accumulator.
+    pub fn categories(&self) -> &CategoryStats {
+        self.get("categories")
+    }
+
+    /// Fig. 4 accumulator.
+    pub fn users(&self) -> &UserStats {
+        self.get("users")
+    }
+
+    /// Figs. 5–6 / Table 5 accumulator.
+    pub fn temporal(&self) -> &TemporalStats {
+        self.get("temporal")
+    }
+
+    /// Fig. 7 / Table 6 accumulator.
+    pub fn proxies(&self) -> &ProxyStats {
+        self.get("proxies")
+    }
+
+    /// Table 7 accumulator.
+    pub fn redirects(&self) -> &RedirectStats {
+        self.get("redirects")
+    }
+
+    /// Tables 8–10 accumulator.
+    pub fn inference(&self) -> &FilterInference {
+        &self.get::<InferenceAnalysis>("inference").inner
+    }
+
+    /// Tables 11–12 accumulator.
+    pub fn ip(&self) -> &IpCensorship {
+        self.get("ip")
+    }
+
+    /// Tables 13–15 accumulator.
+    pub fn social(&self) -> &SocialStats {
+        self.get("social")
+    }
+
+    /// Figs. 8–9 accumulator.
+    pub fn tor(&self) -> &TorStats {
+        self.get("tor")
+    }
+
+    /// Fig. 10 accumulator.
+    pub fn anonymizers(&self) -> &AnonymizerStats {
+        self.get("anonymizers")
+    }
+
+    /// §7.3 accumulator.
+    pub fn bittorrent(&self) -> &BitTorrentStats {
+        self.get("bittorrent")
+    }
+
+    /// §4 accumulator.
+    pub fn https(&self) -> &HttpsStats {
+        self.get("https")
+    }
+
+    /// §7.4 accumulator.
+    pub fn google_cache(&self) -> &GoogleCacheStats {
+        self.get("google_cache")
+    }
+
+    /// §3.3 anomaly accumulator.
+    pub fn consistency(&self) -> &ConsistencyStats {
+        self.get("consistency")
+    }
+
+    /// Per-day policy churn (non-default; selected via `--analyses weather`).
+    pub fn weather(&self) -> &WeatherReport {
+        self.get("weather")
     }
 }
 
@@ -203,6 +257,68 @@ mod tests {
         let mut a = AnalysisSuite::new(1);
         let b = AnalysisSuite::new(1);
         a.merge(b);
-        assert_eq!(a.datasets.full, 0);
+        assert_eq!(a.datasets().full, 0);
+    }
+
+    #[test]
+    fn selective_suite_only_runs_selected_analyses() {
+        let ctx = AnalysisContext::standard(None);
+        let selection = Selection::only(&["domains", "https"]).unwrap();
+        let mut suite = AnalysisSuite::with_selection(&SuiteParams::new(1), &selection);
+        let r = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-03", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http("host.example", "/"),
+        )
+        .build();
+        suite.ingest(&ctx, &r.as_view());
+        assert_eq!(suite.keys(), ["domains", "https"]);
+        assert_eq!(suite.https().total_requests, 1);
+        assert!(suite.try_get::<DatasetCounts>().is_none());
+        let report = suite.render_all(&ctx);
+        assert!(report.contains("Table 4"));
+        assert!(!report.contains("Table 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "analysis `datasets` is not in this suite's selection")]
+    fn deselected_accessor_panics_with_key() {
+        let selection = Selection::only(&["https"]).unwrap();
+        let suite = AnalysisSuite::with_selection(&SuiteParams::new(1), &selection);
+        let _ = suite.datasets();
+    }
+
+    #[test]
+    #[should_panic(expected = "different selections")]
+    fn merging_mismatched_selections_panics() {
+        let mut a = AnalysisSuite::with_selection(
+            &SuiteParams::new(1),
+            &Selection::only(&["https"]).unwrap(),
+        );
+        let b = AnalysisSuite::with_selection(
+            &SuiteParams::new(1),
+            &Selection::only(&["domains"]).unwrap(),
+        );
+        a.merge(b);
+    }
+
+    #[test]
+    fn render_order_matches_registry_paper_order() {
+        let ctx = AnalysisContext::standard(None);
+        let suite = AnalysisSuite::new(1);
+        let report = suite.render_all(&ctx);
+        let params = SuiteParams::new(1);
+        let mut last = 0usize;
+        for entry in crate::registry::REGISTRY
+            .iter()
+            .filter(|e| e.in_default_suite)
+        {
+            let section = entry.build(&params).render(&ctx);
+            let first_line = section.lines().next().unwrap().to_string();
+            let pos = report[last..]
+                .find(&first_line)
+                .unwrap_or_else(|| panic!("section `{}` missing or out of order", entry.key));
+            last += pos;
+        }
     }
 }

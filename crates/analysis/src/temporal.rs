@@ -233,6 +233,33 @@ impl TemporalStats {
     }
 }
 
+impl crate::registry::Analysis for TemporalStats {
+    fn key(&self) -> &'static str {
+        "temporal"
+    }
+
+    fn title(&self) -> &'static str {
+        "Censorship time series"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        TemporalStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        TemporalStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        let mut out = self.render_fig5();
+        out.push('\n');
+        out.push_str(&self.render_fig6());
+        out.push('\n');
+        out.push_str(&self.render_table5());
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

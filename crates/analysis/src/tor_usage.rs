@@ -201,6 +201,47 @@ impl Default for TorStats {
     }
 }
 
+impl crate::registry::Analysis for TorStats {
+    fn key(&self) -> &'static str {
+        "tor"
+    }
+
+    fn title(&self) -> &'static str {
+        "Tor usage and blocking"
+    }
+
+    fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>) {
+        TorStats::ingest(self, ctx, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        TorStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &AnalysisContext) -> String {
+        TorStats::render(self)
+    }
+
+    fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {
+        use filterscope_core::Json;
+        let mut obj = Json::object();
+        obj.push("tor_requests", Json::UInt(self.total));
+        obj.push(
+            "tor_http_share",
+            Json::Float(if self.total == 0 {
+                0.0
+            } else {
+                self.http_signaling as f64 / self.total as f64
+            }),
+        );
+        obj.push(
+            "tor_censored_sg44_share",
+            Json::Float(self.sg44_share_of_censored()),
+        );
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -155,6 +155,39 @@ impl UserStats {
     }
 }
 
+impl crate::registry::Analysis for UserStats {
+    fn key(&self) -> &'static str {
+        "users"
+    }
+
+    fn title(&self) -> &'static str {
+        "User behaviour"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        UserStats::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        UserStats::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        UserStats::render(self)
+    }
+
+    fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
+        use filterscope_core::Json;
+        let mut obj = Json::object();
+        obj.push("users", Json::UInt(self.user_count() as u64));
+        obj.push(
+            "censored_user_share",
+            Json::Float(self.censored_user_fraction()),
+        );
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -168,6 +168,28 @@ impl WeatherReport {
     }
 }
 
+impl crate::registry::Analysis for WeatherReport {
+    fn key(&self) -> &'static str {
+        "weather"
+    }
+
+    fn title(&self) -> &'static str {
+        "Censorship weather report"
+    }
+
+    fn ingest(&mut self, _ctx: &crate::AnalysisContext, record: &RecordView<'_>) {
+        WeatherReport::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        WeatherReport::merge(self, crate::registry::downcast(other));
+    }
+
+    fn render(&self, _ctx: &crate::AnalysisContext) -> String {
+        WeatherReport::render(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,7 +73,7 @@ fn bench_figures(c: &mut Harness) {
     });
 
     g.bench_function("fig6_rcv", |b| {
-        let s = &suite.temporal;
+        let s = suite.temporal();
         b.iter(|| black_box(s.rcv()))
     });
 
@@ -98,7 +98,7 @@ fn bench_figures(c: &mut Harness) {
     });
 
     g.bench_function("fig9_rfilter", |b| {
-        let s = &suite.tor;
+        let s = suite.tor();
         b.iter(|| black_box(s.rfilter()))
     });
 

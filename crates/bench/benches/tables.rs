@@ -91,12 +91,12 @@ fn bench_tables(c: &mut Harness) {
     });
 
     g.bench_function("table9_categories", |b| {
-        let s = &suite.inference;
+        let s = suite.inference();
         b.iter(|| black_box(s.categorize_suspected(ctx, 3)))
     });
 
     g.bench_function("table10_keywords", |b| {
-        let s = &suite.inference;
+        let s = suite.inference();
         b.iter(|| black_box(s.render_table10()))
     });
 
@@ -111,7 +111,7 @@ fn bench_tables(c: &mut Harness) {
     });
 
     g.bench_function("table12_subnets", |b| {
-        let s = &suite.ip;
+        let s = suite.ip();
         b.iter(|| black_box(s.render_table12()))
     });
 

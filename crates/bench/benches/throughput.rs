@@ -11,7 +11,9 @@
 //! * `parallel_ingest` — the sharded file-ingest path at 1 thread vs all
 //!   cores (the tentpole speedup this crate exists to defend).
 
-use filterscope_analysis::{AnalysisContext, AnalysisSuite, ParallelIngest};
+use filterscope_analysis::{
+    AnalysisContext, AnalysisSuite, ParallelIngest, Selection, SuiteParams,
+};
 use filterscope_bench::harness::{black_box, Harness, Throughput};
 use filterscope_bench::{corpus, csv_lines};
 use filterscope_core::pool;
@@ -126,13 +128,51 @@ fn bench_throughput(c: &mut Harness) {
             let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
             let mut suite = AnalysisSuite::new(2);
             corpus.for_each_record(|r| suite.ingest(&ctx, &r.as_view()));
-            black_box(suite.datasets.full)
+            black_box(suite.datasets().full)
         })
     });
     g.finish();
 
     bench_parse_throughput(c);
     bench_parallel_ingest(c);
+    bench_selective_ingest(c);
+}
+
+/// Write the shared corpus to one file per study day (record order is
+/// already day-major), mirroring what `filterscope generate` writes on
+/// disk. Returns the day paths and the total byte volume.
+fn write_day_files(dir: &std::path::Path) -> (Vec<PathBuf>, u64) {
+    let (records, _) = corpus();
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("create bench dir");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut writer: Option<LogWriter<std::fs::File>> = None;
+    let mut current_day = String::new();
+    let mut bytes = 0u64;
+    for r in records {
+        let day = r.timestamp.date().to_string();
+        if day != current_day {
+            if let Some(w) = writer.take() {
+                w.into_inner().expect("flush day file");
+            }
+            let path = dir.join(format!("sg_access_{day}.log"));
+            writer = Some(LogWriter::new(
+                std::fs::File::create(&path).expect("create day file"),
+            ));
+            paths.push(path);
+            current_day = day;
+        }
+        bytes += r.write_csv().len() as u64 + 1;
+        writer
+            .as_mut()
+            .expect("writer open")
+            .write_record(r)
+            .expect("write record");
+    }
+    if let Some(w) = writer.take() {
+        w.into_inner().expect("flush day file");
+    }
+    (paths, bytes)
 }
 
 /// Owned vs borrowed parsing over the same lines: the allocation cost of
@@ -176,37 +216,7 @@ fn bench_parse_throughput(c: &mut Harness) {
 fn bench_parallel_ingest(c: &mut Harness) {
     let (records, ctx) = corpus();
     let dir = std::env::temp_dir().join(format!("filterscope-bench-ingest-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).expect("create bench dir");
-    // Split the corpus into one file per study day (record order is already
-    // day-major), mirroring what `filterscope generate` writes on disk.
-    let mut paths: Vec<PathBuf> = Vec::new();
-    let mut writer: Option<LogWriter<std::fs::File>> = None;
-    let mut current_day = String::new();
-    let mut bytes = 0u64;
-    for r in records {
-        let day = r.timestamp.date().to_string();
-        if day != current_day {
-            if let Some(w) = writer.take() {
-                w.into_inner().expect("flush day file");
-            }
-            let path = dir.join(format!("sg_access_{day}.log"));
-            writer = Some(LogWriter::new(
-                std::fs::File::create(&path).expect("create day file"),
-            ));
-            paths.push(path);
-            current_day = day;
-        }
-        bytes += r.write_csv().len() as u64 + 1;
-        writer
-            .as_mut()
-            .expect("writer open")
-            .write_record(r)
-            .expect("write record");
-    }
-    if let Some(w) = writer.take() {
-        w.into_inner().expect("flush day file");
-    }
+    let (paths, bytes) = write_day_files(&dir);
 
     let mut g = c.benchmark_group("parallel_ingest");
     g.sample_size(10);
@@ -219,7 +229,44 @@ fn bench_parallel_ingest(c: &mut Harness) {
                     .ingest_suite(&paths, ctx, 2)
                     .expect("ingest corpus files");
                 assert_eq!(stats.records, records.len() as u64);
-                black_box(suite.datasets.full)
+                black_box(suite.datasets().full)
+            })
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The registry payoff: the default suite against single-analysis
+/// selections over the same day files, single-threaded so the delta is
+/// pure per-record ingest cost (`--analyses domains` skips the other
+/// seventeen accumulators, it does not parse less).
+fn bench_selective_ingest(c: &mut Harness) {
+    let (records, ctx) = corpus();
+    let dir = std::env::temp_dir().join(format!(
+        "filterscope-bench-selective-{}",
+        std::process::id()
+    ));
+    let (paths, bytes) = write_day_files(&dir);
+
+    let mut g = c.benchmark_group("selective_ingest");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    let ingest = ParallelIngest::new(1);
+    let params = SuiteParams::new(2);
+    let cases = [
+        ("full_default_suite", Selection::default_suite()),
+        ("domains_only", Selection::only(&["domains"]).unwrap()),
+        ("inference_only", Selection::only(&["inference"]).unwrap()),
+    ];
+    for (label, selection) in &cases {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let (suite, stats) = ingest
+                    .ingest_selected(&paths, ctx, &params, selection)
+                    .expect("ingest corpus files");
+                assert_eq!(stats.records, records.len() as u64);
+                black_box(suite.analyses().len())
             })
         });
     }

@@ -66,6 +66,6 @@ mod tests {
         let (records, _) = corpus();
         assert!(records.len() > 5_000);
         assert_eq!(csv_lines().len(), records.len());
-        assert!(analyzed().datasets.full > 5_000);
+        assert!(analyzed().datasets().full > 5_000);
     }
 }

@@ -43,7 +43,13 @@ pub fn fit_alpha(samples: impl IntoIterator<Item = u64>, xmin: u64) -> Option<f6
 
 /// Convenience: fit the exponent of the requests-per-domain distribution.
 pub fn fit_domain_alpha<K: Eq + Hash>(counts: &CountMap<K>, xmin: u64) -> Option<f64> {
-    fit_alpha(counts.iter().map(|(_, c)| c), xmin)
+    // Hash-map iteration order varies per process, and float summation is
+    // not associative: summing the logs in that order leaks an ulp of
+    // run-to-run jitter into the estimate. Sort first so the fit is a pure
+    // function of the count multiset.
+    let mut samples: Vec<u64> = counts.iter().map(|(_, c)| c).collect();
+    samples.sort_unstable();
+    fit_alpha(samples, xmin)
 }
 
 #[cfg(test)]

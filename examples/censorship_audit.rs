@@ -62,8 +62,8 @@ fn main() {
     }
     eprintln!("parsed {parsed} records ({malformed} malformed lines skipped)");
 
-    println!("{}", suite.overview.render());
-    println!("{}", suite.domains.render_table4());
+    println!("{}", suite.overview().render());
+    println!("{}", suite.domains().render_table4());
     println!("{}", inference.render_table8(3));
     println!("{}", inference.render_table10());
     println!("== recovered keyword blacklist ==");

@@ -43,14 +43,14 @@ fn main() {
     }
     eprintln!(
         "analyzed {} records in {:.1}s",
-        suite.datasets.full,
+        suite.datasets().full,
         t0.elapsed().as_secs_f64()
     );
     println!("{}", suite.render_all(&ctx));
 
     // §5.4 keyword recovery (the automated analog of the paper's manual
     // iterative identification).
-    let keywords = suite.inference.recover_keywords(min_support, 3);
+    let keywords = suite.inference().recover_keywords(min_support, 3);
     println!("== §5.4 keyword recovery ==");
     println!("recovered blacklist: {keywords:?}");
 

@@ -15,12 +15,12 @@ fn main() {
     let mut suite = AnalysisSuite::new(2);
     corpus.for_each_record(|record| suite.ingest(&ctx, &record.as_view()));
 
-    println!("{}", suite.datasets.render());
-    println!("{}", suite.overview.render());
-    println!("{}", suite.domains.render_table4());
+    println!("{}", suite.datasets().render());
+    println!("{}", suite.overview().render());
+    println!("{}", suite.domains().render_table4());
 
-    let censored = suite.overview.censored_full();
-    let total = suite.overview.total.full;
+    let censored = suite.overview().censored_full();
+    let total = suite.overview().total.full;
     println!(
         "censored {censored} of {total} requests ({:.2}%) — the paper reports 0.98%",
         censored as f64 / total as f64 * 100.0

@@ -57,23 +57,23 @@ fn main() {
     println!("== Tor detail ==");
     println!(
         "2011: {} Tor requests, {} censored ({:.2}%), {:.0}% of censored on SG-44",
-        a.tor.total,
-        a.tor.censored,
-        if a.tor.total == 0 {
+        a.tor().total,
+        a.tor().censored,
+        if a.tor().total == 0 {
             0.0
         } else {
-            a.tor.censored as f64 / a.tor.total as f64 * 100.0
+            a.tor().censored as f64 / a.tor().total as f64 * 100.0
         },
-        a.tor.sg44_share_of_censored() * 100.0,
+        a.tor().sg44_share_of_censored() * 100.0,
     );
     println!(
         "2012: {} Tor requests, {} censored ({:.2}%), spread across all proxies",
-        b.tor.total,
-        b.tor.censored,
-        if b.tor.total == 0 {
+        b.tor().total,
+        b.tor().censored,
+        if b.tor().total == 0 {
             0.0
         } else {
-            b.tor.censored as f64 / b.tor.total as f64 * 100.0
+            b.tor().censored as f64 / b.tor().total as f64 * 100.0
         },
     );
 }

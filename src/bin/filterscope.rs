@@ -6,10 +6,17 @@
 //! filterscope audit LOG... [--cpl OUT]                recover the policy (§5.4)
 //! filterscope policy [--out FILE]                     dump the standard policy as CPL
 //! filterscope report [--scale N]                      synthesize + analyze in one go
+//! filterscope analyses                                list the analysis registry
 //! ```
+//!
+//! `analyze`, `audit`, `report` and `weather` accept `--analyses a,b,c`
+//! (run only those) and `--skip x,y` (run the default set minus those);
+//! keys come from `filterscope analyses`.
 
 use filterscope::analysis::comparison::compare;
 use filterscope::analysis::pipeline::ParallelIngest;
+use filterscope::analysis::registry::REGISTRY;
+use filterscope::analysis::report::Table;
 use filterscope::core::{pool, Progress};
 use filterscope::logformat::fields::header_line;
 use filterscope::logformat::SchemaReader;
@@ -24,12 +31,15 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  filterscope generate [--scale N] [--out DIR] [--threads N]\n  \
-         filterscope analyze LOG... [--min-support N] [--geo FILE] [--categories FILE] [--json OUT] [--threads N]\n  \
-         filterscope audit LOG... [--min-support N] [--cpl OUT] [--threads N]\n  \
+         filterscope analyze LOG... [--min-support N] [--geo FILE] [--categories FILE] [--json OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
+         filterscope audit LOG... [--min-support N] [--cpl OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope policy [--out FILE]\n  \
-         filterscope report [--scale N] [--json OUT] [--threads N]\n  \
-         filterscope weather LOG... [--min-support N] [--threads N]\n  \
-         filterscope compare --a LOG --b LOG [--min-support N]\n\n\
+         filterscope report [--scale N] [--json OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
+         filterscope weather LOG... [--min-support N] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
+         filterscope compare --a LOG --b LOG [--min-support N]\n  \
+         filterscope analyses\n\n\
+         Flags accept `--flag value` or `--flag=value`.\n\
+         --analyses/--skip take comma-separated keys from `filterscope analyses`.\n\
          --threads defaults to the available parallelism; results are\n\
          byte-identical for every thread count."
     );
@@ -43,22 +53,34 @@ struct Args {
 }
 
 impl Args {
-    fn parse(raw: impl Iterator<Item = String>) -> Option<Args> {
+    /// Parse `raw` against one subcommand's flag vocabulary. `--flag value`
+    /// and `--flag=value` are equivalent; flags outside `allowed` and flags
+    /// without a value are reported as errors rather than silently ignored.
+    fn parse(raw: impl Iterator<Item = String>, allowed: &[&str]) -> Result<Args, String> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
-        let mut it = raw.peekable();
+        let mut it = raw;
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                // A value is required and must not itself look like a flag:
-                // `analyze --json --threads 4` is a mistake, not a request to
-                // write the summary to a file named "--threads".
-                let value = it.next().filter(|v| !v.starts_with("--"))?;
-                flags.push((name.to_string(), value));
+                let (name, value) = match name.split_once('=') {
+                    Some((n, v)) => (n.to_string(), v.to_string()),
+                    // A bare flag's value must not itself look like a flag:
+                    // `analyze --json --threads 4` is a mistake, not a request
+                    // to write the summary to a file named "--threads".
+                    None => match it.next().filter(|v| !v.starts_with("--")) {
+                        Some(v) => (name.to_string(), v),
+                        None => return Err(format!("flag --{name} requires a value")),
+                    },
+                };
+                if !allowed.contains(&name.as_str()) {
+                    return Err(format!("unknown flag --{name}"));
+                }
+                flags.push((name, value));
             } else {
                 positional.push(arg);
             }
         }
-        Some(Args { positional, flags })
+        Ok(Args { positional, flags })
     }
 
     fn flag(&self, name: &str) -> Option<&str> {
@@ -270,6 +292,18 @@ fn log_paths(args: &Args) -> Result<Vec<PathBuf>, ExitCode> {
     Ok(args.positional.iter().map(PathBuf::from).collect())
 }
 
+/// The `--analyses`/`--skip` selection, or `default` when neither flag was
+/// given (keeps fixed-product commands like `audit` on their minimal set).
+fn selection_from_flags(args: &Args, default: Selection) -> Result<Selection, ExitCode> {
+    if args.flag("analyses").is_none() && args.flag("skip").is_none() {
+        return Ok(default);
+    }
+    Selection::from_flags(args.flag("analyses"), args.flag("skip")).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(2)
+    })
+}
+
 fn cmd_analyze(args: &Args) -> ExitCode {
     let Some(min_support) = args.flag_u64("min-support", 3) else {
         return usage();
@@ -285,8 +319,13 @@ fn cmd_analyze(args: &Args) -> ExitCode {
         Ok(c) => c,
         Err(code) => return code,
     };
+    let selection = match selection_from_flags(args, Selection::default_suite()) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
     let ingest = ingest_driver(threads);
-    let (suite, stats) = match ingest.ingest_suite(&paths, &ctx, min_support) {
+    let params = SuiteParams::new(min_support);
+    let (suite, stats) = match ingest.ingest_selected(&paths, &ctx, &params, &selection) {
         Ok(done) => done,
         Err(e) => {
             eprintln!("analyze failed: {e}");
@@ -295,7 +334,7 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     };
     eprintln!("{}", stats.render());
     if let Some(path) = args.flag("json") {
-        if let Err(e) = std::fs::write(path, suite.summary().to_json()) {
+        if let Err(e) = std::fs::write(path, suite.summary_json(&ctx)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -316,8 +355,17 @@ fn cmd_audit(args: &Args) -> ExitCode {
         Ok(p) => p,
         Err(code) => return code,
     };
+    // Audit recovers the policy blind (no known keyword list); `inference`
+    // is always in the selection, co-selected analyses render after it.
+    let mut selection = match selection_from_flags(args, Selection::only(&["inference"]).unwrap()) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    selection.ensure("inference");
+    let ctx = AnalysisContext::standard(None);
     let ingest = ingest_driver(threads);
-    let (inference, stats) = match ingest.ingest_inference(&paths) {
+    let params = SuiteParams::blind(min_support);
+    let (suite, stats) = match ingest.ingest_selected(&paths, &ctx, &params, &selection) {
         Ok(done) => done,
         Err(e) => {
             eprintln!("audit failed: {e}");
@@ -325,6 +373,7 @@ fn cmd_audit(args: &Args) -> ExitCode {
         }
     };
     eprintln!("{}", stats.render());
+    let inference = suite.inference();
     let keywords = inference.recover_keywords(min_support, 3);
     println!("recovered keywords: {keywords:?}");
     println!("recovered domains:");
@@ -338,6 +387,11 @@ fn cmd_audit(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("recovered policy written to {out}");
+    }
+    for analysis in suite.analyses() {
+        if analysis.key() != "inference" {
+            println!("{}", analysis.render(&ctx));
+        }
     }
     ExitCode::SUCCESS
 }
@@ -373,17 +427,22 @@ fn cmd_report(args: &Args) -> ExitCode {
     let corpus = Corpus::new(config);
     let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
     let min_support = (corpus.total_volume() / 100_000).clamp(3, 500);
+    let selection = match selection_from_flags(args, Selection::default_suite()) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let params = SuiteParams::new(min_support);
     let progress = Progress::start();
     // (day × shard) units, so a 39×-volume August day no longer pins the
     // run to one thread; shards merge in plan order for determinism.
     let shards = corpus.par_map_day_shards(threads, 0, |_, records| {
-        let mut suite = AnalysisSuite::new(min_support);
+        let mut suite = AnalysisSuite::with_selection(&params, &selection);
         for r in records {
             suite.ingest(&ctx, &r.as_view());
         }
         suite
     });
-    let mut suite = AnalysisSuite::new(min_support);
+    let mut suite = AnalysisSuite::with_selection(&params, &selection);
     for shard in shards {
         suite.merge(shard);
     }
@@ -392,7 +451,7 @@ fn cmd_report(args: &Args) -> ExitCode {
         progress.summary_threads("synthesized and analyzed", corpus.total_volume(), threads)
     );
     if let Some(path) = args.flag("json") {
-        if let Err(e) = std::fs::write(path, suite.summary().to_json()) {
+        if let Err(e) = std::fs::write(path, suite.summary_json(&ctx)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -413,8 +472,17 @@ fn cmd_weather(args: &Args) -> ExitCode {
         Ok(p) => p,
         Err(code) => return code,
     };
+    // Weather is a fixed-product command: its own analysis is always in the
+    // selection, co-selected analyses render after the churn table.
+    let mut selection = match selection_from_flags(args, Selection::only(&["weather"]).unwrap()) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    selection.ensure("weather");
+    let ctx = AnalysisContext::standard(None);
     let ingest = ingest_driver(threads);
-    let (weather, stats) = match ingest.ingest_weather(&paths, min_support, 3) {
+    let params = SuiteParams::new(min_support);
+    let (suite, stats) = match ingest.ingest_selected(&paths, &ctx, &params, &selection) {
         Ok(done) => done,
         Err(e) => {
             eprintln!("weather failed: {e}");
@@ -422,7 +490,12 @@ fn cmd_weather(args: &Args) -> ExitCode {
         }
     };
     eprintln!("{}", stats.render());
-    println!("{}", weather.render());
+    println!("{}", suite.weather().render());
+    for analysis in suite.analyses() {
+        if analysis.key() != "weather" {
+            println!("{}", analysis.render(&ctx));
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -447,10 +520,51 @@ fn cmd_compare(args: &Args) -> ExitCode {
         Ok(s) => s,
         Err(code) => return code,
     };
-    println!("A = {path_a} ({} records)", a.datasets.full);
-    println!("B = {path_b} ({} records)\n", b.datasets.full);
+    println!("A = {path_a} ({} records)", a.datasets().full);
+    println!("B = {path_b} ({} records)\n", b.datasets().full);
     println!("{}", compare(&a, &b).render());
     ExitCode::SUCCESS
+}
+
+/// List the analysis registry: one row per key, in paper order.
+fn cmd_analyses() -> ExitCode {
+    let mut t = Table::new(
+        "Analyses (paper order)",
+        &["Key", "Default", "Cost", "Paper artifacts"],
+    );
+    for entry in REGISTRY {
+        t.row([
+            entry.key.to_string(),
+            if entry.in_default_suite { "yes" } else { "no" }.to_string(),
+            entry.cost.label().to_string(),
+            entry.artifacts.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    ExitCode::SUCCESS
+}
+
+/// The flag vocabulary of one subcommand ([`Args::parse`] rejects the rest).
+fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
+    Some(match command {
+        "generate" => &["scale", "out", "threads"],
+        "analyze" => &[
+            "min-support",
+            "geo",
+            "categories",
+            "json",
+            "threads",
+            "analyses",
+            "skip",
+        ],
+        "audit" => &["min-support", "cpl", "threads", "analyses", "skip"],
+        "policy" => &["out"],
+        "report" => &["scale", "json", "threads", "analyses", "skip"],
+        "weather" => &["min-support", "threads", "analyses", "skip"],
+        "compare" => &["a", "b", "min-support"],
+        "analyses" => &[],
+        _ => return None,
+    })
 }
 
 fn main() -> ExitCode {
@@ -458,8 +572,15 @@ fn main() -> ExitCode {
     let Some(command) = raw.next() else {
         return usage();
     };
-    let Some(args) = Args::parse(raw) else {
+    let Some(allowed) = allowed_flags(&command) else {
         return usage();
+    };
+    let args = match Args::parse(raw, allowed) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("filterscope {command}: {e}");
+            return usage();
+        }
     };
     match command.as_str() {
         "generate" => cmd_generate(&args),
@@ -469,6 +590,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(&args),
         "weather" => cmd_weather(&args),
         "compare" => cmd_compare(&args),
+        "analyses" => cmd_analyses(),
         _ => usage(),
     }
 }

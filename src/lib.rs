@@ -17,8 +17,8 @@
 //! let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
 //! let mut suite = AnalysisSuite::new(2);
 //! corpus.for_each_record(|r| suite.ingest(&ctx, &r.as_view()));
-//! println!("{}", suite.overview.render()); // Table 3
-//! assert!(suite.datasets.full > 1000);
+//! println!("{}", suite.overview().render()); // Table 3
+//! assert!(suite.datasets().full > 1000);
 //! ```
 //!
 //! ## Crate map
@@ -46,7 +46,9 @@ pub use filterscope_tor as tor;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use filterscope_analysis::{AnalysisContext, AnalysisSuite};
+    pub use filterscope_analysis::{
+        Analysis, AnalysisContext, AnalysisSuite, Selection, SuiteParams,
+    };
     pub use filterscope_core::{Date, ProxyId, Timestamp};
     pub use filterscope_logformat::{
         parse_line, LogReader, LogRecord, LogWriter, RequestClass, RequestUrl,

@@ -141,6 +141,103 @@ fn flag_expecting_a_value_rejects_a_following_flag() {
     assert!(stderr.contains("usage:"), "stderr: {stderr}");
 }
 
+#[test]
+fn analyses_listing_is_the_registry_in_paper_order() {
+    let out = bin().arg("analyses").output().expect("run analyses");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== Analyses (paper order) =="));
+    // Golden key order (DESIGN.md §3 artifact order). Drift here means the
+    // registry was reordered, which silently re-lays-out every report.
+    let expected = [
+        "datasets",
+        "overview",
+        "ports",
+        "domains",
+        "categories",
+        "users",
+        "temporal",
+        "proxies",
+        "redirects",
+        "inference",
+        "ip",
+        "social",
+        "tor",
+        "anonymizers",
+        "bittorrent",
+        "https",
+        "google_cache",
+        "consistency",
+        "weather",
+    ];
+    let keys: Vec<&str> = stdout
+        .lines()
+        .skip(3) // table title, column header, rule
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    assert_eq!(keys, expected, "listing must follow registry paper order");
+    assert!(
+        stdout.contains("Sec 5.4 per-day churn (beyond paper)"),
+        "non-default extras stay listed"
+    );
+}
+
+#[test]
+fn unknown_flags_are_rejected_per_subcommand() {
+    // `--cpl` belongs to audit, not analyze.
+    let out = bin()
+        .args(["analyze", "x.log", "--cpl", "out.cpl"])
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --cpl"), "stderr: {stderr}");
+
+    // `--flag=value` spelling is accepted wherever `--flag value` is.
+    let out = bin()
+        .args(["report", "--scale=65536", "--threads=2"])
+        .output()
+        .expect("run report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn selective_report_runs_only_selected_analyses() {
+    let out = bin()
+        .args(["report", "--scale", "65536", "--analyses", "domains,https"])
+        .output()
+        .expect("run report");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 4"), "selected section renders");
+    assert!(!stdout.contains("Table 3"), "deselected section omitted");
+    assert!(!stdout.contains("Table 1"), "deselected section omitted");
+
+    let out = bin()
+        .args(["report", "--scale", "65536", "--skip", "inference,temporal"])
+        .output()
+        .expect("run report");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 3"));
+    assert!(!stdout.contains("Table 10"), "skipped section omitted");
+
+    let out = bin()
+        .args(["report", "--scale", "65536", "--analyses", "bogus"])
+        .output()
+        .expect("run report");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown analysis `bogus`"),
+        "stderr: {stderr}"
+    );
+}
+
 /// Pull the "(N malformed lines skipped)" count out of an ingest stderr line.
 fn malformed_count(stderr: &str) -> u64 {
     let tail = stderr

@@ -16,11 +16,11 @@ fn analyzed(scale: u64, min_support: u64) -> (AnalysisSuite, AnalysisContext) {
 #[test]
 fn table3_class_mix_matches_paper() {
     let (suite, _) = analyzed(16_384, 3);
-    let total = suite.overview.total.full as f64;
-    let allowed = suite.overview.allowed.full as f64 / total;
-    let censored = suite.overview.censored_full() as f64 / total;
-    let errors = suite.overview.errors_full() as f64 / total;
-    let proxied = suite.overview.proxied.full as f64 / total;
+    let total = suite.overview().total.full as f64;
+    let allowed = suite.overview().allowed.full as f64 / total;
+    let censored = suite.overview().censored_full() as f64 / total;
+    let errors = suite.overview().errors_full() as f64 / total;
+    let proxied = suite.overview().proxied.full as f64 / total;
     // Paper: 93.25% / 0.98% / ~5.3% / 0.47%.
     assert!((0.92..0.945).contains(&allowed), "allowed {allowed}");
     assert!((0.007..0.013).contains(&censored), "censored {censored}");
@@ -31,9 +31,9 @@ fn table3_class_mix_matches_paper() {
 #[test]
 fn table4_top_domains_match_paper_order() {
     let (suite, _) = analyzed(8_192, 3);
-    let top_allowed = suite.domains.top_allowed(3);
+    let top_allowed = suite.domains().top_allowed(3);
     assert_eq!(top_allowed[0].0, "google.com", "google tops allowed");
-    let top_censored = suite.domains.top_censored(3);
+    let top_censored = suite.domains().top_censored(3);
     let top3: Vec<&str> = top_censored.iter().map(|(d, _)| d.as_str()).collect();
     assert!(
         top3.contains(&"facebook.com"),
@@ -48,7 +48,7 @@ fn table4_top_domains_match_paper_order() {
 #[test]
 fn keyword_recovery_finds_only_real_keywords() {
     let (suite, _) = analyzed(8_192, 3);
-    let recovered = suite.inference.recover_keywords(3, 3);
+    let recovered = suite.inference().recover_keywords(3, 3);
     assert!(
         recovered.contains(&"proxy".to_string()),
         "proxy recovered: {recovered:?}"
@@ -65,7 +65,7 @@ fn keyword_recovery_finds_only_real_keywords() {
 #[test]
 fn suspected_domains_are_actually_blocked() {
     let (suite, _) = analyzed(8_192, 3);
-    let suspected = suite.inference.recover_domains(3);
+    let suspected = suite.inference().recover_domains(3);
     assert!(!suspected.is_empty());
     let trie = filterscope::matchers::DomainTrie::from_entries(
         proxy::config::BLOCKED_DOMAINS.iter().copied(),
@@ -80,8 +80,8 @@ fn suspected_domains_are_actually_blocked() {
 #[test]
 fn sg48_concentrates_censored_traffic() {
     let (suite, _) = analyzed(16_384, 3);
-    let censored_share = suite.proxies.censored_share(ProxyId::Sg48);
-    let load_share = suite.proxies.load_share(ProxyId::Sg48);
+    let censored_share = suite.proxies().censored_share(ProxyId::Sg48);
+    let load_share = suite.proxies().load_share(ProxyId::Sg48);
     assert!(
         censored_share > 2.0 * load_share,
         "SG-48 censored {censored_share:.3} vs load {load_share:.3}"
@@ -93,7 +93,7 @@ fn sg48_concentrates_censored_traffic() {
 #[test]
 fn israel_tops_the_country_censorship_ratios() {
     let (suite, _) = analyzed(4_096, 3);
-    let ratios = suite.ip.censorship_ratios();
+    let ratios = suite.ip().censorship_ratios();
     assert!(!ratios.is_empty());
     assert_eq!(
         ratios[0].0,
@@ -111,11 +111,11 @@ fn israel_tops_the_country_censorship_ratios() {
 #[test]
 fn facebook_censorship_is_plugin_driven() {
     let (suite, _) = analyzed(8_192, 3);
-    let share = suite.social.plugin_share_of_censored_fb();
+    let share = suite.social().plugin_share_of_censored_fb();
     assert!(share > 0.9, "plugin share {share}");
     // Twitter is never censored wholesale.
     let twitter = suite
-        .social
+        .social()
         .osn
         .get(&"twitter.com")
         .copied()
@@ -126,14 +126,14 @@ fn facebook_censorship_is_plugin_driven() {
 #[test]
 fn bittorrent_is_essentially_uncensored() {
     let (suite, _) = analyzed(8_192, 3);
-    assert!(suite.bittorrent.announces > 10);
+    assert!(suite.bittorrent().announces > 10);
     assert!(
-        suite.bittorrent.allowed_fraction() > 0.95,
+        suite.bittorrent().allowed_fraction() > 0.95,
         "allowed {}",
-        suite.bittorrent.allowed_fraction()
+        suite.bittorrent().allowed_fraction()
     );
-    assert!(suite.bittorrent.peers.len() > 1);
-    let rate = suite.bittorrent.resolution_rate();
+    assert!(suite.bittorrent().peers.len() > 1);
+    let rate = suite.bittorrent().resolution_rate();
     assert!((0.5..1.0).contains(&rate), "title rate {rate}");
 }
 
@@ -141,15 +141,15 @@ fn bittorrent_is_essentially_uncensored() {
 fn user_analysis_shows_concentrated_censorship() {
     let (suite, _) = analyzed(1_024, 3);
     assert!(
-        suite.users.user_count() > 100,
+        suite.users().user_count() > 100,
         "users {}",
-        suite.users.user_count()
+        suite.users().user_count()
     );
-    let frac = suite.users.censored_user_fraction();
+    let frac = suite.users().censored_user_fraction();
     // A small minority of users is censored (paper: 1.57%).
     assert!(frac > 0.0 && frac < 0.10, "censored users {frac}");
     // Censored users are more active.
-    let (active_censored, active_clean) = suite.users.active_fraction(100);
+    let (active_censored, active_clean) = suite.users().active_fraction(100);
     assert!(
         active_censored > active_clean,
         "{active_censored} vs {active_clean}"
@@ -208,9 +208,12 @@ fn parallel_and_sequential_analysis_agree() {
     for s in shards {
         par.merge(s);
     }
-    assert_eq!(seq.datasets.full, par.datasets.full);
-    assert_eq!(seq.overview.censored_full(), par.overview.censored_full());
-    assert_eq!(seq.domains.top_censored(5), par.domains.top_censored(5));
-    assert_eq!(seq.users.user_count(), par.users.user_count());
-    assert_eq!(seq.temporal.rcv(), par.temporal.rcv());
+    assert_eq!(seq.datasets().full, par.datasets().full);
+    assert_eq!(
+        seq.overview().censored_full(),
+        par.overview().censored_full()
+    );
+    assert_eq!(seq.domains().top_censored(5), par.domains().top_censored(5));
+    assert_eq!(seq.users().user_count(), par.users().user_count());
+    assert_eq!(seq.temporal().rcv(), par.temporal().rcv());
 }

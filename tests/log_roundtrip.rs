@@ -96,13 +96,13 @@ fn analysis_of_reread_log_matches_direct_analysis() {
         reread.ingest(&ctx, &item.expect("clean log").as_view());
     }
 
-    assert_eq!(direct.datasets.full, reread.datasets.full);
+    assert_eq!(direct.datasets().full, reread.datasets().full);
     assert_eq!(
-        direct.overview.censored_full(),
-        reread.overview.censored_full()
+        direct.overview().censored_full(),
+        reread.overview().censored_full()
     );
     assert_eq!(
-        direct.domains.top_censored(10),
-        reread.domains.top_censored(10)
+        direct.domains().top_censored(10),
+        reread.domains().top_censored(10)
     );
 }
