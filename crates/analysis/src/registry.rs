@@ -420,6 +420,25 @@ impl Selection {
         })
     }
 
+    /// Infallible single-analysis selection for callers whose key is a
+    /// compile-time registry constant (`audit` pins `inference`, `weather`
+    /// pins its own report). Unlike [`Selection::only`] there is no error
+    /// path and no panic: a key missing from the registry is a programming
+    /// error caught by `debug_assert` in tests, and release builds degrade
+    /// to the default suite instead of aborting the CLI.
+    pub fn pinned(key: &'static str) -> Self {
+        debug_assert!(entry(key).is_some(), "unknown analysis key {key}");
+        let keys: Vec<&'static str> = REGISTRY
+            .iter()
+            .map(|e| e.key)
+            .filter(|k| *k == key)
+            .collect();
+        if keys.is_empty() {
+            return Selection::default_suite();
+        }
+        Selection { keys }
+    }
+
     /// Build a selection from the CLI flags: `--analyses a,b,c` replaces the
     /// default set, `--skip x,y` subtracts from it; both validate their keys
     /// against the registry.
@@ -525,6 +544,13 @@ mod tests {
         assert!(Selection::from_flags(None, Some("nonsense")).is_err());
         let everything: Vec<&str> = keys();
         assert!(Selection::from_flags(None, Some(&everything.join(","))).is_err());
+    }
+
+    #[test]
+    fn pinned_matches_only_for_registry_keys() {
+        for e in REGISTRY {
+            assert_eq!(Selection::pinned(e.key), Selection::only(&[e.key]).unwrap());
+        }
     }
 
     #[test]

@@ -34,6 +34,8 @@ use filterscope_logformat::RecordView;
 /// The selected experiment accumulators, fed by one streaming pass.
 pub struct AnalysisSuite {
     analyses: Vec<Box<dyn Analysis>>,
+    params: SuiteParams,
+    selection: Selection,
     /// Minimum censored support for §5.4 recovery, adapted to corpus scale.
     pub min_support: u64,
 }
@@ -58,8 +60,33 @@ impl AnalysisSuite {
                         .build(params)
                 })
                 .collect(),
+            params: *params,
+            selection: selection.clone(),
             min_support: params.min_support,
         }
+    }
+
+    /// A fresh, empty suite with this suite's selection and thresholds.
+    /// This is the streaming daemon's delta constructor: per-connection
+    /// shards are periodically swapped out for a `fresh_like` twin and
+    /// folded into the global suite.
+    pub fn fresh_like(&self) -> Self {
+        AnalysisSuite::with_selection(&self.params, &self.selection)
+    }
+
+    /// Swap this suite for a fresh empty twin and return the accumulated
+    /// state (the "delta" since the last call). The caller merges the
+    /// returned suite into a global one; because `ingest` is associative
+    /// under `merge` (the registry contract), folding deltas in a fixed
+    /// order reproduces a single-pass suite over the same records.
+    pub fn take_delta(&mut self) -> Self {
+        let fresh = self.fresh_like();
+        std::mem::replace(self, fresh)
+    }
+
+    /// The selection this suite was built from, in paper order.
+    pub fn selection(&self) -> &Selection {
+        &self.selection
     }
 
     /// The built analyses, in paper order.
@@ -250,6 +277,31 @@ mod tests {
         ] {
             assert!(report.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn take_delta_preserves_selection_and_accumulated_state() {
+        let ctx = AnalysisContext::standard(None);
+        let selection = Selection::only(&["datasets", "https"]).unwrap();
+        let mut live = AnalysisSuite::with_selection(&SuiteParams::new(1), &selection);
+        let mut global = live.fresh_like();
+        let r = RecordBuilder::new(
+            Timestamp::parse_fields("2011-08-03", "09:00:00").unwrap(),
+            ProxyId::Sg42,
+            RequestUrl::http("host.example", "/"),
+        )
+        .build();
+        for cycle in 0..3 {
+            for _ in 0..=cycle {
+                live.ingest(&ctx, &r.as_view());
+            }
+            let delta = live.take_delta();
+            assert_eq!(delta.keys(), ["datasets", "https"]);
+            global.merge(delta);
+        }
+        assert_eq!(live.datasets().full, 0, "live suite is empty after take");
+        assert_eq!(global.datasets().full, 6, "all deltas folded");
+        assert_eq!(live.keys(), global.keys());
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * `generate_and_analyze` — the whole pipeline: synthesize a day slice,
 //!   filter it, ingest it into the full analysis suite;
 //! * `parallel_ingest` — the sharded file-ingest path at 1 thread vs all
-//!   cores (the tentpole speedup this crate exists to defend).
+//!   cores (the tentpole speedup this crate exists to defend);
+//! * `stream_ingest` — the streaming daemon's per-connection loop (frame
+//!   decode → zero-copy parse → ingest) against the single-threaded
+//!   file-shard path over the same records: the framing tax.
 
 use filterscope_analysis::{
     AnalysisContext, AnalysisSuite, ParallelIngest, Selection, SuiteParams,
@@ -17,6 +20,7 @@ use filterscope_analysis::{
 use filterscope_bench::harness::{black_box, Harness, Throughput};
 use filterscope_bench::{corpus, csv_lines};
 use filterscope_core::pool;
+use filterscope_logformat::frame::{batch_lines, Frame};
 use filterscope_logformat::{parse_line, parse_view, LineSplitter, LogWriter, Schema};
 use filterscope_proxy::cpl;
 use filterscope_proxy::PolicyData;
@@ -136,6 +140,7 @@ fn bench_throughput(c: &mut Harness) {
     bench_parse_throughput(c);
     bench_parallel_ingest(c);
     bench_selective_ingest(c);
+    bench_stream_ingest(c);
 }
 
 /// Write the shared corpus to one file per study day (record order is
@@ -270,6 +275,82 @@ fn bench_selective_ingest(c: &mut Harness) {
             })
         });
     }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// What the wire format costs: the exact per-connection loop of
+/// `filterscope serve` (frame decode → `batch_lines` → zero-copy parse →
+/// ingest) over a pre-encoded in-memory stream, against the 1-thread
+/// file-shard ingest of the same records. The two differ only in the
+/// transport layer, so the gap is the framing + checksum tax.
+fn bench_stream_ingest(c: &mut Harness) {
+    let (records, ctx) = corpus();
+    let lines = csv_lines();
+
+    // Pre-encode the corpus once as 500-line Batch frames plus a Bye —
+    // exactly what `filterscope stream --batch 500` puts on the socket.
+    let mut wire = Vec::new();
+    let mut batch = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        batch.extend_from_slice(line.as_bytes());
+        batch.push(b'\n');
+        if (i + 1) % 500 == 0 {
+            Frame::batch(std::mem::take(&mut batch))
+                .encode_into(&mut wire)
+                .expect("batches are under the frame ceiling");
+        }
+    }
+    if !batch.is_empty() {
+        Frame::batch(batch)
+            .encode_into(&mut wire)
+            .expect("batches are under the frame ceiling");
+    }
+    Frame::bye()
+        .encode_into(&mut wire)
+        .expect("empty payload encodes");
+
+    let dir = std::env::temp_dir().join(format!("filterscope-bench-stream-{}", std::process::id()));
+    let (paths, _) = write_day_files(&dir);
+
+    let mut g = c.benchmark_group("stream_ingest");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(records.len() as u64));
+    let schema = Schema::canonical();
+    g.bench_function("framed_decode_parse_ingest", |b| {
+        b.iter(|| {
+            let mut cursor = std::io::Cursor::new(&wire[..]);
+            let mut splitter = LineSplitter::new();
+            let mut suite = AnalysisSuite::new(2);
+            let mut line_no = 0u64;
+            let mut ok = 0u64;
+            while let Some(frame) = Frame::read_from(&mut cursor).expect("clean wire") {
+                for line in batch_lines(&frame.payload) {
+                    line_no += 1;
+                    let text = std::str::from_utf8(line).expect("CSV lines are UTF-8");
+                    if schema
+                        .parse_view(&mut splitter, text, line_no)
+                        .map(|v| suite.ingest(ctx, &v))
+                        .is_ok()
+                    {
+                        ok += 1;
+                    }
+                }
+            }
+            assert_eq!(ok, records.len() as u64);
+            black_box(suite.datasets().full)
+        })
+    });
+    let ingest = ParallelIngest::new(1);
+    g.bench_function("file_shards_one_thread", |b| {
+        b.iter(|| {
+            let (suite, stats) = ingest
+                .ingest_suite(&paths, ctx, 2)
+                .expect("ingest corpus files");
+            assert_eq!(stats.records, records.len() as u64);
+            black_box(suite.datasets().full)
+        })
+    });
     g.finish();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -31,6 +31,9 @@ pub enum Error {
     },
     /// Bencode document failed to decode.
     Bencode(String),
+    /// A streaming frame failed to decode (bad magic, oversize length,
+    /// checksum mismatch, or truncation mid-frame).
+    BadFrame(String),
     /// Underlying I/O failure, stringified to keep the error `Clone + Eq`.
     Io(String),
     /// A configuration value was rejected (e.g. zero scale factor).
@@ -49,6 +52,7 @@ impl fmt::Display for Error {
                 write!(f, "unknown value {value:?} for field {field}")
             }
             Error::Bencode(s) => write!(f, "bencode error: {s}"),
+            Error::BadFrame(s) => write!(f, "bad frame: {s}"),
             Error::Io(s) => write!(f, "i/o error: {s}"),
             Error::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
         }

@@ -23,6 +23,7 @@ pub mod classify;
 pub mod csv;
 pub mod enums;
 pub mod fields;
+pub mod frame;
 pub mod reader;
 pub mod record;
 pub mod schema;
@@ -32,6 +33,7 @@ pub mod view;
 pub use classify::{PolicyClass, RequestClass};
 pub use csv::LineSplitter;
 pub use enums::{ClientId, ExceptionId, FilterResult, Method, SAction, Scheme};
+pub use frame::{Frame, FrameKind};
 pub use reader::{LogReader, LogWriter};
 pub use record::{parse_line, LogRecord};
 pub use schema::{Schema, SchemaReader};

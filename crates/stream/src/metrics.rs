@@ -1,0 +1,324 @@
+//! Observability for `filterscope serve`: lock-free counters updated on
+//! the hot ingest path, rendered as a plaintext `/metrics`-style page by a
+//! minimal HTTP responder.
+//!
+//! The endpoint speaks just enough HTTP/1.0 for `curl` and scrapers: any
+//! `GET` is answered with the metrics page, except `GET /shutdown`, which
+//! requests a graceful daemon shutdown (the signal-free control path used
+//! on platforms without SIGINT and by tests).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-connection counters, shared between the reader, the worker, the
+/// snapshot thread, and the metrics renderer.
+#[derive(Debug)]
+pub struct ConnStats {
+    /// Connection ordinal (fold order; assigned at accept time).
+    pub id: u64,
+    /// Source label: the peer address until a `Hello` frame names it.
+    pub label: Mutex<String>,
+    /// Records parsed and ingested.
+    pub records: AtomicU64,
+    /// Lines that failed to parse (the batch path never drops a
+    /// connection for a bad line — only for a bad frame).
+    pub parse_errors: AtomicU64,
+    /// Frames received.
+    pub frames: AtomicU64,
+    /// Payload bytes received.
+    pub bytes: AtomicU64,
+    /// Batches queued but not yet ingested (bounded by the queue).
+    pub queue_depth: AtomicUsize,
+    /// When the connection was accepted.
+    pub connected: Instant,
+    /// Set when the worker has drained the queue and exited.
+    pub done: AtomicBool,
+    /// The framing error that dropped this connection, if any.
+    pub error: Mutex<Option<String>>,
+}
+
+impl ConnStats {
+    /// Fresh counters for connection `id` from `peer`.
+    pub fn new(id: u64, peer: String) -> ConnStats {
+        ConnStats {
+            id,
+            label: Mutex::new(peer),
+            records: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            connected: Instant::now(),
+            done: AtomicBool::new(false),
+            error: Mutex::new(None),
+        }
+    }
+
+    /// The current label (peer address or `Hello` name).
+    pub fn label(&self) -> String {
+        self.label.lock().expect("label lock").clone()
+    }
+
+    /// Records ingested per second of connection lifetime.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.connected.elapsed().as_secs_f64().max(1e-9);
+        self.records.load(Ordering::Relaxed) as f64 / secs
+    }
+}
+
+/// Daemon-wide counters.
+#[derive(Debug)]
+pub struct ServerStats {
+    /// When the daemon started.
+    pub started: Instant,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections_total: AtomicU64,
+    /// Connections currently being read.
+    pub connections_live: AtomicU64,
+    /// Connections dropped for framing errors.
+    pub connections_dropped: AtomicU64,
+    /// Records ingested across all connections.
+    pub records: AtomicU64,
+    /// Unparseable lines across all connections.
+    pub parse_errors: AtomicU64,
+    /// Frames received across all connections.
+    pub frames: AtomicU64,
+    /// Payload bytes received across all connections.
+    pub bytes: AtomicU64,
+    /// Sequence number of the newest snapshot (0 = none yet).
+    pub snapshot_seq: AtomicU64,
+    /// Snapshot write failures (the daemon keeps running).
+    pub snapshot_errors: AtomicU64,
+    /// When the newest snapshot was written.
+    pub snapshot_at: Mutex<Option<Instant>>,
+}
+
+impl ServerStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> ServerStats {
+        ServerStats {
+            started: Instant::now(),
+            connections_total: AtomicU64::new(0),
+            connections_live: AtomicU64::new(0),
+            connections_dropped: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            snapshot_seq: AtomicU64::new(0),
+            snapshot_errors: AtomicU64::new(0),
+            snapshot_at: Mutex::new(None),
+        }
+    }
+
+    /// Seconds since the newest snapshot, if one was written.
+    pub fn snapshot_age(&self) -> Option<f64> {
+        self.snapshot_at
+            .lock()
+            .expect("snapshot_at lock")
+            .map(|at| at.elapsed().as_secs_f64())
+    }
+
+    /// Record a successful snapshot write.
+    pub fn snapshot_written(&self, seq: u64) {
+        self.snapshot_seq.store(seq, Ordering::Relaxed);
+        *self.snapshot_at.lock().expect("snapshot_at lock") = Some(Instant::now());
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
+}
+
+/// Render the metrics page: daemon-wide gauges first, then one labelled
+/// line set per connection, in accept order.
+pub fn render(stats: &ServerStats, conns: &[std::sync::Arc<ConnStats>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(1024);
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let _ = writeln!(
+        out,
+        "filterscope_uptime_seconds {:.3}",
+        stats.started.elapsed().as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "filterscope_connections_live {}",
+        load(&stats.connections_live)
+    );
+    let _ = writeln!(
+        out,
+        "filterscope_connections_total {}",
+        load(&stats.connections_total)
+    );
+    let _ = writeln!(
+        out,
+        "filterscope_connections_dropped_total {}",
+        load(&stats.connections_dropped)
+    );
+    let _ = writeln!(out, "filterscope_records_total {}", load(&stats.records));
+    let _ = writeln!(
+        out,
+        "filterscope_parse_errors_total {}",
+        load(&stats.parse_errors)
+    );
+    let _ = writeln!(out, "filterscope_frames_total {}", load(&stats.frames));
+    let _ = writeln!(out, "filterscope_bytes_total {}", load(&stats.bytes));
+    let _ = writeln!(
+        out,
+        "filterscope_snapshot_seq {}",
+        load(&stats.snapshot_seq)
+    );
+    let _ = writeln!(
+        out,
+        "filterscope_snapshot_errors_total {}",
+        load(&stats.snapshot_errors)
+    );
+    match stats.snapshot_age() {
+        Some(age) => {
+            let _ = writeln!(out, "filterscope_snapshot_age_seconds {age:.3}");
+        }
+        None => {
+            let _ = writeln!(out, "filterscope_snapshot_age_seconds NaN");
+        }
+    }
+    for conn in conns {
+        let label = conn.label();
+        let _ = writeln!(
+            out,
+            "filterscope_conn_records_total{{conn=\"{label}\"}} {}",
+            conn.records.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_conn_records_per_sec{{conn=\"{label}\"}} {:.1}",
+            conn.records_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_conn_queue_depth{{conn=\"{label}\"}} {}",
+            conn.queue_depth.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_conn_parse_errors_total{{conn=\"{label}\"}} {}",
+            conn.parse_errors.load(Ordering::Relaxed)
+        );
+        if let Some(err) = conn.error.lock().expect("error lock").as_deref() {
+            let _ = writeln!(
+                out,
+                "filterscope_conn_dropped{{conn=\"{label}\",reason=\"{}\"}} 1",
+                err.replace('"', "'")
+            );
+        }
+    }
+    out
+}
+
+/// Serve the metrics endpoint until `shutdown` is set. Each request gets
+/// a fresh page from `render_page`; `GET /shutdown` additionally invokes
+/// `on_shutdown`. The listener must be non-blocking.
+pub fn serve_http(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    render_page: impl Fn() -> String,
+    on_shutdown: impl Fn(),
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let (sock, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let _ = sock.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = sock.set_nodelay(true);
+        let mut reader = BufReader::new(sock);
+        let mut request_line = String::new();
+        if reader.read_line(&mut request_line).is_err() {
+            continue;
+        }
+        let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+        let body = if path == "/shutdown" {
+            on_shutdown();
+            "shutting down\n".to_string()
+        } else {
+            render_page()
+        };
+        let mut sock = reader.into_inner();
+        let _ = write!(
+            sock,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = sock.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn render_covers_global_and_per_conn_lines() {
+        let stats = ServerStats::new();
+        stats.records.store(42, Ordering::Relaxed);
+        stats.snapshot_written(3);
+        let conn = Arc::new(ConnStats::new(0, "sg-42".to_string()));
+        conn.records.store(42, Ordering::Relaxed);
+        let page = render(&stats, &[conn]);
+        assert!(page.contains("filterscope_records_total 42"));
+        assert!(page.contains("filterscope_snapshot_seq 3"));
+        assert!(page.contains("filterscope_snapshot_age_seconds"));
+        assert!(page.contains("filterscope_conn_records_total{conn=\"sg-42\"} 42"));
+        assert!(page.contains("filterscope_conn_queue_depth{conn=\"sg-42\"} 0"));
+    }
+
+    #[test]
+    fn http_responder_answers_and_honors_shutdown_path() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        let hit = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                serve_http(
+                    &listener,
+                    &shutdown,
+                    || "page\n".to_string(),
+                    || {
+                        hit.fetch_add(1, Ordering::SeqCst);
+                        shutdown.store(true, Ordering::SeqCst);
+                    },
+                );
+            });
+            let get = |path: &str| {
+                let mut sock = std::net::TcpStream::connect(addr).unwrap();
+                write!(sock, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+                let mut body = String::new();
+                use std::io::Read as _;
+                sock.read_to_string(&mut body).unwrap();
+                body
+            };
+            let resp = get("/metrics");
+            assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+            assert!(resp.ends_with("page\n"), "{resp}");
+            let resp = get("/shutdown");
+            assert!(resp.contains("shutting down"), "{resp}");
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+}

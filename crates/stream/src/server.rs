@@ -1,0 +1,488 @@
+//! The `filterscope serve` daemon: N concurrent framed TCP connections,
+//! per-connection analysis shards, periodic snapshot folds.
+//!
+//! # Thread model
+//!
+//! ```text
+//! accept thread ──spawns──► reader ──bounded queue──► worker (one pair
+//!                           per connection; the worker ingests into that
+//!                           connection's private delta suite)
+//! snapshot thread: every interval, swaps every delta for a fresh twin
+//!                  (`AnalysisSuite::take_delta`) and folds the deltas
+//!                  into the global suite in connection order, then
+//!                  writes an atomic snapshot
+//! metrics thread:  plaintext HTTP endpoint (optional)
+//! ```
+//!
+//! # Why the result is byte-identical to batch `analyze`
+//!
+//! Every delta and the global suite share one `Selection`, and every
+//! registered analysis satisfies the merge contract (`ingest` is
+//! associative under `merge` — property-tested in `prop_registry.rs`),
+//! so `fold(deltas)` equals a single sequential pass over the same
+//! records regardless of how they interleaved across connections or
+//! snapshot cycles.
+//!
+//! # Failure containment
+//!
+//! * A corrupt frame drops **that connection** (counted, surfaced on
+//!   `/metrics`); every other connection and the daemon keep running.
+//! * A full queue blocks that connection's reader, which stops draining
+//!   the socket — backpressure reaches the client through TCP.
+//! * Shutdown (SIGINT or `GET /shutdown`) stops the accept loop, lets
+//!   every worker drain its queue, folds the final deltas, and writes a
+//!   complete last snapshot before `run` returns.
+
+use std::io::{BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use filterscope_analysis::{AnalysisContext, AnalysisSuite, Selection, SuiteParams};
+use filterscope_core::{Error, Result};
+use filterscope_logformat::frame::{batch_lines, Frame, FrameKind};
+use filterscope_logformat::{LineSplitter, Schema};
+
+use crate::metrics::{self, ConnStats, ServerStats};
+use crate::snapshot::SnapshotWriter;
+
+/// How long `run` waits for workers to drain after shutdown before
+/// folding the final snapshot anyway.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Poll granularity of the accept / snapshot loops.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Ingest listen address (`127.0.0.1:0` for an ephemeral port).
+    pub listen: String,
+    /// Metrics listen address; `None` disables the endpoint.
+    pub metrics: Option<String>,
+    /// Snapshot directory (created if missing).
+    pub snapshot_dir: PathBuf,
+    /// Interval between snapshot folds.
+    pub snapshot_every: Duration,
+    /// Analysis parameters shared by every shard and the global suite.
+    pub params: SuiteParams,
+    /// Which analyses to run.
+    pub selection: Selection,
+    /// Bound of each connection's batch queue (backpressure threshold).
+    pub queue_batches: usize,
+}
+
+/// Counters reported by [`Server::run`] after shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Records parsed and ingested.
+    pub records: u64,
+    /// Lines that failed to parse.
+    pub parse_errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections dropped for framing errors.
+    pub dropped_connections: u64,
+    /// Snapshots written (the last one is the final state).
+    pub snapshots: u64,
+}
+
+/// One live connection as the snapshot/metrics threads see it.
+struct ConnHandle {
+    stats: Arc<ConnStats>,
+    delta: Arc<Mutex<AnalysisSuite>>,
+}
+
+/// A bound serve daemon; [`Server::run`] blocks until shutdown.
+pub struct Server {
+    config: ServeConfig,
+    listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
+}
+
+impl Server {
+    /// Bind the ingest (and optional metrics) listeners and create the
+    /// snapshot directory. Fails fast on unusable addresses.
+    pub fn bind(config: ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| Error::Io(format!("cannot listen on {}: {e}", config.listen)))?;
+        listener.set_nonblocking(true)?;
+        let metrics_listener = match &config.metrics {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)
+                    .map_err(|e| Error::Io(format!("cannot listen on {addr}: {e}")))?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        std::fs::create_dir_all(&config.snapshot_dir)?;
+        Ok(Server {
+            config,
+            listener,
+            metrics_listener,
+        })
+    }
+
+    /// The bound ingest address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener.local_addr().map_err(Error::from)
+    }
+
+    /// The bound metrics address, when the endpoint is enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
+    /// Run until `shutdown` is set (SIGINT handler, `/shutdown`, or a
+    /// test flipping the flag), then drain, write the final snapshot,
+    /// and return the lifetime counters.
+    pub fn run(&self, ctx: &AnalysisContext, shutdown: Arc<AtomicBool>) -> Result<ServeSummary> {
+        let stats = ServerStats::new();
+        let conns: Mutex<Vec<ConnHandle>> = Mutex::new(Vec::new());
+        let mut writer = SnapshotWriter::new(&self.config.snapshot_dir)?;
+        let mut global = AnalysisSuite::with_selection(&self.config.params, &self.config.selection);
+
+        std::thread::scope(|scope| -> Result<()> {
+            // Accept loop: one reader + one worker thread per connection.
+            scope.spawn(|| {
+                while !shutdown.load(Ordering::SeqCst) {
+                    let (stream, peer) = match self.listener.accept() {
+                        Ok(pair) => pair,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL);
+                            continue;
+                        }
+                        Err(_) => {
+                            std::thread::sleep(POLL);
+                            continue;
+                        }
+                    };
+                    let id = stats.connections_total.fetch_add(1, Ordering::SeqCst);
+                    stats.connections_live.fetch_add(1, Ordering::SeqCst);
+                    let conn = Arc::new(ConnStats::new(id, peer.to_string()));
+                    let delta = Arc::new(Mutex::new(AnalysisSuite::with_selection(
+                        &self.config.params,
+                        &self.config.selection,
+                    )));
+                    conns.lock().expect("conns lock").push(ConnHandle {
+                        stats: Arc::clone(&conn),
+                        delta: Arc::clone(&delta),
+                    });
+                    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(self.config.queue_batches);
+                    {
+                        let conn = Arc::clone(&conn);
+                        let shutdown = &shutdown;
+                        let stats = &stats;
+                        scope.spawn(move || {
+                            read_connection(stream, &conn, stats, shutdown, tx);
+                            stats.connections_live.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    {
+                        let stats = &stats;
+                        scope.spawn(move || {
+                            ingest_connection(rx, &conn, stats, &delta, ctx);
+                        });
+                    }
+                }
+            });
+
+            // Metrics endpoint (optional).
+            if let Some(listener) = &self.metrics_listener {
+                let shutdown = &shutdown;
+                let stats = &stats;
+                let conns = &conns;
+                scope.spawn(move || {
+                    metrics::serve_http(
+                        listener,
+                        shutdown,
+                        || {
+                            let snapshot: Vec<Arc<ConnStats>> = conns
+                                .lock()
+                                .expect("conns lock")
+                                .iter()
+                                .map(|c| Arc::clone(&c.stats))
+                                .collect();
+                            metrics::render(stats, &snapshot)
+                        },
+                        || crate::shutdown::request(shutdown),
+                    );
+                });
+            }
+
+            // Snapshot loop runs on this thread; its exit (after the
+            // final fold) is what lets the scope join once the accept,
+            // reader, worker, and metrics threads have all returned.
+            let mut last_fold = Instant::now();
+            loop {
+                let stop = shutdown.load(Ordering::SeqCst);
+                if !stop && last_fold.elapsed() < self.config.snapshot_every {
+                    std::thread::sleep(POLL);
+                    continue;
+                }
+                if stop {
+                    // Readers exit on the flag; wait (bounded) for the
+                    // workers to drain what was already queued.
+                    let deadline = Instant::now() + DRAIN_DEADLINE;
+                    loop {
+                        let all_done = conns
+                            .lock()
+                            .expect("conns lock")
+                            .iter()
+                            .all(|c| c.stats.done.load(Ordering::SeqCst));
+                        if all_done || Instant::now() >= deadline {
+                            break;
+                        }
+                        std::thread::sleep(POLL);
+                    }
+                }
+                fold_deltas(&conns, &mut global);
+                last_fold = Instant::now();
+                let report = format!("{}\n", global.render_all(ctx));
+                let summary = global.summary_json(ctx);
+                let records = stats.records.load(Ordering::SeqCst);
+                let parse_errors = stats.parse_errors.load(Ordering::SeqCst);
+                match writer.write(&report, &summary, records, parse_errors) {
+                    Ok(seq) => stats.snapshot_written(seq),
+                    Err(e) => {
+                        stats.snapshot_errors.fetch_add(1, Ordering::SeqCst);
+                        eprintln!("snapshot {} failed: {e}", writer.seq() + 1);
+                    }
+                }
+                if stop {
+                    return Ok(());
+                }
+            }
+        })?;
+
+        Ok(ServeSummary {
+            records: stats.records.load(Ordering::SeqCst),
+            parse_errors: stats.parse_errors.load(Ordering::SeqCst),
+            connections: stats.connections_total.load(Ordering::SeqCst),
+            dropped_connections: stats.connections_dropped.load(Ordering::SeqCst),
+            snapshots: writer.seq(),
+        })
+    }
+}
+
+/// Swap every connection's delta for a fresh twin and merge the deltas
+/// into `global`, in accept order. Holding each delta lock only for the
+/// swap keeps the ingest workers off the fold's critical path.
+fn fold_deltas(conns: &Mutex<Vec<ConnHandle>>, global: &mut AnalysisSuite) {
+    let handles: Vec<Arc<Mutex<AnalysisSuite>>> = conns
+        .lock()
+        .expect("conns lock")
+        .iter()
+        .map(|c| Arc::clone(&c.delta))
+        .collect();
+    for delta in handles {
+        let taken = delta.lock().expect("delta lock").take_delta();
+        global.merge(taken);
+    }
+}
+
+/// Reader half of one connection: decode frames, queue batch payloads.
+/// Framing errors drop this connection only; the bounded queue's `send`
+/// blocking is what turns a slow worker into TCP backpressure.
+fn read_connection(
+    stream: TcpStream,
+    conn: &ConnStats,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+    tx: SyncSender<Vec<u8>>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(PatientReader { stream, shutdown });
+    loop {
+        match Frame::read_from(&mut reader) {
+            Ok(None) => break, // mid-stream disconnect; keep what arrived
+            Ok(Some(frame)) => {
+                conn.frames.fetch_add(1, Ordering::Relaxed);
+                stats.frames.fetch_add(1, Ordering::Relaxed);
+                conn.bytes
+                    .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                stats
+                    .bytes
+                    .fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                match frame.kind {
+                    FrameKind::Hello => {
+                        if let Ok(label) = frame.payload_str() {
+                            *conn.label.lock().expect("label lock") = label.to_string();
+                        }
+                    }
+                    FrameKind::Batch => {
+                        conn.queue_depth.fetch_add(1, Ordering::SeqCst);
+                        if tx.send(frame.payload).is_err() {
+                            conn.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                            break; // worker gone; nothing left to feed
+                        }
+                    }
+                    FrameKind::Bye => break,
+                }
+            }
+            Err(e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break; // shutdown interrupt, not a peer fault
+                }
+                *conn.error.lock().expect("error lock") = Some(e.to_string());
+                stats.connections_dropped.fetch_add(1, Ordering::SeqCst);
+                break;
+            }
+        }
+    }
+    // Dropping `tx` closes the queue; the worker drains and exits.
+}
+
+/// Worker half of one connection: parse queued batches with the
+/// zero-copy view parser and ingest into this connection's delta.
+/// Counter updates happen under the delta lock so a fold never observes
+/// records it did not merge.
+fn ingest_connection(
+    rx: Receiver<Vec<u8>>,
+    conn: &ConnStats,
+    stats: &ServerStats,
+    delta: &Mutex<AnalysisSuite>,
+    ctx: &AnalysisContext,
+) {
+    let schema = Schema::canonical();
+    let mut splitter = LineSplitter::new();
+    let mut line_no = 0u64;
+    while let Ok(payload) = rx.recv() {
+        conn.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let mut records = 0u64;
+        let mut parse_errors = 0u64;
+        let mut suite = delta.lock().expect("delta lock");
+        for line in batch_lines(&payload) {
+            line_no += 1;
+            // Same order as the file ingest path: UTF-8 validity is
+            // checked before the comment prefix, so a corrupt comment
+            // line counts as a parse error.
+            let Ok(text) = std::str::from_utf8(line) else {
+                parse_errors += 1;
+                continue;
+            };
+            if text.starts_with('#') {
+                continue;
+            }
+            match schema.parse_view(&mut splitter, text, line_no) {
+                Ok(view) => {
+                    suite.ingest(ctx, &view);
+                    records += 1;
+                }
+                Err(_) => parse_errors += 1,
+            }
+        }
+        conn.records.fetch_add(records, Ordering::SeqCst);
+        conn.parse_errors.fetch_add(parse_errors, Ordering::SeqCst);
+        stats.records.fetch_add(records, Ordering::SeqCst);
+        stats.parse_errors.fetch_add(parse_errors, Ordering::SeqCst);
+        drop(suite);
+    }
+    conn.done.store(true, Ordering::SeqCst);
+}
+
+/// A `TcpStream` wrapper that retries read timeouts until shutdown is
+/// requested, so `Frame::read_from` sees frames as atomic reads: a slow
+/// sender never produces a spurious truncation error.
+struct PatientReader<'a> {
+    stream: TcpStream,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for PatientReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "shutdown requested",
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn config(dir: &std::path::Path) -> ServeConfig {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            metrics: None,
+            snapshot_dir: dir.to_path_buf(),
+            snapshot_every: Duration::from_millis(50),
+            params: SuiteParams::new(3),
+            selection: Selection::default_suite(),
+            queue_batches: 4,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fs-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn corrupt_frame_drops_connection_but_not_server() {
+        let dir = temp_dir("corrupt");
+        let server = Server::bind(config(&dir)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let ctx = AnalysisContext::standard(None);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let summary = std::thread::scope(|s| {
+            let handle = s.spawn(|| server.run(&ctx, Arc::clone(&shutdown)));
+            // A connection that speaks garbage.
+            let mut bad = TcpStream::connect(addr).unwrap();
+            bad.write_all(b"this is not a frame").unwrap();
+            drop(bad);
+            // A well-behaved connection right after.
+            let mut good = TcpStream::connect(addr).unwrap();
+            Frame::hello("good").write_to(&mut good).unwrap();
+            Frame::bye().write_to(&mut good).unwrap();
+            drop(good);
+            // Let the server observe both, then stop.
+            std::thread::sleep(Duration::from_millis(300));
+            shutdown.store(true, Ordering::SeqCst);
+            handle.join().unwrap().unwrap()
+        });
+        assert_eq!(summary.connections, 2);
+        assert_eq!(summary.dropped_connections, 1);
+        assert!(summary.snapshots >= 1);
+        assert!(dir.join("report.txt").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_with_no_connections_still_writes_final_snapshot() {
+        let dir = temp_dir("empty");
+        let server = Server::bind(config(&dir)).unwrap();
+        let ctx = AnalysisContext::standard(None);
+        let shutdown = Arc::new(AtomicBool::new(true));
+        let summary = server.run(&ctx, shutdown).unwrap();
+        assert_eq!(summary.records, 0);
+        assert_eq!(summary.snapshots, 1);
+        assert!(dir.join("summary.json").exists());
+        assert!(dir.join("status.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

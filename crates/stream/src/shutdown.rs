@@ -1,0 +1,69 @@
+//! Graceful-shutdown plumbing: a shared flag the serve loops poll, set by
+//! SIGINT (via a minimal libc `signal(2)` binding — the build environment
+//! has no crates.io, so no `signal-hook`/`ctrlc`) or by the metrics
+//! endpoint's `/shutdown` control path on platforms without signals.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static SIGINT_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::c_int;
+
+    pub const SIGINT: c_int = 2;
+
+    extern "C" {
+        // `signal(2)` from libc, which std already links. The handler
+        // only stores into an atomic — the one operation that is
+        // async-signal-safe by construction.
+        pub fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    pub extern "C" fn on_sigint(_sig: c_int) {
+        if let Some(flag) = super::SIGINT_FLAG.get() {
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+}
+
+/// Install a SIGINT handler (idempotent) and return the flag it sets.
+/// On non-unix targets the flag is returned un-wired; the `/shutdown`
+/// control endpoint remains the way to stop the daemon there.
+pub fn install_sigint() -> Arc<AtomicBool> {
+    let flag = SIGINT_FLAG
+        .get_or_init(|| Arc::new(AtomicBool::new(false)))
+        .clone();
+    #[cfg(unix)]
+    unsafe {
+        sys::signal(sys::SIGINT, sys::on_sigint);
+    }
+    flag
+}
+
+/// `true` once shutdown has been requested on `flag`.
+pub fn requested(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::SeqCst)
+}
+
+/// Request shutdown on `flag` (the `/shutdown` endpoint's action).
+pub fn request(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_flag_is_shared() {
+        let a = install_sigint();
+        let b = install_sigint();
+        assert!(!requested(&a));
+        request(&b);
+        assert!(requested(&a));
+        // Reset for any other test using the shared flag.
+        a.store(false, Ordering::SeqCst);
+    }
+}

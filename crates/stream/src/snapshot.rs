@@ -1,0 +1,116 @@
+//! Atomic checkpoint snapshots for the serve daemon.
+//!
+//! Each snapshot is three files in the snapshot directory:
+//!
+//! * `report.txt` — the rendered analysis report, byte-identical to what
+//!   `filterscope analyze` prints to stdout for the same records;
+//! * `summary.json` — the machine-readable summary, byte-identical to
+//!   `analyze --json`;
+//! * `status.json` — snapshot sequence number and ingest counters.
+//!
+//! Every file is written to a `.tmp` sibling first and renamed into
+//! place, so a reader never observes a torn file. `status.json` is
+//! renamed last: once a reader sees sequence `n` in `status.json`, the
+//! matching report and summary are already in place.
+
+use std::path::{Path, PathBuf};
+
+use filterscope_core::Result;
+
+/// Writes atomic snapshots into a directory.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    dir: PathBuf,
+    seq: u64,
+}
+
+impl SnapshotWriter {
+    /// Create the snapshot directory (and parents) if needed.
+    pub fn new(dir: &Path) -> Result<SnapshotWriter> {
+        std::fs::create_dir_all(dir)?;
+        Ok(SnapshotWriter {
+            dir: dir.to_path_buf(),
+            seq: 0,
+        })
+    }
+
+    /// The snapshot directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number of the last snapshot written (0 = none yet).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Write one snapshot: `report` (already newline-terminated by the
+    /// caller), `summary` JSON, and a `status.json` recording the new
+    /// sequence number plus ingest counters. Returns the new sequence.
+    pub fn write(
+        &mut self,
+        report: &str,
+        summary: &str,
+        records: u64,
+        parse_errors: u64,
+    ) -> Result<u64> {
+        let seq = self.seq + 1;
+        self.replace("report.txt", report.as_bytes())?;
+        self.replace("summary.json", summary.as_bytes())?;
+        let status = format!(
+            "{{\n  \"snapshot\": {seq},\n  \"records\": {records},\n  \"parse_errors\": {parse_errors}\n}}\n"
+        );
+        self.replace("status.json", status.as_bytes())?;
+        self.seq = seq;
+        Ok(seq)
+    }
+
+    fn replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let fin = self.dir.join(name);
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &fin)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fs-snapshot-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshots_replace_in_place_and_bump_seq() {
+        let dir = temp_dir("basic");
+        let mut writer = SnapshotWriter::new(&dir).unwrap();
+        assert_eq!(writer.seq(), 0);
+
+        assert_eq!(writer.write("report one\n", "{}", 10, 0).unwrap(), 1);
+        assert_eq!(writer.write("report two\n", "{\"a\":1}", 25, 2).unwrap(), 2);
+        assert_eq!(writer.seq(), 2);
+
+        let report = std::fs::read_to_string(dir.join("report.txt")).unwrap();
+        assert_eq!(report, "report two\n");
+        let summary = std::fs::read_to_string(dir.join("summary.json")).unwrap();
+        assert_eq!(summary, "{\"a\":1}");
+        let status = std::fs::read_to_string(dir.join("status.json")).unwrap();
+        assert!(status.contains("\"snapshot\": 2"), "{status}");
+        assert!(status.contains("\"records\": 25"), "{status}");
+        assert!(status.contains("\"parse_errors\": 2"), "{status}");
+
+        // No temp files linger.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "leftover temp file {name:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -25,9 +25,11 @@ pub mod classes;
 pub mod config;
 pub mod corpus;
 pub mod generator;
+pub mod streamer;
 pub mod temporal;
 pub mod users;
 
 pub use config::{DayKind, StudyDay, StudyPeriod, SynthConfig};
 pub use corpus::Corpus;
 pub use generator::DayGenerator;
+pub use streamer::{stream_csv_lines, Pacer};

@@ -7,6 +7,8 @@
 //! filterscope policy [--out FILE]                     dump the standard policy as CPL
 //! filterscope report [--scale N]                      synthesize + analyze in one go
 //! filterscope analyses                                list the analysis registry
+//! filterscope serve --snapshots DIR                   live streaming ingest daemon
+//! filterscope stream [--scale N | LOG...]             replay a workload at a daemon
 //! ```
 //!
 //! `analyze`, `audit`, `report` and `weather` accept `--analyses a,b,c`
@@ -22,6 +24,9 @@ use filterscope::logformat::fields::header_line;
 use filterscope::logformat::SchemaReader;
 use filterscope::prelude::*;
 use filterscope::proxy::{cpl, PolicyData};
+use filterscope::stream::{
+    install_sigint, stream_corpus, stream_files, ServeConfig, Server, StreamConfig,
+};
 use filterscope::synth::corpus::DayShard;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
@@ -37,7 +42,9 @@ fn usage() -> ExitCode {
          filterscope report [--scale N] [--json OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope weather LOG... [--min-support N] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope compare --a LOG --b LOG [--min-support N]\n  \
-         filterscope analyses\n\n\
+         filterscope analyses\n  \
+         filterscope serve --snapshots DIR [--listen ADDR] [--metrics ADDR] [--every-ms N] [--min-support N] [--queue N] [--analyses KEYS] [--skip KEYS]\n  \
+         filterscope stream [LOG... | --scale N] [--connect ADDR] [--connections N] [--batch N] [--compress X]\n\n\
          Flags accept `--flag value` or `--flag=value`.\n\
          --analyses/--skip take comma-separated keys from `filterscope analyses`.\n\
          --threads defaults to the available parallelism; results are\n\
@@ -357,7 +364,7 @@ fn cmd_audit(args: &Args) -> ExitCode {
     };
     // Audit recovers the policy blind (no known keyword list); `inference`
     // is always in the selection, co-selected analyses render after it.
-    let mut selection = match selection_from_flags(args, Selection::only(&["inference"]).unwrap()) {
+    let mut selection = match selection_from_flags(args, Selection::pinned("inference")) {
         Ok(s) => s,
         Err(code) => return code,
     };
@@ -474,7 +481,7 @@ fn cmd_weather(args: &Args) -> ExitCode {
     };
     // Weather is a fixed-product command: its own analysis is always in the
     // selection, co-selected analyses render after the churn table.
-    let mut selection = match selection_from_flags(args, Selection::only(&["weather"]).unwrap()) {
+    let mut selection = match selection_from_flags(args, Selection::pinned("weather")) {
         Ok(s) => s,
         Err(code) => return code,
     };
@@ -526,6 +533,133 @@ fn cmd_compare(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(args: &Args) -> ExitCode {
+    let Some(min_support) = args.flag_u64("min-support", 3) else {
+        return usage();
+    };
+    let Some(every_ms) = args.flag_u64("every-ms", 1000) else {
+        return usage();
+    };
+    let Some(queue) = args.flag_u64("queue", 16) else {
+        return usage();
+    };
+    let Some(snapshot_dir) = args.flag("snapshots") else {
+        eprintln!("filterscope serve: --snapshots DIR is required");
+        return usage();
+    };
+    let selection = match selection_from_flags(args, Selection::default_suite()) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let config = ServeConfig {
+        listen: args.flag("listen").unwrap_or("127.0.0.1:4742").to_string(),
+        metrics: args.flag("metrics").map(str::to_string),
+        snapshot_dir: PathBuf::from(snapshot_dir),
+        snapshot_every: std::time::Duration::from_millis(every_ms.max(1)),
+        params: SuiteParams::new(min_support),
+        selection,
+        queue_batches: queue.clamp(1, 4096) as usize,
+    };
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The addresses go to stdout (flushed) so a parent process can resolve
+    // ephemeral ports; everything else the daemon prints goes to stderr.
+    match server.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics on {addr}");
+    }
+    let _ = std::io::stdout().flush();
+    let ctx = AnalysisContext::standard(None);
+    let shutdown = install_sigint();
+    match server.run(&ctx, shutdown) {
+        Ok(summary) => {
+            eprintln!(
+                "served {} records over {} connection{} ({} dropped, {} parse errors); \
+                 {} snapshot{} written",
+                summary.records,
+                summary.connections,
+                if summary.connections == 1 { "" } else { "s" },
+                summary.dropped_connections,
+                summary.parse_errors,
+                summary.snapshots,
+                if summary.snapshots == 1 { "" } else { "s" },
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stream(args: &Args) -> ExitCode {
+    let Some(connections) = args.flag_u64("connections", 7) else {
+        return usage();
+    };
+    let Some(batch) = args.flag_u64("batch", 500) else {
+        return usage();
+    };
+    let compress = match args.flag("compress") {
+        None => 0.0,
+        Some(v) => match v.parse::<f64>() {
+            Ok(x) if x.is_finite() && x >= 0.0 => x,
+            _ => return usage(),
+        },
+    };
+    let cfg = StreamConfig {
+        connect: args.flag("connect").unwrap_or("127.0.0.1:4742").to_string(),
+        connections: connections.clamp(1, 512) as usize,
+        batch_lines: batch.clamp(1, 100_000) as usize,
+        compress,
+    };
+    let progress = Progress::start();
+    let result = if args.positional.is_empty() {
+        let Some(scale) = args.flag_u64("scale", 65_536) else {
+            return usage();
+        };
+        let Ok(config) = SynthConfig::new(scale) else {
+            return usage();
+        };
+        stream_corpus(&Corpus::new(config), &cfg)
+    } else {
+        let paths: Vec<PathBuf> = args.positional.iter().map(PathBuf::from).collect();
+        stream_files(&paths, &cfg)
+    };
+    match result {
+        Ok(summary) => {
+            eprintln!(
+                "{} ({} batches, {} payload bytes, {} connection{})",
+                progress.summary("streamed", summary.lines),
+                summary.batches,
+                summary.bytes,
+                summary.per_connection.len(),
+                if summary.per_connection.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stream failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// List the analysis registry: one row per key, in paper order.
 fn cmd_analyses() -> ExitCode {
     let mut t = Table::new(
@@ -563,6 +697,17 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "weather" => &["min-support", "threads", "analyses", "skip"],
         "compare" => &["a", "b", "min-support"],
         "analyses" => &[],
+        "serve" => &[
+            "snapshots",
+            "listen",
+            "metrics",
+            "every-ms",
+            "min-support",
+            "queue",
+            "analyses",
+            "skip",
+        ],
+        "stream" => &["connect", "connections", "batch", "compress", "scale"],
         _ => return None,
     })
 }
@@ -591,6 +736,8 @@ fn main() -> ExitCode {
         "weather" => cmd_weather(&args),
         "compare" => cmd_compare(&args),
         "analyses" => cmd_analyses(),
+        "serve" => cmd_serve(&args),
+        "stream" => cmd_stream(&args),
         _ => usage(),
     }
 }

@@ -28,6 +28,9 @@
 //! * [`proxy`] — the SG-9000 policy engine and seven-proxy farm;
 //! * [`synth`] — the calibrated workload generator;
 //! * [`analysis`] — every table/figure as a streaming accumulator;
+//! * [`stream`] — the live ingest daemon (`serve`) and replay client
+//!   (`stream`): framed TCP batches, per-connection analysis shards,
+//!   periodic snapshot folds, and a `/metrics` endpoint;
 //! * [`tor`], [`bittorrent`], [`geoip`], [`categorizer`] — the external
 //!   datasets the paper used, rebuilt as substrates;
 //! * [`matchers`], [`stats`], [`core`] — engines and primitives.
@@ -41,6 +44,7 @@ pub use filterscope_logformat as logformat;
 pub use filterscope_match as matchers;
 pub use filterscope_proxy as proxy;
 pub use filterscope_stats as stats;
+pub use filterscope_stream as stream;
 pub use filterscope_synth as synth;
 pub use filterscope_tor as tor;
 

@@ -1,0 +1,144 @@
+//! Property tests for the streaming wire format: encode/decode roundtrip
+//! over arbitrary frame sequences, and robustness of the decoder against
+//! truncation and corruption — every malformed input must surface as an
+//! error (or a shorter clean prefix), never a panic and never a bogus
+//! frame with a corrupted payload.
+
+use filterscope::core::Error;
+use filterscope::logformat::frame::{batch_lines, Frame, HEADER_LEN, MAGIC};
+use filterscope::logformat::FrameKind;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Build a frame from a generated `(kind selector, payload)` spec.
+fn frame_from_spec(kind: u8, payload: Vec<u8>) -> Frame {
+    let kind = match kind % 3 {
+        0 => FrameKind::Hello,
+        1 => FrameKind::Batch,
+        _ => FrameKind::Bye,
+    };
+    Frame { kind, payload }
+}
+
+fn encode_stream(frames: &[Frame]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for f in frames {
+        f.encode_into(&mut wire)
+            .expect("payloads are under the cap");
+    }
+    wire
+}
+
+/// Drain a wire buffer: decoded frames plus the terminating condition
+/// (`None` = clean EOF, `Some(e)` = decode error). Must always terminate
+/// without panicking, whatever the input.
+fn decode_all(wire: &[u8]) -> (Vec<Frame>, Option<Error>) {
+    let mut cursor = std::io::Cursor::new(wire);
+    let mut frames = Vec::new();
+    loop {
+        match Frame::read_from(&mut cursor) {
+            Ok(Some(f)) => frames.push(f),
+            Ok(None) => return (frames, None),
+            Err(e) => return (frames, Some(e)),
+        }
+    }
+}
+
+proptest! {
+    /// Any frame sequence roundtrips byte-exactly through the codec.
+    #[test]
+    fn roundtrip_preserves_every_frame(
+        specs in vec((any::<u8>(), vec(any::<u8>(), 0..300)), 0..8),
+    ) {
+        let frames: Vec<Frame> = specs
+            .into_iter()
+            .map(|(k, p)| frame_from_spec(k, p))
+            .collect();
+        let wire = encode_stream(&frames);
+        let (decoded, err) = decode_all(&wire);
+        prop_assert!(err.is_none(), "clean wire must decode cleanly: {err:?}");
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Truncating a valid stream anywhere yields a clean prefix of the
+    /// original frames — the decoder reports the cut (or a clean EOF at a
+    /// frame boundary) instead of inventing or corrupting frames.
+    #[test]
+    fn truncation_yields_a_clean_prefix(
+        specs in vec((any::<u8>(), vec(any::<u8>(), 0..200)), 1..6),
+        cut_frac in 0u32..1000,
+    ) {
+        let frames: Vec<Frame> = specs
+            .into_iter()
+            .map(|(k, p)| frame_from_spec(k, p))
+            .collect();
+        let wire = encode_stream(&frames);
+        let cut = wire.len() * cut_frac as usize / 1000;
+        let (decoded, err) = decode_all(&wire[..cut]);
+        prop_assert!(decoded.len() <= frames.len());
+        prop_assert_eq!(&decoded[..], &frames[..decoded.len()]);
+        // A strict truncation can never decode the whole stream cleanly.
+        if cut < wire.len() {
+            prop_assert!(
+                err.is_some() || decoded.len() < frames.len(),
+                "cut at {cut}/{} decoded everything", wire.len()
+            );
+        }
+    }
+
+    /// A single corrupted payload byte is always caught by the checksum:
+    /// FNV-1a's per-byte step (xor, then multiply by an odd constant) is
+    /// bijective, so same-length payloads differing in one byte can never
+    /// collide.
+    #[test]
+    fn payload_corruption_is_always_detected(
+        payload in vec(any::<u8>(), 1..300),
+        pos_frac in 0u32..1000,
+        flip in 1u8..=255,
+    ) {
+        let frame = Frame::batch(payload);
+        let mut wire = encode_stream(std::slice::from_ref(&frame));
+        let pos = HEADER_LEN + (frame.payload.len() * pos_frac as usize / 1000)
+            .min(frame.payload.len() - 1);
+        wire[pos] ^= flip;
+        let (decoded, err) = decode_all(&wire);
+        prop_assert!(decoded.is_empty(), "corrupt payload must not decode");
+        prop_assert!(matches!(err, Some(Error::BadFrame(_))), "{err:?}");
+    }
+
+    /// Feeding the decoder arbitrary bytes terminates without panicking,
+    /// and anything long enough to be a frame that does not open with the
+    /// magic is rejected.
+    #[test]
+    fn arbitrary_bytes_never_panic(wire in vec(any::<u8>(), 0..600)) {
+        let (_, err) = decode_all(&wire);
+        if wire.len() >= HEADER_LEN && wire[..2] != MAGIC {
+            prop_assert!(err.is_some(), "bad magic must be rejected");
+        }
+        if wire.is_empty() {
+            prop_assert!(err.is_none(), "empty stream is a clean EOF");
+        }
+    }
+
+    /// `batch_lines` covers the payload: every byte of every yielded line
+    /// comes from the payload, lines carry no terminators, and rebuilding
+    /// the payload from the lines loses only line endings and blanks.
+    #[test]
+    fn batch_lines_never_yield_terminators(payload in vec(any::<u8>(), 0..400)) {
+        let mut rebuilt: Vec<u8> = Vec::new();
+        for line in batch_lines(&payload) {
+            prop_assert!(!line.is_empty());
+            prop_assert!(!line.contains(&b'\n'));
+            rebuilt.extend_from_slice(line);
+        }
+        let stripped: Vec<u8> = payload
+            .split(|b| *b == b'\n')
+            .map(|l| match l.last() {
+                Some(b'\r') => &l[..l.len() - 1],
+                _ => l,
+            })
+            .collect::<Vec<_>>()
+            .concat();
+        prop_assert_eq!(rebuilt, stripped);
+    }
+}
