@@ -30,6 +30,8 @@
 //!
 //! [`suite::AnalysisSuite`] wires them all into one pass.
 
+#![forbid(unsafe_code)]
+
 pub mod anonymizers;
 pub mod categories;
 pub mod comparison;

@@ -15,6 +15,8 @@
 //!
 //! Corpora are generated once per process and shared across benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 use filterscope_analysis::{AnalysisContext, AnalysisSuite};

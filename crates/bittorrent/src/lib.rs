@@ -16,6 +16,8 @@
 //! * [`titles`] — a deterministic synthetic info-hash→title index standing
 //!   in for the paper's crawl, with a configurable resolution rate.
 
+#![forbid(unsafe_code)]
+
 pub mod announce;
 pub mod bencode;
 pub mod titles;

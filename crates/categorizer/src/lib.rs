@@ -12,6 +12,8 @@
 //! that covers every domain named in the paper plus the synthetic workload's
 //! catalogue.
 
+#![forbid(unsafe_code)]
+
 pub mod category;
 pub mod data;
 pub mod db;

@@ -8,6 +8,8 @@
 //! Everything in this crate is deliberately dependency-free, `Copy`-friendly
 //! where possible, and total (no panics on untrusted input).
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod intern;
 pub mod json;

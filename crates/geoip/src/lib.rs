@@ -14,6 +14,8 @@
 //! blocks into disjoint segments where the innermost (most specific) block
 //! wins, and lookups are a single binary search.
 
+#![forbid(unsafe_code)]
+
 pub mod country;
 pub mod data;
 pub mod db;

@@ -18,6 +18,8 @@
 //! companions). Where the paper names a field (`cs-uri-ext`,
 //! `cs-user-agent`, …) we use the paper's spelling.
 
+#![forbid(unsafe_code)]
+
 pub mod anonymize;
 pub mod classify;
 pub mod csv;

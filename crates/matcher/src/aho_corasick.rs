@@ -80,20 +80,22 @@ impl AhoCorasickBuilder {
     pub fn build<P: AsRef<[u8]>>(self, patterns: impl IntoIterator<Item = P>) -> AhoCorasick {
         let mut states = vec![State::new()];
         let mut pattern_lens = Vec::new();
+        let mut normalized = Vec::new();
 
         for (idx, pat) in patterns.into_iter().enumerate() {
             let bytes = pat.as_ref();
             pattern_lens.push(bytes.len());
+            let norm: Vec<u8> = if self.case_insensitive {
+                bytes.iter().map(|b| b.to_ascii_lowercase()).collect()
+            } else {
+                bytes.to_vec()
+            };
+            normalized.push(norm);
             if bytes.is_empty() {
                 continue;
             }
             let mut cur = 0u32;
-            for &b in bytes {
-                let b = if self.case_insensitive {
-                    b.to_ascii_lowercase()
-                } else {
-                    b
-                };
+            for &b in &normalized[idx] {
                 cur = match states[cur as usize].get(b) {
                     Some(next) => next,
                     None => {
@@ -140,6 +142,7 @@ impl AhoCorasickBuilder {
 
         AhoCorasick {
             states,
+            patterns: normalized,
             pattern_lens,
             case_insensitive: self.case_insensitive,
         }
@@ -150,6 +153,9 @@ impl AhoCorasickBuilder {
 #[derive(Debug, Clone)]
 pub struct AhoCorasick {
     states: Vec<State>,
+    /// Normalized (lowercased when case-insensitive) pattern bytes, kept for
+    /// the pattern-vs-pattern subsumption queries used by the policy linter.
+    patterns: Vec<Vec<u8>>,
     pattern_lens: Vec<usize>,
     case_insensitive: bool,
 }
@@ -248,6 +254,40 @@ impl AhoCorasick {
             state: 0,
             pending: Vec::new(),
         }
+    }
+
+    /// The normalized bytes of pattern `i` (lowercased when the automaton is
+    /// case-insensitive), as used for matching.
+    pub fn pattern(&self, i: usize) -> &[u8] {
+        &self.patterns[i]
+    }
+
+    /// Indexes of the *other* patterns occurring inside pattern `j`, sorted.
+    ///
+    /// Every haystack that matches pattern `j` necessarily also matches each
+    /// returned pattern, so within a first-match-wins blacklist tier pattern
+    /// `j` is subsumed by any of them. Exact duplicates of `j` are included
+    /// (they trivially occur inside it); empty patterns never are.
+    pub fn patterns_within(&self, j: usize) -> Vec<usize> {
+        let mut pats: Vec<usize> = self
+            .find_all(&self.patterns[j])
+            .into_iter()
+            .map(|m| m.pattern)
+            .filter(|&i| i != j)
+            .collect();
+        pats.sort_unstable();
+        pats.dedup();
+        pats
+    }
+
+    /// The smallest index of a *different, non-identical* pattern occurring
+    /// inside pattern `j`, if any — the canonical "this rule is subsumed by"
+    /// witness. Identical duplicates are excluded so that duplicate detection
+    /// and subsumption detection stay distinct diagnostics.
+    pub fn subsuming_pattern(&self, j: usize) -> Option<usize> {
+        self.patterns_within(j)
+            .into_iter()
+            .find(|&i| self.patterns[i] != self.patterns[j])
     }
 
     /// Indexes of the distinct patterns that occur in `haystack`, sorted.
@@ -367,6 +407,24 @@ mod tests {
             let lazy: Vec<Match> = ac.find_iter(hay.as_bytes()).collect();
             assert_eq!(eager, lazy, "haystack {hay:?}");
         }
+    }
+
+    #[test]
+    fn pattern_subsumption_queries() {
+        let ac = AhoCorasickBuilder::new()
+            .ascii_case_insensitive(true)
+            .build(["ultra", "UltraSurf", "surf", "proxy", "ultrasurf", ""]);
+        // "UltraSurf" contains "ultra", "surf", and its duplicate (index 4).
+        assert_eq!(ac.patterns_within(1), vec![0, 2, 4]);
+        // The canonical subsumer skips the identical duplicate.
+        assert_eq!(ac.subsuming_pattern(1), Some(0));
+        assert_eq!(ac.subsuming_pattern(4), Some(0));
+        // "ultra" and "proxy" are not subsumed by anything.
+        assert_eq!(ac.subsuming_pattern(0), None);
+        assert_eq!(ac.subsuming_pattern(3), None);
+        // Empty patterns never subsume and are never subsumed.
+        assert_eq!(ac.patterns_within(5), Vec::<usize>::new());
+        assert_eq!(ac.pattern(1), b"ultrasurf");
     }
 
     #[test]

@@ -63,6 +63,49 @@ impl CidrSet {
         }
     }
 
+    /// Is every address of `block` inside the set?
+    ///
+    /// Because ranges are merged at construction, a fully covered block is
+    /// always covered by exactly one range, so this is one binary search.
+    pub fn covers(&self, block: Ipv4Cidr) -> bool {
+        let (first, last) = (block.first_u32(), block.last_u32());
+        match self.ranges.partition_point(|&(s, _)| s <= first) {
+            0 => false,
+            i => last <= self.ranges[i - 1].1,
+        }
+    }
+
+    /// Does `block` share at least one address with the set?
+    pub fn overlaps(&self, block: Ipv4Cidr) -> bool {
+        let (first, last) = (block.first_u32(), block.last_u32());
+        // The candidate ranges are the one starting at or before `first` and
+        // any starting inside the block.
+        let i = self.ranges.partition_point(|&(s, _)| s <= first);
+        (i > 0 && first <= self.ranges[i - 1].1)
+            || self.ranges.get(i).is_some_and(|&(s, _)| s <= last)
+    }
+
+    /// The smallest address of `block` *not* covered by the set, if any —
+    /// the witness generator for "this CIDR rule is not fully subsumed".
+    pub fn first_uncovered_in(&self, block: Ipv4Cidr) -> Option<Ipv4Addr> {
+        let (first, last) = (block.first_u32() as u64, block.last_u32() as u64);
+        let mut cursor = first;
+        for &(s, e) in &self.ranges {
+            let (s, e) = (s as u64, e as u64);
+            if e < cursor {
+                continue;
+            }
+            if s > cursor {
+                break; // gap at `cursor`
+            }
+            cursor = e + 1;
+            if cursor > last {
+                return None;
+            }
+        }
+        (cursor <= last).then(|| Ipv4Addr::from(cursor as u32))
+    }
+
     /// Number of disjoint ranges after merging.
     pub fn range_count(&self) -> usize {
         self.ranges.len()
@@ -139,6 +182,48 @@ mod tests {
         assert!(!s.contains(ip("1.0.0.0")));
         assert!(s.contains(ip("255.255.255.255")));
         assert!(!s.contains(ip("255.255.255.254")));
+    }
+
+    #[test]
+    fn containment_overlap_and_gap_queries() {
+        let s = set(&["84.229.0.0/16", "46.120.0.0/15"]);
+        let c = |t: &str| Ipv4Cidr::parse(t).unwrap();
+        // Full containment: sub-blocks and the blocks themselves.
+        assert!(s.covers(c("84.229.128.0/17")));
+        assert!(s.covers(c("84.229.0.0/16")));
+        assert!(!s.covers(c("84.228.0.0/15"))); // only the upper half is in
+        assert!(!s.covers(c("8.8.8.0/24")));
+        // Overlap: any shared address counts.
+        assert!(s.overlaps(c("84.228.0.0/15")));
+        assert!(s.overlaps(c("46.121.200.0/24")));
+        assert!(!s.overlaps(c("46.122.0.0/16")));
+        // Witness generation: first uncovered address inside a block.
+        assert_eq!(s.first_uncovered_in(c("84.229.0.0/16")), None);
+        assert_eq!(
+            s.first_uncovered_in(c("84.228.0.0/15")),
+            Some(ip("84.228.0.0"))
+        );
+        assert_eq!(s.first_uncovered_in(c("46.121.0.0/16")), None);
+        // A gap between two covered ranges is found.
+        let two = set(&["10.0.0.0/25", "10.0.0.192/26"]);
+        assert_eq!(
+            two.first_uncovered_in(c("10.0.0.0/24")),
+            Some(ip("10.0.0.128"))
+        );
+        // The all-ones boundary does not overflow.
+        let top = set(&["255.255.255.254/31"]);
+        assert_eq!(top.first_uncovered_in(c("255.255.255.254/31")), None);
+        assert_eq!(
+            top.first_uncovered_in(c("255.255.255.252/30")),
+            Some(ip("255.255.255.252"))
+        );
+        // Empty set: everything is uncovered, nothing overlaps.
+        let none = CidrSet::from_blocks([]);
+        assert!(!none.overlaps(c("0.0.0.0/0")));
+        assert_eq!(
+            none.first_uncovered_in(c("5.5.5.0/24")),
+            Some(ip("5.5.5.0"))
+        );
     }
 
     #[test]

@@ -142,6 +142,35 @@ impl DomainTrie {
     pub fn matches(&self, host: &str) -> bool {
         self.lookup(host).is_some()
     }
+
+    /// If a *strictly shorter* entry covers the suffix `entry`, return its
+    /// index.
+    ///
+    /// This is the suffix-subsumption query behind the policy linter: with
+    /// entries `il` and `co.il`, the entry `co.il` can never be the deciding
+    /// rule (every host it covers is already covered by `il`), so
+    /// `shadowing_entry("co.il")` reports the index of `il`. An entry is
+    /// never reported as shadowing itself, and exact duplicates collapse at
+    /// insert time, so the returned entry is always a proper suffix.
+    pub fn shadowing_entry(&self, entry: &str) -> Option<u32> {
+        let entry = entry.trim_start_matches('.');
+        if entry.is_empty() {
+            return None;
+        }
+        let mut node = &self.root;
+        let mut labels = entry.rsplit('.').peekable();
+        while let Some(label) = labels.next() {
+            let lower = label.to_ascii_lowercase();
+            node = node.children.get(lower.as_str())?;
+            // A terminal strictly above the entry's own node shadows it.
+            if labels.peek().is_some() {
+                if let Some(ix) = node.terminal {
+                    return Some(ix);
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +216,26 @@ mod tests {
         assert_eq!(t.lookup_longest(""), None);
         // Exact entry is its own longest match.
         assert_eq!(t.lookup_longest("co.il"), Some(coil));
+    }
+
+    #[test]
+    fn shadowing_entry_reports_proper_suffixes_only() {
+        let mut t = DomainTrie::new();
+        let il = t.insert("il");
+        let _coil = t.insert("co.il");
+        let _panet = t.insert("panet.co.il");
+        let _com = t.insert("metacafe.com");
+        // `co.il` is shadowed by `il`; `panet.co.il` by the shortest cover.
+        assert_eq!(t.shadowing_entry("co.il"), Some(il));
+        assert_eq!(t.shadowing_entry("panet.co.il"), Some(il));
+        // Shortest entries shadow themselves never.
+        assert_eq!(t.shadowing_entry("il"), None);
+        assert_eq!(t.shadowing_entry("metacafe.com"), None);
+        // Entries not in the trie report their shortest covering suffix.
+        assert_eq!(t.shadowing_entry("x.co.il"), Some(il));
+        assert_eq!(t.shadowing_entry("example.org"), None);
+        assert_eq!(t.shadowing_entry(""), None);
+        assert_eq!(t.shadowing_entry(".CO.IL"), Some(il));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`naive`] — deliberately simple reference implementations used in
 //!   property tests and ablation benches.
 
+#![forbid(unsafe_code)]
+
 pub mod aho_corasick;
 pub mod cidr_set;
 pub mod domain_trie;

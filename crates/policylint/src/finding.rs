@@ -1,0 +1,248 @@
+//! Lint findings: severity-graded facts about a policy, with optional
+//! executed witnesses.
+
+use filterscope_core::Json;
+use filterscope_logformat::RequestUrl;
+use filterscope_proxy::{Decision, RuleFamily};
+
+/// How bad a finding is.
+///
+/// The ordering matters for gating: `--deny warnings` fails the lint on
+/// anything `>= Warning`; `Info` notes never fail a run (the shipped
+/// standard policy carries six deliberate cross-tier masking notes — see
+/// `redirect-masks-domain` — that are properties of the deployment, not
+/// defects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A property worth knowing, not a defect (cross-tier masking).
+    Info,
+    /// A rule that can never fire, or redundant/conflicting content.
+    Warning,
+    /// A malformed policy, or a proven behavioural difference.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label (`note` / `warning` / `error`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The observable outcome class of a [`Decision`], ignoring the trigger.
+///
+/// Equivalence checking compares policies on what a client experiences:
+/// `Deny(Keyword)` and `Deny(Domain)` are behaviourally identical, so two
+/// policies disagreeing only on *why* they deny are equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    Allow,
+    Deny,
+    Redirect,
+}
+
+impl DecisionKind {
+    /// Project a full decision onto its observable class.
+    pub fn of(decision: Decision) -> Self {
+        match decision {
+            Decision::Allow => DecisionKind::Allow,
+            Decision::Deny(_) => DecisionKind::Deny,
+            Decision::Redirect(_) => DecisionKind::Redirect,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionKind::Allow => "allow",
+            DecisionKind::Deny => "deny",
+            DecisionKind::Redirect => "redirect",
+        }
+    }
+}
+
+/// A synthesized request URL on which two compiled engines were *executed*
+/// and observed to disagree — the dynamic counterexample behind every
+/// `not-equivalent` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The request that separates the two policies.
+    pub url: RequestUrl,
+    /// Outcome under the first (`left`) policy.
+    pub left: DecisionKind,
+    /// Outcome under the second (`right`) policy.
+    pub right: DecisionKind,
+}
+
+impl Witness {
+    /// The witness URL in display form (`http://host/path?query`).
+    pub fn url_string(&self) -> String {
+        self.url.to_string()
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity grade.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `keyword-subsumed`).
+    pub code: &'static str,
+    /// The rule family the finding is about, when it is about one.
+    pub family: Option<RuleFamily>,
+    /// The rule the finding anchors to, rendered (e.g. `keyword "proxy"`).
+    pub rule: String,
+    /// Human explanation.
+    pub message: String,
+    /// Executed counterexample, present on every `not-equivalent` finding.
+    pub witness: Option<Witness>,
+}
+
+impl Finding {
+    /// One-line text rendering.
+    pub fn render_line(&self) -> String {
+        let mut line = format!(
+            "{}[{}] {}: {}",
+            self.severity.label(),
+            self.code,
+            self.rule,
+            self.message
+        );
+        if let Some(w) = &self.witness {
+            line.push_str(&format!(
+                " (witness {} -> left={} right={})",
+                w.url_string(),
+                w.left.label(),
+                w.right.label()
+            ));
+        }
+        line
+    }
+
+    /// JSON form (stable member order: severity, code, family, rule,
+    /// message, witness).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.push("severity", Json::Str(self.severity.label().to_string()));
+        obj.push("code", Json::Str(self.code.to_string()));
+        obj.push(
+            "family",
+            match self.family {
+                Some(f) => Json::Str(f.label().to_string()),
+                None => Json::Null,
+            },
+        );
+        obj.push("rule", Json::Str(self.rule.clone()));
+        obj.push("message", Json::Str(self.message.clone()));
+        obj.push(
+            "witness",
+            match &self.witness {
+                Some(w) => {
+                    let mut wj = Json::object();
+                    wj.push("url", Json::Str(w.url_string()));
+                    wj.push("left", Json::Str(w.left.label().to_string()));
+                    wj.push("right", Json::Str(w.right.label().to_string()));
+                    wj
+                }
+                None => Json::Null,
+            },
+        );
+        obj
+    }
+}
+
+/// Deterministic report order: most severe first, then by code, rule,
+/// message.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.rule.cmp(&b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_proxy::Trigger;
+
+    #[test]
+    fn severity_orders_and_labels() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Info.label(), "note");
+        assert_eq!(Severity::Error.label(), "error");
+    }
+
+    #[test]
+    fn decision_kind_projects_triggers_away() {
+        assert_eq!(DecisionKind::of(Decision::Allow), DecisionKind::Allow);
+        assert_eq!(
+            DecisionKind::of(Decision::Deny(Trigger::Keyword)),
+            DecisionKind::of(Decision::Deny(Trigger::Domain))
+        );
+        assert_eq!(
+            DecisionKind::of(Decision::Redirect(Trigger::RedirectHost)),
+            DecisionKind::Redirect
+        );
+    }
+
+    #[test]
+    fn findings_sort_most_severe_first() {
+        let f = |severity, code: &'static str, rule: &str| Finding {
+            severity,
+            code,
+            family: None,
+            rule: rule.to_string(),
+            message: String::new(),
+            witness: None,
+        };
+        let mut v = vec![
+            f(Severity::Info, "b-code", "r1"),
+            f(Severity::Error, "a-code", "r2"),
+            f(Severity::Warning, "a-code", "r1"),
+            f(Severity::Warning, "a-code", "r0"),
+        ];
+        sort_findings(&mut v);
+        let order: Vec<_> = v.iter().map(|f| (f.severity, f.rule.as_str())).collect();
+        assert_eq!(
+            order,
+            vec![
+                (Severity::Error, "r2"),
+                (Severity::Warning, "r0"),
+                (Severity::Warning, "r1"),
+                (Severity::Info, "r1"),
+            ]
+        );
+    }
+
+    #[test]
+    fn render_line_includes_witness() {
+        let f = Finding {
+            severity: Severity::Error,
+            code: "not-equivalent",
+            family: Some(RuleFamily::Keywords),
+            rule: "keyword \"proxy\"".to_string(),
+            message: "only left denies".to_string(),
+            witness: Some(Witness {
+                url: RequestUrl::http("w.invalid", "/proxy"),
+                left: DecisionKind::Deny,
+                right: DecisionKind::Allow,
+            }),
+        };
+        let line = f.render_line();
+        assert!(line.starts_with("error[not-equivalent] keyword \"proxy\":"));
+        assert!(line.contains("witness http://w.invalid/proxy -> left=deny right=allow"));
+        let j = f.to_json();
+        assert_eq!(
+            j.get("witness").and_then(|w| w.get("left")),
+            Some(&Json::Str("deny".to_string()))
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! The assembled lint report: findings + skew matrix, with text and JSON
+//! renderings and the gating rule behind `--deny warnings`.
+
+use crate::finding::{sort_findings, Finding, Severity};
+use crate::skew::SkewMatrix;
+use filterscope_core::Json;
+
+/// Everything one `filterscope lint` run produced.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Name of the linted policy (`standard` or a file path).
+    pub policy_name: String,
+    /// Name of the comparison policy, when `--against` was given.
+    pub against_name: Option<String>,
+    /// All findings, in deterministic report order.
+    pub findings: Vec<Finding>,
+    /// Cross-proxy skew matrix, when a farm was in scope.
+    pub skew: Option<SkewMatrix>,
+}
+
+impl LintReport {
+    /// Assemble a report; findings are (re)sorted into report order.
+    pub fn new(
+        policy_name: impl Into<String>,
+        against_name: Option<String>,
+        mut findings: Vec<Finding>,
+        skew: Option<SkewMatrix>,
+    ) -> Self {
+        sort_findings(&mut findings);
+        LintReport {
+            policy_name: policy_name.into(),
+            against_name,
+            findings,
+            skew,
+        }
+    }
+
+    /// `(errors, warnings, notes)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let count = |s| self.findings.iter().filter(|f| f.severity == s).count();
+        (
+            count(Severity::Error),
+            count(Severity::Warning),
+            count(Severity::Info),
+        )
+    }
+
+    /// Should this run exit non-zero? Errors always fail; warnings fail
+    /// under `--deny warnings`; notes never fail.
+    pub fn failing(&self, deny_warnings: bool) -> bool {
+        let (errors, warnings, _) = self.counts();
+        errors > 0 || (deny_warnings && warnings > 0)
+    }
+
+    /// The one-line verdict closing the text report.
+    pub fn summary_line(&self) -> String {
+        let (errors, warnings, notes) = self.counts();
+        if errors == 0 && warnings == 0 {
+            format!("no findings ({notes} note(s))")
+        } else {
+            format!("{errors} error(s), {warnings} warning(s), {notes} note(s)")
+        }
+    }
+
+    /// Full text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match &self.against_name {
+            Some(against) => out.push_str(&format!(
+                "policy lint: {} vs {}\n",
+                self.policy_name, against
+            )),
+            None => out.push_str(&format!("policy lint: {}\n", self.policy_name)),
+        }
+        for f in &self.findings {
+            out.push_str("  ");
+            out.push_str(&f.render_line());
+            out.push('\n');
+        }
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        if let Some(skew) = &self.skew {
+            out.push('\n');
+            out.push_str(&skew.render());
+        }
+        out
+    }
+
+    /// Full JSON rendering (stable member order).
+    pub fn to_json(&self) -> Json {
+        let (errors, warnings, notes) = self.counts();
+        let mut obj = Json::object();
+        obj.push("policy", Json::Str(self.policy_name.clone()));
+        obj.push(
+            "against",
+            match &self.against_name {
+                Some(a) => Json::Str(a.clone()),
+                None => Json::Null,
+            },
+        );
+        obj.push(
+            "findings",
+            Json::Arr(self.findings.iter().map(|f| f.to_json()).collect()),
+        );
+        let mut summary = Json::object();
+        summary.push("errors", Json::UInt(errors as u64));
+        summary.push("warnings", Json::UInt(warnings as u64));
+        summary.push("notes", Json::UInt(notes as u64));
+        obj.push("summary", summary);
+        obj.push(
+            "skew",
+            match &self.skew {
+                Some(s) => s.to_json(),
+                None => Json::Null,
+            },
+        );
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_policy, skew_matrix};
+    use filterscope_proxy::config::FarmConfig;
+    use filterscope_proxy::PolicyData;
+
+    fn standard_report() -> LintReport {
+        LintReport::new(
+            "standard",
+            None,
+            lint_policy(&PolicyData::standard()),
+            Some(skew_matrix(&FarmConfig::default())),
+        )
+    }
+
+    #[test]
+    fn standard_policy_passes_even_under_deny_warnings() {
+        let r = standard_report();
+        let (errors, warnings, notes) = r.counts();
+        assert_eq!((errors, warnings), (0, 0));
+        assert_eq!(notes, 6);
+        assert!(!r.failing(false));
+        assert!(!r.failing(true));
+        assert_eq!(r.summary_line(), "no findings (6 note(s))");
+    }
+
+    #[test]
+    fn render_contains_findings_and_matrix() {
+        let text = standard_report().render();
+        assert!(text.starts_with("policy lint: standard\n"));
+        assert!(text.contains("note[redirect-masks-domain]"));
+        assert!(text.contains("Cross-proxy skew matrix"));
+    }
+
+    #[test]
+    fn warnings_gate_only_under_deny() {
+        let mut p = PolicyData::empty();
+        p.keywords = vec!["proxy".into(), "cgiproxy".into()];
+        let r = LintReport::new("test", None, lint_policy(&p), None);
+        assert!(!r.failing(false));
+        assert!(r.failing(true));
+        assert_eq!(r.summary_line(), "0 error(s), 1 warning(s), 0 note(s)");
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let r = standard_report();
+        let parsed = Json::parse(&r.to_json().pretty()).expect("well-formed");
+        assert_eq!(
+            parsed.get("summary").and_then(|s| s.get("notes")),
+            Some(&Json::UInt(6))
+        );
+        assert_eq!(parsed.get("against"), Some(&Json::Null));
+    }
+}

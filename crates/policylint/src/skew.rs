@@ -1,0 +1,232 @@
+//! Cross-proxy skew: a static diff of the seven per-proxy configurations.
+//!
+//! The paper reaches its per-proxy findings (§5.2, §7.1) by aggregating
+//! millions of log lines; given the configuration itself, the same facts
+//! fall out of a column-wise diff. Each row is one configuration axis; a
+//! cell that differs from the row's majority value is marked with `*` —
+//! those marks recover exactly the paper's skew table: SG-44 runs the Tor
+//! relay rule, SG-48 receives the `metacafe.com` specialization (and the
+//! trace Tor cap), SG-43/SG-48 use the `none`-style category labels.
+
+use filterscope_analysis::report::Table;
+use filterscope_core::{Json, ProxyId};
+use filterscope_proxy::config::{FarmConfig, ROUTE_BIASES};
+
+/// One configuration axis across the seven proxies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkewRow {
+    /// Axis label (e.g. `Tor relay rule (‰ cap)`).
+    pub label: String,
+    /// One raw cell value per proxy, indexed by [`ProxyId::index`].
+    pub cells: Vec<String>,
+    /// The majority value of the row (ties broken toward the first proxy).
+    pub majority: String,
+}
+
+impl SkewRow {
+    fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
+        let mut majority = cells[0].clone();
+        let mut best = 0;
+        for v in &cells {
+            let n = cells.iter().filter(|c| *c == v).count();
+            if n > best {
+                best = n;
+                majority = v.clone();
+            }
+        }
+        SkewRow {
+            label: label.into(),
+            cells,
+            majority,
+        }
+    }
+
+    /// The proxies whose cell deviates from the row majority.
+    pub fn skewed(&self) -> Vec<ProxyId> {
+        ProxyId::ALL
+            .iter()
+            .copied()
+            .filter(|p| self.cells[p.index()] != self.majority)
+            .collect()
+    }
+}
+
+/// The full skew matrix (one row per configuration axis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkewMatrix {
+    /// Rows in fixed order: categories, Tor cap, then one per routing bias.
+    pub rows: Vec<SkewRow>,
+}
+
+impl SkewMatrix {
+    /// Every `(proxy, axis label)` pair where the proxy deviates from the
+    /// farm majority — the machine-readable form of the `*` marks.
+    pub fn skews(&self) -> Vec<(ProxyId, String)> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for p in row.skewed() {
+                out.push((p, row.label.clone()));
+            }
+        }
+        out
+    }
+
+    /// Render as a monospace table; minority cells carry a `*` suffix.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["Setting"];
+        for p in ProxyId::ALL {
+            headers.push(p.label());
+        }
+        let mut t = Table::new("Cross-proxy skew matrix", &headers);
+        for row in &self.rows {
+            let mut cells = vec![row.label.clone()];
+            for p in ProxyId::ALL {
+                let v = &row.cells[p.index()];
+                if *v == row.majority {
+                    cells.push(v.clone());
+                } else {
+                    cells.push(format!("{v}*"));
+                }
+            }
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// JSON form: `{"proxies": [...], "rows": [{"label", "cells", "skewed"}]}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.push(
+            "proxies",
+            Json::Arr(
+                ProxyId::ALL
+                    .iter()
+                    .map(|p| Json::Str(p.label().to_string()))
+                    .collect(),
+            ),
+        );
+        obj.push(
+            "rows",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|row| {
+                        let mut r = Json::object();
+                        r.push("label", Json::Str(row.label.clone()));
+                        r.push(
+                            "cells",
+                            Json::Arr(row.cells.iter().map(|c| Json::Str(c.clone())).collect()),
+                        );
+                        r.push(
+                            "skewed",
+                            Json::Arr(
+                                row.skewed()
+                                    .into_iter()
+                                    .map(|p| Json::Str(p.label().to_string()))
+                                    .collect(),
+                            ),
+                        );
+                        r
+                    })
+                    .collect(),
+            ),
+        );
+        obj
+    }
+}
+
+/// Build the skew matrix for a farm. Purely static: nothing is simulated,
+/// the rows are read off [`FarmConfig`] and [`ROUTE_BIASES`].
+pub fn skew_matrix(farm: &FarmConfig) -> SkewMatrix {
+    let per_proxy = |f: &dyn Fn(usize) -> String| -> Vec<String> {
+        (0..farm.proxies.len().min(ProxyId::COUNT)).map(f).collect()
+    };
+    let mut rows = Vec::new();
+    rows.push(SkewRow::new(
+        "default category",
+        per_proxy(&|i| farm.proxies[i].default_category.to_string()),
+    ));
+    rows.push(SkewRow::new(
+        "blocked category",
+        per_proxy(&|i| farm.proxies[i].blocked_category.to_string()),
+    ));
+    rows.push(SkewRow::new(
+        "Tor relay rule (\u{2030} cap)",
+        per_proxy(&|i| farm.proxies[i].tor_rule_per_mille_cap.to_string()),
+    ));
+    for bias in ROUTE_BIASES {
+        rows.push(SkewRow::new(
+            format!("route {} (\u{2030})", bias.label()),
+            per_proxy(&|i| {
+                let share = bias.share_per_mille(ProxyId::ALL[i]);
+                if share == 0 {
+                    "-".to_string()
+                } else {
+                    share.to_string()
+                }
+            }),
+        ));
+    }
+    SkewMatrix { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_farm_recovers_the_paper_skews() {
+        let m = skew_matrix(&FarmConfig::default());
+        let skews = m.skews();
+        // SG-44's Tor rule and SG-48's metacafe concentration — the two
+        // headline per-proxy findings — must both be recovered statically.
+        assert!(skews.contains(&(ProxyId::Sg44, "Tor relay rule (\u{2030} cap)".to_string())));
+        assert!(skews.contains(&(ProxyId::Sg48, "route metacafe.com (\u{2030})".to_string())));
+        // SG-43/SG-48 category-label style.
+        assert!(skews.contains(&(ProxyId::Sg43, "default category".to_string())));
+        assert!(skews.contains(&(ProxyId::Sg48, "default category".to_string())));
+        // SG-42 is entirely vanilla.
+        assert!(skews.iter().all(|(p, _)| *p != ProxyId::Sg42));
+    }
+
+    #[test]
+    fn render_marks_minority_cells() {
+        let m = skew_matrix(&FarmConfig::default());
+        let text = m.render();
+        assert!(text.contains("== Cross-proxy skew matrix =="));
+        assert!(text.contains("900*"));
+        assert!(text.contains("955*"));
+        assert!(text.contains("none*"));
+    }
+
+    #[test]
+    fn tor_blocked_era_has_no_tor_skew() {
+        let m = skew_matrix(&FarmConfig::tor_blocked_era());
+        let tor = m
+            .rows
+            .iter()
+            .find(|r| r.label.starts_with("Tor relay rule"))
+            .unwrap();
+        assert!(tor.skewed().is_empty());
+        assert_eq!(tor.majority, "1000");
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = skew_matrix(&FarmConfig::default()).to_json();
+        let proxies = match j.get("proxies") {
+            Some(Json::Arr(a)) => a.len(),
+            _ => 0,
+        };
+        assert_eq!(proxies, 7);
+        let rows = match j.get("rows") {
+            Some(Json::Arr(a)) => a.clone(),
+            _ => panic!("rows missing"),
+        };
+        assert_eq!(rows.len(), 6); // 3 config axes + 3 routing biases
+        assert_eq!(
+            rows[0].get("label"),
+            Some(&Json::Str("default category".to_string()))
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the linter's two headline guarantees:
+//!
+//! 1. **Witnesses are real.** Every `not-equivalent` finding from
+//!    [`check_equivalence`] carries a witness URL that, re-executed through
+//!    freshly compiled [`PolicyEngine`]s, reproduces exactly the recorded
+//!    outcome classes — and those classes differ.
+//! 2. **The shipped configuration is clean.** The standard policy and every
+//!    one of the seven per-proxy configs lint finding-free at
+//!    `--deny warnings`.
+
+use filterscope_core::Ipv4Cidr;
+use filterscope_policylint::{check_equivalence, lint_farm, lint_policy, DecisionKind, LintReport};
+use filterscope_proxy::config::FarmConfig;
+use filterscope_proxy::{PolicyData, PolicyEngine, RuleFamily};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_policy() -> impl Strategy<Value = PolicyData> {
+    (
+        proptest::collection::vec("[a-z]{3,10}", 0..6),
+        proptest::collection::vec("[a-z]{2,8}\\.(com|net|org|il)", 0..8),
+        proptest::collection::vec((any::<u32>(), 8u8..=32), 0..5),
+        proptest::collection::vec("[a-z]{2,8}\\.example", 0..4),
+        proptest::collection::vec(("[a-z.]{2,12}", "/[A-Za-z.]{1,14}"), 0..4),
+        proptest::collection::vec("[a-z=&]{0,10}", 0..4),
+    )
+        .prop_map(
+            |(keywords, domains, subnets, redirects, pages, queries)| PolicyData {
+                keywords,
+                blocked_domains: domains,
+                blocked_subnets: subnets
+                    .into_iter()
+                    .map(|(a, l)| Ipv4Cidr::new(Ipv4Addr::from(a), l).expect("valid len"))
+                    .collect(),
+                redirect_hosts: redirects,
+                custom_pages: pages,
+                custom_queries: queries,
+            },
+        )
+}
+
+/// Re-execute every witness in `findings` through fresh engines for
+/// `(left, right)` and assert it separates them exactly as recorded.
+fn assert_witnesses_separate(
+    findings: &[filterscope_policylint::Finding],
+    left: &PolicyData,
+    right: &PolicyData,
+) {
+    let le = PolicyEngine::from_data(left, None, 1);
+    let re = PolicyEngine::from_data(right, None, 1);
+    for f in findings {
+        assert_eq!(f.code, "not-equivalent");
+        let w = f.witness.as_ref().expect("every finding carries a witness");
+        let l = DecisionKind::of(le.decide_url(&w.url));
+        let r = DecisionKind::of(re.decide_url(&w.url));
+        assert_eq!(l, w.left, "recorded left outcome must reproduce: {f:?}");
+        assert_eq!(r, w.right, "recorded right outcome must reproduce: {f:?}");
+        assert_ne!(l, r, "witness must actually separate the engines: {f:?}");
+    }
+}
+
+proptest! {
+    /// Any policy is equivalent to itself — no spurious findings.
+    #[test]
+    fn self_equivalence_is_empty(policy in arb_policy()) {
+        let findings = check_equivalence(&policy, &policy, "a", "b");
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    /// For arbitrary policy pairs, every non-equivalence finding is backed
+    /// by a witness that reproduces through fresh engines.
+    #[test]
+    fn witnesses_always_separate_the_engines(
+        left in arb_policy(),
+        right in arb_policy(),
+    ) {
+        let findings = check_equivalence(&left, &right, "left", "right");
+        assert_witnesses_separate(&findings, &left, &right);
+    }
+
+    /// Ablating any rule family from the standard policy is detected, and
+    /// every resulting witness validates.
+    #[test]
+    fn family_ablations_yield_validated_witnesses(ix in 0usize..RuleFamily::ALL.len()) {
+        let full = PolicyData::standard();
+        let ablated = PolicyData::standard().without(RuleFamily::ALL[ix]);
+        let findings = check_equivalence(&full, &ablated, "full", "ablated");
+        prop_assert!(
+            !findings.is_empty(),
+            "removing {:?} must be observable",
+            RuleFamily::ALL[ix]
+        );
+        assert_witnesses_separate(&findings, &full, &ablated);
+    }
+}
+
+#[test]
+fn shipped_configuration_lints_clean_under_deny_warnings() {
+    let farm = FarmConfig::default();
+    assert_eq!(farm.proxies.len(), 7);
+    let mut findings = lint_policy(&PolicyData::standard());
+    findings.extend(lint_farm(&farm));
+    let report = LintReport::new("standard", None, findings, None);
+    assert!(
+        !report.failing(true),
+        "standard policy + 7-proxy farm must pass --deny warnings: {}",
+        report.render()
+    );
+    let (errors, warnings, _notes) = report.counts();
+    assert_eq!((errors, warnings), (0, 0));
+}

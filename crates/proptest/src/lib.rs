@@ -17,6 +17,8 @@
 //! index and re-raises the panic. `PROPTEST_CASES` overrides the per-test
 //! case count (default 64).
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod pattern;
 pub mod rng;

@@ -178,6 +178,85 @@ pub const CUSTOM_CATEGORY_QUERIES: [&str; 4] = ["", "ref=ts", "sk=wall", "ref=se
 /// Facebook frontends the page rules apply to.
 pub const FACEBOOK_HOSTS: [&str; 3] = ["www.facebook.com", "facebook.com", "ar-ar.facebook.com"];
 
+/// What a routing specialization selects on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteSelector {
+    /// Requests whose base domain is one of these.
+    BaseDomains(&'static [&'static str]),
+    /// Requests whose `cs-host` is a literal IPv4 address.
+    LiteralIp,
+}
+
+/// One domain-based routing specialization (§5.1–§5.2): traffic matching
+/// `selector` is concentrated on specific proxies instead of being placed
+/// uniformly. `bands` are cumulative per-mille cut-offs over the request's
+/// routing hash: the first `(proxy, cut)` with `hash‰ < cut` wins; a hash at
+/// or past the last cut falls back to uniform placement.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteBias {
+    /// Which requests this bias applies to.
+    pub selector: RouteSelector,
+    /// Cumulative per-mille bands, ascending.
+    pub bands: &'static [(ProxyId, u32)],
+}
+
+impl RouteBias {
+    /// Does this bias select a request with the given base domain / IP-ness?
+    pub fn selects(&self, base_domain: &str, host_is_ip: bool) -> bool {
+        match self.selector {
+            RouteSelector::BaseDomains(domains) => domains.contains(&base_domain),
+            RouteSelector::LiteralIp => host_is_ip,
+        }
+    }
+
+    /// The proxy a routing hash of `pm`‰ lands on, if any band covers it.
+    pub fn target(&self, pm: u64) -> Option<ProxyId> {
+        self.bands
+            .iter()
+            .find(|&&(_, cut)| pm < cut as u64)
+            .map(|&(p, _)| p)
+    }
+
+    /// The per-mille share of selected traffic each proxy receives through
+    /// this bias (the remainder is placed uniformly).
+    pub fn share_per_mille(&self, proxy: ProxyId) -> u32 {
+        let mut prev = 0;
+        for &(p, cut) in self.bands {
+            if p == proxy {
+                return cut - prev;
+            }
+            prev = cut;
+        }
+        0
+    }
+
+    /// A stable human label for the selector (skew-report row heading).
+    pub fn label(&self) -> String {
+        match self.selector {
+            RouteSelector::BaseDomains(domains) => domains.join("+"),
+            RouteSelector::LiteralIp => "literal-IP hosts".to_string(),
+        }
+    }
+}
+
+/// The farm's routing specializations, in evaluation order (§5.2):
+/// `metacafe.com` ≳95 % on SG-48, Instant-Messaging domains biased toward
+/// SG-48/SG-45, literal-IP destinations biased toward SG-47.
+pub const ROUTE_BIASES: &[RouteBias] = &[
+    RouteBias {
+        selector: RouteSelector::BaseDomains(&["metacafe.com"]),
+        bands: &[(ProxyId::Sg48, 955)],
+    },
+    RouteBias {
+        selector: RouteSelector::BaseDomains(&["skype.com", "live.com", "ceipmsn.com"]),
+        bands: &[(ProxyId::Sg48, 500), (ProxyId::Sg45, 750)],
+    },
+    RouteBias {
+        selector: RouteSelector::LiteralIp,
+        bands: &[(ProxyId::Sg47, 600)],
+    },
+];
+
 /// Per-proxy configuration.
 #[derive(Debug, Clone)]
 pub struct ProxyConfig {
@@ -292,6 +371,32 @@ mod tests {
         assert!(REDIRECT_HOSTS.contains(&"upload.youtube.com"));
         // Category breadth: at least 8 distinct Table 9 buckets represented.
         assert!(BLOCKED_DOMAINS.len() >= 80);
+    }
+
+    #[test]
+    fn route_biases_encode_the_paper_specializations() {
+        // metacafe.com → SG-48 at 955‰; IM split 500/250; IPs → SG-47 at 600.
+        let metacafe = &ROUTE_BIASES[0];
+        assert!(metacafe.selects("metacafe.com", false));
+        assert!(!metacafe.selects("skype.com", false));
+        assert_eq!(metacafe.target(0), Some(ProxyId::Sg48));
+        assert_eq!(metacafe.target(954), Some(ProxyId::Sg48));
+        assert_eq!(metacafe.target(955), None);
+        assert_eq!(metacafe.share_per_mille(ProxyId::Sg48), 955);
+        assert_eq!(metacafe.share_per_mille(ProxyId::Sg42), 0);
+
+        let im = &ROUTE_BIASES[1];
+        assert_eq!(im.target(499), Some(ProxyId::Sg48));
+        assert_eq!(im.target(500), Some(ProxyId::Sg45));
+        assert_eq!(im.target(750), None);
+        assert_eq!(im.share_per_mille(ProxyId::Sg45), 250);
+
+        let ip = &ROUTE_BIASES[2];
+        assert!(ip.selects("84.229.0.1", true));
+        assert!(!ip.selects("84.229.0.1", false));
+        assert_eq!(ip.target(599), Some(ProxyId::Sg47));
+        assert_eq!(ip.label(), "literal-IP hosts");
+        assert_eq!(im.label(), "skype.com+live.com+ceipmsn.com");
     }
 
     #[test]

@@ -31,15 +31,22 @@
 use crate::policy_data::PolicyData;
 use filterscope_core::{Error, Ipv4Cidr, Result};
 
-/// Escape a value for a quoted CPL literal.
+/// Escape a value for a quoted CPL literal. Quotes and backslashes get a
+/// backslash; newlines and carriage returns become `\n`/`\r` so that any
+/// value survives the line-oriented format.
 fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
-        if c == '"' || c == '\\' {
-            out.push('\\');
+        match c {
+            '"' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
         }
-        out.push(c);
     }
     out.push('"');
     out
@@ -54,6 +61,8 @@ fn unquote(s: &str) -> Result<(String, &str)> {
     loop {
         match chars.next() {
             Some((_, '\\')) => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
                 Some((_, c)) => out.push(c),
                 None => return Err(bad()),
             },
@@ -122,31 +131,87 @@ enum Section {
     Queries,
 }
 
-/// Extract the value of `key="..."` from `line`, returning (value, rest).
+impl Section {
+    /// The `define …` header naming this section in the dialect.
+    fn name(self) -> &'static str {
+        match self {
+            Section::None => "",
+            Section::Keywords => "condition blacklist_keywords",
+            Section::Domains => "condition blocked_domains",
+            Section::Subnets => "subnet blocked_subnets",
+            Section::Redirects => "condition redirect_hosts",
+            Section::Pages => "condition blocked_pages",
+            Section::Queries => "condition blocked_page_queries",
+        }
+    }
+
+    /// Bit used to track which sections a document has already defined.
+    fn bit(self) -> u8 {
+        match self {
+            Section::None => 0,
+            Section::Keywords => 1,
+            Section::Domains => 2,
+            Section::Subnets => 4,
+            Section::Redirects => 8,
+            Section::Pages => 16,
+            Section::Queries => 32,
+        }
+    }
+}
+
+/// Extract the value of a leading `key="..."` attribute from `line`,
+/// returning (value, rest-after-closing-quote). The attribute must start the
+/// (whitespace-trimmed) line — stray text before it is a parse error.
 fn take_attr<'a>(line: &'a str, key: &str) -> Result<(String, &'a str)> {
-    let prefix = format!("{key}=\"");
-    let start = line
-        .find(&prefix)
-        .ok_or_else(|| Error::InvalidConfig(format!("expected {key}=\"...\" in {line:?}")))?;
-    unquote(&line[start + prefix.len()..])
+    let line = line.trim_start();
+    let rest = line
+        .strip_prefix(key)
+        .and_then(|r| r.strip_prefix("=\""))
+        .ok_or_else(|| Error::InvalidConfig(format!("expected {key}=\"...\", found {line:?}")))?;
+    unquote(rest)
+}
+
+/// Fail when anything but whitespace follows the last attribute of a line.
+fn expect_line_end(rest: &str) -> Result<()> {
+    if rest.trim().is_empty() {
+        Ok(())
+    } else {
+        Err(Error::InvalidConfig(format!(
+            "trailing content {:?} after attribute",
+            rest.trim()
+        )))
+    }
 }
 
 /// Parse the CPL dialect back into a [`PolicyData`].
+///
+/// Every parse error carries the 1-based line number it occurred on
+/// ([`Error::MalformedRecord`]), and each `define` block may appear at most
+/// once per document — a second `define` of the same section is rejected
+/// with a named-section error.
 pub fn parse_cpl(text: &str) -> Result<PolicyData> {
     let mut policy = PolicyData::empty();
     let mut section = Section::None;
+    let mut seen: u8 = 0;
+    let mut opened_at: u64 = 0;
     for (no, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
-        let err = |reason: &str| Error::MalformedRecord {
-            line: (no + 1) as u64,
-            reason: reason.to_string(),
+        let lineno = (no + 1) as u64;
+        let err = |reason: String| Error::MalformedRecord {
+            line: lineno,
+            reason,
+        };
+        // Positioned wrapper for the attribute/literal helpers.
+        let at = |e: Error| match e {
+            Error::MalformedRecord { .. } => e,
+            other => err(other.to_string()),
         };
         if let Some(rest) = line.strip_prefix("define ") {
             if section != Section::None {
-                return Err(err("nested define"));
+                return Err(err(format!("nested define inside \"{}\"", section.name())));
             }
             section = match rest.trim() {
                 "condition blacklist_keywords" => Section::Keywords,
@@ -155,47 +220,65 @@ pub fn parse_cpl(text: &str) -> Result<PolicyData> {
                 "condition redirect_hosts" => Section::Redirects,
                 "condition blocked_pages" => Section::Pages,
                 "condition blocked_page_queries" => Section::Queries,
-                other => return Err(err(&format!("unknown define {other:?}"))),
+                other => return Err(err(format!("unknown define {other:?}"))),
             };
+            if seen & section.bit() != 0 {
+                return Err(err(format!(
+                    "duplicate define of section \"{}\"",
+                    section.name()
+                )));
+            }
+            seen |= section.bit();
+            opened_at = lineno;
             continue;
         }
         if line == "end" {
             if section == Section::None {
-                return Err(err("end outside define"));
+                return Err(err("end outside define".to_string()));
             }
             section = Section::None;
             continue;
         }
         match section {
-            Section::None => return Err(err("rule outside define block")),
+            Section::None => return Err(err("rule outside define block".to_string())),
             Section::Keywords => {
-                let (v, _) = take_attr(line, "url.substring")?;
+                let (v, rest) = take_attr(line, "url.substring").map_err(at)?;
+                expect_line_end(rest).map_err(at)?;
                 policy.keywords.push(v);
             }
             Section::Domains => {
-                let (v, _) = take_attr(line, "url.domain")?;
+                let (v, rest) = take_attr(line, "url.domain").map_err(at)?;
+                expect_line_end(rest).map_err(at)?;
                 policy.blocked_domains.push(v);
             }
             Section::Subnets => {
-                policy.blocked_subnets.push(Ipv4Cidr::parse(line)?);
+                policy
+                    .blocked_subnets
+                    .push(Ipv4Cidr::parse(line).map_err(at)?);
             }
             Section::Redirects => {
-                let (v, _) = take_attr(line, "url.host")?;
+                let (v, rest) = take_attr(line, "url.host").map_err(at)?;
+                expect_line_end(rest).map_err(at)?;
                 policy.redirect_hosts.push(v);
             }
             Section::Pages => {
-                let (host, rest) = take_attr(line, "url.host")?;
-                let (path, _) = take_attr(rest, "url.path")?;
+                let (host, rest) = take_attr(line, "url.host").map_err(at)?;
+                let (path, rest) = take_attr(rest, "url.path").map_err(at)?;
+                expect_line_end(rest).map_err(at)?;
                 policy.custom_pages.push((host, path));
             }
             Section::Queries => {
-                let (v, _) = take_attr(line, "url.query")?;
+                let (v, rest) = take_attr(line, "url.query").map_err(at)?;
+                expect_line_end(rest).map_err(at)?;
                 policy.custom_queries.push(v);
             }
         }
     }
     if section != Section::None {
-        return Err(Error::InvalidConfig("unterminated define block".into()));
+        return Err(Error::MalformedRecord {
+            line: opened_at,
+            reason: format!("unterminated define block \"{}\"", section.name()),
+        });
     }
     Ok(policy)
 }
@@ -241,6 +324,69 @@ mod tests {
             parse_cpl("define condition blacklist_keywords\n  url.substring=\"open\nend\n")
                 .is_err()
         ); // unterminated string
+    }
+
+    /// Unwrap a parse error into its (line, reason) position.
+    fn err_at(text: &str) -> (u64, String) {
+        match parse_cpl(text) {
+            Err(Error::MalformedRecord { line, reason }) => (line, reason),
+            other => panic!("expected positioned parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let (line, reason) = err_at("; c\n\ndefine condition blacklist_keywords\n  nope\nend\n");
+        assert_eq!(line, 4);
+        assert!(reason.contains("url.substring"), "{reason}");
+
+        let (line, _) = err_at("define subnet blocked_subnets\n  1.2.3.4/8\n  oops\nend\n");
+        assert_eq!(line, 3);
+
+        let (line, reason) =
+            err_at("define condition blacklist_keywords\n  url.substring=\"open\nend\n");
+        assert_eq!(line, 2);
+        assert!(reason.contains("literal"), "{reason}");
+
+        // Unterminated blocks point at the line that opened them.
+        let (line, reason) = err_at("; x\ndefine condition blocked_domains\n");
+        assert_eq!(line, 2);
+        assert!(reason.contains("blocked_domains"), "{reason}");
+
+        // Trailing garbage after an attribute is rejected, with position.
+        let (line, reason) =
+            err_at("define condition redirect_hosts\n  url.host=\"a.com\" junk\nend\n");
+        assert_eq!(line, 2);
+        assert!(reason.contains("trailing"), "{reason}");
+    }
+
+    #[test]
+    fn duplicate_define_blocks_rejected_by_name() {
+        let text = "define condition blacklist_keywords\nend\n\
+                    define condition blocked_domains\nend\n\
+                    define condition blacklist_keywords\nend\n";
+        let (line, reason) = err_at(text);
+        assert_eq!(line, 5);
+        assert!(reason.contains("duplicate define"), "{reason}");
+        assert!(reason.contains("blacklist_keywords"), "{reason}");
+        // All six sections once: fine (that is exactly what to_cpl emits).
+        assert!(parse_cpl(&to_cpl(&PolicyData::standard())).is_ok());
+    }
+
+    #[test]
+    fn newlines_in_values_roundtrip() {
+        let mut policy = PolicyData::empty();
+        policy.keywords.push("multi\nline".into());
+        policy.keywords.push("carriage\rreturn".into());
+        policy.keywords.push("literal\\n".into()); // backslash then 'n'
+        policy.custom_queries.push("a\nb".into());
+        let text = to_cpl(&policy);
+        // The serialized form stays line-oriented: one rule per line.
+        assert!(!text.contains("multi\nline"));
+        let back = parse_cpl(&text).unwrap();
+        assert_eq!(back, policy);
+        // Fixed point: serialize→parse→serialize is identity on the text.
+        assert_eq!(to_cpl(&back), text);
     }
 
     #[test]

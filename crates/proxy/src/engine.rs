@@ -109,6 +109,22 @@ impl PolicyEngine {
         per_mille(decision_hash(self.seed, "tor-relay", &key)) < intensity
     }
 
+    /// Evaluate the static rule tiers for a bare URL — the witness-execution
+    /// hook used by `filterscope-policylint`.
+    ///
+    /// Runs the *real* [`PolicyEngine::decide`] path on a plain GET with a
+    /// fixed in-study timestamp and the SG-42 configuration, whose Tor cap
+    /// is 0 — so the decision is a pure function of the URL and the five
+    /// static rule families, independent of relay data and wall-clock state.
+    pub fn decide_url(&self, url: &filterscope_logformat::RequestUrl) -> Decision {
+        let ts = Timestamp::parse_fields("2011-08-03", "12:00:00").expect("static literal");
+        let req = Request::get(ts, url.clone());
+        self.decide(
+            &ProxyConfig::standard(filterscope_core::ProxyId::Sg42),
+            &req,
+        )
+    }
+
     /// Evaluate the policy for `req` on a proxy configured as `cfg`.
     pub fn decide(&self, cfg: &ProxyConfig, req: &Request) -> Decision {
         let url = &req.url;
@@ -288,6 +304,27 @@ mod tests {
             e.category_label(&cfg(ProxyId::Sg48), Decision::Deny(Trigger::Keyword)),
             "none"
         );
+    }
+
+    #[test]
+    fn decide_url_matches_full_decide_on_static_tiers() {
+        let e = engine();
+        let c = cfg(ProxyId::Sg42);
+        for (host, path, query) in [
+            ("google.com", "/tbproxy/af/query", ""),
+            ("metacafe.com", "/", ""),
+            ("84.229.13.7", "/", ""),
+            ("upload.youtube.com", "/upload", ""),
+            ("www.facebook.com", "/Syrian.Revolution", "ref=ts"),
+            ("ok.example", "/", ""),
+        ] {
+            let url = RequestUrl::http(host, path).with_query(query);
+            assert_eq!(
+                e.decide_url(&url),
+                e.decide(&c, &get(url.clone())),
+                "{host}{path}?{query}"
+            );
+        }
     }
 
     #[test]

@@ -100,8 +100,9 @@ impl ProxyFarm {
         &self.engine
     }
 
-    /// Route a request to a proxy: uniform hash placement with domain-based
-    /// specialization overrides.
+    /// Route a request to a proxy: uniform hash placement with the
+    /// domain-based specialization overrides of [`config::ROUTE_BIASES`]
+    /// (shared with the static skew report in `filterscope-policylint`).
     pub fn route(&self, req: &Request) -> ProxyId {
         let seed = self.config.seed;
         let key = req.identity_bytes();
@@ -110,22 +111,14 @@ impl ProxyFarm {
 
         if self.active.len() == ProxyId::COUNT {
             let base = base_domain_of(&req.url.host);
-            // metacafe.com: ≳95% on SG-48 (§5.2).
-            if base == "metacafe.com" && pm < 955 {
-                return ProxyId::Sg48;
-            }
-            // IM services: biased toward SG-48 and SG-45.
-            if matches!(base.as_ref(), "skype.com" | "live.com" | "ceipmsn.com") {
-                if pm < 500 {
-                    return ProxyId::Sg48;
+            let is_ip = req.url.host_is_ip();
+            for bias in crate::config::ROUTE_BIASES {
+                if !bias.selects(&base, is_ip) {
+                    continue;
                 }
-                if pm < 750 {
-                    return ProxyId::Sg45;
+                if let Some(proxy) = bias.target(pm) {
+                    return proxy;
                 }
-            }
-            // Literal-IP destinations: biased toward SG-47.
-            if req.url.host_is_ip() && pm < 600 {
-                return ProxyId::Sg47;
             }
         }
         self.active[(h % self.active.len() as u64) as usize]

@@ -25,6 +25,8 @@
 //! deterministic: outcomes are pure functions of (request, config), so a
 //! regenerated corpus is byte-identical.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod cpl;

@@ -7,6 +7,8 @@
 //! vectors (Table 6), confidence intervals for proportions (the Dsample
 //! justification in §3.3), and power-law diagnostics (Fig. 2).
 
+#![forbid(unsafe_code)]
+
 pub mod cdf;
 pub mod counter;
 pub mod histogram;

@@ -30,6 +30,11 @@
 //!
 //! [`AnalysisSuite::take_delta`]: filterscope_analysis::AnalysisSuite::take_delta
 
+// `deny` rather than the workspace-wide `forbid`: installing a SIGINT
+// handler requires one `libc::signal`-shaped FFI call, carried by a single
+// audited `#[allow(unsafe_code)]` in `shutdown.rs`.
+#![deny(unsafe_code)]
+
 pub mod client;
 pub mod metrics;
 pub mod server;

@@ -31,6 +31,12 @@ mod sys {
 /// Install a SIGINT handler (idempotent) and return the flag it sets.
 /// On non-unix targets the flag is returned un-wired; the `/shutdown`
 /// control endpoint remains the way to stop the daemon there.
+// The workspace is `unsafe`-free except for this one call: registering a
+// signal handler has no safe std equivalent and the offline build bars
+// `signal-hook`. Safety: `on_sigint` only stores into an atomic, the one
+// operation that is async-signal-safe by construction, and `signal(2)` is
+// called before any serve thread spawns.
+#[allow(unsafe_code)]
 pub fn install_sigint() -> Arc<AtomicBool> {
     let flag = SIGINT_FLAG
         .get_or_init(|| Arc::new(AtomicBool::new(false)))

@@ -20,6 +20,8 @@
 //! * [`Corpus::generate`] / [`Corpus::for_each_record`] — end-to-end:
 //!   workload → farm → [`filterscope_logformat::LogRecord`]s.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod classes;
 pub mod config;

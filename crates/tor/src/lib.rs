@@ -17,6 +17,8 @@
 //! * [`synthesize_consensus`] — a deterministic synthetic consensus for the
 //!   simulation (the real 2011 archives are not shipped with this repo).
 
+#![forbid(unsafe_code)]
+
 pub mod consensus;
 pub mod index;
 pub mod signaling;

@@ -3,8 +3,9 @@
 //! ```text
 //! filterscope generate --scale 65536 --out ./logs     write per-day log files
 //! filterscope analyze LOG...                          full report from log files
-//! filterscope audit LOG... [--cpl OUT]                recover the policy (§5.4)
+//! filterscope audit LOG... [--cpl OUT] [--lint]       recover the policy (§5.4)
 //! filterscope policy [--out FILE]                     dump the standard policy as CPL
+//! filterscope lint [POLICY] [--against POLICY]        static policy analysis
 //! filterscope report [--scale N]                      synthesize + analyze in one go
 //! filterscope analyses                                list the analysis registry
 //! filterscope serve --snapshots DIR                   live streaming ingest daemon
@@ -22,7 +23,9 @@ use filterscope::analysis::report::Table;
 use filterscope::core::{pool, Progress};
 use filterscope::logformat::fields::header_line;
 use filterscope::logformat::SchemaReader;
+use filterscope::policylint::{check_equivalence, lint_farm, lint_policy, skew_matrix, LintReport};
 use filterscope::prelude::*;
+use filterscope::proxy::config::FarmConfig;
 use filterscope::proxy::{cpl, PolicyData};
 use filterscope::stream::{
     install_sigint, stream_corpus, stream_files, ServeConfig, Server, StreamConfig,
@@ -37,8 +40,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  filterscope generate [--scale N] [--out DIR] [--threads N]\n  \
          filterscope analyze LOG... [--min-support N] [--geo FILE] [--categories FILE] [--json OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
-         filterscope audit LOG... [--min-support N] [--cpl OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
+         filterscope audit LOG... [--min-support N] [--cpl OUT] [--lint] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope policy [--out FILE]\n  \
+         filterscope lint [POLICY] [--against POLICY] [--json] [--deny warnings]\n  \
          filterscope report [--scale N] [--json OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope weather LOG... [--min-support N] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope compare --a LOG --b LOG [--min-support N]\n  \
@@ -46,6 +50,8 @@ fn usage() -> ExitCode {
          filterscope serve --snapshots DIR [--listen ADDR] [--metrics ADDR] [--every-ms N] [--min-support N] [--queue N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope stream [LOG... | --scale N] [--connect ADDR] [--connections N] [--batch N] [--compress X]\n\n\
          Flags accept `--flag value` or `--flag=value`.\n\
+         POLICY is `standard` or a CPL file; `lint` exits non-zero on error\n\
+         findings (and on warnings too under `--deny warnings`).\n\
          --analyses/--skip take comma-separated keys from `filterscope analyses`.\n\
          --threads defaults to the available parallelism; results are\n\
          byte-identical for every thread count."
@@ -61,16 +67,25 @@ struct Args {
 
 impl Args {
     /// Parse `raw` against one subcommand's flag vocabulary. `--flag value`
-    /// and `--flag=value` are equivalent; flags outside `allowed` and flags
-    /// without a value are reported as errors rather than silently ignored.
-    fn parse(raw: impl Iterator<Item = String>, allowed: &[&str]) -> Result<Args, String> {
+    /// and `--flag=value` are equivalent; flags outside `allowed`/`boolean`
+    /// and value flags without a value are reported as errors rather than
+    /// silently ignored. Flags in `boolean` take no value (`lint --json`).
+    fn parse(
+        raw: impl Iterator<Item = String>,
+        allowed: &[&str],
+        boolean: &[&str],
+    ) -> Result<Args, String> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut it = raw;
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 let (name, value) = match name.split_once('=') {
+                    Some((n, _)) if boolean.contains(&n) => {
+                        return Err(format!("flag --{n} takes no value"));
+                    }
                     Some((n, v)) => (n.to_string(), v.to_string()),
+                    None if boolean.contains(&name) => (name.to_string(), "true".to_string()),
                     // A bare flag's value must not itself look like a flag:
                     // `analyze --json --threads 4` is a mistake, not a request
                     // to write the summary to a file named "--threads".
@@ -79,7 +94,7 @@ impl Args {
                         None => return Err(format!("flag --{name} requires a value")),
                     },
                 };
-                if !allowed.contains(&name.as_str()) {
+                if !allowed.contains(&name.as_str()) && !boolean.contains(&name.as_str()) {
                     return Err(format!("unknown flag --{name}"));
                 }
                 flags.push((name, value));
@@ -95,6 +110,11 @@ impl Args {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Was a boolean flag given?
+    fn has_flag(&self, name: &str) -> bool {
+        self.flag(name).is_some()
     }
 
     fn flag_u64(&self, name: &str, default: u64) -> Option<u64> {
@@ -395,12 +415,33 @@ fn cmd_audit(args: &Args) -> ExitCode {
         }
         eprintln!("recovered policy written to {out}");
     }
+    // `--lint`: statically audit the recovered policy and check it for
+    // behavioural equivalence against the standard one — the inferred-vs-
+    // truth loop in a single command.
+    let mut lint_failed = false;
+    if args.has_flag("lint") {
+        let recovered = inference.export_policy(min_support, 3);
+        let mut findings = lint_policy(&recovered);
+        findings.extend(check_equivalence(
+            &recovered,
+            &PolicyData::standard(),
+            "recovered",
+            "standard",
+        ));
+        let report = LintReport::new("recovered", Some("standard".to_string()), findings, None);
+        print!("{}", report.render());
+        lint_failed = report.failing(false);
+    }
     for analysis in suite.analyses() {
         if analysis.key() != "inference" {
             println!("{}", analysis.render(&ctx));
         }
     }
-    ExitCode::SUCCESS
+    if lint_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_policy(args: &Args) -> ExitCode {
@@ -419,6 +460,70 @@ fn cmd_policy(args: &Args) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Resolve a policy spec (`standard` or a CPL file path) to policy data
+/// plus its display name.
+fn load_policy(spec: &str) -> Result<(PolicyData, String), ExitCode> {
+    if spec == "standard" {
+        return Ok((PolicyData::standard(), "standard".to_string()));
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| {
+        eprintln!("cannot read {spec}: {e}");
+        ExitCode::FAILURE
+    })?;
+    let policy = cpl::parse_cpl(&text).map_err(|e| {
+        eprintln!("cannot parse {spec}: {e}");
+        ExitCode::FAILURE
+    })?;
+    Ok((policy, spec.to_string()))
+}
+
+fn cmd_lint(args: &Args) -> ExitCode {
+    if args.positional.len() > 1 {
+        return usage();
+    }
+    match args.flag("deny") {
+        None | Some("warnings") => {}
+        Some(other) => {
+            eprintln!("filterscope lint: --deny accepts only `warnings`, got `{other}`");
+            return usage();
+        }
+    }
+    let spec = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("standard");
+    let (policy, name) = match load_policy(spec) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let mut findings = lint_policy(&policy);
+    let farm = FarmConfig::default();
+    findings.extend(lint_farm(&farm));
+    let against_name = match args.flag("against") {
+        Some(spec) => {
+            let (other, other_name) = match load_policy(spec) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            findings.extend(check_equivalence(&policy, &other, &name, &other_name));
+            Some(other_name)
+        }
+        None => None,
+    };
+    let report = LintReport::new(&name, against_name, findings, Some(skew_matrix(&farm)));
+    if args.has_flag("json") {
+        println!("{}", report.to_json().pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.failing(args.flag("deny").is_some()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_report(args: &Args) -> ExitCode {
@@ -678,6 +783,15 @@ fn cmd_analyses() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Boolean flags (no value) of one subcommand.
+fn bool_flags(command: &str) -> &'static [&'static str] {
+    match command {
+        "lint" => &["json"],
+        "audit" => &["lint"],
+        _ => &[],
+    }
+}
+
 /// The flag vocabulary of one subcommand ([`Args::parse`] rejects the rest).
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
     Some(match command {
@@ -693,6 +807,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         ],
         "audit" => &["min-support", "cpl", "threads", "analyses", "skip"],
         "policy" => &["out"],
+        "lint" => &["against", "deny"],
         "report" => &["scale", "json", "threads", "analyses", "skip"],
         "weather" => &["min-support", "threads", "analyses", "skip"],
         "compare" => &["a", "b", "min-support"],
@@ -720,7 +835,7 @@ fn main() -> ExitCode {
     let Some(allowed) = allowed_flags(&command) else {
         return usage();
     };
-    let args = match Args::parse(raw, allowed) {
+    let args = match Args::parse(raw, allowed, bool_flags(&command)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("filterscope {command}: {e}");
@@ -732,6 +847,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "audit" => cmd_audit(&args),
         "policy" => cmd_policy(&args),
+        "lint" => cmd_lint(&args),
         "report" => cmd_report(&args),
         "weather" => cmd_weather(&args),
         "compare" => cmd_compare(&args),

@@ -28,12 +28,17 @@
 //! * [`proxy`] — the SG-9000 policy engine and seven-proxy farm;
 //! * [`synth`] — the calibrated workload generator;
 //! * [`analysis`] — every table/figure as a streaming accumulator;
+//! * [`policylint`] — static analysis of policies: reachability and
+//!   shadowing lints, the cross-proxy skew matrix, and witness-backed
+//!   equivalence checking (`filterscope lint`);
 //! * [`stream`] — the live ingest daemon (`serve`) and replay client
 //!   (`stream`): framed TCP batches, per-connection analysis shards,
 //!   periodic snapshot folds, and a `/metrics` endpoint;
 //! * [`tor`], [`bittorrent`], [`geoip`], [`categorizer`] — the external
 //!   datasets the paper used, rebuilt as substrates;
 //! * [`matchers`], [`stats`], [`core`] — engines and primitives.
+
+#![forbid(unsafe_code)]
 
 pub use filterscope_analysis as analysis;
 pub use filterscope_bittorrent as bittorrent;
@@ -42,6 +47,7 @@ pub use filterscope_core as core;
 pub use filterscope_geoip as geoip;
 pub use filterscope_logformat as logformat;
 pub use filterscope_match as matchers;
+pub use filterscope_policylint as policylint;
 pub use filterscope_proxy as proxy;
 pub use filterscope_stats as stats;
 pub use filterscope_stream as stream;

@@ -71,6 +71,31 @@ fn audit_recovers_policy_and_exports_cpl() {
     let cpl = std::fs::read_to_string(&cpl_path).expect("cpl written");
     // The exported CPL parses back.
     assert!(filterscope::proxy::cpl::parse_cpl(&cpl).is_ok());
+
+    // `--lint` closes the inferred-vs-truth loop in one command: at this
+    // small scale many standard rules go unobserved, so the recovered
+    // policy is provably not equivalent and the exit code must say so.
+    let mut cmd = bin();
+    cmd.arg("audit")
+        .args(&logs)
+        .args(["--min-support", "3", "--lint"]);
+    let out = cmd.output().expect("run audit --lint");
+    assert!(
+        !out.status.success(),
+        "non-equivalent recovered policy must fail the audit"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("policy lint: recovered vs standard"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("error[not-equivalent]"), "{stdout}");
+    // Every reported difference carries an executed witness URL.
+    assert_eq!(
+        stdout.matches("error[not-equivalent]").count(),
+        stdout.matches("(witness http://").count(),
+        "{stdout}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

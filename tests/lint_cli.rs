@@ -1,0 +1,197 @@
+//! Tier-1 golden tests for `filterscope lint`: the shipped standard policy
+//! must pass `--deny warnings`, the skew matrix must statically recover the
+//! paper's per-proxy findings, the JSON finding schema is pinned, and
+//! `--against` non-equivalence carries executed witnesses and a non-zero
+//! exit. Everything here is offline and deterministic.
+
+use filterscope::core::Json;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_filterscope"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("filterscope_lint_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn standard_policy_lints_clean_under_deny_warnings() {
+    let out = bin()
+        .args(["lint", "--deny", "warnings"])
+        .output()
+        .expect("run lint");
+    assert!(
+        out.status.success(),
+        "standard policy must pass --deny warnings: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("policy lint: standard\n"), "{stdout}");
+    // The six deliberate cross-tier masking notes, and nothing stronger.
+    assert_eq!(stdout.matches("note[redirect-masks-domain]").count(), 6);
+    assert!(!stdout.contains("warning["), "{stdout}");
+    assert!(!stdout.contains("error["), "{stdout}");
+    assert!(stdout.contains("no findings (6 note(s))"), "{stdout}");
+}
+
+#[test]
+fn skew_matrix_recovers_the_paper_findings_statically() {
+    let out = bin().arg("lint").output().expect("run lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== Cross-proxy skew matrix =="), "{stdout}");
+    // All seven proxies head the matrix.
+    for p in [
+        "SG-42", "SG-43", "SG-44", "SG-45", "SG-46", "SG-47", "SG-48",
+    ] {
+        assert!(stdout.contains(p), "missing {p}: {stdout}");
+    }
+    // Golden minority marks: SG-44's Tor relay cap, SG-48's metacafe route
+    // concentration, and the SG-43/SG-48 `none` category labels.
+    assert!(stdout.contains("Tor relay rule"), "{stdout}");
+    assert!(stdout.contains("900*"), "SG-44 Tor cap: {stdout}");
+    assert!(stdout.contains("955*"), "SG-48 metacafe: {stdout}");
+    assert!(stdout.contains("none*"), "category label style: {stdout}");
+    assert!(stdout.contains("route metacafe.com"), "{stdout}");
+}
+
+#[test]
+fn json_output_matches_the_pinned_schema() {
+    let out = bin().args(["lint", "--json"]).output().expect("run lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let json = Json::parse(&stdout).expect("lint --json must emit valid JSON");
+
+    assert_eq!(json.get("policy"), Some(&Json::Str("standard".into())));
+    assert_eq!(json.get("against"), Some(&Json::Null));
+
+    let summary = json.get("summary").expect("summary member");
+    assert_eq!(summary.get("errors"), Some(&Json::UInt(0)));
+    assert_eq!(summary.get("warnings"), Some(&Json::UInt(0)));
+    assert_eq!(summary.get("notes"), Some(&Json::UInt(6)));
+
+    let Some(Json::Arr(findings)) = json.get("findings") else {
+        panic!("findings must be an array");
+    };
+    assert_eq!(findings.len(), 6);
+    for f in findings {
+        assert_eq!(f.get("severity"), Some(&Json::Str("note".into())));
+        assert_eq!(
+            f.get("code"),
+            Some(&Json::Str("redirect-masks-domain".into()))
+        );
+        assert!(matches!(f.get("rule"), Some(Json::Str(_))));
+        assert!(matches!(f.get("message"), Some(Json::Str(_))));
+        assert_eq!(f.get("witness"), Some(&Json::Null));
+    }
+
+    let skew = json.get("skew").expect("skew member");
+    let Some(Json::Arr(proxies)) = skew.get("proxies") else {
+        panic!("skew.proxies must be an array");
+    };
+    assert_eq!(proxies.len(), 7);
+    assert_eq!(proxies[0], Json::Str("SG-42".into()));
+    let Some(Json::Arr(rows)) = skew.get("rows") else {
+        panic!("skew.rows must be an array");
+    };
+    assert_eq!(rows.len(), 6, "3 config axes + 3 routing biases");
+    let tor = rows
+        .iter()
+        .find(|r| matches!(r.get("label"), Some(Json::Str(l)) if l.starts_with("Tor relay rule")))
+        .expect("Tor relay row");
+    let Some(Json::Arr(skewed)) = tor.get("skewed") else {
+        panic!("row.skewed must be an array");
+    };
+    assert!(skewed.contains(&Json::Str("SG-44".into())), "{skewed:?}");
+}
+
+#[test]
+fn against_nonequivalent_policy_fails_with_executed_witness() {
+    let dir = temp_dir("against");
+    // Dump the standard policy, then ablate one keyword so the two differ
+    // in exactly one observable way.
+    let cpl_path = dir.join("ablated.cpl");
+    let out = bin()
+        .args(["policy", "--out"])
+        .arg(&cpl_path)
+        .output()
+        .expect("run policy");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&cpl_path).expect("cpl written");
+    assert!(text.contains("url.substring=\"ultrasurf\""));
+    let ablated = text.replace("  url.substring=\"ultrasurf\"\n", "");
+    std::fs::write(&cpl_path, ablated).expect("write ablated");
+
+    let out = bin()
+        .args(["lint", "--json"])
+        .arg(&cpl_path)
+        .args(["--against", "standard"])
+        .output()
+        .expect("run lint --against");
+    assert!(
+        !out.status.success(),
+        "non-equivalence must exit non-zero even without --deny"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let json = Json::parse(&stdout).expect("valid JSON");
+    assert_eq!(json.get("against"), Some(&Json::Str("standard".into())));
+    let Some(Json::Arr(findings)) = json.get("findings") else {
+        panic!("findings must be an array");
+    };
+    let errors: Vec<&Json> = findings
+        .iter()
+        .filter(|f| f.get("severity") == Some(&Json::Str("error".into())))
+        .collect();
+    assert_eq!(errors.len(), 1, "exactly one separating rule: {stdout}");
+    let f = errors[0];
+    assert_eq!(f.get("code"), Some(&Json::Str("not-equivalent".into())));
+    assert_eq!(
+        f.get("rule"),
+        Some(&Json::Str("keyword \"ultrasurf\"".into()))
+    );
+    let w = f.get("witness").expect("witness required");
+    assert_eq!(
+        w.get("url"),
+        Some(&Json::Str("http://w.invalid/ultrasurf".into()))
+    );
+    assert_eq!(w.get("left"), Some(&Json::Str("allow".into())));
+    assert_eq!(w.get("right"), Some(&Json::Str("deny".into())));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_flag_validation() {
+    // `--deny` accepts only `warnings`.
+    let out = bin()
+        .args(["lint", "--deny", "errors"])
+        .output()
+        .expect("run lint");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--deny accepts only `warnings`"),
+        "{stderr}"
+    );
+
+    // `--json` is boolean: the `=value` spelling is rejected.
+    let out = bin()
+        .args(["lint", "--json=yes"])
+        .output()
+        .expect("run lint");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("takes no value"), "{stderr}");
+
+    // An unreadable policy file is a clean error, not a panic.
+    let out = bin()
+        .args(["lint", "/nonexistent/policy.cpl"])
+        .output()
+        .expect("run lint");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

@@ -1,0 +1,152 @@
+//! CPL round-trip property: `to_cpl ∘ parse_cpl ∘ to_cpl == to_cpl` — the
+//! serializer is a fixed point — on policies built from hostile strings
+//! (quotes, backslashes, embedded newlines, CPL syntax as values) and the
+//! full range of CIDR prefixes. Counterexample classes that motivated the
+//! escaping rules are pinned as explicit seed tests below so they stay
+//! covered even at a small property-test case count.
+
+use filterscope::core::Ipv4Cidr;
+use filterscope::proxy::{cpl, PolicyData};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Printable-ASCII strings salted with the characters the quoting layer has
+/// to escape: newlines, carriage returns, and trailing backslashes (the
+/// classic "escape the closing quote" counterexample).
+fn nasty() -> impl Strategy<Value = String> {
+    ("[ -~]{0,12}", 0u8..8).prop_map(|(mut s, salt)| {
+        if salt & 1 != 0 {
+            s.push('\n');
+        }
+        if salt & 2 != 0 {
+            s.insert(0, '\r');
+        }
+        if salt & 4 != 0 {
+            s.push('\\');
+        }
+        s
+    })
+}
+
+/// Policies whose every string field draws from [`nasty`] and whose subnets
+/// cover the whole prefix range, including /0 and host-bit-carrying inputs
+/// (which `Ipv4Cidr::new` canonicalizes by masking).
+fn arb_hostile_policy() -> impl Strategy<Value = PolicyData> {
+    (
+        proptest::collection::vec(nasty(), 0..5),
+        proptest::collection::vec(nasty(), 0..5),
+        proptest::collection::vec((any::<u32>(), 0u8..=32), 0..5),
+        proptest::collection::vec(nasty(), 0..4),
+        proptest::collection::vec((nasty(), nasty()), 0..4),
+        proptest::collection::vec(nasty(), 0..4),
+    )
+        .prop_map(
+            |(keywords, domains, subnets, redirects, pages, queries)| PolicyData {
+                keywords,
+                blocked_domains: domains,
+                blocked_subnets: subnets
+                    .into_iter()
+                    .map(|(a, l)| Ipv4Cidr::new(Ipv4Addr::from(a), l).expect("prefix in 0..=32"))
+                    .collect(),
+                redirect_hosts: redirects,
+                custom_pages: pages,
+                custom_queries: queries,
+            },
+        )
+}
+
+/// Assert the full fixed point for one policy: parse inverts serialize, and
+/// re-serializing reproduces the text byte-for-byte.
+fn assert_fixed_point(policy: &PolicyData) {
+    let text = cpl::to_cpl(policy);
+    let back = cpl::parse_cpl(&text).expect("canonical CPL must parse");
+    assert_eq!(&back, policy, "parse must invert serialize\n{text}");
+    assert_eq!(cpl::to_cpl(&back), text, "serializer must be a fixed point");
+}
+
+proptest! {
+    /// serialize→parse→serialize is the identity on both the policy and
+    /// the text, for arbitrary hostile policies.
+    #[test]
+    fn cpl_serialization_is_a_fixed_point(policy in arb_hostile_policy()) {
+        let text = cpl::to_cpl(&policy);
+        let back = cpl::parse_cpl(&text).expect("canonical CPL must parse");
+        prop_assert_eq!(&back, &policy);
+        prop_assert_eq!(cpl::to_cpl(&back), text);
+    }
+}
+
+#[test]
+fn seed_cpl_syntax_as_values() {
+    // Values that mimic the dialect's own syntax must stay data: the quoted
+    // form never lets them terminate a block or open a new one.
+    let mut p = PolicyData::empty();
+    p.keywords = vec![
+        "end".into(),
+        "define condition blocked_domains".into(),
+        "url.substring=\"x\"".into(),
+        "; not a comment".into(),
+    ];
+    p.blocked_domains = vec!["end".into()];
+    assert_fixed_point(&p);
+}
+
+#[test]
+fn seed_escape_soup() {
+    // Every escape class at once: bare quote, bare backslash, value ending
+    // in a backslash (which must not swallow the closing quote), a literal
+    // backslash-n that must stay two characters, and real control chars.
+    let mut p = PolicyData::empty();
+    p.keywords = vec![
+        "\"".into(),
+        "\\".into(),
+        "x\\".into(),
+        "literal\\n".into(),
+        "multi\nline".into(),
+        "carriage\rreturn".into(),
+        "\r\n".into(),
+    ];
+    p.custom_queries = vec!["a\nb".into(), "tab\there".into()];
+    let text = cpl::to_cpl(&p);
+    assert!(
+        text.lines().count() > p.keywords.len(),
+        "format must stay line-oriented"
+    );
+    assert!(!text.contains("multi\nline"), "newlines must be escaped");
+    assert_fixed_point(&p);
+}
+
+#[test]
+fn seed_empty_and_whitespace_values() {
+    let mut p = PolicyData::empty();
+    p.keywords = vec!["".into(), " ".into()];
+    p.blocked_domains = vec![".il".into()];
+    p.redirect_hosts = vec!["".into()];
+    p.custom_pages = vec![
+        ("".into(), "".into()),
+        (
+            "www.facebook.com".into(),
+            "/path with \"quotes\" and spaces".into(),
+        ),
+    ];
+    p.custom_queries = vec!["".into()];
+    assert_fixed_point(&p);
+}
+
+#[test]
+fn seed_cidr_extremes() {
+    let cidr = |a: [u8; 4], l| Ipv4Cidr::new(Ipv4Addr::from(a), l).unwrap();
+    let mut p = PolicyData::empty();
+    p.blocked_subnets = vec![
+        cidr([0, 0, 0, 0], 0),          // the whole v4 space
+        cidr([255, 255, 255, 255], 32), // a single host
+        cidr([1, 2, 3, 4], 8),          // host bits masked to 1.0.0.0/8
+        cidr([84, 229, 0, 0], 16),      // the paper's Israeli block
+    ];
+    assert_fixed_point(&p);
+    let text = cpl::to_cpl(&p);
+    assert!(
+        text.contains("1.0.0.0/8"),
+        "host bits must be canonicalized"
+    );
+}
