@@ -23,7 +23,7 @@ use filterscope_core::pool;
 use filterscope_logformat::frame::{batch_lines, Frame};
 use filterscope_logformat::{parse_line, parse_view, LineSplitter, LogWriter, Schema};
 use filterscope_proxy::cpl;
-use filterscope_proxy::PolicyData;
+use filterscope_proxy::{artifact, PolicyData};
 use filterscope_proxy::{PolicyEngine, ProxyConfig, ProxyFarm, Request};
 use filterscope_synth::{Corpus, SynthConfig};
 use std::path::PathBuf;
@@ -107,6 +107,38 @@ fn bench_throughput(c: &mut Harness) {
         })
     });
 
+    // The same decisions through an engine deserialized from a compiled
+    // `FSCP` artifact — identical by construction (witness-gated), so any
+    // delta against `policy_decisions` is the cost/benefit of the
+    // compiled representation itself.
+    let artifact_bytes = artifact::compile(&PolicyData::standard(), 7, None);
+    let compiled = artifact::load(&artifact_bytes, None).unwrap();
+    g.bench_function("compiled_policy_decisions", |b| {
+        b.iter(|| {
+            let mut censored = 0u64;
+            for req in &requests {
+                if compiled.engine.decide(&cfg, req).is_censored() {
+                    censored += 1;
+                }
+            }
+            black_box(censored)
+        })
+    });
+
+    // Startup cost of each path to a live engine: text parse + automaton
+    // build versus zero-parse artifact load (the daemon-restart story).
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("policy_startup_parse_build", |b| {
+        b.iter(|| {
+            let policy = cpl::parse_cpl(&policy_text).unwrap();
+            black_box(PolicyEngine::from_data(&policy, None, 7))
+        })
+    });
+    g.bench_function("policy_startup_artifact_load", |b| {
+        b.iter(|| black_box(artifact::load(&artifact_bytes, None).unwrap()))
+    });
+
+    g.throughput(Throughput::Elements(requests.len() as u64));
     let farm = ProxyFarm::standard();
     g.bench_function("farm_end_to_end", |b| {
         b.iter(|| {

@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bytes;
 pub mod error;
 pub mod intern;
 pub mod json;
@@ -19,6 +20,7 @@ pub mod progress;
 pub mod proxy_id;
 pub mod time;
 
+pub use bytes::{crc32, ByteReader, ByteWriter};
 pub use error::{Error, Result};
 pub use intern::{Interner, Sym};
 pub use json::Json;

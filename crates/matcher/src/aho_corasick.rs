@@ -176,8 +176,35 @@ impl AhoCorasick {
         self.pattern_lens[i]
     }
 
+    /// Automaton size, root included (the DFA compiler walks every state).
+    pub(crate) fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Does any pattern end at (or fail-propagate into) state `s`?
+    pub(crate) fn state_is_match(&self, s: u32) -> bool {
+        !self.states[s as usize].out.is_empty()
+    }
+
+    /// The normalized bytes with an outgoing edge anywhere in the automaton
+    /// — the alphabet the DFA compiler builds byte classes from.
+    pub(crate) fn used_bytes(&self) -> [bool; 256] {
+        let mut used = [false; 256];
+        for s in &self.states {
+            for &(b, _) in &s.edges {
+                used[b as usize] = true;
+            }
+        }
+        used
+    }
+
+    /// Was the automaton built case-insensitively?
+    pub(crate) fn is_case_insensitive(&self) -> bool {
+        self.case_insensitive
+    }
+
     #[inline]
-    fn step(&self, mut state: u32, b: u8) -> u32 {
+    pub(crate) fn step(&self, mut state: u32, b: u8) -> u32 {
         let b = if self.case_insensitive {
             b.to_ascii_lowercase()
         } else {

@@ -1,0 +1,304 @@
+//! Dense DFA form of the keyword automaton, precomputed for the compiled
+//! policy artifact.
+//!
+//! [`crate::AhoCorasick`] resolves each input byte with a binary search
+//! over sparse edges plus a failure-link walk — cheap to build, but two
+//! data-dependent branches per byte on the hottest path the proxy farm
+//! has. [`AcDfa`] runs the same automaton after closing it over the
+//! failure function: one table lookup per byte, no failure walks, with
+//! ASCII case folding baked into a 256-entry byte-class table. Byte
+//! classes (all bytes no pattern uses share one class) keep the
+//! transition table small enough to serialize into the artifact and stay
+//! cache-resident.
+//!
+//! `AcDfa::is_match` is decision-identical to `AhoCorasick::is_match` by
+//! construction (property-tested), which is what lets the policy engine
+//! swap one for the other without the witness-equivalence gate noticing.
+
+use crate::aho_corasick::{AhoCorasick, AhoCorasickBuilder};
+use filterscope_core::{ByteReader, ByteWriter, Error, Result};
+
+/// Hard ceiling on `states × classes` accepted from a serialized artifact,
+/// so a corrupt header cannot make the loader allocate unbounded memory.
+const MAX_TABLE_ENTRIES: usize = 1 << 26;
+
+/// A fully tabulated Aho–Corasick DFA (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcDfa {
+    /// Byte → equivalence class; case folding is applied here.
+    classes: Box<[u8; 256]>,
+    /// Number of distinct classes (≥ 1; class 0 is "byte unused by any
+    /// pattern" when such bytes exist).
+    class_count: u32,
+    /// Number of DFA states (≥ 1; state 0 is the root).
+    state_count: u32,
+    /// Row-major transition table: `trans[state * class_count + class]`.
+    trans: Vec<u32>,
+    /// Per-state "some pattern ends here" flag.
+    matches: Vec<bool>,
+}
+
+impl AcDfa {
+    /// Compile `patterns` straight to a DFA (builds the NFA internally).
+    pub fn build<P: AsRef<[u8]>>(
+        patterns: impl IntoIterator<Item = P>,
+        ascii_case_insensitive: bool,
+    ) -> AcDfa {
+        let ac = AhoCorasickBuilder::new()
+            .ascii_case_insensitive(ascii_case_insensitive)
+            .build(patterns);
+        AcDfa::from_automaton(&ac)
+    }
+
+    /// Tabulate an existing automaton.
+    pub fn from_automaton(ac: &AhoCorasick) -> AcDfa {
+        let used = ac.used_bytes();
+        // Assign classes over *normalized* bytes: every byte some pattern
+        // uses gets its own class, every other byte shares class 0 (all
+        // such bytes behave identically — no edge anywhere targets them,
+        // so they reset every state to the root's default path).
+        let mut class_of_norm = [0u8; 256];
+        let mut class_count: u32 = 0;
+        let mut rep_of_class: Vec<u8> = Vec::new();
+        // Class 0 is the shared "unused" class — but only when an unused
+        // byte exists (otherwise 256 per-byte classes would overflow `u8`).
+        if let Some(unused) = (0..=255u8).find(|&b| !used[b as usize]) {
+            rep_of_class.push(unused);
+            class_count = 1;
+        }
+        for b in 0..=255u8 {
+            if used[b as usize] {
+                class_of_norm[b as usize] = class_count as u8;
+                rep_of_class.push(b);
+                class_count += 1;
+            }
+        }
+        // Fold the haystack-side case mapping into the table.
+        let mut classes = Box::new([0u8; 256]);
+        for b in 0..=255u8 {
+            let norm = if ac.is_case_insensitive() {
+                b.to_ascii_lowercase()
+            } else {
+                b
+            };
+            classes[b as usize] = class_of_norm[norm as usize];
+        }
+
+        let state_count = ac.state_count() as u32;
+        let mut trans = Vec::with_capacity(state_count as usize * class_count as usize);
+        let mut matches = Vec::with_capacity(state_count as usize);
+        for s in 0..state_count {
+            for c in 0..class_count {
+                // `step` re-folds case; representatives are already
+                // normalized, and lowercasing is idempotent.
+                trans.push(ac.step(s, rep_of_class[c as usize]));
+            }
+            matches.push(ac.state_is_match(s));
+        }
+        AcDfa {
+            classes,
+            class_count,
+            state_count,
+            trans,
+            matches,
+        }
+    }
+
+    /// Does any pattern occur in `haystack`? One table lookup per byte.
+    pub fn is_match(&self, haystack: impl AsRef<[u8]>) -> bool {
+        let cc = self.class_count as usize;
+        let mut state = 0usize;
+        for &b in haystack.as_ref() {
+            state = self.trans[state * cc + self.classes[b as usize] as usize] as usize;
+            if self.matches[state] {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of DFA states (diagnostics).
+    pub fn state_count(&self) -> usize {
+        self.state_count as usize
+    }
+
+    /// Number of byte classes (diagnostics).
+    pub fn class_count(&self) -> usize {
+        self.class_count as usize
+    }
+
+    /// Serialize into `w` (see [`AcDfa::read_from`] for the layout).
+    pub fn write_into(&self, w: &mut ByteWriter) {
+        w.put_u32(self.state_count);
+        w.put_u32(self.class_count);
+        w.put_raw(&self.classes[..]);
+        for &t in &self.trans {
+            w.put_u32(t);
+        }
+        for &m in &self.matches {
+            w.put_u8(u8::from(m));
+        }
+    }
+
+    /// Deserialize, validating every invariant the matcher relies on:
+    /// table dimensions within the allocation ceiling, every class id
+    /// below `class_count`, every transition target below `state_count`.
+    /// Any violation fails closed with [`Error::InvalidConfig`].
+    pub fn read_from(r: &mut ByteReader<'_>) -> Result<AcDfa> {
+        let bad = |what: &str| Error::InvalidConfig(format!("keyword DFA: {what}"));
+        let state_count = r.get_u32()?;
+        let class_count = r.get_u32()?;
+        if state_count == 0 || class_count == 0 {
+            return Err(bad("empty state or class space"));
+        }
+        let entries = (state_count as usize)
+            .checked_mul(class_count as usize)
+            .filter(|&n| n <= MAX_TABLE_ENTRIES)
+            .ok_or_else(|| bad("transition table exceeds the size ceiling"))?;
+        let mut classes = Box::new([0u8; 256]);
+        classes.copy_from_slice(r.get_raw(256)?);
+        if classes.iter().any(|&c| u32::from(c) >= class_count) {
+            return Err(bad("byte class out of range"));
+        }
+        let mut trans = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            let t = r.get_u32()?;
+            if t >= state_count {
+                return Err(bad("transition target out of range"));
+            }
+            trans.push(t);
+        }
+        let mut matches = Vec::with_capacity(state_count as usize);
+        for _ in 0..state_count {
+            match r.get_u8()? {
+                0 => matches.push(false),
+                1 => matches.push(true),
+                _ => return Err(bad("match flag is not 0/1")),
+            }
+        }
+        Ok(AcDfa {
+            classes,
+            class_count,
+            state_count,
+            trans,
+            matches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfa(patterns: &[&str], ci: bool) -> (AhoCorasick, AcDfa) {
+        let ac = AhoCorasickBuilder::new()
+            .ascii_case_insensitive(ci)
+            .build(patterns);
+        let dfa = AcDfa::from_automaton(&ac);
+        (ac, dfa)
+    }
+
+    #[test]
+    fn agrees_with_nfa_on_urls() {
+        let (ac, dfa) = dfa(
+            &[
+                "proxy",
+                "hotspotshield",
+                "ultrareach",
+                "israel",
+                "ultrasurf",
+            ],
+            true,
+        );
+        for hay in [
+            "google.com/tbproxy/af/query",
+            "www.facebook.com/fbml/fbjs_ajax_proxy.php",
+            "example.com/x?q=UltraSurf",
+            "WWW.ISRAEL.NET/",
+            "benign.example/path?ok=1",
+            "",
+            "pro",
+            "proxproxproxy",
+        ] {
+            assert_eq!(ac.is_match(hay), dfa.is_match(hay), "haystack {hay:?}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_nfa_exhaustively_on_small_alphabet() {
+        let (ac, dfa) = dfa(&["ab", "ba", "aaa"], false);
+        // Every string over {a,b,c} up to length 6.
+        let alphabet = [b'a', b'b', b'c'];
+        let mut stack: Vec<Vec<u8>> = vec![Vec::new()];
+        while let Some(s) = stack.pop() {
+            assert_eq!(ac.is_match(&s), dfa.is_match(&s), "haystack {s:?}");
+            if s.len() < 6 {
+                for &c in &alphabet {
+                    let mut t = s.clone();
+                    t.push(c);
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn case_folding_is_in_the_class_table() {
+        let (_, dfa) = dfa(&["Tor"], true);
+        assert!(dfa.is_match("monitor"));
+        assert!(dfa.is_match("MONITOR"));
+        assert!(dfa.is_match("ToR"));
+        assert!(!dfa.is_match("t-o-r"));
+    }
+
+    #[test]
+    fn empty_pattern_set_never_matches() {
+        let dfa = AcDfa::build(Vec::<&str>::new(), true);
+        assert!(!dfa.is_match("anything"));
+        assert_eq!(dfa.state_count(), 1);
+    }
+
+    #[test]
+    fn unused_bytes_share_one_class() {
+        let (_, dfa) = dfa(&["abc"], false);
+        // 3 used bytes + 1 shared unused class.
+        assert_eq!(dfa.class_count(), 4);
+    }
+
+    #[test]
+    fn serialization_roundtrip_is_identity() {
+        let (_, dfa) = dfa(&["proxy", "israel", "ultra"], true);
+        let mut w = ByteWriter::new();
+        dfa.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = AcDfa::read_from(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(dfa, back);
+    }
+
+    #[test]
+    fn corrupt_serializations_fail_closed() {
+        let (_, dfa) = dfa(&["proxy"], true);
+        let mut w = ByteWriter::new();
+        dfa.write_into(&mut w);
+        let bytes = w.into_bytes();
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                AcDfa::read_from(&mut ByteReader::new(&bytes[..cut])).is_err(),
+                "cut {cut}"
+            );
+        }
+        // Oversize declared dimensions are rejected before allocating.
+        let mut huge = bytes.clone();
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(AcDfa::read_from(&mut ByteReader::new(&huge)).is_err());
+        // An out-of-range transition target is rejected.
+        let mut bad = bytes;
+        let trans_start = 4 + 4 + 256;
+        bad[trans_start..trans_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(AcDfa::read_from(&mut ByteReader::new(&bad)).is_err());
+    }
+}

@@ -12,6 +12,11 @@
 //!   Israeli ccTLD host).
 //! * [`CidrSet`] — sorted, merged interval set over IPv4 space for subnet
 //!   blacklists (the Israeli-subnet block of Table 12).
+//! * [`AcDfa`] / [`DomainIndex`] — dense-DFA and flat-array forms of the
+//!   first two, decision-identical by construction, built for the compiled
+//!   policy artifact (`filterscope compile`): all three hot structures
+//!   serialize through `filterscope_core::bytes` and deserialize with
+//!   fail-closed validation.
 //! * [`naive`] — deliberately simple reference implementations used in
 //!   property tests and ablation benches.
 
@@ -19,9 +24,13 @@
 
 pub mod aho_corasick;
 pub mod cidr_set;
+pub mod dfa;
+pub mod domain_index;
 pub mod domain_trie;
 pub mod naive;
 
 pub use aho_corasick::{AhoCorasick, Match};
 pub use cidr_set::CidrSet;
+pub use dfa::AcDfa;
+pub use domain_index::DomainIndex;
 pub use domain_trie::DomainTrie;

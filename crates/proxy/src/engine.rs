@@ -6,8 +6,7 @@ use crate::hashing::{decision_hash, per_mille};
 use crate::policy_data::PolicyData;
 use crate::request::Request;
 use filterscope_core::Timestamp;
-use filterscope_match::aho_corasick::AhoCorasickBuilder;
-use filterscope_match::{AhoCorasick, CidrSet, DomainTrie};
+use filterscope_match::{AcDfa, CidrSet, DomainIndex};
 use filterscope_tor::signaling;
 use filterscope_tor::RelayIndex;
 use std::collections::HashSet;
@@ -16,17 +15,22 @@ use std::sync::Arc;
 /// A compiled policy, shared across the farm (the paper finds the proxies
 /// run near-identical rule sets; per-proxy differences live in
 /// [`ProxyConfig`]).
+///
+/// The two hot structures are the *compiled* forms — a dense keyword DFA
+/// and a flat domain index — decision-identical to the build-time
+/// automaton/trie (property-tested in `filterscope-match`) and directly
+/// serializable into the policy artifact (`crate::artifact`).
 pub struct PolicyEngine {
-    keywords: AhoCorasick,
-    domains: DomainTrie,
-    subnets: CidrSet,
-    redirect_hosts: HashSet<String>,
+    pub(crate) keywords: AcDfa,
+    pub(crate) domains: DomainIndex,
+    pub(crate) subnets: CidrSet,
+    pub(crate) redirect_hosts: HashSet<String>,
     /// `(host, "/<page>")` pairs under the custom category.
-    custom_pages: HashSet<(String, String)>,
-    custom_queries: HashSet<String>,
+    pub(crate) custom_pages: HashSet<(String, String)>,
+    pub(crate) custom_queries: HashSet<String>,
     /// Tor relay endpoints by date, shared with the workload generator.
-    relays: Option<Arc<RelayIndex>>,
-    seed: u64,
+    pub(crate) relays: Option<Arc<RelayIndex>>,
+    pub(crate) seed: u64,
 }
 
 impl PolicyEngine {
@@ -40,10 +44,8 @@ impl PolicyEngine {
     /// inference, parsed from CPL, or an ablated variant).
     pub fn from_data(data: &PolicyData, relays: Option<Arc<RelayIndex>>, seed: u64) -> Self {
         PolicyEngine {
-            keywords: AhoCorasickBuilder::new()
-                .ascii_case_insensitive(true)
-                .build(&data.keywords),
-            domains: DomainTrie::from_entries(data.blocked_domains.iter().map(|s| s.as_str())),
+            keywords: AcDfa::build(&data.keywords, true),
+            domains: DomainIndex::from_entries(data.blocked_domains.iter().map(|s| s.as_str())),
             subnets: CidrSet::from_blocks(data.blocked_subnets.iter().copied()),
             redirect_hosts: data.redirect_hosts.iter().cloned().collect(),
             custom_pages: data.custom_pages.iter().cloned().collect(),

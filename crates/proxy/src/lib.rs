@@ -27,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod cache;
 pub mod config;
 pub mod cpl;
@@ -38,6 +39,7 @@ pub mod hashing;
 pub mod policy_data;
 pub mod request;
 
+pub use artifact::CompiledPolicy;
 pub use config::{FarmConfig, ProxyConfig};
 pub use decision::{Decision, Trigger};
 pub use engine::PolicyEngine;

@@ -16,6 +16,7 @@ use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, SyncSender};
 
 use filterscope_core::{Error, ProxyId, Result};
+use filterscope_logformat::frame::MAX_PAYLOAD;
 use filterscope_logformat::{Frame, LineSplitter, Schema};
 use filterscope_synth::{stream_csv_lines, Corpus, Pacer};
 
@@ -162,24 +163,37 @@ fn run(
         let mut batches = 0u64;
         let mut bytes = 0u64;
         {
+            // A send error means the sender already failed; its
+            // connect/write error surfaces at join below.
+            let mut flush = |buf: &mut Vec<u8>, buffered: &mut usize, conn: usize| {
+                if buf.is_empty() {
+                    return;
+                }
+                let payload = std::mem::take(buf);
+                bytes += payload.len() as u64;
+                batches += 1;
+                *buffered = 0;
+                if let Some(tx) = &txs[conn] {
+                    let _ = tx.send(payload);
+                }
+            };
             let mut emit = |conn: usize, line: &[u8]| {
                 let conn = conn % cfg.connections;
                 let buf = &mut bufs[conn];
+                // A batch is bounded by line count *and* by the frame
+                // payload ceiling — counting lines alone lets long lines
+                // build a payload `Frame::batch` rejects, killing the
+                // replay mid-stream.
+                if buf.len() + line.len() + 1 > MAX_PAYLOAD {
+                    flush(buf, &mut buffered[conn], conn);
+                }
                 buf.extend_from_slice(line);
                 buf.push(b'\n');
                 buffered[conn] += 1;
                 lines += 1;
                 per_connection[conn] += 1;
                 if buffered[conn] >= batch_lines {
-                    let payload = std::mem::take(buf);
-                    bytes += payload.len() as u64;
-                    batches += 1;
-                    buffered[conn] = 0;
-                    // A send error means the sender already failed; its
-                    // connect/write error surfaces at join below.
-                    if let Some(tx) = &txs[conn] {
-                        let _ = tx.send(payload);
-                    }
+                    flush(buf, &mut buffered[conn], conn);
                 }
             };
             feed(&mut emit)?;
@@ -238,6 +252,53 @@ mod tests {
         assert_eq!(label_for(0, 7), "SG-42");
         assert_eq!(label_for(6, 7), "SG-48");
         assert_eq!(label_for(2, 3), "conn-2");
+    }
+
+    #[test]
+    fn long_lines_never_build_an_oversize_frame() {
+        // 5 lines of ~3 MiB with a 100-line batch cap: counting lines
+        // alone would build a ~15 MiB payload the frame encoder rejects.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let line = vec![b'x'; 3 * 1024 * 1024];
+        let lines: Vec<Vec<u8>> = (0..5).map(|_| line.clone()).collect();
+        let (summary, payload_sizes) = std::thread::scope(|s| {
+            let accept = s.spawn(move || {
+                let (mut sock, _) = listener.accept().unwrap();
+                let mut wire = Vec::new();
+                sock.read_to_end(&mut wire).unwrap();
+                let mut cursor = std::io::Cursor::new(&wire);
+                let mut sizes = Vec::new();
+                let mut got_lines = 0usize;
+                while let Some(frame) = Frame::read_from(&mut cursor).unwrap() {
+                    if frame.kind == FrameKind::Batch {
+                        sizes.push(frame.payload.len());
+                        got_lines += batch_lines(&frame.payload).count();
+                    }
+                }
+                assert_eq!(got_lines, 5);
+                sizes
+            });
+            let cfg = StreamConfig {
+                connect: addr.to_string(),
+                connections: 1,
+                batch_lines: 100,
+                compress: 0.0,
+            };
+            let summary = run(&cfg, |emit| {
+                for l in &lines {
+                    emit(0, l);
+                }
+                Ok(())
+            })
+            .unwrap();
+            (summary, accept.join().unwrap())
+        });
+        assert_eq!(summary.lines, 5);
+        assert!(summary.batches >= 2, "must split: {}", summary.batches);
+        for size in payload_sizes {
+            assert!(size <= MAX_PAYLOAD, "oversize payload of {size} bytes");
+        }
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   per-connection queues whose backpressure propagates to the client
 //!   through TCP, per-connection framing-error recovery (a corrupt frame
 //!   drops that connection, never the server), graceful shutdown on
-//!   SIGINT with a final flush, and a plaintext `/metrics` endpoint.
+//!   SIGINT with a final flush, and a plaintext `/metrics` endpoint;
+//! * with `--policy-artifact FILE`, every record is additionally
+//!   evaluated against a compiled [`filterscope_proxy::PolicyEngine`]
+//!   loaded zero-rebuild from a `filterscope compile` artifact, with
+//!   witness-gated hot reload between snapshot cycles ([`policy`]).
 //!
 //! The wire format lives in [`filterscope_logformat::frame`]; the workload
 //! replay order in [`filterscope_synth::streamer`].
@@ -37,10 +41,12 @@
 
 pub mod client;
 pub mod metrics;
+pub mod policy;
 pub mod server;
 pub mod shutdown;
 pub mod snapshot;
 
 pub use client::{stream_corpus, stream_files, StreamConfig, StreamSummary};
+pub use policy::{PolicyCell, PolicyWatcher, ReloadOutcome};
 pub use server::{ServeConfig, ServeSummary, Server};
 pub use shutdown::install_sigint;

@@ -94,6 +94,18 @@ pub struct ServerStats {
     pub snapshot_errors: AtomicU64,
     /// When the newest snapshot was written.
     pub snapshot_at: Mutex<Option<Instant>>,
+    /// Policy generation (0 = no policy configured; 1 = startup artifact).
+    pub policy_version: AtomicU64,
+    /// Accepted policy hot-swaps.
+    pub policy_reloads: AtomicU64,
+    /// Rejected policy reload attempts.
+    pub policy_reload_failures: AtomicU64,
+    /// Records the policy allowed.
+    pub policy_allowed: AtomicU64,
+    /// Records the policy denied.
+    pub policy_denied: AtomicU64,
+    /// Records the policy redirected.
+    pub policy_redirected: AtomicU64,
 }
 
 impl ServerStats {
@@ -111,6 +123,12 @@ impl ServerStats {
             snapshot_seq: AtomicU64::new(0),
             snapshot_errors: AtomicU64::new(0),
             snapshot_at: Mutex::new(None),
+            policy_version: AtomicU64::new(0),
+            policy_reloads: AtomicU64::new(0),
+            policy_reload_failures: AtomicU64::new(0),
+            policy_allowed: AtomicU64::new(0),
+            policy_denied: AtomicU64::new(0),
+            policy_redirected: AtomicU64::new(0),
         }
     }
 
@@ -186,6 +204,40 @@ pub fn render(stats: &ServerStats, conns: &[std::sync::Arc<ConnStats>]) -> Strin
         None => {
             let _ = writeln!(out, "filterscope_snapshot_age_seconds NaN");
         }
+    }
+    // Policy gauges appear only when a policy artifact is being served
+    // (generation 0 means policy evaluation is disabled).
+    if load(&stats.policy_version) > 0 {
+        let _ = writeln!(
+            out,
+            "filterscope_policy_version {}",
+            load(&stats.policy_version)
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_policy_reloads_total {}",
+            load(&stats.policy_reloads)
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_policy_reload_failures_total {}",
+            load(&stats.policy_reload_failures)
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_policy_decisions_total{{decision=\"allow\"}} {}",
+            load(&stats.policy_allowed)
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_policy_decisions_total{{decision=\"deny\"}} {}",
+            load(&stats.policy_denied)
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_policy_decisions_total{{decision=\"redirect\"}} {}",
+            load(&stats.policy_redirected)
+        );
     }
     for conn in conns {
         let label = conn.label();
@@ -284,6 +336,23 @@ mod tests {
         assert!(page.contains("filterscope_snapshot_age_seconds"));
         assert!(page.contains("filterscope_conn_records_total{conn=\"sg-42\"} 42"));
         assert!(page.contains("filterscope_conn_queue_depth{conn=\"sg-42\"} 0"));
+        // No policy configured → no policy gauges.
+        assert!(!page.contains("filterscope_policy_version"));
+    }
+
+    #[test]
+    fn render_covers_policy_gauges_when_active() {
+        let stats = ServerStats::new();
+        stats.policy_version.store(2, Ordering::Relaxed);
+        stats.policy_reloads.store(1, Ordering::Relaxed);
+        stats.policy_reload_failures.store(3, Ordering::Relaxed);
+        stats.policy_denied.store(7, Ordering::Relaxed);
+        let page = render(&stats, &[]);
+        assert!(page.contains("filterscope_policy_version 2"));
+        assert!(page.contains("filterscope_policy_reloads_total 1"));
+        assert!(page.contains("filterscope_policy_reload_failures_total 3"));
+        assert!(page.contains("filterscope_policy_decisions_total{decision=\"deny\"} 7"));
+        assert!(page.contains("filterscope_policy_decisions_total{decision=\"allow\"} 0"));
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Hot-reloadable compiled policy for the serve loop.
+//!
+//! When `filterscope serve` is started with `--policy-artifact FILE`, the
+//! daemon evaluates every ingested record against a [`PolicyEngine`]
+//! loaded from a compiled artifact (`filterscope compile`), and the
+//! snapshot thread re-reads the artifact once per cycle. The state
+//! machine is deliberately small:
+//!
+//! ```text
+//!            ┌───────────────┐   content unchanged    ┌──────────┐
+//!  startup ─►│ serving  vN   │◄───────────────────────│ poll     │
+//!            └──────┬────────┘                        └────┬─────┘
+//!                   │ content changed                      │
+//!                   ▼                                      │
+//!            load + CRC checks ── fail ──► reject, keep vN,│count it
+//!                   │ ok                                   ▲
+//!                   ▼                                      │
+//!            witness gate (policylint) ── counterexample ──┘
+//!                   │ clean
+//!                   ▼
+//!            atomically swap the shared Arc ──► serving vN+1
+//! ```
+//!
+//! A rejected artifact — torn write, bit rot, wrong version, or compiled
+//! sections that disagree with their own embedded source CPL — never
+//! touches the running engine: workers keep deciding under the last good
+//! policy, and the failure is counted on `/metrics`. A successful swap
+//! takes effect at each worker's next batch (workers pin the engine `Arc`
+//! per batch, never per record), so decisions change between batches
+//! without a restart and without a lock on the per-record path.
+
+use filterscope_core::{crc32, Error, Result};
+use filterscope_policylint::verify_artifact;
+use filterscope_proxy::{artifact, PolicyEngine};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The shared, swappable engine: workers clone the `Arc` once per batch,
+/// the snapshot thread swaps it on a verified reload.
+pub struct PolicyCell {
+    engine: Mutex<Arc<PolicyEngine>>,
+    /// Generation counter: 1 for the startup artifact, +1 per swap.
+    version: AtomicU64,
+}
+
+impl PolicyCell {
+    fn new(engine: PolicyEngine) -> PolicyCell {
+        PolicyCell {
+            engine: Mutex::new(Arc::new(engine)),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// The engine to decide under right now.
+    pub fn current(&self) -> Arc<PolicyEngine> {
+        Arc::clone(&self.engine.lock().expect("policy engine lock"))
+    }
+
+    /// Current policy generation (1 = startup artifact).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    fn swap(&self, engine: PolicyEngine) -> u64 {
+        *self.engine.lock().expect("policy engine lock") = Arc::new(engine);
+        self.version.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+/// What one reload poll did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReloadOutcome {
+    /// Artifact bytes unchanged since the last poll.
+    Unchanged,
+    /// Artifact verified and swapped in; the new generation number.
+    Swapped(u64),
+    /// Artifact changed but failed validation; the running policy is
+    /// untouched. Carries the reason (including the witness URL when the
+    /// equivalence gate vetoed the swap).
+    Rejected(String),
+}
+
+/// Watches one artifact path and drives the swap state machine.
+pub struct PolicyWatcher {
+    path: PathBuf,
+    cell: Arc<PolicyCell>,
+    /// CRC of the artifact bytes last acted on (accepted *or* rejected) —
+    /// content-based, so rewrites within one mtime granule are still seen,
+    /// and a bad artifact is reported once, not once per cycle.
+    last_crc: u32,
+}
+
+impl PolicyWatcher {
+    /// Read, validate, and witness-check the artifact at `path`. Startup
+    /// fails fast: a daemon must never begin serving under a policy it
+    /// cannot prove faithful.
+    pub fn open(path: &Path) -> Result<PolicyWatcher> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| Error::Io(format!("cannot read {}: {e}", path.display())))?;
+        let engine = load_verified(&bytes)?;
+        Ok(PolicyWatcher {
+            path: path.to_path_buf(),
+            cell: Arc::new(PolicyCell::new(engine)),
+            last_crc: crc32(&bytes),
+        })
+    }
+
+    /// The shared cell, for ingest workers.
+    pub fn cell(&self) -> Arc<PolicyCell> {
+        Arc::clone(&self.cell)
+    }
+
+    /// Re-read the artifact; if its bytes changed, verify and swap (or
+    /// reject). Called from the snapshot loop — artifacts are small and
+    /// cycles are ≥ tens of milliseconds apart, so a full read per poll
+    /// is cheaper than being wrong about mtime granularity.
+    pub fn poll(&mut self) -> ReloadOutcome {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) => {
+                return ReloadOutcome::Rejected(format!("cannot read {}: {e}", self.path.display()))
+            }
+        };
+        let crc = crc32(&bytes);
+        if crc == self.last_crc {
+            return ReloadOutcome::Unchanged;
+        }
+        self.last_crc = crc;
+        match load_verified(&bytes) {
+            Ok(engine) => ReloadOutcome::Swapped(self.cell.swap(engine)),
+            Err(e) => ReloadOutcome::Rejected(e.to_string()),
+        }
+    }
+}
+
+/// Deserialize an artifact and run it through the policylint witness
+/// gate; only an engine proven decision-identical to its embedded source
+/// policy comes back.
+fn load_verified(bytes: &[u8]) -> Result<PolicyEngine> {
+    let compiled = artifact::load(bytes, None)?;
+    let findings = verify_artifact(&compiled);
+    if let Some(f) = findings.first() {
+        let witness = f
+            .witness
+            .as_ref()
+            .map(|w| format!(" (counterexample: {})", w.url_string()))
+            .unwrap_or_default();
+        return Err(Error::InvalidConfig(format!(
+            "artifact fails the witness-equivalence gate on {}: {}{witness}",
+            f.rule, f.message
+        )));
+    }
+    Ok(compiled.engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterscope_logformat::RequestUrl;
+    use filterscope_proxy::{Decision, PolicyData, RuleFamily, Trigger};
+
+    fn temp_file(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fs-policy-{tag}-{}.fscp", std::process::id()))
+    }
+
+    #[test]
+    fn open_poll_swap_and_reject_cycle() {
+        let path = temp_file("cycle");
+        let full = PolicyData::standard();
+        std::fs::write(&path, artifact::compile(&full, 1, None)).unwrap();
+        let mut watcher = PolicyWatcher::open(&path).unwrap();
+        let cell = watcher.cell();
+        assert_eq!(cell.version(), 1);
+        let url = RequestUrl::http("google.com", "/tbproxy/af/query");
+        assert_eq!(
+            cell.current().decide_url(&url),
+            Decision::Deny(Trigger::Keyword)
+        );
+
+        // Same bytes → no swap.
+        assert_eq!(watcher.poll(), ReloadOutcome::Unchanged);
+
+        // New artifact without keywords → swap, decision changes.
+        let ablated = full.clone().without(RuleFamily::Keywords);
+        std::fs::write(&path, artifact::compile(&ablated, 1, None)).unwrap();
+        assert_eq!(watcher.poll(), ReloadOutcome::Swapped(2));
+        assert_eq!(cell.version(), 2);
+        assert_eq!(cell.current().decide_url(&url), Decision::Allow);
+
+        // Corrupt artifact → rejected, running policy untouched, and the
+        // same bad bytes are not re-reported on the next poll.
+        let mut bad = artifact::compile(&full, 1, None);
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(watcher.poll(), ReloadOutcome::Rejected(_)));
+        assert_eq!(cell.version(), 2);
+        assert_eq!(cell.current().decide_url(&url), Decision::Allow);
+        assert_eq!(watcher.poll(), ReloadOutcome::Unchanged);
+
+        // A good artifact recovers.
+        std::fs::write(&path, artifact::compile(&full, 1, None)).unwrap();
+        assert_eq!(watcher.poll(), ReloadOutcome::Swapped(3));
+        assert_eq!(
+            cell.current().decide_url(&url),
+            Decision::Deny(Trigger::Keyword)
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn startup_fails_fast_on_garbage() {
+        let path = temp_file("garbage");
+        std::fs::write(&path, b"not an artifact").unwrap();
+        assert!(PolicyWatcher::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+        assert!(PolicyWatcher::open(&path).is_err());
+    }
+}

@@ -47,7 +47,9 @@ use filterscope_logformat::frame::{batch_lines, Frame, FrameKind};
 use filterscope_logformat::{LineSplitter, Schema};
 
 use crate::metrics::{self, ConnStats, ServerStats};
+use crate::policy::{PolicyCell, PolicyWatcher, ReloadOutcome};
 use crate::snapshot::SnapshotWriter;
+use filterscope_proxy::Decision;
 
 /// How long `run` waits for workers to drain after shutdown before
 /// folding the final snapshot anyway.
@@ -73,6 +75,10 @@ pub struct ServeConfig {
     pub selection: Selection,
     /// Bound of each connection's batch queue (backpressure threshold).
     pub queue_batches: usize,
+    /// Compiled policy artifact to evaluate every record against, with
+    /// witness-gated hot reload each snapshot cycle; `None` disables
+    /// policy evaluation.
+    pub policy_artifact: Option<PathBuf>,
 }
 
 /// Counters reported by [`Server::run`] after shutdown.
@@ -88,6 +94,12 @@ pub struct ServeSummary {
     pub dropped_connections: u64,
     /// Snapshots written (the last one is the final state).
     pub snapshots: u64,
+    /// Policy generation at shutdown (0 = no policy configured).
+    pub policy_version: u64,
+    /// Accepted policy hot-swaps.
+    pub policy_reloads: u64,
+    /// Rejected policy reload attempts (running policy kept).
+    pub policy_reload_failures: u64,
 }
 
 /// One live connection as the snapshot/metrics threads see it.
@@ -101,11 +113,16 @@ pub struct Server {
     config: ServeConfig,
     listener: TcpListener,
     metrics_listener: Option<TcpListener>,
+    /// Artifact watcher when `policy_artifact` is configured; the mutex
+    /// is only ever contended by the snapshot loop's once-per-cycle poll.
+    policy: Option<Mutex<PolicyWatcher>>,
 }
 
 impl Server {
-    /// Bind the ingest (and optional metrics) listeners and create the
-    /// snapshot directory. Fails fast on unusable addresses.
+    /// Bind the ingest (and optional metrics) listeners, create the
+    /// snapshot directory, and — when configured — load and witness-check
+    /// the policy artifact. Fails fast on unusable addresses and on an
+    /// artifact that cannot be proven faithful.
     pub fn bind(config: ServeConfig) -> Result<Server> {
         let listener = TcpListener::bind(&config.listen)
             .map_err(|e| Error::Io(format!("cannot listen on {}: {e}", config.listen)))?;
@@ -120,10 +137,15 @@ impl Server {
             None => None,
         };
         std::fs::create_dir_all(&config.snapshot_dir)?;
+        let policy = match &config.policy_artifact {
+            Some(path) => Some(Mutex::new(PolicyWatcher::open(path)?)),
+            None => None,
+        };
         Ok(Server {
             config,
             listener,
             metrics_listener,
+            policy,
         })
     }
 
@@ -147,6 +169,13 @@ impl Server {
         let conns: Mutex<Vec<ConnHandle>> = Mutex::new(Vec::new());
         let mut writer = SnapshotWriter::new(&self.config.snapshot_dir)?;
         let mut global = AnalysisSuite::with_selection(&self.config.params, &self.config.selection);
+        let policy_cell: Option<Arc<PolicyCell>> = self
+            .policy
+            .as_ref()
+            .map(|w| w.lock().expect("policy lock").cell());
+        if let Some(cell) = &policy_cell {
+            stats.policy_version.store(cell.version(), Ordering::SeqCst);
+        }
 
         std::thread::scope(|scope| -> Result<()> {
             // Accept loop: one reader + one worker thread per connection.
@@ -186,8 +215,9 @@ impl Server {
                     }
                     {
                         let stats = &stats;
+                        let policy = policy_cell.clone();
                         scope.spawn(move || {
-                            ingest_connection(rx, &conn, stats, &delta, ctx);
+                            ingest_connection(rx, &conn, stats, &delta, ctx, policy.as_deref());
                         });
                     }
                 }
@@ -242,6 +272,22 @@ impl Server {
                         std::thread::sleep(POLL);
                     }
                 }
+                // Reload the policy artifact between batches of work: a
+                // swap accepted here is observed by every worker at its
+                // next batch, without a restart.
+                if let Some(watcher) = &self.policy {
+                    match watcher.lock().expect("policy lock").poll() {
+                        ReloadOutcome::Unchanged => {}
+                        ReloadOutcome::Swapped(version) => {
+                            stats.policy_version.store(version, Ordering::SeqCst);
+                            stats.policy_reloads.fetch_add(1, Ordering::SeqCst);
+                        }
+                        ReloadOutcome::Rejected(reason) => {
+                            stats.policy_reload_failures.fetch_add(1, Ordering::SeqCst);
+                            eprintln!("policy reload rejected: {reason}");
+                        }
+                    }
+                }
                 fold_deltas(&conns, &mut global);
                 last_fold = Instant::now();
                 let report = format!("{}\n", global.render_all(ctx));
@@ -267,6 +313,9 @@ impl Server {
             connections: stats.connections_total.load(Ordering::SeqCst),
             dropped_connections: stats.connections_dropped.load(Ordering::SeqCst),
             snapshots: writer.seq(),
+            policy_version: stats.policy_version.load(Ordering::SeqCst),
+            policy_reloads: stats.policy_reloads.load(Ordering::SeqCst),
+            policy_reload_failures: stats.policy_reload_failures.load(Ordering::SeqCst),
         })
     }
 }
@@ -344,20 +393,28 @@ fn read_connection(
 /// zero-copy view parser and ingest into this connection's delta.
 /// Counter updates happen under the delta lock so a fold never observes
 /// records it did not merge.
+///
+/// With a policy configured, every parsed record is also evaluated
+/// against the compiled engine. The engine `Arc` is pinned once per
+/// batch — the per-record path never takes the policy lock, and a hot
+/// swap lands exactly on a batch boundary.
 fn ingest_connection(
     rx: Receiver<Vec<u8>>,
     conn: &ConnStats,
     stats: &ServerStats,
     delta: &Mutex<AnalysisSuite>,
     ctx: &AnalysisContext,
+    policy: Option<&PolicyCell>,
 ) {
     let schema = Schema::canonical();
     let mut splitter = LineSplitter::new();
     let mut line_no = 0u64;
     while let Ok(payload) = rx.recv() {
         conn.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let engine = policy.map(|cell| cell.current());
         let mut records = 0u64;
         let mut parse_errors = 0u64;
+        let (mut allowed, mut denied, mut redirected) = (0u64, 0u64, 0u64);
         let mut suite = delta.lock().expect("delta lock");
         for line in batch_lines(&payload) {
             line_no += 1;
@@ -373,6 +430,13 @@ fn ingest_connection(
             }
             match schema.parse_view(&mut splitter, text, line_no) {
                 Ok(view) => {
+                    if let Some(engine) = &engine {
+                        match engine.decide_url(&view.url.to_url()) {
+                            Decision::Allow => allowed += 1,
+                            Decision::Deny(_) => denied += 1,
+                            Decision::Redirect(_) => redirected += 1,
+                        }
+                    }
                     suite.ingest(ctx, &view);
                     records += 1;
                 }
@@ -383,6 +447,13 @@ fn ingest_connection(
         conn.parse_errors.fetch_add(parse_errors, Ordering::SeqCst);
         stats.records.fetch_add(records, Ordering::SeqCst);
         stats.parse_errors.fetch_add(parse_errors, Ordering::SeqCst);
+        if engine.is_some() {
+            stats.policy_allowed.fetch_add(allowed, Ordering::SeqCst);
+            stats.policy_denied.fetch_add(denied, Ordering::SeqCst);
+            stats
+                .policy_redirected
+                .fetch_add(redirected, Ordering::SeqCst);
+        }
         drop(suite);
     }
     conn.done.store(true, Ordering::SeqCst);
@@ -433,6 +504,7 @@ mod tests {
             params: SuiteParams::new(3),
             selection: Selection::default_suite(),
             queue_batches: 4,
+            policy_artifact: None,
         }
     }
 
@@ -469,6 +541,118 @@ mod tests {
         assert_eq!(summary.dropped_connections, 1);
         assert!(summary.snapshots >= 1);
         assert!(dir.join("report.txt").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn policy_hot_swap_changes_decisions_between_batches() {
+        use filterscope_logformat::record::RecordBuilder;
+        use filterscope_logformat::RequestUrl;
+        use filterscope_proxy::{artifact, PolicyData, RuleFamily};
+
+        let dir = temp_dir("hotswap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact_path = dir.join("policy.fscp");
+        let full = PolicyData::standard();
+        std::fs::write(&artifact_path, artifact::compile(&full, 1, None)).unwrap();
+
+        let mut cfg = config(&dir.join("snaps"));
+        cfg.metrics = Some("127.0.0.1:0".to_string());
+        cfg.policy_artifact = Some(artifact_path.clone());
+        let server = Server::bind(cfg).unwrap();
+        let addr = server.local_addr().unwrap();
+        let metrics_addr = server.metrics_addr().unwrap();
+        let ctx = AnalysisContext::standard(None);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        // One canonical line whose URL the standard policy keyword-denies.
+        let line = RecordBuilder::new(
+            filterscope_core::Timestamp::parse_fields("2011-08-03", "10:30:00").unwrap(),
+            filterscope_core::ProxyId::Sg42,
+            RequestUrl::http("google.com", "/tbproxy/af/query"),
+        )
+        .policy_denied()
+        .build()
+        .write_csv();
+
+        let scrape = || {
+            let mut sock = TcpStream::connect(metrics_addr).unwrap();
+            write!(sock, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+            let mut body = String::new();
+            sock.read_to_string(&mut body).unwrap();
+            body
+        };
+        let gauge = |page: &str, name: &str| -> u64 {
+            page.lines()
+                .find_map(|l| l.strip_prefix(name))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0)
+        };
+        let await_gauge = |name: &str, want: u64| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let page = scrape();
+                if gauge(&page, name) >= want {
+                    return page;
+                }
+                assert!(Instant::now() < deadline, "timed out on {name} >= {want}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        };
+
+        let summary = std::thread::scope(|s| {
+            let handle = s.spawn(|| server.run(&ctx, Arc::clone(&shutdown)));
+            let mut sock = TcpStream::connect(addr).unwrap();
+            Frame::hello("swap-test").write_to(&mut sock).unwrap();
+
+            // Batch 1 under the standard policy: denied.
+            Frame::batch(format!("{line}\n").into_bytes())
+                .write_to(&mut sock)
+                .unwrap();
+            let page = await_gauge("filterscope_policy_decisions_total{decision=\"deny\"} ", 1);
+            assert_eq!(gauge(&page, "filterscope_policy_version "), 1);
+
+            // Swap in an artifact without keyword rules; no restart.
+            let ablated = full.clone().without(RuleFamily::Keywords);
+            std::fs::write(&artifact_path, artifact::compile(&ablated, 1, None)).unwrap();
+            await_gauge("filterscope_policy_version ", 2);
+
+            // Batch 2, same line, same connection: now allowed.
+            Frame::batch(format!("{line}\n").into_bytes())
+                .write_to(&mut sock)
+                .unwrap();
+            await_gauge("filterscope_policy_decisions_total{decision=\"allow\"} ", 1);
+
+            // A corrupt artifact is rejected; the running policy stays.
+            let mut bad = artifact::compile(&full, 1, None);
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0x01;
+            std::fs::write(&artifact_path, &bad).unwrap();
+            let page = await_gauge("filterscope_policy_reload_failures_total ", 1);
+            assert_eq!(gauge(&page, "filterscope_policy_version "), 2);
+
+            // Batch 3 still decides under the last good (ablated) policy.
+            Frame::batch(format!("{line}\n").into_bytes())
+                .write_to(&mut sock)
+                .unwrap();
+            let page = await_gauge("filterscope_policy_decisions_total{decision=\"allow\"} ", 2);
+            assert_eq!(
+                gauge(
+                    &page,
+                    "filterscope_policy_decisions_total{decision=\"deny\"} "
+                ),
+                1
+            );
+
+            Frame::bye().write_to(&mut sock).unwrap();
+            drop(sock);
+            shutdown.store(true, Ordering::SeqCst);
+            handle.join().unwrap().unwrap()
+        });
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.policy_version, 2);
+        assert_eq!(summary.policy_reloads, 1);
+        assert!(summary.policy_reload_failures >= 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

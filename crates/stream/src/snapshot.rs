@@ -8,11 +8,16 @@
 //!   `analyze --json`;
 //! * `status.json` — snapshot sequence number and ingest counters.
 //!
-//! Every file is written to a `.tmp` sibling first and renamed into
-//! place, so a reader never observes a torn file. `status.json` is
-//! renamed last: once a reader sees sequence `n` in `status.json`, the
-//! matching report and summary are already in place.
+//! Every file is written to a `.tmp` sibling first, fsynced, and renamed
+//! into place, so a reader never observes a torn file and a crashed host
+//! never resurrects a pre-rename ghost: without the fsync before the
+//! rename, a power loss can leave the *final* name pointing at a file
+//! whose data blocks were never flushed. `status.json` is renamed last:
+//! once a reader sees sequence `n` in `status.json`, the matching report
+//! and summary are already in place. Stale `.tmp` siblings from a
+//! previous crashed run are removed at startup.
 
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use filterscope_core::Result;
@@ -25,9 +30,17 @@ pub struct SnapshotWriter {
 }
 
 impl SnapshotWriter {
-    /// Create the snapshot directory (and parents) if needed.
+    /// Create the snapshot directory (and parents) if needed, and clean
+    /// up `.tmp` files a crashed predecessor may have left mid-write.
     pub fn new(dir: &Path) -> Result<SnapshotWriter> {
         std::fs::create_dir_all(dir)?;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") && path.is_file() {
+                // Best-effort: a cleanup failure must not block startup.
+                let _ = std::fs::remove_file(&path);
+            }
+        }
         Ok(SnapshotWriter {
             dir: dir.to_path_buf(),
             seq: 0,
@@ -68,8 +81,20 @@ impl SnapshotWriter {
     fn replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
         let tmp = self.dir.join(format!("{name}.tmp"));
         let fin = self.dir.join(name);
-        std::fs::write(&tmp, bytes)?;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // The data must be durable *before* the rename publishes the
+        // name, or a crash can leave the final path pointing at
+        // unflushed blocks.
+        file.sync_all()?;
+        drop(file);
         std::fs::rename(&tmp, &fin)?;
+        // Best-effort directory sync so the rename itself survives a
+        // crash; not all platforms/filesystems allow fsync on a
+        // directory handle, and a snapshot must not fail over that.
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
         Ok(())
     }
 }
@@ -111,6 +136,32 @@ mod tests {
                 "leftover temp file {name:?}"
             );
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_are_cleaned_at_startup() {
+        let dir = temp_dir("stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crashed predecessor left a half-written temp file; a real
+        // snapshot from that run must survive the cleanup.
+        std::fs::write(dir.join("report.txt.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("summary.json.tmp"), b"{\"torn\"").unwrap();
+        std::fs::write(dir.join("report.txt"), b"complete\n").unwrap();
+
+        let mut writer = SnapshotWriter::new(&dir).unwrap();
+        assert!(!dir.join("report.txt.tmp").exists());
+        assert!(!dir.join("summary.json.tmp").exists());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("report.txt")).unwrap(),
+            "complete\n"
+        );
+
+        writer.write("fresh\n", "{}", 1, 0).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join("report.txt")).unwrap(),
+            "fresh\n"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -5,6 +5,7 @@
 //! filterscope analyze LOG...                          full report from log files
 //! filterscope audit LOG... [--cpl OUT] [--lint]       recover the policy (§5.4)
 //! filterscope policy [--out FILE]                     dump the standard policy as CPL
+//! filterscope compile [POLICY] --out FILE [--farm]    build a binary policy artifact
 //! filterscope lint [POLICY] [--against POLICY]        static policy analysis
 //! filterscope report [--scale N]                      synthesize + analyze in one go
 //! filterscope analyses                                list the analysis registry
@@ -23,10 +24,12 @@ use filterscope::analysis::report::Table;
 use filterscope::core::{pool, Progress};
 use filterscope::logformat::fields::header_line;
 use filterscope::logformat::SchemaReader;
-use filterscope::policylint::{check_equivalence, lint_farm, lint_policy, skew_matrix, LintReport};
+use filterscope::policylint::{
+    check_equivalence, lint_farm, lint_policy, skew_matrix, verify_artifact, LintReport,
+};
 use filterscope::prelude::*;
 use filterscope::proxy::config::FarmConfig;
-use filterscope::proxy::{cpl, PolicyData};
+use filterscope::proxy::{artifact, cpl, PolicyData};
 use filterscope::stream::{
     install_sigint, stream_corpus, stream_files, ServeConfig, Server, StreamConfig,
 };
@@ -42,19 +45,23 @@ fn usage() -> ExitCode {
          filterscope analyze LOG... [--min-support N] [--geo FILE] [--categories FILE] [--json OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope audit LOG... [--min-support N] [--cpl OUT] [--lint] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope policy [--out FILE]\n  \
+         filterscope compile [POLICY] --out FILE [--farm] [--seed N]\n  \
          filterscope lint [POLICY] [--against POLICY] [--json] [--deny warnings]\n  \
          filterscope report [--scale N] [--json OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope weather LOG... [--min-support N] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope compare --a LOG --b LOG [--min-support N]\n  \
          filterscope analyses\n  \
-         filterscope serve --snapshots DIR [--listen ADDR] [--metrics ADDR] [--every-ms N] [--min-support N] [--queue N] [--analyses KEYS] [--skip KEYS]\n  \
+         filterscope serve --snapshots DIR [--listen ADDR] [--metrics ADDR] [--every-ms N] [--min-support N] [--queue N] [--policy-artifact FILE] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope stream [LOG... | --scale N] [--connect ADDR] [--connections N] [--batch N] [--compress X]\n\n\
-         Flags accept `--flag value` or `--flag=value`.\n\
+         Flags accept `--flag value` or `--flag=value`; repeating a flag\n\
+         is an error.\n\
          POLICY is `standard` or a CPL file; `lint` exits non-zero on error\n\
          findings (and on warnings too under `--deny warnings`).\n\
+         `compile` writes a witness-checked binary artifact that\n\
+         `serve --policy-artifact` loads zero-parse and hot-reloads on change.\n\
          --analyses/--skip take comma-separated keys from `filterscope analyses`.\n\
-         --threads defaults to the available parallelism; results are\n\
-         byte-identical for every thread count."
+         --threads must be >= 1 and defaults to the available parallelism;\n\
+         results are byte-identical for every thread count."
     );
     ExitCode::from(2)
 }
@@ -97,6 +104,11 @@ impl Args {
                 if !allowed.contains(&name.as_str()) && !boolean.contains(&name.as_str()) {
                     return Err(format!("unknown flag --{name}"));
                 }
+                // A repeated flag is ambiguous (first-wins would silently
+                // ignore the later value), so it is an error instead.
+                if flags.iter().any(|(n, _)| *n == name) {
+                    return Err(format!("flag --{name} given more than once"));
+                }
                 flags.push((name, value));
             } else {
                 positional.push(arg);
@@ -124,11 +136,19 @@ impl Args {
         }
     }
 
-    /// `--threads N` (>= 1); defaults to the available parallelism.
-    fn threads(&self) -> Option<usize> {
+    /// `--threads N` (>= 1); defaults to the available parallelism. Zero,
+    /// negative, and non-numeric values are a named usage error — silently
+    /// mapping `--threads 0` to a default would hide the typo.
+    fn threads(&self) -> Result<usize, ExitCode> {
         match self.flag("threads") {
-            None => Some(pool::available_threads()),
-            Some(v) => v.parse::<usize>().ok().filter(|n| *n >= 1),
+            None => Ok(pool::available_threads()),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => {
+                    eprintln!("filterscope: --threads must be an integer >= 1, got `{v}`");
+                    Err(usage())
+                }
+            },
         }
     }
 }
@@ -182,8 +202,9 @@ fn cmd_generate(args: &Args) -> ExitCode {
     let Some(scale) = args.flag_u64("scale", 65_536) else {
         return usage();
     };
-    let Some(threads) = args.threads() else {
-        return usage();
+    let threads = match args.threads() {
+        Ok(n) => n,
+        Err(code) => return code,
     };
     let out_dir = PathBuf::from(args.flag("out").unwrap_or("./logs"));
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
@@ -335,8 +356,9 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     let Some(min_support) = args.flag_u64("min-support", 3) else {
         return usage();
     };
-    let Some(threads) = args.threads() else {
-        return usage();
+    let threads = match args.threads() {
+        Ok(n) => n,
+        Err(code) => return code,
     };
     let paths = match log_paths(args) {
         Ok(p) => p,
@@ -375,8 +397,9 @@ fn cmd_audit(args: &Args) -> ExitCode {
     let Some(min_support) = args.flag_u64("min-support", 3) else {
         return usage();
     };
-    let Some(threads) = args.threads() else {
-        return usage();
+    let threads = match args.threads() {
+        Ok(n) => n,
+        Err(code) => return code,
     };
     let paths = match log_paths(args) {
         Ok(p) => p,
@@ -462,6 +485,72 @@ fn cmd_policy(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `filterscope compile [POLICY] --out FILE [--farm] [--seed N]`: serialize
+/// a policy (and optionally the standard 7-proxy farm) into the binary
+/// `FSCP` artifact that `serve --policy-artifact` opens zero-parse.
+///
+/// Before the artifact is published, the freshly encoded bytes are loaded
+/// back and the deserialized engine is proven witness-equivalent to its
+/// embedded source policy ([`verify_artifact`]) — a compiler bug can fail
+/// this command, but can never ship a lying artifact. The write itself is
+/// tmp-then-rename so a hot-reload watcher never observes a torn file.
+fn cmd_compile(args: &Args) -> ExitCode {
+    if args.positional.len() > 1 {
+        return usage();
+    }
+    let Some(out) = args.flag("out") else {
+        eprintln!("filterscope compile: --out FILE is required");
+        return usage();
+    };
+    let Some(seed) = args.flag_u64("seed", 0) else {
+        return usage();
+    };
+    let spec = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("standard");
+    let (policy, name) = match load_policy(spec) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let farm = args.has_flag("farm").then(FarmConfig::default);
+    let bytes = artifact::compile(&policy, seed, farm.as_ref());
+    // Self-check: reload the exact bytes about to be published and prove
+    // the deserialized engine matches the embedded source decision-for-
+    // decision on synthesized witnesses.
+    let compiled = match artifact::load(&bytes, None) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile self-check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = verify_artifact(&compiled);
+    if !findings.is_empty() {
+        eprintln!("compile self-check failed: artifact disagrees with {name}:");
+        for f in &findings {
+            eprintln!("  {}", f.render_line());
+        }
+        return ExitCode::FAILURE;
+    }
+    let tmp = format!("{out}.tmp");
+    if let Err(e) = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, out)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "compiled {name} to {out} ({} bytes{})",
+        bytes.len(),
+        if farm.is_some() {
+            ", with the 7-proxy farm"
+        } else {
+            ""
+        }
+    );
+    ExitCode::SUCCESS
+}
+
 /// Resolve a policy spec (`standard` or a CPL file path) to policy data
 /// plus its display name.
 fn load_policy(spec: &str) -> Result<(PolicyData, String), ExitCode> {
@@ -530,8 +619,9 @@ fn cmd_report(args: &Args) -> ExitCode {
     let Some(scale) = args.flag_u64("scale", 8192) else {
         return usage();
     };
-    let Some(threads) = args.threads() else {
-        return usage();
+    let threads = match args.threads() {
+        Ok(n) => n,
+        Err(code) => return code,
     };
     let Ok(config) = SynthConfig::new(scale) else {
         return usage();
@@ -577,8 +667,9 @@ fn cmd_weather(args: &Args) -> ExitCode {
     let Some(min_support) = args.flag_u64("min-support", 3) else {
         return usage();
     };
-    let Some(threads) = args.threads() else {
-        return usage();
+    let threads = match args.threads() {
+        Ok(n) => n,
+        Err(code) => return code,
     };
     let paths = match log_paths(args) {
         Ok(p) => p,
@@ -664,6 +755,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
         params: SuiteParams::new(min_support),
         selection,
         queue_batches: queue.clamp(1, 4096) as usize,
+        policy_artifact: args.flag("policy-artifact").map(PathBuf::from),
     };
     let server = match Server::bind(config) {
         Ok(s) => s,
@@ -700,6 +792,15 @@ fn cmd_serve(args: &Args) -> ExitCode {
                 summary.snapshots,
                 if summary.snapshots == 1 { "" } else { "s" },
             );
+            if summary.policy_version > 0 {
+                eprintln!(
+                    "policy artifact at version {} ({} reload{}, {} rejected)",
+                    summary.policy_version,
+                    summary.policy_reloads,
+                    if summary.policy_reloads == 1 { "" } else { "s" },
+                    summary.policy_reload_failures,
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -788,6 +889,7 @@ fn bool_flags(command: &str) -> &'static [&'static str] {
     match command {
         "lint" => &["json"],
         "audit" => &["lint"],
+        "compile" => &["farm"],
         _ => &[],
     }
 }
@@ -807,6 +909,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         ],
         "audit" => &["min-support", "cpl", "threads", "analyses", "skip"],
         "policy" => &["out"],
+        "compile" => &["out", "seed"],
         "lint" => &["against", "deny"],
         "report" => &["scale", "json", "threads", "analyses", "skip"],
         "weather" => &["min-support", "threads", "analyses", "skip"],
@@ -819,6 +922,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "every-ms",
             "min-support",
             "queue",
+            "policy-artifact",
             "analyses",
             "skip",
         ],
@@ -847,6 +951,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "audit" => cmd_audit(&args),
         "policy" => cmd_policy(&args),
+        "compile" => cmd_compile(&args),
         "lint" => cmd_lint(&args),
         "report" => cmd_report(&args),
         "weather" => cmd_weather(&args),

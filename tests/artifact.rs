@@ -1,0 +1,79 @@
+//! Golden pin of the compiled policy artifact's on-disk layout.
+//!
+//! The `FSCP` format is a durability contract: artifacts compiled today
+//! must open under tomorrow's binary (same version) and artifacts from a
+//! different version must be rejected, not misread. These tests decode
+//! the header by hand — independent of the reader in
+//! `filterscope::proxy::artifact` — so a layout drift fails even if the
+//! encoder and decoder drift together.
+//!
+//! Layout under pin (all integers little-endian):
+//!
+//! ```text
+//! magic  b"FSCP"          4 bytes
+//! version u32             = 1
+//! section_count u32
+//! section table           count × (id u32, offset u64, len u64, crc u32)
+//! header_crc u32          CRC-32 of everything above
+//! payload                 sections tiled contiguously from offset 0
+//! ```
+
+use filterscope::proxy::artifact::{compile, load};
+use filterscope::proxy::config::FarmConfig;
+use filterscope::proxy::PolicyData;
+
+fn u32_at(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().unwrap())
+}
+
+fn u64_at(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+#[test]
+fn artifact_header_layout_is_pinned() {
+    let farm = FarmConfig::default();
+    let bytes = compile(&PolicyData::standard(), farm.seed, Some(&farm));
+
+    assert_eq!(&bytes[..4], b"FSCP", "magic");
+    assert_eq!(u32_at(&bytes, 4), 1, "format version");
+    let sections = u32_at(&bytes, 8) as usize;
+    assert_eq!(sections, 9, "farm artifact carries all nine sections");
+
+    // 24-byte table rows sorted by id; payload tiles contiguously from 0.
+    let mut ids = Vec::new();
+    let mut next_offset = 0u64;
+    for i in 0..sections {
+        let row = 12 + i * 24;
+        ids.push(u32_at(&bytes, row));
+        assert_eq!(u64_at(&bytes, row + 4), next_offset, "section {i} offset");
+        next_offset += u64_at(&bytes, row + 12);
+    }
+    // 1=source CPL, 2=keyword DFA, 3=domain index, 4=CIDR ranges,
+    // 5=redirects, 6=custom pages, 7=custom queries, 8=farm, 9=meta.
+    assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7, 8, 9], "section ids");
+    let header_len = 12 + sections * 24 + 4;
+    assert_eq!(
+        bytes.len() as u64,
+        header_len as u64 + next_offset,
+        "payload tiles the file exactly"
+    );
+
+    // Without a farm, section 8 is simply absent; every other id stays.
+    let lean = compile(&PolicyData::standard(), 0, None);
+    let lean_sections = u32_at(&lean, 8) as usize;
+    assert_eq!(lean_sections, 8);
+    let lean_ids: Vec<u32> = (0..lean_sections)
+        .map(|i| u32_at(&lean, 12 + i * 24))
+        .collect();
+    assert_eq!(lean_ids, vec![1, 2, 3, 4, 5, 6, 7, 9]);
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let farm = FarmConfig::default();
+    let a = compile(&PolicyData::standard(), farm.seed, Some(&farm));
+    let b = compile(&PolicyData::standard(), farm.seed, Some(&farm));
+    assert_eq!(a, b, "identical inputs produce byte-identical artifacts");
+    load(&a, None).expect("the pinned artifact loads");
+}

@@ -423,3 +423,111 @@ fn generate_write_failure_is_a_clean_per_day_error() {
     assert!(!stderr.contains("panicked"), "no worker panic: {stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn threads_zero_is_a_named_usage_error_on_every_subcommand() {
+    // Every subcommand that accepts --threads must reject 0 (and garbage)
+    // with a named error, not silently fall back to a default.
+    let cases: &[&[&str]] = &[
+        &["generate", "--threads", "0"],
+        &["analyze", "x.log", "--threads", "0"],
+        &["audit", "x.log", "--threads", "0"],
+        &["report", "--threads", "0"],
+        &["weather", "x.log", "--threads", "0"],
+        &["analyze", "x.log", "--threads", "many"],
+        &["report", "--threads=-2"],
+    ];
+    for case in cases {
+        let out = bin().args(*case).output().expect("run subcommand");
+        assert!(!out.status.success(), "{case:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--threads must be an integer >= 1"),
+            "{case:?} stderr: {stderr}"
+        );
+        assert!(stderr.contains("usage:"), "{case:?} stderr: {stderr}");
+    }
+}
+
+#[test]
+fn repeated_flags_are_rejected() {
+    let cases: &[&[&str]] = &[
+        &["report", "--scale", "256", "--scale", "512"],
+        &["analyze", "x.log", "--threads", "2", "--threads=4"],
+        &["serve", "--snapshots", "a", "--snapshots", "b"],
+    ];
+    for case in cases {
+        let out = bin().args(*case).output().expect("run subcommand");
+        assert!(!out.status.success(), "{case:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("given more than once"),
+            "{case:?} stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn compile_writes_a_witness_checked_artifact() {
+    let dir = temp_dir("compile");
+    let artifact = dir.join("policy.fscp");
+
+    // `--out` is mandatory.
+    let out = bin().arg("compile").output().expect("run compile");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out FILE is required"));
+
+    // The standard policy compiles, with the farm, and the self-check runs.
+    let out = bin()
+        .args(["compile", "standard", "--farm", "--out"])
+        .arg(&artifact)
+        .output()
+        .expect("run compile");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("with the 7-proxy farm"), "stderr: {stderr}");
+    let bytes = std::fs::read(&artifact).expect("artifact written");
+    assert_eq!(&bytes[..4], b"FSCP", "artifact magic");
+    assert!(
+        !artifact.with_extension("fscp.tmp").exists(),
+        "tmp file renamed away"
+    );
+
+    // A custom CPL policy round-trips through compile as well.
+    let cpl_path = dir.join("small.cpl");
+    let out = bin()
+        .args(["policy", "--out"])
+        .arg(&cpl_path)
+        .output()
+        .expect("run policy");
+    assert!(out.status.success());
+    let out = bin()
+        .arg("compile")
+        .arg(&cpl_path)
+        .arg("--out")
+        .arg(dir.join("small.fscp"))
+        .output()
+        .expect("run compile");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // An unparseable policy is a clean failure.
+    std::fs::write(dir.join("bad.cpl"), "define nonsense(").unwrap();
+    let out = bin()
+        .arg("compile")
+        .arg(dir.join("bad.cpl"))
+        .arg("--out")
+        .arg(dir.join("bad.fscp"))
+        .output()
+        .expect("run compile");
+    assert!(!out.status.success());
+    assert!(!dir.join("bad.fscp").exists(), "no artifact on failure");
+    std::fs::remove_dir_all(&dir).ok();
+}
