@@ -29,6 +29,7 @@ use filterscope_logformat::url::base_domain_of;
 use filterscope_logformat::{PolicyClass, RecordView, RequestClass};
 use filterscope_match::aho_corasick::AhoCorasickBuilder;
 use filterscope_match::AhoCorasick;
+use filterscope_proxy::ProfileKind;
 use filterscope_stats::CountMap;
 use std::collections::{HashMap, HashSet};
 
@@ -447,6 +448,160 @@ impl crate::registry::Analysis for InferenceAnalysis {
     }
 }
 
+/// Classify one record's censorship mechanism from its on-disk signature
+/// alone — no generator state, no policy knowledge. Returns `None` for
+/// records that are not visibly censored (no policy exception).
+///
+/// The signature table (see `filterscope_proxy::profile`):
+///
+/// * `PROXIED` + policy exception → a caching proxy (`blue-coat`);
+/// * status `-` (0) with zero bytes → the name never resolved
+///   (`dns-poison`);
+/// * status `-` (0) with a partial body → a torn connection (`tcp-rst`);
+/// * `OBSERVED` + policy exception → an injected success (`blockpage`);
+/// * anything else (403/302 denials) → a forward proxy (`blue-coat`).
+pub fn classify_mechanism_view(view: &RecordView<'_>) -> Option<ProfileKind> {
+    use filterscope_logformat::FilterResult;
+    if !view.exception_is_policy() {
+        return None;
+    }
+    Some(match view.filter_result {
+        FilterResult::Proxied => ProfileKind::BlueCoat,
+        _ if view.sc_status == 0 && view.sc_bytes == 0 => ProfileKind::DnsPoison,
+        _ if view.sc_status == 0 => ProfileKind::TcpRst,
+        FilterResult::Observed => ProfileKind::BlockpageInject,
+        FilterResult::Denied => ProfileKind::BlueCoat,
+    })
+}
+
+/// The mechanism-recovery stage: every visibly censored record votes for
+/// the mechanism its signature matches, and the trace's censor is the
+/// majority vote with its share as confidence — a headline the source
+/// paper could not produce, since it only ever saw one censor.
+#[derive(Debug, Clone, Default)]
+pub struct MechanismInference {
+    /// Votes per mechanism, indexed by [`ProfileKind::index`].
+    votes: [u64; 4],
+}
+
+impl MechanismInference {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one record (only censored records vote).
+    pub fn ingest(&mut self, record: &RecordView<'_>) {
+        if let Some(kind) = classify_mechanism_view(record) {
+            self.votes[kind.index()] += 1;
+        }
+    }
+
+    /// Fold a sibling shard in.
+    pub fn merge(&mut self, other: MechanismInference) {
+        for (mine, theirs) in self.votes.iter_mut().zip(other.votes) {
+            *mine += theirs;
+        }
+    }
+
+    /// Votes for one mechanism.
+    pub fn votes_for(&self, kind: ProfileKind) -> u64 {
+        self.votes[kind.index()]
+    }
+
+    /// Total censored records that voted.
+    pub fn total(&self) -> u64 {
+        self.votes.iter().sum()
+    }
+
+    /// The recovered mechanism and its confidence (winning share of the
+    /// censored votes), or `None` when no record voted. Ties resolve to
+    /// the earlier entry of [`ProfileKind::ALL`], deterministically.
+    pub fn verdict(&self) -> Option<(ProfileKind, f64)> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let winner = ProfileKind::ALL
+            .into_iter()
+            .max_by_key(|k| (self.votes[k.index()], std::cmp::Reverse(k.index())))
+            .expect("ALL is non-empty");
+        Some((winner, self.votes[winner.index()] as f64 / total as f64))
+    }
+
+    /// Render the vote table plus the verdict line.
+    pub fn render_table(&self) -> String {
+        let total = self.total();
+        let mut t = Table::new(
+            "Mechanism inference: censor fingerprint from log signatures",
+            &["Mechanism", "Censored votes"],
+        );
+        for kind in ProfileKind::ALL {
+            t.row([
+                kind.name().to_string(),
+                count_pct(self.votes[kind.index()], total),
+            ]);
+        }
+        let mut out = t.render();
+        match self.verdict() {
+            Some((kind, confidence)) => {
+                out.push_str(&format!(
+                    "inferred mechanism: {} (confidence {:.2}%, {} censored records)\n",
+                    kind.name(),
+                    confidence * 100.0,
+                    total
+                ));
+            }
+            None => out.push_str("inferred mechanism: none (no censored records)\n"),
+        }
+        out
+    }
+}
+
+impl crate::registry::Analysis for MechanismInference {
+    fn key(&self) -> &'static str {
+        "mechanism"
+    }
+
+    fn title(&self) -> &'static str {
+        "Censorship-mechanism inference"
+    }
+
+    fn ingest(&mut self, _ctx: &AnalysisContext, record: &RecordView<'_>) {
+        MechanismInference::ingest(self, record);
+    }
+
+    fn merge(&mut self, other: Box<dyn crate::registry::Analysis>) {
+        let other: MechanismInference = crate::registry::downcast(other);
+        MechanismInference::merge(self, other);
+    }
+
+    fn render(&self, _ctx: &AnalysisContext) -> String {
+        self.render_table()
+    }
+
+    fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {
+        use filterscope_core::Json;
+        let mut votes = Json::object();
+        for kind in ProfileKind::ALL {
+            votes.push(kind.name(), Json::UInt(self.votes[kind.index()]));
+        }
+        let mut obj = Json::object();
+        match self.verdict() {
+            Some((kind, confidence)) => {
+                obj.push("mechanism", Json::Str(kind.name().to_string()));
+                obj.push("mechanism_confidence", Json::Float(confidence));
+            }
+            None => {
+                obj.push("mechanism", Json::Str("none".to_string()));
+                obj.push("mechanism_confidence", Json::Float(0.0));
+            }
+        }
+        obj.push("mechanism_votes", votes);
+        Some(obj)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +624,59 @@ mod tests {
 
     fn engine() -> FilterInference {
         FilterInference::new(&filterscope_proxy::config::KEYWORDS)
+    }
+
+    #[test]
+    fn mechanism_recovery_follows_profile_signatures() {
+        use filterscope_proxy::{FarmConfig, ProxyFarm, Request};
+        let ts = Timestamp::parse_fields("2011-08-03", "09:00:00").unwrap();
+        for kind in ProfileKind::ALL {
+            let farm = ProxyFarm::new(
+                FarmConfig {
+                    profile: kind,
+                    ..FarmConfig::default()
+                },
+                None,
+            );
+            let mut m = MechanismInference::new();
+            for i in 0..300 {
+                // A mix of keyword-, domain- and redirect-censored URLs
+                // plus allowed traffic, as a real trace would have.
+                for url in [
+                    RequestUrl::http("metacafe.com", format!("/watch/{i}")),
+                    RequestUrl::http("upload.youtube.com", format!("/up/{i}")),
+                    RequestUrl::http(format!("ok{i}.example"), "/index.html"),
+                ] {
+                    m.ingest(&farm.process(&Request::get(ts, url)).as_view());
+                }
+            }
+            let (got, confidence) = m.verdict().expect("censored records voted");
+            assert_eq!(got, kind, "recovered {got:?} from a {kind:?} trace");
+            assert!(
+                confidence >= 0.95,
+                "{kind:?} confidence {confidence} below 0.95"
+            );
+        }
+    }
+
+    #[test]
+    fn mechanism_merge_is_associative_and_empty_has_no_verdict() {
+        assert_eq!(MechanismInference::new().verdict(), None);
+        let censored = rec("metacafe.com", "/", "", true);
+        let allowed = rec("ok.example", "/", "", false);
+        let mut single = MechanismInference::new();
+        single.ingest(&censored.as_view());
+        single.ingest(&allowed.as_view());
+        single.ingest(&censored.as_view());
+        let mut a = MechanismInference::new();
+        a.ingest(&censored.as_view());
+        let mut b = MechanismInference::new();
+        b.ingest(&allowed.as_view());
+        b.ingest(&censored.as_view());
+        a.merge(b);
+        assert_eq!(a.verdict(), single.verdict());
+        assert_eq!(a.total(), 2, "allowed records must not vote");
+        assert_eq!(a.votes_for(ProfileKind::BlueCoat), 2);
     }
 
     #[test]

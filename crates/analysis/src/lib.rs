@@ -61,6 +61,7 @@ pub mod users;
 pub mod weather;
 
 pub use context::AnalysisContext;
+pub use filter_inference::{classify_mechanism_view, MechanismInference};
 pub use pipeline::{IngestStats, ParallelIngest, ShardSink};
 pub use registry::{Analysis, AnalysisEntry, CostClass, Selection, SuiteParams, REGISTRY};
 pub use suite::AnalysisSuite;

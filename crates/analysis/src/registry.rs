@@ -357,6 +357,15 @@ pub const REGISTRY: &[AnalysisEntry] = &[
             ))
         },
     },
+    AnalysisEntry {
+        key: "mechanism",
+        title: "Censorship-mechanism inference",
+        artifacts: "Censor fingerprint (beyond paper)",
+        cost: CostClass::Cheap,
+        in_default_suite: false,
+        export_rank: Some(13),
+        make: |_| Box::new(crate::filter_inference::MechanismInference::new()),
+    },
 ];
 
 /// Look a registry entry up by key.

@@ -6,6 +6,9 @@
 //! * `write_lines` — `LogRecord` → CSV rate;
 //! * `policy_decisions` — SG-9000 policy evaluations per second;
 //! * `farm_end_to_end` — request → routed, filtered, logged record;
+//! * `profile_decisions` — the same end-to-end path through each censor
+//!   profile (blue-coat, dns-poison, tcp-rst, blockpage): the rendering
+//!   cost of the pluggable mechanism layer;
 //! * `generate_and_analyze` — the whole pipeline: synthesize a day slice,
 //!   filter it, ingest it into the full analysis suite;
 //! * `parallel_ingest` — the sharded file-ingest path at 1 thread vs all
@@ -22,9 +25,10 @@ use filterscope_bench::{corpus, csv_lines};
 use filterscope_core::pool;
 use filterscope_logformat::frame::{batch_lines, Frame};
 use filterscope_logformat::{parse_line, parse_view, LineSplitter, LogWriter, Schema};
+use filterscope_proxy::config::FarmConfig;
 use filterscope_proxy::cpl;
 use filterscope_proxy::{artifact, PolicyData};
-use filterscope_proxy::{PolicyEngine, ProxyConfig, ProxyFarm, Request};
+use filterscope_proxy::{PolicyEngine, ProfileKind, ProxyConfig, ProxyFarm, Request};
 use filterscope_synth::{Corpus, SynthConfig};
 use std::path::PathBuf;
 
@@ -152,6 +156,35 @@ fn bench_throughput(c: &mut Harness) {
             black_box(denied)
         })
     });
+    g.finish();
+
+    // The profile layer's overhead question, per mechanism: request →
+    // mechanism-shaped record against the bare `policy_decisions` rate
+    // above. `farm_blue-coat` is `farm_end_to_end` by another name, so
+    // any spread across rows is the rendering cost of each censor.
+    let mut g = c.benchmark_group("profile_decisions");
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    for kind in ProfileKind::ALL {
+        let farm = ProxyFarm::new(
+            FarmConfig {
+                profile: kind,
+                ..FarmConfig::default()
+            },
+            None,
+        );
+        g.bench_function(&format!("farm_{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut censored = 0u64;
+                for req in &requests {
+                    let rec = farm.process(req);
+                    if rec.exception.is_policy() {
+                        censored += 1;
+                    }
+                }
+                black_box(censored)
+            })
+        });
+    }
     g.finish();
 
     let mut g = c.benchmark_group("pipeline");

@@ -348,6 +348,10 @@ fn read_farm(r: &mut ByteReader<'_>) -> Result<FarmConfig> {
         seed,
         error_per_cent_mille,
         proxied_per_cent_mille,
+        // The FSCP farm section describes the Blue Coat deployment the
+        // artifact was measured from; censor profiles are a simulation-side
+        // concern and are not part of the serialized format.
+        profile: crate::profile::ProfileKind::BlueCoat,
     })
 }
 

@@ -304,6 +304,10 @@ pub struct FarmConfig {
     pub error_per_cent_mille: u32,
     /// Cache (PROXIED) rate, per 100 000 requests (Table 3: ~470).
     pub proxied_per_cent_mille: u32,
+    /// The censorship mechanism the deployment runs. The policy tiers are
+    /// mechanism-independent; this selects how a decision manifests in the
+    /// log (see [`crate::profile`]).
+    pub profile: crate::profile::ProfileKind,
 }
 
 impl FarmConfig {
@@ -329,6 +333,7 @@ impl Default for FarmConfig {
             seed: 0x5947_2011, // "SY 2011"
             error_per_cent_mille: 5_310,
             proxied_per_cent_mille: 470,
+            profile: crate::profile::ProfileKind::BlueCoat,
         }
     }
 }

@@ -38,6 +38,13 @@ impl Decision {
         !matches!(self, Decision::Allow)
     }
 
+    /// Is this the redirect flavour of censorship? Profiles branch on this
+    /// to pick the mechanism-appropriate redirect footprint (302 + policy
+    /// redirect action for a proxy, 302 + injected body for a blockpage).
+    pub fn is_redirect(self) -> bool {
+        matches!(self, Decision::Redirect(_))
+    }
+
     /// The exception the appliance logs for this decision (before any
     /// network-error overlay).
     pub fn exception(self) -> ExceptionId {
@@ -79,6 +86,9 @@ mod tests {
         assert!(!Decision::Allow.is_censored());
         assert!(Decision::Deny(Trigger::Domain).is_censored());
         assert!(Decision::Redirect(Trigger::RedirectHost).is_censored());
+        assert!(!Decision::Allow.is_redirect());
+        assert!(!Decision::Deny(Trigger::Domain).is_redirect());
+        assert!(Decision::Redirect(Trigger::RedirectHost).is_redirect());
         assert_eq!(Decision::Allow.trigger(), None);
         assert_eq!(
             Decision::Deny(Trigger::IpSubnet).trigger(),

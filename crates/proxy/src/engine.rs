@@ -183,6 +183,28 @@ impl PolicyEngine {
             _ => cfg.default_category,
         }
     }
+
+    /// Evaluate the policy and resolve the category label in one step — the
+    /// classified outcome a [`crate::profile::CensorProfile`] turns into a
+    /// log record. The policy (what is censored) is decided here, once;
+    /// the mechanism (how denial looks on the wire) lives in the profile.
+    pub fn verdict(&self, cfg: &ProxyConfig, req: &Request) -> Verdict {
+        let decision = self.decide(cfg, req);
+        Verdict {
+            decision,
+            categories: self.category_label(cfg, decision),
+        }
+    }
+}
+
+/// A fully resolved policy outcome for one request on one proxy: the
+/// decision plus the `cs-categories` label that proxy's config assigns it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Allow / deny / redirect, with the trigger when censored.
+    pub decision: Decision,
+    /// The category string the appliance logs for this outcome.
+    pub categories: &'static str,
 }
 
 #[cfg(test)]
@@ -327,6 +349,21 @@ mod tests {
                 "{host}{path}?{query}"
             );
         }
+    }
+
+    #[test]
+    fn verdict_bundles_decision_and_label() {
+        let e = engine();
+        let c = cfg(ProxyId::Sg48);
+        let r =
+            get(RequestUrl::http("www.facebook.com", "/Syrian.Revolution").with_query("ref=ts"));
+        let v = e.verdict(&c, &r);
+        assert_eq!(v.decision, e.decide(&c, &r));
+        assert_eq!(v.categories, e.category_label(&c, v.decision));
+        assert_eq!(v.categories, "Blocked sites");
+        let allowed = e.verdict(&c, &get(RequestUrl::http("ok.example", "/")));
+        assert_eq!(allowed.decision, Decision::Allow);
+        assert_eq!(allowed.categories, "none");
     }
 
     #[test]

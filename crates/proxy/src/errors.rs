@@ -11,8 +11,11 @@ use crate::request::Request;
 use filterscope_logformat::ExceptionId;
 
 /// Relative weights of the error exceptions, from Table 3's `Ddenied`
-/// breakdown (per 10 000 of error traffic).
-const ERROR_MIX: [(ExceptionId, u32); 8] = [
+/// breakdown (per 10 000 of error traffic). This is the *proxy* mix: a
+/// transparent proxy terminates the client's TCP session itself, so it can
+/// observe and log the full range of upstream failures. Other censor
+/// mechanisms draw from their own mixes via [`ErrorModel::sample_from`].
+pub const ERROR_MIX: [(ExceptionId, u32); 8] = [
     (ExceptionId::TcpError, 5355),
     (ExceptionId::InternalError, 3667),
     (ExceptionId::InvalidRequest, 664),
@@ -42,6 +45,16 @@ impl ErrorModel {
 
     /// Should `req` fail with a network error, and if so which?
     pub fn sample(&self, req: &Request) -> Option<ExceptionId> {
+        self.sample_from(req, &ERROR_MIX)
+    }
+
+    /// [`Self::sample`] drawing the exception kind from a caller-supplied
+    /// mix (weights per 10 000 of error traffic). *Which* requests error is
+    /// mix-independent — only the kind drawn for an erroring request varies
+    /// — so every censor profile shares one error population while emitting
+    /// only the exceptions its vantage can actually observe (a DNS poisoner
+    /// never logs a proxy's `internal_error`).
+    pub fn sample_from(&self, req: &Request, mix: &[(ExceptionId, u32)]) -> Option<ExceptionId> {
         let mut key = req.identity_bytes();
         key.extend_from_slice(&req.timestamp.epoch_seconds().to_le_bytes());
         let h = decision_hash(self.seed, "net-error", &key);
@@ -51,7 +64,7 @@ impl ErrorModel {
         // Second, independent draw selects the exception kind.
         let pick = decision_hash(self.seed, "net-error-kind", &key) % 10_000;
         let mut acc = 0u64;
-        for (e, w) in ERROR_MIX.iter() {
+        for (e, w) in mix.iter() {
             acc += *w as u64;
             if pick < acc {
                 return Some(e.clone());
@@ -125,6 +138,38 @@ mod tests {
     fn zero_rate_never_errors() {
         let m = ErrorModel::new(7, 0);
         assert!(reqs(1000).all(|r| m.sample(&r).is_none()));
+    }
+
+    #[test]
+    fn custom_mix_preserves_the_error_population() {
+        // `sample_from` must flip the *kind*, never *which* requests error:
+        // profiles share one error population so swapping the censor cannot
+        // change total error volume.
+        let m = ErrorModel::new(7, 5_310);
+        let dns_mix = [
+            (ExceptionId::DnsUnresolvedHostname, 6_000u32),
+            (ExceptionId::DnsServerFailure, 2_500),
+            (ExceptionId::TcpError, 1_500),
+        ];
+        for r in reqs(5_000) {
+            let default = m.sample(&r);
+            let scoped = m.sample_from(&r, &dns_mix);
+            assert_eq!(default.is_some(), scoped.is_some());
+            if let Some(e) = scoped {
+                assert!(
+                    dns_mix.iter().any(|(k, _)| *k == e),
+                    "exception {e:?} outside the scoped mix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_from_default_mix_is_sample() {
+        let m = ErrorModel::new(7, 50_000);
+        for r in reqs(2_000) {
+            assert_eq!(m.sample(&r), m.sample_from(&r, &ERROR_MIX));
+        }
     }
 
     #[test]

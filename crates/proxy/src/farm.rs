@@ -9,23 +9,26 @@
 
 use crate::cache::CacheModel;
 use crate::config::FarmConfig;
-use crate::decision::Decision;
 use crate::engine::PolicyEngine;
 use crate::errors::ErrorModel;
 use crate::hashing::{decision_hash, per_mille};
+use crate::profile::{CensorProfile, ProfileContext};
 use crate::request::Request;
 use filterscope_core::ProxyId;
 use filterscope_logformat::url::base_domain_of;
-use filterscope_logformat::{ExceptionId, FilterResult, LogRecord, Method, SAction};
+use filterscope_logformat::LogRecord;
 use filterscope_tor::RelayIndex;
 use std::sync::Arc;
 
-/// The deployment: compiled policy + per-proxy configs + overlays.
+/// The deployment: compiled policy + per-proxy configs + overlays + the
+/// censorship mechanism ([`CensorProfile`]) that turns verdicts into
+/// records.
 pub struct ProxyFarm {
     config: FarmConfig,
     engine: PolicyEngine,
     errors: ErrorModel,
     cache: CacheModel,
+    profile: Box<dyn CensorProfile>,
     /// Which proxies are accepting traffic (the July window has only SG-42).
     active: Vec<ProxyId>,
 }
@@ -44,11 +47,13 @@ impl ProxyFarm {
         let engine = PolicyEngine::standard(relays, config.seed);
         let errors = ErrorModel::new(config.seed, config.error_per_cent_mille);
         let cache = CacheModel::new(config.seed, config.proxied_per_cent_mille);
+        let profile = config.profile.build();
         ProxyFarm {
             config,
             engine,
             errors,
             cache,
+            profile,
             active: ProxyId::ALL.to_vec(),
         }
     }
@@ -68,11 +73,13 @@ impl ProxyFarm {
         let engine = PolicyEngine::from_data(policy, relays, config.seed);
         let errors = ErrorModel::new(config.seed, config.error_per_cent_mille);
         let cache = CacheModel::new(config.seed, config.proxied_per_cent_mille);
+        let profile = config.profile.build();
         ProxyFarm {
             config,
             engine,
             errors,
             cache,
+            profile,
             active: ProxyId::ALL.to_vec(),
         }
     }
@@ -98,6 +105,11 @@ impl ProxyFarm {
     /// Shared access to the compiled policy (for analyses and tests).
     pub fn engine(&self) -> &PolicyEngine {
         &self.engine
+    }
+
+    /// The censorship mechanism this farm runs.
+    pub fn profile(&self) -> &dyn CensorProfile {
+        self.profile.as_ref()
     }
 
     /// Route a request to a proxy: uniform hash placement with the
@@ -131,154 +143,20 @@ impl ProxyFarm {
         self.process_on(req, proxy)
     }
 
-    /// Process on a specific proxy (bypasses routing).
+    /// Process on a specific proxy (bypasses routing): resolve the policy
+    /// verdict, then let the configured [`CensorProfile`] shape the record
+    /// — the mechanism owns status/action/byte-count semantics, the farm
+    /// owns routing and policy.
     pub fn process_on(&self, req: &Request, proxy: ProxyId) -> LogRecord {
         let cfg = &self.config.proxies[proxy.index()];
-        let decision = self.engine.decide(cfg, req);
-        let categories = self.engine.category_label(cfg, decision).to_string();
-        let cache_hit = self.cache.is_cache_hit(req);
-
-        // Outcome resolution.
-        let (filter_result, s_action, exception, sc_status, sc_bytes) = if decision.is_censored() {
-            let exception = decision.exception();
-            if cache_hit {
-                // PROXIED rows for censored URLs sometimes lose the
-                // exception — the inconsistency §3.3 observes.
-                let exc = if self.cache.drops_exception(req) {
-                    ExceptionId::None
-                } else {
-                    exception
-                };
-                (FilterResult::Proxied, SAction::TcpHit, exc, 403u16, 0u64)
-            } else {
-                let action = match decision {
-                    Decision::Redirect(_) => SAction::TcpPolicyRedirect,
-                    _ => SAction::TcpDenied,
-                };
-                let status = match decision {
-                    Decision::Redirect(_) => 302,
-                    _ => 403,
-                };
-                (FilterResult::Denied, action, exception, status, 0)
-            }
-        } else if cache_hit {
-            (
-                FilterResult::Proxied,
-                SAction::TcpHit,
-                ExceptionId::None,
-                200,
-                req.response_bytes,
-            )
-        } else if let Some(err) = self.errors.sample(req) {
-            let status = match err {
-                ExceptionId::DnsUnresolvedHostname | ExceptionId::DnsServerFailure => 503,
-                ExceptionId::InvalidRequest => 400,
-                _ => 503,
-            };
-            (FilterResult::Denied, SAction::TcpErrMiss, err, status, 0)
-        } else {
-            let action = if req.method == Method::Connect {
-                SAction::TcpTunneled
-            } else {
-                SAction::TcpNcMiss
-            };
-            (
-                FilterResult::Observed,
-                action,
-                ExceptionId::None,
-                200,
-                req.response_bytes,
-            )
-        };
-
-        let served = filter_result != FilterResult::Denied;
-        // A transparent proxy never sees inside a TLS tunnel: CONNECT
-        // records carry only the endpoint — no path, query or extension
-        // (this absence is exactly the paper's no-MITM evidence, §4).
-        let url = if req.method == Method::Connect {
-            filterscope_logformat::RequestUrl {
-                scheme: req.url.scheme.clone(),
-                host: req.url.host.clone(),
-                port: req.url.port,
-                path: "-".into(),
-                query: String::new(),
-            }
-        } else {
-            req.url.clone()
-        };
-        let uri_ext = url
-            .extension()
-            .filter(|e| *e != "-")
-            .unwrap_or("")
-            .to_string();
-        let content_type = if !served || req.method == Method::Connect {
-            String::new()
-        } else {
-            content_type_for(&uri_ext).to_string()
-        };
-
-        LogRecord {
-            timestamp: req.timestamp,
-            time_taken_ms: time_taken(req, filter_result),
-            client: req.client,
-            sc_status,
-            s_action,
-            sc_bytes,
-            cs_bytes: 300 + (url.path.len() + url.query.len()) as u64,
-            method: req.method.clone(),
-            url,
-            uri_ext,
-            username: String::new(),
-            hierarchy: if served {
-                "DIRECT".into()
-            } else {
-                "NONE".into()
-            },
-            // A host of literally "-" would collide with the absent-field
-            // marker on disk; such a degenerate supplier is logged as absent.
-            supplier: if served && req.url.host != "-" {
-                req.url.host.clone()
-            } else {
-                String::new()
-            },
-            content_type,
-            user_agent: req.user_agent.clone(),
-            filter_result,
-            categories,
-            virus_id: String::new(),
-            s_ip: proxy.s_ip(),
-            sitename: "SG-HTTP-Service".into(),
-            exception,
-        }
-    }
-}
-
-/// Plausible `time-taken` values: censored decisions are local and fast;
-/// served requests include origin round trips.
-fn time_taken(req: &Request, fr: FilterResult) -> u32 {
-    let h = decision_hash(0x71AE, "time-taken", &req.identity_bytes());
-    match fr {
-        FilterResult::Denied => 1 + (h % 30) as u32,
-        FilterResult::Proxied => 1 + (h % 15) as u32,
-        FilterResult::Observed => 40 + (h % 900) as u32,
-    }
-}
-
-/// Content type from extension (only for served responses).
-fn content_type_for(ext: &str) -> &'static str {
-    match ext {
-        "js" => "application/x-javascript",
-        "css" => "text/css",
-        "png" => "image/png",
-        "jpg" | "jpeg" => "image/jpeg",
-        "gif" => "image/gif",
-        "flv" => "video/x-flv",
-        "swf" => "application/x-shockwave-flash",
-        "xml" => "text/xml",
-        "json" => "application/json",
-        "ico" => "image/x-icon",
-        "" | "php" | "html" | "htm" | "asp" | "aspx" => "text/html",
-        _ => "application/octet-stream",
+        let verdict = self.engine.verdict(cfg, req);
+        self.profile.render(&ProfileContext {
+            req,
+            proxy,
+            verdict,
+            cache: &self.cache,
+            errors: &self.errors,
+        })
     }
 }
 
@@ -286,7 +164,9 @@ fn content_type_for(ext: &str) -> &'static str {
 mod tests {
     use super::*;
     use filterscope_core::Timestamp;
-    use filterscope_logformat::{RequestClass, RequestUrl};
+    use filterscope_logformat::{
+        ExceptionId, FilterResult, Method, RequestClass, RequestUrl, SAction,
+    };
 
     fn ts(t: &str) -> Timestamp {
         Timestamp::parse_fields("2011-08-03", t).unwrap()

@@ -37,12 +37,14 @@ pub mod errors;
 pub mod farm;
 pub mod hashing;
 pub mod policy_data;
+pub mod profile;
 pub mod request;
 
 pub use artifact::CompiledPolicy;
 pub use config::{FarmConfig, ProxyConfig};
 pub use decision::{Decision, Trigger};
-pub use engine::PolicyEngine;
+pub use engine::{PolicyEngine, Verdict};
 pub use farm::ProxyFarm;
 pub use policy_data::{PolicyData, RuleFamily};
+pub use profile::{CensorProfile, ProfileKind};
 pub use request::Request;

@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use filterscope_proxy::ProfileKind;
+
 /// Per-connection counters, shared between the reader, the worker, the
 /// snapshot thread, and the metrics renderer.
 #[derive(Debug)]
@@ -106,6 +108,12 @@ pub struct ServerStats {
     pub policy_denied: AtomicU64,
     /// Records the policy redirected.
     pub policy_redirected: AtomicU64,
+    /// Censored records per inferred censorship mechanism, indexed by
+    /// [`ProfileKind::index`]; uncensored records vote for nothing.
+    pub mechanism: [AtomicU64; 4],
+    /// The mechanism `serve --censor` declared, stored as
+    /// [`ProfileKind::index`] + 1 (0 = no expectation declared).
+    pub expected_mechanism: AtomicU64,
 }
 
 impl ServerStats {
@@ -129,7 +137,15 @@ impl ServerStats {
             policy_allowed: AtomicU64::new(0),
             policy_denied: AtomicU64::new(0),
             policy_redirected: AtomicU64::new(0),
+            mechanism: std::array::from_fn(|_| AtomicU64::new(0)),
+            expected_mechanism: AtomicU64::new(0),
         }
+    }
+
+    /// Declare the mechanism the operator expects ingested traffic to show.
+    pub fn expect_mechanism(&self, kind: ProfileKind) {
+        self.expected_mechanism
+            .store(kind.index() as u64 + 1, Ordering::SeqCst);
     }
 
     /// Seconds since the newest snapshot, if one was written.
@@ -239,6 +255,27 @@ pub fn render(stats: &ServerStats, conns: &[std::sync::Arc<ConnStats>]) -> Strin
             load(&stats.policy_redirected)
         );
     }
+    // Mechanism gauges appear once a censored record has been classified,
+    // or as soon as `--censor` declared what the operator expects.
+    let mechanism_total: u64 = stats.mechanism.iter().map(load).sum();
+    let expected = load(&stats.expected_mechanism);
+    if mechanism_total > 0 || expected > 0 {
+        for kind in ProfileKind::ALL {
+            let _ = writeln!(
+                out,
+                "filterscope_mechanism_records_total{{mechanism=\"{}\"}} {}",
+                kind.name(),
+                load(&stats.mechanism[kind.index()])
+            );
+        }
+        if expected > 0 {
+            let _ = writeln!(
+                out,
+                "filterscope_expected_mechanism{{mechanism=\"{}\"}} 1",
+                ProfileKind::ALL[(expected - 1) as usize].name()
+            );
+        }
+    }
     for conn in conns {
         let label = conn.label();
         let _ = writeln!(
@@ -336,8 +373,30 @@ mod tests {
         assert!(page.contains("filterscope_snapshot_age_seconds"));
         assert!(page.contains("filterscope_conn_records_total{conn=\"sg-42\"} 42"));
         assert!(page.contains("filterscope_conn_queue_depth{conn=\"sg-42\"} 0"));
-        // No policy configured → no policy gauges.
+        // No policy configured → no policy gauges; no censored records
+        // classified and no expectation declared → no mechanism gauges.
         assert!(!page.contains("filterscope_policy_version"));
+        assert!(!page.contains("filterscope_mechanism_records_total"));
+    }
+
+    #[test]
+    fn render_covers_mechanism_gauges_when_votes_or_expectation_exist() {
+        let stats = ServerStats::new();
+        stats.mechanism[ProfileKind::DnsPoison.index()].store(9, Ordering::Relaxed);
+        let page = render(&stats, &[]);
+        // One labelled line per mechanism, zero-valued ones included.
+        assert!(page.contains("filterscope_mechanism_records_total{mechanism=\"dns-poison\"} 9"));
+        assert!(page.contains("filterscope_mechanism_records_total{mechanism=\"blue-coat\"} 0"));
+        assert!(page.contains("filterscope_mechanism_records_total{mechanism=\"tcp-rst\"} 0"));
+        assert!(page.contains("filterscope_mechanism_records_total{mechanism=\"blockpage\"} 0"));
+        assert!(!page.contains("filterscope_expected_mechanism"));
+
+        // An expectation alone also surfaces the gauge block.
+        let stats = ServerStats::new();
+        stats.expect_mechanism(ProfileKind::TcpRst);
+        let page = render(&stats, &[]);
+        assert!(page.contains("filterscope_expected_mechanism{mechanism=\"tcp-rst\"} 1"));
+        assert!(page.contains("filterscope_mechanism_records_total{mechanism=\"tcp-rst\"} 0"));
     }
 
     #[test]

@@ -41,7 +41,9 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use filterscope_analysis::{AnalysisContext, AnalysisSuite, Selection, SuiteParams};
+use filterscope_analysis::{
+    classify_mechanism_view, AnalysisContext, AnalysisSuite, Selection, SuiteParams,
+};
 use filterscope_core::{Error, Result};
 use filterscope_logformat::frame::{batch_lines, Frame, FrameKind};
 use filterscope_logformat::{LineSplitter, Schema};
@@ -49,7 +51,7 @@ use filterscope_logformat::{LineSplitter, Schema};
 use crate::metrics::{self, ConnStats, ServerStats};
 use crate::policy::{PolicyCell, PolicyWatcher, ReloadOutcome};
 use crate::snapshot::SnapshotWriter;
-use filterscope_proxy::Decision;
+use filterscope_proxy::{Decision, ProfileKind};
 
 /// How long `run` waits for workers to drain after shutdown before
 /// folding the final snapshot anyway.
@@ -79,6 +81,10 @@ pub struct ServeConfig {
     /// witness-gated hot reload each snapshot cycle; `None` disables
     /// policy evaluation.
     pub policy_artifact: Option<PathBuf>,
+    /// The censorship mechanism the operator expects ingested traffic
+    /// to show (`serve --censor`); reported on `/metrics` next to the
+    /// per-mechanism vote counters so drift is visible at a glance.
+    pub expected_censor: Option<ProfileKind>,
 }
 
 /// Counters reported by [`Server::run`] after shutdown.
@@ -175,6 +181,9 @@ impl Server {
             .map(|w| w.lock().expect("policy lock").cell());
         if let Some(cell) = &policy_cell {
             stats.policy_version.store(cell.version(), Ordering::SeqCst);
+        }
+        if let Some(kind) = self.config.expected_censor {
+            stats.expect_mechanism(kind);
         }
 
         std::thread::scope(|scope| -> Result<()> {
@@ -415,6 +424,7 @@ fn ingest_connection(
         let mut records = 0u64;
         let mut parse_errors = 0u64;
         let (mut allowed, mut denied, mut redirected) = (0u64, 0u64, 0u64);
+        let mut mechanism = [0u64; 4];
         let mut suite = delta.lock().expect("delta lock");
         for line in batch_lines(&payload) {
             line_no += 1;
@@ -437,6 +447,9 @@ fn ingest_connection(
                             Decision::Redirect(_) => redirected += 1,
                         }
                     }
+                    if let Some(kind) = classify_mechanism_view(&view) {
+                        mechanism[kind.index()] += 1;
+                    }
                     suite.ingest(ctx, &view);
                     records += 1;
                 }
@@ -453,6 +466,11 @@ fn ingest_connection(
             stats
                 .policy_redirected
                 .fetch_add(redirected, Ordering::SeqCst);
+        }
+        for (slot, votes) in stats.mechanism.iter().zip(mechanism) {
+            if votes > 0 {
+                slot.fetch_add(votes, Ordering::SeqCst);
+            }
         }
         drop(suite);
     }
@@ -505,6 +523,7 @@ mod tests {
             selection: Selection::default_suite(),
             queue_batches: 4,
             policy_artifact: None,
+            expected_censor: None,
         }
     }
 
@@ -559,6 +578,7 @@ mod tests {
         let mut cfg = config(&dir.join("snaps"));
         cfg.metrics = Some("127.0.0.1:0".to_string());
         cfg.policy_artifact = Some(artifact_path.clone());
+        cfg.expected_censor = Some(ProfileKind::BlueCoat);
         let server = Server::bind(cfg).unwrap();
         let addr = server.local_addr().unwrap();
         let metrics_addr = server.metrics_addr().unwrap();
@@ -611,6 +631,16 @@ mod tests {
                 .unwrap();
             let page = await_gauge("filterscope_policy_decisions_total{decision=\"deny\"} ", 1);
             assert_eq!(gauge(&page, "filterscope_policy_version "), 1);
+            // The policy-denied line carries the Blue Coat fingerprint
+            // (DENIED + HTTP 403), matching the declared expectation.
+            assert_eq!(
+                gauge(
+                    &page,
+                    "filterscope_mechanism_records_total{mechanism=\"blue-coat\"} "
+                ),
+                1
+            );
+            assert!(page.contains("filterscope_expected_mechanism{mechanism=\"blue-coat\"} 1"));
 
             // Swap in an artifact without keyword rules; no restart.
             let ablated = full.clone().without(RuleFamily::Keywords);

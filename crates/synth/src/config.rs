@@ -1,6 +1,7 @@
 //! Generator configuration and the study period.
 
 use filterscope_core::{Date, Error, ProxyId, Result};
+use filterscope_proxy::ProfileKind;
 
 /// Total requests in the real leak (Table 1).
 pub const FULL_DATASET_REQUESTS: u64 = 751_295_830;
@@ -140,6 +141,10 @@ pub struct SynthConfig {
     pub seed: u64,
     /// The days to generate.
     pub period: StudyPeriod,
+    /// The censorship mechanism the simulated deployment runs (the
+    /// `--censor` flag; see [`censor_preset`]). The workload and the policy
+    /// are mechanism-independent — only the records' shape changes.
+    pub censor: ProfileKind,
 }
 
 impl SynthConfig {
@@ -154,12 +159,19 @@ impl SynthConfig {
             scale,
             seed: 0xF117_0502, // arbitrary fixed default
             period: StudyPeriod::standard(),
+            censor: ProfileKind::BlueCoat,
         })
     }
 
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the censorship mechanism.
+    pub fn with_censor(mut self, censor: ProfileKind) -> Self {
+        self.censor = censor;
         self
     }
 
@@ -183,6 +195,31 @@ impl Default for SynthConfig {
         SynthConfig::new(4096).expect("4096 is a valid scale")
     }
 }
+
+/// Resolve a `--censor` argument to a profile: either a mechanism name
+/// (`blue-coat`, `dns-poison`, `tcp-rst`, `blockpage`) or a country preset
+/// from the measurement literature — `syria` (the paper's Blue Coat farm),
+/// `pakistan` (NCP-era DNS poisoning) and `turkmenistan` (bidirectional
+/// RST-based IP blocking).
+pub fn censor_preset(name: &str) -> Option<ProfileKind> {
+    match name {
+        "syria" => Some(ProfileKind::BlueCoat),
+        "pakistan" => Some(ProfileKind::DnsPoison),
+        "turkmenistan" => Some(ProfileKind::TcpRst),
+        other => ProfileKind::parse(other),
+    }
+}
+
+/// The `--censor` vocabulary, for usage strings and error messages.
+pub const CENSOR_NAMES: &[&str] = &[
+    "blue-coat",
+    "dns-poison",
+    "tcp-rst",
+    "blockpage",
+    "syria",
+    "pakistan",
+    "turkmenistan",
+];
 
 #[cfg(test)]
 mod tests {
@@ -222,6 +259,27 @@ mod tests {
         assert_eq!(DayKind::August.active_proxies().len(), 7);
         assert!(DayKind::JulyHashedUsers.hashed_clients());
         assert!(!DayKind::JulyZeroed.hashed_clients());
+    }
+
+    #[test]
+    fn censor_presets_resolve() {
+        assert_eq!(censor_preset("syria"), Some(ProfileKind::BlueCoat));
+        assert_eq!(censor_preset("pakistan"), Some(ProfileKind::DnsPoison));
+        assert_eq!(censor_preset("turkmenistan"), Some(ProfileKind::TcpRst));
+        for kind in ProfileKind::ALL {
+            assert_eq!(censor_preset(kind.name()), Some(kind));
+        }
+        assert_eq!(censor_preset("narnia"), None);
+        for name in CENSOR_NAMES {
+            assert!(censor_preset(name).is_some(), "{name} not resolvable");
+        }
+        assert_eq!(SynthConfig::default().censor, ProfileKind::BlueCoat);
+        assert_eq!(
+            SynthConfig::default()
+                .with_censor(ProfileKind::TcpRst)
+                .censor,
+            ProfileKind::TcpRst
+        );
     }
 
     #[test]

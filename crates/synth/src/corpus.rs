@@ -69,12 +69,16 @@ impl Corpus {
             .collect();
         let relays = Arc::new(RelayIndex::from_consensuses(docs.iter()));
         let population = Arc::new(Population::new(config.population(), config.seed));
+        let farm_config = FarmConfig {
+            profile: config.censor,
+            ..FarmConfig::default()
+        };
         Corpus {
             config,
             population,
             relays,
             consensus_cfg,
-            farm_config: FarmConfig::default(),
+            farm_config,
         }
     }
 

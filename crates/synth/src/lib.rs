@@ -31,7 +31,7 @@ pub mod streamer;
 pub mod temporal;
 pub mod users;
 
-pub use config::{DayKind, StudyDay, StudyPeriod, SynthConfig};
+pub use config::{censor_preset, DayKind, StudyDay, StudyPeriod, SynthConfig, CENSOR_NAMES};
 pub use corpus::Corpus;
 pub use generator::DayGenerator;
 pub use streamer::{stream_csv_lines, Pacer};

@@ -95,6 +95,28 @@ mod tests {
     }
 
     #[test]
+    fn streamed_lines_carry_the_configured_censor_signature() {
+        // `stream --censor pakistan` must put the DNS-poison dialect on
+        // the wire: censored lines report status `-` (0) with zero-byte
+        // bodies instead of the Blue Coat 403.
+        let config = SynthConfig::new(1 << 18)
+            .unwrap()
+            .with_censor(filterscope_proxy::ProfileKind::DnsPoison);
+        let corpus = Corpus::new(config);
+        let (mut censored, mut denied_403) = (0u64, 0u64);
+        stream_csv_lines(&corpus, |_, _, line| {
+            if line.contains(",policy_denied") || line.contains(",policy_redirect") {
+                censored += 1;
+                if line.contains(",403,") {
+                    denied_403 += 1;
+                }
+            }
+        });
+        assert!(censored > 0, "corpus has censored lines");
+        assert_eq!(denied_403, 0, "no Blue Coat 403s under dns-poison");
+    }
+
+    #[test]
     fn unpaced_pacer_never_sleeps() {
         let mut p = Pacer::new(0.0);
         let t0 = Instant::now();

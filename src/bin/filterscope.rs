@@ -29,11 +29,12 @@ use filterscope::policylint::{
 };
 use filterscope::prelude::*;
 use filterscope::proxy::config::FarmConfig;
-use filterscope::proxy::{artifact, cpl, PolicyData};
+use filterscope::proxy::{artifact, cpl, PolicyData, ProfileKind};
 use filterscope::stream::{
     install_sigint, stream_corpus, stream_files, ServeConfig, Server, StreamConfig,
 };
 use filterscope::synth::corpus::DayShard;
+use filterscope::synth::{censor_preset, CENSOR_NAMES};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::path::{Path, PathBuf};
@@ -41,7 +42,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  filterscope generate [--scale N] [--out DIR] [--threads N]\n  \
+        "usage:\n  filterscope generate [--scale N] [--out DIR] [--censor NAME] [--threads N]\n  \
          filterscope analyze LOG... [--min-support N] [--geo FILE] [--categories FILE] [--json OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope audit LOG... [--min-support N] [--cpl OUT] [--lint] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope policy [--out FILE]\n  \
@@ -51,10 +52,14 @@ fn usage() -> ExitCode {
          filterscope weather LOG... [--min-support N] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope compare --a LOG --b LOG [--min-support N]\n  \
          filterscope analyses\n  \
-         filterscope serve --snapshots DIR [--listen ADDR] [--metrics ADDR] [--every-ms N] [--min-support N] [--queue N] [--policy-artifact FILE] [--analyses KEYS] [--skip KEYS]\n  \
-         filterscope stream [LOG... | --scale N] [--connect ADDR] [--connections N] [--batch N] [--compress X]\n\n\
+         filterscope serve --snapshots DIR [--listen ADDR] [--metrics ADDR] [--every-ms N] [--min-support N] [--queue N] [--policy-artifact FILE] [--censor NAME] [--analyses KEYS] [--skip KEYS]\n  \
+         filterscope stream [LOG... | --scale N] [--censor NAME] [--connect ADDR] [--connections N] [--batch N] [--compress X]\n\n\
          Flags accept `--flag value` or `--flag=value`; repeating a flag\n\
          is an error.\n\
+         --censor selects the simulated censorship mechanism: blue-coat\n\
+         (default), dns-poison, tcp-rst, blockpage, or the presets syria,\n\
+         pakistan, turkmenistan; `serve --censor` declares the mechanism\n\
+         the daemon expects to observe (reported on /metrics).\n\
          POLICY is `standard` or a CPL file; `lint` exits non-zero on error\n\
          findings (and on warnings too under `--deny warnings`).\n\
          `compile` writes a witness-checked binary artifact that\n\
@@ -153,6 +158,24 @@ impl Args {
     }
 }
 
+/// Resolve `--censor NAME` to a profile ([`ProfileKind::BlueCoat`] when
+/// absent). Unknown names list the full vocabulary rather than guessing.
+fn censor_from_flag(args: &Args) -> Result<ProfileKind, ExitCode> {
+    match args.flag("censor") {
+        None => Ok(ProfileKind::BlueCoat),
+        Some(name) => match censor_preset(name) {
+            Some(kind) => Ok(kind),
+            None => {
+                eprintln!(
+                    "filterscope: unknown censor `{name}` (expected one of: {})",
+                    CENSOR_NAMES.join(", ")
+                );
+                Err(usage())
+            }
+        },
+    }
+}
+
 /// Part-file path for one `(day × shard)` generation unit.
 fn part_path(out_dir: &Path, unit: &DayShard) -> PathBuf {
     out_dir.join(format!(
@@ -214,10 +237,15 @@ fn cmd_generate(args: &Args) -> ExitCode {
     let Ok(config) = SynthConfig::new(scale) else {
         return usage();
     };
-    let corpus = Corpus::new(config);
+    let censor = match censor_from_flag(args) {
+        Ok(kind) => kind,
+        Err(code) => return code,
+    };
+    let corpus = Corpus::new(config.with_censor(censor));
     eprintln!(
-        "writing {} requests across {} day files to {} on {threads} thread{}",
+        "writing {} requests ({} censor) across {} day files to {} on {threads} thread{}",
         corpus.total_volume(),
+        censor.name(),
         corpus.config().period.days().len(),
         out_dir.display(),
         if threads == 1 { "" } else { "s" }
@@ -747,6 +775,13 @@ fn cmd_serve(args: &Args) -> ExitCode {
         Ok(s) => s,
         Err(code) => return code,
     };
+    let expected_censor = match args.flag("censor") {
+        None => None,
+        Some(_) => match censor_from_flag(args) {
+            Ok(kind) => Some(kind),
+            Err(code) => return code,
+        },
+    };
     let config = ServeConfig {
         listen: args.flag("listen").unwrap_or("127.0.0.1:4742").to_string(),
         metrics: args.flag("metrics").map(str::to_string),
@@ -756,6 +791,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
         selection,
         queue_batches: queue.clamp(1, 4096) as usize,
         policy_artifact: args.flag("policy-artifact").map(PathBuf::from),
+        expected_censor,
     };
     let server = match Server::bind(config) {
         Ok(s) => s,
@@ -838,8 +874,18 @@ fn cmd_stream(args: &Args) -> ExitCode {
         let Ok(config) = SynthConfig::new(scale) else {
             return usage();
         };
-        stream_corpus(&Corpus::new(config), &cfg)
+        let censor = match censor_from_flag(args) {
+            Ok(kind) => kind,
+            Err(code) => return code,
+        };
+        stream_corpus(&Corpus::new(config.with_censor(censor)), &cfg)
     } else {
+        // Replayed files carry whatever mechanism produced them; a
+        // `--censor` here would be silently ignored, so reject it.
+        if args.flag("censor").is_some() {
+            eprintln!("filterscope stream: --censor only applies to synthetic workloads (--scale)");
+            return usage();
+        }
         let paths: Vec<PathBuf> = args.positional.iter().map(PathBuf::from).collect();
         stream_files(&paths, &cfg)
     };
@@ -897,7 +943,7 @@ fn bool_flags(command: &str) -> &'static [&'static str] {
 /// The flag vocabulary of one subcommand ([`Args::parse`] rejects the rest).
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
     Some(match command {
-        "generate" => &["scale", "out", "threads"],
+        "generate" => &["scale", "out", "censor", "threads"],
         "analyze" => &[
             "min-support",
             "geo",
@@ -923,10 +969,18 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "min-support",
             "queue",
             "policy-artifact",
+            "censor",
             "analyses",
             "skip",
         ],
-        "stream" => &["connect", "connections", "batch", "compress", "scale"],
+        "stream" => &[
+            "connect",
+            "connections",
+            "batch",
+            "compress",
+            "scale",
+            "censor",
+        ],
         _ => return None,
     })
 }

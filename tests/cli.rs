@@ -194,6 +194,7 @@ fn analyses_listing_is_the_registry_in_paper_order() {
         "google_cache",
         "consistency",
         "weather",
+        "mechanism",
     ];
     let keys: Vec<&str> = stdout
         .lines()
@@ -218,6 +219,15 @@ fn unknown_flags_are_rejected_per_subcommand() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown flag --cpl"), "stderr: {stderr}");
 
+    // `--censor` belongs to generate/serve/stream, not analyze.
+    let out = bin()
+        .args(["analyze", "x.log", "--censor", "pakistan"])
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --censor"), "stderr: {stderr}");
+
     // `--flag=value` spelling is accepted wherever `--flag value` is.
     let out = bin()
         .args(["report", "--scale=65536", "--threads=2"])
@@ -227,6 +237,37 @@ fn unknown_flags_are_rejected_per_subcommand() {
         out.status.success(),
         "{}",
         String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn unknown_censor_names_the_vocabulary() {
+    let out = bin()
+        .args(["generate", "--censor", "great-firewall", "--out", "/tmp"])
+        .output()
+        .expect("run generate");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown censor `great-firewall`"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("blue-coat") && stderr.contains("pakistan"),
+        "vocabulary listed: {stderr}"
+    );
+
+    // Replayed log files carry their own mechanism; `--censor` with
+    // positional files is a contradiction, not a request.
+    let out = bin()
+        .args(["stream", "x.log", "--censor", "syria"])
+        .output()
+        .expect("run stream");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--censor only applies to synthetic workloads"),
+        "stderr: {stderr}"
     );
 }
 
@@ -455,6 +496,7 @@ fn repeated_flags_are_rejected() {
         &["report", "--scale", "256", "--scale", "512"],
         &["analyze", "x.log", "--threads", "2", "--threads=4"],
         &["serve", "--snapshots", "a", "--snapshots", "b"],
+        &["generate", "--censor", "syria", "--censor", "pakistan"],
     ];
     for case in cases {
         let out = bin().args(*case).output().expect("run subcommand");
@@ -465,6 +507,50 @@ fn repeated_flags_are_rejected() {
             "{case:?} stderr: {stderr}"
         );
     }
+}
+
+#[test]
+fn censor_presets_survive_the_generate_analyze_roundtrip() {
+    // The README quickstart: generate under a non-default censor, then
+    // let mechanism inference name it back from the log files alone.
+    let dir = temp_dir("censor_roundtrip");
+    let out = bin()
+        .args([
+            "generate", "--scale", "131072", "--censor", "pakistan", "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut logs: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.unwrap().path().to_string_lossy().into_owned())
+        .filter(|p| p.ends_with(".log"))
+        .collect();
+    logs.sort();
+    assert_eq!(logs.len(), 9, "nine study days");
+
+    let out = bin()
+        .arg("analyze")
+        .args(&logs)
+        .args(["--analyses", "mechanism"])
+        .output()
+        .expect("run analyze");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("inferred mechanism: dns-poison"),
+        "pakistan preset is the DNS-poisoning censor: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

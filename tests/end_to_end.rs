@@ -217,3 +217,28 @@ fn parallel_and_sequential_analysis_agree() {
     assert_eq!(seq.users().user_count(), par.users().user_count());
     assert_eq!(seq.temporal().rcv(), par.temporal().rcv());
 }
+
+#[test]
+fn mechanism_inference_recovers_every_censor_profile() {
+    use filterscope::analysis::MechanismInference;
+    use filterscope::proxy::ProfileKind;
+
+    // Workload → profile-shaped farm → logs → inference: the censor's
+    // mechanism must be recoverable from the log corpus alone, with the
+    // censored population voting near-unanimously.
+    for kind in ProfileKind::ALL {
+        let config = SynthConfig::new(65_536)
+            .expect("valid scale")
+            .with_censor(kind);
+        let corpus = Corpus::new(config);
+        let mut mech = MechanismInference::new();
+        corpus.for_each_record(|r| mech.ingest(&r.as_view()));
+        let (got, confidence) = mech.verdict().expect("corpus has censored records");
+        assert_eq!(got, kind, "recovered mechanism for {}", kind.name());
+        assert!(
+            confidence >= 0.95,
+            "{} confidence {confidence}",
+            kind.name()
+        );
+    }
+}

@@ -5,6 +5,7 @@
 
 use filterscope::analysis::registry::REGISTRY;
 use filterscope::prelude::*;
+use filterscope::proxy::ProfileKind;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -61,6 +62,42 @@ fn cut(frac: u32) -> usize {
     records().len() * frac as usize / 1000
 }
 
+/// Scale divisor for the per-profile corpora: four extra corpora must stay
+/// cheap, and the merge contract does not care about volume.
+const PROFILE_SCALE: u64 = 262_144;
+
+/// One corpus per censorship mechanism, generated lazily as a batch.
+fn profile_records(kind: ProfileKind) -> &'static [LogRecord] {
+    static RECORDS: OnceLock<Vec<Vec<LogRecord>>> = OnceLock::new();
+    &RECORDS.get_or_init(|| {
+        ProfileKind::ALL
+            .iter()
+            .map(|&k| {
+                let config = SynthConfig::new(PROFILE_SCALE).unwrap().with_censor(k);
+                let mut out = Vec::new();
+                Corpus::new(config).for_each_record(|r| out.push(r.clone()));
+                out
+            })
+            .collect()
+    })[kind.index()]
+}
+
+/// The single-pass fingerprint of each profile's corpus, computed once.
+fn profile_baseline(kind: ProfileKind) -> &'static (String, String) {
+    static BASELINE: OnceLock<Vec<(String, String)>> = OnceLock::new();
+    &BASELINE.get_or_init(|| {
+        let ctx = ctx();
+        ProfileKind::ALL
+            .iter()
+            .map(|&k| {
+                let mut suite = everything_suite();
+                ingest_range(&mut suite, &ctx, profile_records(k));
+                fingerprint(&suite, &ctx)
+            })
+            .collect()
+    })[kind.index()]
+}
+
 proptest! {
     /// `ingest(a) ⊕ ingest(b) == ingest(a ++ b)` for every registered
     /// analysis at an arbitrary split point.
@@ -96,10 +133,10 @@ proptest! {
     /// sharded at an arbitrary point matches its own sequential pass.
     #[test]
     fn selective_shard_merge_matches_selective_pass(
-        key_ix in 0usize..19,
+        key_ix in 0usize..20,
         frac in 0u32..=1000,
     ) {
-        assert_eq!(REGISTRY.len(), 19, "strategy bound tracks the registry");
+        assert_eq!(REGISTRY.len(), 20, "strategy bound tracks the registry");
         let ctx = ctx();
         let selection = Selection::only(&[REGISTRY[key_ix].key]).unwrap();
         let params = SuiteParams::new(MIN_SUPPORT);
@@ -112,5 +149,25 @@ proptest! {
         ingest_range(&mut b, &ctx, &records()[split..]);
         a.merge(b);
         prop_assert_eq!(fingerprint(&a, &ctx), fingerprint(&seq, &ctx));
+    }
+
+    /// Whatever censor shaped the corpus, shard-merge equals one pass: the
+    /// whole registry (mechanism inference included) honors the merge
+    /// contract on every profile's log dialect.
+    #[test]
+    fn every_profile_shard_merge_matches_single_pass(
+        profile_ix in 0usize..4,
+        frac in 0u32..=1000,
+    ) {
+        let kind = ProfileKind::ALL[profile_ix];
+        let recs = profile_records(kind);
+        let ctx = ctx();
+        let split = recs.len() * frac as usize / 1000;
+        let mut a = everything_suite();
+        let mut b = everything_suite();
+        ingest_range(&mut a, &ctx, &recs[..split]);
+        ingest_range(&mut b, &ctx, &recs[split..]);
+        a.merge(b);
+        prop_assert_eq!(&fingerprint(&a, &ctx), profile_baseline(kind));
     }
 }
