@@ -61,6 +61,17 @@ pub trait Analysis: AsAny + Send + Sync {
     /// Feed one parsed record view.
     fn ingest(&mut self, ctx: &AnalysisContext, record: &RecordView<'_>);
 
+    /// Feed a whole block of parsed record views. The default loops
+    /// [`Analysis::ingest`], so every implementation is batch-equivalent by
+    /// construction; the point of the method is dispatch amortization — the
+    /// block ingest path pays one virtual call per analysis per *block*
+    /// instead of per record.
+    fn ingest_block(&mut self, ctx: &AnalysisContext, block: &[RecordView<'_>]) {
+        for record in block {
+            self.ingest(ctx, record);
+        }
+    }
+
     /// Fold a sibling shard in. The shard must be the same concrete type;
     /// implementations downcast via [`downcast`] and delegate to their
     /// by-value inherent `merge`.

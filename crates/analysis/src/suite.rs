@@ -107,6 +107,16 @@ impl AnalysisSuite {
         }
     }
 
+    /// Feed a whole block of records to every analysis: one virtual call per
+    /// analysis per block instead of per record (see
+    /// [`crate::registry::Analysis::ingest_block`]). Equivalent to calling
+    /// [`AnalysisSuite::ingest`] for each record in order.
+    pub fn ingest_block(&mut self, ctx: &AnalysisContext, block: &[RecordView<'_>]) {
+        for analysis in &mut self.analyses {
+            analysis.ingest_block(ctx, block);
+        }
+    }
+
     /// Merge a shard built from the same selection.
     pub fn merge(&mut self, other: AnalysisSuite) {
         assert_eq!(

@@ -24,7 +24,7 @@ use filterscope_bench::harness::{black_box, Harness, Throughput};
 use filterscope_bench::{corpus, csv_lines};
 use filterscope_core::pool;
 use filterscope_logformat::frame::{batch_lines, Frame};
-use filterscope_logformat::{parse_line, parse_view, LineSplitter, LogWriter, Schema};
+use filterscope_logformat::{parse_line, parse_view, BlockParser, LineSplitter, LogWriter, Schema};
 use filterscope_proxy::config::FarmConfig;
 use filterscope_proxy::cpl;
 use filterscope_proxy::{artifact, PolicyData};
@@ -62,6 +62,22 @@ fn bench_throughput(c: &mut Harness) {
         })
     });
 
+    // The buffer-reusing render path the sharded writer runs on: one line
+    // buffer, allocation-free integer/timestamp formatting. The delta to
+    // `write_lines` is the per-record allocation + `format!` machinery.
+    g.bench_function("write_lines_reused", |b| {
+        let mut line = String::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for r in records {
+                line.clear();
+                r.write_csv_into(&mut line);
+                total += line.len();
+            }
+            black_box(total)
+        })
+    });
+
     // Schema-flexible parsing pays a mapping indirection; measure it.
     let schema = Schema::canonical();
     g.throughput(Throughput::Bytes(bytes));
@@ -74,6 +90,25 @@ fn bench_throughput(c: &mut Harness) {
                 }
             }
             black_box(ok)
+        })
+    });
+
+    // The block-oriented hot path `ParallelIngest` actually runs: one
+    // SWAR-split pass over a whole block of lines, span-resolved into
+    // `RecordView`s. The delta to `parse_lines_via_schema` is the payoff
+    // of amortizing per-line setup across a block.
+    let block: Vec<u8> = lines
+        .iter()
+        .flat_map(|l| l.bytes().chain(std::iter::once(b'\n')))
+        .collect();
+    let mut block_parser = BlockParser::new();
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("parse_lines_block", |b| {
+        b.iter(|| {
+            let mut line_no = 0u64;
+            let (views, malformed) = block_parser.parse(&block, &schema, &mut line_no);
+            assert_eq!(malformed, 0);
+            black_box(views.len())
         })
     });
 
@@ -108,6 +143,17 @@ fn bench_throughput(c: &mut Harness) {
                 }
             }
             black_box(censored)
+        })
+    });
+
+    // The batch decision API over the same requests: one scratch buffer
+    // for every tier-3 keyword scan instead of an allocation per request.
+    g.bench_function("policy_decisions_batched", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            engine.decide_batch(&cfg, &requests, &mut out);
+            black_box(out.iter().filter(|d| d.is_censored()).count())
         })
     });
 
@@ -154,6 +200,15 @@ fn bench_throughput(c: &mut Harness) {
                 }
             }
             black_box(denied)
+        })
+    });
+    // The batched farm path the generation pipeline runs on.
+    g.bench_function("farm_end_to_end_batched", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            farm.process_batch(&requests, &mut out);
+            black_box(out.iter().filter(|r| r.exception.is_policy()).count())
         })
     });
     g.finish();
@@ -291,7 +346,11 @@ fn bench_parallel_ingest(c: &mut Harness) {
     let mut g = c.benchmark_group("parallel_ingest");
     g.sample_size(10);
     g.throughput(Throughput::Bytes(bytes));
-    for threads in [1, pool::available_threads()] {
+    // On a single-core machine both entries would collapse onto the same
+    // name; dedupe so the results file never carries duplicate keys.
+    let mut thread_counts = vec![1, pool::available_threads()];
+    thread_counts.dedup();
+    for threads in thread_counts {
         let ingest = ParallelIngest::new(threads);
         g.bench_function(&format!("analyze_suite_threads_{threads:02}"), |b| {
             b.iter(|| {

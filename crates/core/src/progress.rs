@@ -48,6 +48,46 @@ impl Progress {
             rate(records, elapsed)
         )
     }
+
+    /// Estimated seconds remaining, extrapolating the rate so far. `None`
+    /// until any work is done (no rate to extrapolate from) or once `done`
+    /// reaches `total`.
+    pub fn eta_secs(&self, done: u64, total: u64) -> Option<f64> {
+        if done == 0 || done >= total {
+            return None;
+        }
+        let per_sec = self.per_second(done);
+        Some((total - done) as f64 / per_sec.max(1e-9))
+    }
+
+    /// One in-flight status line: `"{label}: 42% — 118.3 MB/s, ETA 12s"`.
+    ///
+    /// `done`/`total` are in bytes. Shared by every long-running stage
+    /// (`analyze`, `replay`) so ETA reporting has one shape.
+    pub fn eta_line(&self, label: &str, done: u64, total: u64) -> String {
+        let pct = if total == 0 {
+            100.0
+        } else {
+            (done as f64 / total as f64 * 100.0).min(100.0)
+        };
+        let mbps = self.per_second(done) / 1e6;
+        match self.eta_secs(done, total) {
+            Some(eta) => format!("{label}: {pct:.0}% — {mbps:.1} MB/s, ETA {}", fmt_secs(eta)),
+            None => format!("{label}: {pct:.0}% — {mbps:.1} MB/s"),
+        }
+    }
+}
+
+/// Render a duration in seconds as a compact `12s` / `3m40s` / `1h02m`.
+pub fn fmt_secs(secs: f64) -> String {
+    let s = secs.round().max(0.0) as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    }
 }
 
 /// `count / secs` with a guard against division by zero.
@@ -75,5 +115,32 @@ mod tests {
     fn rate_guards_zero_elapsed() {
         assert!(rate(100, 0.0).is_finite());
         assert_eq!(rate(100, 2.0), 50.0);
+    }
+
+    #[test]
+    fn eta_is_none_at_the_edges() {
+        let p = Progress::start();
+        assert!(p.eta_secs(0, 100).is_none());
+        assert!(p.eta_secs(100, 100).is_none());
+        assert!(p.eta_secs(200, 100).is_none());
+    }
+
+    #[test]
+    fn eta_line_has_the_standard_shape() {
+        let p = Progress::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let line = p.eta_line("analyze", 50, 100);
+        assert!(line.starts_with("analyze: 50% — "), "{line}");
+        assert!(line.contains("MB/s"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+        let done = p.eta_line("analyze", 100, 100);
+        assert!(!done.contains("ETA"), "{done}");
+    }
+
+    #[test]
+    fn compact_durations() {
+        assert_eq!(fmt_secs(3.2), "3s");
+        assert_eq!(fmt_secs(75.0), "1m15s");
+        assert_eq!(fmt_secs(3725.0), "1h02m");
     }
 }

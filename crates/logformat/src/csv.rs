@@ -7,6 +7,8 @@
 //! round-trips: fields containing `,`, `"`, CR or LF are quoted, and embedded
 //! quotes are doubled.
 
+use crate::scan;
+
 /// Split one CSV line into owned fields, honouring RFC-4180 quoting.
 ///
 /// Returns `None` if the line is malformed (unterminated quote, or garbage
@@ -20,14 +22,125 @@ pub fn split_line(line: &str) -> Option<Vec<String>> {
 }
 
 /// Where one field's bytes live after a borrowed split.
+///
+/// Offsets are relative to the line (or scratch buffer) the split ran over;
+/// [`crate::block::BlockParser`] stores these per line alongside shared
+/// scratch, which is why the type is crate-visible.
 #[derive(Debug, Clone, Copy)]
-enum Span {
+pub(crate) enum Span {
     /// A slice of the input line (every unquoted field, and quoted fields
     /// without embedded `""` escapes).
     Line { start: u32, end: u32 },
     /// A slice of the splitter's scratch buffer (quoted fields whose `""`
     /// escapes had to be collapsed).
     Scratch { start: u32, end: u32 },
+}
+
+impl Span {
+    /// The field bytes this span denotes.
+    #[inline]
+    pub(crate) fn resolve<'a>(self, line: &'a str, scratch: &'a str) -> &'a str {
+        match self {
+            Span::Line { start, end } => &line[start as usize..end as usize],
+            Span::Scratch { start, end } => &scratch[start as usize..end as usize],
+        }
+    }
+}
+
+/// Append `line`'s field spans to `spans` (scratch-backed fields unescape
+/// into `scratch`). Returns `false` — with both buffers restored to their
+/// entry lengths — on RFC-4180 violations. Shared by [`LineSplitter`] (which
+/// clears first) and the block parser (which accumulates spans for a whole
+/// block of lines against one scratch buffer).
+pub(crate) fn append_spans(line: &str, spans: &mut Vec<Span>, scratch: &mut String) -> bool {
+    let spans_mark = spans.len();
+    let scratch_mark = scratch.len();
+    let bytes = line.as_bytes();
+    if bytes.len() > u32::MAX as usize {
+        return false;
+    }
+    let mut i = 0usize;
+    loop {
+        if bytes.get(i) == Some(&b'"') {
+            // Quoted field: scan to the closing quote, tracking escapes.
+            let start = i + 1;
+            let mut j = start;
+            let mut escaped = false;
+            let end = loop {
+                match scan::memchr(b'"', &bytes[j..]) {
+                    None => {
+                        // Unterminated quote.
+                        spans.truncate(spans_mark);
+                        scratch.truncate(scratch_mark);
+                        return false;
+                    }
+                    Some(off) => {
+                        let q = j + off;
+                        if bytes.get(q + 1) == Some(&b'"') {
+                            escaped = true;
+                            j = q + 2;
+                        } else {
+                            break q;
+                        }
+                    }
+                }
+            };
+            if escaped {
+                // Collapse `""` into `"` in the scratch buffer.
+                let scratch_start = scratch.len();
+                let mut k = start;
+                while k < end {
+                    match scan::memchr(b'"', &bytes[k..end]) {
+                        None => {
+                            scratch.push_str(&line[k..end]);
+                            k = end;
+                        }
+                        Some(off) => {
+                            scratch.push_str(&line[k..k + off + 1]);
+                            k += off + 2; // skip the doubled quote
+                        }
+                    }
+                }
+                spans.push(Span::Scratch {
+                    start: scratch_start as u32,
+                    end: scratch.len() as u32,
+                });
+            } else {
+                spans.push(Span::Line {
+                    start: start as u32,
+                    end: end as u32,
+                });
+            }
+            // After a closing quote only a comma or end-of-line is legal.
+            match bytes.get(end + 1) {
+                None => return true,
+                Some(&b',') => i = end + 2,
+                Some(_) => {
+                    spans.truncate(spans_mark);
+                    scratch.truncate(scratch_mark);
+                    return false;
+                }
+            }
+        } else {
+            // Unquoted field: everything up to the next comma.
+            match scan::memchr(b',', &bytes[i..]) {
+                None => {
+                    spans.push(Span::Line {
+                        start: i as u32,
+                        end: bytes.len() as u32,
+                    });
+                    return true;
+                }
+                Some(off) => {
+                    spans.push(Span::Line {
+                        start: i as u32,
+                        end: (i + off) as u32,
+                    });
+                    i += off + 1;
+                }
+            }
+        }
+    }
 }
 
 /// Reusable zero-allocation CSV line splitter.
@@ -57,90 +170,13 @@ impl LineSplitter {
     pub fn split<'a>(&'a mut self, line: &'a str) -> Option<Fields<'a>> {
         self.spans.clear();
         self.scratch.clear();
-        let bytes = line.as_bytes();
-        if bytes.len() > u32::MAX as usize {
-            return None;
-        }
-        let mut i = 0usize;
-        loop {
-            if bytes.get(i) == Some(&b'"') {
-                // Quoted field: scan to the closing quote, tracking escapes.
-                let start = i + 1;
-                let mut j = start;
-                let mut escaped = false;
-                let end = loop {
-                    match bytes[j..].iter().position(|&b| b == b'"') {
-                        None => return None, // unterminated quote
-                        Some(off) => {
-                            let q = j + off;
-                            if bytes.get(q + 1) == Some(&b'"') {
-                                escaped = true;
-                                j = q + 2;
-                            } else {
-                                break q;
-                            }
-                        }
-                    }
-                };
-                if escaped {
-                    // Collapse `""` into `"` in the scratch buffer.
-                    let scratch_start = self.scratch.len();
-                    let mut k = start;
-                    while k < end {
-                        match bytes[k..end].iter().position(|&b| b == b'"') {
-                            None => {
-                                self.scratch.push_str(&line[k..end]);
-                                k = end;
-                            }
-                            Some(off) => {
-                                self.scratch.push_str(&line[k..k + off + 1]);
-                                k += off + 2; // skip the doubled quote
-                            }
-                        }
-                    }
-                    self.spans.push(Span::Scratch {
-                        start: scratch_start as u32,
-                        end: self.scratch.len() as u32,
-                    });
-                } else {
-                    self.spans.push(Span::Line {
-                        start: start as u32,
-                        end: end as u32,
-                    });
-                }
-                // After a closing quote only a comma or end-of-line is legal.
-                match bytes.get(end + 1) {
-                    None => {
-                        return Some(Fields {
-                            splitter: self,
-                            line,
-                        })
-                    }
-                    Some(&b',') => i = end + 2,
-                    Some(_) => return None,
-                }
-            } else {
-                // Unquoted field: everything up to the next comma.
-                match bytes[i..].iter().position(|&b| b == b',') {
-                    None => {
-                        self.spans.push(Span::Line {
-                            start: i as u32,
-                            end: bytes.len() as u32,
-                        });
-                        return Some(Fields {
-                            splitter: self,
-                            line,
-                        });
-                    }
-                    Some(off) => {
-                        self.spans.push(Span::Line {
-                            start: i as u32,
-                            end: (i + off) as u32,
-                        });
-                        i += off + 1;
-                    }
-                }
-            }
+        if append_spans(line, &mut self.spans, &mut self.scratch) {
+            Some(Fields {
+                splitter: self,
+                line,
+            })
+        } else {
+            None
         }
     }
 }
@@ -165,10 +201,10 @@ impl<'a> Fields<'a> {
     /// The `i`-th field, borrowed from the line (or the scratch buffer for
     /// escape-carrying quoted fields).
     pub fn get(&self, i: usize) -> Option<&'a str> {
-        self.splitter.spans.get(i).map(|span| match *span {
-            Span::Line { start, end } => &self.line[start as usize..end as usize],
-            Span::Scratch { start, end } => &self.splitter.scratch[start as usize..end as usize],
-        })
+        self.splitter
+            .spans
+            .get(i)
+            .map(|span| span.resolve(self.line, &self.splitter.scratch))
     }
 }
 
@@ -211,6 +247,68 @@ pub fn join_line<S: AsRef<str>>(fields: &[S]) -> String {
         write_field(&mut out, f.as_ref());
     }
     out
+}
+
+// --- Allocation-free numeric formatting -----------------------------------
+//
+// `write!(out, "{}", n)` routes every integer through `core::fmt`, whose
+// per-call setup dominates when serializing hundreds of millions of short
+// numeric fields. These helpers emit digits straight into the line buffer.
+
+/// Append `v` in decimal.
+pub fn write_uint(out: &mut String, mut v: u64) {
+    // 20 digits hold u64::MAX.
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&digits[i..]).expect("ASCII digits"));
+}
+
+/// Append `v` in decimal, zero-padded to at least `width` digits (the
+/// `{:0width$}` of dates and times; `width` ≤ 20).
+pub fn write_uint_padded(out: &mut String, v: u64, width: usize) {
+    let mut digits = [b'0'; 20];
+    let mut i = digits.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    i = i.min(digits.len() - width.min(digits.len()));
+    out.push_str(std::str::from_utf8(&digits[i..]).expect("ASCII digits"));
+}
+
+/// Append an IPv4 address in dotted-quad form.
+pub fn write_ipv4(out: &mut String, addr: std::net::Ipv4Addr) {
+    let [a, b, c, d] = addr.octets();
+    write_uint(out, u64::from(a));
+    out.push('.');
+    write_uint(out, u64::from(b));
+    out.push('.');
+    write_uint(out, u64::from(c));
+    out.push('.');
+    write_uint(out, u64::from(d));
+}
+
+/// Append `v` as 16 lowercase hex digits (the hashed-client rendering).
+pub fn write_hex16(out: &mut String, v: u64) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut digits = [0u8; 16];
+    for (i, d) in digits.iter_mut().enumerate() {
+        *d = HEX[((v >> (60 - 4 * i)) & 0xF) as usize];
+    }
+    out.push_str(std::str::from_utf8(&digits).expect("ASCII digits"));
 }
 
 #[cfg(test)]
@@ -295,6 +393,62 @@ mod tests {
         assert_eq!(f.get(0), Some("x"));
         assert_eq!(f.get(1), Some("y"));
         assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn uint_formatting_matches_display() {
+        let mut out = String::new();
+        for v in [
+            0u64,
+            1,
+            9,
+            10,
+            99,
+            100,
+            12345,
+            u64::from(u16::MAX),
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            out.clear();
+            write_uint(&mut out, v);
+            assert_eq!(out, format!("{v}"));
+        }
+    }
+
+    #[test]
+    fn padded_formatting_matches_display() {
+        let mut out = String::new();
+        for (v, width) in [(0u64, 2), (7, 2), (59, 2), (0, 4), (812, 4), (2011, 4)] {
+            out.clear();
+            write_uint_padded(&mut out, v, width);
+            assert_eq!(out, format!("{v:0width$}"), "v={v} width={width}");
+        }
+        // Wider values than the pad width are not truncated.
+        out.clear();
+        write_uint_padded(&mut out, 123456, 4);
+        assert_eq!(out, "123456");
+    }
+
+    #[test]
+    fn ipv4_formatting_matches_display() {
+        let mut out = String::new();
+        for addr in ["0.0.0.0", "10.1.2.3", "255.255.255.255", "82.137.200.42"] {
+            let parsed: std::net::Ipv4Addr = addr.parse().unwrap();
+            out.clear();
+            write_ipv4(&mut out, parsed);
+            assert_eq!(out, addr);
+        }
+    }
+
+    #[test]
+    fn hex16_matches_display() {
+        let mut out = String::new();
+        for v in [0u64, 1, 0xdead_beef, u64::MAX, 0x0123_4567_89ab_cdef] {
+            out.clear();
+            write_hex16(&mut out, v);
+            assert_eq!(out, format!("{v:016x}"));
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod anonymize;
+pub mod block;
 pub mod classify;
 pub mod csv;
 pub mod enums;
@@ -28,10 +29,12 @@ pub mod fields;
 pub mod frame;
 pub mod reader;
 pub mod record;
+pub mod scan;
 pub mod schema;
 pub mod url;
 pub mod view;
 
+pub use block::{scan_sections, BlockParser, BlockReader, FileSections, DEFAULT_BLOCK_BYTES};
 pub use classify::{PolicyClass, RequestClass};
 pub use csv::LineSplitter;
 pub use enums::{ClientId, ExceptionId, FilterResult, Method, SAction, Scheme};

@@ -6,7 +6,6 @@ use crate::fields::EMPTY;
 use crate::url::RequestUrl;
 use crate::view::{self, RecordView, UrlView};
 use filterscope_core::{ProxyId, Result, Timestamp};
-use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
 /// One access-log record, fully typed.
@@ -97,30 +96,52 @@ impl LogRecord {
         out.clear();
         // Fields whose rendered form can never require RFC-4180 quoting
         // (dates, numbers, addresses, catalogued enum spellings without
-        // commas) are written straight through `write!`; free-text fields go
-        // through `csv::write_field` exactly as `join_line` would.
-        let _ = write!(
-            out,
-            "{},{},{},{},",
-            self.timestamp.date(),
-            self.timestamp.time(),
-            self.time_taken_ms,
-            self.client,
-        );
+        // commas) are written through the allocation-free digit writers in
+        // [`csv`] — `core::fmt` setup costs dominate at corpus scale — and
+        // free-text fields go through `csv::write_field` exactly as
+        // `join_line` would.
+        let date = self.timestamp.date();
+        csv::write_uint_padded(out, u64::from(date.year()), 4);
+        out.push('-');
+        csv::write_uint_padded(out, u64::from(date.month()), 2);
+        out.push('-');
+        csv::write_uint_padded(out, u64::from(date.day()), 2);
+        out.push(',');
+        let time = self.timestamp.time();
+        csv::write_uint_padded(out, u64::from(time.hour()), 2);
+        out.push(':');
+        csv::write_uint_padded(out, u64::from(time.minute()), 2);
+        out.push(':');
+        csv::write_uint_padded(out, u64::from(time.second()), 2);
+        out.push(',');
+        csv::write_uint(out, u64::from(self.time_taken_ms));
+        out.push(',');
+        match self.client {
+            ClientId::Zeroed => out.push_str("0.0.0.0"),
+            ClientId::Hashed(h) => csv::write_hex16(out, h),
+            ClientId::Addr(a) => csv::write_ipv4(out, a),
+        }
+        out.push(',');
         if self.sc_status == 0 {
             out.push_str(EMPTY);
         } else {
-            let _ = write!(out, "{}", self.sc_status);
+            csv::write_uint(out, u64::from(self.sc_status));
         }
         out.push(',');
         csv::write_field(out, self.s_action.as_str());
-        let _ = write!(out, ",{},{},", self.sc_bytes, self.cs_bytes);
+        out.push(',');
+        csv::write_uint(out, self.sc_bytes);
+        out.push(',');
+        csv::write_uint(out, self.cs_bytes);
+        out.push(',');
         csv::write_field(out, self.method.as_str());
         out.push(',');
         csv::write_field(out, &self.url.scheme);
         out.push(',');
         csv::write_field(out, &self.url.host);
-        let _ = write!(out, ",{},", self.url.port);
+        out.push(',');
+        csv::write_uint(out, u64::from(self.url.port));
+        out.push(',');
         csv::write_field(out, &self.url.path);
         out.push(',');
         csv::write_field(out, write_opt(&self.url.query));
@@ -142,7 +163,9 @@ impl LogRecord {
         csv::write_field(out, &self.categories);
         out.push(',');
         csv::write_field(out, write_opt(&self.virus_id));
-        let _ = write!(out, ",{},", self.s_ip);
+        out.push(',');
+        csv::write_ipv4(out, self.s_ip);
+        out.push(',');
         csv::write_field(out, &self.sitename);
         out.push(',');
         csv::write_field(out, self.exception.as_str());

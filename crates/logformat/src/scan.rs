@@ -1,0 +1,171 @@
+//! SWAR byte scanning: branch-light `memchr`/`memrchr` without `unsafe`.
+//!
+//! The hot ingest path spends most of its cycles locating newlines, commas
+//! and quotes. A byte-at-a-time `iter().position(..)` retires one byte per
+//! iteration; these scanners examine eight bytes per step using the classic
+//! SWAR zero-byte trick (Mycroft, 1987): for `x = chunk ^ splat(needle)`,
+//! `x.wrapping_sub(LO) & !x & HI` has the high bit set in exactly the lanes
+//! where `x` had a zero byte (i.e. where the needle matched). The workspace
+//! forbids `unsafe`, so chunks are loaded through `chunks_exact(8)` +
+//! `u64::from_le_bytes`, which the compiler lowers to single unaligned
+//! loads.
+
+/// Low bits: `0x01` in every lane.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// High bits: `0x80` in every lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// A mask with the high bit set in every lane of `x` that is zero.
+#[inline(always)]
+fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Index of the first occurrence of `needle` in `haystack`.
+#[inline]
+pub fn memchr(needle: u8, haystack: &[u8]) -> Option<usize> {
+    let pat = LO.wrapping_mul(u64::from(needle));
+    let mut chunks = haystack.chunks_exact(8);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let hits = zero_lanes(word ^ pat);
+        if hits != 0 {
+            // Little-endian: the lowest set lane is the earliest byte.
+            return Some(base + (hits.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == needle)
+        .map(|off| base + off)
+}
+
+/// Index of the first occurrence of `a` *or* `b` in `haystack`.
+///
+/// The CSV splitter's unquoted-field scan needs "comma or quote" in one
+/// pass; two masks are OR-ed per chunk, which is still far cheaper than two
+/// separate scans.
+#[inline]
+pub fn memchr2(a: u8, b: u8, haystack: &[u8]) -> Option<usize> {
+    let pat_a = LO.wrapping_mul(u64::from(a));
+    let pat_b = LO.wrapping_mul(u64::from(b));
+    let mut chunks = haystack.chunks_exact(8);
+    let mut base = 0usize;
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let hits = zero_lanes(word ^ pat_a) | zero_lanes(word ^ pat_b);
+        if hits != 0 {
+            return Some(base + (hits.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&x| x == a || x == b)
+        .map(|off| base + off)
+}
+
+/// Index of the last occurrence of `needle` in `haystack`.
+#[inline]
+pub fn memrchr(needle: u8, haystack: &[u8]) -> Option<usize> {
+    let pat = LO.wrapping_mul(u64::from(needle));
+    let mut chunks = haystack.rchunks_exact(8);
+    let mut end = haystack.len();
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let hits = zero_lanes(word ^ pat);
+        if hits != 0 {
+            // Little-endian: the highest set lane is the latest byte.
+            return Some(end - 8 + (7 - (hits.leading_zeros() / 8) as usize));
+        }
+        end -= 8;
+    }
+    chunks.remainder().iter().rposition(|&b| b == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(needle: u8, hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|&b| b == needle)
+    }
+
+    fn naive_r(needle: u8, hay: &[u8]) -> Option<usize> {
+        hay.iter().rposition(|&b| b == needle)
+    }
+
+    #[test]
+    fn matches_naive_on_edge_lengths() {
+        // Every alignment and length around the 8-byte chunk boundary, with
+        // the needle at every position (and absent).
+        for len in 0..40usize {
+            for at in 0..=len {
+                let mut hay = vec![b'x'; len];
+                if at < len {
+                    hay[at] = b'\n';
+                }
+                assert_eq!(memchr(b'\n', &hay), naive(b'\n', &hay), "len={len} at={at}");
+                assert_eq!(
+                    memrchr(b'\n', &hay),
+                    naive_r(b'\n', &hay),
+                    "len={len} at={at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finds_first_not_any() {
+        let hay = b"aa,bb,cc,";
+        assert_eq!(memchr(b',', hay), Some(2));
+        assert_eq!(memrchr(b',', hay), Some(8));
+    }
+
+    #[test]
+    fn multiple_hits_in_one_chunk() {
+        let hay = b",,,,,,,,";
+        assert_eq!(memchr(b',', hay), Some(0));
+        assert_eq!(memrchr(b',', hay), Some(7));
+    }
+
+    #[test]
+    fn memchr2_matches_either() {
+        let hay = b"abcdefg\"hi,jk";
+        assert_eq!(memchr2(b',', b'"', hay), Some(7));
+        assert_eq!(memchr2(b'"', b',', hay), Some(7));
+        assert_eq!(memchr2(b'z', b',', hay), Some(10));
+        assert_eq!(memchr2(b'z', b'q', hay), None);
+        for len in 0..40usize {
+            for at in 0..=len {
+                let mut hay = vec![b'x'; len];
+                if at < len {
+                    hay[at] = b'"';
+                }
+                let want = hay.iter().position(|&b| b == b'"' || b == b',');
+                assert_eq!(memchr2(b'"', b',', &hay), want, "len={len} at={at}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_bit_bytes_do_not_confuse_the_swar_masks() {
+        let hay = [0xFFu8, 0x80, 0x7F, 0x00, b'\n', 0xFE, 0x81, b'\n', 0x90];
+        assert_eq!(memchr(b'\n', &hay), Some(4));
+        assert_eq!(memrchr(b'\n', &hay), Some(7));
+        assert_eq!(memchr(0x00, &hay), Some(3));
+        assert_eq!(memchr(0xFF, &hay), Some(0));
+        assert_eq!(memrchr(0x90, &hay), Some(8));
+    }
+
+    #[test]
+    fn empty_haystack() {
+        assert_eq!(memchr(b'a', b""), None);
+        assert_eq!(memrchr(b'a', b""), None);
+        assert_eq!(memchr2(b'a', b'b', b""), None);
+    }
+}

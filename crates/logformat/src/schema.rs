@@ -107,6 +107,13 @@ impl Schema {
         self.positions.get(canonical).copied().flatten().is_some()
     }
 
+    /// The column a canonical field occupies in this schema, if any (the
+    /// lookup [`Schema::parse_view`] and the block parser build views over).
+    #[inline]
+    pub(crate) fn col(&self, canonical: usize) -> Option<usize> {
+        self.positions.get(canonical).copied().flatten()
+    }
+
     /// Parse one data line under this schema.
     pub fn parse_record(&self, line: &str, line_no: u64) -> Result<LogRecord> {
         let mut splitter = LineSplitter::new();

@@ -148,8 +148,33 @@ impl ProxyFarm {
     /// — the mechanism owns status/action/byte-count semantics, the farm
     /// owns routing and policy.
     pub fn process_on(&self, req: &Request, proxy: ProxyId) -> LogRecord {
+        let mut filter_buf = String::new();
+        self.process_on_with_buf(req, proxy, &mut filter_buf)
+    }
+
+    /// Process a whole batch of requests, appending the produced records to
+    /// `out` in request order. One scratch buffer serves every policy
+    /// evaluation in the batch (the scalar path allocates it per request);
+    /// output is element-for-element identical to [`ProxyFarm::process`].
+    pub fn process_batch(&self, reqs: &[Request], out: &mut Vec<LogRecord>) {
+        out.reserve(reqs.len());
+        let mut filter_buf = String::new();
+        for req in reqs {
+            let proxy = self.route(req);
+            out.push(self.process_on_with_buf(req, proxy, &mut filter_buf));
+        }
+    }
+
+    /// [`ProxyFarm::process_on`] against a caller-owned scratch buffer (see
+    /// [`PolicyEngine::decide_with_buf`]).
+    fn process_on_with_buf(
+        &self,
+        req: &Request,
+        proxy: ProxyId,
+        filter_buf: &mut String,
+    ) -> LogRecord {
         let cfg = &self.config.proxies[proxy.index()];
-        let verdict = self.engine.verdict(cfg, req);
+        let verdict = self.engine.verdict_with_buf(cfg, req, filter_buf);
         self.profile.render(&ProfileContext {
             req,
             proxy,
@@ -170,6 +195,38 @@ mod tests {
 
     fn ts(t: &str) -> Timestamp {
         Timestamp::parse_fields("2011-08-03", t).unwrap()
+    }
+
+    #[test]
+    fn process_batch_is_identical_to_the_scalar_path() {
+        let farm = ProxyFarm::standard();
+        let reqs: Vec<Request> = [
+            "example.com",
+            "metacafe.com",      // blocked domain
+            "proxy-bypass.test", // keyword in host
+            "facebook.com",      // custom-category host
+            "all4syria.info",    // redirect host
+            "1.2.3.4",           // literal-IP host
+            "plain.example",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, host)| {
+            Request::get(
+                ts(&format!("09:00:{:02}", i)),
+                RequestUrl::http(*host, "/some/path"),
+            )
+        })
+        .collect();
+        let want: Vec<LogRecord> = reqs.iter().map(|r| farm.process(r)).collect();
+        let mut got = Vec::new();
+        farm.process_batch(&reqs, &mut got);
+        assert_eq!(got, want);
+        // Appends without clearing, preserving caller-owned contents.
+        let mut appended = vec![want[0].clone()];
+        farm.process_batch(&reqs[..2], &mut appended);
+        assert_eq!(appended.len(), 3);
+        assert_eq!(appended[1..], want[..2]);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::generator::DayGenerator;
 use crate::users::Population;
 use filterscope_core::pool;
 use filterscope_logformat::LogRecord;
-use filterscope_proxy::{FarmConfig, ProxyFarm};
+use filterscope_proxy::{FarmConfig, ProxyFarm, Request};
 use filterscope_tor::{synthesize_consensus, RelayIndex, SynthConsensusConfig};
 use std::sync::Arc;
 
@@ -14,6 +14,53 @@ use std::sync::Arc;
 /// single August day (≈124 M requests at full scale) splits into hundreds
 /// of stealable units.
 pub const DEFAULT_SHARD_TARGET: u64 = 250_000;
+
+/// Requests classified per [`ProxyFarm::process_batch`] call inside the
+/// record iterators: big enough to amortize the batch's shared scratch
+/// buffer, small enough to keep both staging vectors in cache.
+const PROCESS_BATCH: usize = 1024;
+
+/// Adapts a request iterator into a record iterator by classifying
+/// [`PROCESS_BATCH`]-sized blocks through [`ProxyFarm::process_batch`].
+///
+/// Records come out in request order: each classified block is reversed
+/// once so the hot path drains it with `pop()` — no per-record shifting,
+/// and both staging vectors are reused across blocks.
+struct BatchedRecords<'f, I> {
+    farm: &'f ProxyFarm,
+    reqs: I,
+    req_buf: Vec<Request>,
+    /// Classified records of the current block, in reverse request order.
+    out: Vec<LogRecord>,
+}
+
+impl<'f, I: Iterator<Item = Request>> BatchedRecords<'f, I> {
+    fn new(farm: &'f ProxyFarm, reqs: I) -> Self {
+        BatchedRecords {
+            farm,
+            reqs,
+            req_buf: Vec::with_capacity(PROCESS_BATCH),
+            out: Vec::with_capacity(PROCESS_BATCH),
+        }
+    }
+}
+
+impl<I: Iterator<Item = Request>> Iterator for BatchedRecords<'_, I> {
+    type Item = LogRecord;
+
+    fn next(&mut self) -> Option<LogRecord> {
+        if self.out.is_empty() {
+            self.req_buf.clear();
+            self.req_buf.extend(self.reqs.by_ref().take(PROCESS_BATCH));
+            if self.req_buf.is_empty() {
+                return None;
+            }
+            self.farm.process_batch(&self.req_buf, &mut self.out);
+            self.out.reverse();
+        }
+        self.out.pop()
+    }
+}
 
 /// One deterministic unit of intra-day generation work: requests
 /// `start..end` of one study day.
@@ -117,7 +164,7 @@ impl Corpus {
     pub fn day_records(&self, day: StudyDay) -> Vec<LogRecord> {
         let farm = self.farm_for(day);
         let generator = self.day_generator(day);
-        generator.iter().map(|req| farm.process(&req)).collect()
+        BatchedRecords::new(&farm, generator.iter()).collect()
     }
 
     /// Visit every record of the whole period, day by day (streaming; the
@@ -126,8 +173,7 @@ impl Corpus {
         for day in self.config.period.days().iter().copied() {
             let farm = self.farm_for(day);
             let generator = self.day_generator(day);
-            for req in generator.iter() {
-                let rec = farm.process(&req);
+            for rec in BatchedRecords::new(&farm, generator.iter()) {
                 visit(&rec);
             }
         }
@@ -166,7 +212,7 @@ impl Corpus {
             let day = days[i];
             let farm = self.farm_for(day);
             let generator = self.day_generator(day);
-            let mut it = generator.iter().map(|req| farm.process(&req));
+            let mut it = BatchedRecords::new(&farm, generator.iter());
             f(day, &mut it)
         })
     }
@@ -226,10 +272,7 @@ impl Corpus {
                 .cloned();
             farms.push(shared.unwrap_or_else(|| Arc::new(self.farm_for(*day))));
         }
-        let generators: Vec<Arc<DayGenerator>> = days
-            .iter()
-            .map(|day| Arc::new(self.day_generator(*day)))
-            .collect();
+        let generators = self.day_generators();
         let day_index = |date| {
             days.iter()
                 .position(|d| d.date == date)
@@ -241,11 +284,44 @@ impl Corpus {
             let ix = day_index(unit.day.date);
             let farm = Arc::clone(&farms[ix]);
             let generator = Arc::clone(&generators[ix]);
-            let mut it = generator
-                .iter_range(unit.start..unit.end)
-                .map(|req| farm.process(&req));
+            let mut it = BatchedRecords::new(&farm, generator.iter_range(unit.start..unit.end));
             f(unit, &mut it)
         })
+    }
+
+    /// Map every (day × shard) unit over the raw *request* stream —
+    /// generation without classification. `replay` uses this to time the
+    /// workload generator in isolation; the shard plan and result order are
+    /// exactly those of [`Self::par_map_day_shards`].
+    pub fn par_map_day_requests<T, F>(&self, threads: usize, shard_target: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(DayShard, &mut dyn Iterator<Item = Request>) -> T + Sync,
+    {
+        let days = self.config.period.days();
+        let generators = self.day_generators();
+        let day_index = |date| {
+            days.iter()
+                .position(|d| d.date == date)
+                .expect("shard day is in the period")
+        };
+        let plan = self.shard_plan(shard_target);
+        pool::run_indexed(threads, plan.len(), |i| {
+            let unit = plan[i];
+            let generator = Arc::clone(&generators[day_index(unit.day.date)]);
+            let mut it = generator.iter_range(unit.start..unit.end);
+            f(unit, &mut it)
+        })
+    }
+
+    /// One shared generator per study day, in period order.
+    fn day_generators(&self) -> Vec<Arc<DayGenerator>> {
+        self.config
+            .period
+            .days()
+            .iter()
+            .map(|day| Arc::new(self.day_generator(*day)))
+            .collect()
     }
 
     /// Total number of requests the configured period will generate.
@@ -388,6 +464,17 @@ mod tests {
                 .collect();
             assert_eq!(seq_lines, sharded, "threads={threads} target={target}");
         }
+    }
+
+    #[test]
+    fn request_shards_mirror_record_shards() {
+        let c = tiny();
+        let recs: Vec<(u64, u64)> =
+            c.par_map_day_shards(4, 97, |unit, it| (unit.start, it.count() as u64));
+        let reqs: Vec<(u64, u64)> =
+            c.par_map_day_requests(4, 97, |unit, it| (unit.start, it.count() as u64));
+        assert_eq!(recs, reqs);
+        assert_eq!(reqs.iter().map(|(_, n)| n).sum::<u64>(), c.total_volume());
     }
 
     #[test]

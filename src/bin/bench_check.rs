@@ -1,0 +1,372 @@
+//! `bench_check`: validate a bench-results JSON file and flag regressions.
+//!
+//! ```text
+//! bench_check [RESULTS] [--against BASELINE] [--max-regression PCT]
+//! ```
+//!
+//! `RESULTS` defaults to `BENCH.json` (the committed baseline, written by
+//! the bench harness under `FILTERSCOPE_BENCH_JSON`). Schema problems —
+//! wrong shapes, non-positive timings, unknown rate units, duplicate
+//! `(group, name)` pairs — are hard errors. With `--against BASELINE`,
+//! entries present in both files are compared: a throughput drop (or,
+//! for rate-less entries, a median-time increase) beyond the threshold
+//! (default 20%) fails the check. Entries only one side has are reported
+//! but never fail — thread-count-suffixed names legitimately differ
+//! across machines.
+
+use filterscope::core::Json;
+use std::process::ExitCode;
+
+/// Default failure threshold: a 20% throughput drop (or slowdown).
+const DEFAULT_MAX_REGRESSION_PCT: f64 = 20.0;
+
+/// One validated bench entry.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    group: String,
+    name: String,
+    median_ns: u64,
+    min_ns: u64,
+    /// `(rate, unit)` when the benchmark reports throughput.
+    rate: Option<(f64, String)>,
+}
+
+impl Entry {
+    fn key(&self) -> String {
+        format!("{}/{}", self.group, self.name)
+    }
+}
+
+/// Member lookup that distinguishes "absent" from "wrong type".
+fn str_member(obj: &Json, key: &str) -> Option<String> {
+    match obj.get(key) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Parse and validate one results document.
+fn validate(text: &str, label: &str) -> Result<Vec<Entry>, Vec<String>> {
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("{label}: not valid JSON: {e}")]),
+    };
+    let Json::Arr(items) = doc else {
+        return Err(vec![format!("{label}: expected a top-level array")]);
+    };
+    let mut errors = Vec::new();
+    let mut entries: Vec<Entry> = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let at = |msg: &str| format!("{label}: entry {i}: {msg}");
+        if !matches!(item, Json::Obj(_)) {
+            errors.push(at("not an object"));
+            continue;
+        }
+        let Some(group) = str_member(item, "group").filter(|s| !s.is_empty()) else {
+            errors.push(at("missing or empty string `group`"));
+            continue;
+        };
+        let Some(name) = str_member(item, "name").filter(|s| !s.is_empty()) else {
+            errors.push(at("missing or empty string `name`"));
+            continue;
+        };
+        let at = |msg: &str| format!("{label}: {group}/{name}: {msg}");
+        let (Some(median_ns), Some(min_ns)) = (
+            item.get("median_ns").and_then(Json::as_u64),
+            item.get("min_ns").and_then(Json::as_u64),
+        ) else {
+            errors.push(at("missing unsigned `median_ns`/`min_ns`"));
+            continue;
+        };
+        if median_ns == 0 || min_ns == 0 {
+            errors.push(at("zero timing"));
+            continue;
+        }
+        if min_ns > median_ns {
+            errors.push(at("min_ns exceeds median_ns"));
+            continue;
+        }
+        let rate = match (item.get("rate"), item.get("rate_unit")) {
+            (None, None) => None,
+            (Some(rate), Some(Json::Str(unit))) => {
+                let Some(rate) = rate.as_f64().filter(|r| r.is_finite() && *r > 0.0) else {
+                    errors.push(at("`rate` must be a positive finite number"));
+                    continue;
+                };
+                if unit != "bytes_per_s" && unit != "elements_per_s" {
+                    errors.push(at(&format!("unknown rate_unit `{unit}`")));
+                    continue;
+                }
+                Some((rate, unit.clone()))
+            }
+            _ => {
+                errors.push(at("`rate` and `rate_unit` must appear together"));
+                continue;
+            }
+        };
+        let entry = Entry {
+            group,
+            name,
+            median_ns,
+            min_ns,
+            rate,
+        };
+        if entries.iter().any(|e| e.key() == entry.key()) {
+            errors.push(format!("{label}: duplicate entry {}", entry.key()));
+            continue;
+        }
+        entries.push(entry);
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// A regression verdict for one entry present in both files.
+#[derive(Debug, PartialEq)]
+struct Delta {
+    key: String,
+    /// Signed throughput change in percent (positive = faster). For
+    /// rate-less entries, derived from median time instead.
+    change_pct: f64,
+    regressed: bool,
+}
+
+/// Compare `current` against `baseline` entry-for-entry. Units must agree;
+/// a unit mismatch is treated as a regression (the benchmark changed
+/// meaning under the same name).
+fn compare(current: &[Entry], baseline: &[Entry], max_regression_pct: f64) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|e| e.key() == base.key()) else {
+            continue;
+        };
+        let (change_pct, comparable) = match (&cur.rate, &base.rate) {
+            (Some((c, cu)), Some((b, bu))) if cu == bu => ((c / b - 1.0) * 100.0, true),
+            (None, None) => {
+                // No throughput: lower median is better.
+                let c = cur.median_ns as f64;
+                let b = base.median_ns as f64;
+                ((b / c - 1.0) * 100.0, true)
+            }
+            _ => (f64::NEG_INFINITY, false),
+        };
+        deltas.push(Delta {
+            key: base.key(),
+            change_pct,
+            regressed: !comparable || change_pct < -max_regression_pct,
+        });
+    }
+    deltas
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut results_path = None;
+    let mut baseline_path = None;
+    let mut max_regression_pct = DEFAULT_MAX_REGRESSION_PCT;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--against" => {
+                let v = it.next().ok_or("--against requires a value")?;
+                baseline_path = Some(v.clone());
+            }
+            "--max-regression" => {
+                let v = it.next().ok_or("--max-regression requires a value")?;
+                max_regression_pct = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| p.is_finite() && *p >= 0.0)
+                    .ok_or_else(|| format!("bad --max-regression `{v}`"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path if results_path.is_none() => results_path = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let results_path = results_path.unwrap_or_else(|| "BENCH.json".to_string());
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let current = match validate(&read(&results_path)?, &results_path) {
+        Ok(entries) => entries,
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("bench_check: {e}");
+            }
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    println!(
+        "{results_path}: {} entries across {} groups, schema OK",
+        current.len(),
+        {
+            let mut groups: Vec<&str> = current.iter().map(|e| e.group.as_str()).collect();
+            groups.sort_unstable();
+            groups.dedup();
+            groups.len()
+        }
+    );
+    let Some(baseline_path) = baseline_path else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let baseline = match validate(&read(&baseline_path)?, &baseline_path) {
+        Ok(entries) => entries,
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("bench_check: {e}");
+            }
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let deltas = compare(&current, &baseline, max_regression_pct);
+    let compared: Vec<&Delta> = deltas.iter().collect();
+    let missing = baseline.len() - compared.len();
+    if missing > 0 {
+        println!(
+            "{missing} baseline entr{} not in {results_path} (skipped)",
+            if missing == 1 { "y" } else { "ies" }
+        );
+    }
+    let mut failed = false;
+    for d in &deltas {
+        if d.regressed {
+            failed = true;
+            eprintln!(
+                "bench_check: REGRESSION {}: {:+.1}% (threshold -{:.0}%)",
+                d.key, d.change_pct, max_regression_pct
+            );
+        }
+    }
+    if failed {
+        return Ok(ExitCode::FAILURE);
+    }
+    let worst = deltas
+        .iter()
+        .min_by(|a, b| a.change_pct.total_cmp(&b.change_pct));
+    match worst {
+        Some(w) => println!(
+            "{} entries compared against {baseline_path}, none beyond -{:.0}% \
+             (worst: {} at {:+.1}%)",
+            deltas.len(),
+            max_regression_pct,
+            w.key,
+            w.change_pct
+        ),
+        None => println!("no overlapping entries with {baseline_path}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            eprintln!("usage: bench_check [RESULTS] [--against BASELINE] [--max-regression PCT]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(group: &str, name: &str, median: u64, rate: Option<(f64, &str)>) -> String {
+        let rate = match rate {
+            Some((r, u)) => format!(r#", "rate": {r}, "rate_unit": "{u}""#),
+            None => String::new(),
+        };
+        format!(
+            r#"{{"group": "{group}", "name": "{name}", "median_ns": {median}, "min_ns": {median}{rate}}}"#
+        )
+    }
+
+    fn doc(entries: &[String]) -> String {
+        format!("[{}]", entries.join(","))
+    }
+
+    #[test]
+    fn valid_document_parses() {
+        let text = doc(&[
+            entry("g", "a", 100, Some((5e6, "bytes_per_s"))),
+            entry("g", "b", 100, None),
+        ]);
+        let entries = validate(&text, "t").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rate, Some((5e6, "bytes_per_s".to_string())));
+        assert_eq!(entries[1].rate, None);
+    }
+
+    #[test]
+    fn schema_violations_are_each_reported() {
+        let text = doc(&[
+            entry("g", "dup", 100, None),
+            entry("g", "dup", 100, None),
+            entry("", "noname", 100, None),
+            entry("g", "zero", 0, None),
+            entry("g", "badunit", 100, Some((1.0, "furlongs_per_s"))),
+            r#"{"group": "g", "name": "halfrate", "median_ns": 1, "min_ns": 1, "rate": 5.0}"#
+                .to_string(),
+            r#"{"group": "g", "name": "inverted", "median_ns": 5, "min_ns": 9}"#.to_string(),
+        ]);
+        let errors = validate(&text, "t").unwrap_err();
+        assert_eq!(errors.len(), 6, "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("duplicate entry g/dup")));
+        assert!(errors.iter().any(|e| e.contains("zero timing")));
+        assert!(errors.iter().any(|e| e.contains("furlongs_per_s")));
+        assert!(errors.iter().any(|e| e.contains("appear together")));
+        assert!(errors.iter().any(|e| e.contains("min_ns exceeds")));
+    }
+
+    #[test]
+    fn regressions_flagged_beyond_threshold() {
+        let base = validate(
+            &doc(&[
+                entry("g", "rate", 100, Some((1000.0, "elements_per_s"))),
+                entry("g", "time", 1000, None),
+                entry("g", "gone", 100, None),
+            ]),
+            "base",
+        )
+        .unwrap();
+        // rate dropped 30% (fail), time got 10% slower (pass at 20%).
+        let cur = validate(
+            &doc(&[
+                entry("g", "rate", 100, Some((700.0, "elements_per_s"))),
+                entry("g", "time", 1111, None),
+                entry("g", "new", 100, None),
+            ]),
+            "cur",
+        )
+        .unwrap();
+        let deltas = compare(&cur, &base, 20.0);
+        assert_eq!(deltas.len(), 2, "entries missing on either side skip");
+        let rate = deltas.iter().find(|d| d.key == "g/rate").unwrap();
+        assert!(rate.regressed && rate.change_pct < -29.0);
+        let time = deltas.iter().find(|d| d.key == "g/time").unwrap();
+        assert!(!time.regressed, "{time:?}");
+        // Tighter threshold flags the slowdown too.
+        assert!(compare(&cur, &base, 5.0)
+            .iter()
+            .all(|d| d.regressed || d.key != "g/time"));
+    }
+
+    #[test]
+    fn unit_mismatch_is_a_regression() {
+        let base = validate(
+            &doc(&[entry("g", "a", 100, Some((1000.0, "elements_per_s")))]),
+            "base",
+        )
+        .unwrap();
+        let cur = validate(
+            &doc(&[entry("g", "a", 100, Some((1000.0, "bytes_per_s")))]),
+            "cur",
+        )
+        .unwrap();
+        assert!(compare(&cur, &base, 20.0)[0].regressed);
+    }
+}

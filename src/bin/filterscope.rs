@@ -8,6 +8,7 @@
 //! filterscope compile [POLICY] --out FILE [--farm]    build a binary policy artifact
 //! filterscope lint [POLICY] [--against POLICY]        static policy analysis
 //! filterscope report [--scale N]                      synthesize + analyze in one go
+//! filterscope replay [--scale N]                      time every pipeline stage
 //! filterscope analyses                                list the analysis registry
 //! filterscope serve --snapshots DIR                   live streaming ingest daemon
 //! filterscope stream [--scale N | LOG...]             replay a workload at a daemon
@@ -18,11 +19,13 @@
 //! keys come from `filterscope analyses`.
 
 use filterscope::analysis::comparison::compare;
-use filterscope::analysis::pipeline::ParallelIngest;
+use filterscope::analysis::pipeline::{ParallelIngest, ShardSink};
 use filterscope::analysis::registry::REGISTRY;
 use filterscope::analysis::report::Table;
-use filterscope::core::{pool, Progress};
+use filterscope::core::progress::fmt_secs;
+use filterscope::core::{pool, Json, Progress};
 use filterscope::logformat::fields::header_line;
+use filterscope::logformat::RecordView;
 use filterscope::logformat::SchemaReader;
 use filterscope::policylint::{
     check_equivalence, lint_farm, lint_policy, skew_matrix, verify_artifact, LintReport,
@@ -49,6 +52,7 @@ fn usage() -> ExitCode {
          filterscope compile [POLICY] --out FILE [--farm] [--seed N]\n  \
          filterscope lint [POLICY] [--against POLICY] [--json] [--deny warnings]\n  \
          filterscope report [--scale N] [--json OUT] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
+         filterscope replay [--scale N] [--out DIR] [--threads N] [--bench-json FILE]\n  \
          filterscope weather LOG... [--min-support N] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope compare --a LOG --b LOG [--min-support N]\n  \
          filterscope analyses\n  \
@@ -65,6 +69,10 @@ fn usage() -> ExitCode {
          `compile` writes a witness-checked binary artifact that\n\
          `serve --policy-artifact` loads zero-parse and hot-reloads on change.\n\
          --analyses/--skip take comma-separated keys from `filterscope analyses`.\n\
+         `replay` times every stage of the record pipeline (generate,\n\
+         classify, write, parse, ingest, merge) and extrapolates to the\n\
+         full study corpus; `--bench-json` merges the rates into a bench\n\
+         results file.\n\
          --threads must be >= 1 and defaults to the available parallelism;\n\
          results are byte-identical for every thread count."
     );
@@ -251,11 +259,35 @@ fn cmd_generate(args: &Args) -> ExitCode {
         if threads == 1 { "" } else { "s" }
     );
     let progress = Progress::start();
-    // Every (day × shard) unit synthesizes its slice into a part file; I/O
-    // failures surface as per-unit errors instead of a worker panic.
+    let days = match write_corpus(&corpus, &out_dir, threads, true) {
+        Ok(days) => days,
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("generate failed: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let total: u64 = days.iter().map(|(_, n)| n).sum();
+    eprintln!("{}", progress.summary("generated", total));
+    ExitCode::SUCCESS
+}
+
+/// Synthesize the whole corpus to per-day log files under `out_dir`: every
+/// (day × shard) unit writes its slice into a part file, parts concatenate
+/// in plan order behind the ELFF header. Returns `(day path, records)` in
+/// period order, or the per-unit failure messages (parts are cleaned up).
+/// `announce` prints each finished day file to stdout as `generate` does.
+fn write_corpus(
+    corpus: &Corpus,
+    out_dir: &Path,
+    threads: usize,
+    announce: bool,
+) -> Result<Vec<(PathBuf, u64)>, Vec<String>> {
+    // I/O failures surface as per-unit errors instead of a worker panic.
     let plan = corpus.shard_plan(0);
     let part_results = corpus.par_map_day_shards(threads, 0, |unit, records| {
-        let path = part_path(&out_dir, &unit);
+        let path = part_path(out_dir, &unit);
         write_part(&path, records).map_err(|e| format!("{}: {e}", path.display()))
     });
     let mut failures = Vec::new();
@@ -270,31 +302,28 @@ fn cmd_generate(args: &Args) -> ExitCode {
         }
     }
     if !failures.is_empty() {
-        for f in &failures {
-            eprintln!("generate failed: {f}");
-        }
         for unit in &plan {
-            let _ = std::fs::remove_file(part_path(&out_dir, unit));
+            let _ = std::fs::remove_file(part_path(out_dir, unit));
         }
-        return ExitCode::FAILURE;
+        return Err(failures);
     }
-    let mut total = 0u64;
+    let mut days = Vec::new();
     let mut i = 0;
     while i < plan.len() {
         let day = plan[i].day;
         let day_units = &plan[i..i + plan[i].shards];
         let day_records: u64 = counts[i..i + plan[i].shards].iter().sum();
         let day_path = out_dir.join(format!("sg_access_{}.log", day.date));
-        if let Err(e) = assemble_day(&day_path, &out_dir, day_units) {
-            eprintln!("generate failed: day {}: {e}", day.date);
-            return ExitCode::FAILURE;
+        if let Err(e) = assemble_day(&day_path, out_dir, day_units) {
+            return Err(vec![format!("day {}: {e}", day.date)]);
         }
-        println!("{}  {day_records} records", day_path.display());
-        total += day_records;
+        if announce {
+            println!("{}  {day_records} records", day_path.display());
+        }
+        days.push((day_path, day_records));
         i += plan[i].shards;
     }
-    eprintln!("{}", progress.summary("generated", total));
-    ExitCode::SUCCESS
+    Ok(days)
 }
 
 fn ingest_files<F: FnMut(&LogRecord)>(paths: &[String], mut visit: F) -> Result<u64, ExitCode> {
@@ -346,11 +375,12 @@ fn context_from_flags(args: &Args) -> Result<AnalysisContext, ExitCode> {
     Ok(ctx)
 }
 
-/// The sharded ingest driver: `--threads` workers, with the shard size
-/// overridable through `FILTERSCOPE_SHARD_BYTES` (tests force tiny shards
-/// to exercise boundary handling; output is identical for any value).
-fn ingest_driver(threads: usize) -> ParallelIngest {
-    let mut ingest = ParallelIngest::new(threads);
+/// The sharded ingest driver: `--threads` workers, periodic ETA lines under
+/// `eta_label`, and the shard size overridable through
+/// `FILTERSCOPE_SHARD_BYTES` (tests force tiny shards to exercise boundary
+/// handling; output is identical for any value).
+fn ingest_driver(threads: usize, eta_label: &str) -> ParallelIngest {
+    let mut ingest = ParallelIngest::new(threads).with_eta(eta_label);
     if let Some(bytes) = std::env::var("FILTERSCOPE_SHARD_BYTES")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
@@ -400,7 +430,7 @@ fn cmd_analyze(args: &Args) -> ExitCode {
         Ok(s) => s,
         Err(code) => return code,
     };
-    let ingest = ingest_driver(threads);
+    let ingest = ingest_driver(threads, "analyze");
     let params = SuiteParams::new(min_support);
     let (suite, stats) = match ingest.ingest_selected(&paths, &ctx, &params, &selection) {
         Ok(done) => done,
@@ -441,7 +471,7 @@ fn cmd_audit(args: &Args) -> ExitCode {
     };
     selection.ensure("inference");
     let ctx = AnalysisContext::standard(None);
-    let ingest = ingest_driver(threads);
+    let ingest = ingest_driver(threads, "audit");
     let params = SuiteParams::blind(min_support);
     let (suite, stats) = match ingest.ingest_selected(&paths, &ctx, &params, &selection) {
         Ok(done) => done,
@@ -691,6 +721,260 @@ fn cmd_report(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The paper's full corpus: 751,295,830 requests across ~600 GB of logs.
+const FULL_CORPUS_RECORDS: u64 = 751_295_830;
+
+/// One measured replay stage: marginal wall-clock seconds plus the volume
+/// it moved (records always, bytes when the stage is byte-oriented).
+struct ReplayStage {
+    name: &'static str,
+    secs: f64,
+    records: u64,
+    bytes: Option<u64>,
+}
+
+impl ReplayStage {
+    fn records_per_s(&self) -> f64 {
+        self.records as f64 / self.secs.max(1e-9)
+    }
+
+    fn row(&self) -> [String; 5] {
+        [
+            self.name.to_string(),
+            format!("{:.2}", self.secs),
+            format!("{:.0}", self.records_per_s()),
+            match self.bytes {
+                Some(b) => format!("{:.1}", b as f64 / self.secs.max(1e-9) / 1e6),
+                None => "-".to_string(),
+            },
+            fmt_secs(self.secs * (FULL_CORPUS_RECORDS as f64 / self.records.max(1) as f64)),
+        ]
+    }
+}
+
+/// `filterscope replay`: run the record pipeline in staged passes — workload
+/// generation, batched policy classification, day-file writing, block
+/// parsing, analysis ingest, and the serial merge — timing each stage's
+/// marginal cost, then extrapolate linearly to the paper's full corpus.
+///
+/// `--scale N` divides the full 751,295,830-request corpus exactly as
+/// `generate`/`report` do, so a replay at any feasible scale measures the
+/// same per-record work as the real thing.
+fn cmd_replay(args: &Args) -> ExitCode {
+    let Some(scale) = args.flag_u64("scale", 2048) else {
+        return usage();
+    };
+    let threads = match args.threads() {
+        Ok(n) => n,
+        Err(code) => return code,
+    };
+    let out_dir = PathBuf::from(args.flag("out").unwrap_or("./replay-logs"));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let Ok(config) = SynthConfig::new(scale) else {
+        return usage();
+    };
+    let corpus = Corpus::new(config);
+    let total = corpus.total_volume();
+    eprintln!(
+        "replaying {total} records (scale {scale}, 1/{scale} of the full corpus) on {threads} thread{}",
+        if threads == 1 { "" } else { "s" }
+    );
+
+    // Pass 1: workload generation alone (no policy, no I/O).
+    let p = Progress::start();
+    let generated: u64 = corpus
+        .par_map_day_requests(threads, 0, |_, it| it.count() as u64)
+        .into_iter()
+        .sum();
+    let t_generate = p.elapsed_secs();
+
+    // Pass 2: generation + batched policy classification.
+    let p = Progress::start();
+    let classified: u64 = corpus
+        .par_map_day_shards(threads, 0, |_, it| it.count() as u64)
+        .into_iter()
+        .sum();
+    let t_classify_pass = p.elapsed_secs();
+
+    // Pass 3: generation + classification + day-file writing.
+    let p = Progress::start();
+    let days = match write_corpus(&corpus, &out_dir, threads, false) {
+        Ok(days) => days,
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("replay failed: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let t_write_pass = p.elapsed_secs();
+    let paths: Vec<PathBuf> = days.iter().map(|(p, _)| p.clone()).collect();
+    let bytes: u64 = paths
+        .iter()
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+
+    // Pass 4: block-parse every record back off disk into a no-op sink —
+    // the ingest pipeline with the analysis cost subtracted.
+    struct NullSink;
+    impl ShardSink for NullSink {
+        fn ingest(&mut self, _record: &RecordView<'_>) {}
+        fn absorb(&mut self, _other: Self) {}
+    }
+    let p = Progress::start();
+    let parse_stats = match ingest_driver(threads, "replay parse").run(&paths, || NullSink) {
+        Ok((NullSink, stats)) => stats,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t_parse = p.elapsed_secs();
+
+    // Pass 5: the full analysis ingest (parse + every registered
+    // accumulator + the serial plan-order merge).
+    let ctx = AnalysisContext::standard(Some(corpus.relay_index()));
+    let min_support = (total / 100_000).clamp(3, 500);
+    let p = Progress::start();
+    let (suite, ingest_stats) =
+        match ingest_driver(threads, "replay ingest").ingest_suite(&paths, &ctx, min_support) {
+            Ok(done) => done,
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let t_ingest_pass = p.elapsed_secs();
+    let t_merge = ingest_stats.merge_elapsed.as_secs_f64();
+    drop(suite);
+
+    // Record conservation: every pass must see the exact configured volume.
+    if generated != total
+        || classified != total
+        || parse_stats.records != total
+        || ingest_stats.records != total
+        || parse_stats.malformed != 0
+    {
+        eprintln!(
+            "replay failed: record counts diverged (expected {total}: generated {generated}, \
+             classified {classified}, parsed {} with {} malformed, ingested {})",
+            parse_stats.records, parse_stats.malformed, ingest_stats.records
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let stages = [
+        ReplayStage {
+            name: "generate",
+            secs: t_generate,
+            records: total,
+            bytes: None,
+        },
+        ReplayStage {
+            name: "classify",
+            secs: (t_classify_pass - t_generate).max(0.0),
+            records: total,
+            bytes: None,
+        },
+        ReplayStage {
+            name: "write",
+            secs: (t_write_pass - t_classify_pass).max(0.0),
+            records: total,
+            bytes: Some(bytes),
+        },
+        ReplayStage {
+            name: "parse",
+            secs: t_parse,
+            records: total,
+            bytes: Some(bytes),
+        },
+        ReplayStage {
+            name: "ingest",
+            secs: (t_ingest_pass - t_merge - t_parse).max(0.0),
+            records: total,
+            bytes: None,
+        },
+        ReplayStage {
+            name: "merge",
+            secs: t_merge,
+            records: total,
+            bytes: None,
+        },
+    ];
+    let end_to_end = ReplayStage {
+        name: "end-to-end",
+        secs: t_write_pass + t_ingest_pass,
+        records: total,
+        bytes: Some(bytes),
+    };
+
+    let mut table = Table::new(
+        format!("Replay at scale {scale} ({total} records, {bytes} bytes, {threads} threads)"),
+        &["Stage", "Seconds", "Records/s", "MB/s", "Full corpus"],
+    );
+    for stage in &stages {
+        table.row(stage.row());
+    }
+    table.row(end_to_end.row());
+    print!("{}", table.render());
+    println!(
+        "full corpus = {FULL_CORPUS_RECORDS} records (~{:.0} GB at this record size), \
+         extrapolated linearly from 1/{scale} scale",
+        bytes as f64 * (FULL_CORPUS_RECORDS as f64 / total as f64) / 1e9
+    );
+
+    if let Some(path) = args.flag("bench-json") {
+        if let Err(e) = merge_replay_bench(path, &stages, &end_to_end) {
+            eprintln!("cannot update {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("replay rates merged into {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Merge the replay stage rates into a bench-results JSON file (the format
+/// the bench harness writes under `FILTERSCOPE_BENCH_JSON`): existing
+/// entries of the `replay` group are replaced, everything else is kept.
+fn merge_replay_bench(
+    path: &str,
+    stages: &[ReplayStage],
+    end_to_end: &ReplayStage,
+) -> Result<(), String> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text).map_err(|e| format!("bad JSON: {e}"))? {
+            Json::Arr(items) => items,
+            _ => return Err("expected a top-level array".to_string()),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.to_string()),
+    };
+    entries.retain(|entry| entry.get("group") != Some(&Json::Str("replay".to_string())));
+    for stage in stages.iter().chain([end_to_end]) {
+        let ns = (stage.secs * 1e9) as u64;
+        let mut obj = Json::object();
+        obj.push("group", Json::Str("replay".to_string()));
+        obj.push("name", Json::Str(stage.name.to_string()));
+        obj.push("median_ns", Json::UInt(ns));
+        obj.push("min_ns", Json::UInt(ns));
+        match stage.bytes {
+            Some(b) => {
+                obj.push("rate", Json::Float(b as f64 / stage.secs.max(1e-9)));
+                obj.push("rate_unit", Json::Str("bytes_per_s".to_string()));
+            }
+            None => {
+                obj.push("rate", Json::Float(stage.records_per_s()));
+                obj.push("rate_unit", Json::Str("elements_per_s".to_string()));
+            }
+        }
+        entries.push(obj);
+    }
+    std::fs::write(path, Json::Arr(entries).pretty()).map_err(|e| e.to_string())
+}
+
 fn cmd_weather(args: &Args) -> ExitCode {
     let Some(min_support) = args.flag_u64("min-support", 3) else {
         return usage();
@@ -711,7 +995,7 @@ fn cmd_weather(args: &Args) -> ExitCode {
     };
     selection.ensure("weather");
     let ctx = AnalysisContext::standard(None);
-    let ingest = ingest_driver(threads);
+    let ingest = ingest_driver(threads, "weather");
     let params = SuiteParams::new(min_support);
     let (suite, stats) = match ingest.ingest_selected(&paths, &ctx, &params, &selection) {
         Ok(done) => done,
@@ -958,6 +1242,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "compile" => &["out", "seed"],
         "lint" => &["against", "deny"],
         "report" => &["scale", "json", "threads", "analyses", "skip"],
+        "replay" => &["scale", "out", "threads", "bench-json"],
         "weather" => &["min-support", "threads", "analyses", "skip"],
         "compare" => &["a", "b", "min-support"],
         "analyses" => &[],
@@ -1008,6 +1293,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&args),
         "lint" => cmd_lint(&args),
         "report" => cmd_report(&args),
+        "replay" => cmd_replay(&args),
         "weather" => cmd_weather(&args),
         "compare" => cmd_compare(&args),
         "analyses" => cmd_analyses(),
