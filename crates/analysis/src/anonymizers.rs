@@ -178,6 +178,35 @@ impl crate::registry::Analysis for AnonymizerStats {
         );
         Some(obj)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        let mut hosts: Vec<(&str, &HostCounts)> = self
+            .hosts
+            .iter()
+            .map(|(s, v)| (self.interner.resolve(*s), v))
+            .collect();
+        hosts.sort_unstable_by_key(|(k, _)| *k);
+        crate::state::put_len(w, hosts.len());
+        for (host, c) in hosts {
+            w.put_str(host);
+            w.put_u64(c.allowed);
+            w.put_u64(c.censored);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let sym = self.interner.intern(r.get_str()?);
+            let c = self.hosts.entry(sym).or_default();
+            c.allowed += r.get_u64()?;
+            c.censored += r.get_u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

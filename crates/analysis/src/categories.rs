@@ -93,6 +93,30 @@ impl crate::registry::Analysis for CategoryStats {
         CategoryStats::render(self)
     }
 
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        let mut items: Vec<(&'static str, u64)> =
+            self.censored.iter().map(|(c, n)| (c.name(), n)).collect();
+        items.sort_unstable();
+        crate::state::put_len(w, items.len());
+        for (name, n) in items {
+            w.put_str(name);
+            w.put_u64(n);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let cat = Category::from_name(r.get_str()?)
+                .ok_or_else(|| crate::state::corrupt("unknown category name"))?;
+            self.censored.add(cat, r.get_u64()?);
+        }
+        Ok(())
+    }
+
     fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {
         use crate::export::{share_array, shares};
         use filterscope_core::Json;

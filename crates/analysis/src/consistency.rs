@@ -33,6 +33,18 @@ pub enum Anomaly {
 }
 
 impl Anomaly {
+    /// Every anomaly, in wire-tag order (the snapshot-state encoding relies
+    /// on this order staying stable; append new anomalies at the end).
+    pub const ALL: [Anomaly; 7] = [
+        Anomaly::ObservedWithException,
+        Anomaly::DeniedWithoutException,
+        Anomaly::ProxiedWithPolicyException,
+        Anomaly::RedirectWithoutRedirectAction,
+        Anomaly::SuccessStatusOnCensored,
+        Anomaly::BytesOnDenied,
+        Anomaly::BlockedCategoryNotCensored,
+    ];
+
     /// Human label.
     pub fn label(self) -> &'static str {
         match self {
@@ -177,6 +189,30 @@ impl crate::registry::Analysis for ConsistencyStats {
         let mut obj = Json::object();
         obj.push("anomalies", share_array(&anomalies));
         Some(obj)
+    }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        w.put_u64(self.total);
+        crate::state::put_u64_counts(w, &self.anomalies, |a| {
+            Anomaly::ALL
+                .iter()
+                .position(|x| *x == a)
+                .expect("catalogued") as u64
+        });
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        self.total += r.get_u64()?;
+        self.anomalies.merge(crate::state::get_u64_counts(r, |v| {
+            Anomaly::ALL
+                .get(v as usize)
+                .copied()
+                .ok_or_else(|| crate::state::corrupt("unknown anomaly tag"))
+        })?);
+        Ok(())
     }
 }
 

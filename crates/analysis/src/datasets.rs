@@ -141,6 +141,26 @@ impl crate::registry::Analysis for DatasetCounts {
     fn render(&self, _ctx: &crate::AnalysisContext) -> String {
         DatasetCounts::render(self)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        w.put_u64(self.full);
+        w.put_u64(self.sample);
+        w.put_u64(self.user);
+        w.put_u64(self.denied);
+        w.put_u64(self.ipv4);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        self.full += r.get_u64()?;
+        self.sample += r.get_u64()?;
+        self.user += r.get_u64()?;
+        self.denied += r.get_u64()?;
+        self.ipv4 += r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -195,6 +195,27 @@ impl crate::registry::Analysis for DomainStats {
         out
     }
 
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        for map in [&self.allowed, &self.denied, &self.censored, &self.proxied] {
+            crate::state::put_sym_counts(w, &self.interner, map);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        let allowed = crate::state::get_sym_counts(r, &mut self.interner)?;
+        let denied = crate::state::get_sym_counts(r, &mut self.interner)?;
+        let censored = crate::state::get_sym_counts(r, &mut self.interner)?;
+        let proxied = crate::state::get_sym_counts(r, &mut self.interner)?;
+        self.allowed.merge(allowed);
+        self.denied.merge(denied);
+        self.censored.merge(censored);
+        self.proxied.merge(proxied);
+        Ok(())
+    }
+
     fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
         use crate::export::{share_array, shares};
         use filterscope_core::Json;

@@ -362,6 +362,97 @@ impl FilterInference {
         t.render()
     }
 
+    /// Serialize accumulated evidence (the [`crate::registry::Analysis::save_state`]
+    /// contract, inherent so [`crate::weather::WeatherReport`] can reuse it
+    /// for its per-day engines).
+    pub(crate) fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        crate::state::put_len(w, self.keyword_counts.len());
+        for (c, a, p) in &self.keyword_counts {
+            w.put_u64(*c);
+            w.put_u64(*a);
+            w.put_u64(*p);
+        }
+        let mut doms: Vec<(&str, &DomainEvidence)> = self
+            .domains
+            .iter()
+            .map(|(s, e)| (self.interner.resolve(*s), e))
+            .collect();
+        doms.sort_unstable_by_key(|(s, _)| *s);
+        crate::state::put_len(w, doms.len());
+        for (name, e) in doms {
+            w.put_str(name);
+            w.put_u64(e.censored);
+            w.put_u64(e.allowed);
+            w.put_u64(e.proxied);
+            w.put_u64(e.censored_bare);
+            w.put_u64(e.censored_unkeyworded);
+        }
+        let mut toks: Vec<(&str, &TokenEvidence)> = self
+            .tokens
+            .iter()
+            .map(|(s, e)| (self.interner.resolve(*s), e))
+            .collect();
+        toks.sort_unstable_by_key(|(s, _)| *s);
+        crate::state::put_len(w, toks.len());
+        for (name, e) in toks {
+            w.put_str(name);
+            w.put_u64(e.censored);
+            w.put_u64(e.allowed);
+            w.put_u64(e.proxied);
+            let mut ds: Vec<&str> = e
+                .domains
+                .iter()
+                .map(|d| self.interner.resolve(*d))
+                .collect();
+            ds.sort_unstable();
+            crate::state::put_len(w, ds.len());
+            for d in ds {
+                w.put_str(d);
+            }
+        }
+    }
+
+    /// Add persisted evidence back in (see [`FilterInference::save_state`]).
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        if crate::state::get_len(r)? != self.keyword_counts.len() {
+            return Err(crate::state::corrupt("known-keyword list mismatch"));
+        }
+        for counts in self.keyword_counts.iter_mut() {
+            counts.0 += r.get_u64()?;
+            counts.1 += r.get_u64()?;
+            counts.2 += r.get_u64()?;
+        }
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let sym = self.interner.intern(r.get_str()?);
+            let d = self.domains.entry(sym).or_default();
+            d.censored += r.get_u64()?;
+            d.allowed += r.get_u64()?;
+            d.proxied += r.get_u64()?;
+            d.censored_bare += r.get_u64()?;
+            d.censored_unkeyworded += r.get_u64()?;
+        }
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let sym = self.interner.intern(r.get_str()?);
+            let (censored, allowed, proxied) = (r.get_u64()?, r.get_u64()?, r.get_u64()?);
+            let m = crate::state::get_len(r)?;
+            let mut domains = Vec::with_capacity(m);
+            for _ in 0..m {
+                domains.push(self.interner.intern(r.get_str()?));
+            }
+            let e = self.tokens.entry(sym).or_default();
+            e.censored += censored;
+            e.allowed += allowed;
+            e.proxied += proxied;
+            e.domains.extend(domains);
+        }
+        Ok(())
+    }
+
     /// Render Table 10 (the known keyword list with per-class counts).
     pub fn render_table10(&self) -> String {
         let mut t = Table::new(
@@ -427,6 +518,17 @@ impl crate::registry::Analysis for InferenceAnalysis {
         out.push('\n');
         out.push_str(&self.inner.render_table10());
         out
+    }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        self.inner.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        self.inner.load_state(r)
     }
 
     fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {
@@ -578,6 +680,22 @@ impl crate::registry::Analysis for MechanismInference {
 
     fn render(&self, _ctx: &AnalysisContext) -> String {
         self.render_table()
+    }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        for v in &self.votes {
+            w.put_u64(*v);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        for v in self.votes.iter_mut() {
+            *v += r.get_u64()?;
+        }
+        Ok(())
     }
 
     fn export_json(&self, _ctx: &AnalysisContext) -> Option<filterscope_core::Json> {

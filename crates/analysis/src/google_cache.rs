@@ -112,6 +112,24 @@ impl crate::registry::Analysis for GoogleCacheStats {
     fn render(&self, _ctx: &crate::AnalysisContext) -> String {
         GoogleCacheStats::render(self)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        w.put_u64(self.total);
+        w.put_u64(self.censored);
+        w.put_u64(self.censored_content_fetches);
+        crate::state::put_str_counts(w, &self.targets);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        self.total += r.get_u64()?;
+        self.censored += r.get_u64()?;
+        self.censored_content_fetches += r.get_u64()?;
+        self.targets.merge(crate::state::get_str_counts(r)?);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

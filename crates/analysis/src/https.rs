@@ -147,6 +147,26 @@ impl crate::registry::Analysis for HttpsStats {
         obj.push("mitm_evidence", Json::UInt(self.mitm_evidence));
         Some(obj)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        w.put_u64(self.total_requests);
+        w.put_u64(self.https_requests);
+        w.put_u64(self.https_censored);
+        w.put_u64(self.censored_ip_host);
+        w.put_u64(self.mitm_evidence);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        self.total_requests += r.get_u64()?;
+        self.https_requests += r.get_u64()?;
+        self.https_censored += r.get_u64()?;
+        self.censored_ip_host += r.get_u64()?;
+        self.mitm_evidence += r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -221,6 +221,66 @@ impl crate::registry::Analysis for IpCensorship {
         obj.push("country_censorship_ratios", share_array(&ratios));
         Some(obj)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        // Countries pack into a u64 big-endian so the sorted-key order of
+        // put_keyed matches Country's own byte ordering.
+        fn pack(c: Country) -> u64 {
+            let b = c.code().as_bytes();
+            u64::from(b[0]) << 8 | u64::from(b[1])
+        }
+        crate::state::put_keyed(w, &self.by_country, pack, |w, c: &CountryCounts| {
+            w.put_u64(c.censored);
+            w.put_u64(c.allowed);
+        });
+        w.put_u64(self.unresolved.censored);
+        w.put_u64(self.unresolved.allowed);
+        crate::state::put_len(w, self.by_subnet.len());
+        for sc in &self.by_subnet {
+            w.put_u64(sc.censored);
+            w.put_u64(sc.allowed);
+            w.put_u64(sc.proxied);
+            crate::state::put_u32_set(w, &sc.censored_ips);
+            crate::state::put_u32_set(w, &sc.allowed_ips);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        fn unpack(v: u64) -> filterscope_core::Result<Country> {
+            let bytes = [(v >> 8) as u8, v as u8];
+            let code = std::str::from_utf8(&bytes)
+                .map_err(|_| crate::state::corrupt("country code is not ASCII"))?;
+            Country::new(code).map_err(|_| crate::state::corrupt("invalid country code"))
+        }
+        let by_country = crate::state::get_keyed(r, unpack, |r| {
+            Ok(CountryCounts {
+                censored: r.get_u64()?,
+                allowed: r.get_u64()?,
+            })
+        })?;
+        for (c, v) in by_country {
+            let e = self.by_country.entry(c).or_default();
+            e.censored += v.censored;
+            e.allowed += v.allowed;
+        }
+        self.unresolved.censored += r.get_u64()?;
+        self.unresolved.allowed += r.get_u64()?;
+        let n = crate::state::get_len(r)?;
+        if n != self.by_subnet.len() {
+            return Err(crate::state::corrupt("subnet list mismatch"));
+        }
+        for sc in self.by_subnet.iter_mut() {
+            sc.censored += r.get_u64()?;
+            sc.allowed += r.get_u64()?;
+            sc.proxied += r.get_u64()?;
+            sc.censored_ips.extend(crate::state::get_u32_set(r)?);
+            sc.allowed_ips.extend(crate::state::get_u32_set(r)?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

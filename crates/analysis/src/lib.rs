@@ -54,6 +54,7 @@ pub mod registry;
 pub mod report;
 pub mod series;
 pub mod social;
+pub(crate) mod state;
 pub mod suite;
 pub mod temporal;
 pub mod tor_usage;

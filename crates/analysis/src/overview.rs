@@ -193,6 +193,57 @@ impl crate::registry::Analysis for TrafficOverview {
         TrafficOverview::render(self)
     }
 
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        let put_row = |w: &mut filterscope_core::ByteWriter, c: &RowCounts| {
+            w.put_u64(c.full);
+            w.put_u64(c.sample);
+            w.put_u64(c.user);
+            w.put_u64(c.denied);
+        };
+        put_row(w, &self.allowed);
+        put_row(w, &self.proxied);
+        put_row(w, &self.denied_total);
+        put_row(w, &self.total);
+        // Exception rows travel in table order: the row order of long-tail
+        // exceptions is accumulated state (it shapes the render), so it is
+        // preserved verbatim rather than sorted.
+        crate::state::put_len(w, self.by_exception.len());
+        for (e, c) in &self.by_exception {
+            w.put_str(e.as_str());
+            put_row(w, c);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        let get_row =
+            |r: &mut filterscope_core::ByteReader<'_>| -> filterscope_core::Result<RowCounts> {
+                Ok(RowCounts {
+                    full: r.get_u64()?,
+                    sample: r.get_u64()?,
+                    user: r.get_u64()?,
+                    denied: r.get_u64()?,
+                })
+            };
+        self.allowed.merge(&get_row(r)?);
+        self.proxied.merge(&get_row(r)?);
+        self.denied_total.merge(&get_row(r)?);
+        self.total.merge(&get_row(r)?);
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let e = ExceptionId::parse(r.get_str()?);
+            let counts = get_row(r)?;
+            if let Some((_, mine)) = self.by_exception.iter_mut().find(|(k, _)| *k == e) {
+                mine.merge(&counts);
+            } else {
+                self.by_exception.push((e, counts));
+            }
+        }
+        Ok(())
+    }
+
     fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
         use filterscope_core::Json;
         let total = self.total.full;

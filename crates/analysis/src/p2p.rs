@@ -147,6 +147,61 @@ impl crate::registry::Analysis for BitTorrentStats {
         obj.push("bt_title_resolution", Json::Float(self.resolution_rate()));
         Some(obj)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        w.put_u64(self.announces);
+        w.put_u64(self.censored_announces);
+        w.put_u64(self.malformed);
+        let mut peers: Vec<&PeerId> = self.peers.iter().collect();
+        peers.sort_unstable();
+        crate::state::put_len(w, peers.len());
+        for p in peers {
+            w.put_raw(&p.0);
+        }
+        let mut contents: Vec<(&InfoHash, &Option<TitleClass>)> = self.contents.iter().collect();
+        contents.sort_unstable_by_key(|(h, _)| *h);
+        crate::state::put_len(w, contents.len());
+        for (h, class) in contents {
+            w.put_raw(&h.0);
+            w.put_u8(match class {
+                None => 0,
+                Some(TitleClass::AntiCensorship) => 1,
+                Some(TitleClass::ImInstaller) => 2,
+                Some(TitleClass::Generic) => 3,
+            });
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        fn bytes20(r: &mut filterscope_core::ByteReader<'_>) -> filterscope_core::Result<[u8; 20]> {
+            let mut out = [0u8; 20];
+            out.copy_from_slice(r.get_raw(20)?);
+            Ok(out)
+        }
+        self.announces += r.get_u64()?;
+        self.censored_announces += r.get_u64()?;
+        self.malformed += r.get_u64()?;
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            self.peers.insert(PeerId(bytes20(r)?));
+        }
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let hash = InfoHash(bytes20(r)?);
+            let class = match r.get_u8()? {
+                0 => None,
+                1 => Some(TitleClass::AntiCensorship),
+                2 => Some(TitleClass::ImInstaller),
+                3 => Some(TitleClass::Generic),
+                _ => return Err(crate::state::corrupt("unknown title class")),
+            };
+            self.contents.entry(hash).or_insert(class);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,23 @@ impl crate::registry::Analysis for PortStats {
     fn render(&self, _ctx: &crate::AnalysisContext) -> String {
         PortStats::render(self)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        crate::state::put_u64_counts(w, &self.allowed, u64::from);
+        crate::state::put_u64_counts(w, &self.censored, u64::from);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        let port = |v: u64| {
+            u16::try_from(v).map_err(|_| crate::state::corrupt("port outside the u16 domain"))
+        };
+        self.allowed.merge(crate::state::get_u64_counts(r, port)?);
+        self.censored.merge(crate::state::get_u64_counts(r, port)?);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

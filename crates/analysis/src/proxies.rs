@@ -238,6 +238,54 @@ impl crate::registry::Analysis for ProxyStats {
         );
         Some(obj)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        let put_sym_map = |w: &mut filterscope_core::ByteWriter, map: &HashMap<Sym, u64>| {
+            let mut items: Vec<(&str, u64)> = map
+                .iter()
+                .map(|(s, n)| (self.interner.resolve(*s), *n))
+                .collect();
+            items.sort_unstable();
+            crate::state::put_len(w, items.len());
+            for (key, n) in items {
+                w.put_str(key);
+                w.put_u64(n);
+            }
+        };
+        for series in self.load.iter().chain(self.censored_load.iter()) {
+            crate::state::put_series(w, series);
+        }
+        for map in self
+            .censored_domains
+            .iter()
+            .chain(self.category_labels.iter())
+        {
+            put_sym_map(w, map);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        for series in self.load.iter_mut().chain(self.censored_load.iter_mut()) {
+            crate::state::get_series_into(r, series)?;
+        }
+        for i in 0..self.censored_domains.len() + self.category_labels.len() {
+            let n = crate::state::get_len(r)?;
+            for _ in 0..n {
+                let sym = self.interner.intern(r.get_str()?);
+                let count = r.get_u64()?;
+                let map = if i < self.censored_domains.len() {
+                    &mut self.censored_domains[i]
+                } else {
+                    &mut self.category_labels[i - self.censored_domains.len()]
+                };
+                *map.entry(sym).or_insert(0) += count;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

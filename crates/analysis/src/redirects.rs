@@ -144,6 +144,46 @@ impl crate::registry::Analysis for RedirectStats {
         obj.push("redirect_hosts", Json::UInt(self.distinct_hosts() as u64));
         Some(obj)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        crate::state::put_str_counts(w, &self.hosts);
+        crate::state::put_keyed(
+            w,
+            &self.pending,
+            |k| k,
+            |w, times: &Vec<i64>| {
+                let mut sorted = times.clone();
+                sorted.sort_unstable();
+                crate::state::put_len(w, sorted.len());
+                for t in sorted {
+                    w.put_u64(t as u64);
+                }
+            },
+        );
+        w.put_u64(self.identified_redirects);
+        w.put_u64(self.followed_up);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        self.hosts.merge(crate::state::get_str_counts(r)?);
+        let pending = crate::state::get_keyed(r, Ok, |r| {
+            let n = crate::state::get_len(r)?;
+            let mut times = Vec::with_capacity(n);
+            for _ in 0..n {
+                times.push(r.get_u64()? as i64);
+            }
+            Ok(times)
+        })?;
+        for (k, v) in pending {
+            self.pending.entry(k).or_default().extend(v);
+        }
+        self.identified_redirects += r.get_u64()?;
+        self.followed_up += r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@
 //! the survivors.
 
 use crate::context::AnalysisContext;
-use filterscope_core::Json;
+use filterscope_core::{ByteReader, ByteWriter, Json};
 use filterscope_logformat::RecordView;
 use std::any::Any;
 
@@ -87,6 +87,20 @@ pub trait Analysis: AsAny + Send + Sync {
     fn export_json(&self, _ctx: &AnalysisContext) -> Option<Json> {
         None
     }
+
+    /// Serialize the *accumulated* state (never constructor-fixed structure)
+    /// as deterministic little-endian bytes: sorted map order, resolved
+    /// strings instead of [`filterscope_core::Sym`] handles. This is the
+    /// snapshot-log payload — `load_state` on a freshly built accumulator
+    /// followed by `render`/`export_json` must reproduce the original
+    /// output exactly.
+    fn save_state(&self, w: &mut ByteWriter);
+
+    /// Add state persisted by [`Analysis::save_state`] into this
+    /// accumulator. Callers pass a freshly built accumulator (the registry
+    /// constructor restores fixed structure first); implementations read
+    /// exactly the bytes they wrote and fail closed on anything else.
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> filterscope_core::Result<()>;
 }
 
 /// Unbox a merged-in shard as the concrete accumulator type, panicking on a

@@ -306,6 +306,87 @@ impl crate::registry::Analysis for SocialStats {
         out.push_str(&self.render_table15());
         out
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        fn put_counts(w: &mut filterscope_core::ByteWriter, c: &ClassCounts) {
+            w.put_u64(c.censored);
+            w.put_u64(c.allowed);
+            w.put_u64(c.proxied);
+        }
+        let mut osn: Vec<(&str, &ClassCounts)> = self.osn.iter().map(|(k, v)| (*k, v)).collect();
+        osn.sort_unstable_by_key(|(k, _)| *k);
+        crate::state::put_len(w, osn.len());
+        for (name, c) in osn {
+            w.put_str(name);
+            put_counts(w, c);
+        }
+        let mut pages: Vec<(&str, &(ClassCounts, bool))> = self
+            .fb_pages
+            .iter()
+            .map(|(s, v)| (self.interner.resolve(*s), v))
+            .collect();
+        pages.sort_unstable_by_key(|(k, _)| *k);
+        crate::state::put_len(w, pages.len());
+        for (name, (c, flag)) in pages {
+            w.put_str(name);
+            put_counts(w, c);
+            w.put_u8(u8::from(*flag));
+        }
+        let mut plugins: Vec<(&str, &ClassCounts)> = self
+            .fb_plugins
+            .iter()
+            .map(|(s, v)| (self.interner.resolve(*s), v))
+            .collect();
+        plugins.sort_unstable_by_key(|(k, _)| *k);
+        crate::state::put_len(w, plugins.len());
+        for (name, c) in plugins {
+            w.put_str(name);
+            put_counts(w, c);
+        }
+        put_counts(w, &self.fb_total);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        fn counts(
+            r: &mut filterscope_core::ByteReader<'_>,
+        ) -> filterscope_core::Result<ClassCounts> {
+            Ok(ClassCounts {
+                censored: r.get_u64()?,
+                allowed: r.get_u64()?,
+                proxied: r.get_u64()?,
+            })
+        }
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let panel = OSN_PANEL
+                .iter()
+                .find(|d| **d == name)
+                .ok_or_else(|| crate::state::corrupt("unknown OSN panel entry"))?;
+            let c = counts(r)?;
+            self.osn.entry(panel).or_default().merge(&c);
+        }
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let sym = self.interner.intern(r.get_str()?);
+            let c = counts(r)?;
+            let flag = r.get_u8()? != 0;
+            let e = self.fb_pages.entry(sym).or_default();
+            e.0.merge(&c);
+            e.1 |= flag;
+        }
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let sym = self.interner.intern(r.get_str()?);
+            let c = counts(r)?;
+            self.fb_plugins.entry(sym).or_default().merge(&c);
+        }
+        self.fb_total.merge(&counts(r)?);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

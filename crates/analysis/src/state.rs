@@ -1,0 +1,283 @@
+//! Binary codec helpers for accumulator state (the snapshot-log payload).
+//!
+//! Every [`crate::registry::Analysis`] persists its accumulated counts
+//! through [`crate::registry::Analysis::save_state`] /
+//! [`crate::registry::Analysis::load_state`]; this module holds the shared
+//! combinators so the twenty implementations stay short and uniform.
+//!
+//! # Conventions
+//!
+//! - Little-endian primitives via [`ByteWriter`]/[`ByteReader`]; collections
+//!   are `u64` count-prefixed.
+//! - Interned keys ([`Sym`]) are written as resolved strings and re-interned
+//!   on load, so symbols never cross process boundaries.
+//! - Map/set entries are written in sorted key order, making the encoding a
+//!   deterministic function of the accumulated state (never of intern or
+//!   hash order — the DESIGN.md §2c rule applied to bytes).
+//! - Only *accumulated* state travels. Constructor-fixed structure (time-series
+//!   grids, subnet lists, keyword matchers) is rebuilt by the registry
+//!   constructor before `load_state` runs, which keeps payloads small and
+//!   lets the format survive constructor changes.
+
+use filterscope_core::{ByteReader, ByteWriter, Error, Interner, Result, Sym};
+use filterscope_stats::{CountMap, TimeSeries};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Decode-side invariant failure (a frame that passed CRC but does not
+/// describe a valid accumulator state).
+pub(crate) fn corrupt(what: &str) -> Error {
+    Error::InvalidConfig(format!("snapshot state: {what}"))
+}
+
+/// Write a collection length.
+pub(crate) fn put_len(w: &mut ByteWriter, n: usize) {
+    w.put_u64(n as u64);
+}
+
+/// Read a collection length, bounded by the bytes that could possibly back
+/// it (one byte per element floor) so a corrupt length cannot OOM the
+/// decoder before per-element reads fail.
+pub(crate) fn get_len(r: &mut ByteReader<'_>) -> Result<usize> {
+    let n = r.get_u64()?;
+    if n > r.remaining() as u64 {
+        return Err(corrupt("collection length exceeds payload"));
+    }
+    Ok(n as usize)
+}
+
+/// Write `(string, count)` pairs of a symbol-keyed counter, sorted by the
+/// resolved string.
+pub(crate) fn put_sym_counts(w: &mut ByteWriter, interner: &Interner, map: &CountMap<Sym>) {
+    let mut items: Vec<(&str, u64)> = map.iter().map(|(s, n)| (interner.resolve(*s), n)).collect();
+    items.sort_unstable();
+    put_len(w, items.len());
+    for (key, n) in items {
+        w.put_str(key);
+        w.put_u64(n);
+    }
+}
+
+/// Read `(string, count)` pairs back into a symbol-keyed counter, interning
+/// each key into `interner`.
+pub(crate) fn get_sym_counts(
+    r: &mut ByteReader<'_>,
+    interner: &mut Interner,
+) -> Result<CountMap<Sym>> {
+    let n = get_len(r)?;
+    let mut map = CountMap::new();
+    for _ in 0..n {
+        let key = interner.intern(r.get_str()?);
+        map.add(key, r.get_u64()?);
+    }
+    Ok(map)
+}
+
+/// Write a string-keyed counter, sorted by key.
+pub(crate) fn put_str_counts(w: &mut ByteWriter, map: &CountMap<String>) {
+    let mut items: Vec<(&String, u64)> = map.iter().collect();
+    items.sort_unstable();
+    put_len(w, items.len());
+    for (key, n) in items {
+        w.put_str(key);
+        w.put_u64(n);
+    }
+}
+
+/// Read a string-keyed counter.
+pub(crate) fn get_str_counts(r: &mut ByteReader<'_>) -> Result<CountMap<String>> {
+    let n = get_len(r)?;
+    let mut map = CountMap::new();
+    for _ in 0..n {
+        let key = r.get_str()?.to_string();
+        map.add(key, r.get_u64()?);
+    }
+    Ok(map)
+}
+
+/// Write a counter with `u64`-encodable keys, sorted by key.
+pub(crate) fn put_u64_counts<K: Eq + Hash + Ord + Copy>(
+    w: &mut ByteWriter,
+    map: &CountMap<K>,
+    encode: impl Fn(K) -> u64,
+) {
+    let mut items: Vec<(K, u64)> = map.iter().map(|(k, n)| (*k, n)).collect();
+    items.sort_unstable_by_key(|(k, _)| *k);
+    put_len(w, items.len());
+    for (key, n) in items {
+        w.put_u64(encode(key));
+        w.put_u64(n);
+    }
+}
+
+/// Read a counter with `u64`-encoded keys; `decode` rejects out-of-domain
+/// values.
+pub(crate) fn get_u64_counts<K: Eq + Hash>(
+    r: &mut ByteReader<'_>,
+    decode: impl Fn(u64) -> Result<K>,
+) -> Result<CountMap<K>> {
+    let n = get_len(r)?;
+    let mut map = CountMap::new();
+    for _ in 0..n {
+        let key = decode(r.get_u64()?)?;
+        map.add(key, r.get_u64()?);
+    }
+    Ok(map)
+}
+
+/// Write only the counts of a time series (bins + out-of-range). The grid
+/// (origin, width, span) is constructor-fixed and rebuilt on load.
+pub(crate) fn put_series(w: &mut ByteWriter, s: &TimeSeries) {
+    put_len(w, s.bins().len());
+    for &b in s.bins() {
+        w.put_u64(b);
+    }
+    w.put_u64(s.out_of_range());
+}
+
+/// Add persisted counts back into a freshly constructed series on the same
+/// grid.
+pub(crate) fn get_series_into(r: &mut ByteReader<'_>, s: &mut TimeSeries) -> Result<()> {
+    let n = get_len(r)?;
+    if n != s.bins().len() {
+        return Err(corrupt("time-series span mismatch"));
+    }
+    let mut bins = vec![0u64; n];
+    for b in bins.iter_mut() {
+        *b = r.get_u64()?;
+    }
+    s.add_bins(&bins, r.get_u64()?);
+    Ok(())
+}
+
+/// Write a set of `u32`s, sorted.
+pub(crate) fn put_u32_set(w: &mut ByteWriter, set: &HashSet<u32>) {
+    let mut items: Vec<u32> = set.iter().copied().collect();
+    items.sort_unstable();
+    put_len(w, items.len());
+    for v in items {
+        w.put_u32(v);
+    }
+}
+
+/// Read a set of `u32`s.
+pub(crate) fn get_u32_set(r: &mut ByteReader<'_>) -> Result<HashSet<u32>> {
+    let n = get_len(r)?;
+    let mut set = HashSet::with_capacity(n);
+    for _ in 0..n {
+        set.insert(r.get_u32()?);
+    }
+    Ok(set)
+}
+
+/// Write a map with `u64`-encodable keys and caller-encoded values, sorted
+/// by key.
+pub(crate) fn put_keyed<K, V>(
+    w: &mut ByteWriter,
+    map: &HashMap<K, V>,
+    encode_key: impl Fn(K) -> u64,
+    encode_value: impl Fn(&mut ByteWriter, &V),
+) where
+    K: Copy + Ord + Eq + Hash,
+{
+    let mut keys: Vec<K> = map.keys().copied().collect();
+    keys.sort_unstable();
+    put_len(w, keys.len());
+    for k in keys {
+        w.put_u64(encode_key(k));
+        encode_value(w, &map[&k]);
+    }
+}
+
+/// Read a map written by [`put_keyed`].
+pub(crate) fn get_keyed<K: Eq + Hash, V>(
+    r: &mut ByteReader<'_>,
+    decode_key: impl Fn(u64) -> Result<K>,
+    mut decode_value: impl FnMut(&mut ByteReader<'_>) -> Result<V>,
+) -> Result<HashMap<K, V>> {
+    let n = get_len(r)?;
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = decode_key(r.get_u64()?)?;
+        map.insert(k, decode_value(r)?);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_counts_roundtrip_across_interners() {
+        let mut a = Interner::new();
+        let mut map = CountMap::new();
+        map.add(a.intern("zeta.example"), 3);
+        map.add(a.intern("alpha.example"), 7);
+        let mut w = ByteWriter::new();
+        put_sym_counts(&mut w, &a, &map);
+        let bytes = w.into_bytes();
+
+        // Load into an interner with different pre-existing assignments.
+        let mut b = Interner::new();
+        b.intern("unrelated.example");
+        let mut r = ByteReader::new(&bytes);
+        let loaded = get_sym_counts(&mut r, &mut b).unwrap();
+        r.expect_exhausted().unwrap();
+        assert_eq!(loaded.get(&b.get("alpha.example").unwrap()), 7);
+        assert_eq!(loaded.get(&b.get("zeta.example").unwrap()), 3);
+        assert_eq!(loaded.total(), map.total());
+    }
+
+    #[test]
+    fn encoding_is_sorted_and_deterministic() {
+        // Two interners with opposite insertion orders encode identically.
+        let encode = |names: &[&str]| {
+            let mut i = Interner::new();
+            let mut m = CountMap::new();
+            for (k, name) in names.iter().enumerate() {
+                m.add(i.intern(name), k as u64 + 1);
+            }
+            let mut w = ByteWriter::new();
+            put_sym_counts(&mut w, &i, &m);
+            w.into_bytes()
+        };
+        // Same (key, count) pairs, either insertion order.
+        let mut i = Interner::new();
+        let mut m = CountMap::new();
+        m.add(i.intern("b"), 2);
+        m.add(i.intern("a"), 1);
+        let mut w = ByteWriter::new();
+        put_sym_counts(&mut w, &i, &m);
+        assert_eq!(encode(&["a", "b"]), w.into_bytes());
+    }
+
+    #[test]
+    fn oversized_length_fails_closed() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(get_len(&mut ByteReader::new(&bytes)).is_err());
+        assert!(get_str_counts(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn series_counts_roundtrip() {
+        use filterscope_core::Timestamp;
+        let origin = Timestamp::parse_fields("2011-08-01", "00:00:00").unwrap();
+        let mut s = TimeSeries::new(origin, 300, 4);
+        s.record_n(origin, 5);
+        s.record_n(origin.plus_seconds(900), 2);
+        s.record_n(origin.plus_seconds(-1), 1); // out of range
+        let mut w = ByteWriter::new();
+        put_series(&mut w, &s);
+        let bytes = w.into_bytes();
+        let mut fresh = TimeSeries::new(origin, 300, 4);
+        get_series_into(&mut ByteReader::new(&bytes), &mut fresh).unwrap();
+        assert_eq!(fresh.bins(), s.bins());
+        assert_eq!(fresh.out_of_range(), 1);
+        // A mismatched grid is rejected, not silently truncated.
+        let mut short = TimeSeries::new(origin, 300, 3);
+        assert!(get_series_into(&mut ByteReader::new(&bytes), &mut short).is_err());
+    }
+}

@@ -29,7 +29,11 @@ use crate::temporal::TemporalStats;
 use crate::tor_usage::TorStats;
 use crate::users::UserStats;
 use crate::weather::WeatherReport;
+use filterscope_core::{ByteReader, ByteWriter};
 use filterscope_logformat::RecordView;
+
+/// Wire version of [`AnalysisSuite::save_bytes`] payloads.
+const SUITE_PAYLOAD_VERSION: u8 = 1;
 
 /// The selected experiment accumulators, fed by one streaming pass.
 pub struct AnalysisSuite {
@@ -127,6 +131,77 @@ impl AnalysisSuite {
         for (mine, theirs) in self.analyses.iter_mut().zip(other.analyses) {
             mine.merge(theirs);
         }
+    }
+
+    /// Serialize the accumulated state of every selected analysis into one
+    /// self-describing payload: a version byte, the suite thresholds, the
+    /// selection keys in paper order, and one length-prefixed
+    /// [`Analysis::save_state`] payload per analysis. The encoding is a
+    /// deterministic function of the accumulated state (sorted map order,
+    /// resolved strings — see [`crate::state`]), so two suites that saw the
+    /// same records byte-compare equal.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(SUITE_PAYLOAD_VERSION);
+        w.put_u64(self.params.min_support);
+        w.put_u64(self.params.weather_min_domains as u64);
+        w.put_u8(u8::from(self.params.inference_candidates.is_empty()));
+        let keys = self.keys();
+        w.put_u64(keys.len() as u64);
+        for key in &keys {
+            w.put_str(key);
+        }
+        for analysis in &self.analyses {
+            let mut payload = ByteWriter::new();
+            analysis.save_state(&mut payload);
+            w.put_bytes(payload.as_slice());
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild a suite from a [`AnalysisSuite::save_bytes`] payload.
+    ///
+    /// The selection and thresholds come from the payload header; each
+    /// analysis is constructed fresh from the registry and its accumulated
+    /// state loaded on top. Fails closed on an unknown version, an unknown
+    /// selection key, or a payload that does not decode exactly.
+    pub fn load_bytes(bytes: &[u8]) -> filterscope_core::Result<AnalysisSuite> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.get_u8()?;
+        if version != SUITE_PAYLOAD_VERSION {
+            return Err(crate::state::corrupt("unsupported suite payload version"));
+        }
+        let min_support = r.get_u64()?;
+        let weather_min_domains = r.get_u64()? as usize;
+        let blind = r.get_u8()? != 0;
+        let base = if blind {
+            SuiteParams::blind(min_support)
+        } else {
+            SuiteParams::new(min_support)
+        };
+        let params = SuiteParams {
+            weather_min_domains,
+            ..base
+        };
+        let n_keys = r.get_u64()? as usize;
+        let mut keys = Vec::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            keys.push(r.get_str()?);
+        }
+        let selection = Selection::only(&keys)
+            .map_err(|e| crate::state::corrupt(&format!("selection: {e}")))?;
+        if selection.keys().to_vec() != keys {
+            return Err(crate::state::corrupt("selection keys out of paper order"));
+        }
+        let mut suite = AnalysisSuite::with_selection(&params, &selection);
+        for analysis in &mut suite.analyses {
+            let payload = r.get_bytes()?;
+            let mut sub = ByteReader::new(payload);
+            analysis.load_state(&mut sub)?;
+            sub.expect_exhausted()?;
+        }
+        r.expect_exhausted()?;
+        Ok(suite)
     }
 
     /// Render every selected table and figure, in paper order.
@@ -362,6 +437,80 @@ mod tests {
             &Selection::only(&["domains"]).unwrap(),
         );
         a.merge(b);
+    }
+
+    fn varied_record(i: u32) -> filterscope_logformat::LogRecord {
+        let day = 1 + (i % 6) as u8;
+        let b = RecordBuilder::new(
+            Timestamp::parse_fields(&format!("2011-08-0{day}"), "09:00:00").unwrap(),
+            ProxyId::from_index((i % 7) as usize).unwrap(),
+            RequestUrl::http(format!("host{}.example", i % 23), format!("/p{}", i % 11)),
+        );
+        match i % 5 {
+            0 => b.policy_denied().build(),
+            1 => b.proxied().build(),
+            _ => b.build(),
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_byte_identical() {
+        let ctx = AnalysisContext::standard(None);
+        let mut suite =
+            AnalysisSuite::with_selection(&SuiteParams::new(2), &Selection::everything());
+        for i in 0..300 {
+            suite.ingest(&ctx, &varied_record(i).as_view());
+        }
+        let bytes = suite.save_bytes();
+        let loaded = AnalysisSuite::load_bytes(&bytes).unwrap();
+        assert_eq!(loaded.keys(), suite.keys());
+        assert_eq!(loaded.save_bytes(), bytes, "re-save is byte-identical");
+        assert_eq!(loaded.render_all(&ctx), suite.render_all(&ctx));
+    }
+
+    #[test]
+    fn checkpoint_plus_deltas_fold_equals_straight_ingest() {
+        // The snapshot-log reconstruction contract: loading a checkpoint and
+        // merging subsequently-loaded deltas must reproduce the suite a
+        // single pass over the same records would build — for every
+        // registered analysis.
+        let ctx = AnalysisContext::standard(None);
+        let params = SuiteParams::new(2);
+        let selection = Selection::everything();
+        let mut straight = AnalysisSuite::with_selection(&params, &selection);
+        let mut live = AnalysisSuite::with_selection(&params, &selection);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for cycle in 0..4u32 {
+            for i in cycle * 100..(cycle + 1) * 100 {
+                straight.ingest(&ctx, &varied_record(i).as_view());
+                live.ingest(&ctx, &varied_record(i).as_view());
+            }
+            frames.push(live.take_delta().save_bytes());
+        }
+        let mut folded = AnalysisSuite::load_bytes(&frames[0]).unwrap();
+        for frame in &frames[1..] {
+            folded.merge(AnalysisSuite::load_bytes(frame).unwrap());
+        }
+        assert_eq!(folded.save_bytes(), straight.save_bytes());
+        for (a, b) in folded.analyses().iter().zip(straight.analyses()) {
+            assert_eq!(
+                a.render(&ctx),
+                b.render(&ctx),
+                "analysis `{}` diverges after fold",
+                a.key()
+            );
+        }
+    }
+
+    #[test]
+    fn load_bytes_fails_closed_on_corruption() {
+        let suite = AnalysisSuite::new(1);
+        let bytes = suite.save_bytes();
+        assert!(AnalysisSuite::load_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[0] = 99;
+        assert!(AnalysisSuite::load_bytes(&bad_version).is_err());
+        assert!(AnalysisSuite::load_bytes(&[]).is_err());
     }
 
     #[test]

@@ -258,6 +258,32 @@ impl crate::registry::Analysis for TemporalStats {
         out.push_str(&self.render_table5());
         out
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        crate::state::put_series(w, &self.allowed);
+        crate::state::put_series(w, &self.censored);
+        crate::state::put_series(w, &self.all);
+        crate::state::put_len(w, self.peak_windows.len());
+        for window in &self.peak_windows {
+            crate::state::put_str_counts(w, window);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        crate::state::get_series_into(r, &mut self.allowed)?;
+        crate::state::get_series_into(r, &mut self.censored)?;
+        crate::state::get_series_into(r, &mut self.all)?;
+        if crate::state::get_len(r)? != self.peak_windows.len() {
+            return Err(crate::state::corrupt("peak-window count mismatch"));
+        }
+        for window in self.peak_windows.iter_mut() {
+            window.merge(crate::state::get_str_counts(r)?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

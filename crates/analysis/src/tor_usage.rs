@@ -240,6 +240,60 @@ impl crate::registry::Analysis for TorStats {
         );
         Some(obj)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        for s in [
+            &self.hourly,
+            &self.hourly_censored,
+            &self.sg44_censored,
+            &self.sg44_all,
+        ] {
+            crate::state::put_series(w, s);
+        }
+        crate::state::put_u32_set(w, &self.censored_relays);
+        crate::state::put_keyed(
+            w,
+            &self.allowed_relays_per_hour,
+            |k| k as u64,
+            |w, set: &HashSet<u32>| crate::state::put_u32_set(w, set),
+        );
+        w.put_u64(self.total);
+        w.put_u64(self.http_signaling);
+        w.put_u64(self.censored);
+        w.put_u64(self.tcp_errors);
+        crate::state::put_u32_set(w, &self.relays_seen);
+        for n in self.censored_by_proxy {
+            w.put_u64(n);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        for s in [
+            &mut self.hourly,
+            &mut self.hourly_censored,
+            &mut self.sg44_censored,
+            &mut self.sg44_all,
+        ] {
+            crate::state::get_series_into(r, s)?;
+        }
+        self.censored_relays.extend(crate::state::get_u32_set(r)?);
+        let per_hour = crate::state::get_keyed(r, |v| Ok(v as i64), crate::state::get_u32_set)?;
+        for (k, v) in per_hour {
+            self.allowed_relays_per_hour.entry(k).or_default().extend(v);
+        }
+        self.total += r.get_u64()?;
+        self.http_signaling += r.get_u64()?;
+        self.censored += r.get_u64()?;
+        self.tcp_errors += r.get_u64()?;
+        self.relays_seen.extend(crate::state::get_u32_set(r)?);
+        for n in self.censored_by_proxy.iter_mut() {
+            *n += r.get_u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -176,6 +176,32 @@ impl crate::registry::Analysis for UserStats {
         UserStats::render(self)
     }
 
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        crate::state::put_keyed(
+            w,
+            &self.users,
+            |k| k,
+            |w, c: &UserCounts| {
+                w.put_u64(c.total);
+                w.put_u64(c.censored);
+            },
+        );
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        let loaded = crate::state::get_keyed(r, Ok, |r| {
+            Ok(UserCounts {
+                total: r.get_u64()?,
+                censored: r.get_u64()?,
+            })
+        })?;
+        self.merge(UserStats { users: loaded });
+        Ok(())
+    }
+
     fn export_json(&self, _ctx: &crate::AnalysisContext) -> Option<filterscope_core::Json> {
         use filterscope_core::Json;
         let mut obj = Json::object();

@@ -188,6 +188,33 @@ impl crate::registry::Analysis for WeatherReport {
     fn render(&self, _ctx: &crate::AnalysisContext) -> String {
         WeatherReport::render(self)
     }
+
+    fn save_state(&self, w: &mut filterscope_core::ByteWriter) {
+        crate::state::put_len(w, self.days.len());
+        for (date, inference) in &self.days {
+            w.put_u16(date.year());
+            w.put_u8(date.month());
+            w.put_u8(date.day());
+            inference.save_state(w);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut filterscope_core::ByteReader<'_>,
+    ) -> filterscope_core::Result<()> {
+        let n = crate::state::get_len(r)?;
+        for _ in 0..n {
+            let (year, month, day) = (r.get_u16()?, r.get_u8()?, r.get_u8()?);
+            let date =
+                Date::new(year, month, day).map_err(|_| crate::state::corrupt("invalid date"))?;
+            self.days
+                .entry(date)
+                .or_insert_with(|| FilterInference::new(&[]))
+                .load_state(r)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

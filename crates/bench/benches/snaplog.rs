@@ -1,0 +1,76 @@
+//! Snapshot-log benchmarks: the cost envelope of `serve --snap-log`.
+//!
+//! * `snaplog_append` — the per-cycle write path: encode a full-suite
+//!   delta payload into a CRC-framed record and append it durably
+//!   (`sync_data` per frame, as the daemon does);
+//! * `snaplog_replay` — the `history` read path: scan a multi-frame log,
+//!   CRC-check every frame, and fold checkpoint+deltas back into an
+//!   [`filterscope_analysis::AnalysisSuite`].
+//!
+//! Both report bytes/s over the encoded frame payloads, so the numbers
+//! compare directly with the parser benchmarks: a snap log earns its keep
+//! only while appending (and replaying) beats re-ingesting the raw CSV.
+
+use filterscope_bench::harness::{black_box, Harness, Throughput};
+use filterscope_bench::{analyzed, corpus};
+use filterscope_snapstore::{encode_value, read_frames, suite_at, FrameKind, SnapLog, SUITE_KEY};
+use std::path::PathBuf;
+
+/// Frames written (and folded) per iteration: enough that steady-state
+/// append cost dominates the one-off open, few enough that the fsync-heavy
+/// append benchmark stays sub-second per sample.
+const FRAMES: u64 = 16;
+
+fn temp_log(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fs-bench-snaplog-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir.join("snap.log")
+}
+
+fn bench_snaplog(c: &mut Harness) {
+    let (records, _) = corpus();
+    let suite = analyzed();
+    let value = encode_value(records.len() as u64, 0, suite);
+    let payload_bytes = FRAMES * value.len() as u64;
+
+    let mut g = c.benchmark_group("snaplog");
+    g.throughput(Throughput::Bytes(payload_bytes));
+
+    let path = temp_log("append");
+    g.bench_function("snaplog_append", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(&path);
+            let mut log = SnapLog::open(&path, 0).expect("open log");
+            for i in 0..FRAMES {
+                log.append(FrameKind::Delta, i, SUITE_KEY, value.clone())
+                    .expect("append frame");
+            }
+            black_box(log.bytes())
+        })
+    });
+
+    let path = temp_log("replay");
+    let mut log = SnapLog::open(&path, 0).expect("open log");
+    for i in 0..FRAMES {
+        log.append(FrameKind::Delta, i, SUITE_KEY, value.clone())
+            .expect("append frame");
+    }
+    drop(log);
+    g.bench_function("snaplog_replay", |b| {
+        b.iter(|| {
+            let (frames, report) = read_frames(&path).expect("read log");
+            assert_eq!(report.truncated_bytes, 0);
+            let view = suite_at(&frames, u64::MAX)
+                .expect("fold log")
+                .expect("non-empty log");
+            black_box(view.records)
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut harness = Harness::default().sample_size(20);
+    bench_snaplog(&mut harness);
+}

@@ -1,0 +1,201 @@
+//! The snapshot-log frame codec.
+//!
+//! Every frame is a self-checking record in the bitcask tradition —
+//! fixed header, variable key/value, trailing CRC-32 over everything
+//! before it:
+//!
+//! ```text
+//! ┌──────┬─────────┬─────────┬──────────┬────────────┬─────┬───────┬───────┐
+//! │ type │   seq   │   ts    │ key_size │ value_size │ key │ value │  crc  │
+//! │  u8  │   u64   │   u64   │   u32    │    u32     │ ... │  ...  │  u32  │
+//! └──────┴─────────┴─────────┴──────────┴────────────┴─────┴───────┴───────┘
+//! ```
+//!
+//! All integers are little-endian ([`ByteWriter`]/[`ByteReader`]); the CRC
+//! is [`filterscope_core::crc32`] over the bytes from `type` through
+//! `value` inclusive. A frame either decodes exactly or fails closed:
+//! truncation, an unknown type tag, a non-UTF-8 key, and a CRC mismatch
+//! are all [`Error::BadFrame`] — the recovery scan treats any of them as
+//! the start of a torn tail.
+
+use filterscope_core::{crc32, ByteReader, ByteWriter, Error, Result};
+
+/// What a frame's value holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// The cumulative suite state at `seq` — the fold of every frame up
+    /// to and including it. Written by compaction as the first frame of
+    /// the rewritten log.
+    Checkpoint,
+    /// One snapshot cycle's worth of accumulated state (the suite delta
+    /// since the previous frame).
+    Delta,
+}
+
+impl FrameKind {
+    fn tag(self) -> u8 {
+        match self {
+            FrameKind::Checkpoint => 1,
+            FrameKind::Delta => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self> {
+        match tag {
+            1 => Ok(FrameKind::Checkpoint),
+            2 => Ok(FrameKind::Delta),
+            other => Err(Error::BadFrame(format!("unknown frame type {other}"))),
+        }
+    }
+
+    /// Short label for inventories.
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameKind::Checkpoint => "checkpoint",
+            FrameKind::Delta => "delta",
+        }
+    }
+}
+
+/// One decoded log frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    /// Monotonic frame sequence number (survives compaction: the
+    /// checkpoint takes a fresh seq and deltas continue after it).
+    pub seq: u64,
+    /// Logical clock: the maximum record timestamp (epoch seconds)
+    /// observed up to this frame; 0 when no record has been seen.
+    pub ts: u64,
+    pub key: String,
+    pub value: Vec<u8>,
+}
+
+impl Frame {
+    /// Serialize into `w`.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        let start = w.len();
+        w.put_u8(self.kind.tag());
+        w.put_u64(self.seq);
+        w.put_u64(self.ts);
+        w.put_u32(self.key.len() as u32);
+        w.put_u32(self.value.len() as u32);
+        w.put_raw(self.key.as_bytes());
+        w.put_raw(&self.value);
+        let crc = crc32(&w.as_slice()[start..]);
+        w.put_u32(crc);
+    }
+
+    /// Serialize to a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode one frame from the front of `bytes`; returns the frame and
+    /// the number of bytes it occupied. Any defect — truncation, bad
+    /// type, bad UTF-8 key, CRC mismatch — is [`Error::BadFrame`].
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize)> {
+        let mut r = ByteReader::new(bytes);
+        let torn = |_| Error::BadFrame("truncated frame".to_string());
+        let kind = FrameKind::from_tag(r.get_u8().map_err(torn)?)?;
+        let seq = r.get_u64().map_err(torn)?;
+        let ts = r.get_u64().map_err(torn)?;
+        let key_size = r.get_u32().map_err(torn)? as usize;
+        let value_size = r.get_u32().map_err(torn)? as usize;
+        let key = std::str::from_utf8(r.get_raw(key_size).map_err(torn)?)
+            .map_err(|_| Error::BadFrame("frame key is not UTF-8".to_string()))?
+            .to_string();
+        let value = r.get_raw(value_size).map_err(torn)?.to_vec();
+        let body = r.position();
+        let stored = r.get_u32().map_err(torn)?;
+        let actual = crc32(&bytes[..body]);
+        if stored != actual {
+            return Err(Error::BadFrame(format!(
+                "CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        Ok((
+            Frame {
+                kind,
+                seq,
+                ts,
+                key,
+                value,
+            },
+            r.position(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame {
+            kind: FrameKind::Delta,
+            seq: 42,
+            ts: 1_312_345_678,
+            key: "suite".to_string(),
+            value: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let bytes = f.encode();
+        let (decoded, n) = Frame::decode(&bytes).unwrap();
+        assert_eq!(decoded, f);
+        assert_eq!(n, bytes.len());
+    }
+
+    #[test]
+    fn every_truncation_fails_closed() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Frame::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let bytes = sample().encode();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                match Frame::decode(&bad) {
+                    Ok((frame, _)) => {
+                        panic!("bit {bit} of byte {byte} flipped yet decoded as {frame:?}")
+                    }
+                    Err(Error::BadFrame(_)) => {}
+                    Err(other) => panic!("unexpected error class: {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_type_tag_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = 9;
+        assert!(matches!(Frame::decode(&bytes), Err(Error::BadFrame(_))));
+    }
+
+    #[test]
+    fn oversized_length_fields_read_as_truncation() {
+        let mut w = ByteWriter::new();
+        w.put_u8(2);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u32(u32::MAX);
+        w.put_u32(u32::MAX);
+        assert!(Frame::decode(w.as_slice()).is_err());
+    }
+}

@@ -108,6 +108,25 @@ impl TimeSeries {
         self.out_of_range += other.out_of_range;
     }
 
+    /// Add raw bin counts (plus an out-of-range tally) into this series:
+    /// the rehydration path for persisted snapshots, where the grid is
+    /// reconstructed by the caller and only the counts travel.
+    ///
+    /// # Panics
+    /// Panics if `bins` is longer than this series' grid.
+    pub fn add_bins(&mut self, bins: &[u64], out_of_range: u64) {
+        assert!(
+            bins.len() <= self.bins.len(),
+            "add_bins: {} counts into a {}-bin grid",
+            bins.len(),
+            self.bins.len()
+        );
+        for (a, b) in self.bins.iter_mut().zip(bins.iter()) {
+            *a += b;
+        }
+        self.out_of_range += out_of_range;
+    }
+
     /// The index and value of the peak bin (`None` when all bins are zero).
     pub fn peak(&self) -> Option<(usize, u64)> {
         let (i, &v) = self.bins.iter().enumerate().max_by_key(|(_, v)| **v)?;

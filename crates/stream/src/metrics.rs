@@ -114,6 +114,18 @@ pub struct ServerStats {
     /// The mechanism `serve --censor` declared, stored as
     /// [`ProfileKind::index`] + 1 (0 = no expectation declared).
     pub expected_mechanism: AtomicU64,
+    /// Largest record timestamp (epoch seconds) ingested so far; the
+    /// snap-log frame timestamp, so time-travel queries index by record
+    /// time, not wall-clock arrival time.
+    pub max_record_ts: AtomicU64,
+    /// Whether a snapshot log is being written (gates the snaplog gauges).
+    pub snaplog_active: AtomicBool,
+    /// Bytes in the snapshot log after the last append/compaction.
+    pub snaplog_bytes: AtomicU64,
+    /// Frames in the snapshot log after the last append/compaction.
+    pub snaplog_frames: AtomicU64,
+    /// Sequence of the last compaction checkpoint (0 = never compacted).
+    pub snaplog_last_compaction_seq: AtomicU64,
 }
 
 impl ServerStats {
@@ -139,6 +151,11 @@ impl ServerStats {
             policy_redirected: AtomicU64::new(0),
             mechanism: std::array::from_fn(|_| AtomicU64::new(0)),
             expected_mechanism: AtomicU64::new(0),
+            max_record_ts: AtomicU64::new(0),
+            snaplog_active: AtomicBool::new(false),
+            snaplog_bytes: AtomicU64::new(0),
+            snaplog_frames: AtomicU64::new(0),
+            snaplog_last_compaction_seq: AtomicU64::new(0),
         }
     }
 
@@ -253,6 +270,24 @@ pub fn render(stats: &ServerStats, conns: &[std::sync::Arc<ConnStats>]) -> Strin
             out,
             "filterscope_policy_decisions_total{{decision=\"redirect\"}} {}",
             load(&stats.policy_redirected)
+        );
+    }
+    // Snap-log gauges appear only when `serve --snap-log` is writing one.
+    if stats.snaplog_active.load(Ordering::Relaxed) {
+        let _ = writeln!(
+            out,
+            "filterscope_snaplog_bytes {}",
+            load(&stats.snaplog_bytes)
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_snaplog_frames_total {}",
+            load(&stats.snaplog_frames)
+        );
+        let _ = writeln!(
+            out,
+            "filterscope_snaplog_last_compaction_seq {}",
+            load(&stats.snaplog_last_compaction_seq)
         );
     }
     // Mechanism gauges appear once a censored record has been classified,
@@ -374,9 +409,26 @@ mod tests {
         assert!(page.contains("filterscope_conn_records_total{conn=\"sg-42\"} 42"));
         assert!(page.contains("filterscope_conn_queue_depth{conn=\"sg-42\"} 0"));
         // No policy configured → no policy gauges; no censored records
-        // classified and no expectation declared → no mechanism gauges.
+        // classified and no expectation declared → no mechanism gauges;
+        // no snap log configured → no snaplog gauges.
         assert!(!page.contains("filterscope_policy_version"));
         assert!(!page.contains("filterscope_mechanism_records_total"));
+        assert!(!page.contains("filterscope_snaplog_bytes"));
+    }
+
+    #[test]
+    fn render_covers_snaplog_gauges_when_active() {
+        let stats = ServerStats::new();
+        stats.snaplog_active.store(true, Ordering::Relaxed);
+        stats.snaplog_bytes.store(4096, Ordering::Relaxed);
+        stats.snaplog_frames.store(12, Ordering::Relaxed);
+        stats
+            .snaplog_last_compaction_seq
+            .store(8, Ordering::Relaxed);
+        let page = render(&stats, &[]);
+        assert!(page.contains("filterscope_snaplog_bytes 4096"));
+        assert!(page.contains("filterscope_snaplog_frames_total 12"));
+        assert!(page.contains("filterscope_snaplog_last_compaction_seq 8"));
     }
 
     #[test]

@@ -50,8 +50,11 @@ use filterscope_logformat::{LineSplitter, Schema};
 
 use crate::metrics::{self, ConnStats, ServerStats};
 use crate::policy::{PolicyCell, PolicyWatcher, ReloadOutcome};
-use crate::snapshot::SnapshotWriter;
+use crate::snapshot::{SnapLogStatus, SnapshotWriter};
 use filterscope_proxy::{Decision, ProfileKind};
+use filterscope_snapstore::{
+    encode_value, read_frames, suite_at, FrameKind as SnapFrameKind, SnapLog, SUITE_KEY,
+};
 
 /// How long `run` waits for workers to drain after shutdown before
 /// folding the final snapshot anyway.
@@ -85,6 +88,15 @@ pub struct ServeConfig {
     /// to show (`serve --censor`); reported on `/metrics` next to the
     /// per-mechanism vote counters so drift is visible at a glance.
     pub expected_censor: Option<ProfileKind>,
+    /// Append-only snapshot log (`serve --snap-log`): every snapshot
+    /// cycle's suite delta is framed into it before being folded into the
+    /// global suite, so `filterscope history` can reconstruct the state
+    /// as of any past instant. `None` disables the log.
+    pub snap_log: Option<PathBuf>,
+    /// Compaction threshold for the snapshot log in bytes: when the log
+    /// grows past this, it is rewritten as one checkpoint frame carrying
+    /// the cumulative fold. `0` disables compaction.
+    pub snap_log_max_bytes: u64,
 }
 
 /// Counters reported by [`Server::run`] after shutdown.
@@ -111,7 +123,29 @@ pub struct ServeSummary {
 /// One live connection as the snapshot/metrics threads see it.
 struct ConnHandle {
     stats: Arc<ConnStats>,
-    delta: Arc<Mutex<AnalysisSuite>>,
+    delta: Arc<Mutex<Shard>>,
+}
+
+/// One connection's un-folded analysis shard: the delta suite plus the
+/// exact record/parse-error counts ingested into it, kept under one lock
+/// so a fold can never observe content without its counts. The snap
+/// log's zero-delta skip depends on this being exact — deriving the
+/// per-cycle delta from the global counters instead races the workers
+/// and can silently drop a folded shard from the log.
+struct Shard {
+    suite: AnalysisSuite,
+    records: u64,
+    parse_errors: u64,
+}
+
+impl Shard {
+    fn new(suite: AnalysisSuite) -> Shard {
+        Shard {
+            suite,
+            records: 0,
+            parse_errors: 0,
+        }
+    }
 }
 
 /// A bound serve daemon; [`Server::run`] blocks until shutdown.
@@ -175,6 +209,47 @@ impl Server {
         let conns: Mutex<Vec<ConnHandle>> = Mutex::new(Vec::new());
         let mut writer = SnapshotWriter::new(&self.config.snapshot_dir)?;
         let mut global = AnalysisSuite::with_selection(&self.config.params, &self.config.selection);
+        // Open the snapshot log (if configured) and rehydrate the global
+        // suite from it: a restarted daemon resumes exactly where the log
+        // left off, and its first snapshot already covers the recovered
+        // records. A log written under a different selection cannot be
+        // folded into this run's suites, so that fails closed.
+        let mut snaplog: Option<SnapLog> = None;
+        let mut recovered_frames = 0u64;
+        // Cumulative `(records, parse_errors)` actually folded into
+        // `global` (recovered baseline + every cycle's exact fold count)
+        // — what a compaction checkpoint's counters must say.
+        let mut folded = (0u64, 0u64);
+        if let Some(path) = &self.config.snap_log {
+            let log = SnapLog::open(path, self.config.snap_log_max_bytes)?;
+            let (frames, _) = read_frames(path)?;
+            if let Some(view) = suite_at(&frames, u64::MAX)? {
+                if view.suite.keys() != global.keys() {
+                    return Err(Error::InvalidConfig(format!(
+                        "snap log {} was written under a different analysis \
+                         selection; refusing to resume from it",
+                        path.display()
+                    )));
+                }
+                stats.records.store(view.records, Ordering::SeqCst);
+                stats
+                    .parse_errors
+                    .store(view.parse_errors, Ordering::SeqCst);
+                stats
+                    .max_record_ts
+                    .store(frames.last().map_or(0, |f| f.ts), Ordering::SeqCst);
+                folded = (view.records, view.parse_errors);
+                global = view.suite;
+            }
+            recovered_frames = log.frames();
+            stats.snaplog_active.store(true, Ordering::SeqCst);
+            stats.snaplog_bytes.store(log.bytes(), Ordering::SeqCst);
+            stats.snaplog_frames.store(log.frames(), Ordering::SeqCst);
+            stats
+                .snaplog_last_compaction_seq
+                .store(log.last_compaction_seq(), Ordering::SeqCst);
+            snaplog = Some(log);
+        }
         let policy_cell: Option<Arc<PolicyCell>> = self
             .policy
             .as_ref()
@@ -204,10 +279,10 @@ impl Server {
                     let id = stats.connections_total.fetch_add(1, Ordering::SeqCst);
                     stats.connections_live.fetch_add(1, Ordering::SeqCst);
                     let conn = Arc::new(ConnStats::new(id, peer.to_string()));
-                    let delta = Arc::new(Mutex::new(AnalysisSuite::with_selection(
+                    let delta = Arc::new(Mutex::new(Shard::new(AnalysisSuite::with_selection(
                         &self.config.params,
                         &self.config.selection,
-                    )));
+                    ))));
                     conns.lock().expect("conns lock").push(ConnHandle {
                         stats: Arc::clone(&conn),
                         delta: Arc::clone(&delta),
@@ -297,13 +372,58 @@ impl Server {
                         }
                     }
                 }
-                fold_deltas(&conns, &mut global);
+                // Collect this cycle's delta into a fresh suite instead of
+                // folding straight into the global: the delta must be
+                // framed into the snapshot log *before* it reaches the
+                // global suite or the published snapshot. The shutdown
+                // path runs this same cycle once more after the drain, so
+                // the log and the final on-disk report never disagree.
+                let mut cycle =
+                    AnalysisSuite::with_selection(&self.config.params, &self.config.selection);
+                let (rec_d, err_d) = fold_deltas(&conns, &mut cycle);
                 last_fold = Instant::now();
-                let report = format!("{}\n", global.render_all(ctx));
-                let summary = global.summary_json(ctx);
+                folded = (folded.0 + rec_d, folded.1 + err_d);
                 let records = stats.records.load(Ordering::SeqCst);
                 let parse_errors = stats.parse_errors.load(Ordering::SeqCst);
-                match writer.write(&report, &summary, records, parse_errors) {
+                if let Some(log) = snaplog.as_mut() {
+                    if rec_d > 0 || err_d > 0 {
+                        let ts = stats.max_record_ts.load(Ordering::SeqCst);
+                        let value = encode_value(rec_d, err_d, &cycle);
+                        if let Err(e) = log.append(SnapFrameKind::Delta, ts, SUITE_KEY, value) {
+                            // The delta still reaches the global suite; the
+                            // next compaction checkpoint heals the log.
+                            stats.snapshot_errors.fetch_add(1, Ordering::SeqCst);
+                            eprintln!("snap log append failed: {e}");
+                        }
+                    }
+                }
+                global.merge(cycle);
+                if let Some(log) = snaplog.as_mut() {
+                    if log.should_compact() {
+                        let ts = stats.max_record_ts.load(Ordering::SeqCst);
+                        // The checkpoint's counters come from the fold
+                        // bookkeeping, not the live counters: they must
+                        // describe exactly what the checkpointed suite
+                        // contains, nothing a worker ingested since.
+                        let value = encode_value(folded.0, folded.1, &global);
+                        if let Err(e) = log.compact(ts, SUITE_KEY, value) {
+                            stats.snapshot_errors.fetch_add(1, Ordering::SeqCst);
+                            eprintln!("snap log compaction failed: {e}");
+                        }
+                    }
+                    stats.snaplog_bytes.store(log.bytes(), Ordering::SeqCst);
+                    stats.snaplog_frames.store(log.frames(), Ordering::SeqCst);
+                    stats
+                        .snaplog_last_compaction_seq
+                        .store(log.last_compaction_seq(), Ordering::SeqCst);
+                }
+                let report = format!("{}\n", global.render_all(ctx));
+                let summary = global.summary_json(ctx);
+                let log_status = snaplog.as_ref().map(|log| SnapLogStatus {
+                    log_seq: log.last_seq(),
+                    recovered_frames,
+                });
+                match writer.write(&report, &summary, records, parse_errors, log_status) {
                     Ok(seq) => stats.snapshot_written(seq),
                     Err(e) => {
                         stats.snapshot_errors.fetch_add(1, Ordering::SeqCst);
@@ -330,19 +450,30 @@ impl Server {
 }
 
 /// Swap every connection's delta for a fresh twin and merge the deltas
-/// into `global`, in accept order. Holding each delta lock only for the
-/// swap keeps the ingest workers off the fold's critical path.
-fn fold_deltas(conns: &Mutex<Vec<ConnHandle>>, global: &mut AnalysisSuite) {
-    let handles: Vec<Arc<Mutex<AnalysisSuite>>> = conns
+/// into `global` (the global suite, or one snapshot cycle's collector
+/// when a snap log needs the delta framed first), in accept order.
+/// Holding each delta lock only for the swap keeps the ingest workers
+/// off the fold's critical path. Returns the exact `(records,
+/// parse_errors)` counts behind the merged content — taken under the
+/// same locks as the suites, so they can never disagree with it.
+fn fold_deltas(conns: &Mutex<Vec<ConnHandle>>, global: &mut AnalysisSuite) -> (u64, u64) {
+    let handles: Vec<Arc<Mutex<Shard>>> = conns
         .lock()
         .expect("conns lock")
         .iter()
         .map(|c| Arc::clone(&c.delta))
         .collect();
-    for delta in handles {
-        let taken = delta.lock().expect("delta lock").take_delta();
+    let (mut records, mut parse_errors) = (0u64, 0u64);
+    for shard in handles {
+        let taken = {
+            let mut shard = shard.lock().expect("delta lock");
+            records += std::mem::take(&mut shard.records);
+            parse_errors += std::mem::take(&mut shard.parse_errors);
+            shard.suite.take_delta()
+        };
         global.merge(taken);
     }
+    (records, parse_errors)
 }
 
 /// Reader half of one connection: decode frames, queue batch payloads.
@@ -411,7 +542,7 @@ fn ingest_connection(
     rx: Receiver<Vec<u8>>,
     conn: &ConnStats,
     stats: &ServerStats,
-    delta: &Mutex<AnalysisSuite>,
+    delta: &Mutex<Shard>,
     ctx: &AnalysisContext,
     policy: Option<&PolicyCell>,
 ) {
@@ -425,7 +556,8 @@ fn ingest_connection(
         let mut parse_errors = 0u64;
         let (mut allowed, mut denied, mut redirected) = (0u64, 0u64, 0u64);
         let mut mechanism = [0u64; 4];
-        let mut suite = delta.lock().expect("delta lock");
+        let mut max_ts = 0u64;
+        let mut shard = delta.lock().expect("delta lock");
         for line in batch_lines(&payload) {
             line_no += 1;
             // Same order as the file ingest path: UTF-8 validity is
@@ -450,12 +582,15 @@ fn ingest_connection(
                     if let Some(kind) = classify_mechanism_view(&view) {
                         mechanism[kind.index()] += 1;
                     }
-                    suite.ingest(ctx, &view);
+                    max_ts = max_ts.max(view.timestamp.epoch_seconds() as u64);
+                    shard.suite.ingest(ctx, &view);
                     records += 1;
                 }
                 Err(_) => parse_errors += 1,
             }
         }
+        shard.records += records;
+        shard.parse_errors += parse_errors;
         conn.records.fetch_add(records, Ordering::SeqCst);
         conn.parse_errors.fetch_add(parse_errors, Ordering::SeqCst);
         stats.records.fetch_add(records, Ordering::SeqCst);
@@ -472,7 +607,12 @@ fn ingest_connection(
                 slot.fetch_add(votes, Ordering::SeqCst);
             }
         }
-        drop(suite);
+        // Still under the delta lock: a fold that merged these records
+        // must also observe their timestamp for the log frame it writes.
+        if max_ts > 0 {
+            stats.max_record_ts.fetch_max(max_ts, Ordering::SeqCst);
+        }
+        drop(shard);
     }
     conn.done.store(true, Ordering::SeqCst);
 }
@@ -524,6 +664,8 @@ mod tests {
             queue_batches: 4,
             policy_artifact: None,
             expected_censor: None,
+            snap_log: None,
+            snap_log_max_bytes: 0,
         }
     }
 
@@ -683,6 +825,122 @@ mod tests {
         assert_eq!(summary.policy_version, 2);
         assert_eq!(summary.policy_reloads, 1);
         assert!(summary.policy_reload_failures >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `n` canonical log lines over varied hosts/paths/times; every third
+    /// one censored.
+    fn canonical_lines(n: usize) -> String {
+        use filterscope_logformat::record::RecordBuilder;
+        use filterscope_logformat::RequestUrl;
+        let mut out = String::new();
+        for i in 0..n {
+            let time = format!("10:{:02}:{:02}", i / 60, i % 60);
+            let b = RecordBuilder::new(
+                filterscope_core::Timestamp::parse_fields("2011-08-03", &time).unwrap(),
+                filterscope_core::ProxyId::Sg42,
+                RequestUrl::http(&format!("host{}.example.com", i % 7), &format!("/p{i}")),
+            );
+            let b = if i % 3 == 0 { b.policy_denied() } else { b };
+            out.push_str(&b.build().write_csv());
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn shutdown_flushes_final_delta_frame_before_final_snapshot() {
+        let dir = temp_dir("snaplog-drain");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("snap.log");
+        let mut cfg = config(&dir.join("snaps"));
+        // Only the shutdown cycle runs, so the log's single frame must
+        // come from the drain path.
+        cfg.snapshot_every = Duration::from_secs(3600);
+        cfg.snap_log = Some(log_path.clone());
+        let server = Server::bind(cfg).unwrap();
+        let addr = server.local_addr().unwrap();
+        let ctx = AnalysisContext::standard(None);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let summary = std::thread::scope(|s| {
+            let handle = s.spawn(|| server.run(&ctx, Arc::clone(&shutdown)));
+            let mut sock = TcpStream::connect(addr).unwrap();
+            Frame::hello("drain-test").write_to(&mut sock).unwrap();
+            Frame::batch(canonical_lines(20).into_bytes())
+                .write_to(&mut sock)
+                .unwrap();
+            Frame::bye().write_to(&mut sock).unwrap();
+            drop(sock);
+            std::thread::sleep(Duration::from_millis(300));
+            shutdown.store(true, Ordering::SeqCst);
+            handle.join().unwrap().unwrap()
+        });
+        assert_eq!(summary.records, 20);
+        assert_eq!(summary.snapshots, 1, "only the shutdown cycle ran");
+        // The final frame reached the log before the final snapshot:
+        // replaying the log reproduces the on-disk report byte for byte.
+        let (frames, _) = read_frames(&log_path).unwrap();
+        assert_eq!(frames.len(), 1);
+        let view = suite_at(&frames, u64::MAX).unwrap().unwrap();
+        assert_eq!(view.records, 20);
+        let report = std::fs::read_to_string(dir.join("snaps/report.txt")).unwrap();
+        assert_eq!(format!("{}\n", view.suite.render_all(&ctx)), report);
+        let status = std::fs::read_to_string(dir.join("snaps/status.json")).unwrap();
+        assert!(status.contains("\"log_seq\": 1"), "{status}");
+        assert!(status.contains("\"recovered_frames\": 0"), "{status}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_recovers_state_from_snap_log() {
+        let dir = temp_dir("snaplog-restart");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("snap.log");
+        let ctx = AnalysisContext::standard(None);
+
+        // First run ingests records, frames them, shuts down.
+        let mut cfg = config(&dir.join("run1"));
+        cfg.snapshot_every = Duration::from_secs(3600);
+        cfg.snap_log = Some(log_path.clone());
+        let server = Server::bind(cfg).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| server.run(&ctx, Arc::clone(&shutdown)));
+            let mut sock = TcpStream::connect(addr).unwrap();
+            Frame::hello("run1").write_to(&mut sock).unwrap();
+            Frame::batch(canonical_lines(15).into_bytes())
+                .write_to(&mut sock)
+                .unwrap();
+            Frame::bye().write_to(&mut sock).unwrap();
+            drop(sock);
+            std::thread::sleep(Duration::from_millis(300));
+            shutdown.store(true, Ordering::SeqCst);
+            handle.join().unwrap().unwrap()
+        });
+        let first_report = std::fs::read_to_string(dir.join("run1/report.txt")).unwrap();
+
+        // Second run resumes from the log with no new traffic: its final
+        // snapshot reproduces the first run's report, counters included,
+        // and appends no new frame for the empty cycle.
+        let mut cfg = config(&dir.join("run2"));
+        cfg.snap_log = Some(log_path.clone());
+        let server = Server::bind(cfg).unwrap();
+        let summary = server.run(&ctx, Arc::new(AtomicBool::new(true))).unwrap();
+        assert_eq!(summary.records, 15, "recovered records are preloaded");
+        let second_report = std::fs::read_to_string(dir.join("run2/report.txt")).unwrap();
+        assert_eq!(second_report, first_report);
+        let status = std::fs::read_to_string(dir.join("run2/status.json")).unwrap();
+        assert!(status.contains("\"records\": 15"), "{status}");
+        assert!(status.contains("\"recovered_frames\": 1"), "{status}");
+        assert!(status.contains("\"log_seq\": 1"), "{status}");
+
+        // A log written under a different selection fails closed.
+        let mut cfg = config(&dir.join("run3"));
+        cfg.snap_log = Some(log_path.clone());
+        cfg.selection = Selection::only(&["datasets", "https"]).unwrap();
+        let server = Server::bind(cfg).unwrap();
+        assert!(server.run(&ctx, Arc::new(AtomicBool::new(true))).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -22,6 +22,16 @@ use std::path::{Path, PathBuf};
 
 use filterscope_core::Result;
 
+/// Snapshot-log observability recorded into `status.json` when the serve
+/// daemon writes a snap log alongside its snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapLogStatus {
+    /// Sequence of the last frame appended to the log.
+    pub log_seq: u64,
+    /// Frames recovered from the log at startup (0 on a fresh log).
+    pub recovered_frames: u64,
+}
+
 /// Writes atomic snapshots into a directory.
 #[derive(Debug)]
 pub struct SnapshotWriter {
@@ -59,19 +69,29 @@ impl SnapshotWriter {
 
     /// Write one snapshot: `report` (already newline-terminated by the
     /// caller), `summary` JSON, and a `status.json` recording the new
-    /// sequence number plus ingest counters. Returns the new sequence.
+    /// sequence number plus ingest counters — and, when a snap log is
+    /// being written, the log's position so recovery is observable.
+    /// Returns the new sequence.
     pub fn write(
         &mut self,
         report: &str,
         summary: &str,
         records: u64,
         parse_errors: u64,
+        snap_log: Option<SnapLogStatus>,
     ) -> Result<u64> {
         let seq = self.seq + 1;
         self.replace("report.txt", report.as_bytes())?;
         self.replace("summary.json", summary.as_bytes())?;
+        let log_fields = match snap_log {
+            Some(s) => format!(
+                ",\n  \"log_seq\": {},\n  \"recovered_frames\": {}",
+                s.log_seq, s.recovered_frames
+            ),
+            None => String::new(),
+        };
         let status = format!(
-            "{{\n  \"snapshot\": {seq},\n  \"records\": {records},\n  \"parse_errors\": {parse_errors}\n}}\n"
+            "{{\n  \"snapshot\": {seq},\n  \"records\": {records},\n  \"parse_errors\": {parse_errors}{log_fields}\n}}\n"
         );
         self.replace("status.json", status.as_bytes())?;
         self.seq = seq;
@@ -115,8 +135,13 @@ mod tests {
         let mut writer = SnapshotWriter::new(&dir).unwrap();
         assert_eq!(writer.seq(), 0);
 
-        assert_eq!(writer.write("report one\n", "{}", 10, 0).unwrap(), 1);
-        assert_eq!(writer.write("report two\n", "{\"a\":1}", 25, 2).unwrap(), 2);
+        assert_eq!(writer.write("report one\n", "{}", 10, 0, None).unwrap(), 1);
+        assert_eq!(
+            writer
+                .write("report two\n", "{\"a\":1}", 25, 2, None)
+                .unwrap(),
+            2
+        );
         assert_eq!(writer.seq(), 2);
 
         let report = std::fs::read_to_string(dir.join("report.txt")).unwrap();
@@ -127,6 +152,23 @@ mod tests {
         assert!(status.contains("\"snapshot\": 2"), "{status}");
         assert!(status.contains("\"records\": 25"), "{status}");
         assert!(status.contains("\"parse_errors\": 2"), "{status}");
+        assert!(!status.contains("log_seq"), "no snap log, no log fields");
+
+        writer
+            .write(
+                "report three\n",
+                "{}",
+                30,
+                2,
+                Some(SnapLogStatus {
+                    log_seq: 7,
+                    recovered_frames: 3,
+                }),
+            )
+            .unwrap();
+        let status = std::fs::read_to_string(dir.join("status.json")).unwrap();
+        assert!(status.contains("\"log_seq\": 7"), "{status}");
+        assert!(status.contains("\"recovered_frames\": 3"), "{status}");
 
         // No temp files linger.
         for entry in std::fs::read_dir(&dir).unwrap() {
@@ -157,7 +199,7 @@ mod tests {
             "complete\n"
         );
 
-        writer.write("fresh\n", "{}", 1, 0).unwrap();
+        writer.write("fresh\n", "{}", 1, 0, None).unwrap();
         assert_eq!(
             std::fs::read_to_string(dir.join("report.txt")).unwrap(),
             "fresh\n"

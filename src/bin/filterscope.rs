@@ -12,6 +12,7 @@
 //! filterscope analyses                                list the analysis registry
 //! filterscope serve --snapshots DIR                   live streaming ingest daemon
 //! filterscope stream [--scale N | LOG...]             replay a workload at a daemon
+//! filterscope history LOG at|diff|series|ls           time-travel over a snapshot log
 //! ```
 //!
 //! `analyze`, `audit`, `report` and `weather` accept `--analyses a,b,c`
@@ -33,6 +34,9 @@ use filterscope::policylint::{
 use filterscope::prelude::*;
 use filterscope::proxy::config::FarmConfig;
 use filterscope::proxy::{artifact, cpl, PolicyData, ProfileKind};
+use filterscope::snapstore::{
+    decode_value, diff, metric_label, read_frames, series, suite_at, Frame, RecoveryReport,
+};
 use filterscope::stream::{
     install_sigint, stream_corpus, stream_files, ServeConfig, Server, StreamConfig,
 };
@@ -56,8 +60,12 @@ fn usage() -> ExitCode {
          filterscope weather LOG... [--min-support N] [--threads N] [--analyses KEYS] [--skip KEYS]\n  \
          filterscope compare --a LOG --b LOG [--min-support N]\n  \
          filterscope analyses\n  \
-         filterscope serve --snapshots DIR [--listen ADDR] [--metrics ADDR] [--every-ms N] [--min-support N] [--queue N] [--policy-artifact FILE] [--censor NAME] [--analyses KEYS] [--skip KEYS]\n  \
-         filterscope stream [LOG... | --scale N] [--censor NAME] [--connect ADDR] [--connections N] [--batch N] [--compress X]\n\n\
+         filterscope serve --snapshots DIR [--listen ADDR] [--metrics ADDR] [--every-ms N] [--min-support N] [--queue N] [--policy-artifact FILE] [--censor NAME] [--snap-log FILE] [--snap-log-max-bytes N] [--analyses KEYS] [--skip KEYS]\n  \
+         filterscope stream [LOG... | --scale N] [--censor NAME] [--connect ADDR] [--connections N] [--batch N] [--compress X]\n  \
+         filterscope history LOG at --time T [--analysis KEY]\n  \
+         filterscope history LOG diff --from T --to T\n  \
+         filterscope history LOG series --analysis KEY [--step SECS] [--json]\n  \
+         filterscope history LOG ls\n\n\
          Flags accept `--flag value` or `--flag=value`; repeating a flag\n\
          is an error.\n\
          --censor selects the simulated censorship mechanism: blue-coat\n\
@@ -69,6 +77,11 @@ fn usage() -> ExitCode {
          `compile` writes a witness-checked binary artifact that\n\
          `serve --policy-artifact` loads zero-parse and hot-reloads on change.\n\
          --analyses/--skip take comma-separated keys from `filterscope analyses`.\n\
+         `serve --snap-log` appends every snapshot cycle's suite delta to a\n\
+         crash-safe frame log that `history` replays: `at` reconstructs the\n\
+         full report as of any instant, `diff` compares two instants,\n\
+         `series` windows one analysis over time, `ls` inventories frames.\n\
+         T is epoch seconds, `YYYY-MM-DD`, or `YYYY-MM-DD HH:MM:SS`.\n\
          `replay` times every stage of the record pipeline (generate,\n\
          classify, write, parse, ingest, merge) and extrapolates to the\n\
          full study corpus; `--bench-json` merges the rates into a bench\n\
@@ -1055,6 +1068,11 @@ fn cmd_serve(args: &Args) -> ExitCode {
         eprintln!("filterscope serve: --snapshots DIR is required");
         return usage();
     };
+    // 64 MiB default keeps an always-on daemon's log bounded; 0 disables
+    // compaction (the log then grows without limit).
+    let Some(snap_log_max_bytes) = args.flag_u64("snap-log-max-bytes", 64 * 1024 * 1024) else {
+        return usage();
+    };
     let selection = match selection_from_flags(args, Selection::default_suite()) {
         Ok(s) => s,
         Err(code) => return code,
@@ -1076,6 +1094,8 @@ fn cmd_serve(args: &Args) -> ExitCode {
         queue_batches: queue.clamp(1, 4096) as usize,
         policy_artifact: args.flag("policy-artifact").map(PathBuf::from),
         expected_censor,
+        snap_log: args.flag("snap-log").map(PathBuf::from),
+        snap_log_max_bytes,
     };
     let server = match Server::bind(config) {
         Ok(s) => s,
@@ -1196,6 +1216,253 @@ fn cmd_stream(args: &Args) -> ExitCode {
     }
 }
 
+/// Parse a `--time`-style instant: epoch seconds, `YYYY-MM-DD`
+/// (midnight), or `YYYY-MM-DD HH:MM:SS` (`T` separator also accepted).
+fn parse_instant(s: &str) -> Result<u64, String> {
+    if !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()) {
+        return s.parse().map_err(|_| format!("bad instant `{s}`"));
+    }
+    let (date, time) = match s.split_once([' ', 'T']) {
+        Some((d, t)) => (d, t),
+        None => (s, "00:00:00"),
+    };
+    Timestamp::parse_fields(date, time)
+        .map(|t| t.epoch_seconds().max(0) as u64)
+        .map_err(|e| format!("bad instant `{s}`: {e}"))
+}
+
+/// Render an epoch instant as `YYYY-MM-DD HH:MM:SS`.
+fn fmt_instant(t: u64) -> String {
+    Timestamp::from_epoch_seconds(t.min(i64::MAX as u64) as i64).to_string()
+}
+
+/// `filterscope history LOG (at|diff|series|ls)`: windowed time-travel
+/// queries over a `serve --snap-log` frame log. Every subcommand starts
+/// from the same read: decode the clean frame prefix, then fold/inspect.
+fn cmd_history(args: &Args) -> ExitCode {
+    let (Some(log), Some(sub), true) = (
+        args.positional.first(),
+        args.positional.get(1),
+        args.positional.len() == 2,
+    ) else {
+        eprintln!("filterscope history: expected `history LOG (at|diff|series|ls)`");
+        return usage();
+    };
+    let (frames, report) = match read_frames(Path::new(log)) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cannot read snapshot log {log}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match sub.as_str() {
+        "at" => history_at(args, &frames),
+        "diff" => history_diff(args, &frames),
+        "series" => history_series(args, &frames),
+        "ls" => history_ls(log, &frames, &report),
+        other => {
+            eprintln!("filterscope history: unknown subcommand `{other}`");
+            usage()
+        }
+    }
+}
+
+/// `history LOG at --time T [--analysis KEY]`: reconstruct the suite as
+/// of `T` and render it — the whole report by default (byte-identical to
+/// `analyze` over the same records), or one registry analysis.
+fn history_at(args: &Args, frames: &[Frame]) -> ExitCode {
+    let Some(time) = args.flag("time") else {
+        eprintln!("filterscope history at: --time T is required");
+        return usage();
+    };
+    let t = match parse_instant(time) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("filterscope history at: {e}");
+            return usage();
+        }
+    };
+    let view = match suite_at(frames, t) {
+        Ok(Some(view)) => view,
+        Ok(None) => {
+            eprintln!("no logged state at or before {}", fmt_instant(t));
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("history at failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "state as of {} ({} records, {} parse errors, {} frame{})",
+        fmt_instant(t),
+        view.records,
+        view.parse_errors,
+        view.frames_folded,
+        if view.frames_folded == 1 { "" } else { "s" },
+    );
+    let ctx = AnalysisContext::standard(None);
+    match args.flag("analysis") {
+        None => println!("{}", view.suite.render_all(&ctx)),
+        Some(key) => match view.suite.analyses().iter().find(|a| a.key() == key) {
+            Some(analysis) => println!("{}", analysis.render(&ctx)),
+            None => {
+                eprintln!("analysis `{key}` is not in the logged suite's selection");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    ExitCode::SUCCESS
+}
+
+/// `history LOG diff --from A --to B`: what changed between two instants
+/// — headline counters plus per-category and per-domain censored deltas.
+fn history_diff(args: &Args, frames: &[Frame]) -> ExitCode {
+    let (Some(from), Some(to)) = (args.flag("from"), args.flag("to")) else {
+        eprintln!("filterscope history diff: --from T and --to T are required");
+        return usage();
+    };
+    let (a, b) = match (parse_instant(from), parse_instant(to)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("filterscope history diff: {e}");
+            return usage();
+        }
+    };
+    let d = match diff(frames, a, b) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("history diff failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}  ->  {}", fmt_instant(d.from_ts), fmt_instant(d.to_ts));
+    println!(
+        "records:            {} -> {}  (+{})",
+        d.records.0,
+        d.records.1,
+        d.records.1.saturating_sub(d.records.0)
+    );
+    println!(
+        "censored (sampled): {} -> {}  (+{})",
+        d.censored.0,
+        d.censored.1,
+        d.censored.1.saturating_sub(d.censored.0)
+    );
+    let table = |title: &str, label: &str, rows: &[filterscope::snapstore::DiffRow]| {
+        if rows.is_empty() {
+            println!("{title}: no change");
+            return;
+        }
+        let mut t = Table::new(title, &[label, "From", "To", "Delta"]);
+        for row in rows {
+            t.row([
+                row.name.clone(),
+                row.from.to_string(),
+                row.to.to_string(),
+                format!("+{}", row.delta()),
+            ]);
+        }
+        print!("{}", t.render());
+    };
+    table(
+        "Censored categories that changed",
+        "Category",
+        &d.categories,
+    );
+    table("Censored domains that changed", "Domain", &d.domains);
+    ExitCode::SUCCESS
+}
+
+/// `history LOG series --analysis KEY [--step SECS] [--json]`: one
+/// analysis's headline metric per `step`-second window across the log.
+fn history_series(args: &Args, frames: &[Frame]) -> ExitCode {
+    let Some(key) = args.flag("analysis") else {
+        eprintln!("filterscope history series: --analysis KEY is required");
+        return usage();
+    };
+    let Some(step) = args.flag_u64("step", 86_400) else {
+        return usage();
+    };
+    let points = match series(frames, key, step) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("history series failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.has_flag("json") {
+        let mut arr = Vec::with_capacity(points.len());
+        for p in &points {
+            let mut obj = Json::object();
+            obj.push("t0", Json::UInt(p.t0));
+            obj.push("t1", Json::UInt(p.t1));
+            obj.push("value", Json::UInt(p.value));
+            obj.push("cumulative", Json::UInt(p.cumulative));
+            arr.push(obj);
+        }
+        println!("{}", Json::Arr(arr).pretty());
+        return ExitCode::SUCCESS;
+    }
+    let mut t = Table::new(
+        format!("{key} per {step}s window"),
+        &["Window start", metric_label(key), "Cumulative"],
+    );
+    for p in &points {
+        t.row([
+            fmt_instant(p.t0),
+            p.value.to_string(),
+            p.cumulative.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    ExitCode::SUCCESS
+}
+
+/// `history LOG ls`: the frame inventory plus an integrity verdict.
+fn history_ls(log: &str, frames: &[Frame], report: &RecoveryReport) -> ExitCode {
+    let mut t = Table::new(
+        format!("{log}: {} frames", frames.len()),
+        &[
+            "Seq",
+            "Kind",
+            "Timestamp",
+            "Key",
+            "Bytes",
+            "Records",
+            "Parse errors",
+        ],
+    );
+    for f in frames {
+        // Counters are shown only for frames whose value decodes as a
+        // suite payload; foreign keys still list structurally.
+        let (records, errors) = match decode_value(&f.value) {
+            Ok(v) => (v.records.to_string(), v.parse_errors.to_string()),
+            Err(_) => ("-".to_string(), "-".to_string()),
+        };
+        t.row([
+            f.seq.to_string(),
+            f.kind.label().to_string(),
+            fmt_instant(f.ts),
+            f.key.clone(),
+            f.value.len().to_string(),
+            records,
+            errors,
+        ]);
+    }
+    print!("{}", t.render());
+    if report.truncated_bytes > 0 {
+        println!(
+            "integrity: torn tail — the last {} bytes are not a complete \
+             frame (truncated on the daemon's next open)",
+            report.truncated_bytes
+        );
+    } else {
+        println!("integrity: every frame CRC-checked clean");
+    }
+    ExitCode::SUCCESS
+}
+
 /// List the analysis registry: one row per key, in paper order.
 fn cmd_analyses() -> ExitCode {
     let mut t = Table::new(
@@ -1220,6 +1487,7 @@ fn bool_flags(command: &str) -> &'static [&'static str] {
         "lint" => &["json"],
         "audit" => &["lint"],
         "compile" => &["farm"],
+        "history" => &["json"],
         _ => &[],
     }
 }
@@ -1255,9 +1523,12 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "queue",
             "policy-artifact",
             "censor",
+            "snap-log",
+            "snap-log-max-bytes",
             "analyses",
             "skip",
         ],
+        "history" => &["time", "from", "to", "analysis", "step"],
         "stream" => &[
             "connect",
             "connections",
@@ -1299,6 +1570,7 @@ fn main() -> ExitCode {
         "analyses" => cmd_analyses(),
         "serve" => cmd_serve(&args),
         "stream" => cmd_stream(&args),
+        "history" => cmd_history(&args),
         _ => usage(),
     }
 }

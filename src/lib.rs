@@ -34,6 +34,9 @@
 //! * [`stream`] — the live ingest daemon (`serve`) and replay client
 //!   (`stream`): framed TCP batches, per-connection analysis shards,
 //!   periodic snapshot folds, and a `/metrics` endpoint;
+//! * [`snapstore`] — the append-only snapshot log behind
+//!   `serve --snap-log` and the windowed time-travel queries behind
+//!   `filterscope history` (`at` / `diff` / `series` / `ls`);
 //! * [`tor`], [`bittorrent`], [`geoip`], [`categorizer`] — the external
 //!   datasets the paper used, rebuilt as substrates;
 //! * [`matchers`], [`stats`], [`core`] — engines and primitives.
@@ -49,6 +52,7 @@ pub use filterscope_logformat as logformat;
 pub use filterscope_match as matchers;
 pub use filterscope_policylint as policylint;
 pub use filterscope_proxy as proxy;
+pub use filterscope_snapstore as snapstore;
 pub use filterscope_stats as stats;
 pub use filterscope_stream as stream;
 pub use filterscope_synth as synth;

@@ -53,6 +53,11 @@ struct Daemon {
 /// Spawn `filterscope serve` on ephemeral ports and parse the two
 /// address lines it prints to stdout.
 fn spawn_serve(snapshot_dir: &Path) -> Daemon {
+    spawn_serve_with(snapshot_dir, &[])
+}
+
+/// [`spawn_serve`] with extra flags (`--snap-log`, …).
+fn spawn_serve_with(snapshot_dir: &Path, extra: &[&str]) -> Daemon {
     let mut child = bin()
         .args([
             "serve",
@@ -65,6 +70,7 @@ fn spawn_serve(snapshot_dir: &Path) -> Daemon {
             "--snapshots",
         ])
         .arg(snapshot_dir)
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
@@ -210,6 +216,100 @@ fn final_snapshot_is_byte_identical_to_batch_analyze() {
             "{status}"
         );
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The time-travel acceptance path: `serve --snap-log` over 1 and then 7
+/// connections, then `history at --time <end>` over the log alone — the
+/// reconstructed report must be byte-identical to batch `analyze` stdout
+/// both times. `ls` and `diff` run over the same log as smoke checks.
+#[test]
+fn history_at_matches_batch_analyze() {
+    let dir = temp_dir("history");
+    let logs = generated_logs(&dir);
+
+    let mut cmd = bin();
+    cmd.arg("analyze").args(&logs);
+    let batch = cmd.output().expect("run analyze");
+    assert!(batch.status.success());
+    let batch_stderr = String::from_utf8_lossy(&batch.stderr).into_owned();
+    let expected_records: u64 = batch_stderr
+        .split("ingested ")
+        .nth(1)
+        .and_then(|s| s.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no record count in: {batch_stderr}"));
+
+    // Any instant past the study period reconstructs the full fold.
+    let end = "2012-12-31 23:59:59";
+    for connections in [1usize, 7] {
+        let snaps = dir.join(format!("hsnaps-{connections}"));
+        let snap_log = dir.join(format!("snap-{connections}.log"));
+        let daemon = spawn_serve_with(&snaps, &["--snap-log", snap_log.to_str().unwrap()]);
+        let mut cmd = bin();
+        cmd.args(["stream", "--connect", &daemon.ingest])
+            .args(["--connections", &connections.to_string()])
+            .args(["--batch", "200"])
+            .args(&logs);
+        let out = cmd.output().expect("run stream");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        await_records(&daemon.metrics, expected_records);
+        let page = http_get(&daemon.metrics, "/metrics");
+        assert!(
+            metric(&page, "filterscope_snaplog_frames_total") >= Some(1),
+            "snaplog gauges must be live:\n{page}"
+        );
+        request_shutdown(&daemon, connections == 7);
+        join(daemon);
+
+        let status = std::fs::read_to_string(snaps.join("status.json")).expect("status");
+        assert!(status.contains("\"log_seq\""), "{status}");
+
+        let replayed = bin()
+            .arg("history")
+            .arg(&snap_log)
+            .args(["at", "--time", end])
+            .output()
+            .expect("run history at");
+        assert!(
+            replayed.status.success(),
+            "{}",
+            String::from_utf8_lossy(&replayed.stderr)
+        );
+        assert_eq!(
+            replayed.stdout, batch.stdout,
+            "history replay diverges from batch analyze at {connections} connection(s)"
+        );
+    }
+
+    let snap_log = dir.join("snap-7.log");
+    let ls = bin()
+        .arg("history")
+        .arg(&snap_log)
+        .arg("ls")
+        .output()
+        .expect("run history ls");
+    assert!(ls.status.success());
+    let inventory = String::from_utf8_lossy(&ls.stdout);
+    assert!(inventory.contains("CRC-checked clean"), "{inventory}");
+
+    let diffed = bin()
+        .arg("history")
+        .arg(&snap_log)
+        .args(["diff", "--from", "2011-07-22", "--to", end])
+        .output()
+        .expect("run history diff");
+    assert!(
+        diffed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&diffed.stderr)
+    );
+    let diff_text = String::from_utf8_lossy(&diffed.stdout);
+    assert!(diff_text.contains("records:"), "{diff_text}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
