@@ -1,0 +1,101 @@
+//! Passthrough-overhead benchmarks for the `interleave` primitives.
+//!
+//! The serve daemon's concurrency core runs on [`interleave`]'s
+//! checkable wrappers (`IMutex`, `IAtomicU64`, `sync_channel`) so the
+//! interleaving explorer can drive the *production* code. The wrappers
+//! promise to be zero-cost outside a model execution: construction picks
+//! the std representation and every operation is one enum branch away
+//! from the `std::sync` call. This bench measures that promise — each
+//! primitive's hot loop next to its raw `std::sync` twin — and
+//! `bench_check` enforces parity (interleave median within 1.5× of std)
+//! from the recorded BENCH.json.
+
+use filterscope_bench::harness::{black_box, Harness, Throughput};
+use interleave::{sync_channel, IAtomicU64, IMutex, Ordering};
+use std::sync::atomic::AtomicU64;
+use std::sync::{mpsc, Mutex};
+
+/// Operations per iteration; every benchmark in the group reports
+/// elements/s over the same count so rows are directly comparable.
+const OPS: u64 = 1024;
+
+fn bench_interleave(c: &mut Harness) {
+    let mut g = c.benchmark_group("interleave_passthrough");
+    g.throughput(Throughput::Elements(OPS));
+
+    // --- uncontended mutex lock/unlock -----------------------------------
+    let imutex = IMutex::new(0u64);
+    g.bench_function("imutex_lock_unlock", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                *imutex.lock() += 1;
+            }
+            black_box(*imutex.lock())
+        })
+    });
+    let std_mutex = Mutex::new(0u64);
+    g.bench_function("std_mutex_lock_unlock", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                *std_mutex.lock().unwrap() += 1;
+            }
+            black_box(*std_mutex.lock().unwrap())
+        })
+    });
+
+    // --- atomic fetch_add -------------------------------------------------
+    let iatomic = IAtomicU64::new(0);
+    g.bench_function("iatomic_fetch_add", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                iatomic.fetch_add(1, Ordering::SeqCst);
+            }
+            black_box(iatomic.load(Ordering::SeqCst))
+        })
+    });
+    let std_atomic = AtomicU64::new(0);
+    g.bench_function("std_atomic_fetch_add", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                std_atomic.fetch_add(1, Ordering::SeqCst);
+            }
+            black_box(std_atomic.load(Ordering::SeqCst))
+        })
+    });
+
+    // --- bounded channel send/recv (single thread, batch at a time) ------
+    g.bench_function("ichannel_send_recv", |b| {
+        b.iter(|| {
+            let (tx, rx) = sync_channel::<u64>(OPS as usize);
+            for i in 0..OPS {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut sum = 0u64;
+            while let Some(v) = rx.recv() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+    g.bench_function("std_channel_send_recv", |b| {
+        b.iter(|| {
+            let (tx, rx) = mpsc::sync_channel::<u64>(OPS as usize);
+            for i in 0..OPS {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut sum = 0u64;
+            for v in rx.iter() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut harness = Harness::default().sample_size(20);
+    bench_interleave(&mut harness);
+}

@@ -1,0 +1,173 @@
+//! A bounded SPSC/MPSC channel the interleaving explorer can schedule
+//! around; passthrough backend is `std::sync::mpsc::sync_channel`.
+//!
+//! The API is the subset the streaming server uses, with `Option`/
+//! `Result` shapes instead of error types: `recv` returning `None`
+//! means every sender hung up; `send` returning `Err(v)` gives the
+//! value back when the receiver is gone. Senders are not cloneable —
+//! the server runs one reader thread per connection queue.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::ctx;
+use crate::exec::{Execution, ObjId, Op, OpKind, OpOutcome};
+
+struct ModelChan<T> {
+    exec: Arc<Execution>,
+    obj: ObjId,
+    // Only the task granted a Send/Recv touches the queue, so this lock
+    // is never contended; it exists to make the type Sync.
+    queue: std::sync::Mutex<VecDeque<T>>,
+}
+
+impl<T> ModelChan<T> {
+    fn queue(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match self.queue.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+enum SenderRepr<T> {
+    Std(std::sync::mpsc::SyncSender<T>),
+    Model(Arc<ModelChan<T>>),
+}
+
+enum ReceiverRepr<T> {
+    Std(std::sync::mpsc::Receiver<T>),
+    Model(Arc<ModelChan<T>>),
+}
+
+/// Sending half of [`sync_channel`].
+pub struct ISender<T> {
+    repr: SenderRepr<T>,
+}
+
+/// Receiving half of [`sync_channel`].
+pub struct IReceiver<T> {
+    repr: ReceiverRepr<T>,
+}
+
+/// Create a bounded channel with room for `bound` in-flight values
+/// (`bound >= 1`; rendezvous channels are not modeled).
+pub fn sync_channel<T>(bound: usize) -> (ISender<T>, IReceiver<T>) {
+    match ctx::current() {
+        None => {
+            let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+            (
+                ISender {
+                    repr: SenderRepr::Std(tx),
+                },
+                IReceiver {
+                    repr: ReceiverRepr::Std(rx),
+                },
+            )
+        }
+        Some(c) => {
+            let chan = Arc::new(ModelChan {
+                obj: c.exec.register_channel(bound),
+                exec: c.exec,
+                queue: std::sync::Mutex::new(VecDeque::new()),
+            });
+            (
+                ISender {
+                    repr: SenderRepr::Model(Arc::clone(&chan)),
+                },
+                IReceiver {
+                    repr: ReceiverRepr::Model(chan),
+                },
+            )
+        }
+    }
+}
+
+impl<T> ISender<T> {
+    /// Send `value`, blocking while the queue is full. `Err(value)`
+    /// means the receiver hung up.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        match &self.repr {
+            SenderRepr::Std(tx) => tx.send(value).map_err(|e| e.0),
+            SenderRepr::Model(chan) => {
+                let me = ctx::current()
+                    .expect("model sender used outside execution")
+                    .task;
+                match chan.exec.schedule(
+                    me,
+                    Op {
+                        kind: OpKind::Send,
+                        obj: chan.obj,
+                    },
+                ) {
+                    OpOutcome::Proceed => {
+                        chan.queue().push_back(value);
+                        Ok(())
+                    }
+                    OpOutcome::Disconnected => Err(value),
+                }
+            }
+        }
+    }
+}
+
+impl<T> IReceiver<T> {
+    /// Receive the next value, blocking while the queue is empty.
+    /// `None` means every sender hung up and the queue drained.
+    pub fn recv(&self) -> Option<T> {
+        match &self.repr {
+            ReceiverRepr::Std(rx) => rx.recv().ok(),
+            ReceiverRepr::Model(chan) => {
+                let me = ctx::current()
+                    .expect("model receiver used outside execution")
+                    .task;
+                match chan.exec.schedule(
+                    me,
+                    Op {
+                        kind: OpKind::Recv,
+                        obj: chan.obj,
+                    },
+                ) {
+                    OpOutcome::Proceed => Some(
+                        chan.queue()
+                            .pop_front()
+                            .expect("granted recv on empty queue"),
+                    ),
+                    OpOutcome::Disconnected => None,
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for ISender<T> {
+    fn drop(&mut self) {
+        if let SenderRepr::Model(chan) = &self.repr {
+            if let Some(c) = ctx::current() {
+                chan.exec.schedule(
+                    c.task,
+                    Op {
+                        kind: OpKind::CloseTx,
+                        obj: chan.obj,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl<T> Drop for IReceiver<T> {
+    fn drop(&mut self) {
+        if let ReceiverRepr::Model(chan) = &self.repr {
+            if let Some(c) = ctx::current() {
+                chan.exec.schedule(
+                    c.task,
+                    Op {
+                        kind: OpKind::CloseRx,
+                        obj: chan.obj,
+                    },
+                );
+            }
+        }
+    }
+}

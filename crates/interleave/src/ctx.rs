@@ -1,0 +1,56 @@
+//! Thread-local model context.
+//!
+//! Backend selection is *construction-time*: a primitive created while a
+//! model execution is active on the constructing thread (the explorer's
+//! closure, or a thread it spawned through [`crate::thread::scope`])
+//! gets the model representation; otherwise it is a zero-cost wrapper
+//! around the `std::sync` equivalent. The thread-local is consulted only
+//! at construction — per-operation dispatch is a plain enum branch.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::exec::{Execution, TaskId};
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The executing model task on this OS thread, if any.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub exec: Arc<Execution>,
+    pub task: TaskId,
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Is a model execution active on this thread? (Debug-build guard: a
+/// std-backed primitive used inside a model would be an untracked
+/// operation the explorer cannot see.)
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Scoped setter for the thread-local context; restores the previous
+/// value on drop (so nested explorations on one thread stay sane).
+pub(crate) struct CtxGuard {
+    prev: Option<Ctx>,
+}
+
+impl CtxGuard {
+    pub(crate) fn set(exec: Arc<Execution>, task: TaskId) -> CtxGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(Ctx { exec, task }));
+        CtxGuard { prev }
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}

@@ -1,0 +1,688 @@
+//! The deterministic cooperative execution engine behind the model
+//! backend.
+//!
+//! Every model thread is a real OS thread, but at most one of them runs
+//! user code at any instant: a baton (the `current` task id) is handed
+//! from thread to thread at *schedule points* — one per visible operation
+//! (atomic access, mutex lock/unlock, channel send/recv, join, yield,
+//! thread finish). The running thread announces its next operation,
+//! decides who performs the next operation (following the explorer's
+//! script for the replayed prefix, then a deterministic default), and
+//! either proceeds or parks until the baton comes back. Because decisions
+//! are a pure function of the schedule script and the (deterministic)
+//! model code, any schedule can be replayed exactly from its decision
+//! list — the "seed" printed on failure.
+//!
+//! The engine does not model weak memory: all operations are explored at
+//! sequential-consistency granularity (every interleaving of whole
+//! operations, nothing finer). That matches how the production code uses
+//! `SeqCst`/lock-protected state, and is what makes the passthrough
+//! backend a faithful twin.
+
+use std::sync::{Condvar, Mutex};
+
+/// Task identifier: index into the execution's thread table. Task 0 is
+/// the closure passed to the explorer.
+pub(crate) type TaskId = usize;
+
+/// Object identifier: index into the execution's object table (atomics,
+/// mutexes, and channels share one id space).
+pub(crate) type ObjId = usize;
+
+/// Sentinel value for "no task holds the baton" (execution aborted or
+/// complete).
+const NOBODY: usize = usize::MAX;
+
+/// Panic payload used to unwind model threads when the execution aborts
+/// (assertion failure elsewhere, deadlock, or operation limit). Never
+/// surfaces to users: the explorer converts the recorded abort into a
+/// [`crate::Failure`].
+pub(crate) struct ExecAbort;
+
+/// Install (once, process-wide) a panic hook that stays silent for
+/// [`ExecAbort`] sentinels and delegates everything else to the previous
+/// hook. Without this, every internal abort unwind would print a
+/// `Box<dyn Any>` backtrace to stderr even though the panic is caught.
+pub(crate) fn install_quiet_abort_hook() {
+    static HOOK: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ExecAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The kind of one visible operation, for enabledness and commutativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// A freshly spawned task's first step.
+    Start,
+    /// A task's last step (after its closure returned).
+    Finish,
+    /// Explicit yield: a pure choice point.
+    Yield,
+    /// Atomic load (`obj`).
+    Load,
+    /// Atomic store (`obj`).
+    Store,
+    /// Atomic read-modify-write (`obj`).
+    Rmw,
+    /// Mutex acquire (`obj`); enabled only while unheld.
+    Lock,
+    /// Mutex release (`obj`).
+    Unlock,
+    /// Channel send (`obj`); enabled while the queue has room or the
+    /// receiver is gone.
+    Send,
+    /// Channel receive (`obj`); enabled while the queue is non-empty or
+    /// every sender is gone.
+    Recv,
+    /// A sender handle dropped (`obj`).
+    CloseTx,
+    /// The receiver handle dropped (`obj`).
+    CloseRx,
+    /// Join on task `obj`; enabled once that task finished.
+    Join,
+}
+
+/// One announced operation. For [`OpKind::Join`], `obj` is the target
+/// task id; for `Start`/`Finish`/`Yield` it is unused (0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Op {
+    pub kind: OpKind,
+    pub obj: ObjId,
+}
+
+impl Op {
+    pub(crate) fn control(kind: OpKind) -> Op {
+        Op { kind, obj: 0 }
+    }
+
+    /// Is this a data operation (touches a shared object)?
+    fn is_data(self) -> bool {
+        !matches!(
+            self.kind,
+            OpKind::Start | OpKind::Finish | OpKind::Yield | OpKind::Join
+        )
+    }
+}
+
+/// Do two pending operations *conflict* (their relative order can matter)?
+/// Control operations (start/finish/yield/join) and operations on distinct
+/// objects commute; on the same object only load/load commutes. This is
+/// the DPOR-lite pruning relation: an alternative first step that commutes
+/// with the step actually taken only reorders adjacent commuting
+/// operations, so the pruned schedule reaches the same state.
+pub(crate) fn conflicts(a: Op, b: Op) -> bool {
+    if !a.is_data() || !b.is_data() {
+        return false;
+    }
+    if a.obj != b.obj {
+        return false;
+    }
+    !(a.kind == OpKind::Load && b.kind == OpKind::Load)
+}
+
+/// What performing an announced operation told the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpOutcome {
+    /// The operation took effect.
+    Proceed,
+    /// A channel endpoint found the other side disconnected.
+    Disconnected,
+}
+
+/// Why a run ended abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum AbortKind {
+    /// User code panicked (assertion failure).
+    Panic,
+    /// No enabled task while at least one was still runnable.
+    Deadlock,
+    /// The per-schedule operation budget was exhausted (livelock guard).
+    OpLimit,
+    /// The replay script named a task that was not choosable.
+    BadScript,
+    /// Every enabled task is in the sleep set: this schedule only
+    /// reorders commuting operations of an already-explored one. Not a
+    /// failure — the explorer counts it and backtracks.
+    Redundant,
+}
+
+/// One scripted decision: the task to grant, plus the sibling branches
+/// already explored at this node (their tasks sleep in this subtree
+/// until a conflicting operation wakes them — sleep sets).
+#[derive(Debug, Clone)]
+pub(crate) struct ScriptEntry {
+    pub chosen: TaskId,
+    pub sleeping: Vec<TaskId>,
+}
+
+/// An abnormal end, with its human-readable reason.
+#[derive(Debug, Clone)]
+pub(crate) struct Abort {
+    pub kind: AbortKind,
+    pub message: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Finished,
+}
+
+/// Model-side state of one registered object.
+enum ObjState {
+    Atomic,
+    Mutex { holder: Option<TaskId> },
+    Chan(ChanState),
+}
+
+struct ChanState {
+    len: usize,
+    bound: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Everything a finished run reports back to the explorer.
+#[derive(Debug)]
+pub(crate) struct RunResult {
+    /// Filtered candidate list of every decision, in order.
+    pub trace: Vec<Vec<TaskId>>,
+    /// The task chosen at every decision (the schedule seed).
+    pub chosen: Vec<TaskId>,
+    /// `Some` if the run aborted.
+    pub abort: Option<Abort>,
+    /// Alternatives dropped by the commutativity pruning rule.
+    pub pruned: u64,
+    /// Alternatives dropped by the preemption bound.
+    pub clipped: u64,
+}
+
+struct ExecState {
+    status: Vec<Status>,
+    pending: Vec<Option<Op>>,
+    current: usize,
+    objects: Vec<ObjState>,
+    script: Vec<ScriptEntry>,
+    step: usize,
+    /// Sleep set: tasks (with the pending op they slept on) whose next
+    /// operation was already explored in a sibling branch; woken when a
+    /// conflicting operation executes.
+    sleep: Vec<(TaskId, Op)>,
+    trace: Vec<Vec<TaskId>>,
+    chosen: Vec<TaskId>,
+    preemptions: usize,
+    bound: usize,
+    prune: bool,
+    pruned: u64,
+    clipped: u64,
+    ops: u64,
+    max_ops: u64,
+    abort: Option<Abort>,
+}
+
+/// One model execution: shared scheduler state plus the condvar the baton
+/// dance runs on.
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+impl Execution {
+    pub(crate) fn new(
+        script: Vec<ScriptEntry>,
+        bound: usize,
+        prune: bool,
+        max_ops: u64,
+    ) -> Execution {
+        Execution {
+            state: Mutex::new(ExecState {
+                status: Vec::new(),
+                pending: Vec::new(),
+                current: NOBODY,
+                objects: Vec::new(),
+                script,
+                step: 0,
+                sleep: Vec::new(),
+                trace: Vec::new(),
+                chosen: Vec::new(),
+                preemptions: 0,
+                bound,
+                prune,
+                pruned: 0,
+                clipped: 0,
+                ops: 0,
+                max_ops,
+                abort: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        // The scheduler mutex is only poisoned if the engine itself
+        // panicked while holding it, which is a bug worth propagating —
+        // but recovering keeps the abort path (threads unwinding with
+        // `ExecAbort`) from cascading into double panics.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Register the root task (always id 0) and hand it the baton.
+    pub(crate) fn register_root(&self) {
+        let mut s = self.lock();
+        debug_assert!(s.status.is_empty());
+        s.status.push(Status::Runnable);
+        s.pending.push(None);
+        s.current = 0;
+    }
+
+    /// Register a freshly spawned task; choosable from the spawner's next
+    /// schedule point via its implicit `Start` operation.
+    pub(crate) fn register_task(&self) -> TaskId {
+        let mut s = self.lock();
+        let id = s.status.len();
+        s.status.push(Status::Runnable);
+        s.pending.push(Some(Op::control(OpKind::Start)));
+        id
+    }
+
+    pub(crate) fn register_atomic(&self) -> ObjId {
+        self.register_object(ObjState::Atomic)
+    }
+
+    pub(crate) fn register_mutex(&self) -> ObjId {
+        self.register_object(ObjState::Mutex { holder: None })
+    }
+
+    pub(crate) fn register_channel(&self, bound: usize) -> ObjId {
+        assert!(bound > 0, "interleave channels need a bound of at least 1");
+        self.register_object(ObjState::Chan(ChanState {
+            len: 0,
+            bound,
+            senders: 1,
+            receiver_alive: true,
+        }))
+    }
+
+    fn register_object(&self, obj: ObjState) -> ObjId {
+        let mut s = self.lock();
+        s.objects.push(obj);
+        s.objects.len() - 1
+    }
+
+    /// Is `task` finished? (Used to skip redundant scope-exit joins.)
+    pub(crate) fn is_finished(&self, task: TaskId) -> bool {
+        self.lock().status[task] == Status::Finished
+    }
+
+    /// A freshly spawned task parks here until first granted the baton.
+    pub(crate) fn begin(&self, me: TaskId) {
+        let mut s = self.lock();
+        loop {
+            if s.abort.is_some() {
+                drop(s);
+                std::panic::panic_any(ExecAbort);
+            }
+            if s.current == me {
+                s.pending[me] = None;
+                return;
+            }
+            s = self.wait(s);
+        }
+    }
+
+    /// The schedule point: announce `op`, decide who performs the next
+    /// operation, park until it is this task's turn, then apply the
+    /// operation's model effects and return.
+    pub(crate) fn schedule(&self, me: TaskId, op: Op) -> OpOutcome {
+        let mut s = self.lock();
+        if s.abort.is_some() {
+            return self.bail(s);
+        }
+        s.ops += 1;
+        if s.ops > s.max_ops {
+            let limit = s.max_ops;
+            return self.abort_locked(
+                s,
+                AbortKind::OpLimit,
+                format!(
+                    "operation budget of {limit} exhausted — \
+                     livelock, or a model too large for exhaustive exploration"
+                ),
+            );
+        }
+        s.pending[me] = Some(op);
+        match decide(&mut s, me) {
+            Ok(next) => {
+                s.current = next;
+                self.cv.notify_all();
+            }
+            Err((kind, message)) => return self.abort_locked(s, kind, message),
+        }
+        loop {
+            if s.abort.is_some() {
+                return self.bail(s);
+            }
+            if s.current == me {
+                let outcome = apply(&mut s, me, op);
+                // Wake sleepers whose slept-on operation conflicts with
+                // the one just executed: from here on, running them first
+                // is no longer a mere reorder of commuting operations.
+                s.sleep.retain(|&(_, slept)| !conflicts(slept, op));
+                s.pending[me] = None;
+                return outcome;
+            }
+            s = self.wait(s);
+        }
+    }
+
+    /// A task's closure returned: announce `Finish` (its own choice
+    /// point), mark the task finished, then hand the baton onward.
+    pub(crate) fn finish(&self, me: TaskId) {
+        self.schedule(me, Op::control(OpKind::Finish));
+        let mut s = self.lock();
+        if s.abort.is_some() {
+            // Everyone is unwinding; this thread just exits.
+            return;
+        }
+        match decide(&mut s, me) {
+            Ok(next) => {
+                s.current = next;
+                self.cv.notify_all();
+            }
+            Err((kind, message)) => {
+                // The finishing thread is exiting anyway: record the abort
+                // and wake everyone, but do not unwind.
+                s.abort = Some(Abort { kind, message });
+                s.current = NOBODY;
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Record a panic from user code (the real assertion failure). The
+    /// first recorded abort wins; `ExecAbort` sentinels are ignored.
+    pub(crate) fn record_payload(&self, payload: &(dyn std::any::Any + Send)) {
+        if payload.downcast_ref::<ExecAbort>().is_some() {
+            return;
+        }
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        let mut s = self.lock();
+        if s.abort.is_none() {
+            s.abort = Some(Abort {
+                kind: AbortKind::Panic,
+                message,
+            });
+        }
+        s.current = NOBODY;
+        self.cv.notify_all();
+    }
+
+    /// Drain the run's results (call after every thread has exited).
+    pub(crate) fn take_results(&self) -> RunResult {
+        let mut s = self.lock();
+        RunResult {
+            trace: std::mem::take(&mut s.trace),
+            chosen: std::mem::take(&mut s.chosen),
+            abort: s.abort.clone(),
+            pruned: s.pruned,
+            clipped: s.clipped,
+        }
+    }
+
+    fn wait<'a>(
+        &self,
+        guard: std::sync::MutexGuard<'a, ExecState>,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        match self.cv.wait(guard) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Record an abort discovered at a schedule point, wake everyone, and
+    /// unwind (unless already unwinding from another panic).
+    fn abort_locked(
+        &self,
+        mut s: std::sync::MutexGuard<'_, ExecState>,
+        kind: AbortKind,
+        message: String,
+    ) -> OpOutcome {
+        if s.abort.is_none() {
+            s.abort = Some(Abort { kind, message });
+        }
+        s.current = NOBODY;
+        self.cv.notify_all();
+        self.bail(s)
+    }
+
+    /// Leave a schedule point on an aborted execution: unwind in normal
+    /// flow, no-op when already unwinding (so guard drops during panic
+    /// unwinding never double-panic).
+    fn bail(&self, s: std::sync::MutexGuard<'_, ExecState>) -> OpOutcome {
+        drop(s);
+        if std::thread::panicking() {
+            OpOutcome::Proceed
+        } else {
+            std::panic::panic_any(ExecAbort)
+        }
+    }
+}
+
+/// Is `op` performable right now?
+fn enabled(s: &ExecState, op: Op) -> bool {
+    match op.kind {
+        OpKind::Start
+        | OpKind::Finish
+        | OpKind::Yield
+        | OpKind::Load
+        | OpKind::Store
+        | OpKind::Rmw
+        | OpKind::Unlock
+        | OpKind::CloseTx
+        | OpKind::CloseRx => true,
+        OpKind::Lock => match &s.objects[op.obj] {
+            ObjState::Mutex { holder } => holder.is_none(),
+            _ => unreachable!("lock on non-mutex object"),
+        },
+        OpKind::Send => match &s.objects[op.obj] {
+            ObjState::Chan(c) => !c.receiver_alive || c.len < c.bound,
+            _ => unreachable!("send on non-channel object"),
+        },
+        OpKind::Recv => match &s.objects[op.obj] {
+            ObjState::Chan(c) => c.len > 0 || c.senders == 0,
+            _ => unreachable!("recv on non-channel object"),
+        },
+        OpKind::Join => s.status[op.obj] == Status::Finished,
+    }
+}
+
+/// Apply the model-side effects of a granted operation.
+fn apply(s: &mut ExecState, me: TaskId, op: Op) -> OpOutcome {
+    match op.kind {
+        OpKind::Lock => {
+            let ObjState::Mutex { holder } = &mut s.objects[op.obj] else {
+                unreachable!()
+            };
+            debug_assert!(holder.is_none());
+            *holder = Some(me);
+        }
+        OpKind::Unlock => {
+            let ObjState::Mutex { holder } = &mut s.objects[op.obj] else {
+                unreachable!()
+            };
+            debug_assert_eq!(*holder, Some(me));
+            *holder = None;
+        }
+        OpKind::Send => {
+            let ObjState::Chan(c) = &mut s.objects[op.obj] else {
+                unreachable!()
+            };
+            if !c.receiver_alive {
+                return OpOutcome::Disconnected;
+            }
+            debug_assert!(c.len < c.bound);
+            c.len += 1;
+        }
+        OpKind::Recv => {
+            let ObjState::Chan(c) = &mut s.objects[op.obj] else {
+                unreachable!()
+            };
+            if c.len == 0 {
+                debug_assert_eq!(c.senders, 0);
+                return OpOutcome::Disconnected;
+            }
+            c.len -= 1;
+        }
+        OpKind::CloseTx => {
+            let ObjState::Chan(c) = &mut s.objects[op.obj] else {
+                unreachable!()
+            };
+            c.senders = c.senders.saturating_sub(1);
+        }
+        OpKind::CloseRx => {
+            let ObjState::Chan(c) = &mut s.objects[op.obj] else {
+                unreachable!()
+            };
+            c.receiver_alive = false;
+        }
+        OpKind::Finish => {
+            s.status[me] = Status::Finished;
+        }
+        OpKind::Start
+        | OpKind::Yield
+        | OpKind::Load
+        | OpKind::Store
+        | OpKind::Rmw
+        | OpKind::Join => {}
+    }
+    OpOutcome::Proceed
+}
+
+/// One scheduling decision: compute the choosable set, put scripted
+/// sibling branches to sleep, filter the candidate list (sleep set, then
+/// preemption bound), record the decision, and return the chosen task —
+/// the script entry while replaying a prefix, `candidates[0]` beyond it.
+fn decide(s: &mut ExecState, from: TaskId) -> Result<TaskId, (AbortKind, String)> {
+    // Sibling branches already explored at this node sleep in this
+    // subtree: re-running their operation before anything conflicting
+    // executes would only reorder commuting operations.
+    if s.prune && s.step < s.script.len() {
+        let sleeping = s.script[s.step].sleeping.clone();
+        for t in sleeping {
+            if s.sleep.iter().all(|&(st, _)| st != t) {
+                if let Some(op) = s.pending[t] {
+                    s.sleep.push((t, op));
+                }
+            }
+        }
+    }
+    let choosable: Vec<TaskId> = (0..s.status.len())
+        .filter(|&t| {
+            s.status[t] == Status::Runnable
+                && s.pending[t].map(|op| enabled(s, op)).unwrap_or(false)
+        })
+        .collect();
+    if choosable.is_empty() {
+        let runnable = s.status.contains(&Status::Runnable);
+        if !runnable {
+            // Nothing left to schedule (only reachable from a finishing
+            // task's hand-off); mark the execution idle.
+            return Ok(NOBODY);
+        }
+        return Err((AbortKind::Deadlock, deadlock_message(s)));
+    }
+    let asleep = |s: &ExecState, t: TaskId| s.sleep.iter().any(|&(st, _)| st == t);
+    let awake: Vec<TaskId> = choosable
+        .iter()
+        .copied()
+        .filter(|&t| !asleep(s, t))
+        .collect();
+    if awake.is_empty() {
+        return Err((
+            AbortKind::Redundant,
+            "every enabled task is asleep (schedule is a reorder of an \
+             explored one)"
+                .to_string(),
+        ));
+    }
+    let from_enabled = choosable.contains(&from);
+    let default = if awake.contains(&from) {
+        from
+    } else {
+        awake[0]
+    };
+    let mut candidates = vec![default];
+    for &t in &choosable {
+        if t == default {
+            continue;
+        }
+        if asleep(s, t) {
+            s.pruned += 1;
+            continue;
+        }
+        // Switching away from a still-enabled running task costs one
+        // preemption; a blocked or finished task switches for free.
+        if from_enabled && s.preemptions >= s.bound {
+            s.clipped += 1;
+            continue;
+        }
+        candidates.push(t);
+    }
+    let chosen = if s.step < s.script.len() {
+        let want = s.script[s.step].chosen;
+        if !choosable.contains(&want) || asleep(s, want) {
+            let step = s.step;
+            return Err((
+                AbortKind::BadScript,
+                format!(
+                    "replay step {step}: task {want} is not choosable (model \
+                     changed or seed is stale)"
+                ),
+            ));
+        }
+        want
+    } else {
+        candidates[0]
+    };
+    if from_enabled && chosen != from {
+        s.preemptions += 1;
+    }
+    s.step += 1;
+    s.trace.push(candidates);
+    s.chosen.push(chosen);
+    Ok(chosen)
+}
+
+fn deadlock_message(s: &ExecState) -> String {
+    use std::fmt::Write as _;
+    let mut msg = String::from("deadlock: no enabled task;");
+    for t in 0..s.status.len() {
+        if s.status[t] != Status::Runnable {
+            continue;
+        }
+        match s.pending[t] {
+            Some(op) => {
+                let _ = write!(msg, " task {t} blocked on {:?}(obj {});", op.kind, op.obj);
+            }
+            None => {
+                let _ = write!(msg, " task {t} running;");
+            }
+        }
+    }
+    msg
+}

@@ -1,0 +1,303 @@
+//! The schedule explorer: exhaustive DFS over interleavings up to a
+//! preemption bound, with commutativity pruning and seed replay.
+//!
+//! Each run executes the user closure under a script — the task to grant
+//! at each of the first `script.len()` decisions. The engine reports the
+//! *candidate list* of every decision it made (already filtered by the
+//! preemption bound and the pruning rule); the explorer depth-first
+//! enumerates those lists, so the set of schedules visited is exactly
+//! the bounded, pruned schedule tree. A failing run's decision sequence
+//! is printed as a `-`-separated seed that [`Explorer::replay`] turns
+//! back into the identical execution.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::ctx::CtxGuard;
+use crate::exec::{AbortKind, Execution, RunResult, ScriptEntry, TaskId};
+
+/// Builder/runner for bounded exhaustive schedule exploration.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    bound: usize,
+    prune: bool,
+    max_schedules: u64,
+    max_ops: u64,
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer::new()
+    }
+}
+
+/// Statistics from a completed (failure-free) exploration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Report {
+    /// Schedules executed to completion.
+    pub schedules: u64,
+    /// Runs abandoned because every enabled task was asleep — the
+    /// schedule was a commuting reorder of one already explored.
+    pub redundant: u64,
+    /// Branch alternatives suppressed by the sleep sets.
+    pub pruned: u64,
+    /// Alternatives dropped by the preemption bound.
+    pub bound_clipped: u64,
+    /// Longest schedule (decision count) seen.
+    pub max_depth: usize,
+}
+
+impl Report {
+    /// Fraction of considered branch points dropped by the sleep-set
+    /// pruning (not by the bound):
+    /// `pruned / (pruned + explored alternatives)`.
+    pub fn prune_rate(&self) -> f64 {
+        // Every run beyond the first corresponds to exactly one explored
+        // alternative branch (including the runs cut short as redundant).
+        let explored_alts = (self.schedules + self.redundant).saturating_sub(1);
+        let denom = self.pruned + explored_alts;
+        if denom == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / denom as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} schedules (+{} redundant, max depth {}, {} branches pruned [{:.1}%], \
+             {} clipped by bound)",
+            self.schedules,
+            self.redundant,
+            self.max_depth,
+            self.pruned,
+            100.0 * self.prune_rate(),
+            self.bound_clipped,
+        )
+    }
+}
+
+/// Why an exploration stopped with a counterexample (or gave up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// An assertion (or any panic) fired in the model code.
+    Panic,
+    /// A schedule reached a state with no enabled task.
+    Deadlock,
+    /// One schedule exceeded the per-run operation budget.
+    OpLimit,
+    /// The exploration exceeded its schedule budget without finishing.
+    ScheduleLimit,
+    /// A replay seed no longer matches the model.
+    BadScript,
+}
+
+/// A counterexample schedule, replayable from `seed`.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// `-`-separated decision list reproducing this schedule exactly.
+    pub seed: String,
+    pub kind: FailureKind,
+    /// Panic message, deadlock description, or budget note.
+    pub message: String,
+    /// Schedules executed up to and including the failing one.
+    pub schedules: u64,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} after {} schedule(s) [seed {}]: {}",
+            self.kind, self.schedules, self.seed, self.message
+        )
+    }
+}
+
+fn seed_string(chosen: &[TaskId]) -> String {
+    chosen
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+fn parse_seed(seed: &str) -> Vec<ScriptEntry> {
+    if seed.is_empty() {
+        return Vec::new();
+    }
+    seed.split('-')
+        .map(|s| ScriptEntry {
+            chosen: s.parse().expect("seed must be task ids separated by '-'"),
+            sleeping: Vec::new(),
+        })
+        .collect()
+}
+
+impl Explorer {
+    /// Defaults: 2 preemptions, pruning on, generous run/schedule budgets.
+    pub fn new() -> Explorer {
+        Explorer {
+            bound: 2,
+            prune: true,
+            max_schedules: 1_000_000,
+            max_ops: 200_000,
+        }
+    }
+
+    /// Set the preemption bound (context switches away from a task that
+    /// could have kept running). Free switches at blocking operations are
+    /// never counted.
+    pub fn preemptions(mut self, bound: usize) -> Explorer {
+        self.bound = bound;
+        self
+    }
+
+    /// Toggle DPOR-lite sleep-set pruning (on by default). After a branch
+    /// at a decision node is fully explored, its task *sleeps* in the
+    /// sibling subtrees until an operation conflicting with its pending
+    /// one executes; runs where every enabled task is asleep are
+    /// abandoned as commuting reorders of explored schedules. Sound for
+    /// unbounded exploration; combined with a preemption bound it is a
+    /// heuristic, so deep runs should also be tried unpruned (see the
+    /// `#[ignore]`d tests in `crates/stream`).
+    pub fn pruning(mut self, on: bool) -> Explorer {
+        self.prune = on;
+        self
+    }
+
+    /// Cap the number of schedules executed before giving up.
+    pub fn max_schedules(mut self, n: u64) -> Explorer {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Cap the operations of a single schedule (livelock guard).
+    pub fn max_ops(mut self, n: u64) -> Explorer {
+        self.max_ops = n;
+        self
+    }
+
+    /// Explore every bounded schedule of `f`; panic with the replay seed
+    /// on the first counterexample.
+    pub fn explore<F: Fn()>(self, f: F) -> Report {
+        match self.try_explore(f) {
+            Ok(report) => report,
+            Err(failure) => panic!(
+                "interleave: {failure}\n  replay with Explorer::replay(\"{}\", ..)",
+                failure.seed
+            ),
+        }
+    }
+
+    /// Explore every bounded schedule of `f`, returning the first
+    /// counterexample instead of panicking.
+    pub fn try_explore<F: Fn()>(&self, f: F) -> Result<Report, Failure> {
+        crate::exec::install_quiet_abort_hook();
+        let mut stack: Vec<(Vec<TaskId>, usize)> = Vec::new();
+        let mut report = Report::default();
+        loop {
+            if report.schedules + report.redundant >= self.max_schedules {
+                return Err(Failure {
+                    seed: String::new(),
+                    kind: FailureKind::ScheduleLimit,
+                    message: format!(
+                        "exceeded {} schedules without exhausting the tree",
+                        self.max_schedules
+                    ),
+                    schedules: report.schedules,
+                });
+            }
+            let script: Vec<ScriptEntry> = stack
+                .iter()
+                .map(|(c, i)| ScriptEntry {
+                    chosen: c[*i],
+                    sleeping: c[..*i].to_vec(),
+                })
+                .collect();
+            let out = self.run_one(&script, self.bound, &f);
+            report.pruned += out.pruned;
+            report.bound_clipped += out.clipped;
+            report.max_depth = report.max_depth.max(out.trace.len());
+            match &out.abort {
+                None => report.schedules += 1,
+                Some(abort) if abort.kind == AbortKind::Redundant => {
+                    // Not a failure: the run's tail was a commuting
+                    // reorder. Its fresh decisions are still valid branch
+                    // points, so fall through to the normal backtrack.
+                    report.redundant += 1;
+                }
+                Some(abort) => {
+                    return Err(Failure {
+                        seed: seed_string(&out.chosen),
+                        kind: match abort.kind {
+                            AbortKind::Panic => FailureKind::Panic,
+                            AbortKind::Deadlock => FailureKind::Deadlock,
+                            AbortKind::OpLimit => FailureKind::OpLimit,
+                            AbortKind::BadScript | AbortKind::Redundant => FailureKind::BadScript,
+                        },
+                        message: abort.message.clone(),
+                        schedules: report.schedules + report.redundant + 1,
+                    });
+                }
+            }
+            debug_assert!(
+                out.trace.len() >= stack.len(),
+                "a run made fewer decisions than its script — nondeterministic model?"
+            );
+            for cands in out.trace.into_iter().skip(stack.len()) {
+                stack.push((cands, 0));
+            }
+            // Backtrack to the deepest decision with an unexplored branch.
+            loop {
+                match stack.last_mut() {
+                    None => return Ok(report),
+                    Some((cands, idx)) if *idx + 1 < cands.len() => {
+                        *idx += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-execute exactly one schedule from a failure seed, propagating
+    /// the original panic (so the counterexample replays under a
+    /// debugger or with extra logging).
+    pub fn replay<F: Fn()>(seed: &str, f: F) {
+        crate::exec::install_quiet_abort_hook();
+        let explorer = Explorer::new();
+        // The seed pins every decision, so the bound is irrelevant; lift
+        // it to keep the candidate filter out of the way.
+        let out = explorer.run_one(&parse_seed(seed), usize::MAX, &f);
+        if let Some(abort) = out.abort {
+            panic!(
+                "interleave replay [seed {seed}]: {:?}: {}",
+                abort.kind, abort.message
+            );
+        }
+    }
+
+    fn run_one<F: Fn()>(&self, script: &[ScriptEntry], bound: usize, f: &F) -> RunResult {
+        let exec = Arc::new(Execution::new(
+            script.to_vec(),
+            bound,
+            self.prune,
+            self.max_ops,
+        ));
+        exec.register_root();
+        {
+            let _guard = CtxGuard::set(Arc::clone(&exec), 0);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                exec.record_payload(payload.as_ref());
+            }
+        }
+        exec.take_results()
+    }
+}

@@ -1,0 +1,59 @@
+#![forbid(unsafe_code)]
+//! Deterministic interleaving explorer (mini-loom) for filterscope's
+//! concurrency-critical core, plus the `srclint` source-invariant
+//! scanner that keeps that core on these primitives.
+//!
+//! # Two backends, one construction site
+//!
+//! The primitives ([`IMutex`], [`IAtomicU64`], [`IAtomicUsize`],
+//! [`IAtomicBool`], [`sync_channel`], [`thread::scope`]) pick their
+//! backend when *constructed*:
+//!
+//! - Outside a model execution they are zero-cost wrappers over the
+//!   `std::sync` equivalents (one enum branch per operation — the
+//!   `sync_passthrough` bench group holds this to parity).
+//! - Inside [`Explorer::explore`]'s closure they register with a
+//!   cooperative scheduler that runs exactly one thread at a time and
+//!   enumerates every interleaving of their operations, depth-first, up
+//!   to a preemption bound.
+//!
+//! # Exploration, pruning, replay
+//!
+//! [`Explorer`] explores all schedules with at most `preemptions(n)`
+//! involuntary context switches (switches at blocking points are free),
+//! pruning alternative branches whose first step commutes with the step
+//! taken (DPOR-lite; see `exec::conflicts`). Failures panic with a
+//! seed — a `-`-separated decision list — and
+//! [`Explorer::replay`] re-executes that exact schedule.
+//!
+//! ```
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! let report = interleave::Explorer::new().preemptions(2).explore(|| {
+//!     let hits = Arc::new(interleave::IAtomicU64::new(0));
+//!     interleave::thread::scope(|s| {
+//!         let h = Arc::clone(&hits);
+//!         s.spawn(move || h.fetch_add(1, Ordering::SeqCst));
+//!         hits.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     assert_eq!(hits.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.schedules > 1);
+//! ```
+
+mod channel;
+mod ctx;
+mod exec;
+mod explore;
+pub mod srclint;
+pub mod sync;
+pub mod thread;
+
+pub use channel::{sync_channel, IReceiver, ISender};
+pub use explore::{Explorer, Failure, FailureKind, Report};
+pub use sync::{IAtomicBool, IAtomicU64, IAtomicUsize, IMutex, IMutexGuard};
+
+/// Memory ordering re-export so guarded modules need no `std::sync`
+/// import at all.
+pub use std::sync::atomic::Ordering;

@@ -1,0 +1,155 @@
+//! Scoped threads the interleaving explorer can schedule: a thin wrapper
+//! over `std::thread::scope` in both backends (so borrowed data stays
+//! sound), registering each spawned thread as a model task when a model
+//! execution is active.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::ctx::{self, Ctx, CtxGuard};
+use crate::exec::{Execution, Op, OpKind, TaskId};
+
+/// Scope handle passed to the closure of [`scope`]; spawn model-tracked
+/// threads through it.
+pub struct IScope<'scope, 'env> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Option<Ctx>,
+    children: std::cell::RefCell<Vec<TaskId>>,
+}
+
+/// Handle to a thread spawned via [`IScope::spawn`].
+pub struct IJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, Result<T, ()>>,
+    model: Option<(Arc<Execution>, TaskId)>,
+}
+
+/// Create a thread scope (see `std::thread::scope`). Inside a model
+/// execution, threads spawned through the scope become schedulable model
+/// tasks, and any still-running children are joined — as visible `Join`
+/// operations — when the closure returns.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&IScope<'scope, 'env>) -> T,
+{
+    let parent_ctx = ctx::current();
+    std::thread::scope(|s| {
+        let iscope = IScope {
+            scope: s,
+            ctx: parent_ctx,
+            children: std::cell::RefCell::new(Vec::new()),
+        };
+        match catch_unwind(AssertUnwindSafe(|| f(&iscope))) {
+            Ok(value) => {
+                iscope.join_remaining();
+                value
+            }
+            Err(payload) => {
+                // Abort the execution before std's implicit scope join, or
+                // parked children would never exit and the join would hang.
+                if let Some(c) = &iscope.ctx {
+                    c.exec.record_payload(payload.as_ref());
+                }
+                resume_unwind(payload)
+            }
+        }
+    })
+}
+
+impl<'scope, 'env> IScope<'scope, 'env> {
+    /// Spawn a thread in this scope (model task inside an execution).
+    pub fn spawn<F, T>(&self, f: F) -> IJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.ctx {
+            None => IJoinHandle {
+                inner: self.scope.spawn(|| Ok(f())),
+                model: None,
+            },
+            Some(c) => {
+                let task = c.exec.register_task();
+                self.children.borrow_mut().push(task);
+                let exec = Arc::clone(&c.exec);
+                let inner = self.scope.spawn(move || {
+                    let _guard = CtxGuard::set(Arc::clone(&exec), task);
+                    exec.begin(task);
+                    match catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(value) => {
+                            exec.finish(task);
+                            Ok(value)
+                        }
+                        Err(payload) => {
+                            exec.record_payload(payload.as_ref());
+                            Err(())
+                        }
+                    }
+                });
+                IJoinHandle {
+                    inner,
+                    model: Some((Arc::clone(&c.exec), task)),
+                }
+            }
+        }
+    }
+
+    /// Join every spawned child that has not finished yet, as visible
+    /// model operations (called at scope exit; explicit joins already
+    /// finished their targets, so they are skipped here).
+    fn join_remaining(&self) {
+        let Some(c) = &self.ctx else { return };
+        for &task in self.children.borrow().iter() {
+            if !c.exec.is_finished(task) {
+                c.exec.schedule(
+                    c.task,
+                    Op {
+                        kind: OpKind::Join,
+                        obj: task,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl<T> IJoinHandle<'_, T> {
+    /// Wait for the thread and return its result. In a model execution
+    /// the join is a schedule point, enabled once the target finished.
+    pub fn join(self) -> T {
+        let IJoinHandle { inner, model } = self;
+        match model {
+            None => match inner.join() {
+                Ok(Ok(value)) => value,
+                Ok(Err(())) => unreachable!("passthrough threads never record aborts"),
+                Err(payload) => resume_unwind(payload),
+            },
+            Some((exec, task)) => {
+                let me = ctx::current().expect("model join outside execution").task;
+                exec.schedule(
+                    me,
+                    Op {
+                        kind: OpKind::Join,
+                        obj: task,
+                    },
+                );
+                match inner.join() {
+                    Ok(Ok(value)) => value,
+                    // The child unwound via the abort sentinel (or its
+                    // panic was recorded); propagate the abort.
+                    _ => std::panic::panic_any(crate::exec::ExecAbort),
+                }
+            }
+        }
+    }
+}
+
+/// Yield: a pure schedule point in a model, `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    match ctx::current() {
+        None => std::thread::yield_now(),
+        Some(c) => {
+            c.exec.schedule(c.task, Op::control(OpKind::Yield));
+        }
+    }
+}

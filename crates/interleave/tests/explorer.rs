@@ -1,0 +1,290 @@
+//! Exercises the explorer on the classic textbook races: it must find
+//! real bugs (lost update, AB-BA deadlock), must NOT flag correct code,
+//! must replay deterministically from a seed, and the passthrough
+//! backend must behave like plain `std::sync` on real threads.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use interleave::{sync_channel, Explorer, FailureKind, IAtomicU64, IMutex};
+
+/// Two threads doing read-modify-write as separate load/store: the
+/// classic lost update. One preemption is enough to expose it.
+fn lost_update() {
+    let counter = Arc::new(IAtomicU64::new(0));
+    interleave::thread::scope(|s| {
+        for _ in 0..2 {
+            let c = Arc::clone(&counter);
+            s.spawn(move || {
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+}
+
+#[test]
+fn finds_lost_update_with_one_preemption() {
+    let failure = Explorer::new()
+        .preemptions(1)
+        .try_explore(lost_update)
+        .expect_err("the lost update must be found");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("lost update"), "{failure}");
+    assert!(!failure.seed.is_empty());
+}
+
+#[test]
+fn replay_reproduces_the_same_failure() {
+    let failure = Explorer::new()
+        .preemptions(1)
+        .try_explore(lost_update)
+        .expect_err("the lost update must be found");
+    let replayed = std::panic::catch_unwind(|| Explorer::replay(&failure.seed, lost_update))
+        .expect_err("replay must fail the same way");
+    let msg = replayed
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("lost update"), "replay panic: {msg}");
+}
+
+#[test]
+fn mutex_protected_counter_passes_exhaustively() {
+    let report = Explorer::new().preemptions(2).explore(|| {
+        let counter = Arc::new(IMutex::new(0u64));
+        interleave::thread::scope(|s| {
+            for _ in 0..2 {
+                let c = Arc::clone(&counter);
+                s.spawn(move || {
+                    let mut g = c.lock();
+                    *g += 1;
+                });
+            }
+        });
+        assert_eq!(*counter.lock(), 2);
+    });
+    // More than one schedule means the explorer actually interleaved.
+    assert!(report.schedules > 1, "{report}");
+}
+
+#[test]
+fn fetch_add_is_atomic_under_all_schedules() {
+    Explorer::new().preemptions(2).explore(|| {
+        let counter = Arc::new(IAtomicU64::new(0));
+        interleave::thread::scope(|s| {
+            for _ in 0..2 {
+                let c = Arc::clone(&counter);
+                s.spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn detects_ab_ba_deadlock() {
+    let failure = Explorer::new()
+        .preemptions(2)
+        .try_explore(|| {
+            let a = Arc::new(IMutex::new(()));
+            let b = Arc::new(IMutex::new(()));
+            interleave::thread::scope(|s| {
+                let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+                s.spawn(move || {
+                    let _ga = a1.lock();
+                    let _gb = b1.lock();
+                });
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                s.spawn(move || {
+                    let _gb = b2.lock();
+                    let _ga = a2.lock();
+                });
+            });
+        })
+        .expect_err("AB-BA must deadlock under some schedule");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+}
+
+#[test]
+fn channel_delivers_in_order_and_signals_disconnect() {
+    Explorer::new().preemptions(2).explore(|| {
+        let (tx, rx) = sync_channel::<u32>(2);
+        interleave::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..4 {
+                    tx.send(i).expect("receiver alive");
+                }
+                // tx drops here: rx must see exactly 4 then None.
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv() {
+                got.push(v);
+            }
+            assert_eq!(got, [0, 1, 2, 3]);
+        });
+    });
+}
+
+#[test]
+fn send_to_dropped_receiver_returns_value() {
+    Explorer::new().preemptions(0).explore(|| {
+        let (tx, rx) = sync_channel::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    });
+}
+
+/// Pruning must not lose the counterexample: the lost update is found
+/// with pruning on and off, and pruning explores no more schedules.
+#[test]
+fn pruned_and_unpruned_find_the_same_race() {
+    let pruned = Explorer::new()
+        .preemptions(1)
+        .pruning(true)
+        .try_explore(lost_update)
+        .expect_err("pruned search finds the race");
+    let unpruned = Explorer::new()
+        .preemptions(1)
+        .pruning(false)
+        .try_explore(lost_update)
+        .expect_err("unpruned search finds the race");
+    assert_eq!(pruned.kind, FailureKind::Panic);
+    assert_eq!(unpruned.kind, FailureKind::Panic);
+    assert!(
+        pruned.schedules <= unpruned.schedules,
+        "pruning explored more schedules ({} > {})",
+        pruned.schedules,
+        unpruned.schedules
+    );
+}
+
+#[test]
+fn pruning_reduces_schedules_on_disjoint_objects() {
+    // Two threads touching *different* atomics commute everywhere; the
+    // pruned exploration should collapse to far fewer schedules.
+    let body = || {
+        let a = Arc::new(IAtomicU64::new(0));
+        let b = Arc::new(IAtomicU64::new(0));
+        interleave::thread::scope(|s| {
+            let a1 = Arc::clone(&a);
+            s.spawn(move || {
+                a1.fetch_add(1, Ordering::SeqCst);
+                a1.fetch_add(1, Ordering::SeqCst);
+            });
+            let b1 = Arc::clone(&b);
+            s.spawn(move || {
+                b1.fetch_add(1, Ordering::SeqCst);
+                b1.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+        assert_eq!(b.load(Ordering::SeqCst), 2);
+    };
+    let with = Explorer::new().preemptions(2).pruning(true).explore(body);
+    let without = Explorer::new().preemptions(2).pruning(false).explore(body);
+    assert!(
+        with.schedules < without.schedules,
+        "pruning had no effect: {} vs {}",
+        with.schedules,
+        without.schedules
+    );
+    assert!(with.pruned > 0);
+    assert!(with.prune_rate() > 0.0);
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let a = Explorer::new().preemptions(2).explore(|| {
+        let m = Arc::new(IMutex::new(0u32));
+        interleave::thread::scope(|s| {
+            let m1 = Arc::clone(&m);
+            s.spawn(move || *m1.lock() += 1);
+            *m.lock() += 1;
+        });
+    });
+    let b = Explorer::new().preemptions(2).explore(|| {
+        let m = Arc::new(IMutex::new(0u32));
+        interleave::thread::scope(|s| {
+            let m1 = Arc::clone(&m);
+            s.spawn(move || *m1.lock() += 1);
+            *m.lock() += 1;
+        });
+    });
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(a.pruned, b.pruned);
+    assert_eq!(a.max_depth, b.max_depth);
+}
+
+#[test]
+fn join_returns_the_thread_value_in_model() {
+    Explorer::new().preemptions(1).explore(|| {
+        let out = interleave::thread::scope(|s| {
+            let h = s.spawn(|| 41 + 1);
+            h.join()
+        });
+        assert_eq!(out, 42);
+    });
+}
+
+/// The passthrough backend on plain OS threads: same API, real
+/// `std::sync` underneath (this test runs outside any model execution).
+#[test]
+fn passthrough_backend_works_on_real_threads() {
+    let counter = Arc::new(IAtomicU64::new(0));
+    let total = Arc::new(IMutex::new(0u64));
+    let (tx, rx) = sync_channel::<u64>(8);
+    interleave::thread::scope(|s| {
+        let c = Arc::clone(&counter);
+        let producer = s.spawn(move || {
+            for i in 0..100 {
+                c.fetch_add(1, Ordering::SeqCst);
+                tx.send(i).expect("receiver alive");
+            }
+            c.load(Ordering::SeqCst)
+        });
+        let t = Arc::clone(&total);
+        s.spawn(move || {
+            while let Some(v) = rx.recv() {
+                *t.lock() += v;
+            }
+        });
+        assert!(producer.join() >= 100);
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 100);
+    assert_eq!(*total.lock(), (0..100).sum::<u64>());
+}
+
+/// Poison recovery: a thread panicking while holding the lock must not
+/// poison it for the rest of the process (documented into_inner policy).
+#[test]
+fn poisoned_mutex_recovers() {
+    let m = Arc::new(IMutex::new(0u32));
+    let m2 = Arc::clone(&m);
+    let result = std::thread::spawn(move || {
+        let mut g = m2.lock();
+        *g = 7;
+        panic!("die holding the lock");
+    })
+    .join();
+    assert!(result.is_err());
+    assert_eq!(*m.lock(), 7, "lock usable after a panicking holder");
+}
+
+#[test]
+fn op_limit_flags_unbounded_spin() {
+    let failure = Explorer::new()
+        .preemptions(0)
+        .max_ops(1_000)
+        .try_explore(|| {
+            let flag = IAtomicU64::new(0);
+            // Nobody ever sets the flag: with 0 preemptions the spin can
+            // never be descheduled, so the op budget must trip.
+            while flag.load(Ordering::SeqCst) == 0 {}
+        })
+        .expect_err("unbounded spin must trip the op budget");
+    assert_eq!(failure.kind, FailureKind::OpLimit);
+}

@@ -21,6 +21,8 @@
 //! log reproduces — byte for byte — the suite a single batch pass over
 //! the same records would build.
 
+#![forbid(unsafe_code)]
+
 pub mod frame;
 pub mod log;
 pub mod query;

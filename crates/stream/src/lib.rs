@@ -42,6 +42,7 @@
 pub mod client;
 pub mod metrics;
 pub mod policy;
+pub mod proto;
 pub mod server;
 pub mod shutdown;
 pub mod snapshot;

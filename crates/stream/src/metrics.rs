@@ -9,9 +9,10 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use interleave::{IAtomicBool, IAtomicU64, IAtomicUsize, IMutex, Ordering};
 
 use filterscope_proxy::ProfileKind;
 
@@ -22,24 +23,24 @@ pub struct ConnStats {
     /// Connection ordinal (fold order; assigned at accept time).
     pub id: u64,
     /// Source label: the peer address until a `Hello` frame names it.
-    pub label: Mutex<String>,
+    pub label: IMutex<String>,
     /// Records parsed and ingested.
-    pub records: AtomicU64,
+    pub records: IAtomicU64,
     /// Lines that failed to parse (the batch path never drops a
     /// connection for a bad line — only for a bad frame).
-    pub parse_errors: AtomicU64,
+    pub parse_errors: IAtomicU64,
     /// Frames received.
-    pub frames: AtomicU64,
+    pub frames: IAtomicU64,
     /// Payload bytes received.
-    pub bytes: AtomicU64,
+    pub bytes: IAtomicU64,
     /// Batches queued but not yet ingested (bounded by the queue).
-    pub queue_depth: AtomicUsize,
+    pub queue_depth: IAtomicUsize,
     /// When the connection was accepted.
     pub connected: Instant,
     /// Set when the worker has drained the queue and exited.
-    pub done: AtomicBool,
+    pub done: IAtomicBool,
     /// The framing error that dropped this connection, if any.
-    pub error: Mutex<Option<String>>,
+    pub error: IMutex<Option<String>>,
 }
 
 impl ConnStats {
@@ -47,21 +48,21 @@ impl ConnStats {
     pub fn new(id: u64, peer: String) -> ConnStats {
         ConnStats {
             id,
-            label: Mutex::new(peer),
-            records: AtomicU64::new(0),
-            parse_errors: AtomicU64::new(0),
-            frames: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-            queue_depth: AtomicUsize::new(0),
+            label: IMutex::new(peer),
+            records: IAtomicU64::new(0),
+            parse_errors: IAtomicU64::new(0),
+            frames: IAtomicU64::new(0),
+            bytes: IAtomicU64::new(0),
+            queue_depth: IAtomicUsize::new(0),
             connected: Instant::now(),
-            done: AtomicBool::new(false),
-            error: Mutex::new(None),
+            done: IAtomicBool::new(false),
+            error: IMutex::new(None),
         }
     }
 
     /// The current label (peer address or `Hello` name).
     pub fn label(&self) -> String {
-        self.label.lock().expect("label lock").clone()
+        self.label.lock().clone()
     }
 
     /// Records ingested per second of connection lifetime.
@@ -77,55 +78,55 @@ pub struct ServerStats {
     /// When the daemon started.
     pub started: Instant,
     /// Connections accepted over the daemon's lifetime.
-    pub connections_total: AtomicU64,
+    pub connections_total: IAtomicU64,
     /// Connections currently being read.
-    pub connections_live: AtomicU64,
+    pub connections_live: IAtomicU64,
     /// Connections dropped for framing errors.
-    pub connections_dropped: AtomicU64,
+    pub connections_dropped: IAtomicU64,
     /// Records ingested across all connections.
-    pub records: AtomicU64,
+    pub records: IAtomicU64,
     /// Unparseable lines across all connections.
-    pub parse_errors: AtomicU64,
+    pub parse_errors: IAtomicU64,
     /// Frames received across all connections.
-    pub frames: AtomicU64,
+    pub frames: IAtomicU64,
     /// Payload bytes received across all connections.
-    pub bytes: AtomicU64,
+    pub bytes: IAtomicU64,
     /// Sequence number of the newest snapshot (0 = none yet).
-    pub snapshot_seq: AtomicU64,
+    pub snapshot_seq: IAtomicU64,
     /// Snapshot write failures (the daemon keeps running).
-    pub snapshot_errors: AtomicU64,
+    pub snapshot_errors: IAtomicU64,
     /// When the newest snapshot was written.
-    pub snapshot_at: Mutex<Option<Instant>>,
+    pub snapshot_at: IMutex<Option<Instant>>,
     /// Policy generation (0 = no policy configured; 1 = startup artifact).
-    pub policy_version: AtomicU64,
+    pub policy_version: IAtomicU64,
     /// Accepted policy hot-swaps.
-    pub policy_reloads: AtomicU64,
+    pub policy_reloads: IAtomicU64,
     /// Rejected policy reload attempts.
-    pub policy_reload_failures: AtomicU64,
+    pub policy_reload_failures: IAtomicU64,
     /// Records the policy allowed.
-    pub policy_allowed: AtomicU64,
+    pub policy_allowed: IAtomicU64,
     /// Records the policy denied.
-    pub policy_denied: AtomicU64,
+    pub policy_denied: IAtomicU64,
     /// Records the policy redirected.
-    pub policy_redirected: AtomicU64,
+    pub policy_redirected: IAtomicU64,
     /// Censored records per inferred censorship mechanism, indexed by
     /// [`ProfileKind::index`]; uncensored records vote for nothing.
-    pub mechanism: [AtomicU64; 4],
+    pub mechanism: [IAtomicU64; 4],
     /// The mechanism `serve --censor` declared, stored as
     /// [`ProfileKind::index`] + 1 (0 = no expectation declared).
-    pub expected_mechanism: AtomicU64,
+    pub expected_mechanism: IAtomicU64,
     /// Largest record timestamp (epoch seconds) ingested so far; the
     /// snap-log frame timestamp, so time-travel queries index by record
     /// time, not wall-clock arrival time.
-    pub max_record_ts: AtomicU64,
+    pub max_record_ts: IAtomicU64,
     /// Whether a snapshot log is being written (gates the snaplog gauges).
-    pub snaplog_active: AtomicBool,
+    pub snaplog_active: IAtomicBool,
     /// Bytes in the snapshot log after the last append/compaction.
-    pub snaplog_bytes: AtomicU64,
+    pub snaplog_bytes: IAtomicU64,
     /// Frames in the snapshot log after the last append/compaction.
-    pub snaplog_frames: AtomicU64,
+    pub snaplog_frames: IAtomicU64,
     /// Sequence of the last compaction checkpoint (0 = never compacted).
-    pub snaplog_last_compaction_seq: AtomicU64,
+    pub snaplog_last_compaction_seq: IAtomicU64,
 }
 
 impl ServerStats {
@@ -133,29 +134,29 @@ impl ServerStats {
     pub fn new() -> ServerStats {
         ServerStats {
             started: Instant::now(),
-            connections_total: AtomicU64::new(0),
-            connections_live: AtomicU64::new(0),
-            connections_dropped: AtomicU64::new(0),
-            records: AtomicU64::new(0),
-            parse_errors: AtomicU64::new(0),
-            frames: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-            snapshot_seq: AtomicU64::new(0),
-            snapshot_errors: AtomicU64::new(0),
-            snapshot_at: Mutex::new(None),
-            policy_version: AtomicU64::new(0),
-            policy_reloads: AtomicU64::new(0),
-            policy_reload_failures: AtomicU64::new(0),
-            policy_allowed: AtomicU64::new(0),
-            policy_denied: AtomicU64::new(0),
-            policy_redirected: AtomicU64::new(0),
-            mechanism: std::array::from_fn(|_| AtomicU64::new(0)),
-            expected_mechanism: AtomicU64::new(0),
-            max_record_ts: AtomicU64::new(0),
-            snaplog_active: AtomicBool::new(false),
-            snaplog_bytes: AtomicU64::new(0),
-            snaplog_frames: AtomicU64::new(0),
-            snaplog_last_compaction_seq: AtomicU64::new(0),
+            connections_total: IAtomicU64::new(0),
+            connections_live: IAtomicU64::new(0),
+            connections_dropped: IAtomicU64::new(0),
+            records: IAtomicU64::new(0),
+            parse_errors: IAtomicU64::new(0),
+            frames: IAtomicU64::new(0),
+            bytes: IAtomicU64::new(0),
+            snapshot_seq: IAtomicU64::new(0),
+            snapshot_errors: IAtomicU64::new(0),
+            snapshot_at: IMutex::new(None),
+            policy_version: IAtomicU64::new(0),
+            policy_reloads: IAtomicU64::new(0),
+            policy_reload_failures: IAtomicU64::new(0),
+            policy_allowed: IAtomicU64::new(0),
+            policy_denied: IAtomicU64::new(0),
+            policy_redirected: IAtomicU64::new(0),
+            mechanism: std::array::from_fn(|_| IAtomicU64::new(0)),
+            expected_mechanism: IAtomicU64::new(0),
+            max_record_ts: IAtomicU64::new(0),
+            snaplog_active: IAtomicBool::new(false),
+            snaplog_bytes: IAtomicU64::new(0),
+            snaplog_frames: IAtomicU64::new(0),
+            snaplog_last_compaction_seq: IAtomicU64::new(0),
         }
     }
 
@@ -167,16 +168,13 @@ impl ServerStats {
 
     /// Seconds since the newest snapshot, if one was written.
     pub fn snapshot_age(&self) -> Option<f64> {
-        self.snapshot_at
-            .lock()
-            .expect("snapshot_at lock")
-            .map(|at| at.elapsed().as_secs_f64())
+        self.snapshot_at.lock().map(|at| at.elapsed().as_secs_f64())
     }
 
     /// Record a successful snapshot write.
     pub fn snapshot_written(&self, seq: u64) {
         self.snapshot_seq.store(seq, Ordering::Relaxed);
-        *self.snapshot_at.lock().expect("snapshot_at lock") = Some(Instant::now());
+        *self.snapshot_at.lock() = Some(Instant::now());
     }
 }
 
@@ -188,10 +186,10 @@ impl Default for ServerStats {
 
 /// Render the metrics page: daemon-wide gauges first, then one labelled
 /// line set per connection, in accept order.
-pub fn render(stats: &ServerStats, conns: &[std::sync::Arc<ConnStats>]) -> String {
+pub fn render(stats: &ServerStats, conns: &[Arc<ConnStats>]) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(1024);
-    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let load = |a: &IAtomicU64| a.load(Ordering::Relaxed);
     let _ = writeln!(
         out,
         "filterscope_uptime_seconds {:.3}",
@@ -333,7 +331,7 @@ pub fn render(stats: &ServerStats, conns: &[std::sync::Arc<ConnStats>]) -> Strin
             "filterscope_conn_parse_errors_total{{conn=\"{label}\"}} {}",
             conn.parse_errors.load(Ordering::Relaxed)
         );
-        if let Some(err) = conn.error.lock().expect("error lock").as_deref() {
+        if let Some(err) = conn.error.lock().as_deref() {
             let _ = writeln!(
                 out,
                 "filterscope_conn_dropped{{conn=\"{label}\",reason=\"{}\"}} 1",
@@ -349,7 +347,7 @@ pub fn render(stats: &ServerStats, conns: &[std::sync::Arc<ConnStats>]) -> Strin
 /// `on_shutdown`. The listener must be non-blocking.
 pub fn serve_http(
     listener: &TcpListener,
-    shutdown: &AtomicBool,
+    shutdown: &IAtomicBool,
     render_page: impl Fn() -> String,
     on_shutdown: impl Fn(),
 ) {
@@ -393,7 +391,6 @@ pub fn serve_http(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn render_covers_global_and_per_conn_lines() {
@@ -471,8 +468,8 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         listener.set_nonblocking(true).unwrap();
         let addr = listener.local_addr().unwrap();
-        let shutdown = AtomicBool::new(false);
-        let hit = AtomicU64::new(0);
+        let shutdown = IAtomicBool::new(false);
+        let hit = IAtomicU64::new(0);
         std::thread::scope(|s| {
             s.spawn(|| {
                 serve_http(

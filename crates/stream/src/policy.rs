@@ -32,29 +32,35 @@
 use filterscope_core::{crc32, Error, Result};
 use filterscope_policylint::verify_artifact;
 use filterscope_proxy::{artifact, PolicyEngine};
+use interleave::{IAtomicU64, IMutex, Ordering};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The shared, swappable engine: workers clone the `Arc` once per batch,
 /// the snapshot thread swaps it on a verified reload.
-pub struct PolicyCell {
-    engine: Mutex<Arc<PolicyEngine>>,
+///
+/// Generic over the engine so the interleaving model tests can check the
+/// swap protocol with a deterministic stamp engine; production uses the
+/// default [`PolicyEngine`]. Built on [`IMutex`]/[`IAtomicU64`] so every
+/// swap and every per-batch pin is a schedule point under the explorer.
+pub struct PolicyCell<E = PolicyEngine> {
+    engine: IMutex<Arc<E>>,
     /// Generation counter: 1 for the startup artifact, +1 per swap.
-    version: AtomicU64,
+    version: IAtomicU64,
 }
 
-impl PolicyCell {
-    fn new(engine: PolicyEngine) -> PolicyCell {
+impl<E> PolicyCell<E> {
+    /// Wrap a startup engine as generation 1.
+    pub fn new(engine: E) -> PolicyCell<E> {
         PolicyCell {
-            engine: Mutex::new(Arc::new(engine)),
-            version: AtomicU64::new(1),
+            engine: IMutex::new(Arc::new(engine)),
+            version: IAtomicU64::new(1),
         }
     }
 
     /// The engine to decide under right now.
-    pub fn current(&self) -> Arc<PolicyEngine> {
-        Arc::clone(&self.engine.lock().expect("policy engine lock"))
+    pub fn current(&self) -> Arc<E> {
+        Arc::clone(&self.engine.lock())
     }
 
     /// Current policy generation (1 = startup artifact).
@@ -62,8 +68,12 @@ impl PolicyCell {
         self.version.load(Ordering::SeqCst)
     }
 
-    fn swap(&self, engine: PolicyEngine) -> u64 {
-        *self.engine.lock().expect("policy engine lock") = Arc::new(engine);
+    /// Install `engine` as the new generation and return its number.
+    /// Production only calls this from [`PolicyWatcher::poll`] after the
+    /// witness gate has passed; it is public for the model tests, which
+    /// drive the swap directly.
+    pub fn swap(&self, engine: E) -> u64 {
+        *self.engine.lock() = Arc::new(engine);
         self.version.fetch_add(1, Ordering::SeqCst) + 1
     }
 }

@@ -14,6 +14,14 @@
 //! metrics thread:  plaintext HTTP endpoint (optional)
 //! ```
 //!
+//! The concurrency-critical core — shard ingest/fold, per-batch policy
+//! pinning, the append-before-merge snapshot cycle, and the shutdown
+//! drain — lives in [`crate::proto`], written against the [`interleave`]
+//! primitives so the interleaving explorer checks the same functions this
+//! daemon runs (`tests/model_proto.rs`). This module owns everything the
+//! model does not: sockets, files, wall-clock pacing, and the signal
+//! plumbing.
+//!
 //! # Why the result is byte-identical to batch `analyze`
 //!
 //! Every delta and the global suite share one `Selection`, and every
@@ -36,22 +44,19 @@
 use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use filterscope_analysis::{
-    classify_mechanism_view, AnalysisContext, AnalysisSuite, Selection, SuiteParams,
-};
+use filterscope_analysis::{AnalysisContext, AnalysisSuite, Selection, SuiteParams};
 use filterscope_core::{Error, Result};
-use filterscope_logformat::frame::{batch_lines, Frame, FrameKind};
-use filterscope_logformat::{LineSplitter, Schema};
+use filterscope_logformat::frame::{Frame, FrameKind};
+use interleave::{sync_channel, IAtomicBool, IMutex, ISender, Ordering};
 
 use crate::metrics::{self, ConnStats, ServerStats};
 use crate::policy::{PolicyCell, PolicyWatcher, ReloadOutcome};
+use crate::proto::{self, ConnHandle, FoldTotals, PublishCounters, Shard, SnapSink};
 use crate::snapshot::{SnapLogStatus, SnapshotWriter};
-use filterscope_proxy::{Decision, ProfileKind};
+use filterscope_proxy::ProfileKind;
 use filterscope_snapstore::{
     encode_value, read_frames, suite_at, FrameKind as SnapFrameKind, SnapLog, SUITE_KEY,
 };
@@ -120,34 +125,6 @@ pub struct ServeSummary {
     pub policy_reload_failures: u64,
 }
 
-/// One live connection as the snapshot/metrics threads see it.
-struct ConnHandle {
-    stats: Arc<ConnStats>,
-    delta: Arc<Mutex<Shard>>,
-}
-
-/// One connection's un-folded analysis shard: the delta suite plus the
-/// exact record/parse-error counts ingested into it, kept under one lock
-/// so a fold can never observe content without its counts. The snap
-/// log's zero-delta skip depends on this being exact — deriving the
-/// per-cycle delta from the global counters instead races the workers
-/// and can silently drop a folded shard from the log.
-struct Shard {
-    suite: AnalysisSuite,
-    records: u64,
-    parse_errors: u64,
-}
-
-impl Shard {
-    fn new(suite: AnalysisSuite) -> Shard {
-        Shard {
-            suite,
-            records: 0,
-            parse_errors: 0,
-        }
-    }
-}
-
 /// A bound serve daemon; [`Server::run`] blocks until shutdown.
 pub struct Server {
     config: ServeConfig,
@@ -155,7 +132,93 @@ pub struct Server {
     metrics_listener: Option<TcpListener>,
     /// Artifact watcher when `policy_artifact` is configured; the mutex
     /// is only ever contended by the snapshot loop's once-per-cycle poll.
-    policy: Option<Mutex<PolicyWatcher>>,
+    policy: Option<IMutex<PolicyWatcher>>,
+}
+
+/// The production [`SnapSink`]: the optional append-only snap log plus
+/// the atomic report/summary/status writer, with the snaplog gauges
+/// refreshed once per publish.
+struct LogSink<'a> {
+    log: Option<SnapLog>,
+    writer: SnapshotWriter,
+    ctx: &'a AnalysisContext,
+    stats: &'a ServerStats,
+    recovered_frames: u64,
+}
+
+impl SnapSink for LogSink<'_> {
+    fn append_delta(
+        &mut self,
+        ts: u64,
+        records: u64,
+        parse_errors: u64,
+        delta: &AnalysisSuite,
+    ) -> std::result::Result<(), String> {
+        let Some(log) = self.log.as_mut() else {
+            return Ok(());
+        };
+        let value = encode_value(records, parse_errors, delta);
+        log.append(SnapFrameKind::Delta, ts, SUITE_KEY, value)
+            .map(|_| ())
+            .map_err(|e| format!("snap log append failed: {e}"))
+    }
+
+    fn should_checkpoint(&self) -> bool {
+        self.log.as_ref().is_some_and(SnapLog::should_compact)
+    }
+
+    fn checkpoint(
+        &mut self,
+        ts: u64,
+        records: u64,
+        parse_errors: u64,
+        global: &AnalysisSuite,
+    ) -> std::result::Result<(), String> {
+        let Some(log) = self.log.as_mut() else {
+            return Ok(());
+        };
+        // The checkpoint's counters come from the fold bookkeeping, not
+        // the live counters: they must describe exactly what the
+        // checkpointed suite contains, nothing a worker ingested since.
+        let value = encode_value(records, parse_errors, global);
+        log.compact(ts, SUITE_KEY, value)
+            .map(|_| ())
+            .map_err(|e| format!("snap log compaction failed: {e}"))
+    }
+
+    fn publish(
+        &mut self,
+        counters: PublishCounters,
+        global: &AnalysisSuite,
+    ) -> std::result::Result<(), String> {
+        if let Some(log) = self.log.as_ref() {
+            let stats = self.stats;
+            stats.snaplog_bytes.store(log.bytes(), Ordering::SeqCst);
+            stats.snaplog_frames.store(log.frames(), Ordering::SeqCst);
+            stats
+                .snaplog_last_compaction_seq
+                .store(log.last_compaction_seq(), Ordering::SeqCst);
+        }
+        let report = format!("{}\n", global.render_all(self.ctx));
+        let summary = global.summary_json(self.ctx);
+        let log_status = self.log.as_ref().map(|log| SnapLogStatus {
+            log_seq: log.last_seq(),
+            recovered_frames: self.recovered_frames,
+        });
+        match self.writer.write(
+            &report,
+            &summary,
+            counters.records,
+            counters.parse_errors,
+            log_status,
+        ) {
+            Ok(seq) => {
+                self.stats.snapshot_written(seq);
+                Ok(())
+            }
+            Err(e) => Err(format!("snapshot {} failed: {e}", self.writer.seq() + 1)),
+        }
+    }
 }
 
 impl Server {
@@ -178,7 +241,7 @@ impl Server {
         };
         std::fs::create_dir_all(&config.snapshot_dir)?;
         let policy = match &config.policy_artifact {
-            Some(path) => Some(Mutex::new(PolicyWatcher::open(path)?)),
+            Some(path) => Some(IMutex::new(PolicyWatcher::open(path)?)),
             None => None,
         };
         Ok(Server {
@@ -204,10 +267,10 @@ impl Server {
     /// Run until `shutdown` is set (SIGINT handler, `/shutdown`, or a
     /// test flipping the flag), then drain, write the final snapshot,
     /// and return the lifetime counters.
-    pub fn run(&self, ctx: &AnalysisContext, shutdown: Arc<AtomicBool>) -> Result<ServeSummary> {
+    pub fn run(&self, ctx: &AnalysisContext, shutdown: Arc<IAtomicBool>) -> Result<ServeSummary> {
         let stats = ServerStats::new();
-        let conns: Mutex<Vec<ConnHandle>> = Mutex::new(Vec::new());
-        let mut writer = SnapshotWriter::new(&self.config.snapshot_dir)?;
+        let conns: IMutex<Vec<ConnHandle>> = IMutex::new(Vec::new());
+        let writer = SnapshotWriter::new(&self.config.snapshot_dir)?;
         let mut global = AnalysisSuite::with_selection(&self.config.params, &self.config.selection);
         // Open the snapshot log (if configured) and rehydrate the global
         // suite from it: a restarted daemon resumes exactly where the log
@@ -216,10 +279,10 @@ impl Server {
         // folded into this run's suites, so that fails closed.
         let mut snaplog: Option<SnapLog> = None;
         let mut recovered_frames = 0u64;
-        // Cumulative `(records, parse_errors)` actually folded into
-        // `global` (recovered baseline + every cycle's exact fold count)
-        // — what a compaction checkpoint's counters must say.
-        let mut folded = (0u64, 0u64);
+        // Cumulative counts actually folded into `global` (recovered
+        // baseline + every cycle's exact fold count) — what a compaction
+        // checkpoint's counters must say.
+        let mut folded = FoldTotals::default();
         if let Some(path) = &self.config.snap_log {
             let log = SnapLog::open(path, self.config.snap_log_max_bytes)?;
             let (frames, _) = read_frames(path)?;
@@ -238,7 +301,10 @@ impl Server {
                 stats
                     .max_record_ts
                     .store(frames.last().map_or(0, |f| f.ts), Ordering::SeqCst);
-                folded = (view.records, view.parse_errors);
+                folded = FoldTotals {
+                    records: view.records,
+                    parse_errors: view.parse_errors,
+                };
                 global = view.suite;
             }
             recovered_frames = log.frames();
@@ -250,16 +316,20 @@ impl Server {
                 .store(log.last_compaction_seq(), Ordering::SeqCst);
             snaplog = Some(log);
         }
-        let policy_cell: Option<Arc<PolicyCell>> = self
-            .policy
-            .as_ref()
-            .map(|w| w.lock().expect("policy lock").cell());
+        let policy_cell: Option<Arc<PolicyCell>> = self.policy.as_ref().map(|w| w.lock().cell());
         if let Some(cell) = &policy_cell {
             stats.policy_version.store(cell.version(), Ordering::SeqCst);
         }
         if let Some(kind) = self.config.expected_censor {
             stats.expect_mechanism(kind);
         }
+        let mut sink = LogSink {
+            log: snaplog,
+            writer,
+            ctx,
+            stats: &stats,
+            recovered_frames,
+        };
 
         std::thread::scope(|scope| -> Result<()> {
             // Accept loop: one reader + one worker thread per connection.
@@ -279,15 +349,15 @@ impl Server {
                     let id = stats.connections_total.fetch_add(1, Ordering::SeqCst);
                     stats.connections_live.fetch_add(1, Ordering::SeqCst);
                     let conn = Arc::new(ConnStats::new(id, peer.to_string()));
-                    let delta = Arc::new(Mutex::new(Shard::new(AnalysisSuite::with_selection(
+                    let delta = Arc::new(IMutex::new(Shard::new(AnalysisSuite::with_selection(
                         &self.config.params,
                         &self.config.selection,
                     ))));
-                    conns.lock().expect("conns lock").push(ConnHandle {
+                    conns.lock().push(ConnHandle {
                         stats: Arc::clone(&conn),
                         delta: Arc::clone(&delta),
                     });
-                    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(self.config.queue_batches);
+                    let (tx, rx) = sync_channel::<Vec<u8>>(self.config.queue_batches);
                     {
                         let conn = Arc::clone(&conn);
                         let shutdown = &shutdown;
@@ -301,7 +371,7 @@ impl Server {
                         let stats = &stats;
                         let policy = policy_cell.clone();
                         scope.spawn(move || {
-                            ingest_connection(rx, &conn, stats, &delta, ctx, policy.as_deref());
+                            proto::run_worker(rx, &conn, stats, &delta, ctx, policy.as_deref());
                         });
                     }
                 }
@@ -317,12 +387,8 @@ impl Server {
                         listener,
                         shutdown,
                         || {
-                            let snapshot: Vec<Arc<ConnStats>> = conns
-                                .lock()
-                                .expect("conns lock")
-                                .iter()
-                                .map(|c| Arc::clone(&c.stats))
-                                .collect();
+                            let snapshot: Vec<Arc<ConnStats>> =
+                                conns.lock().iter().map(|c| Arc::clone(&c.stats)).collect();
                             metrics::render(stats, &snapshot)
                         },
                         || crate::shutdown::request(shutdown),
@@ -344,23 +410,19 @@ impl Server {
                     // Readers exit on the flag; wait (bounded) for the
                     // workers to drain what was already queued.
                     let deadline = Instant::now() + DRAIN_DEADLINE;
-                    loop {
-                        let all_done = conns
-                            .lock()
-                            .expect("conns lock")
-                            .iter()
-                            .all(|c| c.stats.done.load(Ordering::SeqCst));
-                        if all_done || Instant::now() >= deadline {
-                            break;
+                    proto::await_drain(&conns, || {
+                        if Instant::now() >= deadline {
+                            return true;
                         }
                         std::thread::sleep(POLL);
-                    }
+                        false
+                    });
                 }
                 // Reload the policy artifact between batches of work: a
                 // swap accepted here is observed by every worker at its
                 // next batch, without a restart.
                 if let Some(watcher) = &self.policy {
-                    match watcher.lock().expect("policy lock").poll() {
+                    match watcher.lock().poll() {
                         ReloadOutcome::Unchanged => {}
                         ReloadOutcome::Swapped(version) => {
                             stats.policy_version.store(version, Ordering::SeqCst);
@@ -372,63 +434,23 @@ impl Server {
                         }
                     }
                 }
-                // Collect this cycle's delta into a fresh suite instead of
-                // folding straight into the global: the delta must be
-                // framed into the snapshot log *before* it reaches the
-                // global suite or the published snapshot. The shutdown
-                // path runs this same cycle once more after the drain, so
-                // the log and the final on-disk report never disagree.
-                let mut cycle =
+                // One snapshot cycle: fold into a fresh collector, frame
+                // the delta before the merge, compact if due, publish.
+                // The shutdown path runs this same cycle once more after
+                // the drain, so the log and the final on-disk report
+                // never disagree.
+                let cycle =
                     AnalysisSuite::with_selection(&self.config.params, &self.config.selection);
-                let (rec_d, err_d) = fold_deltas(&conns, &mut cycle);
                 last_fold = Instant::now();
-                folded = (folded.0 + rec_d, folded.1 + err_d);
-                let records = stats.records.load(Ordering::SeqCst);
-                let parse_errors = stats.parse_errors.load(Ordering::SeqCst);
-                if let Some(log) = snaplog.as_mut() {
-                    if rec_d > 0 || err_d > 0 {
-                        let ts = stats.max_record_ts.load(Ordering::SeqCst);
-                        let value = encode_value(rec_d, err_d, &cycle);
-                        if let Err(e) = log.append(SnapFrameKind::Delta, ts, SUITE_KEY, value) {
-                            // The delta still reaches the global suite; the
-                            // next compaction checkpoint heals the log.
-                            stats.snapshot_errors.fetch_add(1, Ordering::SeqCst);
-                            eprintln!("snap log append failed: {e}");
-                        }
-                    }
-                }
-                global.merge(cycle);
-                if let Some(log) = snaplog.as_mut() {
-                    if log.should_compact() {
-                        let ts = stats.max_record_ts.load(Ordering::SeqCst);
-                        // The checkpoint's counters come from the fold
-                        // bookkeeping, not the live counters: they must
-                        // describe exactly what the checkpointed suite
-                        // contains, nothing a worker ingested since.
-                        let value = encode_value(folded.0, folded.1, &global);
-                        if let Err(e) = log.compact(ts, SUITE_KEY, value) {
-                            stats.snapshot_errors.fetch_add(1, Ordering::SeqCst);
-                            eprintln!("snap log compaction failed: {e}");
-                        }
-                    }
-                    stats.snaplog_bytes.store(log.bytes(), Ordering::SeqCst);
-                    stats.snaplog_frames.store(log.frames(), Ordering::SeqCst);
-                    stats
-                        .snaplog_last_compaction_seq
-                        .store(log.last_compaction_seq(), Ordering::SeqCst);
-                }
-                let report = format!("{}\n", global.render_all(ctx));
-                let summary = global.summary_json(ctx);
-                let log_status = snaplog.as_ref().map(|log| SnapLogStatus {
-                    log_seq: log.last_seq(),
-                    recovered_frames,
-                });
-                match writer.write(&report, &summary, records, parse_errors, log_status) {
-                    Ok(seq) => stats.snapshot_written(seq),
-                    Err(e) => {
-                        stats.snapshot_errors.fetch_add(1, Ordering::SeqCst);
-                        eprintln!("snapshot {} failed: {e}", writer.seq() + 1);
-                    }
+                for e in proto::snapshot_cycle(
+                    &conns,
+                    cycle,
+                    &mut global,
+                    &mut folded,
+                    &stats,
+                    &mut sink,
+                ) {
+                    eprintln!("{e}");
                 }
                 if stop {
                     return Ok(());
@@ -441,39 +463,12 @@ impl Server {
             parse_errors: stats.parse_errors.load(Ordering::SeqCst),
             connections: stats.connections_total.load(Ordering::SeqCst),
             dropped_connections: stats.connections_dropped.load(Ordering::SeqCst),
-            snapshots: writer.seq(),
+            snapshots: sink.writer.seq(),
             policy_version: stats.policy_version.load(Ordering::SeqCst),
             policy_reloads: stats.policy_reloads.load(Ordering::SeqCst),
             policy_reload_failures: stats.policy_reload_failures.load(Ordering::SeqCst),
         })
     }
-}
-
-/// Swap every connection's delta for a fresh twin and merge the deltas
-/// into `global` (the global suite, or one snapshot cycle's collector
-/// when a snap log needs the delta framed first), in accept order.
-/// Holding each delta lock only for the swap keeps the ingest workers
-/// off the fold's critical path. Returns the exact `(records,
-/// parse_errors)` counts behind the merged content — taken under the
-/// same locks as the suites, so they can never disagree with it.
-fn fold_deltas(conns: &Mutex<Vec<ConnHandle>>, global: &mut AnalysisSuite) -> (u64, u64) {
-    let handles: Vec<Arc<Mutex<Shard>>> = conns
-        .lock()
-        .expect("conns lock")
-        .iter()
-        .map(|c| Arc::clone(&c.delta))
-        .collect();
-    let (mut records, mut parse_errors) = (0u64, 0u64);
-    for shard in handles {
-        let taken = {
-            let mut shard = shard.lock().expect("delta lock");
-            records += std::mem::take(&mut shard.records);
-            parse_errors += std::mem::take(&mut shard.parse_errors);
-            shard.suite.take_delta()
-        };
-        global.merge(taken);
-    }
-    (records, parse_errors)
 }
 
 /// Reader half of one connection: decode frames, queue batch payloads.
@@ -483,8 +478,8 @@ fn read_connection(
     stream: TcpStream,
     conn: &ConnStats,
     stats: &ServerStats,
-    shutdown: &AtomicBool,
-    tx: SyncSender<Vec<u8>>,
+    shutdown: &IAtomicBool,
+    tx: ISender<Vec<u8>>,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
@@ -503,7 +498,7 @@ fn read_connection(
                 match frame.kind {
                     FrameKind::Hello => {
                         if let Ok(label) = frame.payload_str() {
-                            *conn.label.lock().expect("label lock") = label.to_string();
+                            *conn.label.lock() = label.to_string();
                         }
                     }
                     FrameKind::Batch => {
@@ -520,7 +515,7 @@ fn read_connection(
                 if shutdown.load(Ordering::SeqCst) {
                     break; // shutdown interrupt, not a peer fault
                 }
-                *conn.error.lock().expect("error lock") = Some(e.to_string());
+                *conn.error.lock() = Some(e.to_string());
                 stats.connections_dropped.fetch_add(1, Ordering::SeqCst);
                 break;
             }
@@ -529,100 +524,12 @@ fn read_connection(
     // Dropping `tx` closes the queue; the worker drains and exits.
 }
 
-/// Worker half of one connection: parse queued batches with the
-/// zero-copy view parser and ingest into this connection's delta.
-/// Counter updates happen under the delta lock so a fold never observes
-/// records it did not merge.
-///
-/// With a policy configured, every parsed record is also evaluated
-/// against the compiled engine. The engine `Arc` is pinned once per
-/// batch — the per-record path never takes the policy lock, and a hot
-/// swap lands exactly on a batch boundary.
-fn ingest_connection(
-    rx: Receiver<Vec<u8>>,
-    conn: &ConnStats,
-    stats: &ServerStats,
-    delta: &Mutex<Shard>,
-    ctx: &AnalysisContext,
-    policy: Option<&PolicyCell>,
-) {
-    let schema = Schema::canonical();
-    let mut splitter = LineSplitter::new();
-    let mut line_no = 0u64;
-    while let Ok(payload) = rx.recv() {
-        conn.queue_depth.fetch_sub(1, Ordering::SeqCst);
-        let engine = policy.map(|cell| cell.current());
-        let mut records = 0u64;
-        let mut parse_errors = 0u64;
-        let (mut allowed, mut denied, mut redirected) = (0u64, 0u64, 0u64);
-        let mut mechanism = [0u64; 4];
-        let mut max_ts = 0u64;
-        let mut shard = delta.lock().expect("delta lock");
-        for line in batch_lines(&payload) {
-            line_no += 1;
-            // Same order as the file ingest path: UTF-8 validity is
-            // checked before the comment prefix, so a corrupt comment
-            // line counts as a parse error.
-            let Ok(text) = std::str::from_utf8(line) else {
-                parse_errors += 1;
-                continue;
-            };
-            if text.starts_with('#') {
-                continue;
-            }
-            match schema.parse_view(&mut splitter, text, line_no) {
-                Ok(view) => {
-                    if let Some(engine) = &engine {
-                        match engine.decide_url(&view.url.to_url()) {
-                            Decision::Allow => allowed += 1,
-                            Decision::Deny(_) => denied += 1,
-                            Decision::Redirect(_) => redirected += 1,
-                        }
-                    }
-                    if let Some(kind) = classify_mechanism_view(&view) {
-                        mechanism[kind.index()] += 1;
-                    }
-                    max_ts = max_ts.max(view.timestamp.epoch_seconds() as u64);
-                    shard.suite.ingest(ctx, &view);
-                    records += 1;
-                }
-                Err(_) => parse_errors += 1,
-            }
-        }
-        shard.records += records;
-        shard.parse_errors += parse_errors;
-        conn.records.fetch_add(records, Ordering::SeqCst);
-        conn.parse_errors.fetch_add(parse_errors, Ordering::SeqCst);
-        stats.records.fetch_add(records, Ordering::SeqCst);
-        stats.parse_errors.fetch_add(parse_errors, Ordering::SeqCst);
-        if engine.is_some() {
-            stats.policy_allowed.fetch_add(allowed, Ordering::SeqCst);
-            stats.policy_denied.fetch_add(denied, Ordering::SeqCst);
-            stats
-                .policy_redirected
-                .fetch_add(redirected, Ordering::SeqCst);
-        }
-        for (slot, votes) in stats.mechanism.iter().zip(mechanism) {
-            if votes > 0 {
-                slot.fetch_add(votes, Ordering::SeqCst);
-            }
-        }
-        // Still under the delta lock: a fold that merged these records
-        // must also observe their timestamp for the log frame it writes.
-        if max_ts > 0 {
-            stats.max_record_ts.fetch_max(max_ts, Ordering::SeqCst);
-        }
-        drop(shard);
-    }
-    conn.done.store(true, Ordering::SeqCst);
-}
-
 /// A `TcpStream` wrapper that retries read timeouts until shutdown is
 /// requested, so `Frame::read_from` sees frames as atomic reads: a slow
 /// sender never produces a spurious truncation error.
 struct PatientReader<'a> {
     stream: TcpStream,
-    shutdown: &'a AtomicBool,
+    shutdown: &'a IAtomicBool,
 }
 
 impl Read for PatientReader<'_> {
@@ -681,7 +588,7 @@ mod tests {
         let server = Server::bind(config(&dir)).unwrap();
         let addr = server.local_addr().unwrap();
         let ctx = AnalysisContext::standard(None);
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(IAtomicBool::new(false));
         let summary = std::thread::scope(|s| {
             let handle = s.spawn(|| server.run(&ctx, Arc::clone(&shutdown)));
             // A connection that speaks garbage.
@@ -725,7 +632,7 @@ mod tests {
         let addr = server.local_addr().unwrap();
         let metrics_addr = server.metrics_addr().unwrap();
         let ctx = AnalysisContext::standard(None);
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(IAtomicBool::new(false));
 
         // One canonical line whose URL the standard policy keyword-denies.
         let line = RecordBuilder::new(
@@ -861,7 +768,7 @@ mod tests {
         let server = Server::bind(cfg).unwrap();
         let addr = server.local_addr().unwrap();
         let ctx = AnalysisContext::standard(None);
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(IAtomicBool::new(false));
         let summary = std::thread::scope(|s| {
             let handle = s.spawn(|| server.run(&ctx, Arc::clone(&shutdown)));
             let mut sock = TcpStream::connect(addr).unwrap();
@@ -904,7 +811,7 @@ mod tests {
         cfg.snap_log = Some(log_path.clone());
         let server = Server::bind(cfg).unwrap();
         let addr = server.local_addr().unwrap();
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(IAtomicBool::new(false));
         std::thread::scope(|s| {
             let handle = s.spawn(|| server.run(&ctx, Arc::clone(&shutdown)));
             let mut sock = TcpStream::connect(addr).unwrap();
@@ -926,7 +833,7 @@ mod tests {
         let mut cfg = config(&dir.join("run2"));
         cfg.snap_log = Some(log_path.clone());
         let server = Server::bind(cfg).unwrap();
-        let summary = server.run(&ctx, Arc::new(AtomicBool::new(true))).unwrap();
+        let summary = server.run(&ctx, Arc::new(IAtomicBool::new(true))).unwrap();
         assert_eq!(summary.records, 15, "recovered records are preloaded");
         let second_report = std::fs::read_to_string(dir.join("run2/report.txt")).unwrap();
         assert_eq!(second_report, first_report);
@@ -940,7 +847,7 @@ mod tests {
         cfg.snap_log = Some(log_path.clone());
         cfg.selection = Selection::only(&["datasets", "https"]).unwrap();
         let server = Server::bind(cfg).unwrap();
-        assert!(server.run(&ctx, Arc::new(AtomicBool::new(true))).is_err());
+        assert!(server.run(&ctx, Arc::new(IAtomicBool::new(true))).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -949,7 +856,7 @@ mod tests {
         let dir = temp_dir("empty");
         let server = Server::bind(config(&dir)).unwrap();
         let ctx = AnalysisContext::standard(None);
-        let shutdown = Arc::new(AtomicBool::new(true));
+        let shutdown = Arc::new(IAtomicBool::new(true));
         let summary = server.run(&ctx, shutdown).unwrap();
         assert_eq!(summary.records, 0);
         assert_eq!(summary.snapshots, 1);

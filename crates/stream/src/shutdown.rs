@@ -2,11 +2,17 @@
 //! SIGINT (via a minimal libc `signal(2)` binding — the build environment
 //! has no crates.io, so no `signal-hook`/`ctrlc`) or by the metrics
 //! endpoint's `/shutdown` control path on platforms without signals.
+//!
+//! The flag is an [`IAtomicBool`] so the drain-then-final-snapshot
+//! protocol it gates can run under the interleaving explorer; the signal
+//! handler reaches through [`IAtomicBool::as_std`] to the raw std atomic,
+//! keeping the handler's single store async-signal-safe (the global flag
+//! is always passthrough-backed — models never install signal handlers).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use interleave::{IAtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
-static SIGINT_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+static SIGINT_FLAG: OnceLock<Arc<IAtomicBool>> = OnceLock::new();
 
 #[cfg(unix)]
 mod sys {
@@ -23,7 +29,7 @@ mod sys {
 
     pub extern "C" fn on_sigint(_sig: c_int) {
         if let Some(flag) = super::SIGINT_FLAG.get() {
-            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            flag.as_std().store(true, super::Ordering::SeqCst);
         }
     }
 }
@@ -37,9 +43,9 @@ mod sys {
 // operation that is async-signal-safe by construction, and `signal(2)` is
 // called before any serve thread spawns.
 #[allow(unsafe_code)]
-pub fn install_sigint() -> Arc<AtomicBool> {
+pub fn install_sigint() -> Arc<IAtomicBool> {
     let flag = SIGINT_FLAG
-        .get_or_init(|| Arc::new(AtomicBool::new(false)))
+        .get_or_init(|| Arc::new(IAtomicBool::new(false)))
         .clone();
     #[cfg(unix)]
     unsafe {
@@ -49,12 +55,12 @@ pub fn install_sigint() -> Arc<AtomicBool> {
 }
 
 /// `true` once shutdown has been requested on `flag`.
-pub fn requested(flag: &AtomicBool) -> bool {
+pub fn requested(flag: &IAtomicBool) -> bool {
     flag.load(Ordering::SeqCst)
 }
 
 /// Request shutdown on `flag` (the `/shutdown` endpoint's action).
-pub fn request(flag: &AtomicBool) {
+pub fn request(flag: &IAtomicBool) {
     flag.store(true, Ordering::SeqCst);
 }
 

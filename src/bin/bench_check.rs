@@ -7,7 +7,9 @@
 //! `RESULTS` defaults to `BENCH.json` (the committed baseline, written by
 //! the bench harness under `FILTERSCOPE_BENCH_JSON`). Schema problems —
 //! wrong shapes, non-positive timings, unknown rate units, duplicate
-//! `(group, name)` pairs — are hard errors. With `--against BASELINE`,
+//! `(group, name)` pairs — are hard errors, and so is a violation of the
+//! `interleave` passthrough-parity guard (see [`parity_violations`]).
+//! With `--against BASELINE`,
 //! entries present in both files are compared: a throughput drop (or,
 //! for rate-less entries, a median-time increase) beyond the threshold
 //! (default 20%) fails the check. Entries only one side has are reported
@@ -124,6 +126,56 @@ fn validate(text: &str, label: &str) -> Result<Vec<Entry>, Vec<String>> {
     }
 }
 
+/// The benchmark group holding the interleave-vs-std twin rows, written
+/// by `cargo bench --bench interleave`.
+const PARITY_GROUP: &str = "interleave_passthrough";
+
+/// `(interleave row, std twin)` pairs the parity guard checks.
+const PARITY_PAIRS: [(&str, &str); 3] = [
+    ("imutex_lock_unlock", "std_mutex_lock_unlock"),
+    ("iatomic_fetch_add", "std_atomic_fetch_add"),
+    ("ichannel_send_recv", "std_channel_send_recv"),
+];
+
+/// Slack allowed on the passthrough promise: the interleave wrapper's
+/// median may be at most this multiple of its std twin's.
+const PARITY_FACTOR: f64 = 1.5;
+
+/// Enforce the `interleave` passthrough promise: the serve daemon runs
+/// its concurrency core on `interleave`'s checkable wrappers, which claim
+/// to be zero-cost outside a model execution. The results file must
+/// carry the twin rows, and each wrapper median must stay within
+/// [`PARITY_FACTOR`]× of its `std::sync` twin.
+fn parity_violations(entries: &[Entry]) -> Vec<String> {
+    let find = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.group == PARITY_GROUP && e.name == name)
+    };
+    let mut violations = Vec::new();
+    for (ours, std_twin) in PARITY_PAIRS {
+        match (find(ours), find(std_twin)) {
+            (Some(i), Some(s)) => {
+                let ratio = i.median_ns as f64 / s.median_ns as f64;
+                if ratio > PARITY_FACTOR {
+                    violations.push(format!(
+                        "{PARITY_GROUP}/{ours}: {ratio:.2}x slower than {std_twin} \
+                         (limit {PARITY_FACTOR}x) — passthrough is no longer zero-cost"
+                    ));
+                }
+            }
+            (i, _) => {
+                let missing = if i.is_none() { ours } else { std_twin };
+                violations.push(format!(
+                    "{PARITY_GROUP}/{missing}: missing — parity guard needs both twins \
+                     (re-run `cargo bench --bench interleave`)"
+                ));
+            }
+        }
+    }
+    violations
+}
+
 /// A regression verdict for one entry present in both files.
 #[derive(Debug, PartialEq)]
 struct Delta {
@@ -207,6 +259,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             groups.dedup();
             groups.len()
         }
+    );
+    let parity = parity_violations(&current);
+    if !parity.is_empty() {
+        for v in &parity {
+            eprintln!("bench_check: {v}");
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    println!(
+        "interleave passthrough parity OK ({} twin pairs within {PARITY_FACTOR}x)",
+        PARITY_PAIRS.len()
     );
     let Some(baseline_path) = baseline_path else {
         return Ok(ExitCode::SUCCESS);
@@ -353,6 +416,41 @@ mod tests {
         assert!(compare(&cur, &base, 5.0)
             .iter()
             .all(|d| d.regressed || d.key != "g/time"));
+    }
+
+    fn parity_doc(ours_median: u64, std_median: u64) -> Vec<String> {
+        let mut rows = Vec::new();
+        for (ours, std_twin) in PARITY_PAIRS {
+            rows.push(entry(PARITY_GROUP, ours, ours_median, None));
+            rows.push(entry(PARITY_GROUP, std_twin, std_median, None));
+        }
+        rows
+    }
+
+    #[test]
+    fn parity_within_factor_passes() {
+        let entries = validate(&doc(&parity_doc(140, 100)), "t").unwrap();
+        assert_eq!(parity_violations(&entries), Vec::<String>::new());
+    }
+
+    #[test]
+    fn parity_breach_and_missing_twin_flagged() {
+        // 2x the std twin: every pair breaches the 1.5x passthrough limit.
+        let entries = validate(&doc(&parity_doc(200, 100)), "t").unwrap();
+        let violations = parity_violations(&entries);
+        assert_eq!(violations.len(), PARITY_PAIRS.len(), "{violations:?}");
+        assert!(violations[0].contains("no longer zero-cost"));
+
+        // Dropping the std twins breaks the guard too — it must not pass
+        // vacuously when the bench stops emitting rows.
+        let ours_only: Vec<String> = PARITY_PAIRS
+            .iter()
+            .map(|(ours, _)| entry(PARITY_GROUP, ours, 100, None))
+            .collect();
+        let entries = validate(&doc(&ours_only), "t").unwrap();
+        let violations = parity_violations(&entries);
+        assert_eq!(violations.len(), PARITY_PAIRS.len());
+        assert!(violations.iter().all(|v| v.contains("missing")));
     }
 
     #[test]

@@ -65,7 +65,8 @@ fn usage() -> ExitCode {
          filterscope history LOG at --time T [--analysis KEY]\n  \
          filterscope history LOG diff --from T --to T\n  \
          filterscope history LOG series --analysis KEY [--step SECS] [--json]\n  \
-         filterscope history LOG ls\n\n\
+         filterscope history LOG ls\n  \
+         filterscope srclint [ROOT]\n\n\
          Flags accept `--flag value` or `--flag=value`; repeating a flag\n\
          is an error.\n\
          --censor selects the simulated censorship mechanism: blue-coat\n\
@@ -1481,6 +1482,29 @@ fn cmd_analyses() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `filterscope srclint [ROOT]` — run the source-invariant lint over the
+/// workspace (same scan as the standalone `srclint` binary in tier-1).
+fn cmd_srclint(args: &Args) -> ExitCode {
+    let root = args.positional.first().map(String::as_str).unwrap_or(".");
+    match interleave::srclint::check_workspace(std::path::Path::new(root)) {
+        Ok(violations) if violations.is_empty() => {
+            println!("srclint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("srclint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("srclint: cannot scan {root}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 /// Boolean flags (no value) of one subcommand.
 fn bool_flags(command: &str) -> &'static [&'static str] {
     match command {
@@ -1529,6 +1553,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "skip",
         ],
         "history" => &["time", "from", "to", "analysis", "step"],
+        "srclint" => &[],
         "stream" => &[
             "connect",
             "connections",
@@ -1571,6 +1596,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "stream" => cmd_stream(&args),
         "history" => cmd_history(&args),
+        "srclint" => cmd_srclint(&args),
         _ => usage(),
     }
 }

@@ -1,0 +1,26 @@
+//! Standalone entry point for the source-invariant lint (tier-1 gate):
+//! `cargo run --release --bin srclint [ROOT]`. Exit codes: 0 clean,
+//! 1 violations, 2 cannot scan.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    match interleave::srclint::check_workspace(std::path::Path::new(&root)) {
+        Ok(violations) if violations.is_empty() => {
+            println!("srclint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("srclint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("srclint: cannot scan {root}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
